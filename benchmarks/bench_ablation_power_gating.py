@@ -1,0 +1,56 @@
+"""Ablation: power-gating the memoization module on a locality-free app.
+
+Paper (Section 4.2): "if an application lacks value locality, it can
+disable the entire memoization module by power-gating thus avoid any
+power penalty."  BlackScholes is our lowest-locality kernel: with the
+module on it pays the LUT overhead for few hits; power-gated it must
+cost exactly the baseline.
+"""
+
+from conftest import run_once
+
+from repro.config import MemoConfig, SimConfig, small_arch
+from repro.gpu.executor import GpuExecutor
+from repro.kernels.registry import KERNEL_REGISTRY
+from repro.utils.tables import format_table
+
+
+def run_power_gating_ablation():
+    spec = KERNEL_REGISTRY["BlackScholes"]
+    rows = []
+    energies = {}
+    for label, memoized, gated in (
+        ("baseline (no module)", False, False),
+        ("module on", True, False),
+        ("module power-gated", True, True),
+    ):
+        config = SimConfig(
+            arch=small_arch(),
+            memo=MemoConfig(threshold=spec.threshold, power_gated=gated),
+        )
+        executor = GpuExecutor(config, memoized=memoized)
+        spec.default_factory().run(executor)
+        report = executor.device.energy_report()
+        energies[label] = report.total_pj
+        stats = executor.device.lut_stats()
+        lookups = sum(s.lookups for s in stats.values())
+        rows.append([label, report.total_pj, lookups])
+    table = format_table(
+        ["configuration", "total pJ", "LUT lookups"],
+        rows,
+        title="Ablation: power-gating the module on BlackScholes",
+    )
+    return table, energies
+
+
+def test_power_gating_ablation(benchmark, bench_report):
+    table, energies = run_once(benchmark, run_power_gating_ablation)
+    bench_report(table)
+
+    base = energies["baseline (no module)"]
+    gated = energies["module power-gated"]
+    on = energies["module on"]
+    # Power gating removes the penalty entirely.
+    assert gated == base
+    # The always-on module costs something on this locality-free kernel.
+    assert on > gated

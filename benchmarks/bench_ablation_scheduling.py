@@ -1,0 +1,83 @@
+"""Ablation: does the subwavefront multiplexing create the locality?
+
+Section 4.1: "the FPUs of GPGPUs experience a congested temporal value
+locality caused by the sub-wavefront time-multiplexing on the SCs that
+can be exposed by small FIFOs."  This ablation replaces the Evergreen
+schedule with an item-serial one (each work-item runs to completion, as
+on a scalar core) and re-measures the 2-entry-FIFO hit rate of every
+kernel.
+
+Measured finding (archived in results/): kernels whose reuse is
+*positional* — every work-item executing the same instruction over the
+same data, like EigenValue's shared matrix walk — collapse without the
+multiplexing (0.39 -> 0.06), exactly the paper's claim.  Kernels whose
+reuse is *data redundancy* (flat image regions, repeated pixel values)
+are schedule-robust: their identical operands sit next to each other in
+both schedules, so a 2-entry FIFO captures them either way.
+"""
+
+from conftest import run_once
+
+from repro.analysis.hitrate import weighted_hit_rate
+from repro.config import MemoConfig, SimConfig, small_arch
+from repro.gpu.executor import GpuExecutor
+from repro.kernels.registry import KERNEL_REGISTRY
+from repro.utils.tables import format_table
+
+KERNELS = ("Sobel", "Gaussian", "BinomialOption", "EigenValue", "FWT")
+
+
+def run_scheduling_ablation():
+    rows = []
+    rates = {}
+    for name in KERNELS:
+        spec = KERNEL_REGISTRY[name]
+        for schedule in ("subwavefront", "item-serial"):
+            config = SimConfig(
+                arch=small_arch(),
+                memo=MemoConfig(threshold=spec.threshold),
+                schedule=schedule,
+            )
+            executor = GpuExecutor(config)
+            spec.default_factory().run(executor)
+            rates[(name, schedule)] = weighted_hit_rate(
+                executor.device.lut_stats()
+            )
+        rows.append(
+            [
+                name,
+                rates[(name, "subwavefront")],
+                rates[(name, "item-serial")],
+                rates[(name, "subwavefront")] - rates[(name, "item-serial")],
+            ]
+        )
+    table = format_table(
+        ["kernel", "subwavefront hit rate", "item-serial hit rate", "delta"],
+        rows,
+        title="Scheduling ablation: Evergreen subwavefront multiplexing vs "
+        "item-serial execution (2-entry FIFOs)",
+    )
+    return table, rates
+
+
+def test_scheduling_ablation(benchmark, bench_report):
+    table, rates = run_once(benchmark, run_scheduling_ablation)
+    bench_report(table)
+
+    # Positional cross-item reuse needs the multiplexing: EigenValue's
+    # hit rate must collapse under item-serial execution.
+    assert rates[("EigenValue", "subwavefront")] > 0.3
+    assert rates[("EigenValue", "item-serial")] < 0.15
+
+    # Data-redundancy reuse is schedule-robust: the image kernels keep
+    # their hit rates within a few points either way.
+    for name in ("Sobel", "Gaussian"):
+        delta = rates[(name, "subwavefront")] - rates[(name, "item-serial")]
+        assert abs(delta) < 0.05, name
+
+    # Averaged over the kernel set, the Evergreen schedule wins.
+    deltas = [
+        rates[(name, "subwavefront")] - rates[(name, "item-serial")]
+        for name in KERNELS
+    ]
+    assert sum(deltas) / len(deltas) > 0.03

@@ -1,0 +1,25 @@
+"""Figure 2: Sobel on `face` — output PSNR vs approximation threshold.
+
+Paper: threshold 0 is lossless (PSNR = inf); PSNR decreases monotonically
+as the threshold grows (40 dB at 0.4, 30 dB at 1.0 on the authors' photo).
+The reproduced claim is the monotone quality/threshold trade-off with the
+exact point lossless and the Table-1 threshold still >= 30 dB.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_fig2_to_5_psnr
+
+
+def test_fig02_sobel_face_psnr(benchmark, bench_report):
+    result = run_once(benchmark, run_fig2_to_5_psnr, "Sobel", "face", 64)
+    bench_report(result.to_text())
+
+    psnr = result.series_values("PSNR dB")
+    hits = result.series_values("hit rate")
+    assert psnr[0] == math.inf
+    assert all(a >= b - 1.0 for a, b in zip(psnr, psnr[1:]))  # near-monotone
+    assert psnr[-1] >= 30.0  # Table-1 threshold keeps the 30 dB budget
+    assert hits[-1] > hits[0]

@@ -1,0 +1,24 @@
+"""Figure 3: Gaussian on `face` — output PSNR vs approximation threshold.
+
+Paper: lossless at threshold 0; 30 dB at threshold 0.8; unacceptable
+beyond.  On the scaled synthetic portrait the 30 dB cutoff lands at 0.6
+(same selection procedure, smaller image — see EXPERIMENTS.md).
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_fig2_to_5_psnr
+
+
+def test_fig03_gaussian_face_psnr(benchmark, bench_report):
+    result = run_once(benchmark, run_fig2_to_5_psnr, "Gaussian", "face", 64)
+    bench_report(result.to_text())
+
+    psnr = result.series_values("PSNR dB")
+    thresholds = result.x_values
+    assert psnr[0] == math.inf
+    # The scaled threshold (0.6) meets the budget; 1.0 must not.
+    assert psnr[thresholds.index(0.6)] >= 30.0
+    assert psnr[thresholds.index(1.0)] < 30.0

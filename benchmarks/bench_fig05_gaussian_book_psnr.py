@@ -1,0 +1,25 @@
+"""Figure 5: Gaussian on `book` — output PSNR vs approximation threshold.
+
+Paper: the book input tolerates less approximation than the face for the
+same filter (cutoff 0.2 vs 0.8) and quality collapses at large thresholds.
+The reproduced claims: lossless exact matching, monotone-ish degradation,
+and a collapse at threshold 1.0 relative to the small-threshold region.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_fig2_to_5_psnr
+
+
+def test_fig05_gaussian_book_psnr(benchmark, bench_report):
+    result = run_once(benchmark, run_fig2_to_5_psnr, "Gaussian", "book", 64)
+    bench_report(result.to_text())
+
+    psnr = result.series_values("PSNR dB")
+    assert psnr[0] == math.inf
+    # Quality collapses at the largest threshold ("further increasing of
+    # threshold produces unacceptable quality").
+    assert psnr[-1] < 30.0
+    assert psnr[-1] < psnr[1]

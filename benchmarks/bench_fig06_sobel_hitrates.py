@@ -1,0 +1,31 @@
+"""Figure 6: per-FPU hit rate vs threshold for Sobel, face and book inputs.
+
+Paper: every FIFO shows > 20% hit rate; SQRT leads (22-83% on face,
+46-89% on book); hit rates grow with the threshold; the book input
+memoizes at least as well as the face at exact matching.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_fig6_7_hit_rates
+
+
+def test_fig06_sobel_hit_rates(benchmark, bench_report):
+    results = run_once(benchmark, run_fig6_7_hit_rates, "Sobel", 64)
+    bench_report(
+        results["face"].to_text() + "\n\n" + results["book"].to_text()
+    )
+
+    for image_name, result in results.items():
+        # Conversion/transcendental units lead the hit-rate ranking.
+        add = result.series_values("ADD")
+        fp2int = result.series_values("FP2INT")
+        assert fp2int[-1] > add[-1], image_name
+        # Hit rate grows (or holds) as the constraint is relaxed.
+        for unit, series in result.series.items():
+            assert series[-1] >= series[0] - 0.02, (image_name, unit)
+
+    # Exact-matching locality: text page >= portrait (flat paper dominates).
+    face_sqrt = results["face"].series_values("SQRT")[0]
+    book_sqrt = results["book"].series_values("SQRT")[0]
+    assert book_sqrt >= face_sqrt

@@ -1,0 +1,24 @@
+"""Figure 7: per-FPU hit rate vs threshold for Gaussian, face and book.
+
+Paper: same structure as Figure 6 for the blur kernel — the activated
+units (ADD, MULADD, FP2INT on our Gaussian) all memoize, with rates
+non-decreasing in the threshold.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_fig6_7_hit_rates
+
+
+def test_fig07_gaussian_hit_rates(benchmark, bench_report):
+    results = run_once(benchmark, run_fig6_7_hit_rates, "Gaussian", 64)
+    bench_report(
+        results["face"].to_text() + "\n\n" + results["book"].to_text()
+    )
+
+    for image_name, result in results.items():
+        assert {"ADD", "MULADD", "FP2INT"} <= set(result.series), image_name
+        for unit, series in result.series.items():
+            assert series[-1] >= series[0] - 0.02, (image_name, unit)
+        # The pixel-conversion stream is the most redundant.
+        assert result.series_values("FP2INT")[0] > 0.2, image_name

@@ -1,0 +1,33 @@
+"""Figure 10: energy saving of the memoized architecture vs error rate.
+
+Paper: average savings of 13/17/20/23/25% at 0/1/2/3/4% timing-error
+rate — the saving grows with the error rate because hits correct errant
+instructions with zero recovery cycles while the baseline pays the full
+flush + multiple-issue replay for every error.
+
+Reproduced claims: ~13% average saving in the error-free case, a
+monotone increase with the error rate, and >= 8 additional percentage
+points at 4% errors.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_fig10_energy_vs_error_rate
+
+
+def test_fig10_energy_vs_error_rate(benchmark, bench_report):
+    result = run_once(benchmark, run_fig10_energy_vs_error_rate)
+    bench_report(result.to_text())
+
+    average = result.series_values("AVERAGE")
+    # Paper: 13% at 0% error rate (ours lands within a few points given
+    # the measured hit rates of the scaled workloads).
+    assert 0.08 <= average[0] <= 0.20
+    # Monotone growth with the error rate.
+    assert all(b > a for a, b in zip(average, average[1:]))
+    # Paper: +12 points from 0% to 4%; require at least +8.
+    assert average[-1] - average[0] >= 0.08
+    # Every individual kernel benefits more (or no less) under errors.
+    for name, series in result.series.items():
+        if name != "AVERAGE":
+            assert series[-1] >= series[0]

@@ -1,0 +1,78 @@
+"""Performance: recovery stalls vs zero-cycle memoized correction.
+
+The paper's latency claim — memoization corrects errant instructions
+"with zero cycle penalty" while the baseline pays 12 recovery cycles per
+error — measured as launch cycles and throughput at rising error rates.
+The baseline's cycle count must grow ~12 cycles per unmasked error; the
+memoized architecture's growth is reduced by exactly its hit rate (only
+miss-path errors still pay).
+"""
+
+from conftest import run_once
+
+from repro.config import MemoConfig, SimConfig, TimingConfig, small_arch
+from repro.gpu.executor import GpuExecutor
+from repro.gpu.performance import performance_report
+from repro.kernels.registry import KERNEL_REGISTRY
+from repro.utils.tables import format_series
+
+RATES = (0.0, 0.01, 0.02, 0.04)
+KERNEL = "Sobel"
+
+
+def run_performance_comparison():
+    spec = KERNEL_REGISTRY[KERNEL]
+    base_cycles, memo_cycles, memo_stallfrac, base_stallfrac = [], [], [], []
+    for rate in RATES:
+        config = SimConfig(
+            arch=small_arch(),
+            memo=MemoConfig(threshold=spec.threshold),
+            timing=TimingConfig(error_rate=rate),
+        )
+        base_ex = GpuExecutor(config, memoized=False)
+        spec.default_factory().run(base_ex)
+        base = performance_report(base_ex.device)
+
+        memo_ex = GpuExecutor(config)
+        spec.default_factory().run(memo_ex)
+        memo = performance_report(memo_ex.device)
+
+        base_cycles.append(base.device_cycles)
+        memo_cycles.append(memo.device_cycles)
+        base_stallfrac.append(base.stall_fraction)
+        memo_stallfrac.append(memo.stall_fraction)
+    text = format_series(
+        "error rate",
+        list(RATES),
+        {
+            "baseline cycles": base_cycles,
+            "memoized cycles": memo_cycles,
+            "baseline stall frac": base_stallfrac,
+            "memoized stall frac": memo_stallfrac,
+        },
+        title=f"Launch cycles vs error rate ({KERNEL}): recovery stalls vs "
+        "zero-cycle memoized correction",
+    )
+    return text, base_cycles, memo_cycles, base_stallfrac, memo_stallfrac
+
+
+def test_performance_recovery(benchmark, bench_report):
+    text, base_cycles, memo_cycles, base_sf, memo_sf = run_once(
+        benchmark, run_performance_comparison
+    )
+    bench_report(text)
+
+    # Error-free: cycles are bounded by the busiest lane's op count and
+    # essentially equal across architectures (hits don't change issue).
+    assert abs(base_cycles[0] - memo_cycles[0]) <= 1
+
+    # Baseline stalls grow ~12 cycles per error: at 4% that is ~48% of
+    # busy time lost to recovery (0.04 * 12 / (1 + 0.04*12)).
+    assert base_sf[-1] > 0.25
+    # The memoized architecture masks errors on hits: fewer stalls.
+    assert memo_sf[-1] < base_sf[-1]
+    assert memo_cycles[-1] < base_cycles[-1]
+
+    # Cycle growth matches the recovery model within a few percent.
+    growth = base_cycles[-1] / base_cycles[0]
+    assert 1.2 < growth < 1.8

@@ -1,0 +1,20 @@
+"""Table 1: kernels, input parameters and selected thresholds.
+
+Regenerates the table and re-validates every kernel at its selected
+threshold: image kernels must keep PSNR >= 30 dB, the small-threshold
+finance/transform kernels must pass the host self-check, and the
+exact-matching kernels must be bit-exact.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_table1
+
+
+def test_table1_registry(benchmark, bench_report):
+    text = run_once(benchmark, run_table1, True)
+    bench_report(text)
+
+    assert "Sobel" in text and "EigenValue" in text
+    assert "FAILED" not in text
+    assert text.count("Passed") == 7

@@ -1,0 +1,61 @@
+"""The premise measurement: "the entropy of data-level parallelism is low".
+
+Section 1 rests the whole technique on low value entropy in data-parallel
+FP streams.  This bench profiles every Table-1 kernel and reports, per
+activated FPU, the normalized operand entropy (0 = one context repeated,
+1 = all contexts distinct) and the FIFO-2 capture bound (the exact-match
+hit rate a 2-entry FIFO can reach on that stream).
+"""
+
+from conftest import run_once
+
+from repro.analysis.locality import analyze_trace
+from repro.analysis.replay import capture_trace
+from repro.kernels.registry import KERNEL_REGISTRY
+from repro.utils.tables import format_table
+
+
+def run_locality_profile():
+    rows = []
+    per_kernel = {}
+    for name, spec in KERNEL_REGISTRY.items():
+        trace = capture_trace(spec.default_factory())
+        reports = analyze_trace(trace)
+        total_exec = sum(r.executions for r in reports.values())
+        weighted_entropy = sum(
+            r.normalized_entropy * r.executions for r in reports.values()
+        ) / total_exec
+        weighted_capture = sum(
+            r.fifo2_capture * r.executions for r in reports.values()
+        ) / total_exec
+        per_kernel[name] = (weighted_entropy, weighted_capture)
+        rows.append([name, total_exec, weighted_entropy, weighted_capture])
+    table = format_table(
+        ["kernel", "FP ops", "norm. entropy", "FIFO-2 capture"],
+        rows,
+        title="Value locality of the Table-1 kernels "
+        "(per-FPU streams, execution-weighted)",
+    )
+    return table, per_kernel
+
+
+def test_value_locality(benchmark, bench_report):
+    table, per_kernel = run_once(benchmark, run_locality_profile)
+    bench_report(table)
+
+    # The paper's premise: data-parallel FP streams are far from
+    # maximum entropy on the locality-bearing kernels.
+    for name in ("Sobel", "Gaussian", "EigenValue", "BinomialOption"):
+        entropy, capture = per_kernel[name]
+        assert entropy < 0.8, name
+
+    # Entropy and FIFO capture are two views of the same structure: the
+    # lowest-entropy kernel must capture far better than the highest.
+    entropies = {name: e for name, (e, _) in per_kernel.items()}
+    captures = {name: c for name, (_, c) in per_kernel.items()}
+    lowest_entropy = min(entropies, key=entropies.get)
+    highest_entropy = max(entropies, key=entropies.get)
+    assert captures[lowest_entropy] > 3 * captures[highest_entropy]
+
+    # BlackScholes' unique inputs show the opposite regime.
+    assert entropies["BlackScholes"] > entropies["Sobel"]

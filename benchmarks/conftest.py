@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures, prints it, and
+archives the text under ``benchmarks/results/`` so the regenerated
+evaluation can be inspected after a run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def bench_report(request):
+    """Print a reproduced table/figure and archive it to results/."""
+
+    def _report(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("[", "_").replace("]", "")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full experiment run (experiments are minutes-scale; a
+    single round keeps the harness usable while still reporting wall
+    time through pytest-benchmark)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Running a hand-assembled Evergreen-style binary with memoization.
+
+Workloads don't have to be written against the Python kernel API: this
+example assembles a small clause-based program (a polynomial evaluator
+with a TEX load and an ALU clause using the X and T slots), launches it
+over an NDRange on the simulated device, and shows the temporal
+memoization module at work underneath an actual instruction stream —
+including under injected timing errors.
+
+Usage:
+    python examples/isa_program.py [--items 128] [--error-rate 0.02]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import GpuExecutor, MemoConfig, SimConfig, TimingConfig, small_arch
+from repro.gpu.isa_executor import IsaKernelExecutor
+from repro.gpu.memory import GlobalMemory
+from repro.isa.assembler import assemble
+
+# For each work-item i:  y[i] = sqrt(0.5 * x[i]^2 + 1.0)
+PROGRAM_SOURCE = """
+CF EXEC_TEX @load
+CF EXEC_ALU @poly
+CF END
+
+TEX @load:
+  LOAD r2, [r0]          ; r0 holds the global id
+
+ALU @poly:
+  X: MUL r3, r2, r2      ; x^2
+  --
+  X: MULADD r4, r3, 0.5, 1.0
+  --
+  T: SQRT r1, r4         ; result convention: r1
+"""
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--items", type=int, default=128)
+    parser.add_argument("--error-rate", type=float, default=0.02)
+    args = parser.parse_args()
+
+    program = assemble(PROGRAM_SOURCE)
+    print(f"Assembled program: {program.fp_instruction_count} FP instructions "
+          f"per work-item, {len(program.clauses)} clauses\n")
+
+    # Quantized sensor-style input: integers 0..15 repeat across items,
+    # which is where the FIFOs find their locality.
+    n = args.items
+    memory = GlobalMemory(2 * n)
+    x = np.arange(n, dtype=np.float32) % 16
+    memory.view()[:n] = x
+
+    config = SimConfig(
+        arch=small_arch(),
+        memo=MemoConfig(threshold=0.0),  # exact matching
+        timing=TimingConfig(error_rate=args.error_rate),
+    )
+    executor = GpuExecutor(config)
+    isa_executor = IsaKernelExecutor(executor)
+    isa_executor.run(program, n, memory, result_register=1, out_base=n)
+
+    out = memory.as_array()[n:]
+    expected = np.sqrt(0.5 * x.astype(np.float64) ** 2 + 1.0)
+    max_err = float(np.max(np.abs(out - expected)))
+    print(f"max |device - reference| = {max_err:.2e} "
+          "(exact matching + recovery keep results numerically clean)\n")
+
+    print("Per-FPU memoization statistics:")
+    for kind, stats in sorted(
+        executor.device.lut_stats().items(), key=lambda kv: kv[0].value
+    ):
+        if stats.lookups:
+            print(f"  {kind.value:<8} hit rate {stats.hit_rate:6.1%} "
+                  f"({stats.hits}/{stats.lookups} lookups)")
+
+    counters = executor.device.counters()
+    injected = sum(c.errors_injected for c in counters.values())
+    masked = sum(c.errors_masked for c in counters.values())
+    recovered = sum(c.errors_recovered for c in counters.values())
+    print(f"\nTiming errors: {injected} injected, {masked} masked by hits "
+          f"(zero-cycle), {recovered} recovered by the ECU "
+          f"({12 * recovered} stall cycles)")
+
+
+if __name__ == "__main__":
+    main()

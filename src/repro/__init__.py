@@ -1,0 +1,91 @@
+"""repro — Temporal memoization for energy-efficient timing error recovery
+in GPGPU architectures (Rahimi, Benini, Gupta; DATE 2014).
+
+A Python reproduction of the paper's full system:
+
+* :mod:`repro.memo` — the contribution: a single-cycle, 2-entry-FIFO
+  memoization LUT tightly coupled to every FPU, with exact/approximate
+  matching and the Table-2 hit/error recovery semantics;
+* :mod:`repro.gpu` — an Evergreen-style GPGPU simulator (compute units,
+  16-lane stream cores, wavefront/subwavefront time multiplexing);
+* :mod:`repro.fpu`, :mod:`repro.isa` — pipelined FP units and the 27
+  single-precision opcode ISA layer;
+* :mod:`repro.timing` — EDS sensors, ECU recovery, decoupling queues and
+  the voltage-overscaling error model;
+* :mod:`repro.energy` — the 45 nm-flavoured energy model;
+* :mod:`repro.kernels`, :mod:`repro.images` — the seven AMD APP SDK
+  workloads and synthetic image inputs;
+* :mod:`repro.analysis` — sweep drivers and one experiment per paper
+  figure/table.
+
+Quickstart::
+
+    from repro import SimConfig, MemoConfig, GpuExecutor, workload_by_name
+
+    config = SimConfig(memo=MemoConfig(threshold=1.0))
+    workload = workload_by_name("Sobel")
+    executor = GpuExecutor(config)
+    output = workload.run(executor)
+    print(executor.device.lut_stats())
+"""
+
+from .config import (
+    ArchConfig,
+    MemoConfig,
+    NOMINAL_VOLTAGE,
+    SimConfig,
+    TimingConfig,
+    small_arch,
+)
+from .errors import ReproError
+from .energy import EnergyModel, EnergyParams, EnergyReport
+from .gpu import (
+    Device,
+    GpuExecutor,
+    IsaKernelExecutor,
+    ReferenceExecutor,
+    performance_report,
+)
+from .isa import assemble
+from .kernels import (
+    KERNEL_REGISTRY,
+    Buffer,
+    ValidationResult,
+    Workload,
+    validate_workload,
+    workload_by_name,
+)
+from .memo import MemoLUT, SpatialMemoizationUnit, TemporalMemoizationModule
+from .timing import VoltageModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchConfig",
+    "MemoConfig",
+    "NOMINAL_VOLTAGE",
+    "SimConfig",
+    "TimingConfig",
+    "small_arch",
+    "ReproError",
+    "EnergyModel",
+    "EnergyParams",
+    "EnergyReport",
+    "Device",
+    "GpuExecutor",
+    "IsaKernelExecutor",
+    "ReferenceExecutor",
+    "performance_report",
+    "assemble",
+    "KERNEL_REGISTRY",
+    "Buffer",
+    "ValidationResult",
+    "Workload",
+    "validate_workload",
+    "workload_by_name",
+    "MemoLUT",
+    "SpatialMemoizationUnit",
+    "TemporalMemoizationModule",
+    "VoltageModel",
+    "__version__",
+]

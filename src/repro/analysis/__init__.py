@@ -1,0 +1,83 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+:mod:`repro.analysis.sweep` provides the generic parameter-sweep
+machinery (threshold, FIFO depth, error rate, voltage);
+:mod:`repro.analysis.hitrate` the hit-rate collection helpers; and
+:mod:`repro.analysis.experiments` the per-figure experiment functions the
+benchmark harness calls.
+"""
+
+from .hitrate import HitRateSample, collect_hit_rates, weighted_hit_rate
+from .locality import (
+    LocalityReport,
+    TemporalSpatialComparison,
+    analyze_trace,
+    compare_temporal_vs_spatial,
+    fifo_capture_fraction,
+    normalized_entropy,
+    operand_entropy,
+    reuse_distance_histogram,
+)
+from .calibration import AnalyticModel, solve_params
+from .multirun import MultiSeedMeasurement, Statistic, measure_with_seeds
+from .preload import PreloadProfile, build_preload_profile, preload_device
+from .replay import ReplayResult, capture_trace, replay_trace
+from .reporting import generate_report
+from .sweep import (
+    SweepPoint,
+    error_rate_sweep,
+    fifo_depth_sweep,
+    threshold_sweep,
+    voltage_sweep,
+)
+from .experiments import (
+    ExperimentResult,
+    run_fig2_to_5_psnr,
+    run_fig6_7_hit_rates,
+    run_fifo_depth_study,
+    run_table1,
+    run_fig8_kernel_hit_rates,
+    run_fig10_energy_vs_error_rate,
+    run_fig11_voltage_overscaling,
+    run_table2_state_machine,
+)
+
+__all__ = [
+    "LocalityReport",
+    "TemporalSpatialComparison",
+    "analyze_trace",
+    "compare_temporal_vs_spatial",
+    "fifo_capture_fraction",
+    "normalized_entropy",
+    "operand_entropy",
+    "reuse_distance_histogram",
+    "AnalyticModel",
+    "solve_params",
+    "MultiSeedMeasurement",
+    "Statistic",
+    "measure_with_seeds",
+    "PreloadProfile",
+    "build_preload_profile",
+    "preload_device",
+    "ReplayResult",
+    "capture_trace",
+    "replay_trace",
+    "generate_report",
+    "HitRateSample",
+    "collect_hit_rates",
+    "weighted_hit_rate",
+    "SweepPoint",
+    "error_rate_sweep",
+    "fifo_depth_sweep",
+    "threshold_sweep",
+    "voltage_sweep",
+    "ExperimentResult",
+    "run_fig2_to_5_psnr",
+    "run_fig6_7_hit_rates",
+    "run_fifo_depth_study",
+    "run_table1",
+    "run_fig8_kernel_hit_rates",
+    "run_fig10_energy_vs_error_rate",
+    "run_fig11_voltage_overscaling",
+    "run_table2_state_machine",
+]

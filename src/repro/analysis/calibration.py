@@ -1,0 +1,159 @@
+"""Analytic calibration of the energy-model constants.
+
+The per-op energy model (see :mod:`repro.energy.model`) has a closed
+form: with hit rate ``h``, error rate ``r``, per-hit retained fraction
+``k`` (control slice plus first stage plus gated residual), relative LUT
+overhead ``l`` (lookup + module clock, per op), relative update cost
+``u`` (per miss) and relative recovery cost ``R`` (per error),
+
+    E_baseline(r) / E_op = 1 + r * R
+    E_memo(r)    / E_op = l + h*k + (1-h)*(1+u) + (1-h)*r*R
+
+so the expected saving at any error rate is an explicit function of the
+parameters.  This module predicts Figure-10-style curves from measured
+hit rates and *solves* for the two key knobs (``control_fraction`` and
+``recovery_sc_idle_pj_per_cycle``) that land the curve on target
+anchors — the procedure used once to fix the defaults in
+:class:`repro.energy.params.EnergyParams` (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Sequence
+
+from ..energy.params import EnergyParams
+from ..errors import EnergyModelError
+from ..fpu.units import UNIT_SPECS
+from ..isa.opcodes import UnitKind
+
+
+def _average_op_energy() -> float:
+    """Unweighted mean per-op energy across the six unit kinds (pJ)."""
+    return sum(spec.energy_per_op_pj for spec in UNIT_SPECS.values()) / len(
+        UNIT_SPECS
+    )
+
+
+@dataclass(frozen=True)
+class AnalyticModel:
+    """Closed-form per-op energy ratios for one parameter set."""
+
+    params: EnergyParams
+    pipeline_depth: int = 4
+    recovery_cycles: int = 12
+
+    @property
+    def hit_retained_fraction(self) -> float:
+        """k: fraction of a full op's energy still burned on a hit."""
+        c = self.params.control_fraction
+        g = self.params.gated_stage_residual
+        d = self.pipeline_depth
+        return c + (1.0 - c) * (1.0 / d + (d - 1.0) / d * g)
+
+    @property
+    def lut_overhead_fraction(self) -> float:
+        """l: per-op module overhead relative to the average op energy."""
+        per_op = self.params.lut_lookup_pj + self.params.memo_clock_pj_per_cycle
+        return per_op / _average_op_energy()
+
+    @property
+    def update_overhead_fraction(self) -> float:
+        """u: per-miss FIFO write cost relative to the average op energy."""
+        return self.params.lut_update_pj / _average_op_energy()
+
+    @property
+    def recovery_cost_fraction(self) -> float:
+        """R: energy of one recovery relative to the average op energy."""
+        per_cycle = (
+            self.params.recovery_activity_factor * _average_op_energy()
+            + self.params.recovery_sc_idle_pj_per_cycle
+        )
+        return self.recovery_cycles * per_cycle / _average_op_energy()
+
+    # -------------------------------------------------------------- predict
+    def baseline_energy(self, error_rate: float) -> float:
+        return 1.0 + error_rate * self.recovery_cost_fraction
+
+    def memo_energy(self, hit_rate: float, error_rate: float) -> float:
+        miss = 1.0 - hit_rate
+        return (
+            self.lut_overhead_fraction
+            + hit_rate * self.hit_retained_fraction
+            + miss * (1.0 + self.update_overhead_fraction)
+            + miss * error_rate * self.recovery_cost_fraction
+        )
+
+    def predicted_saving(self, hit_rate: float, error_rate: float) -> float:
+        base = self.baseline_energy(error_rate)
+        return 1.0 - self.memo_energy(hit_rate, error_rate) / base
+
+    def predict_series(
+        self, hit_rate: float, error_rates: Sequence[float]
+    ) -> Dict[float, float]:
+        return {r: self.predicted_saving(hit_rate, r) for r in error_rates}
+
+
+def solve_params(
+    average_hit_rate: float,
+    target_saving_at_zero: float = 0.13,
+    target_saving_at_four_percent: float = 0.25,
+    base_params: EnergyParams = EnergyParams(),
+) -> EnergyParams:
+    """Solve for (control_fraction, recovery idle power) hitting two anchors.
+
+    Given the measured average hit rate, pick ``control_fraction`` so the
+    error-free saving lands on the first anchor, then pick the recovery
+    idle power so the 4%-error saving lands on the second.  Raises if the
+    anchors are unreachable with physical parameter values.
+    """
+    if not 0.0 < average_hit_rate < 1.0:
+        raise EnergyModelError("hit rate must be in (0, 1) to calibrate")
+    if target_saving_at_zero >= average_hit_rate:
+        raise EnergyModelError(
+            "error-free saving cannot exceed the hit rate (each hit saves "
+            "at most one op's energy)"
+        )
+
+    model = AnalyticModel(base_params)
+    h = average_hit_rate
+    # Anchor 1: E_memo(0)/E = 1 - target  ->  solve k, then c from k.
+    l = model.lut_overhead_fraction
+    u = model.update_overhead_fraction
+    k = (1.0 - target_saving_at_zero - l - (1.0 - h) * (1.0 + u)) / h
+    d = float(model.pipeline_depth)
+    g = base_params.gated_stage_residual
+    stage_term = 1.0 / d + (d - 1.0) / d * g
+    c = (k - stage_term) / (1.0 - stage_term)
+    if not 0.0 <= c < 1.0:
+        raise EnergyModelError(
+            f"anchor requires control fraction {c:.3f} outside [0, 1); "
+            "adjust LUT costs or the target"
+        )
+    params = replace(base_params, control_fraction=c)
+
+    # Anchor 2: saving(0.04) = target2  ->  solve R, then idle power.
+    # saving(r) = 1 - [E0 + (1-h) r R] / (1 + r R); as r -> inf the saving
+    # approaches h (only masked errors are saved), so the anchor must lie
+    # below the hit rate.  Rearranging:
+    #   r R (target - h) = (1 - target) - E0
+    r = 0.04
+    e_memo0 = AnalyticModel(params).memo_energy(h, 0.0)
+    denominator = target_saving_at_four_percent - h
+    numerator = 1.0 - target_saving_at_four_percent - e_memo0
+    if denominator >= 0.0:
+        raise EnergyModelError(
+            "the 4% anchor exceeds the masking ceiling (the hit rate): "
+            "no finite recovery cost reaches it"
+        )
+    big_r = numerator / (r * denominator)
+    if big_r <= 0.0:
+        raise EnergyModelError("anchors imply a non-positive recovery cost")
+    per_cycle = big_r * _average_op_energy() / 12.0
+    idle = per_cycle - params.recovery_activity_factor * _average_op_energy()
+    if idle < 0.0:
+        raise EnergyModelError(
+            "anchors imply negative stream-core idle power; lower the "
+            "activity factor or the 4% target"
+        )
+    return replace(params, recovery_sc_idle_pj_per_cycle=idle)

@@ -1,0 +1,67 @@
+"""Hit-rate measurement helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..config import MemoConfig, SimConfig, TimingConfig, small_arch
+from ..isa.opcodes import UnitKind
+from ..kernels.base import Workload
+from ..memo.lut import LutStats
+
+
+@dataclass(frozen=True)
+class HitRateSample:
+    """Hit rates of one workload run."""
+
+    workload: str
+    threshold: float
+    per_unit: Mapping[UnitKind, float]
+    per_unit_lookups: Mapping[UnitKind, int]
+    weighted: float
+    executed_ops: int
+
+    def activated_units(self):
+        """Unit kinds that performed at least one lookup."""
+        return tuple(k for k, n in self.per_unit_lookups.items() if n > 0)
+
+
+def weighted_hit_rate(stats: Mapping[UnitKind, LutStats]) -> float:
+    lookups = sum(s.lookups for s in stats.values())
+    hits = sum(s.hits for s in stats.values())
+    return hits / lookups if lookups else 0.0
+
+
+def collect_hit_rates(
+    workload: Workload,
+    threshold: float,
+    fifo_depth: int = 2,
+    config: Optional[SimConfig] = None,
+) -> HitRateSample:
+    """Run a workload on the memoized device and collect its hit rates."""
+    from ..gpu.executor import GpuExecutor
+
+    if config is None:
+        config = SimConfig(
+            arch=small_arch(),
+            memo=MemoConfig(threshold=threshold, fifo_depth=fifo_depth),
+            timing=TimingConfig(),
+        )
+    executor = GpuExecutor(config)
+    workload.run(executor)
+    stats = executor.device.lut_stats()
+    per_unit: Dict[UnitKind, float] = {}
+    per_lookups: Dict[UnitKind, int] = {}
+    for kind, lut in stats.items():
+        per_lookups[kind] = lut.lookups
+        if lut.lookups:
+            per_unit[kind] = lut.hit_rate
+    return HitRateSample(
+        workload=workload.name,
+        threshold=threshold,
+        per_unit=per_unit,
+        per_unit_lookups=per_lookups,
+        weighted=weighted_hit_rate(stats),
+        executed_ops=executor.device.executed_ops,
+    )

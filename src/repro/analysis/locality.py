@@ -1,0 +1,248 @@
+"""Value-locality analysis: entropy, reuse distance, temporal vs spatial.
+
+Section 4 of the paper rests on the observation that "the entropy of
+data-level parallelism is low due to high locality of values".  These
+tools quantify that claim on captured FP traces:
+
+* operand-set entropy per FPU stream (low entropy = few distinct
+  contexts = memoizable);
+* reuse-distance histograms (how far back an identical context last
+  appeared — a 2-entry FIFO captures distances 1 and 2);
+* temporal (per-FPU FIFO) vs spatial (cross-lane broadcast, [20])
+  reuse rates over the same aligned execution.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import MemoConfig, SimConfig, small_arch
+from ..errors import MemoizationError
+from ..gpu.trace import FpTraceCollector, TraceEvent
+from ..isa.opcodes import Opcode, UnitKind
+from ..kernels.base import Workload
+from ..memo.spatial import SpatialMemoizationUnit
+
+Context = Tuple[str, Tuple[float, ...]]
+
+
+def _context(event: TraceEvent) -> Context:
+    return (event.opcode.mnemonic, event.operands)
+
+
+def operand_entropy(events: Sequence[TraceEvent]) -> float:
+    """Shannon entropy (bits) of the operand-context distribution."""
+    if not events:
+        return 0.0
+    counts = Counter(_context(e) for e in events)
+    total = float(len(events))
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def max_entropy(events: Sequence[TraceEvent]) -> float:
+    """Entropy if every executed context were distinct."""
+    return math.log2(len(events)) if events else 0.0
+
+
+def normalized_entropy(events: Sequence[TraceEvent]) -> float:
+    """Entropy / max-entropy in [0, 1]; low values mean high locality."""
+    ceiling = max_entropy(events)
+    if ceiling == 0.0:
+        return 0.0
+    return operand_entropy(events) / ceiling
+
+
+def reuse_distance_histogram(
+    events: Sequence[TraceEvent], max_distance: int = 64
+) -> Dict[int, int]:
+    """Histogram of distances to the previous identical context.
+
+    Distance 1 means the immediately preceding operation on this FPU had
+    the same (opcode, operands); a FIFO of depth d captures all exact
+    reuses at distances <= d (measured over *distinct* contexts in
+    between, matching FIFO retention).  Distances above ``max_distance``
+    and first occurrences are pooled under key ``-1``.
+    """
+    histogram: Dict[int, int] = defaultdict(int)
+    recent: List[Context] = []
+    for event in events:
+        context = _context(event)
+        # Distance in distinct-context terms: position in the stack of
+        # most-recently-seen distinct contexts.
+        try:
+            index = recent.index(context)
+            histogram[index + 1] += 1
+            recent.pop(index)
+        except ValueError:
+            histogram[-1] += 1
+        recent.insert(0, context)
+        if len(recent) > max_distance:
+            recent.pop()
+    return dict(histogram)
+
+
+def fifo_capture_fraction(events: Sequence[TraceEvent], depth: int = 2) -> float:
+    """Fraction of executions whose context re-occurs within ``depth``.
+
+    This is the exact-matching hit-rate upper bound for a depth-``depth``
+    FIFO on this stream.
+    """
+    if not events:
+        return 0.0
+    histogram = reuse_distance_histogram(events, max_distance=max(depth, 64))
+    captured = sum(
+        count for distance, count in histogram.items() if 0 < distance <= depth
+    )
+    return captured / len(events)
+
+
+@dataclass(frozen=True)
+class LocalityReport:
+    """Per-unit locality metrics of one traced run."""
+
+    unit: UnitKind
+    executions: int
+    distinct_contexts: int
+    entropy_bits: float
+    normalized_entropy: float
+    fifo2_capture: float
+
+
+def analyze_trace(trace: FpTraceCollector) -> Dict[UnitKind, LocalityReport]:
+    """Aggregate locality metrics per FPU kind over all stream cores."""
+    reports: Dict[UnitKind, LocalityReport] = {}
+    per_unit_events: Dict[UnitKind, List[TraceEvent]] = defaultdict(list)
+    for event in trace.events:
+        per_unit_events[event.unit].append(event)
+
+    for unit, events in per_unit_events.items():
+        # Locality is a per-FPU property: compute per (cu, lane) stream
+        # and weight by stream length.
+        streams: Dict[Tuple[int, int], List[TraceEvent]] = defaultdict(list)
+        for event in events:
+            streams[(event.cu_index, event.lane_index)].append(event)
+        total = len(events)
+        entropy_sum = 0.0
+        norm_sum = 0.0
+        capture_sum = 0.0
+        distinct = 0
+        for stream in streams.values():
+            weight = len(stream) / total
+            entropy_sum += operand_entropy(stream) * weight
+            norm_sum += normalized_entropy(stream) * weight
+            capture_sum += fifo_capture_fraction(stream) * weight
+            distinct += len({_context(e) for e in stream})
+        reports[unit] = LocalityReport(
+            unit=unit,
+            executions=total,
+            distinct_contexts=distinct,
+            entropy_bits=entropy_sum,
+            normalized_entropy=norm_sum,
+            fifo2_capture=capture_sum,
+        )
+    return reports
+
+
+# ------------------------------------------------------- temporal vs spatial
+def aligned_lane_streams(
+    trace: FpTraceCollector, cu_index: int, unit: UnitKind
+) -> List[List[TraceEvent]]:
+    """Per-lane event streams for one unit, aligned by issue position.
+
+    Requires lockstep (uniform-control-flow) execution so that position
+    ``i`` of every lane's stream is the same machine instruction.
+    """
+    lanes: Dict[int, List[TraceEvent]] = defaultdict(list)
+    for event in trace.events:
+        if event.cu_index == cu_index and event.unit is unit:
+            lanes[event.lane_index].append(event)
+    if not lanes:
+        return []
+    streams = [lanes[i] for i in sorted(lanes)]
+    lengths = {len(s) for s in streams}
+    if len(lengths) != 1:
+        raise MemoizationError(
+            "lanes executed different instruction counts; spatial alignment "
+            "requires uniform control flow"
+        )
+    return streams
+
+
+@dataclass(frozen=True)
+class TemporalSpatialComparison:
+    """Reuse rates of the two memoization styles over one workload."""
+
+    per_unit_temporal: Dict[UnitKind, float]
+    per_unit_spatial: Dict[UnitKind, float]
+    temporal_weighted: float
+    spatial_weighted: float
+
+
+def compare_temporal_vs_spatial(
+    workload: Workload,
+    memo_config: Optional[MemoConfig] = None,
+) -> TemporalSpatialComparison:
+    """Run a workload once and measure both reuse styles on it.
+
+    Temporal reuse comes from the device's per-FPU FIFOs; spatial reuse
+    is measured post-hoc on the same trace by aligning each unit's lane
+    streams and broadcasting from lane 0 ([20]'s strong lane).
+    """
+    from ..gpu.executor import GpuExecutor
+
+    memo_config = memo_config or MemoConfig()
+    config = SimConfig(arch=small_arch(), memo=memo_config, collect_traces=True)
+    executor = GpuExecutor(config)
+    workload.run(executor)
+    assert isinstance(executor.device.trace, FpTraceCollector)
+    trace = executor.device.trace
+
+    per_unit_temporal: Dict[UnitKind, float] = {}
+    temporal_hits = 0
+    temporal_lookups = 0
+    for unit, stats in executor.device.lut_stats().items():
+        if stats.lookups:
+            per_unit_temporal[unit] = stats.hit_rate
+            temporal_hits += stats.hits
+            temporal_lookups += stats.lookups
+
+    per_unit_spatial: Dict[UnitKind, float] = {}
+    spatial_reused = 0
+    spatial_weak = 0
+    for unit in per_unit_temporal:
+        try:
+            streams = aligned_lane_streams(trace, 0, unit)
+        except MemoizationError:
+            # Ragged lane participation (e.g. the shrinking levels of a
+            # multi-launch transform): no lockstep SIMD issues to align,
+            # so spatial reuse is unmeasurable for this unit.
+            continue
+        if len(streams) < 2:
+            continue
+        simd = SpatialMemoizationUnit(len(streams), memo_config)
+        for i in range(len(streams[0])):
+            events = [stream[i] for stream in streams]
+            simd.execute_simd(events[0].opcode, [e.operands for e in events])
+        per_unit_spatial[unit] = simd.stats.reuse_rate
+        spatial_reused += simd.stats.reused_lanes
+        spatial_weak += (
+            simd.stats.lane_executions - simd.stats.strong_lane_executions
+        )
+
+    return TemporalSpatialComparison(
+        per_unit_temporal=per_unit_temporal,
+        per_unit_spatial=per_unit_spatial,
+        temporal_weighted=(
+            temporal_hits / temporal_lookups if temporal_lookups else 0.0
+        ),
+        spatial_weighted=(
+            spatial_reused / spatial_weak if spatial_weak else 0.0
+        ),
+    )

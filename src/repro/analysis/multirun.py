@@ -1,0 +1,94 @@
+"""Multi-seed statistical runs.
+
+Timing-error injection is stochastic; single-seed numbers carry sampling
+noise.  ``measure_with_seeds`` repeats a memoized-vs-baseline measurement
+across independent error-stream seeds and reports mean / std / extremes,
+so benches and papers-over-the-paper can quote confidence alongside the
+point estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence, Tuple
+
+from ..config import MemoConfig, SimConfig, TimingConfig, small_arch
+from ..errors import ConfigError
+from ..kernels.base import Workload
+from .hitrate import weighted_hit_rate
+
+WorkloadFactory = Callable[[], Workload]
+
+
+@dataclass(frozen=True)
+class Statistic:
+    """Mean and spread of one repeated measurement."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    samples: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "Statistic":
+        if not values:
+            raise ConfigError("need at least one sample")
+        n = len(values)
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / n
+        return cls(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+            samples=n,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} +- {self.std:.4f} (n={self.samples})"
+
+
+@dataclass(frozen=True)
+class MultiSeedMeasurement:
+    """Saving and hit-rate statistics over independent error seeds."""
+
+    saving: Statistic
+    hit_rate: Statistic
+    error_rate: float
+
+
+def measure_with_seeds(
+    factory: WorkloadFactory,
+    threshold: float,
+    error_rate: float,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+) -> MultiSeedMeasurement:
+    """Memoized-vs-baseline saving across independent error streams."""
+    from ..gpu.executor import GpuExecutor
+
+    if not seeds:
+        raise ConfigError("need at least one seed")
+    savings = []
+    hit_rates = []
+    for seed in seeds:
+        timing = TimingConfig(error_rate=error_rate, seed=seed)
+        config = SimConfig(
+            arch=small_arch(), memo=MemoConfig(threshold=threshold), timing=timing
+        )
+        memo_ex = GpuExecutor(config)
+        factory().run(memo_ex)
+        base_ex = GpuExecutor(config, memoized=False)
+        factory().run(base_ex)
+        savings.append(
+            memo_ex.device.energy_report().saving_vs(
+                base_ex.device.energy_report()
+            )
+        )
+        hit_rates.append(weighted_hit_rate(memo_ex.device.lut_stats()))
+    return MultiSeedMeasurement(
+        saving=Statistic.from_values(savings),
+        hit_rate=Statistic.from_values(hit_rates),
+        error_rate=error_rate,
+    )

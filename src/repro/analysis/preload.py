@@ -1,0 +1,91 @@
+"""Compiler-directed LUT preloading (Section 4.2, last paragraph).
+
+"Further, compiler-directed analysis techniques or domain experts with
+some application knowledge can also store pre-computed values in the LUT
+to use the most probable or critical results."
+
+The workflow modelled here: profile a kernel once (capture its FP trace),
+extract each FPU's most frequent execution contexts, and preload those
+into the LUTs before the production run — eliminating the cold-start
+misses that a 2-entry FIFO pays at the start of every lane's stream.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import MemoizationError
+from ..gpu.device import Device
+from ..gpu.trace import FpTraceCollector
+from ..isa.opcodes import Opcode, UnitKind
+
+#: One preloadable context: (opcode, operands, result).
+PreloadEntry = Tuple[Opcode, Tuple[float, ...], float]
+
+
+@dataclass(frozen=True)
+class PreloadProfile:
+    """Per-unit-kind lists of the most probable execution contexts."""
+
+    per_unit: Dict[UnitKind, Tuple[PreloadEntry, ...]]
+
+    def entries_for(self, unit: UnitKind) -> Tuple[PreloadEntry, ...]:
+        return self.per_unit.get(unit, ())
+
+    @property
+    def total_entries(self) -> int:
+        return sum(len(entries) for entries in self.per_unit.values())
+
+
+def build_preload_profile(
+    trace: FpTraceCollector, entries_per_unit: int = 2
+) -> PreloadProfile:
+    """Extract the most frequent contexts per FPU kind from a profile run.
+
+    ``entries_per_unit`` should not exceed the FIFO depth — later entries
+    would evict earlier ones at preload time.
+    """
+    if entries_per_unit < 1:
+        raise MemoizationError("need at least one entry per unit")
+    counters: Dict[UnitKind, Counter] = defaultdict(Counter)
+    results: Dict[Tuple[UnitKind, str, Tuple[float, ...]], float] = {}
+    opcodes: Dict[str, Opcode] = {}
+    for event in trace.events:
+        key = (event.unit, event.opcode.mnemonic, event.operands)
+        counters[event.unit][(event.opcode.mnemonic, event.operands)] += 1
+        results[key] = event.result
+        opcodes[event.opcode.mnemonic] = event.opcode
+
+    per_unit: Dict[UnitKind, Tuple[PreloadEntry, ...]] = {}
+    for unit, counter in counters.items():
+        top = counter.most_common(entries_per_unit)
+        entries: List[PreloadEntry] = []
+        # Insert least-frequent first so the most frequent entry is the
+        # youngest (last evicted) in the FIFO.
+        for (mnemonic, operands), _count in reversed(top):
+            result = results[(unit, mnemonic, operands)]
+            entries.append((opcodes[mnemonic], operands, result))
+        per_unit[unit] = tuple(entries)
+    return PreloadProfile(per_unit=per_unit)
+
+
+def preload_device(device: Device, profile: PreloadProfile) -> int:
+    """Write a profile into every stream core's LUTs; returns writes done.
+
+    Mirrors what a compiler-emitted preamble would do through the
+    memory-mapped interface before launching the kernel.
+    """
+    if not device.memoized:
+        raise MemoizationError("cannot preload a baseline (memo-less) device")
+    writes = 0
+    for unit in device.compute_units:
+        for core in unit.stream_cores:
+            for kind, fpu in core.fpus.items():
+                if fpu.memo is None or fpu.memo.lut.power_gated:
+                    continue
+                for opcode, operands, result in profile.entries_for(kind):
+                    fpu.memo.lut.fifo.insert(opcode, operands, result)
+                    writes += 1
+    return writes

@@ -1,0 +1,96 @@
+"""Trace-driven replay: re-simulate memoization configs over one trace.
+
+Capturing a kernel's FP trace once and replaying it against many
+memoization configurations (FIFO depths, thresholds, update policies) is
+much cheaper than re-running the kernel, and is exactly how the paper's
+modified Multi2Sim collects its statistics.  Replay preserves each FPU's
+private stream order — the property the FIFO depends on.
+
+Caveat: replay feeds the *originally computed* results forward, so it is
+exact for hit-rate and energy statistics under exact matching, and an
+upper-bound approximation under approximate matching (where reused
+results would perturb downstream operands).  The sweep drivers use live
+re-execution where that feedback matters (PSNR); replay is for the
+statistics-only sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..config import ArchConfig, MemoConfig, TimingConfig
+from ..gpu.trace import FpTraceCollector
+from ..isa.opcodes import UnitKind
+from ..memo.lut import LutStats
+from ..memo.resilient import FpuEventCounters, ResilientFpu
+
+
+@dataclass
+class ReplayResult:
+    """Aggregated statistics of one replayed configuration."""
+
+    per_unit_counters: Dict[UnitKind, FpuEventCounters]
+    per_unit_lut_stats: Dict[UnitKind, LutStats]
+
+    @property
+    def weighted_hit_rate(self) -> float:
+        lookups = sum(s.lookups for s in self.per_unit_lut_stats.values())
+        hits = sum(s.hits for s in self.per_unit_lut_stats.values())
+        return hits / lookups if lookups else 0.0
+
+    def hit_rates(self) -> Dict[UnitKind, float]:
+        return {
+            kind: stats.hit_rate
+            for kind, stats in self.per_unit_lut_stats.items()
+            if stats.lookups
+        }
+
+
+def replay_trace(
+    trace: FpTraceCollector,
+    memo: Optional[MemoConfig] = None,
+    timing: Optional[TimingConfig] = None,
+    arch: Optional[ArchConfig] = None,
+) -> ReplayResult:
+    """Replay every per-FPU stream of a trace under a new configuration."""
+    memo = memo if memo is not None else MemoConfig()
+    timing = timing or TimingConfig()
+    arch = arch or ArchConfig()
+
+    fpus: Dict[Tuple[int, int, UnitKind], ResilientFpu] = {}
+    for event in trace.events:
+        key = (event.cu_index, event.lane_index, event.unit)
+        fpu = fpus.get(key)
+        if fpu is None:
+            fpu = ResilientFpu.build(
+                event.unit, memo, timing, arch, event.cu_index, event.lane_index
+            )
+            fpus[key] = fpu
+        fpu.execute(event.opcode, event.operands)
+
+    counters: Dict[UnitKind, FpuEventCounters] = defaultdict(FpuEventCounters)
+    lut_stats: Dict[UnitKind, LutStats] = defaultdict(LutStats)
+    for (_, _, unit), fpu in fpus.items():
+        counters[unit].merge(fpu.counters)
+        if fpu.memo is not None:
+            lut_stats[unit].merge(fpu.memo.lut.stats)
+    return ReplayResult(dict(counters), dict(lut_stats))
+
+
+def capture_trace(workload, arch: Optional[ArchConfig] = None) -> FpTraceCollector:
+    """Run a workload once on a traced, memoization-free device."""
+    from ..config import SimConfig, small_arch
+    from ..gpu.executor import GpuExecutor
+
+    config = SimConfig(
+        arch=arch or small_arch(),
+        timing=TimingConfig(),
+        collect_traces=True,
+    )
+    executor = GpuExecutor(config, memoized=False)
+    workload.run(executor)
+    trace = executor.device.trace
+    assert isinstance(trace, FpTraceCollector)
+    return trace

@@ -1,0 +1,81 @@
+"""Full-evaluation report generation.
+
+``generate_report`` runs every experiment of the paper's evaluation and
+assembles one plain-text report (the programmatic equivalent of running
+the whole benchmark harness), used by ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import experiments as exp
+
+Section = Callable[[], str]
+
+
+def _fig6_7(filter_name: str) -> str:
+    results = exp.run_fig6_7_hit_rates(filter_name)
+    return "\n\n".join(result.to_text() for result in results.values())
+
+
+#: Ordered sections of the full report.  The FIFO-depth study is the
+#: slowest section and can be skipped with ``quick=True``.
+SECTIONS: Dict[str, Section] = {
+    "Table 1": lambda: exp.run_table1(),
+    "Table 2": lambda: exp.run_table2_state_machine(),
+    "Figure 2": lambda: exp.run_fig2_to_5_psnr("Sobel", "face").to_text(),
+    "Figure 3": lambda: exp.run_fig2_to_5_psnr("Gaussian", "face").to_text(),
+    "Figure 4": lambda: exp.run_fig2_to_5_psnr("Sobel", "book").to_text(),
+    "Figure 5": lambda: exp.run_fig2_to_5_psnr("Gaussian", "book").to_text(),
+    "Figure 6": lambda: _fig6_7("Sobel"),
+    "Figure 7": lambda: _fig6_7("Gaussian"),
+    "Figure 8": lambda: exp.run_fig8_kernel_hit_rates().to_text(),
+    "FIFO depth (S4.1)": lambda: exp.run_fifo_depth_study().to_text(),
+    "Figure 10": lambda: exp.run_fig10_energy_vs_error_rate().to_text(),
+    "Figure 11": lambda: exp.run_fig11_voltage_overscaling().to_text(),
+}
+
+#: Sections skipped by a quick report (the heaviest sweeps).
+SLOW_SECTIONS = ("FIFO depth (S4.1)", "Figure 10", "Figure 11")
+
+
+@dataclass
+class ReportRun:
+    """Outcome of one report generation."""
+
+    text: str
+    sections_run: List[str] = field(default_factory=list)
+    seconds_per_section: Dict[str, float] = field(default_factory=dict)
+
+
+def generate_report(
+    quick: bool = False,
+    sections: Optional[Sequence[str]] = None,
+) -> ReportRun:
+    """Run the selected experiment sections and build the report text."""
+    selected = list(sections) if sections is not None else list(SECTIONS)
+    if quick and sections is None:
+        selected = [name for name in selected if name not in SLOW_SECTIONS]
+    unknown = [name for name in selected if name not in SECTIONS]
+    if unknown:
+        raise KeyError(f"unknown report sections: {unknown}")
+
+    out = io.StringIO()
+    out.write("Temporal Memoization for Timing Error Recovery in GPGPUs\n")
+    out.write("Reproduced evaluation (DATE 2014)\n")
+    out.write("=" * 64 + "\n")
+    run = ReportRun(text="")
+    for name in selected:
+        start = time.perf_counter()
+        body = SECTIONS[name]()
+        elapsed = time.perf_counter() - start
+        out.write(f"\n\n## {name}  ({elapsed:.1f}s)\n\n")
+        out.write(body)
+        run.sections_run.append(name)
+        run.seconds_per_section[name] = elapsed
+    run.text = out.getvalue()
+    return run

@@ -1,0 +1,155 @@
+"""Generic parameter-sweep drivers.
+
+Every sweep runs a *fresh* workload instance per point (workload factories
+are passed, not instances) so FIFO state and statistics never leak between
+points, and both the memoized and the baseline architecture are measured
+where energy is involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..config import MemoConfig, SimConfig, TimingConfig, small_arch
+from ..energy.model import EnergyModel
+from ..energy.params import EnergyParams
+from ..kernels.base import Workload
+from ..timing.voltage import VoltageModel
+from .hitrate import weighted_hit_rate
+
+WorkloadFactory = Callable[[], Workload]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: the x value plus measured quantities."""
+
+    x: float
+    hit_rate: float
+    memo_energy_pj: float
+    baseline_energy_pj: float
+    executed_ops: int
+
+    @property
+    def saving(self) -> float:
+        if self.baseline_energy_pj <= 0:
+            return 0.0
+        return 1.0 - self.memo_energy_pj / self.baseline_energy_pj
+
+
+def _measure(
+    factory: WorkloadFactory,
+    memo: MemoConfig,
+    timing: TimingConfig,
+    energy_model: Optional[EnergyModel] = None,
+) -> SweepPoint:
+    from ..gpu.executor import GpuExecutor
+
+    config = SimConfig(arch=small_arch(), memo=memo, timing=timing)
+    model = energy_model or EnergyModel(fpu_voltage=timing.voltage)
+
+    memo_ex = GpuExecutor(config)
+    factory().run(memo_ex)
+    memo_report = memo_ex.device.energy_report(model)
+
+    base_ex = GpuExecutor(config, memoized=False)
+    factory().run(base_ex)
+    base_report = base_ex.device.energy_report(model)
+
+    return SweepPoint(
+        x=0.0,
+        hit_rate=weighted_hit_rate(memo_ex.device.lut_stats()),
+        memo_energy_pj=memo_report.total_pj,
+        baseline_energy_pj=base_report.total_pj,
+        executed_ops=memo_ex.device.executed_ops,
+    )
+
+
+def _with_x(point: SweepPoint, x: float) -> SweepPoint:
+    return SweepPoint(
+        x=x,
+        hit_rate=point.hit_rate,
+        memo_energy_pj=point.memo_energy_pj,
+        baseline_energy_pj=point.baseline_energy_pj,
+        executed_ops=point.executed_ops,
+    )
+
+
+def threshold_sweep(
+    factory: WorkloadFactory,
+    thresholds: Sequence[float],
+    fifo_depth: int = 2,
+) -> list:
+    """Hit rate / energy across matching thresholds (error-free)."""
+    points = []
+    for threshold in thresholds:
+        point = _measure(
+            factory,
+            MemoConfig(threshold=threshold, fifo_depth=fifo_depth),
+            TimingConfig(),
+        )
+        points.append(_with_x(point, threshold))
+    return points
+
+
+def fifo_depth_sweep(
+    factory: WorkloadFactory,
+    depths: Sequence[int],
+    threshold: float,
+) -> list:
+    """Hit rate across FIFO depths at a fixed threshold (Section 4.1)."""
+    points = []
+    for depth in depths:
+        point = _measure(
+            factory,
+            MemoConfig(threshold=threshold, fifo_depth=depth),
+            TimingConfig(),
+        )
+        points.append(_with_x(point, float(depth)))
+    return points
+
+
+def error_rate_sweep(
+    factory: WorkloadFactory,
+    rates: Sequence[float],
+    threshold: float,
+) -> list:
+    """Energy saving across injected timing-error rates (Figure 10)."""
+    points = []
+    for rate in rates:
+        point = _measure(
+            factory,
+            MemoConfig(threshold=threshold),
+            TimingConfig(error_rate=rate),
+        )
+        points.append(_with_x(point, rate))
+    return points
+
+
+def voltage_sweep(
+    factory: WorkloadFactory,
+    voltages: Sequence[float],
+    threshold: float,
+    voltage_model: Optional[VoltageModel] = None,
+    params: Optional[EnergyParams] = None,
+) -> list:
+    """Energy across overscaled voltages (Figure 11).
+
+    The error rate at each point comes from the voltage model; the energy
+    model scales the FPU supply while the memoization module stays at its
+    fixed nominal voltage.
+    """
+    voltage_model = voltage_model or VoltageModel()
+    points = []
+    for voltage in voltages:
+        rate = voltage_model.error_rate(voltage)
+        model = EnergyModel(params=params, fpu_voltage=voltage)
+        point = _measure(
+            factory,
+            MemoConfig(threshold=threshold),
+            TimingConfig(error_rate=rate, voltage=voltage),
+            energy_model=model,
+        )
+        points.append(_with_x(point, voltage))
+    return points

@@ -1,0 +1,285 @@
+"""Command-line interface.
+
+Run kernels and regenerate the paper's experiments without writing any
+code::
+
+    python -m repro list
+    python -m repro run Sobel --threshold 1.0 --error-rate 0.02
+    python -m repro experiment fig10
+    python -m repro locality FWT
+
+Exit code 0 on success, 1 on a failed host-side validation, 2 on usage
+errors (argparse convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import experiments as exp
+from .analysis.locality import analyze_trace
+from .analysis.replay import capture_trace
+from .config import MemoConfig, SimConfig, TimingConfig, small_arch
+from .energy.model import EnergyModel
+from .energy.report import format_energy_report
+from .kernels.registry import KERNEL_REGISTRY
+from .kernels.validation import validate_workload
+from .utils.tables import format_table
+
+#: Experiment ids accepted by ``repro experiment``.
+EXPERIMENTS = {
+    "fig2": lambda: exp.run_fig2_to_5_psnr("Sobel", "face").to_text(),
+    "fig3": lambda: exp.run_fig2_to_5_psnr("Gaussian", "face").to_text(),
+    "fig4": lambda: exp.run_fig2_to_5_psnr("Sobel", "book").to_text(),
+    "fig5": lambda: exp.run_fig2_to_5_psnr("Gaussian", "book").to_text(),
+    "fig6": lambda: "\n\n".join(
+        r.to_text() for r in exp.run_fig6_7_hit_rates("Sobel").values()
+    ),
+    "fig7": lambda: "\n\n".join(
+        r.to_text() for r in exp.run_fig6_7_hit_rates("Gaussian").values()
+    ),
+    "fig8": lambda: exp.run_fig8_kernel_hit_rates().to_text(),
+    "fig10": lambda: exp.run_fig10_energy_vs_error_rate().to_text(),
+    "fig11": lambda: exp.run_fig11_voltage_overscaling().to_text(),
+    "table1": lambda: exp.run_table1(),
+    "table2": lambda: exp.run_table2_state_machine(),
+    "fifo-depth": lambda: exp.run_fifo_depth_study().to_text(),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Temporal memoization for GPGPU timing-error recovery "
+        "(DATE 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list kernels and experiments")
+
+    run = sub.add_parser("run", help="run one Table-1 kernel on the simulator")
+    run.add_argument("kernel", choices=sorted(KERNEL_REGISTRY))
+    run.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="matching threshold (default: the kernel's Table-1 selection)",
+    )
+    run.add_argument("--error-rate", type=float, default=0.0)
+    run.add_argument("--voltage", type=float, default=0.9)
+    run.add_argument(
+        "--fifo-depth", type=int, default=2, help="memoization FIFO entries"
+    )
+    run.add_argument(
+        "--baseline",
+        action="store_true",
+        help="disable memoization (detect-then-correct baseline)",
+    )
+    run.add_argument(
+        "--energy", action="store_true", help="print the energy breakdown"
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+
+    locality = sub.add_parser(
+        "locality", help="value-locality report for one kernel"
+    )
+    locality.add_argument("kernel", choices=sorted(KERNEL_REGISTRY))
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="solve the energy-model constants for a measured hit rate",
+    )
+    calibrate.add_argument("hit_rate", type=float)
+    calibrate.add_argument("--saving-at-zero", type=float, default=0.13)
+    calibrate.add_argument("--saving-at-four", type=float, default=0.25)
+
+    report = sub.add_parser(
+        "report", help="run the whole evaluation and print one report"
+    )
+    report.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the slow sweep sections (FIFO depth, Figures 10-11)",
+    )
+    report.add_argument(
+        "--output", default=None, help="also write the report to this file"
+    )
+
+    return parser
+
+
+def _cmd_list(out) -> int:
+    rows = [
+        [spec.name, spec.scaled_input, spec.threshold, spec.error_tolerant]
+        for spec in KERNEL_REGISTRY.values()
+    ]
+    print(
+        format_table(
+            ["kernel", "scaled input", "threshold", "error tolerant"],
+            rows,
+            title="Table-1 kernels",
+        ),
+        file=out,
+    )
+    print(file=out)
+    print("experiments: " + ", ".join(sorted(EXPERIMENTS)), file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    from .gpu.executor import GpuExecutor
+
+    spec = KERNEL_REGISTRY[args.kernel]
+    threshold = args.threshold if args.threshold is not None else spec.threshold
+    config = SimConfig(
+        arch=small_arch(),
+        memo=MemoConfig(threshold=threshold, fifo_depth=args.fifo_depth),
+        timing=TimingConfig(error_rate=args.error_rate, voltage=args.voltage),
+    )
+
+    if args.baseline:
+        executor = GpuExecutor(config, memoized=False)
+        spec.default_factory().run(executor)
+        print(
+            f"{args.kernel}: baseline run, {executor.device.executed_ops} FP ops",
+            file=out,
+        )
+    else:
+        result = validate_workload(spec.default_factory(), config)
+        print(str(result), file=out)
+        if not result.passed:
+            return 1
+        executor = GpuExecutor(config)
+        spec.default_factory().run(executor)
+        for kind, stats in sorted(
+            executor.device.lut_stats().items(), key=lambda kv: kv[0].value
+        ):
+            if stats.lookups:
+                print(
+                    f"  {kind.value:<8} hit rate {stats.hit_rate:6.1%} "
+                    f"({stats.hits}/{stats.lookups})",
+                    file=out,
+                )
+
+    if args.energy:
+        model = EnergyModel(fpu_voltage=args.voltage)
+        report = executor.device.energy_report(model)
+        print(file=out)
+        print(format_energy_report(report), file=out)
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    print(EXPERIMENTS[args.id](), file=out)
+    return 0
+
+
+def _cmd_locality(args, out) -> int:
+    spec = KERNEL_REGISTRY[args.kernel]
+    trace = capture_trace(spec.default_factory())
+    reports = analyze_trace(trace)
+    rows = [
+        [
+            report.unit.value,
+            report.executions,
+            report.distinct_contexts,
+            report.entropy_bits,
+            report.normalized_entropy,
+            report.fifo2_capture,
+        ]
+        for report in sorted(reports.values(), key=lambda r: r.unit.value)
+    ]
+    print(
+        format_table(
+            [
+                "unit",
+                "executions",
+                "distinct ctx",
+                "entropy bits",
+                "norm entropy",
+                "FIFO-2 capture",
+            ],
+            rows,
+            title=f"Value locality of {args.kernel} (per-FPU streams)",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    from .analysis.reporting import generate_report
+
+    run = generate_report(quick=args.quick)
+    print(run.text, file=out)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(run.text)
+        print(f"\nreport written to {args.output}", file=out)
+    return 0
+
+
+def _cmd_calibrate(args, out) -> int:
+    from .analysis.calibration import AnalyticModel, solve_params
+    from .errors import EnergyModelError
+
+    try:
+        params = solve_params(
+            args.hit_rate, args.saving_at_zero, args.saving_at_four
+        )
+    except EnergyModelError as exc:
+        print(f"calibration infeasible: {exc}", file=out)
+        return 1
+    model = AnalyticModel(params)
+    print(
+        format_table(
+            ["constant", "value"],
+            [
+                ["control_fraction", params.control_fraction],
+                [
+                    "recovery_sc_idle_pj_per_cycle",
+                    params.recovery_sc_idle_pj_per_cycle,
+                ],
+                ["per-hit retained fraction", model.hit_retained_fraction],
+                ["recovery cost (x op energy)", model.recovery_cost_fraction],
+            ],
+            title=f"Energy constants for hit rate {args.hit_rate:.2f} hitting "
+            f"{args.saving_at_zero:.0%} @ 0% and {args.saving_at_four:.0%} @ 4%",
+        ),
+        file=out,
+    )
+    predicted = model.predict_series(
+        args.hit_rate, [0.0, 0.01, 0.02, 0.03, 0.04]
+    )
+    series = ", ".join(f"{r:.0%}: {s:.1%}" for r, s in predicted.items())
+    print(f"\npredicted saving series -> {series}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "experiment":
+        return _cmd_experiment(args, out)
+    if args.command == "locality":
+        return _cmd_locality(args, out)
+    if args.command == "report":
+        return _cmd_report(args, out)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args, out)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""Configuration dataclasses shared by all subsystems.
+
+Defaults follow the paper's experimental platform: the AMD Radeon HD 5870
+(Evergreen) organization for the architecture, a 2-entry memoization FIFO,
+four-stage FPU pipelines with a 12-cycle baseline recovery, and the
+0.8 V - 0.9 V overscaling window of Section 5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from .errors import ConfigError
+
+#: Nominal supply voltage of the TSMC 45 nm flow used in the paper (volts).
+NOMINAL_VOLTAGE = 0.9
+
+#: Signoff clock frequency of the synthesized design (Hz).
+SIGNOFF_FREQUENCY_HZ = 1.0e9
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """Evergreen-style GPGPU organization (Section 3 of the paper).
+
+    The Radeon HD 5870 has 20 compute units; each contains 16 stream cores
+    (SIMD lanes), each stream core holds five processing elements labelled
+    X, Y, Z, W and T.  A wavefront of 64 work-items is executed on the 16
+    stream cores as four subwavefronts in a time-multiplexed manner.
+    """
+
+    num_compute_units: int = 20
+    stream_cores_per_cu: int = 16
+    pes_per_stream_core: int = 5
+    wavefront_size: int = 64
+    fpu_pipeline_stages: int = 4
+    recip_pipeline_stages: int = 16
+
+    def __post_init__(self) -> None:
+        _require(self.num_compute_units >= 1, "need at least one compute unit")
+        _require(self.stream_cores_per_cu >= 1, "need at least one stream core")
+        _require(self.pes_per_stream_core >= 1, "need at least one PE")
+        _require(self.wavefront_size >= 1, "wavefront must hold work-items")
+        _require(
+            self.wavefront_size % self.stream_cores_per_cu == 0,
+            "wavefront size must be a multiple of the stream-core count so it "
+            "splits into whole subwavefronts",
+        )
+        _require(self.fpu_pipeline_stages >= 1, "FPU needs at least one stage")
+        _require(
+            self.recip_pipeline_stages >= self.fpu_pipeline_stages,
+            "RECIP is the deepest unit in the paper's design",
+        )
+
+    @property
+    def subwavefronts_per_wavefront(self) -> int:
+        """Number of time-multiplexed slots per wavefront (4 on Evergreen)."""
+        return self.wavefront_size // self.stream_cores_per_cu
+
+    @property
+    def total_stream_cores(self) -> int:
+        return self.num_compute_units * self.stream_cores_per_cu
+
+    def scaled(self, **overrides: int) -> "ArchConfig":
+        """Return a copy with selected fields overridden (for small sims)."""
+        return replace(self, **overrides)
+
+
+#: PE slot labels of one Evergreen stream core.
+PE_LABELS: Tuple[str, ...] = ("X", "Y", "Z", "W", "T")
+
+
+@dataclass(frozen=True)
+class MemoConfig:
+    """Temporal memoization module configuration (Section 4).
+
+    ``threshold`` is the absolute-numerical-difference matching constraint of
+    Equation 1; 0.0 selects the *exact* (bit-by-bit) constraint.  The paper
+    alternatively programs the comparators through a 32-bit masking vector
+    that ignores low-order fraction bits; use ``masked_fraction_bits`` for
+    that form (mutually exclusive interpretations are both exposed because
+    the hardware supports either).
+    """
+
+    fifo_depth: int = 2
+    threshold: float = 0.0
+    masked_fraction_bits: Optional[int] = None
+    commutative_matching: bool = True
+    update_on_timing_error: bool = False
+    power_gated: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.fifo_depth >= 1, "FIFO needs at least one entry")
+        _require(self.threshold >= 0.0, "threshold is an absolute difference")
+        if self.masked_fraction_bits is not None:
+            _require(
+                0 <= self.masked_fraction_bits <= 23,
+                "an IEEE-754 single has 23 fraction bits",
+            )
+
+    @property
+    def exact(self) -> bool:
+        """True when the module enforces full bit-by-bit matching."""
+        return self.threshold == 0.0 and not self.masked_fraction_bits
+
+    def with_threshold(self, threshold: float) -> "MemoConfig":
+        return replace(self, threshold=threshold)
+
+    def with_depth(self, fifo_depth: int) -> "MemoConfig":
+        return replace(self, fifo_depth=fifo_depth)
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Timing-error injection and recovery parameters (Sections 4.2, 5).
+
+    ``error_rate`` is the per-instruction probability that at least one EDS
+    sensor fires during FPU execution.  The baseline ECU recovery of the
+    multiple-issue instruction replay costs ``recovery_cycles`` per error
+    (12 in the synthesized design; up to 28 in the scalar core of [9]).
+    """
+
+    error_rate: float = 0.0
+    recovery_cycles: int = 12
+    voltage: float = NOMINAL_VOLTAGE
+    seed: int = 0xE5C4_0DE
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.error_rate <= 1.0, "error rate is a probability")
+        _require(self.recovery_cycles >= 1, "recovery must cost cycles")
+        _require(0.3 <= self.voltage <= 1.2, "voltage outside modelled range")
+
+    def with_error_rate(self, error_rate: float) -> "TimingConfig":
+        return replace(self, error_rate=error_rate)
+
+    def with_voltage(self, voltage: float) -> "TimingConfig":
+        return replace(self, voltage=voltage)
+
+
+#: Execute-stage schedules the compute unit supports.
+SCHEDULES = ("subwavefront", "item-serial")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Top-level bundle handed to the executor.
+
+    ``schedule`` selects the execute-stage interleaving: the Evergreen
+    ``"subwavefront"`` time multiplexing, or the ``"item-serial"``
+    ablation mode that runs each work-item to completion (used to show
+    the multiplexing itself creates the FIFOs' temporal locality).
+    """
+
+    arch: ArchConfig = field(default_factory=ArchConfig)
+    memo: MemoConfig = field(default_factory=MemoConfig)
+    timing: TimingConfig = field(default_factory=TimingConfig)
+    collect_traces: bool = False
+    schedule: str = "subwavefront"
+
+    def __post_init__(self) -> None:
+        _require(
+            self.schedule in SCHEDULES,
+            f"unknown schedule {self.schedule!r}; expected one of {SCHEDULES}",
+        )
+
+    def with_memo(self, memo: MemoConfig) -> "SimConfig":
+        return replace(self, memo=memo)
+
+    def with_timing(self, timing: TimingConfig) -> "SimConfig":
+        return replace(self, timing=timing)
+
+
+def small_arch(num_compute_units: int = 1) -> ArchConfig:
+    """A reduced device for fast pure-Python simulation.
+
+    Keeps the 16-lane / 4-subwavefront shape that produces the paper's
+    "congested temporal value locality", but fewer compute units.
+    """
+    return ArchConfig(num_compute_units=num_compute_units)

@@ -1,0 +1,24 @@
+"""Energy model for the resilient FPU architecture.
+
+Converts the event counters of the simulation (stage traversals, gated
+traversals, LUT lookups/updates, recovery stall cycles) into pico-joules
+using 45 nm-flavoured constants, with V^2 dynamic voltage scaling and a
+memoization module pinned at the nominal voltage — the two ingredients of
+the voltage-overscaling study (Section 5.3).
+"""
+
+from .params import EnergyParams
+from .model import EnergyBreakdown, EnergyModel, UnitEnergy
+from .voltage_scaling import VoltageScaling
+from .report import EnergyReport, compare_energy, format_energy_report
+
+__all__ = [
+    "EnergyParams",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "UnitEnergy",
+    "VoltageScaling",
+    "EnergyReport",
+    "compare_energy",
+    "format_energy_report",
+]

@@ -1,0 +1,179 @@
+"""Turning simulation counters into pico-joules.
+
+Per-op energy decomposition of one FPU of kind ``k`` with pipeline depth
+``d`` and per-op dynamic energy ``E`` (from :data:`repro.fpu.units.UNIT_SPECS`):
+
+* control/issue slice: ``c * E`` per issued op (never gateable),
+* datapath slice: ``(1 - c) * E`` split evenly over the ``d`` stages;
+  an *active* stage traversal costs one slice, a clock-*gated* traversal
+  costs ``g`` of a slice (clock-tree leaf + retention),
+* ECU recovery: each stall cycle clocks the whole unit at activity
+  ``a`` — ``a * E`` per cycle — covering the flush and the multiple
+  replay issues,
+* leakage: per busy cycle and stage, linear in voltage,
+* memoization module: lookup, update and module-clock energies at the
+  module's own (fixed) supply.
+
+The datapath, control, recovery and leakage terms scale with the FPU
+supply voltage; the module terms scale with the module supply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..config import NOMINAL_VOLTAGE
+from ..errors import EnergyModelError
+from ..fpu.units import UNIT_SPECS, UnitSpec
+from ..isa.opcodes import UnitKind
+from ..memo.lut import LutStats
+from ..memo.resilient import FpuEventCounters
+from .params import EnergyParams
+from .voltage_scaling import VoltageScaling
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one unit (or an aggregate), split by mechanism, in pJ."""
+
+    datapath_pj: float = 0.0
+    gated_pj: float = 0.0
+    control_pj: float = 0.0
+    recovery_pj: float = 0.0
+    leakage_pj: float = 0.0
+    memo_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.datapath_pj
+            + self.gated_pj
+            + self.control_pj
+            + self.recovery_pj
+            + self.leakage_pj
+            + self.memo_pj
+        )
+
+    @property
+    def fpu_pj(self) -> float:
+        """Energy of the FPU proper (everything except the memo module)."""
+        return self.total_pj - self.memo_pj
+
+    def add(self, other: "EnergyBreakdown") -> None:
+        self.datapath_pj += other.datapath_pj
+        self.gated_pj += other.gated_pj
+        self.control_pj += other.control_pj
+        self.recovery_pj += other.recovery_pj
+        self.leakage_pj += other.leakage_pj
+        self.memo_pj += other.memo_pj
+
+
+@dataclass(frozen=True)
+class UnitEnergy:
+    """Breakdown for one functional-unit kind."""
+
+    kind: UnitKind
+    breakdown: EnergyBreakdown
+
+
+class EnergyModel:
+    """Stateless calculator from counters to energy."""
+
+    def __init__(
+        self,
+        params: Optional[EnergyParams] = None,
+        fpu_voltage: float = NOMINAL_VOLTAGE,
+        scaling: Optional[VoltageScaling] = None,
+    ) -> None:
+        self.params = params or EnergyParams()
+        self.scaling = scaling or VoltageScaling()
+        if fpu_voltage <= 0.0:
+            raise EnergyModelError("FPU voltage must be positive")
+        self.fpu_voltage = fpu_voltage
+        self._dyn = self.scaling.dynamic_scale(fpu_voltage)
+        self._leak = self.scaling.leakage_scale(fpu_voltage)
+        self._memo_dyn = self.scaling.dynamic_scale(self.params.memo_voltage)
+
+    # ------------------------------------------------------------- unit level
+    def unit_energy(
+        self,
+        kind: UnitKind,
+        counters: FpuEventCounters,
+        lut_stats: Optional[LutStats] = None,
+        pipeline_depth: Optional[int] = None,
+    ) -> EnergyBreakdown:
+        """Energy of one unit given its event counters.
+
+        ``lut_stats`` is None for a baseline unit without a memoization
+        module (or a power-gated one, which burns nothing).
+        """
+        spec: UnitSpec = UNIT_SPECS[kind]
+        params = self.params
+        depth = pipeline_depth or spec.pipeline_stages
+        energy_op = spec.energy_per_op_pj
+        stage_slice = (1.0 - params.control_fraction) * energy_op / depth
+
+        breakdown = EnergyBreakdown()
+        breakdown.datapath_pj = (
+            counters.active_stage_traversals * stage_slice * self._dyn
+        )
+        breakdown.gated_pj = (
+            counters.gated_stage_traversals
+            * stage_slice
+            * params.gated_stage_residual
+            * self._dyn
+        )
+        breakdown.control_pj = (
+            counters.ops * params.control_fraction * energy_op * self._dyn
+        )
+        breakdown.recovery_pj = (
+            counters.recovery_stall_cycles
+            * (
+                params.recovery_activity_factor * energy_op
+                + params.recovery_sc_idle_pj_per_cycle
+            )
+            * self._dyn
+        )
+        # uW * ns = fJ; /1000 converts to pJ.
+        breakdown.leakage_pj = (
+            counters.busy_cycles
+            * depth
+            * spec.leakage_uw_per_stage
+            * params.clock_period_ns
+            / 1000.0
+            * self._leak
+        )
+        if lut_stats is not None:
+            breakdown.memo_pj = (
+                lut_stats.lookups * params.lut_lookup_pj
+                + lut_stats.updates * params.lut_update_pj
+                + counters.issue_cycles * params.memo_clock_pj_per_cycle
+            ) * self._memo_dyn
+        return breakdown
+
+    # -------------------------------------------------------------- aggregate
+    def aggregate(
+        self,
+        per_unit_counters: Mapping[UnitKind, FpuEventCounters],
+        per_unit_lut_stats: Optional[Mapping[UnitKind, LutStats]] = None,
+        pipeline_depths: Optional[Mapping[UnitKind, int]] = None,
+    ) -> Dict[UnitKind, EnergyBreakdown]:
+        """Breakdowns for a set of units (e.g. one stream core's pool)."""
+        result: Dict[UnitKind, EnergyBreakdown] = {}
+        for kind, counters in per_unit_counters.items():
+            lut = None
+            if per_unit_lut_stats is not None:
+                lut = per_unit_lut_stats.get(kind)
+            depth = None
+            if pipeline_depths is not None:
+                depth = pipeline_depths.get(kind)
+            result[kind] = self.unit_energy(kind, counters, lut, depth)
+        return result
+
+    @staticmethod
+    def total(breakdowns: Mapping[UnitKind, EnergyBreakdown]) -> EnergyBreakdown:
+        total = EnergyBreakdown()
+        for breakdown in breakdowns.values():
+            total.add(breakdown)
+        return total

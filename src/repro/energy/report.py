@@ -1,0 +1,99 @@
+"""Run-level energy reports and baseline comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import EnergyModelError
+from ..isa.opcodes import UnitKind
+from ..utils.tables import format_table
+from .model import EnergyBreakdown
+
+
+@dataclass
+class EnergyReport:
+    """Energy of one simulated run, per unit kind plus totals."""
+
+    label: str
+    voltage: float
+    per_unit: Dict[UnitKind, EnergyBreakdown] = field(default_factory=dict)
+
+    @property
+    def total(self) -> EnergyBreakdown:
+        total = EnergyBreakdown()
+        for breakdown in self.per_unit.values():
+            total.add(breakdown)
+        return total
+
+    @property
+    def total_pj(self) -> float:
+        return self.total.total_pj
+
+    def saving_vs(self, baseline: "EnergyReport") -> float:
+        """Fractional energy saving of this run relative to a baseline."""
+        base = baseline.total_pj
+        if base <= 0.0:
+            raise EnergyModelError("baseline energy must be positive")
+        return 1.0 - self.total_pj / base
+
+
+def compare_energy(memoized: EnergyReport, baseline: EnergyReport) -> float:
+    """Convenience wrapper: fractional saving of memoized over baseline."""
+    return memoized.saving_vs(baseline)
+
+
+def format_energy_report(
+    report: EnergyReport, baseline: Optional[EnergyReport] = None
+) -> str:
+    """Render a report (optionally with per-unit savings) as a table."""
+    headers = [
+        "unit",
+        "datapath pJ",
+        "gated pJ",
+        "control pJ",
+        "recovery pJ",
+        "leakage pJ",
+        "memo pJ",
+        "total pJ",
+    ]
+    if baseline is not None:
+        headers.append("saving %")
+    rows: List[list] = []
+    for kind in UnitKind:
+        if kind not in report.per_unit:
+            continue
+        b = report.per_unit[kind]
+        row = [
+            kind.value,
+            b.datapath_pj,
+            b.gated_pj,
+            b.control_pj,
+            b.recovery_pj,
+            b.leakage_pj,
+            b.memo_pj,
+            b.total_pj,
+        ]
+        if baseline is not None:
+            base = baseline.per_unit.get(kind)
+            if base is not None and base.total_pj > 0:
+                row.append(100.0 * (1.0 - b.total_pj / base.total_pj))
+            else:
+                row.append(None)
+        rows.append(row)
+    total = report.total
+    total_row = [
+        "TOTAL",
+        total.datapath_pj,
+        total.gated_pj,
+        total.control_pj,
+        total.recovery_pj,
+        total.leakage_pj,
+        total.memo_pj,
+        total.total_pj,
+    ]
+    if baseline is not None:
+        total_row.append(100.0 * report.saving_vs(baseline))
+    rows.append(total_row)
+    title = f"{report.label} @ {report.voltage:.2f} V"
+    return format_table(headers, rows, title=title)

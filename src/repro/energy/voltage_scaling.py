@@ -1,0 +1,41 @@
+"""Voltage-dependent scaling of dynamic and leakage energy.
+
+Dynamic (switching) energy scales with the square of the supply; leakage
+is modelled as linear in the supply over the narrow 0.8-0.9 V window of
+the study.  The memoization module is excluded from scaling by keeping its
+own ``memo_voltage`` fixed at nominal — "to ensure always correct
+functionality of the temporal memoization module, we maintain its
+operating voltage at the fixed nominal 0.9 V".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import NOMINAL_VOLTAGE
+from ..errors import EnergyModelError
+
+
+@dataclass(frozen=True)
+class VoltageScaling:
+    """Scale factors relative to the nominal supply."""
+
+    nominal_voltage: float = NOMINAL_VOLTAGE
+
+    def __post_init__(self) -> None:
+        if self.nominal_voltage <= 0.0:
+            raise EnergyModelError("nominal voltage must be positive")
+
+    def dynamic_scale(self, voltage: float) -> float:
+        """CV^2 switching-energy factor."""
+        self._check(voltage)
+        return (voltage / self.nominal_voltage) ** 2
+
+    def leakage_scale(self, voltage: float) -> float:
+        """First-order (linear) leakage-power factor."""
+        self._check(voltage)
+        return voltage / self.nominal_voltage
+
+    def _check(self, voltage: float) -> None:
+        if voltage <= 0.0:
+            raise EnergyModelError(f"voltage must be positive, got {voltage}")

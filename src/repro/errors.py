@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object failed validation."""
+
+
+class IsaError(ReproError):
+    """Malformed instruction, unknown opcode, or assembler failure."""
+
+
+class AssemblerError(IsaError):
+    """Textual assembly could not be parsed or encoded."""
+
+
+class PipelineError(ReproError):
+    """Structural hazard or protocol violation inside an FPU pipeline."""
+
+
+class MemoizationError(ReproError):
+    """Misuse of the temporal memoization module."""
+
+
+class MmioError(MemoizationError):
+    """Access to an unmapped or read-only memory-mapped register."""
+
+
+class TimingModelError(ReproError):
+    """Invalid error-injection or voltage-model parameters."""
+
+
+class RecoveryError(TimingModelError):
+    """The error control unit was driven through an illegal transition."""
+
+
+class ArchitectureError(ReproError):
+    """GPGPU architecture model misuse (bad mapping, scheduling violation)."""
+
+
+class KernelError(ReproError):
+    """A device kernel failed to execute or validate."""
+
+
+class WorkItemProtocolError(KernelError):
+    """A work-item coroutine violated the FP-op yield protocol."""
+
+
+class EnergyModelError(ReproError):
+    """Invalid energy accounting request or parameter set."""
+
+
+class ImageError(ReproError):
+    """Image synthesis or I/O failure."""

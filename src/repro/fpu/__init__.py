@@ -1,0 +1,27 @@
+"""Pipelined floating-point unit models.
+
+Every Evergreen ALU functional unit has a latency of four cycles and a
+throughput of one instruction per cycle; in the paper's FloPoCo-generated
+design the RECIP unit is the exception with 16 stages.  This package
+provides bit-exact single-precision operator semantics
+(:mod:`~repro.fpu.arithmetic`), a cycle-level pipeline model with
+clock-gating (:mod:`~repro.fpu.base`), per-unit latency/energy descriptors
+(:mod:`~repro.fpu.units`) and the per-stream-core unit pool
+(:mod:`~repro.fpu.pool`).
+"""
+
+from .arithmetic import evaluate, float32
+from .base import FpuPipeline, StageEvent
+from .units import UNIT_SPECS, UnitSpec, pipeline_stages_for
+from .pool import FpuPool
+
+__all__ = [
+    "evaluate",
+    "float32",
+    "FpuPipeline",
+    "StageEvent",
+    "UNIT_SPECS",
+    "UnitSpec",
+    "pipeline_stages_for",
+    "FpuPool",
+]

@@ -1,0 +1,214 @@
+"""Bit-exact single-precision semantics for the 27 FP opcodes.
+
+All operators take Python floats that are assumed to already be exact
+single-precision values, compute in double precision and round the result
+once to single precision.  For ADD/SUB/MUL/MULADD this is exactly the IEEE
+single-precision result (the exact double result of single operands fits in
+a double for add/sub/mul, and MULADD is modelled as a *fused* multiply-add,
+matching the single final rounding of the hardware unit).  For the
+transcendental ops the double-rounded result can differ from a correctly
+rounded single in rare cases, which is well inside the accuracy envelope of
+the FloPoCo units the paper synthesizes.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Callable, Dict, Sequence
+
+from ..errors import IsaError
+from .. import isa
+from ..isa.opcodes import Opcode
+
+_PACK = struct.Struct("<f")
+
+#: Largest finite single-precision magnitude, used by RECIP_CLAMPED.
+FLOAT32_MAX = 3.4028234663852886e38
+
+
+def float32(value: float) -> float:
+    """Round a double to the nearest single-precision value.
+
+    Doubles beyond the single-precision range overflow to infinity, as the
+    hardware conversion would.
+    """
+    try:
+        return _PACK.unpack(_PACK.pack(value))[0]
+    except OverflowError:
+        return math.copysign(math.inf, value)
+
+
+def _set(condition: bool) -> float:
+    return 1.0 if condition else 0.0
+
+
+def _rndne(a: float) -> float:
+    # round-half-to-even on the real value; result is integral so exact.
+    if not math.isfinite(a):
+        return a  # NaN and infinities pass through, as in hardware
+    floor = math.floor(a)
+    frac = a - floor
+    if frac > 0.5:
+        return floor + 1.0
+    if frac < 0.5:
+        return float(floor)
+    return floor + 1.0 if floor % 2 else float(floor)
+
+
+def _floor(a: float) -> float:
+    if not math.isfinite(a):
+        return a
+    return float(math.floor(a))
+
+
+def _trunc(a: float) -> float:
+    if not math.isfinite(a):
+        return a
+    return float(math.trunc(a))
+
+
+def _flt_to_int(a: float) -> float:
+    # Hardware float->int conversion saturates; NaN converts to zero.
+    if math.isnan(a):
+        return 0.0
+    if math.isinf(a):
+        return math.copysign(2147483648.0, a)  # saturated int32 bound
+    return float(math.trunc(a))
+
+
+def _recip(a: float) -> float:
+    if a == 0.0:
+        return math.copysign(math.inf, a)
+    return 1.0 / a
+
+
+def _recip_clamped(a: float) -> float:
+    if a == 0.0:
+        return math.copysign(FLOAT32_MAX, a)
+    result = 1.0 / a
+    if math.isinf(result):
+        return math.copysign(FLOAT32_MAX, result)
+    return result
+
+
+def _safe_sqrt(a: float) -> float:
+    return math.sqrt(a) if a >= 0.0 else math.nan
+
+
+def _rsqrt(a: float) -> float:
+    if a == 0.0:
+        return math.inf
+    return 1.0 / math.sqrt(a) if a > 0.0 else math.nan
+
+
+def _log(a: float) -> float:
+    if a == 0.0:
+        return -math.inf
+    return math.log(a) if a > 0.0 else math.nan
+
+
+def _exp(a: float) -> float:
+    try:
+        return math.exp(a)
+    except OverflowError:
+        return math.inf
+
+
+def _sin(a: float) -> float:
+    # The argument-reduction hardware produces NaN for infinite inputs.
+    if math.isinf(a):
+        return math.nan
+    return math.sin(a)
+
+
+def _cos(a: float) -> float:
+    if math.isinf(a):
+        return math.nan
+    return math.cos(a)
+
+
+#: Largest single strictly below 1.0 (FRACT's supremum).
+_ONE_MINUS_ULP = 1.0 - 2.0**-24
+
+
+def _fract(a: float) -> float:
+    # The exact fraction of a tiny negative value rounds up to 1.0 in
+    # single precision; hardware FRACT clamps to [0, 1).  Non-finite
+    # inputs have no fractional part: NaN propagates, infinities give 0.
+    if not math.isfinite(a):
+        return math.nan if math.isnan(a) else 0.0
+    fract = a - math.floor(a)
+    if fract >= 1.0 or float32(fract) >= 1.0:
+        return _ONE_MINUS_ULP
+    return fract
+
+
+_UNARY: Dict[str, Callable[[float], float]] = {
+    "FLOOR": _floor,
+    "FRACT": _fract,
+    "SQRT": _safe_sqrt,
+    "RSQRT": _rsqrt,
+    "SIN": _sin,
+    "COS": _cos,
+    "EXP": _exp,
+    "LOG": _log,
+    "RECIP": _recip,
+    "RECIP_CLAMPED": _recip_clamped,
+    "FLT_TO_INT": _flt_to_int,
+    "INT_TO_FLT": _trunc,
+    "TRUNC": _trunc,
+    "RNDNE": _rndne,
+}
+
+_BINARY: Dict[str, Callable[[float, float], float]] = {
+    "ADD": lambda a, b: a + b,
+    "SUB": lambda a, b: a - b,
+    "MUL": lambda a, b: a * b,
+    "MUL_IEEE": lambda a, b: a * b,
+    "MAX": lambda a, b: max(a, b),
+    "MIN": lambda a, b: min(a, b),
+    "SETE": lambda a, b: _set(a == b),
+    "SETNE": lambda a, b: _set(a != b),
+    "SETGT": lambda a, b: _set(a > b),
+    "SETGE": lambda a, b: _set(a >= b),
+}
+
+_TERNARY: Dict[str, Callable[[float, float, float], float]] = {
+    "MULADD": lambda a, b, c: a * b + c,
+    "MULADD_IEEE": lambda a, b, c: a * b + c,
+    "MULSUB": lambda a, b, c: a * b - c,
+}
+
+_TABLES = (_UNARY, _BINARY, _TERNARY)
+
+
+def evaluate(opcode: Opcode, operands: Sequence[float]) -> float:
+    """Execute one FP opcode on single-precision operands.
+
+    Raises :class:`IsaError` if the operand count does not match the
+    opcode's arity.
+    """
+    if len(operands) != opcode.arity:
+        raise IsaError(
+            f"{opcode.mnemonic} expects {opcode.arity} operands, "
+            f"got {len(operands)}"
+        )
+    table = _TABLES[opcode.arity - 1]
+    try:
+        func = table[opcode.mnemonic]
+    except KeyError:  # pragma: no cover - guarded by opcode table tests
+        raise IsaError(f"no semantics for opcode {opcode.mnemonic}") from None
+    return float32(func(*operands))
+
+
+def _check_coverage() -> None:
+    """Every declared opcode must have semantics (import-time self check)."""
+    implemented = set(_UNARY) | set(_BINARY) | set(_TERNARY)
+    declared = {op.mnemonic for op in isa.FP_OPCODES}
+    missing = declared - implemented
+    if missing:
+        raise IsaError(f"opcodes without semantics: {sorted(missing)}")
+
+
+_check_coverage()

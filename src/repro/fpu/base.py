@@ -1,0 +1,198 @@
+"""Cycle-level pipelined FPU model with clock gating.
+
+This is the detailed model of Figure 9's white datapath: a fully pipelined
+unit with one-instruction-per-cycle throughput.  The temporal memoization
+module interacts with it through two hooks:
+
+* ``squash(op_id)`` — called when the LUT raises the hit signal while the
+  operation is in the first stage; the clock-gating signal is then
+  forwarded to the remaining stages cycle by cycle, so those stage
+  traversals are counted as *gated* instead of *active*.
+* ``flag_timing_error(op_id, stage)`` — called by the EDS sensor model;
+  the error signal propagates to the end of the pipeline alongside the
+  operation and is reported at completion.
+
+The fast trace-driven simulations use the analytic model in
+:mod:`repro.memo.resilient`; this cycle model exists to validate that the
+analytic accounting (active vs. gated stage cycles, completion timing)
+matches a faithful pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import PipelineError
+from ..isa.opcodes import Opcode
+from . import arithmetic
+
+
+class StageEvent(enum.Enum):
+    """What one pipeline stage did during one cycle."""
+
+    ACTIVE = "active"
+    GATED = "gated"
+    BUBBLE = "bubble"
+
+
+@dataclass
+class _InFlight:
+    op_id: int
+    opcode: Opcode
+    operands: Sequence[float]
+    result: float
+    squashed: bool = False
+    reuse_value: Optional[float] = None
+    gate_from_stage: Optional[int] = None
+    error_stage: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CompletedOp:
+    """An operation leaving the writeback end of the pipeline."""
+
+    op_id: int
+    opcode: Opcode
+    result: float
+    squashed: bool
+    timing_error: bool
+
+
+@dataclass
+class PipelineStats:
+    active_stage_cycles: int = 0
+    gated_stage_cycles: int = 0
+    bubble_stage_cycles: int = 0
+    issued: int = 0
+    completed: int = 0
+
+    @property
+    def total_stage_cycles(self) -> int:
+        return (
+            self.active_stage_cycles
+            + self.gated_stage_cycles
+            + self.bubble_stage_cycles
+        )
+
+
+class FpuPipeline:
+    """An N-stage, one-op-per-cycle floating-point pipeline."""
+
+    def __init__(self, opcode_family: str, stages: int) -> None:
+        if stages < 1:
+            raise PipelineError("pipeline needs at least one stage")
+        self.family = opcode_family
+        self.depth = stages
+        self._slots: List[Optional[_InFlight]] = [None] * stages
+        self._ids = itertools.count()
+        self._index: Dict[int, _InFlight] = {}
+        self.stats = PipelineStats()
+        self.cycle = 0
+
+    # ------------------------------------------------------------------ issue
+    def issue(self, opcode: Opcode, operands: Sequence[float]) -> int:
+        """Place a new operation in stage 0; returns its op id.
+
+        The unit has an issue interval of one cycle, so issue fails only if
+        the caller forgot to ``tick`` since the previous issue.
+        """
+        if self._slots[0] is not None:
+            raise PipelineError(
+                f"{self.family}: stage 0 busy; tick() before issuing again"
+            )
+        result = arithmetic.evaluate(opcode, operands)
+        op = _InFlight(next(self._ids), opcode, tuple(operands), result)
+        self._slots[0] = op
+        self._index[op.op_id] = op
+        self.stats.issued += 1
+        return op.op_id
+
+    # ------------------------------------------------------- memoization hooks
+    def squash(self, op_id: int, reuse_value: float) -> None:
+        """Raise the hit signal for an op currently in stage 0.
+
+        The LUT lookup runs in parallel with the first stage, so squashing
+        is only legal while the operation occupies stage 0; the remaining
+        stages are then clock-gated as the operation flows through.
+        """
+        op = self._find(op_id)
+        if self._slots[0] is not op:
+            raise PipelineError(
+                f"{self.family}: hit signal must be raised during stage 0"
+            )
+        op.squashed = True
+        op.reuse_value = reuse_value
+        op.gate_from_stage = 1
+
+    def flag_timing_error(self, op_id: int, stage: int) -> None:
+        """EDS sensor at ``stage`` observed a late transition for ``op_id``."""
+        op = self._find(op_id)
+        if not 0 <= stage < self.depth:
+            raise PipelineError(f"stage {stage} out of range")
+        if op.error_stage is None or stage < op.error_stage:
+            op.error_stage = stage
+
+    # ------------------------------------------------------------------- tick
+    def tick(self) -> Optional[CompletedOp]:
+        """Advance one clock cycle; returns the op that completed, if any."""
+        self.cycle += 1
+        for stage, op in enumerate(self._slots):
+            if op is None:
+                self.stats.bubble_stage_cycles += 1
+            elif op.squashed and op.gate_from_stage is not None and (
+                stage >= op.gate_from_stage
+            ):
+                self.stats.gated_stage_cycles += 1
+            else:
+                self.stats.active_stage_cycles += 1
+
+        leaving = self._slots[-1]
+        for stage in range(self.depth - 1, 0, -1):
+            self._slots[stage] = self._slots[stage - 1]
+        self._slots[0] = None
+
+        if leaving is None:
+            return None
+        del self._index[leaving.op_id]
+        self.stats.completed += 1
+        if leaving.squashed:
+            result = leaving.reuse_value
+            timing_error = False  # hit masks the error signal toward the ECU
+        else:
+            result = leaving.result
+            timing_error = leaving.error_stage is not None
+        assert result is not None
+        return CompletedOp(
+            op_id=leaving.op_id,
+            opcode=leaving.opcode,
+            result=result,
+            squashed=leaving.squashed,
+            timing_error=timing_error,
+        )
+
+    def drain(self) -> List[CompletedOp]:
+        """Tick until empty, collecting all completions."""
+        completed = []
+        while any(slot is not None for slot in self._slots):
+            done = self.tick()
+            if done is not None:
+                completed.append(done)
+        return completed
+
+    # ---------------------------------------------------------------- helpers
+    @property
+    def occupancy(self) -> int:
+        return sum(1 for slot in self._slots if slot is not None)
+
+    def stage_of(self, op_id: int) -> int:
+        op = self._find(op_id)
+        return self._slots.index(op)
+
+    def _find(self, op_id: int) -> _InFlight:
+        try:
+            return self._index[op_id]
+        except KeyError:
+            raise PipelineError(f"unknown or retired op id {op_id}") from None

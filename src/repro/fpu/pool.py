@@ -1,0 +1,55 @@
+"""The per-stream-core pool of pipelined FP units.
+
+Each stream core's ALU engine owns one pipelined unit of every kind; the
+pool routes an opcode to its unit and advances all units in lock step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..config import ArchConfig
+from ..errors import PipelineError
+from ..isa.opcodes import Opcode, UnitKind
+from .base import CompletedOp, FpuPipeline
+from .units import pipeline_stages_for
+
+
+class FpuPool:
+    """One cycle-level FPU per :class:`UnitKind`, advanced in lock step."""
+
+    def __init__(self, arch: Optional[ArchConfig] = None) -> None:
+        arch = arch or ArchConfig()
+        self.units: Dict[UnitKind, FpuPipeline] = {
+            kind: FpuPipeline(kind.value, pipeline_stages_for(kind, arch))
+            for kind in UnitKind
+        }
+
+    def unit_for(self, opcode: Opcode) -> FpuPipeline:
+        return self.units[opcode.unit]
+
+    def issue(self, opcode: Opcode, operands: Sequence[float]) -> int:
+        """Issue to the owning unit; raises if that unit's stage 0 is busy."""
+        return self.unit_for(opcode).issue(opcode, operands)
+
+    def tick(self) -> List[CompletedOp]:
+        """Advance every unit one cycle; returns all completions."""
+        completed = []
+        for unit in self.units.values():
+            done = unit.tick()
+            if done is not None:
+                completed.append(done)
+        return completed
+
+    def drain(self) -> List[CompletedOp]:
+        completed = []
+        while any(unit.occupancy for unit in self.units.values()):
+            completed.extend(self.tick())
+        return completed
+
+    @property
+    def occupancy(self) -> int:
+        return sum(unit.occupancy for unit in self.units.values())
+
+    def stats(self) -> Dict[UnitKind, object]:
+        return {kind: unit.stats for kind, unit in self.units.items()}

@@ -1,0 +1,75 @@
+"""Per-functional-unit descriptors.
+
+Latencies follow the paper's synthesized design: every ALU functional unit
+has four pipeline stages and a throughput of one instruction per cycle; the
+RECIP unit is balanced to the same 1 GHz clock by deepening it to 16
+stages.  The per-operation dynamic energies are the 45 nm-flavoured
+constants used by :mod:`repro.energy`; they are declared here, next to the
+unit they describe, and consumed by the energy model — see
+``repro/energy/params.py`` for the calibration notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import ArchConfig
+from ..errors import ConfigError
+from ..isa.opcodes import UnitKind
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """Static properties of one FPU kind.
+
+    ``energy_per_op_pj`` is the dynamic energy of one full (non-gated)
+    traversal of the pipeline at the nominal 0.9 V; ``leakage_pw_per_stage``
+    feeds the static-power term of the voltage-overscaling study.
+    """
+
+    kind: UnitKind
+    pipeline_stages: int
+    issue_interval_cycles: int
+    energy_per_op_pj: float
+    leakage_uw_per_stage: float
+
+    def __post_init__(self) -> None:
+        if self.pipeline_stages < 1:
+            raise ConfigError(f"{self.kind}: needs at least one stage")
+        if self.issue_interval_cycles < 1:
+            raise ConfigError(f"{self.kind}: issue interval must be >= 1")
+        if self.energy_per_op_pj <= 0.0:
+            raise ConfigError(f"{self.kind}: energy must be positive")
+        if self.leakage_uw_per_stage < 0.0:
+            raise ConfigError(f"{self.kind}: leakage cannot be negative")
+
+    @property
+    def energy_per_stage_pj(self) -> float:
+        """Dynamic energy of clocking one stage for one cycle."""
+        return self.energy_per_op_pj / self.pipeline_stages
+
+
+# Dynamic energies are scaled relative to a single-precision adder at
+# 45 nm (~9 pJ/op post-layout); multipliers and fused units cost more
+# silicon per op, the iterative RECIP most of all.  Absolute values only
+# matter through the ratios documented in repro/energy/params.py.
+UNIT_SPECS: Dict[UnitKind, UnitSpec] = {
+    UnitKind.ADD: UnitSpec(UnitKind.ADD, 4, 1, 9.0, 30.0),
+    UnitKind.MUL: UnitSpec(UnitKind.MUL, 4, 1, 14.0, 50.0),
+    UnitKind.MULADD: UnitSpec(UnitKind.MULADD, 4, 1, 19.0, 70.0),
+    UnitKind.SQRT: UnitSpec(UnitKind.SQRT, 4, 1, 26.0, 85.0),
+    UnitKind.RECIP: UnitSpec(UnitKind.RECIP, 16, 1, 52.0, 120.0),
+    UnitKind.FP2INT: UnitSpec(UnitKind.FP2INT, 4, 1, 6.0, 20.0),
+}
+
+
+def pipeline_stages_for(kind: UnitKind, arch: ArchConfig) -> int:
+    """Pipeline depth of a unit kind under a given architecture config."""
+    if kind is UnitKind.RECIP:
+        return arch.recip_pipeline_stages
+    return arch.fpu_pipeline_stages
+
+
+def spec_for(kind: UnitKind) -> UnitSpec:
+    return UNIT_SPECS[kind]

@@ -1,0 +1,50 @@
+"""Evergreen-style GPGPU architecture model (Section 3 of the paper).
+
+The Radeon HD 5870 organization: a device of 20 compute units behind an
+ultra-thread dispatcher; each compute unit holds 16 stream cores sharing
+one instruction fetch unit (SIMD execution); each stream core contains
+five processing elements and a pool of pipelined FP units.  Wavefronts of
+64 work-items are split into four subwavefronts that time-multiplex the 16
+stream cores at cycle granularity — the interleaving that concentrates
+temporal value locality in each FPU's private FIFO.
+
+Kernels execute as per-work-item coroutines that yield FP-operation
+requests; each request is routed to the owning stream core's resilient
+FPU, so memoized (possibly approximate) results propagate into the rest of
+the computation exactly as they would in hardware.
+"""
+
+from .memory import GlobalMemory, LocalMemory
+from .registers import RegisterFile
+from .wavefront import Wavefront, WorkItem, split_into_wavefronts
+from .stream_core import StreamCore
+from .compute_unit import ComputeUnit
+from .dispatcher import UltraThreadDispatcher
+from .device import Device
+from .executor import GpuExecutor, ReferenceExecutor, RunResult
+from .isa_executor import IsaKernelExecutor
+from .performance import LanePerformance, PerformanceReport, performance_report
+from .trace import FpTraceCollector, NullTraceCollector, TraceEvent
+
+__all__ = [
+    "GlobalMemory",
+    "LocalMemory",
+    "RegisterFile",
+    "Wavefront",
+    "WorkItem",
+    "split_into_wavefronts",
+    "StreamCore",
+    "ComputeUnit",
+    "UltraThreadDispatcher",
+    "Device",
+    "GpuExecutor",
+    "IsaKernelExecutor",
+    "ReferenceExecutor",
+    "RunResult",
+    "FpTraceCollector",
+    "NullTraceCollector",
+    "TraceEvent",
+    "LanePerformance",
+    "PerformanceReport",
+    "performance_report",
+]

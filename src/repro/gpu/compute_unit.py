@@ -1,0 +1,154 @@
+"""The compute unit: shared fetch over 16 stream cores.
+
+A compute unit executes one wavefront at a time on its ALU engine.  The
+coroutine scheduler below reproduces the execute-stage interleaving of
+Section 3: for every machine instruction, the wavefront's four
+subwavefronts are issued back to back, one work-item per stream core, so
+each FPU's private FIFO observes the operands of work-items *w*, *w+16*,
+*w+32*, *w+48* for instruction *i* before any operand of instruction
+*i+1* — the "congested temporal value locality" the LUT exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..config import ArchConfig, MemoConfig, TimingConfig
+from ..errors import WorkItemProtocolError
+from ..isa.opcodes import Opcode, UnitKind
+from ..memo.lut import LutStats
+from ..memo.resilient import FpuEventCounters
+from .stream_core import StreamCore
+from .trace import TraceCollector
+from .wavefront import Wavefront
+
+
+class ComputeUnit:
+    """16 stream cores behind one shared instruction fetch unit."""
+
+    def __init__(
+        self,
+        index: int,
+        arch: ArchConfig,
+        memo: Optional[MemoConfig],
+        timing: TimingConfig,
+        trace: Optional[TraceCollector] = None,
+    ) -> None:
+        self.index = index
+        self.arch = arch
+        self.stream_cores: List[StreamCore] = [
+            StreamCore(index, lane, arch, memo, timing, trace)
+            for lane in range(arch.stream_cores_per_cu)
+        ]
+        self.wavefronts_executed = 0
+        self.instruction_rounds = 0
+
+    # -------------------------------------------------------------- execution
+    def execute_wavefront(self, wavefront: Wavefront, schedule: str = "subwavefront") -> None:
+        """Drive every work-item coroutine of one wavefront to completion.
+
+        ``schedule`` selects the execute-stage interleaving:
+
+        * ``"subwavefront"`` (the Evergreen behaviour) — each scheduler
+          round is one machine instruction of the SIMD wavefront; within
+          a round the subwavefronts time-multiplex the stream cores in
+          order, concentrating same-instruction operands in each FPU's
+          FIFO;
+        * ``"item-serial"`` — each work-item runs to completion before
+          the next starts on its stream core (a scalar-core-like
+          schedule).  Used by the scheduling ablation to demonstrate that
+          the multiplexing itself creates the temporal value locality.
+        """
+        if schedule == "item-serial":
+            self._execute_item_serial(wavefront)
+            return
+        if schedule != "subwavefront":
+            raise WorkItemProtocolError(
+                f"unknown schedule {schedule!r}; expected 'subwavefront' or "
+                "'item-serial'"
+            )
+        arch = self.arch
+        items = wavefront.work_items
+        lanes = arch.stream_cores_per_cu
+
+        # Prime every coroutine to its first FP-op request.
+        for item in items:
+            self._prime(item)
+
+        live = wavefront.live_items
+        while live:
+            self.instruction_rounds += 1
+            for slot in range(arch.subwavefronts_per_wavefront):
+                for position in wavefront.subwavefront_positions(slot, arch):
+                    item = items[position]
+                    if item.done:
+                        continue
+                    request = item.pending_request
+                    if request is None:
+                        raise WorkItemProtocolError(
+                            f"work-item {item.global_id} is live without a "
+                            "pending FP-op request"
+                        )
+                    opcode, operands = request
+                    core = self.stream_cores[position % lanes]
+                    result = core.execute(opcode, operands)
+                    item.executed_ops += 1
+                    self._advance(item, result)
+                    if item.done:
+                        live -= 1
+        self.wavefronts_executed += 1
+
+    def _execute_item_serial(self, wavefront: Wavefront) -> None:
+        """Run each work-item to completion on its lane (ablation mode)."""
+        lanes = self.arch.stream_cores_per_cu
+        for position, item in enumerate(wavefront.work_items):
+            core = self.stream_cores[position % lanes]
+            self._prime(item)
+            while not item.done:
+                opcode, operands = item.pending_request
+                result = core.execute(opcode, operands)
+                item.executed_ops += 1
+                self.instruction_rounds += 1
+                self._advance(item, result)
+        self.wavefronts_executed += 1
+
+    @staticmethod
+    def _prime(item) -> None:
+        try:
+            item.pending_request = item.coroutine.send(None)
+        except StopIteration:
+            item.done = True
+            item.pending_request = None
+
+    @staticmethod
+    def _advance(item, result: float) -> None:
+        try:
+            item.pending_request = item.coroutine.send(result)
+        except StopIteration:
+            item.done = True
+            item.pending_request = None
+
+    # ------------------------------------------------------------- statistics
+    def counters(self) -> Dict[UnitKind, FpuEventCounters]:
+        totals = {kind: FpuEventCounters() for kind in UnitKind}
+        for core in self.stream_cores:
+            for kind, counters in core.counters().items():
+                totals[kind].merge(counters)
+        return totals
+
+    def lut_stats(self) -> Dict[UnitKind, LutStats]:
+        totals: Dict[UnitKind, LutStats] = {}
+        for core in self.stream_cores:
+            for kind, stats in core.lut_stats().items():
+                totals.setdefault(kind, LutStats()).merge(stats)
+        return totals
+
+    @property
+    def executed_ops(self) -> int:
+        return sum(core.executed_ops for core in self.stream_cores)
+
+    def reset_stats(self) -> None:
+        for core in self.stream_cores:
+            core.reset_stats()
+        self.wavefronts_executed = 0
+        self.instruction_rounds = 0

@@ -1,0 +1,92 @@
+"""The GPGPU device: compute units behind the dispatcher."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import SimConfig
+from ..energy.model import EnergyModel
+from ..energy.report import EnergyReport
+from ..fpu.units import pipeline_stages_for
+from ..isa.opcodes import UnitKind
+from ..memo.lut import LutStats
+from ..memo.resilient import FpuEventCounters
+from .compute_unit import ComputeUnit
+from .dispatcher import UltraThreadDispatcher
+from .trace import FpTraceCollector, NullTraceCollector
+from .wavefront import Wavefront, split_into_wavefronts
+
+
+class Device:
+    """A full device built from a :class:`~repro.config.SimConfig`.
+
+    Passing ``memoized=False`` builds the baseline architecture: the same
+    EDS/ECU detect-then-correct machinery but no memoization modules.
+    """
+
+    def __init__(self, config: SimConfig, memoized: bool = True) -> None:
+        self.config = config
+        self.memoized = memoized
+        memo = config.memo if memoized else None
+        self.trace = (
+            FpTraceCollector() if config.collect_traces else NullTraceCollector()
+        )
+        self.compute_units = [
+            ComputeUnit(i, config.arch, memo, config.timing, self.trace)
+            for i in range(config.arch.num_compute_units)
+        ]
+        self.dispatcher = UltraThreadDispatcher(config.arch.num_compute_units)
+
+    # -------------------------------------------------------------- execution
+    def run_wavefronts(self, wavefronts) -> None:
+        assignment = self.dispatcher.assign(wavefronts)
+        for cu_index, assigned in assignment.items():
+            unit = self.compute_units[cu_index]
+            for wavefront in assigned:
+                unit.execute_wavefront(wavefront, schedule=self.config.schedule)
+
+    # ------------------------------------------------------------- statistics
+    def counters(self) -> Dict[UnitKind, FpuEventCounters]:
+        totals = {kind: FpuEventCounters() for kind in UnitKind}
+        for unit in self.compute_units:
+            for kind, counters in unit.counters().items():
+                totals[kind].merge(counters)
+        return totals
+
+    def lut_stats(self) -> Dict[UnitKind, LutStats]:
+        totals: Dict[UnitKind, LutStats] = {}
+        for unit in self.compute_units:
+            for kind, stats in unit.lut_stats().items():
+                totals.setdefault(kind, LutStats()).merge(stats)
+        return totals
+
+    @property
+    def executed_ops(self) -> int:
+        return sum(unit.executed_ops for unit in self.compute_units)
+
+    def energy_report(
+        self, model: Optional[EnergyModel] = None, label: Optional[str] = None
+    ) -> EnergyReport:
+        """Energy of everything executed so far, per unit kind."""
+        model = model or EnergyModel(fpu_voltage=self.config.timing.voltage)
+        counters = self.counters()
+        lut_stats = self.lut_stats() if self.memoized else None
+        depths = {
+            kind: pipeline_stages_for(kind, self.config.arch) for kind in UnitKind
+        }
+        per_unit = model.aggregate(counters, lut_stats, depths)
+        # Drop units that never executed anything: they are power-gated.
+        per_unit = {
+            kind: breakdown
+            for kind, breakdown in per_unit.items()
+            if counters[kind].ops > 0
+        }
+        return EnergyReport(
+            label=label or ("memoized" if self.memoized else "baseline"),
+            voltage=model.fpu_voltage,
+            per_unit=per_unit,
+        )
+
+    def reset_stats(self) -> None:
+        for unit in self.compute_units:
+            unit.reset_stats()

@@ -1,0 +1,35 @@
+"""The global front-end ultra-thread dispatcher.
+
+Assigns wavefronts to compute units.  The default policy is round-robin,
+which is what keeps all compute units of the Radeon HD 5870 busy for
+large NDRanges; for the small NDRanges used in the pure-Python
+experiments it degenerates to filling the first unit(s), preserving the
+per-FPU locality structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import ArchitectureError
+from .wavefront import Wavefront
+
+
+class UltraThreadDispatcher:
+    """Round-robin wavefront-to-compute-unit assignment."""
+
+    def __init__(self, num_compute_units: int) -> None:
+        if num_compute_units < 1:
+            raise ArchitectureError("dispatcher needs at least one compute unit")
+        self.num_compute_units = num_compute_units
+        self.dispatched = 0
+
+    def assign(self, wavefronts: Sequence[Wavefront]) -> Dict[int, List[Wavefront]]:
+        """Map each wavefront to a compute-unit index."""
+        assignment: Dict[int, List[Wavefront]] = {
+            cu: [] for cu in range(self.num_compute_units)
+        }
+        for i, wavefront in enumerate(wavefronts):
+            assignment[i % self.num_compute_units].append(wavefront)
+            self.dispatched += 1
+        return assignment

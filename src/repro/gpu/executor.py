@@ -1,0 +1,166 @@
+"""NDRange kernel execution.
+
+``GpuExecutor`` turns a kernel function into work-item coroutines, packs
+them into wavefronts, dispatches the wavefronts onto a device and runs
+them with the subwavefront time-multiplexed schedule.
+``ReferenceExecutor`` runs the same coroutines against bare float32
+arithmetic — no errors, no memoization — producing the golden output used
+for PSNR and host-side validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..config import SimConfig
+from ..energy.model import EnergyModel
+from ..energy.report import EnergyReport
+from ..errors import KernelError, WorkItemProtocolError
+from ..fpu import arithmetic
+from ..isa.opcodes import UnitKind
+from ..kernels.api import WorkItemCtx
+from ..memo.lut import LutStats
+from ..memo.resilient import FpuEventCounters
+from .device import Device
+from .wavefront import WorkItem, split_into_wavefronts
+
+KernelFn = Callable[..., object]
+
+
+@dataclass
+class RunResult:
+    """Statistics of one kernel launch."""
+
+    kernel_name: str
+    global_size: int
+    device: Device
+    wavefront_count: int
+
+    @property
+    def executed_ops(self) -> int:
+        return self.device.executed_ops
+
+    def counters(self) -> Dict[UnitKind, FpuEventCounters]:
+        return self.device.counters()
+
+    def lut_stats(self) -> Dict[UnitKind, LutStats]:
+        return self.device.lut_stats()
+
+    def hit_rates(self) -> Dict[UnitKind, float]:
+        """Hit rate per *activated* FPU kind (kinds with zero lookups omitted)."""
+        rates = {}
+        for kind, stats in self.lut_stats().items():
+            if stats.lookups:
+                rates[kind] = stats.hit_rate
+        return rates
+
+    def weighted_hit_rate(self) -> float:
+        """Overall hit rate weighted by each FPU kind's lookup count."""
+        lookups = 0
+        hits = 0
+        for stats in self.lut_stats().values():
+            lookups += stats.lookups
+            hits += stats.hits
+        return hits / lookups if lookups else 0.0
+
+    def energy_report(
+        self, model: Optional[EnergyModel] = None, label: Optional[str] = None
+    ) -> EnergyReport:
+        return self.device.energy_report(model, label)
+
+
+def _build_work_items(
+    kernel: KernelFn,
+    global_size: int,
+    args: Sequence[object],
+    wavefront_size: int,
+) -> list:
+    if global_size < 1:
+        raise KernelError("global size must be at least 1")
+    items = []
+    for gid in range(global_size):
+        ctx = WorkItemCtx(
+            global_id=gid,
+            local_id=gid % wavefront_size,
+            group_id=gid // wavefront_size,
+            global_size=global_size,
+        )
+        coroutine = kernel(ctx, *args)
+        if not hasattr(coroutine, "send"):
+            raise KernelError(
+                f"kernel {getattr(kernel, '__name__', kernel)!r} must be a "
+                "generator function (use 'yield ctx.<op>(...)' for FP work)"
+            )
+        items.append(
+            WorkItem(
+                global_id=gid,
+                local_id=gid % wavefront_size,
+                group_id=gid // wavefront_size,
+                coroutine=coroutine,
+            )
+        )
+    return items
+
+
+class GpuExecutor:
+    """Launches kernels on a simulated device."""
+
+    def __init__(self, config: Optional[SimConfig] = None, memoized: bool = True) -> None:
+        self.config = config or SimConfig()
+        self.memoized = memoized
+        self.device = Device(self.config, memoized=memoized)
+
+    def run(
+        self,
+        kernel: KernelFn,
+        global_size: int,
+        args: Sequence[object] = (),
+    ) -> RunResult:
+        """Execute ``kernel`` over an NDRange of ``global_size`` work-items.
+
+        Buffers in ``args`` are mutated in place (kernel output).  Stats
+        accumulate on the device across calls; use ``device.reset_stats()``
+        between independent measurements.
+        """
+        items = _build_work_items(
+            kernel, global_size, args, self.config.arch.wavefront_size
+        )
+        wavefronts = split_into_wavefronts(items, self.config.arch)
+        self.device.run_wavefronts(wavefronts)
+        return RunResult(
+            kernel_name=getattr(kernel, "__name__", "kernel"),
+            global_size=global_size,
+            device=self.device,
+            wavefront_count=len(wavefronts),
+        )
+
+
+class ReferenceExecutor:
+    """Golden execution: exact float32 arithmetic, no device in the loop."""
+
+    def __init__(self) -> None:
+        self.executed_ops = 0
+
+    def run(
+        self,
+        kernel: KernelFn,
+        global_size: int,
+        args: Sequence[object] = (),
+    ) -> int:
+        """Run every work-item to completion; returns executed FP ops."""
+        items = _build_work_items(kernel, global_size, args, 64)
+        evaluate = arithmetic.evaluate
+        ops = 0
+        for item in items:
+            coroutine = item.coroutine
+            try:
+                request = coroutine.send(None)
+                while True:
+                    opcode, operands = request
+                    ops += 1
+                    request = coroutine.send(evaluate(opcode, operands))
+            except StopIteration:
+                pass
+        self.executed_ops += ops
+        return ops

@@ -1,0 +1,135 @@
+"""Running assembled ISA programs as data-parallel kernels.
+
+The coroutine kernels of :mod:`repro.kernels` are the convenient way to
+write workloads; this module closes the loop with the ISA layer: a
+clause-based :class:`~repro.isa.program.Program` (hand-written or from
+:func:`~repro.isa.assembler.assemble`) is executed per work-item on the
+simulated device, with every FP instruction flowing through the stream
+cores' resilient FPUs — the closest analogue to running a "naive binary"
+on the modified simulator.
+
+Per-work-item state: a private register file (dict) and a shared global
+memory.  The convention mirrors simple OpenCL binaries:
+
+* register ``r0`` is pre-loaded with the work-item's global id (as a
+  float) before the program starts;
+* TEX ``LOAD rD, [rA]`` reads ``memory[int(rA)]``;
+* the ``result_register`` (default ``r1``) is stored to
+  ``memory[out_base + global_id]`` when the program ends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import IsaError, KernelError
+from ..fpu.arithmetic import float32
+from ..isa.clause import AluClause, ControlFlowOp, TexClause
+from ..isa.instruction import ImmediateOperand, Instruction, RegisterOperand
+from ..isa.program import Program
+from .executor import GpuExecutor, RunResult
+
+
+def iter_program_fp_ops(
+    program: Program,
+    registers: Dict[int, float],
+    memory,
+) -> Iterator[Tuple[object, Tuple[float, ...]]]:
+    """Generator form of the scalar interpreter.
+
+    Yields ``(opcode, operands)`` for every FP instruction and expects the
+    (possibly memoized/approximate) result to be sent back; integer-side
+    work (control flow, TEX loads) happens natively.
+    """
+
+    def read(operand) -> float:
+        if isinstance(operand, ImmediateOperand):
+            return float32(operand.value)
+        return registers.get(operand.index, 0.0)
+
+    def run_block(start: int, stop: int):
+        pc = start
+        while pc < stop:
+            cf = program.control_flow[pc]
+            if cf.op is ControlFlowOp.END:
+                return
+            if cf.op is ControlFlowOp.EXEC_ALU:
+                clause = program.clauses[cf.clause_index]
+                assert isinstance(clause, AluClause)
+                for bundle in clause.bundles:
+                    staged: List[Tuple[Instruction, Tuple[float, ...]]] = []
+                    for _, instruction in bundle:
+                        operands = tuple(read(s) for s in instruction.sources)
+                        staged.append((instruction, operands))
+                    for instruction, operands in staged:
+                        result = yield (instruction.opcode, operands)
+                        registers[instruction.dest.index] = result
+                pc += 1
+            elif cf.op is ControlFlowOp.EXEC_TEX:
+                clause = program.clauses[cf.clause_index]
+                assert isinstance(clause, TexClause)
+                for fetch in clause.fetches:
+                    address = int(registers.get(fetch.address_register, 0.0))
+                    registers[fetch.dest_register] = memory.load(address)
+                pc += 1
+            elif cf.op is ControlFlowOp.LOOP_START:
+                end = _matching_end(program, pc)
+                assert cf.trip_count is not None
+                for _ in range(cf.trip_count):
+                    yield from run_block(pc + 1, end)
+                pc = end + 1
+            else:  # pragma: no cover - validate() rejects stray LOOP_END
+                raise IsaError(f"unexpected control-flow op {cf.op}")
+
+    yield from run_block(0, len(program.control_flow))
+
+
+def _matching_end(program: Program, loop_start: int) -> int:
+    depth = 0
+    for pc in range(loop_start, len(program.control_flow)):
+        op = program.control_flow[pc].op
+        if op is ControlFlowOp.LOOP_START:
+            depth += 1
+        elif op is ControlFlowOp.LOOP_END:
+            depth -= 1
+            if depth == 0:
+                return pc
+    raise IsaError("LOOP_START without matching LOOP_END")
+
+
+class IsaKernelExecutor:
+    """Launch an assembled program over an NDRange on a simulated device."""
+
+    def __init__(self, executor: GpuExecutor) -> None:
+        self.executor = executor
+
+    def run(
+        self,
+        program: Program,
+        global_size: int,
+        memory,
+        result_register: int = 1,
+        out_base: Optional[int] = None,
+    ) -> RunResult:
+        """Execute the program once per work-item.
+
+        ``memory`` is a :class:`~repro.gpu.memory.GlobalMemory` (or any
+        object with ``load``/``store``); ``out_base`` defaults to no
+        write-back (programs may store through their own TEX-side
+        conventions by leaving results in memory-mapped registers).
+        """
+        program.validate()
+        if global_size < 1:
+            raise KernelError("global size must be at least 1")
+
+        def isa_kernel(ctx):
+            registers: Dict[int, float] = {0: float(ctx.global_id)}
+            yield from iter_program_fp_ops(program, registers, memory)
+            if out_base is not None:
+                memory.store(
+                    out_base + ctx.global_id,
+                    registers.get(result_register, 0.0),
+                )
+
+        isa_kernel.__name__ = f"isa_program_{id(program):x}"
+        return self.executor.run(isa_kernel, global_size)

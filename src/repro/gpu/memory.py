@@ -1,0 +1,78 @@
+"""Global and local memory models.
+
+The paper assumes memory blocks are made resilient separately (tunable
+replica bits [7]), so the memory model here is functional: float32-typed
+flat arrays with bounds checking and access counting.  Loads quantize to
+single precision so every value entering the FP datapath is an exact
+single, which the memoization comparators rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from ..errors import ArchitectureError
+
+
+class GlobalMemory:
+    """A flat float32 global memory with access statistics."""
+
+    def __init__(self, size_or_data: Union[int, Iterable[float], np.ndarray]) -> None:
+        if isinstance(size_or_data, int):
+            if size_or_data < 0:
+                raise ArchitectureError("memory size cannot be negative")
+            self._data = np.zeros(size_or_data, dtype=np.float32)
+        else:
+            self._data = np.asarray(size_or_data, dtype=np.float32).ravel().copy()
+        self.loads = 0
+        self.stores = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def load(self, address: int) -> float:
+        self._check(address)
+        self.loads += 1
+        return float(self._data[address])
+
+    def store(self, address: int, value: float) -> None:
+        self._check(address)
+        self.stores += 1
+        self._data[address] = value
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < len(self._data):
+            raise ArchitectureError(
+                f"address {address} outside memory of {len(self._data)} words"
+            )
+
+    def as_array(self) -> np.ndarray:
+        """A copy of the contents as a float32 array."""
+        return self._data.copy()
+
+    def view(self) -> np.ndarray:
+        """The live backing array (mutations bypass access counting)."""
+        return self._data
+
+
+class LocalMemory(GlobalMemory):
+    """Per-compute-unit scratchpad; same functional behaviour."""
+
+    def __init__(self, size: int = 32 * 1024 // 4) -> None:
+        super().__init__(size)
+
+
+class ConstantMemory(GlobalMemory):
+    """Read-only memory for kernel parameters."""
+
+    def store(self, address: int, value: float) -> None:
+        raise ArchitectureError("constant memory is read-only from kernels")
+
+    def preload(self, values, offset: int = 0) -> None:
+        data = self.view()
+        values = np.asarray(values, dtype=np.float32).ravel()
+        if offset < 0 or offset + len(values) > len(data):
+            raise ArchitectureError("preload exceeds constant memory bounds")
+        data[offset : offset + len(values)] = values

@@ -1,0 +1,49 @@
+"""Per-work-item register file with read-ahead buffers.
+
+Used by the ISA-level execution path; the coroutine kernels keep their
+state in Python locals (their "virtual registers").  The read-ahead buffer
+models the paper's note that "buffers are attached to SCs to read the
+registers ahead of time" for higher throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..errors import ArchitectureError
+from ..fpu.arithmetic import float32
+
+
+class RegisterFile:
+    """A bank of single-precision general-purpose registers."""
+
+    def __init__(self, num_registers: int = 128) -> None:
+        if num_registers < 1:
+            raise ArchitectureError("register file needs at least one register")
+        self.num_registers = num_registers
+        self._values: Dict[int, float] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, index: int) -> float:
+        self._check(index)
+        self.reads += 1
+        return self._values.get(index, 0.0)
+
+    def write(self, index: int, value: float) -> None:
+        self._check(index)
+        self.writes += 1
+        self._values[index] = float32(value)
+
+    def read_ahead(self, indices: Iterable[int]) -> Tuple[float, ...]:
+        """Fetch several operand registers in one buffered access."""
+        return tuple(self.read(i) for i in indices)
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_registers:
+            raise ArchitectureError(
+                f"register r{index} outside file of {self.num_registers}"
+            )
+
+    def snapshot(self) -> Dict[int, float]:
+        return dict(self._values)

@@ -1,0 +1,78 @@
+"""The stream core: five PEs over a pool of resilient FP units.
+
+Each stream core owns one private memoization LUT per FPU kind ("a private
+FIFO for every individual FPU"), its own EDS error streams and its own
+ECU, enabling the scalable, independent per-FPU recovery the paper argues
+for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..config import ArchConfig, MemoConfig, TimingConfig
+from ..errors import ArchitectureError
+from ..isa.opcodes import Opcode, UnitKind
+from ..memo.lut import LutStats
+from ..memo.resilient import FpuEventCounters, ResilientFpu
+from .trace import NullTraceCollector, TraceCollector
+
+
+class StreamCore:
+    """One SIMD lane of a compute unit."""
+
+    def __init__(
+        self,
+        cu_index: int,
+        lane_index: int,
+        arch: ArchConfig,
+        memo: Optional[MemoConfig],
+        timing: TimingConfig,
+        trace: Optional[TraceCollector] = None,
+    ) -> None:
+        if lane_index < 0 or lane_index >= arch.stream_cores_per_cu:
+            raise ArchitectureError(
+                f"lane {lane_index} outside compute unit of "
+                f"{arch.stream_cores_per_cu} stream cores"
+            )
+        self.cu_index = cu_index
+        self.lane_index = lane_index
+        self.arch = arch
+        # Note: `trace or Null...` would misfire — an empty FpTraceCollector
+        # has __len__ == 0 and is falsy.
+        self.trace = trace if trace is not None else NullTraceCollector()
+        self.fpus: Dict[UnitKind, ResilientFpu] = {
+            kind: ResilientFpu.build(
+                kind, memo, timing, arch, cu_index, lane_index
+            )
+            for kind in UnitKind
+        }
+
+    # -------------------------------------------------------------- execution
+    def execute(self, opcode: Opcode, operands: Tuple[float, ...]) -> float:
+        """Route one FP instruction to the owning resilient unit."""
+        fpu = self.fpus[opcode.unit]
+        result = fpu.execute(opcode, operands)
+        self.trace.record(
+            self.cu_index, self.lane_index, opcode, operands, result
+        )
+        return result
+
+    # ------------------------------------------------------------- statistics
+    def counters(self) -> Dict[UnitKind, FpuEventCounters]:
+        return {kind: fpu.counters for kind, fpu in self.fpus.items()}
+
+    def lut_stats(self) -> Dict[UnitKind, LutStats]:
+        stats: Dict[UnitKind, LutStats] = {}
+        for kind, fpu in self.fpus.items():
+            if fpu.memo is not None and not fpu.memo.lut.power_gated:
+                stats[kind] = fpu.memo.lut.stats
+        return stats
+
+    @property
+    def executed_ops(self) -> int:
+        return sum(fpu.counters.ops for fpu in self.fpus.values())
+
+    def reset_stats(self) -> None:
+        for fpu in self.fpus.values():
+            fpu.reset_stats()

@@ -1,0 +1,87 @@
+"""FP instruction tracing (the Multi2Sim statistics-collection substitute).
+
+The paper modifies Multi2Sim to collect per-FPU operand streams; here a
+trace collector can observe every executed FP instruction.  Tracing is
+off by default (:class:`NullTraceCollector`) because recording every op
+dominates simulation time for large kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Protocol, Tuple
+
+from ..isa.opcodes import Opcode, UnitKind
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed FP instruction."""
+
+    cu_index: int
+    lane_index: int
+    opcode: Opcode
+    operands: Tuple[float, ...]
+    result: float
+
+    @property
+    def unit(self) -> UnitKind:
+        return self.opcode.unit
+
+
+class TraceCollector(Protocol):
+    def record(
+        self,
+        cu_index: int,
+        lane_index: int,
+        opcode: Opcode,
+        operands: Tuple[float, ...],
+        result: float,
+    ) -> None: ...
+
+
+class NullTraceCollector:
+    """Discards everything (default)."""
+
+    enabled = False
+
+    def record(self, cu_index, lane_index, opcode, operands, result) -> None:
+        return
+
+
+class FpTraceCollector:
+    """Keeps every event in memory; supports per-unit replay.
+
+    Useful for offline experiments that re-simulate different memoization
+    configurations over the same operand stream without re-running the
+    kernel (e.g. the FIFO-depth sweep).
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, cu_index, lane_index, opcode, operands, result) -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(cu_index, lane_index, opcode, operands, result)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def per_fpu_streams(self) -> dict:
+        """Group events by (cu, lane, unit kind) — one stream per FPU."""
+        streams: dict = {}
+        for event in self.events:
+            key = (event.cu_index, event.lane_index, event.unit)
+            streams.setdefault(key, []).append(event)
+        return streams
+
+    def iter_unit(self, unit: UnitKind) -> Iterator[TraceEvent]:
+        return (event for event in self.events if event.unit is unit)

@@ -1,0 +1,78 @@
+"""Wavefronts, subwavefronts and work-item bookkeeping.
+
+A wavefront is the set of 64 work-items virtually executing at the same
+time on one compute unit; it is split into subwavefronts of one work-item
+per stream core at the execute stage, and the subwavefronts time-multiplex
+the stream cores in a 4-slot round-robin at cycle granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..config import ArchConfig
+from ..errors import ArchitectureError
+
+
+@dataclass
+class WorkItem:
+    """One OpenCL work-item: ids plus its kernel coroutine."""
+
+    global_id: int
+    local_id: int
+    group_id: int
+    coroutine: Optional[object] = None
+    done: bool = False
+    #: The FP-op request the coroutine is currently waiting on.
+    pending_request: Optional[tuple] = None
+    executed_ops: int = 0
+
+
+@dataclass
+class Wavefront:
+    """Up to ``wavefront_size`` work-items scheduled together."""
+
+    index: int
+    work_items: List[WorkItem] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ArchitectureError("wavefront index cannot be negative")
+
+    def __len__(self) -> int:
+        return len(self.work_items)
+
+    @property
+    def live_items(self) -> int:
+        return sum(1 for item in self.work_items if not item.done)
+
+    def lane_of(self, position: int, arch: ArchConfig) -> int:
+        """Stream core executing the work-item at wavefront position."""
+        return position % arch.stream_cores_per_cu
+
+    def subwavefront_of(self, position: int, arch: ArchConfig) -> int:
+        """Time-multiplexing slot of the work-item at wavefront position."""
+        return position // arch.stream_cores_per_cu
+
+    def subwavefront_positions(self, slot: int, arch: ArchConfig) -> range:
+        """Wavefront positions belonging to subwavefront ``slot``."""
+        lanes = arch.stream_cores_per_cu
+        start = slot * lanes
+        return range(start, min(start + lanes, len(self.work_items)))
+
+
+def split_into_wavefronts(
+    work_items: Sequence[WorkItem], arch: ArchConfig
+) -> List[Wavefront]:
+    """Pack work-items into consecutive wavefronts of the configured size."""
+    size = arch.wavefront_size
+    wavefronts = []
+    for start in range(0, len(work_items), size):
+        wavefronts.append(
+            Wavefront(
+                index=len(wavefronts),
+                work_items=list(work_items[start : start + size]),
+            )
+        )
+    return wavefronts

@@ -1,0 +1,22 @@
+"""Synthetic test images, PSNR fidelity metric and PGM I/O.
+
+The paper's `face` and `book` input photographs are not available, so
+:mod:`repro.images.synth` generates deterministic stand-ins with the
+statistics that matter to memoization: `face` is smooth and low-frequency
+(portrait-like), `book` is a high-contrast text-like page with few gray
+levels.  Both are 8-bit quantized, as real image inputs are.
+"""
+
+from .synth import synth_face, synth_book, synthetic_image
+from .psnr import psnr, mse
+from .pgm import read_pgm, write_pgm
+
+__all__ = [
+    "synth_face",
+    "synth_book",
+    "synthetic_image",
+    "psnr",
+    "mse",
+    "read_pgm",
+    "write_pgm",
+]

@@ -1,0 +1,60 @@
+"""Minimal PGM (portable graymap) reader/writer.
+
+Lets the examples dump their inputs/outputs as viewable files without any
+imaging dependency.  Supports binary ``P5`` and ASCII ``P2``, 8-bit depth.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import ImageError
+
+
+def write_pgm(path: Union[str, Path], image: np.ndarray) -> None:
+    """Write an 8-bit grayscale image as binary PGM."""
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ImageError("PGM images are 2-D grayscale")
+    data = np.clip(np.round(image), 0, 255).astype(np.uint8)
+    height, width = data.shape
+    with open(path, "wb") as f:
+        f.write(f"P5\n{width} {height}\n255\n".encode("ascii"))
+        f.write(data.tobytes())
+
+
+def read_pgm(path: Union[str, Path]) -> np.ndarray:
+    """Read a P5 or P2 PGM into a float32 array."""
+    raw = Path(path).read_bytes()
+    if raw[:2] not in (b"P5", b"P2"):
+        raise ImageError("not a P2/P5 PGM file")
+    ascii_mode = raw[:2] == b"P2"
+
+    # Parse header tokens (magic, width, height, maxval), skipping comments.
+    tokens = []
+    pos = 2
+    while len(tokens) < 3:
+        match = re.match(rb"\s*(#[^\n]*\n|\S+)", raw[pos:])
+        if match is None:
+            raise ImageError("truncated PGM header")
+        token = match.group(1)
+        pos += match.end()
+        if not token.startswith(b"#"):
+            tokens.append(token)
+    width, height, maxval = (int(t) for t in tokens)
+    if maxval <= 0 or maxval > 255:
+        raise ImageError(f"unsupported PGM maxval {maxval}")
+
+    if ascii_mode:
+        values = np.array(raw[pos:].split(), dtype=np.int64)
+    else:
+        pos += 1  # single whitespace after maxval
+        values = np.frombuffer(raw[pos : pos + width * height], dtype=np.uint8)
+    if values.size < width * height:
+        raise ImageError("PGM pixel data truncated")
+    pixels = values[: width * height].astype(np.float32)
+    return pixels.reshape(height, width)

@@ -1,0 +1,141 @@
+"""Deterministic synthetic stand-ins for the paper's input images.
+
+``synth_face`` builds a smooth portrait: soft vertical illumination
+gradient, an elliptical head, darker eye/mouth blobs, all low-frequency.
+``synth_book`` builds a page of text: near-white paper, rows of dark
+glyph-like strokes with sharp edges and only a handful of gray levels.
+
+Both are quantized to 8-bit levels; quantization plus spatial smoothness
+is what gives image inputs their operand-level value locality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ImageError
+from ..utils.rng import RngStream
+
+
+def _grid(size: int):
+    ys, xs = np.mgrid[0:size, 0:size].astype(np.float64)
+    return xs / (size - 1), ys / (size - 1)
+
+
+def _blob(xs, ys, cx, cy, rx, ry):
+    return np.exp(-(((xs - cx) / rx) ** 2 + ((ys - cy) / ry) ** 2))
+
+
+def synth_face(size: int = 96, seed: int = 1984) -> np.ndarray:
+    """A portrait-like 8-bit grayscale image.
+
+    Built the way real photographs look to a memoization FIFO: large
+    piecewise-flat regions (background wall, skin, hair, clothing) with
+    quantized lighting bands, narrow anti-aliased transitions at region
+    boundaries, and sparse +-1-level sensor noise.
+    """
+    if size < 8:
+        raise ImageError("face image needs at least 8x8 pixels")
+    xs, ys = _grid(size)
+    image = np.full((size, size), 186.0)
+
+    # Quantized lighting on the background: three broad horizontal bands.
+    image -= 4.0 * np.minimum((ys * 3).astype(np.int64), 2)
+
+    def ellipse(cx, cy, rx, ry):
+        return ((xs - cx) / rx) ** 2 + ((ys - cy) / ry) ** 2
+
+    # Shoulders / clothing: flat dark region at the bottom.
+    shoulders = ellipse(0.5, 1.18, 0.52, 0.42) < 1.0
+    image[shoulders] = 96.0
+
+    # Head: flat skin tone with two quantized shading bands.
+    head = ellipse(0.5, 0.46, 0.27, 0.36) < 1.0
+    image[head] = 150.0
+    image[head & (ys > 0.55)] = 144.0
+    image[head & (ys > 0.66)] = 138.0
+
+    # Hair cap above the forehead.
+    hair = (ellipse(0.5, 0.24, 0.30, 0.22) < 1.0) & (ys < 0.30)
+    image[hair] = 52.0
+
+    # Eyes, nose shadow, mouth.
+    image[ellipse(0.38, 0.42, 0.05, 0.03) < 1.0] = 68.0
+    image[ellipse(0.62, 0.42, 0.05, 0.03) < 1.0] = 68.0
+    image[ellipse(0.5, 0.56, 0.025, 0.06) < 1.0] = 124.0
+    image[ellipse(0.5, 0.70, 0.09, 0.025) < 1.0] = 98.0
+
+    # Narrow anti-aliased transitions: one-pixel average at boundaries,
+    # mimicking optical blur at edges.
+    blurred = image.copy()
+    blurred[1:-1, 1:-1] = (
+        image[1:-1, 1:-1] * 4.0
+        + image[:-2, 1:-1]
+        + image[2:, 1:-1]
+        + image[1:-1, :-2]
+        + image[1:-1, 2:]
+    ) / 8.0
+    image = blurred
+
+    # Sparse sensor noise: ~5% of pixels off by one level.
+    rng = RngStream(seed, "face-noise", size)
+    noise_mask = rng.array_uniform((size, size)) < 0.05
+    noise_sign = np.where(rng.array_uniform((size, size)) < 0.5, -1.0, 1.0)
+    image = image + noise_mask * noise_sign
+    return np.clip(np.round(image), 0, 255).astype(np.float32)
+
+
+def synth_book(size: int = 96, seed: int = 2014) -> np.ndarray:
+    """A text-page-like 8-bit grayscale image with sharp glyph strokes."""
+    if size < 8:
+        raise ImageError("book image needs at least 8x8 pixels")
+    rng = RngStream(seed, "book", size)
+    image = np.full((size, size), 236.0)
+    # Paper shading: two broad quantized bands, flat within each.
+    xs, ys = _grid(size)
+    image -= 3.0 * (xs > 0.55)
+    line_height = max(size // 16, 3)
+    glyph_width = max(size // 28, 2)
+    margin = max(size // 6, 3)
+    y = margin
+    while y + line_height - 1 < size - margin:
+        x = margin
+        # Each "line of text" is a run of dark glyph strokes and gaps;
+        # most of the page stays white, like a real book page.
+        while x + glyph_width < size - margin:
+            if rng.uniform() < 0.55:  # a glyph; otherwise inter-word space
+                ink = 22.0 + 16.0 * rng.integers(0, 3)
+                height = line_height - rng.integers(0, 2)
+                image[y : y + height, x : x + glyph_width] = ink
+                # Ascenders/descenders on some glyphs.
+                if rng.uniform() < 0.25 and y > 1:
+                    image[y - 1, x : x + glyph_width] = ink
+            x += glyph_width + rng.integers(1, 4)
+        # Wide inter-line leading keeps most rows pure paper.
+        y += line_height + max(size // 10, 2)
+
+    # Optical blur at glyph edges: one-pixel box average softens strokes.
+    blurred = image.copy()
+    blurred[1:-1, 1:-1] = (
+        image[1:-1, 1:-1] * 4.0
+        + image[:-2, 1:-1]
+        + image[2:, 1:-1]
+        + image[1:-1, :-2]
+        + image[1:-1, 2:]
+    ) / 8.0
+    image = blurred
+
+    # Scanner grain: ~4% of pixels off by one level.
+    grain_mask = rng.array_uniform((size, size)) < 0.04
+    grain_sign = np.where(rng.array_uniform((size, size)) < 0.5, -1.0, 1.0)
+    image = image + grain_mask * grain_sign
+    return np.clip(np.round(image), 0, 255).astype(np.float32)
+
+
+def synthetic_image(name: str, size: int = 96) -> np.ndarray:
+    """Look up a synthetic input by the paper's image name."""
+    if name == "face":
+        return synth_face(size)
+    if name == "book":
+        return synth_book(size)
+    raise ImageError(f"unknown synthetic image {name!r}; use 'face' or 'book'")

@@ -1,0 +1,45 @@
+"""Evergreen-style instruction set model.
+
+The paper instruments Multi2Sim to collect value-locality statistics over
+27 single-precision floating-point instructions executing on six kinds of
+functional units (ADD, MUL, MULADD, SQRT, RECIP, FP2INT).  This package
+defines those opcodes, the five-slot (X/Y/Z/W/T) VLIW bundle format, the
+clause-based program structure, a textual assembler and a scalar
+interpreter used by tests and the micro-examples.
+"""
+
+from .opcodes import (
+    FP_OPCODES,
+    Opcode,
+    UnitKind,
+    opcode_by_mnemonic,
+    opcodes_for_unit,
+)
+from .instruction import Instruction, Operand, RegisterOperand, ImmediateOperand, VliwBundle
+from .clause import AluClause, Clause, ControlFlowInstruction, TexClause
+from .program import Program
+from .assembler import assemble
+from .encoding import decode_program, encode_program
+from .interpreter import ScalarInterpreter
+
+__all__ = [
+    "FP_OPCODES",
+    "Opcode",
+    "UnitKind",
+    "opcode_by_mnemonic",
+    "opcodes_for_unit",
+    "Instruction",
+    "Operand",
+    "RegisterOperand",
+    "ImmediateOperand",
+    "VliwBundle",
+    "AluClause",
+    "Clause",
+    "ControlFlowInstruction",
+    "TexClause",
+    "Program",
+    "assemble",
+    "decode_program",
+    "encode_program",
+    "ScalarInterpreter",
+]

@@ -1,0 +1,207 @@
+"""A small textual assembler for the Evergreen-style ISA.
+
+The syntax mirrors the clause structure the disassemblers of the Evergreen
+toolchain produce, reduced to what the simulator needs::
+
+    CF EXEC_ALU @alu0
+    CF EXEC_TEX @tex0
+    CF LOOP 3
+    CF EXEC_ALU @alu1
+    CF ENDLOOP
+    CF END
+
+    ALU @alu0:
+      X: ADD r2, r0, r1
+      T: SQRT r3, r2
+      --            ; bundle separator
+      X: MUL r4, r3, 0.5
+
+    TEX @tex0:
+      LOAD r0, [r9]
+
+Comments start with ``;``.  Labels name clauses; CF EXEC words reference
+them with ``@label``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..errors import AssemblerError, IsaError
+from .clause import (
+    AluClause,
+    Clause,
+    ControlFlowInstruction,
+    ControlFlowOp,
+    TexClause,
+    TexFetch,
+)
+from .instruction import (
+    ImmediateOperand,
+    Instruction,
+    Operand,
+    RegisterOperand,
+    VliwBundle,
+)
+from .opcodes import opcode_by_mnemonic
+from .program import Program
+
+_REGISTER_RE = re.compile(r"^r(\d+)$")
+_LOAD_RE = re.compile(r"^LOAD\s+r(\d+)\s*,\s*\[\s*r(\d+)\s*\]$", re.IGNORECASE)
+
+
+def _strip(line: str) -> str:
+    return line.split(";", 1)[0].strip()
+
+
+def _parse_operand(token: str) -> Operand:
+    token = token.strip()
+    match = _REGISTER_RE.match(token)
+    if match:
+        return RegisterOperand(int(match.group(1)))
+    try:
+        return ImmediateOperand(float(token))
+    except ValueError:
+        raise AssemblerError(f"cannot parse operand {token!r}") from None
+
+
+def _parse_slot_line(line: str) -> Tuple[str, Instruction]:
+    if ":" not in line:
+        raise AssemblerError(f"expected 'SLOT: MNEMONIC ...', got {line!r}")
+    slot, rest = (part.strip() for part in line.split(":", 1))
+    pieces = rest.split(None, 1)
+    if len(pieces) != 2:
+        raise AssemblerError(f"missing operands in {line!r}")
+    mnemonic, operand_text = pieces
+    opcode = opcode_by_mnemonic(mnemonic)
+    operands = [_parse_operand(tok) for tok in operand_text.split(",")]
+    if len(operands) != opcode.arity + 1:
+        raise AssemblerError(
+            f"{mnemonic} takes a destination and {opcode.arity} sources; "
+            f"got {len(operands)} operands in {line!r}"
+        )
+    dest = operands[0]
+    if not isinstance(dest, RegisterOperand):
+        raise AssemblerError(f"destination must be a register in {line!r}")
+    return slot.upper(), Instruction(opcode, dest, tuple(operands[1:]))
+
+
+def _parse_cf_line(line: str, labels: Dict[str, int]) -> ControlFlowInstruction:
+    tokens = line.split()
+    if not tokens or tokens[0].upper() != "CF":
+        raise AssemblerError(f"expected CF line, got {line!r}")
+    if len(tokens) < 2:
+        raise AssemblerError(f"empty CF line: {line!r}")
+    word = tokens[1].upper()
+    if word == "END":
+        return ControlFlowInstruction(ControlFlowOp.END)
+    if word == "ENDLOOP":
+        return ControlFlowInstruction(ControlFlowOp.LOOP_END)
+    if word == "LOOP":
+        if len(tokens) != 3:
+            raise AssemblerError(f"CF LOOP needs a trip count: {line!r}")
+        return ControlFlowInstruction(
+            ControlFlowOp.LOOP_START, trip_count=int(tokens[2])
+        )
+    if word in ("EXEC_ALU", "EXEC_TEX"):
+        if len(tokens) != 3 or not tokens[2].startswith("@"):
+            raise AssemblerError(f"{word} needs an @label: {line!r}")
+        label = tokens[2][1:]
+        if label not in labels:
+            raise AssemblerError(f"undefined clause label @{label}")
+        op = ControlFlowOp.EXEC_ALU if word == "EXEC_ALU" else ControlFlowOp.EXEC_TEX
+        return ControlFlowInstruction(op, clause_index=labels[label])
+    raise AssemblerError(f"unknown CF word {word!r}")
+
+
+def assemble(source: str) -> Program:
+    """Assemble textual source into a validated :class:`Program`."""
+    lines = [_strip(raw) for raw in source.splitlines()]
+    lines = [(i + 1, line) for i, line in enumerate(lines) if line]
+
+    clauses: List[Clause] = []
+    labels: Dict[str, int] = {}
+    cf_lines: List[Tuple[int, str]] = []
+
+    index = 0
+    while index < len(lines):
+        lineno, line = lines[index]
+        upper = line.upper()
+        if upper.startswith("CF "):
+            cf_lines.append((lineno, line))
+            index += 1
+        elif upper.startswith("ALU ") or upper.startswith("TEX "):
+            kind, label_part = line.split(None, 1)
+            label_part = label_part.strip()
+            if not label_part.startswith("@") or not label_part.endswith(":"):
+                raise AssemblerError(
+                    f"line {lineno}: clause header must be '{kind} @label:'"
+                )
+            label = label_part[1:-1]
+            if label in labels:
+                raise AssemblerError(f"line {lineno}: duplicate clause label @{label}")
+            index += 1
+            body: List[Tuple[int, str]] = []
+            while index < len(lines):
+                _, peek = lines[index]
+                peek_upper = peek.upper()
+                if (
+                    peek_upper.startswith("CF ")
+                    or peek_upper.startswith("ALU ")
+                    or peek_upper.startswith("TEX ")
+                ):
+                    break
+                body.append(lines[index])
+                index += 1
+            labels[label] = len(clauses)
+            if kind.upper() == "ALU":
+                clauses.append(_build_alu_clause(body))
+            else:
+                clauses.append(_build_tex_clause(body))
+        else:
+            raise AssemblerError(f"line {lineno}: cannot parse {line!r}")
+
+    control_flow = []
+    for lineno, line in cf_lines:
+        try:
+            control_flow.append(_parse_cf_line(line, labels))
+        except AssemblerError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from None
+
+    program = Program(control_flow=control_flow, clauses=clauses)
+    program.validate()
+    return program
+
+
+def _build_alu_clause(body: List[Tuple[int, str]]) -> AluClause:
+    clause = AluClause()
+    bundle = VliwBundle()
+    for lineno, line in body:
+        if line == "--":
+            if bundle.width:
+                clause.append(bundle)
+                bundle = VliwBundle()
+            continue
+        try:
+            slot, instruction = _parse_slot_line(line)
+            bundle.set_slot(slot, instruction)
+        except IsaError as exc:  # includes AssemblerError and slot-rule errors
+            raise AssemblerError(f"line {lineno}: {exc}") from None
+    if bundle.width:
+        clause.append(bundle)
+    if not clause.bundles:
+        raise AssemblerError("empty ALU clause")
+    return clause
+
+
+def _build_tex_clause(body: List[Tuple[int, str]]) -> TexClause:
+    clause = TexClause()
+    for lineno, line in body:
+        match = _LOAD_RE.match(line)
+        if not match:
+            raise AssemblerError(f"line {lineno}: expected 'LOAD rD, [rA]'")
+        clause.fetches.append(TexFetch(int(match.group(1)), int(match.group(2))))
+    if not clause.fetches:
+        raise AssemblerError("empty TEX clause")
+    return clause

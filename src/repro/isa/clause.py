@@ -1,0 +1,94 @@
+"""Clause-based program structure.
+
+Evergreen assembly groups instructions into clauses: control-flow
+instructions at the top level trigger ALU clauses (bundles executed by the
+ALU engine) and TEX clauses (memory fetches).  The simulator only needs the
+structure — enough to drive the fetch/decode front end and to place ALU
+clauses in the ALU engine's input queue.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..errors import IsaError
+from .instruction import VliwBundle
+
+
+class ClauseKind(enum.Enum):
+    ALU = "ALU"
+    TEX = "TEX"
+
+
+@dataclass
+class AluClause:
+    """A sequence of VLIW bundles executed back to back by the ALU engine."""
+
+    bundles: List[VliwBundle] = field(default_factory=list)
+    kind: ClauseKind = ClauseKind.ALU
+
+    def append(self, bundle: VliwBundle) -> None:
+        self.bundles.append(bundle)
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(b.width for b in self.bundles)
+
+    def __len__(self) -> int:
+        return len(self.bundles)
+
+
+@dataclass
+class TexFetch:
+    """One texture/memory fetch: load ``dest_register`` from ``address``."""
+
+    dest_register: int
+    address_register: int
+
+    def __post_init__(self) -> None:
+        if self.dest_register < 0 or self.address_register < 0:
+            raise IsaError("register indices must be non-negative")
+
+
+@dataclass
+class TexClause:
+    """A sequence of memory fetches."""
+
+    fetches: List[TexFetch] = field(default_factory=list)
+    kind: ClauseKind = ClauseKind.TEX
+
+    def __len__(self) -> int:
+        return len(self.fetches)
+
+
+class ControlFlowOp(enum.Enum):
+    """Top-level control-flow opcodes the front end understands."""
+
+    EXEC_ALU = "EXEC_ALU"
+    EXEC_TEX = "EXEC_TEX"
+    LOOP_START = "LOOP_START"
+    LOOP_END = "LOOP_END"
+    END = "END"
+
+
+@dataclass(frozen=True)
+class ControlFlowInstruction:
+    """A control-flow word; EXEC_* words carry the index of their clause."""
+
+    op: ControlFlowOp
+    clause_index: Optional[int] = None
+    trip_count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        needs_clause = self.op in (ControlFlowOp.EXEC_ALU, ControlFlowOp.EXEC_TEX)
+        if needs_clause and self.clause_index is None:
+            raise IsaError(f"{self.op.value} requires a clause index")
+        if self.op is ControlFlowOp.LOOP_START and (
+            self.trip_count is None or self.trip_count < 0
+        ):
+            raise IsaError("LOOP_START requires a non-negative trip count")
+
+
+Clause = Union[AluClause, TexClause]

@@ -1,0 +1,77 @@
+"""Disassembler: programs back to assembler-compatible text.
+
+Completes the toolchain loop: ``assemble(disassemble(p))`` reproduces
+``p`` (up to label names), and binaries from
+:mod:`repro.isa.encoding` can be inspected as text.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import IsaError
+from .clause import AluClause, ControlFlowOp, TexClause
+from .instruction import ImmediateOperand, Operand, RegisterOperand
+from .program import Program
+
+
+def _format_operand(operand: Operand) -> str:
+    if isinstance(operand, RegisterOperand):
+        return f"r{operand.index}"
+    if isinstance(operand, ImmediateOperand):
+        return repr(float(operand.value))
+    raise IsaError(f"unprintable operand type {type(operand).__name__}")
+
+
+def disassemble(program: Program) -> str:
+    """Render a validated program as assembler source text."""
+    program.validate()
+
+    labels: List[str] = []
+    alu_count = 0
+    tex_count = 0
+    for clause in program.clauses:
+        if isinstance(clause, AluClause):
+            labels.append(f"alu{alu_count}")
+            alu_count += 1
+        else:
+            labels.append(f"tex{tex_count}")
+            tex_count += 1
+
+    lines: List[str] = []
+    for cf in program.control_flow:
+        if cf.op is ControlFlowOp.EXEC_ALU:
+            lines.append(f"CF EXEC_ALU @{labels[cf.clause_index]}")
+        elif cf.op is ControlFlowOp.EXEC_TEX:
+            lines.append(f"CF EXEC_TEX @{labels[cf.clause_index]}")
+        elif cf.op is ControlFlowOp.LOOP_START:
+            lines.append(f"CF LOOP {cf.trip_count}")
+        elif cf.op is ControlFlowOp.LOOP_END:
+            lines.append("CF ENDLOOP")
+        elif cf.op is ControlFlowOp.END:
+            lines.append("CF END")
+        else:  # pragma: no cover - enum is closed
+            raise IsaError(f"unprintable control-flow op {cf.op}")
+
+    for label, clause in zip(labels, program.clauses):
+        lines.append("")
+        if isinstance(clause, AluClause):
+            lines.append(f"ALU @{label}:")
+            for i, bundle in enumerate(clause.bundles):
+                if i:
+                    lines.append("  --")
+                for slot, instruction in bundle:
+                    operands = ", ".join(
+                        _format_operand(s) for s in instruction.sources
+                    )
+                    lines.append(
+                        f"  {slot}: {instruction.opcode.mnemonic} "
+                        f"r{instruction.dest.index}, {operands}"
+                    )
+        elif isinstance(clause, TexClause):
+            lines.append(f"TEX @{label}:")
+            for fetch in clause.fetches:
+                lines.append(
+                    f"  LOAD r{fetch.dest_register}, [r{fetch.address_register}]"
+                )
+    return "\n".join(lines) + "\n"

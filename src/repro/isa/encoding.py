@@ -1,0 +1,270 @@
+"""Binary encoding of clause-based programs.
+
+A compact little-endian container for :class:`~repro.isa.program.Program`
+objects, in the spirit of the Evergreen microcode stream: control-flow
+words, clause sections and a shared literal pool for FP constants.  Used
+by tests and tools that want to treat programs as the "naive binaries"
+the paper feeds its simulator (store, hash, reload, disassemble).
+
+Layout (all little-endian)::
+
+    header   : magic 'EVGN' | version u16 | n_cf u16 | n_clauses u16
+               | n_literals u16
+    cf words : u32 each          op(4) | arg(28)
+    clauses  : per clause: kind u8 ('A'|'T') | count u16 | body
+               ALU body: per bundle: width u8, then width x u64 slot words
+               TEX body: per fetch: u32  dest(16) | addr(16)
+    literals : n_literals x f32
+
+ALU slot word (u64)::
+
+    slot(3) | opcode(5) | dest(10) | src0(15) | src1(15) | src2(15) | 0(1)
+
+Each 15-bit source field: kind(1) — 0 register / 1 literal-pool index —
+followed by a 14-bit index.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from ..config import PE_LABELS
+from ..errors import IsaError
+from .clause import (
+    AluClause,
+    Clause,
+    ControlFlowInstruction,
+    ControlFlowOp,
+    TexClause,
+    TexFetch,
+)
+from .instruction import (
+    ImmediateOperand,
+    Instruction,
+    Operand,
+    RegisterOperand,
+    VliwBundle,
+)
+from .opcodes import FP_OPCODES
+from .program import Program
+
+MAGIC = b"EVGN"
+VERSION = 1
+
+_CF_OPS: Tuple[ControlFlowOp, ...] = (
+    ControlFlowOp.EXEC_ALU,
+    ControlFlowOp.EXEC_TEX,
+    ControlFlowOp.LOOP_START,
+    ControlFlowOp.LOOP_END,
+    ControlFlowOp.END,
+)
+_CF_CODE = {op: i for i, op in enumerate(_CF_OPS)}
+
+_OPCODE_CODE = {op.mnemonic: i for i, op in enumerate(FP_OPCODES)}
+_SLOT_CODE = {label: i for i, label in enumerate(PE_LABELS)}
+
+_MAX_REGISTER = (1 << 10) - 1
+_MAX_SOURCE_INDEX = (1 << 14) - 1
+_MAX_CF_ARG = (1 << 28) - 1
+
+
+class _LiteralPool:
+    """Deduplicating float32 literal pool (by bit pattern)."""
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+        self._index: Dict[bytes, int] = {}
+
+    def intern(self, value: float) -> int:
+        key = struct.pack("<f", value)
+        if key not in self._index:
+            if len(self.values) > _MAX_SOURCE_INDEX:
+                raise IsaError("literal pool overflow")
+            self._index[key] = len(self.values)
+            self.values.append(struct.unpack("<f", key)[0])
+        return self._index[key]
+
+
+def _encode_source(operand: Operand, pool: _LiteralPool) -> int:
+    if isinstance(operand, RegisterOperand):
+        if operand.index > _MAX_SOURCE_INDEX:
+            raise IsaError(f"register r{operand.index} unencodable")
+        return operand.index  # kind bit 0
+    if isinstance(operand, ImmediateOperand):
+        return (1 << 14) | pool.intern(operand.value)
+    raise IsaError(f"unencodable operand type {type(operand).__name__}")
+
+
+def _encode_instruction(slot: str, instr: Instruction, pool: _LiteralPool) -> int:
+    if instr.dest.index > _MAX_REGISTER:
+        raise IsaError(f"destination r{instr.dest.index} unencodable")
+    word = _SLOT_CODE[slot]
+    word = (word << 5) | _OPCODE_CODE[instr.opcode.mnemonic]
+    word = (word << 10) | instr.dest.index
+    sources = list(instr.sources) + [RegisterOperand(0)] * (3 - len(instr.sources))
+    for source in sources:
+        word = (word << 15) | _encode_source(source, pool)
+    return word << 1  # reserved flag bit
+
+
+def _decode_source(field: int, literals: List[float]) -> Operand:
+    if field >> 14:
+        index = field & _MAX_SOURCE_INDEX
+        if index >= len(literals):
+            raise IsaError(f"literal index {index} out of range")
+        return ImmediateOperand(literals[index])
+    return RegisterOperand(field)
+
+
+def _decode_instruction(word: int, literals: List[float]) -> Tuple[str, Instruction]:
+    word >>= 1
+    fields = []
+    for _ in range(3):
+        fields.append(word & ((1 << 15) - 1))
+        word >>= 15
+    fields.reverse()
+    dest = word & _MAX_REGISTER
+    word >>= 10
+    opcode_code = word & ((1 << 5) - 1)
+    slot_code = word >> 5
+    if opcode_code >= len(FP_OPCODES):
+        raise IsaError(f"unknown opcode code {opcode_code}")
+    if slot_code >= len(PE_LABELS):
+        raise IsaError(f"unknown slot code {slot_code}")
+    opcode = FP_OPCODES[opcode_code]
+    sources = tuple(
+        _decode_source(field, literals) for field in fields[: opcode.arity]
+    )
+    return PE_LABELS[slot_code], Instruction(
+        opcode, RegisterOperand(dest), sources
+    )
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialize a validated program to its binary container."""
+    program.validate()
+    pool = _LiteralPool()
+
+    clause_blobs: List[bytes] = []
+    for clause in program.clauses:
+        if isinstance(clause, AluClause):
+            body = bytearray()
+            for bundle in clause.bundles:
+                slots = list(bundle)
+                body += struct.pack("<B", len(slots))
+                for label, instruction in slots:
+                    body += struct.pack(
+                        "<Q", _encode_instruction(label, instruction, pool)
+                    )
+            clause_blobs.append(
+                struct.pack("<cH", b"A", len(clause.bundles)) + bytes(body)
+            )
+        elif isinstance(clause, TexClause):
+            body = bytearray()
+            for fetch in clause.fetches:
+                if fetch.dest_register > 0xFFFF or fetch.address_register > 0xFFFF:
+                    raise IsaError("TEX register index unencodable")
+                body += struct.pack(
+                    "<I", (fetch.dest_register << 16) | fetch.address_register
+                )
+            clause_blobs.append(
+                struct.pack("<cH", b"T", len(clause.fetches)) + bytes(body)
+            )
+        else:  # pragma: no cover - clause union is closed
+            raise IsaError(f"unencodable clause type {type(clause).__name__}")
+
+    cf_words = bytearray()
+    for cf in program.control_flow:
+        arg = 0
+        if cf.op in (ControlFlowOp.EXEC_ALU, ControlFlowOp.EXEC_TEX):
+            arg = cf.clause_index or 0
+        elif cf.op is ControlFlowOp.LOOP_START:
+            arg = cf.trip_count or 0
+        if arg > _MAX_CF_ARG:
+            raise IsaError(f"control-flow argument {arg} unencodable")
+        cf_words += struct.pack("<I", (_CF_CODE[cf.op] << 28) | arg)
+
+    header = MAGIC + struct.pack(
+        "<HHHH",
+        VERSION,
+        len(program.control_flow),
+        len(program.clauses),
+        len(pool.values),
+    )
+    literals = b"".join(struct.pack("<f", v) for v in pool.values)
+    return header + bytes(cf_words) + b"".join(clause_blobs) + literals
+
+
+def decode_program(blob: bytes) -> Program:
+    """Deserialize and validate a program binary."""
+    if blob[:4] != MAGIC:
+        raise IsaError("not an EVGN program binary")
+    version, n_cf, n_clauses, n_literals = struct.unpack_from("<HHHH", blob, 4)
+    if version != VERSION:
+        raise IsaError(f"unsupported binary version {version}")
+    offset = 12
+
+    raw_cf: List[Tuple[ControlFlowOp, int]] = []
+    for _ in range(n_cf):
+        (word,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        code = word >> 28
+        if code >= len(_CF_OPS):
+            raise IsaError(f"unknown control-flow code {code}")
+        raw_cf.append((_CF_OPS[code], word & _MAX_CF_ARG))
+
+    # The literal pool lives at the tail; clauses reference it, so parse
+    # it first from the end.
+    literal_bytes = 4 * n_literals
+    if literal_bytes > len(blob) - offset:
+        raise IsaError("truncated literal pool")
+    literals = [
+        struct.unpack_from("<f", blob, len(blob) - literal_bytes + 4 * i)[0]
+        for i in range(n_literals)
+    ]
+    clause_end = len(blob) - literal_bytes
+
+    clauses: List[Clause] = []
+    for _ in range(n_clauses):
+        if offset + 3 > clause_end:
+            raise IsaError("truncated clause table")
+        kind, count = struct.unpack_from("<cH", blob, offset)
+        offset += 3
+        if kind == b"A":
+            clause = AluClause()
+            for _ in range(count):
+                (width,) = struct.unpack_from("<B", blob, offset)
+                offset += 1
+                bundle = VliwBundle()
+                for _ in range(width):
+                    (word,) = struct.unpack_from("<Q", blob, offset)
+                    offset += 8
+                    label, instruction = _decode_instruction(word, literals)
+                    bundle.set_slot(label, instruction)
+                clause.append(bundle)
+            clauses.append(clause)
+        elif kind == b"T":
+            clause = TexClause()
+            for _ in range(count):
+                (word,) = struct.unpack_from("<I", blob, offset)
+                offset += 4
+                clause.fetches.append(TexFetch(word >> 16, word & 0xFFFF))
+            clauses.append(clause)
+        else:
+            raise IsaError(f"unknown clause kind {kind!r}")
+    if offset != clause_end:
+        raise IsaError("trailing bytes between clauses and literal pool")
+
+    control_flow = []
+    for op, arg in raw_cf:
+        if op in (ControlFlowOp.EXEC_ALU, ControlFlowOp.EXEC_TEX):
+            control_flow.append(ControlFlowInstruction(op, clause_index=arg))
+        elif op is ControlFlowOp.LOOP_START:
+            control_flow.append(ControlFlowInstruction(op, trip_count=arg))
+        else:
+            control_flow.append(ControlFlowInstruction(op))
+
+    program = Program(control_flow=control_flow, clauses=clauses)
+    program.validate()
+    return program

@@ -1,0 +1,121 @@
+"""Instruction and VLIW-bundle containers.
+
+Evergreen ALU instructions are issued as VLIW bundles with up to five slots
+(X, Y, Z, W and the transcendental T slot).  Each slot holds one scalar FP
+instruction; within one stream core the five processing elements execute
+the bundle's slots in a vector-like fashion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from ..config import PE_LABELS
+from ..errors import IsaError
+from .opcodes import Opcode, UnitKind
+
+
+@dataclass(frozen=True)
+class RegisterOperand:
+    """A general-purpose register reference, e.g. ``r3``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise IsaError(f"negative register index {self.index}")
+
+    def __str__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class ImmediateOperand:
+    """A single-precision literal operand."""
+
+    value: float
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Operand = Union[RegisterOperand, ImmediateOperand]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One scalar FP instruction (one VLIW slot's worth of work)."""
+
+    opcode: Opcode
+    dest: RegisterOperand
+    sources: Tuple[Operand, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sources) != self.opcode.arity:
+            raise IsaError(
+                f"{self.opcode.mnemonic} expects {self.opcode.arity} sources, "
+                f"got {len(self.sources)}"
+            )
+
+    @property
+    def unit(self) -> UnitKind:
+        return self.opcode.unit
+
+    def __str__(self) -> str:
+        srcs = ", ".join(str(s) for s in self.sources)
+        return f"{self.opcode.mnemonic} {self.dest}, {srcs}"
+
+
+# The transcendental slot is the only one that may issue SQRT/RECIP-kind ops,
+# mirroring the Evergreen restriction that transcendentals go to the T PE.
+_T_ONLY_UNITS = frozenset({UnitKind.SQRT, UnitKind.RECIP})
+
+
+@dataclass
+class VliwBundle:
+    """A five-slot VLIW instruction word.
+
+    Slots are keyed by PE label; empty slots are simply absent.  The bundle
+    enforces the Evergreen slot rule: transcendental-unit opcodes may only
+    occupy the T slot.
+    """
+
+    slots: Dict[str, Instruction] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for label, instruction in self.slots.items():
+            self._check_slot(label, instruction)
+
+    @staticmethod
+    def _check_slot(label: str, instruction: Instruction) -> None:
+        if label not in PE_LABELS:
+            raise IsaError(f"unknown PE slot {label!r}; expected one of {PE_LABELS}")
+        if instruction.unit in _T_ONLY_UNITS and label != "T":
+            raise IsaError(
+                f"{instruction.opcode.mnemonic} is a transcendental-unit op and "
+                f"must occupy slot T, not {label}"
+            )
+
+    def set_slot(self, label: str, instruction: Instruction) -> None:
+        self._check_slot(label, instruction)
+        if label in self.slots:
+            raise IsaError(f"slot {label} already occupied")
+        self.slots[label] = instruction
+
+    def get_slot(self, label: str) -> Optional[Instruction]:
+        return self.slots.get(label)
+
+    @property
+    def width(self) -> int:
+        """Number of occupied slots."""
+        return len(self.slots)
+
+    def __iter__(self):
+        """Iterate (label, instruction) in canonical X, Y, Z, W, T order."""
+        for label in PE_LABELS:
+            if label in self.slots:
+                yield label, self.slots[label]
+
+    def __str__(self) -> str:
+        return "; ".join(f"{label}: {instr}" for label, instr in self)

@@ -1,0 +1,134 @@
+"""A scalar reference interpreter for clause-based programs.
+
+Executes a :class:`~repro.isa.program.Program` for a single lane against a
+register file and a flat memory.  The interpreter exists as the semantic
+reference for the ISA layer: the GPU executor runs kernels through the
+richer coroutine pipeline, and tests cross-check the two on small programs.
+
+An optional ``fp_hook`` observes every FP operation ``(opcode, operands,
+result)`` and may override the result — this is how the memoization module
+can be spliced underneath ISA-level programs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import IsaError
+from ..fpu import arithmetic
+from .clause import AluClause, ControlFlowOp, TexClause
+from .instruction import ImmediateOperand, Instruction, Operand, RegisterOperand
+from .opcodes import Opcode
+from .program import Program
+
+FpHook = Callable[[Opcode, Tuple[float, ...], float], Optional[float]]
+
+
+class ScalarInterpreter:
+    """Executes one lane's view of a program."""
+
+    def __init__(
+        self,
+        memory: Optional[Sequence[float]] = None,
+        fp_hook: Optional[FpHook] = None,
+    ) -> None:
+        self.registers: Dict[int, float] = {}
+        self.memory: List[float] = list(memory or [])
+        self.fp_hook = fp_hook
+        self.executed_fp_ops = 0
+
+    # ---------------------------------------------------------------- operand
+    def read(self, operand: Operand) -> float:
+        if isinstance(operand, ImmediateOperand):
+            return arithmetic.float32(operand.value)
+        if isinstance(operand, RegisterOperand):
+            return self.registers.get(operand.index, 0.0)
+        raise IsaError(f"unknown operand type {type(operand).__name__}")
+
+    def write(self, register: RegisterOperand, value: float) -> None:
+        self.registers[register.index] = value
+
+    # ------------------------------------------------------------------- run
+    def run(self, program: Program) -> Dict[int, float]:
+        """Execute to the END word; returns the final register file."""
+        program.validate()
+        self._run_block(program, 0, len(program.control_flow))
+        return dict(self.registers)
+
+    def _run_block(self, program: Program, start: int, stop: int) -> int:
+        pc = start
+        while pc < stop:
+            cf = program.control_flow[pc]
+            if cf.op is ControlFlowOp.END:
+                return stop
+            if cf.op is ControlFlowOp.EXEC_ALU:
+                clause = program.clauses[cf.clause_index]
+                assert isinstance(clause, AluClause)
+                self._exec_alu(clause)
+                pc += 1
+            elif cf.op is ControlFlowOp.EXEC_TEX:
+                clause = program.clauses[cf.clause_index]
+                assert isinstance(clause, TexClause)
+                self._exec_tex(clause)
+                pc += 1
+            elif cf.op is ControlFlowOp.LOOP_START:
+                body_start = pc + 1
+                body_end = self._matching_end(program, pc)
+                assert cf.trip_count is not None
+                for _ in range(cf.trip_count):
+                    self._run_block(program, body_start, body_end)
+                pc = body_end + 1
+            elif cf.op is ControlFlowOp.LOOP_END:
+                raise IsaError("stray LOOP_END reached")
+            else:  # pragma: no cover - enum is closed
+                raise IsaError(f"unhandled control-flow op {cf.op}")
+        return stop
+
+    @staticmethod
+    def _matching_end(program: Program, loop_start: int) -> int:
+        depth = 0
+        for pc in range(loop_start, len(program.control_flow)):
+            op = program.control_flow[pc].op
+            if op is ControlFlowOp.LOOP_START:
+                depth += 1
+            elif op is ControlFlowOp.LOOP_END:
+                depth -= 1
+                if depth == 0:
+                    return pc
+        raise IsaError("LOOP_START without matching LOOP_END")
+
+    # ---------------------------------------------------------------- clauses
+    def _exec_alu(self, clause: AluClause) -> None:
+        for bundle in clause.bundles:
+            # All slots of a bundle read their sources before any writes,
+            # matching the VLIW read-then-write semantics.
+            staged = []
+            for _, instruction in bundle:
+                operands = tuple(self.read(src) for src in instruction.sources)
+                staged.append((instruction, operands))
+            for instruction, operands in staged:
+                result = self._execute_fp(instruction, operands)
+                self.write(instruction.dest, result)
+
+    def _execute_fp(
+        self, instruction: Instruction, operands: Tuple[float, ...]
+    ) -> float:
+        result = arithmetic.evaluate(instruction.opcode, operands)
+        self.executed_fp_ops += 1
+        if self.fp_hook is not None:
+            override = self.fp_hook(instruction.opcode, operands, result)
+            if override is not None:
+                result = override
+        return result
+
+    def _exec_tex(self, clause: TexClause) -> None:
+        for fetch in clause.fetches:
+            address = int(self.registers.get(fetch.address_register, 0.0))
+            if not 0 <= address < len(self.memory):
+                raise IsaError(
+                    f"TEX load address {address} outside memory of "
+                    f"{len(self.memory)} words"
+                )
+            self.registers[fetch.dest_register] = arithmetic.float32(
+                self.memory[address]
+            )

@@ -1,0 +1,115 @@
+"""The 27 single-precision FP opcodes and their functional-unit mapping.
+
+Each opcode carries the functional-unit kind that executes it; the paper's
+energy study focuses on the six frequently exercised kinds (ADD, MUL, SQRT,
+RECIP, MULADD, FP2INT).  Commutativity is recorded per opcode because the
+memoization LUT's matching constraints "allow commutativity of the operands
+where applicable" (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import IsaError
+
+
+class UnitKind(enum.Enum):
+    """Functional-unit kinds of the Evergreen ALU engine's FP pool."""
+
+    ADD = "ADD"
+    MUL = "MUL"
+    MULADD = "MULADD"
+    SQRT = "SQRT"
+    RECIP = "RECIP"
+    FP2INT = "FP2INT"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """A single machine opcode.
+
+    ``commutative`` marks the operand positions that may be swapped without
+    changing the result; for MULADD-family ops only the two multiplicands
+    commute, which the LUT comparators exploit.
+    """
+
+    mnemonic: str
+    arity: int
+    unit: UnitKind
+    commutative: bool = False
+    commutative_operands: Tuple[int, int] = (0, 1)
+
+    def __post_init__(self) -> None:
+        if self.arity not in (1, 2, 3):
+            raise IsaError(f"unsupported arity {self.arity} for {self.mnemonic}")
+        if self.commutative and self.arity < 2:
+            raise IsaError(f"unary opcode {self.mnemonic} cannot be commutative")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.mnemonic
+
+
+def _op(mnemonic: str, arity: int, unit: UnitKind, commutative: bool = False) -> Opcode:
+    return Opcode(mnemonic, arity, unit, commutative)
+
+
+#: The 27 single-precision FP instructions of the modified simulator.
+FP_OPCODES: Tuple[Opcode, ...] = (
+    # --- ADD-kind unit (adder / comparator datapath) ---
+    _op("ADD", 2, UnitKind.ADD, commutative=True),
+    _op("SUB", 2, UnitKind.ADD),
+    _op("MAX", 2, UnitKind.ADD, commutative=True),
+    _op("MIN", 2, UnitKind.ADD, commutative=True),
+    _op("SETE", 2, UnitKind.ADD, commutative=True),
+    _op("SETNE", 2, UnitKind.ADD, commutative=True),
+    _op("SETGT", 2, UnitKind.ADD),
+    _op("SETGE", 2, UnitKind.ADD),
+    _op("FLOOR", 1, UnitKind.ADD),
+    _op("FRACT", 1, UnitKind.ADD),
+    # --- MUL-kind unit ---
+    _op("MUL", 2, UnitKind.MUL, commutative=True),
+    _op("MUL_IEEE", 2, UnitKind.MUL, commutative=True),
+    # --- MULADD-kind unit (fused a*b + c) ---
+    _op("MULADD", 3, UnitKind.MULADD, commutative=True),
+    _op("MULADD_IEEE", 3, UnitKind.MULADD, commutative=True),
+    _op("MULSUB", 3, UnitKind.MULADD, commutative=True),
+    # --- SQRT-kind transcendental unit (T slot) ---
+    _op("SQRT", 1, UnitKind.SQRT),
+    _op("RSQRT", 1, UnitKind.SQRT),
+    _op("SIN", 1, UnitKind.SQRT),
+    _op("COS", 1, UnitKind.SQRT),
+    _op("EXP", 1, UnitKind.SQRT),
+    _op("LOG", 1, UnitKind.SQRT),
+    # --- RECIP-kind unit (deep 16-stage pipeline) ---
+    _op("RECIP", 1, UnitKind.RECIP),
+    _op("RECIP_CLAMPED", 1, UnitKind.RECIP),
+    # --- FP<->INT conversion unit ---
+    _op("FLT_TO_INT", 1, UnitKind.FP2INT),
+    _op("INT_TO_FLT", 1, UnitKind.FP2INT),
+    _op("TRUNC", 1, UnitKind.FP2INT),
+    _op("RNDNE", 1, UnitKind.FP2INT),
+)
+
+if len(FP_OPCODES) != 27:  # defensive: the paper's count is part of the spec
+    raise IsaError(f"expected 27 FP opcodes, found {len(FP_OPCODES)}")
+
+_BY_MNEMONIC: Dict[str, Opcode] = {op.mnemonic: op for op in FP_OPCODES}
+
+
+def opcode_by_mnemonic(mnemonic: str) -> Opcode:
+    """Look up an opcode; raises :class:`IsaError` for unknown mnemonics."""
+    try:
+        return _BY_MNEMONIC[mnemonic.upper()]
+    except KeyError:
+        raise IsaError(f"unknown FP opcode: {mnemonic!r}") from None
+
+
+def opcodes_for_unit(unit: UnitKind) -> Tuple[Opcode, ...]:
+    """All opcodes dispatched to the given functional-unit kind."""
+    return tuple(op for op in FP_OPCODES if op.unit is unit)

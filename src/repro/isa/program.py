@@ -1,0 +1,69 @@
+"""Program container tying control flow to clauses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from ..errors import IsaError
+from .clause import (
+    AluClause,
+    Clause,
+    ControlFlowInstruction,
+    ControlFlowOp,
+    TexClause,
+)
+
+
+@dataclass
+class Program:
+    """A clause-based Evergreen-style program.
+
+    ``control_flow`` is the top-level instruction stream; EXEC words index
+    into ``clauses``.  ``validate`` checks the cross-references once so the
+    interpreter can run without per-step checks.
+    """
+
+    control_flow: List[ControlFlowInstruction] = field(default_factory=list)
+    clauses: List[Clause] = field(default_factory=list)
+
+    def validate(self) -> None:
+        depth = 0
+        for cf in self.control_flow:
+            if cf.op is ControlFlowOp.LOOP_START:
+                depth += 1
+            elif cf.op is ControlFlowOp.LOOP_END:
+                depth -= 1
+                if depth < 0:
+                    raise IsaError("LOOP_END without matching LOOP_START")
+            elif cf.op in (ControlFlowOp.EXEC_ALU, ControlFlowOp.EXEC_TEX):
+                index = cf.clause_index
+                if index is None or not 0 <= index < len(self.clauses):
+                    raise IsaError(f"clause index {index} out of range")
+                clause = self.clauses[index]
+                if cf.op is ControlFlowOp.EXEC_ALU and not isinstance(clause, AluClause):
+                    raise IsaError(f"clause {index} is not an ALU clause")
+                if cf.op is ControlFlowOp.EXEC_TEX and not isinstance(clause, TexClause):
+                    raise IsaError(f"clause {index} is not a TEX clause")
+        if depth != 0:
+            raise IsaError("unbalanced LOOP_START/LOOP_END")
+        if not any(cf.op is ControlFlowOp.END for cf in self.control_flow):
+            raise IsaError("program lacks an END control-flow word")
+
+    @property
+    def alu_clauses(self) -> List[AluClause]:
+        return [c for c in self.clauses if isinstance(c, AluClause)]
+
+    @property
+    def tex_clauses(self) -> List[TexClause]:
+        return [c for c in self.clauses if isinstance(c, TexClause)]
+
+    @property
+    def fp_instruction_count(self) -> int:
+        """Static count of FP instructions across all ALU clauses."""
+        return sum(c.instruction_count for c in self.alu_clauses)
+
+    def iter_bundles(self) -> Iterator:
+        """Iterate all VLIW bundles in clause order (static, ignores loops)."""
+        for clause in self.alu_clauses:
+            yield from clause.bundles

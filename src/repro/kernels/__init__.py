@@ -1,0 +1,29 @@
+"""Device kernels: the paper's seven AMD APP SDK v2.5 workloads.
+
+Error-tolerant image filters (Sobel, Gaussian) and error-intolerant
+general-purpose kernels (Haar wavelet, BinomialOption, BlackScholes, fast
+Walsh transform, EigenValue), re-implemented as per-work-item coroutines
+over the FP-op API in :mod:`repro.kernels.api`.  Every floating-point
+operation is yielded to the executor, so memoized (possibly approximate)
+results feed the downstream computation honestly.
+
+:mod:`repro.kernels.registry` is Table 1: each kernel's input parameters
+and the approximation threshold selected in the paper, plus the scaled-
+down default sizes used by the pure-Python benches.
+"""
+
+from .api import Buffer, WorkItemCtx
+from .base import Workload
+from .registry import KERNEL_REGISTRY, KernelSpec, workload_by_name
+from .validation import validate_workload, ValidationResult
+
+__all__ = [
+    "Buffer",
+    "WorkItemCtx",
+    "Workload",
+    "KERNEL_REGISTRY",
+    "KernelSpec",
+    "workload_by_name",
+    "validate_workload",
+    "ValidationResult",
+]

@@ -1,0 +1,190 @@
+"""The work-item programming interface.
+
+Kernels are generator functions: every floating-point operation is
+requested by yielding an *(opcode, operands)* pair and receiving the
+result back from the executor::
+
+    def scale_add(ctx, src, dst, factor):
+        x = src.load(ctx.global_id)
+        y = yield ctx.fmul(x, factor)
+        z = yield ctx.fadd(y, 1.0)
+        dst.store(ctx.global_id, z)
+
+Integer index arithmetic happens natively in Python (it runs on the
+integer units, which the paper leaves unmodified); only FP work flows
+through the simulated FPUs.  Operand values must already be exact
+single-precision values: buffer loads and op results are, and literals
+should be single-representable (or pre-quantized with
+:func:`repro.fpu.arithmetic.float32`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+from ..errors import KernelError
+from ..isa.opcodes import opcode_by_mnemonic
+
+OP_ADD = opcode_by_mnemonic("ADD")
+OP_SUB = opcode_by_mnemonic("SUB")
+OP_MUL = opcode_by_mnemonic("MUL")
+OP_MULADD = opcode_by_mnemonic("MULADD")
+OP_MULSUB = opcode_by_mnemonic("MULSUB")
+OP_MAX = opcode_by_mnemonic("MAX")
+OP_MIN = opcode_by_mnemonic("MIN")
+OP_SETE = opcode_by_mnemonic("SETE")
+OP_SETNE = opcode_by_mnemonic("SETNE")
+OP_SETGT = opcode_by_mnemonic("SETGT")
+OP_SETGE = opcode_by_mnemonic("SETGE")
+OP_FLOOR = opcode_by_mnemonic("FLOOR")
+OP_FRACT = opcode_by_mnemonic("FRACT")
+OP_SQRT = opcode_by_mnemonic("SQRT")
+OP_RSQRT = opcode_by_mnemonic("RSQRT")
+OP_SIN = opcode_by_mnemonic("SIN")
+OP_COS = opcode_by_mnemonic("COS")
+OP_EXP = opcode_by_mnemonic("EXP")
+OP_LOG = opcode_by_mnemonic("LOG")
+OP_RECIP = opcode_by_mnemonic("RECIP")
+OP_FLT_TO_INT = opcode_by_mnemonic("FLT_TO_INT")
+OP_INT_TO_FLT = opcode_by_mnemonic("INT_TO_FLT")
+OP_TRUNC = opcode_by_mnemonic("TRUNC")
+OP_RNDNE = opcode_by_mnemonic("RNDNE")
+
+OpRequest = Tuple[object, Tuple[float, ...]]
+
+
+class Buffer:
+    """A float32 device buffer backed by a numpy array."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Union[int, Iterable[float], np.ndarray]) -> None:
+        if isinstance(data, int):
+            if data < 0:
+                raise KernelError("buffer size cannot be negative")
+            self._data = np.zeros(data, dtype=np.float32)
+        else:
+            self._data = np.asarray(data, dtype=np.float32).ravel().copy()
+
+    @classmethod
+    def zeros(cls, size: int) -> "Buffer":
+        return cls(size)
+
+    @classmethod
+    def from_array(cls, array) -> "Buffer":
+        return cls(array)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def load(self, index: int) -> float:
+        """Read one element (already exact single precision)."""
+        return float(self._data[index])
+
+    def store(self, index: int, value: float) -> None:
+        self._data[index] = value
+
+    def to_array(self) -> np.ndarray:
+        return self._data.copy()
+
+    def copy(self) -> "Buffer":
+        return Buffer(self._data)
+
+
+class WorkItemCtx:
+    """Work-item ids plus FP-op request builders.
+
+    The builders only construct request tuples; the actual execution
+    happens when the kernel yields them.
+    """
+
+    __slots__ = ("global_id", "local_id", "group_id", "global_size")
+
+    def __init__(
+        self,
+        global_id: int,
+        local_id: int = 0,
+        group_id: int = 0,
+        global_size: int = 1,
+    ) -> None:
+        self.global_id = global_id
+        self.local_id = local_id
+        self.group_id = group_id
+        self.global_size = global_size
+
+    # ------------------------------------------------------------ binary ops
+    def fadd(self, a: float, b: float) -> OpRequest:
+        return (OP_ADD, (a, b))
+
+    def fsub(self, a: float, b: float) -> OpRequest:
+        return (OP_SUB, (a, b))
+
+    def fmul(self, a: float, b: float) -> OpRequest:
+        return (OP_MUL, (a, b))
+
+    def fmax(self, a: float, b: float) -> OpRequest:
+        return (OP_MAX, (a, b))
+
+    def fmin(self, a: float, b: float) -> OpRequest:
+        return (OP_MIN, (a, b))
+
+    def fsete(self, a: float, b: float) -> OpRequest:
+        return (OP_SETE, (a, b))
+
+    def fsetne(self, a: float, b: float) -> OpRequest:
+        return (OP_SETNE, (a, b))
+
+    def fsetgt(self, a: float, b: float) -> OpRequest:
+        return (OP_SETGT, (a, b))
+
+    def fsetge(self, a: float, b: float) -> OpRequest:
+        return (OP_SETGE, (a, b))
+
+    # ----------------------------------------------------------- ternary ops
+    def fmuladd(self, a: float, b: float, c: float) -> OpRequest:
+        return (OP_MULADD, (a, b, c))
+
+    def fmulsub(self, a: float, b: float, c: float) -> OpRequest:
+        return (OP_MULSUB, (a, b, c))
+
+    # ------------------------------------------------------------- unary ops
+    def ffloor(self, a: float) -> OpRequest:
+        return (OP_FLOOR, (a,))
+
+    def ffract(self, a: float) -> OpRequest:
+        return (OP_FRACT, (a,))
+
+    def fsqrt(self, a: float) -> OpRequest:
+        return (OP_SQRT, (a,))
+
+    def frsqrt(self, a: float) -> OpRequest:
+        return (OP_RSQRT, (a,))
+
+    def fsin(self, a: float) -> OpRequest:
+        return (OP_SIN, (a,))
+
+    def fcos(self, a: float) -> OpRequest:
+        return (OP_COS, (a,))
+
+    def fexp(self, a: float) -> OpRequest:
+        return (OP_EXP, (a,))
+
+    def flog(self, a: float) -> OpRequest:
+        return (OP_LOG, (a,))
+
+    def frecip(self, a: float) -> OpRequest:
+        return (OP_RECIP, (a,))
+
+    def flt2int(self, a: float) -> OpRequest:
+        return (OP_FLT_TO_INT, (a,))
+
+    def int2flt(self, a: float) -> OpRequest:
+        return (OP_INT_TO_FLT, (a,))
+
+    def ftrunc(self, a: float) -> OpRequest:
+        return (OP_TRUNC, (a,))
+
+    def frndne(self, a: float) -> OpRequest:
+        return (OP_RNDNE, (a,))

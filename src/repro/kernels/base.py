@@ -1,0 +1,44 @@
+"""Workload abstraction shared by all kernels.
+
+A :class:`Workload` owns its input data and launch plan (possibly several
+kernel launches, e.g. one per Haar level or FWT stage) and can be run on
+any *runner* exposing ``run(kernel, global_size, args)`` — the simulated
+:class:`~repro.gpu.executor.GpuExecutor` or the golden
+:class:`~repro.gpu.executor.ReferenceExecutor`.  Each ``run`` call builds
+fresh output buffers so a memoized run never contaminates the golden one.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..errors import KernelError
+
+
+class Workload(abc.ABC):
+    """One benchmarkable kernel instance (inputs + launch plan)."""
+
+    #: Registry name, e.g. ``"Sobel"``.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, runner) -> np.ndarray:
+        """Execute the full launch plan; returns the output array."""
+
+    @abc.abstractmethod
+    def output_tolerance(self) -> float:
+        """Max absolute output error accepted by the host-side test program."""
+
+    def golden(self) -> np.ndarray:
+        """Reference output via exact float32 execution."""
+        from ..gpu.executor import ReferenceExecutor
+
+        return self.run(ReferenceExecutor())
+
+    @staticmethod
+    def _require(condition: bool, message: str) -> None:
+        if not condition:
+            raise KernelError(message)

@@ -1,0 +1,116 @@
+"""Binomial-lattice European option pricing (error-intolerant kernel).
+
+One work-item prices one option on a Cox-Ross-Rubinstein binomial tree:
+build the terminal payoffs, then fold the tree backward with discounted
+risk-neutral expectations — a long dependent MULADD chain, the dominant
+op mix of the AMD APP SDK sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import RngStream
+from .api import Buffer, WorkItemCtx
+from .base import Workload
+
+
+def binomial_option_kernel(
+    ctx: WorkItemCtx,
+    price: Buffer,
+    strike: Buffer,
+    out: Buffer,
+    steps: int,
+    rate: float,
+    volatility: float,
+    years: float,
+):
+    """Price one European call on a CRR tree of ``steps`` steps."""
+    gid = ctx.global_id
+    # Integer-tick market inputs, converted on the FP2INT unit.
+    s = yield ctx.int2flt(price.load(gid))
+    k = yield ctx.int2flt(strike.load(gid))
+
+    dt = years / steps  # host-side scalar setup, same for all items
+    v_sqrt_dt = yield ctx.fsqrt(dt)
+    v_sqrt_dt = yield ctx.fmul(volatility, v_sqrt_dt)
+    u = yield ctx.fexp(v_sqrt_dt)
+    d = yield ctx.frecip(u)
+    growth = yield ctx.fexp(rate * dt)
+    u_minus_d = yield ctx.fsub(u, d)
+    inv_spread = yield ctx.frecip(u_minus_d)
+    pu_num = yield ctx.fsub(growth, d)
+    pu = yield ctx.fmul(pu_num, inv_spread)
+    pd = yield ctx.fsub(1.0, pu)
+    discount = yield ctx.frecip(growth)
+    dpu = yield ctx.fmul(discount, pu)
+    dpd = yield ctx.fmul(discount, pd)
+
+    # Terminal prices: S * d^steps * u^(2j), built iteratively.
+    values = []
+    node = s
+    for _ in range(steps):
+        node = yield ctx.fmul(node, d)
+    u2 = yield ctx.fmul(u, u)
+    for _ in range(steps + 1):
+        payoff = yield ctx.fsub(node, k)
+        payoff = yield ctx.fmax(payoff, 0.0)
+        values.append(payoff)
+        node = yield ctx.fmul(node, u2)
+
+    # Backward induction.
+    for level in range(steps, 0, -1):
+        for j in range(level):
+            up_term = yield ctx.fmul(dpu, values[j + 1])
+            values[j] = yield ctx.fmuladd(dpd, values[j], up_term)
+
+    out.store(gid, values[0])
+
+
+class BinomialOptionWorkload(Workload):
+    """A batch of options, one work-item each."""
+
+    name = "BinomialOption"
+
+    def __init__(
+        self,
+        num_options: int,
+        steps: int = 16,
+        rate: float = 0.02,
+        volatility: float = 0.30,
+        years: float = 1.0,
+        seed: int = 11,
+    ) -> None:
+        self._require(num_options >= 1, "need at least one option")
+        self._require(steps >= 1, "need at least one tree step")
+        rng = RngStream(seed, "binomial-option")
+        # Whole-currency prices/strikes (market-quantized, as in the SDK's
+        # integer-percent random inputs); quantization makes terminal
+        # payoffs recur across options.
+        # A realistic strike chain spans deep in- to deep out-of-the-money;
+        # far-OTM lattices are all-zero, a strong source of value locality.
+        self.price = np.round(rng.array_uniform(num_options, 5.0, 30.0)).astype(
+            np.float32
+        )
+        self.strike = np.round(rng.array_uniform(num_options, 10.0, 80.0)).astype(
+            np.float32
+        )
+        self.num_options = num_options
+        self.steps = steps
+        self.rate = rate
+        self.volatility = volatility
+        self.years = years
+
+    def run(self, runner) -> np.ndarray:
+        price = Buffer.from_array(self.price)
+        strike = Buffer.from_array(self.strike)
+        out = Buffer.zeros(self.num_options)
+        runner.run(
+            binomial_option_kernel,
+            self.num_options,
+            (price, strike, out, self.steps, self.rate, self.volatility, self.years),
+        )
+        return out.to_array()
+
+    def output_tolerance(self) -> float:
+        return 1e-3

@@ -1,0 +1,54 @@
+"""Fast Walsh-Hadamard transform (error-intolerant kernel).
+
+Radix-2 in-place butterflies: ``log2(n)`` stages, each launched as one
+kernel over ``n/2`` work-items computing ``(a, b) -> (a+b, a-b)``.  The
+paper keeps FWT on the *exact* matching constraint (threshold = 0):
+Walsh coefficients feed bit-exact downstream checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .api import Buffer, WorkItemCtx
+from .base import Workload
+
+
+def fwt_stage_kernel(ctx: WorkItemCtx, data: Buffer, half_block: int):
+    """One butterfly of the current stage."""
+    gid = ctx.global_id
+    block = gid // half_block
+    offset = gid % half_block
+    i = block * 2 * half_block + offset
+    j = i + half_block
+    a = data.load(i)
+    b = data.load(j)
+    s = yield ctx.fadd(a, b)
+    d = yield ctx.fsub(a, b)
+    data.store(i, s)
+    data.store(j, d)
+
+
+class FwtWorkload(Workload):
+    """Full Walsh-Hadamard transform of a signal."""
+
+    name = "FWT"
+
+    def __init__(self, signal: np.ndarray) -> None:
+        signal = np.asarray(signal, dtype=np.float32).ravel()
+        n = len(signal)
+        self._require(n >= 2 and (n & (n - 1)) == 0, "length must be a power of two")
+        self.signal = signal
+
+    def run(self, runner) -> np.ndarray:
+        n = len(self.signal)
+        data = Buffer.from_array(self.signal)
+        half_block = 1
+        while half_block < n:
+            runner.run(fwt_stage_kernel, n // 2, (data, half_block))
+            half_block *= 2
+        return data.to_array()
+
+    def output_tolerance(self) -> float:
+        # Exact matching configuration: outputs must be bit-identical.
+        return 0.0

@@ -1,0 +1,69 @@
+"""5x5 Gaussian blur (error-tolerant image kernel).
+
+One work-item per pixel accumulates the separable-equivalent 5x5 binomial
+kernel (sigma ~ 1.1) as a chain of MULADD operations and clamps to
+[0, 255].  Coefficients are single-precision exact (powers of two over
+256), matching the fixed-point weights of the AMD APP SDK sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .api import Buffer, WorkItemCtx
+from .base import Workload
+
+#: Binomial 1-D weights [1 4 6 4 1] / 16; the 2-D kernel is their outer
+#: product, every entry an exact single-precision value.
+_WEIGHTS_1D = (1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0)
+GAUSSIAN_TAPS = tuple(
+    (dx, dy, _WEIGHTS_1D[dx + 2] * _WEIGHTS_1D[dy + 2])
+    for dy in range(-2, 3)
+    for dx in range(-2, 3)
+)
+
+
+def gaussian_kernel(
+    ctx: WorkItemCtx, src: Buffer, dst: Buffer, width: int, height: int
+):
+    """Per-pixel 5x5 Gaussian convolution."""
+    gid = ctx.global_id
+    x = gid % width
+    y = gid // width
+
+    acc = 0.0
+    for dx, dy, weight in GAUSSIAN_TAPS:
+        cx = min(max(x + dx, 0), width - 1)
+        cy = min(max(y + dy, 0), height - 1)
+        # uchar pixel -> float on the conversion unit, as the SDK binary does.
+        pixel = yield ctx.int2flt(src.load(cy * width + cx))
+        acc = yield ctx.fmuladd(pixel, weight, acc)
+    acc = yield ctx.fmin(acc, 255.0)
+    acc = yield ctx.fmax(acc, 0.0)
+    acc = yield ctx.flt2int(acc)
+    dst.store(gid, acc)
+
+
+class GaussianWorkload(Workload):
+    """Gaussian blur over one grayscale image."""
+
+    name = "Gaussian"
+
+    def __init__(self, image: np.ndarray) -> None:
+        image = np.asarray(image, dtype=np.float32)
+        self._require(image.ndim == 2, "Gaussian expects a 2-D grayscale image")
+        self.height, self.width = image.shape
+        self.image = image
+
+    def run(self, runner) -> np.ndarray:
+        src = Buffer.from_array(self.image)
+        dst = Buffer.zeros(self.width * self.height)
+        runner.run(
+            gaussian_kernel,
+            self.width * self.height,
+            (src, dst, self.width, self.height),
+        )
+        return dst.to_array().reshape(self.height, self.width)
+
+    def output_tolerance(self) -> float:
+        return 0.0

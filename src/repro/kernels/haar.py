@@ -1,0 +1,67 @@
+"""One-dimensional Haar wavelet transform (error-intolerant-ish kernel).
+
+Each work-item of a level computes one (approximation, detail) pair::
+
+    s[i] = (a[2i] + a[2i+1]) / sqrt(2)
+    d[i] = (a[2i] - a[2i+1]) / sqrt(2)
+
+The full decomposition runs log2(n) levels as successive launches over a
+shrinking approximation band, like the AMD APP SDK sample's host loop.
+The paper found Haar tolerates a small threshold (0.046) while the SDK
+self-check still passes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..fpu.arithmetic import float32
+from .api import Buffer, WorkItemCtx
+from .base import Workload
+
+#: 1/sqrt(2) rounded to single precision.
+INV_SQRT2 = float32(1.0 / math.sqrt(2.0))
+
+
+def haar_level_kernel(ctx: WorkItemCtx, src: Buffer, dst: Buffer, half: int):
+    """One decomposition level: work-item i makes s[i] and d[i]."""
+    i = ctx.global_id
+    a = src.load(2 * i)
+    b = src.load(2 * i + 1)
+    s = yield ctx.fadd(a, b)
+    s = yield ctx.fmul(s, INV_SQRT2)
+    d = yield ctx.fsub(a, b)
+    d = yield ctx.fmul(d, INV_SQRT2)
+    dst.store(i, s)
+    dst.store(half + i, d)
+
+
+class HaarWorkload(Workload):
+    """Full multi-level 1-D Haar decomposition of a signal."""
+
+    name = "Haar"
+
+    def __init__(self, signal: np.ndarray) -> None:
+        signal = np.asarray(signal, dtype=np.float32).ravel()
+        n = len(signal)
+        self._require(n >= 2 and (n & (n - 1)) == 0, "length must be a power of two")
+        self.signal = signal
+
+    def run(self, runner) -> np.ndarray:
+        n = len(self.signal)
+        current = Buffer.from_array(self.signal)
+        length = n
+        while length >= 2:
+            half = length // 2
+            next_buf = Buffer.from_array(current.to_array())
+            runner.run(haar_level_kernel, half, (current, next_buf, half))
+            current = next_buf
+            length = half
+        return current.to_array()
+
+    def output_tolerance(self) -> float:
+        # The SDK self-check accepts small numerical error; the paper
+        # selects threshold=0.046 against this acceptance.
+        return 0.05 * math.sqrt(len(self.signal))

@@ -1,0 +1,169 @@
+"""Table 1: kernels, input parameters and approximation thresholds.
+
+Each entry records the paper's input parameter and selected threshold,
+plus a factory producing a scaled-down workload instance that pure-Python
+simulation can run in seconds.  The *threshold* column is the paper's:
+relatively large for the PSNR-judged image filters, tiny-but-nonzero for
+the three general-purpose kernels whose SDK self-check still passes, and
+exactly zero (bit-by-bit matching) for FWT and EigenValue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import KernelError
+from ..images.synth import synth_book, synth_face
+from ..utils.rng import RngStream
+from .base import Workload
+from .binomial_option import BinomialOptionWorkload
+from .black_scholes import BlackScholesWorkload
+from .eigenvalue import EigenValueWorkload
+from .fwt import FwtWorkload
+from .gaussian import GaussianWorkload
+from .haar import HaarWorkload
+from .sobel import SobelWorkload
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One row of Table 1 plus this repo's scaled defaults.
+
+    ``paper_threshold`` is the value the authors selected for their inputs;
+    ``scaled_threshold`` is the value selected by the *same procedure*
+    (largest threshold with PSNR >= 30 dB, or with the host self-check
+    still passing) against this repo's scaled synthetic inputs.  They
+    coincide for every kernel except Gaussian, whose PSNR budget tightens
+    on the smaller synthetic portrait.
+    """
+
+    name: str
+    paper_input: str
+    paper_threshold: float
+    error_tolerant: bool
+    default_factory: Callable[[], Workload]
+    scaled_input: str
+    scaled_threshold: Optional[float] = None
+
+    @property
+    def threshold(self) -> float:
+        """The threshold to run the scaled workload with."""
+        if self.scaled_threshold is not None:
+            return self.scaled_threshold
+        return self.paper_threshold
+
+
+def _haar_signal(n: int):
+    """ADC-style input: piecewise-constant plateaus + a smooth component.
+
+    Real 1-D sensor/audio signals contain silence and plateaus; those flat
+    runs are where the Haar detail coefficients collapse to zero and the
+    memoization FIFO earns its hits.  Quantized to 1/8 steps like a
+    fixed-point ADC.
+    """
+    import numpy as np
+
+    rng = RngStream(5, "haar-signal", n)
+    # Plateau levels changing every ~n/4 samples, plus sparse +-0.125
+    # quantization noise on ~10% of samples.
+    num_segments = max(n // 64, 2)
+    levels = np.round(rng.array_uniform(num_segments, -40.0, 40.0))
+    signal = np.repeat(levels, int(np.ceil(n / num_segments)))[:n].copy()
+    noisy = rng.array_uniform(n) < 0.10
+    sign = np.where(rng.array_uniform(n) < 0.5, -0.125, 0.125)
+    signal = signal + noisy * sign
+    return signal.astype(np.float32)
+
+
+def _fwt_signal(n: int):
+    """Bipolar +-1 chips, the CDMA-style correlation input of FWT users.
+
+    Walsh transforms of spreading codes operate on +-1 data; the butterfly
+    values stay small integers with heavy reuse, which is the realistic
+    high-locality regime for this kernel.
+    """
+    import numpy as np
+
+    rng = RngStream(9, "fwt-signal", n)
+    return np.where(rng.array_uniform(n) < 0.5, -1.0, 1.0).astype(np.float32)
+
+
+KERNEL_REGISTRY: Dict[str, KernelSpec] = {
+    "Sobel": KernelSpec(
+        name="Sobel",
+        paper_input="face (1536x1536)",
+        paper_threshold=1.0,
+        error_tolerant=True,
+        default_factory=lambda: SobelWorkload(synth_face(64)),
+        scaled_input="synthetic face (64x64)",
+    ),
+    "Gaussian": KernelSpec(
+        name="Gaussian",
+        paper_input="face (1536x1536)",
+        paper_threshold=0.8,
+        error_tolerant=True,
+        default_factory=lambda: GaussianWorkload(synth_face(64)),
+        scaled_input="synthetic face (64x64)",
+        scaled_threshold=0.6,
+    ),
+    "Haar": KernelSpec(
+        name="Haar",
+        paper_input="1024",
+        paper_threshold=0.046,
+        error_tolerant=False,
+        default_factory=lambda: HaarWorkload(_haar_signal(256)),
+        scaled_input="signal of 256 samples",
+    ),
+    "BinomialOption": KernelSpec(
+        name="BinomialOption",
+        paper_input="20",
+        paper_threshold=0.000025,
+        error_tolerant=False,
+        default_factory=lambda: BinomialOptionWorkload(64, steps=16),
+        scaled_input="64 options, 16 tree steps",
+    ),
+    "BlackScholes": KernelSpec(
+        name="BlackScholes",
+        paper_input="20",
+        paper_threshold=0.000025,
+        error_tolerant=False,
+        default_factory=lambda: BlackScholesWorkload(128),
+        scaled_input="128 options",
+    ),
+    "FWT": KernelSpec(
+        name="FWT",
+        paper_input="1000000",
+        paper_threshold=0.0,
+        error_tolerant=False,
+        default_factory=lambda: FwtWorkload(_fwt_signal(512)),
+        scaled_input="signal of 512 samples",
+    ),
+    "EigenValue": KernelSpec(
+        name="EigenValue",
+        paper_input="1000x1000",
+        paper_threshold=0.0,
+        error_tolerant=False,
+        default_factory=lambda: EigenValueWorkload(64, iterations=8),
+        scaled_input="64x64 tridiagonal matrix",
+    ),
+}
+
+
+def workload_by_name(name: str) -> Workload:
+    """Instantiate the scaled default workload for a Table-1 kernel."""
+    try:
+        spec = KERNEL_REGISTRY[name]
+    except KeyError:
+        raise KernelError(
+            f"unknown kernel {name!r}; known: {sorted(KERNEL_REGISTRY)}"
+        ) from None
+    return spec.default_factory()
+
+
+def table1_rows() -> Tuple[Tuple[str, str, float], ...]:
+    """The (kernel, input parameter, threshold) rows as in the paper."""
+    return tuple(
+        (spec.name, spec.paper_input, spec.paper_threshold)
+        for spec in KERNEL_REGISTRY.values()
+    )

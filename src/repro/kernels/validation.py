@@ -1,0 +1,85 @@
+"""Host-side validation — the SDK "test program executed in the host code".
+
+Runs a workload both on the simulated device and on the exact float32
+reference, then judges the device output: error-tolerant image kernels by
+PSNR (>= 30 dB passes), everything else by the workload's absolute
+tolerance (zero for the exact-matching kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import SimConfig
+from ..images.psnr import psnr
+from .base import Workload
+
+#: PSNR accepted "from the user's perspective" for image kernels (dB).
+ACCEPTABLE_PSNR_DB = 30.0
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of comparing a device run against the golden reference."""
+
+    workload: str
+    passed: bool
+    max_abs_error: float
+    psnr_db: Optional[float]
+    hit_rate: float
+    executed_ops: int
+
+    def __str__(self) -> str:
+        verdict = "Passed" if self.passed else "FAILED"
+        detail = f"max|err|={self.max_abs_error:.3g}"
+        if self.psnr_db is not None:
+            detail += f", PSNR={self.psnr_db:.1f} dB"
+        return (
+            f"{self.workload}: {verdict} ({detail}, "
+            f"hit rate={100 * self.hit_rate:.1f}%, ops={self.executed_ops})"
+        )
+
+
+def validate_workload(
+    workload: Workload,
+    config: Optional[SimConfig] = None,
+    judge_by_psnr: Optional[bool] = None,
+) -> ValidationResult:
+    """Run device-vs-golden and apply the host-side acceptance test."""
+    # Imported here: repro.gpu.executor needs repro.kernels.api, so a
+    # module-level import would create a cycle when repro.gpu loads first.
+    from ..gpu.executor import GpuExecutor
+
+    config = config or SimConfig()
+    executor = GpuExecutor(config)
+    device_output = workload.run(executor)
+    golden_output = workload.golden()
+
+    device_flat = np.asarray(device_output, dtype=np.float64).ravel()
+    golden_flat = np.asarray(golden_output, dtype=np.float64).ravel()
+    max_abs_error = float(np.max(np.abs(device_flat - golden_flat)))
+
+    if judge_by_psnr is None:
+        judge_by_psnr = np.asarray(device_output).ndim == 2
+
+    psnr_db: Optional[float] = None
+    if judge_by_psnr:
+        psnr_db = psnr(golden_output, device_output)
+        passed = psnr_db >= ACCEPTABLE_PSNR_DB
+    else:
+        passed = max_abs_error <= workload.output_tolerance()
+
+    result_stats = executor.device
+    lookups = sum(s.lookups for s in result_stats.lut_stats().values())
+    hits = sum(s.hits for s in result_stats.lut_stats().values())
+    return ValidationResult(
+        workload=workload.name,
+        passed=passed,
+        max_abs_error=max_abs_error,
+        psnr_db=psnr_db,
+        hit_rate=hits / lookups if lookups else 0.0,
+        executed_ops=result_stats.executed_ops,
+    )

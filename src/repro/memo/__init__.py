@@ -1,0 +1,44 @@
+"""Temporal memoization — the paper's primary contribution.
+
+A lightweight single-cycle lookup table (LUT) is tightly coupled to every
+FPU.  The LUT is a small FIFO of recent *error-free* executions (operands
+and result) plus parallel combinational comparators implementing a
+programmable matching constraint (Equation 1): exact bit-by-bit matching
+for error-intolerant kernels, or approximate matching within an absolute
+numerical ``threshold`` (equivalently, a comparator masking vector that
+ignores low-order fraction bits) for error-tolerant kernels.
+
+On a lookup *hit* the stored result is reused: the remaining FPU stages are
+clock-gated, and a concurrent timing error — if any — is masked instead of
+triggering the costly ECU recovery (Table 2 of the paper).
+"""
+
+from .matching import MatchOutcome, MatchingConstraint
+from .fifo import FifoEntry, MemoFifo
+from .lut import LutStats, MemoLUT
+from .mmio import MemoMmio, REG_CONTROL, REG_MASK_VECTOR, REG_THRESHOLD
+from .module import MemoAction, MemoDecision, TemporalMemoizationModule
+from .resilient import ExecutionOutcome, FpuEventCounters, ResilientFpu
+from .spatial import LaneOutcome, SpatialMemoizationUnit, SpatialStats
+
+__all__ = [
+    "LaneOutcome",
+    "SpatialMemoizationUnit",
+    "SpatialStats",
+    "MatchOutcome",
+    "MatchingConstraint",
+    "FifoEntry",
+    "MemoFifo",
+    "LutStats",
+    "MemoLUT",
+    "MemoMmio",
+    "REG_CONTROL",
+    "REG_MASK_VECTOR",
+    "REG_THRESHOLD",
+    "MemoAction",
+    "MemoDecision",
+    "TemporalMemoizationModule",
+    "ExecutionOutcome",
+    "FpuEventCounters",
+    "ResilientFpu",
+]

@@ -1,0 +1,142 @@
+"""The single-cycle lookup table coupled to one FPU.
+
+The LUT (bottom of Figure 9) bundles the two-entry FIFO with the parallel
+combinational comparators and the memory-mapped programming registers.  It
+operates in parallel with the first FPU pipeline stage, so a lookup never
+adds latency; the synthesized module has 14% positive slack at the 1 GHz
+signoff clock and is assumed error-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..config import MemoConfig
+from ..errors import MemoizationError
+from ..isa.opcodes import Opcode
+from ..utils.bitops import FRACTION_BITS, fraction_mask_vector
+from .fifo import MemoFifo
+from .matching import MatchOutcome, MatchingConstraint
+from .mmio import MemoMmio
+
+
+@dataclass
+class LutStats:
+    """Lookup/update statistics of one LUT."""
+
+    lookups: int = 0
+    hits: int = 0
+    updates: int = 0
+    outcome_counts: Dict[MatchOutcome, int] = field(
+        default_factory=lambda: {outcome: 0 for outcome in MatchOutcome}
+    )
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def merge(self, other: "LutStats") -> None:
+        self.lookups += other.lookups
+        self.hits += other.hits
+        self.updates += other.updates
+        for outcome, count in other.outcome_counts.items():
+            self.outcome_counts[outcome] += count
+
+
+class MemoLUT:
+    """FIFO + comparators + programming interface for one FPU."""
+
+    def __init__(self, config: Optional[MemoConfig] = None) -> None:
+        self.config = config or MemoConfig()
+        self.fifo = MemoFifo(self.config.fifo_depth)
+        self.constraint = MatchingConstraint.from_config(self.config)
+        self.stats = LutStats()
+        self.mmio = MemoMmio(
+            hit_count=lambda: self.stats.hits,
+            lookup_count=lambda: self.stats.lookups,
+        )
+        self._sync_mmio_from_config()
+
+    def _sync_mmio_from_config(self) -> None:
+        config = self.config
+        self.mmio.set_threshold(config.threshold)
+        if config.masked_fraction_bits:
+            self.mmio.write(
+                0x00, fraction_mask_vector(config.masked_fraction_bits)
+            )
+        self.mmio.set_control(
+            enable=not config.power_gated,
+            commutative=config.commutative_matching,
+            power_gate=config.power_gated,
+            update_on_error=config.update_on_timing_error,
+        )
+
+    # ----------------------------------------------------------- programming
+    def program_threshold(self, threshold: float) -> None:
+        """Reprogram the approximate-matching threshold at run time."""
+        if threshold < 0.0:
+            raise MemoizationError("threshold must be non-negative")
+        self.mmio.set_threshold(threshold)
+        self.constraint = MatchingConstraint(
+            threshold=threshold,
+            allow_commutative=self.constraint.allow_commutative,
+        )
+
+    def program_mask(self, masked_fraction_bits: int) -> None:
+        """Reprogram the comparators with a fraction-bit masking vector."""
+        if not 0 <= masked_fraction_bits <= FRACTION_BITS:
+            raise MemoizationError(
+                f"masked fraction bits must be in [0, {FRACTION_BITS}]"
+            )
+        vector = fraction_mask_vector(masked_fraction_bits)
+        self.mmio.write(0x00, vector)
+        self.mmio.set_threshold(0.0)
+        self.constraint = MatchingConstraint(
+            mask_vector=vector,
+            allow_commutative=self.constraint.allow_commutative,
+        )
+
+    @property
+    def power_gated(self) -> bool:
+        return self.mmio.power_gated
+
+    def power_gate(self, gate: bool = True) -> None:
+        """Disable the whole module for locality-free applications."""
+        self.mmio.set_control(power_gate=gate, enable=not gate)
+
+    # ------------------------------------------------------------- data path
+    def lookup(
+        self, opcode: Opcode, operands: Tuple[float, ...]
+    ) -> Tuple[bool, Optional[float], MatchOutcome]:
+        """Single-cycle parallel search; returns (hit, stored result, kind)."""
+        if self.power_gated:
+            return False, None, MatchOutcome.MISS
+        self.stats.lookups += 1
+        entry, outcome = self.fifo.search(self.constraint, opcode, operands)
+        self.stats.outcome_counts[outcome] += 1
+        if entry is None:
+            return False, None, MatchOutcome.MISS
+        self.stats.hits += 1
+        self.mmio.record_hit()
+        return True, entry.result, outcome
+
+    def update(
+        self, opcode: Opcode, operands: Tuple[float, ...], result: float
+    ) -> None:
+        """Memorize an error-free execution context (W_en asserted)."""
+        if self.power_gated:
+            return
+        self.fifo.insert(opcode, operands, result)
+        self.stats.updates += 1
+
+    def reset(self) -> None:
+        """Clear stored contexts and statistics (e.g. between kernels)."""
+        self.fifo.clear()
+        self.stats = LutStats()

@@ -1,0 +1,110 @@
+"""Matching constraints of the LUT comparators (Equation 1).
+
+The constraint accepts an incoming operand set against a stored one when
+every operand pair differs by at most ``threshold``; ``threshold == 0``
+degenerates to full bit-by-bit equality (the *exact* constraint).  The
+hardware alternative — a 32-bit masking vector ignoring low fraction
+bits — is also supported.  Constraints may additionally try the swapped
+operand order for commutative opcodes ("the matching constraints ...
+allow commutativity of the operands where applicable").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..config import MemoConfig
+from ..errors import MemoizationError
+from ..isa.opcodes import Opcode
+from ..utils.bitops import float32_to_bits, fraction_mask_vector
+
+
+class MatchOutcome(enum.Enum):
+    """How a stored entry matched the incoming operands."""
+
+    MISS = "miss"
+    EXACT = "exact"
+    APPROXIMATE = "approximate"
+    COMMUTED = "commuted"
+
+
+@dataclass(frozen=True)
+class MatchingConstraint:
+    """A compiled matching rule for one FPU's comparators.
+
+    ``threshold`` and ``mask_vector`` are alternative relaxations; supplying
+    both is rejected because the hardware comparator bank is programmed in
+    one mode at a time through the memory-mapped masking register.
+    """
+
+    threshold: float = 0.0
+    mask_vector: Optional[int] = None
+    allow_commutative: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0.0:
+            raise MemoizationError("threshold is an absolute difference, must be >= 0")
+        if self.mask_vector is not None and self.threshold > 0.0:
+            raise MemoizationError(
+                "program either a numeric threshold or a masking vector, not both"
+            )
+
+    @classmethod
+    def from_config(cls, config: MemoConfig) -> "MatchingConstraint":
+        mask = None
+        if config.masked_fraction_bits:
+            mask = fraction_mask_vector(config.masked_fraction_bits)
+        return cls(
+            threshold=config.threshold,
+            mask_vector=mask,
+            allow_commutative=config.commutative_matching,
+        )
+
+    @property
+    def is_exact(self) -> bool:
+        return self.threshold == 0.0 and self.mask_vector is None
+
+    # ------------------------------------------------------------- comparison
+    def _operands_match(
+        self, incoming: Sequence[float], stored: Sequence[float]
+    ) -> bool:
+        if self.mask_vector is not None:
+            mask = self.mask_vector
+            for a, b in zip(incoming, stored):
+                if (float32_to_bits(a) & mask) != (float32_to_bits(b) & mask):
+                    return False
+            return True
+        threshold = self.threshold
+        if threshold == 0.0:
+            # Bit-by-bit equality: distinguishes +0.0 from -0.0 and never
+            # matches NaN, exactly like a hardware comparator.
+            for a, b in zip(incoming, stored):
+                if float32_to_bits(a) != float32_to_bits(b):
+                    return False
+            return True
+        for a, b in zip(incoming, stored):
+            delta = a - b
+            if not -threshold <= delta <= threshold:  # False for NaN
+                return False
+        return True
+
+    def match(
+        self,
+        opcode: Opcode,
+        incoming: Tuple[float, ...],
+        stored: Tuple[float, ...],
+    ) -> MatchOutcome:
+        """Compare one FIFO entry's operands against the incoming set."""
+        if len(incoming) != len(stored):
+            return MatchOutcome.MISS
+        if self._operands_match(incoming, stored):
+            return MatchOutcome.EXACT if self.is_exact else MatchOutcome.APPROXIMATE
+        if self.allow_commutative and opcode.commutative and len(incoming) >= 2:
+            i, j = opcode.commutative_operands
+            swapped = list(incoming)
+            swapped[i], swapped[j] = swapped[j], swapped[i]
+            if self._operands_match(swapped, stored):
+                return MatchOutcome.COMMUTED
+        return MatchOutcome.MISS

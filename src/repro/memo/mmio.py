@@ -1,0 +1,137 @@
+"""Memory-mapped programming interface of the memoization module.
+
+"Each application has full control over the temporal memoization module as
+a programmable module through the memory-mapped registers" (Section 4.2).
+The register file mirrors that interface:
+
+=============  ======  =====================================================
+register       offset  meaning
+=============  ======  =====================================================
+MASK_VECTOR    0x00    32-bit comparator masking vector (set bit = compare)
+THRESHOLD      0x04    approximate-match threshold, IEEE-754 single bits
+CONTROL        0x08    bit0 enable, bit1 commutative matching,
+                       bit2 power-gate module, bit3 update on timing error
+STATUS         0x0C    read-only: bit0 any-hit-since-clear (write clears)
+HIT_COUNT      0x10    read-only saturating hit counter
+LOOKUP_COUNT   0x14    read-only saturating lookup counter
+=============  ======  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import MmioError
+from ..utils.bitops import bits_to_float32, float32_to_bits
+
+REG_MASK_VECTOR = 0x00
+REG_THRESHOLD = 0x04
+REG_CONTROL = 0x08
+REG_STATUS = 0x0C
+REG_HIT_COUNT = 0x10
+REG_LOOKUP_COUNT = 0x14
+
+CTRL_ENABLE = 1 << 0
+CTRL_COMMUTATIVE = 1 << 1
+CTRL_POWER_GATE = 1 << 2
+CTRL_UPDATE_ON_ERROR = 1 << 3
+
+_WORD_MASK = 0xFFFF_FFFF
+_WRITABLE = {REG_MASK_VECTOR, REG_THRESHOLD, REG_CONTROL, REG_STATUS}
+_READABLE = _WRITABLE | {REG_HIT_COUNT, REG_LOOKUP_COUNT}
+
+
+class MemoMmio:
+    """The 32-bit register file fronting one memoization module.
+
+    Counter registers are backed by callables so the module exposes its
+    live statistics without duplicating state.
+    """
+
+    def __init__(
+        self,
+        hit_count: Optional[Callable[[], int]] = None,
+        lookup_count: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self._regs: Dict[int, int] = {
+            REG_MASK_VECTOR: _WORD_MASK,
+            REG_THRESHOLD: 0,
+            REG_CONTROL: CTRL_ENABLE | CTRL_COMMUTATIVE,
+            REG_STATUS: 0,
+        }
+        self._hit_count = hit_count or (lambda: 0)
+        self._lookup_count = lookup_count or (lambda: 0)
+
+    # ------------------------------------------------------------ bus access
+    def read(self, offset: int) -> int:
+        if offset not in _READABLE:
+            raise MmioError(f"read from unmapped register offset {offset:#x}")
+        if offset == REG_HIT_COUNT:
+            return min(self._hit_count(), _WORD_MASK)
+        if offset == REG_LOOKUP_COUNT:
+            return min(self._lookup_count(), _WORD_MASK)
+        return self._regs[offset]
+
+    def write(self, offset: int, value: int) -> None:
+        if offset not in _READABLE:
+            raise MmioError(f"write to unmapped register offset {offset:#x}")
+        if offset not in _WRITABLE:
+            raise MmioError(f"register offset {offset:#x} is read-only")
+        if not 0 <= value <= _WORD_MASK:
+            raise MmioError(f"value {value:#x} does not fit a 32-bit register")
+        if offset == REG_STATUS:
+            self._regs[REG_STATUS] = 0  # any write clears the sticky hit flag
+        else:
+            self._regs[offset] = value
+
+    # ----------------------------------------------------------- convenience
+    @property
+    def mask_vector(self) -> int:
+        return self._regs[REG_MASK_VECTOR]
+
+    @property
+    def threshold(self) -> float:
+        return bits_to_float32(self._regs[REG_THRESHOLD])
+
+    def set_threshold(self, threshold: float) -> None:
+        if threshold < 0.0:
+            raise MmioError("threshold must be non-negative")
+        self.write(REG_THRESHOLD, float32_to_bits(threshold))
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._regs[REG_CONTROL] & CTRL_ENABLE)
+
+    @property
+    def commutative(self) -> bool:
+        return bool(self._regs[REG_CONTROL] & CTRL_COMMUTATIVE)
+
+    @property
+    def power_gated(self) -> bool:
+        return bool(self._regs[REG_CONTROL] & CTRL_POWER_GATE)
+
+    @property
+    def update_on_error(self) -> bool:
+        return bool(self._regs[REG_CONTROL] & CTRL_UPDATE_ON_ERROR)
+
+    def set_control(
+        self,
+        enable: Optional[bool] = None,
+        commutative: Optional[bool] = None,
+        power_gate: Optional[bool] = None,
+        update_on_error: Optional[bool] = None,
+    ) -> None:
+        control = self._regs[REG_CONTROL]
+        for bit, flag in (
+            (CTRL_ENABLE, enable),
+            (CTRL_COMMUTATIVE, commutative),
+            (CTRL_POWER_GATE, power_gate),
+            (CTRL_UPDATE_ON_ERROR, update_on_error),
+        ):
+            if flag is None:
+                continue
+            control = control | bit if flag else control & ~bit
+        self.write(REG_CONTROL, control)
+
+    def record_hit(self) -> None:
+        self._regs[REG_STATUS] |= 1

@@ -1,0 +1,124 @@
+"""The temporal memoization module's hit/error decision logic (Table 2).
+
+=====  ======  ====================================================  ======
+Hit    Error   Action                                                Q_pipe
+=====  ======  ====================================================  ======
+0      0       Normal execution + LUT update                         Q_S
+0      1       Triggering baseline recovery (ECU)                    Q_S
+1      0       LUT output reuse + FPU clock-gating                   Q_L
+1      1       LUT output reuse + FPU clock-gating + masking error   Q_L
+=====  ======  ====================================================  ======
+
+The module wraps a :class:`~repro.memo.lut.MemoLUT` and, per executed FP
+instruction, turns the (hit, error) pair into the architectural action.
+The update policy follows the paper's write-enable: the FIFO is only
+updated from an execution with no timing error in any stage (unless the
+``update on timing error`` control bit is set, which models updating with
+the post-recovery value instead).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..config import MemoConfig
+from ..isa.opcodes import Opcode
+from .lut import MemoLUT
+from .matching import MatchOutcome
+
+
+class MemoAction(enum.Enum):
+    """The four architectural actions of Table 2."""
+
+    NORMAL_UPDATE = "normal execution + LUT update"
+    BASELINE_RECOVERY = "triggering baseline recovery (ECU)"
+    REUSE_GATED = "LUT output reuse + FPU clock-gating"
+    REUSE_MASK_ERROR = "LUT output reuse + FPU clock-gating + masking error"
+
+
+#: Table 2 as a mapping from the (hit, error) pair.
+ACTION_TABLE = {
+    (False, False): MemoAction.NORMAL_UPDATE,
+    (False, True): MemoAction.BASELINE_RECOVERY,
+    (True, False): MemoAction.REUSE_GATED,
+    (True, True): MemoAction.REUSE_MASK_ERROR,
+}
+
+
+@dataclass(frozen=True)
+class MemoDecision:
+    """Everything the surrounding pipeline needs to know about one step."""
+
+    action: MemoAction
+    result: float
+    hit: bool
+    timing_error: bool
+    error_masked: bool
+    recovery_triggered: bool
+    lut_updated: bool
+    match_outcome: MatchOutcome
+
+    @property
+    def output_is_lut(self) -> bool:
+        """True when Q_pipe selects the LUT's propagated output Q_L."""
+        return self.hit
+
+
+class TemporalMemoizationModule:
+    """Per-FPU module combining the LUT with the Table-2 control."""
+
+    def __init__(self, config: Optional[MemoConfig] = None) -> None:
+        self.config = config or MemoConfig()
+        self.lut = MemoLUT(self.config)
+
+    def step(
+        self,
+        opcode: Opcode,
+        operands: Tuple[float, ...],
+        timing_error: bool,
+        compute: Callable[[], float],
+    ) -> MemoDecision:
+        """Process one FP instruction.
+
+        ``compute`` produces Q_S (the FPU's own result) and is only invoked
+        on a miss — on a hit the remaining stages are clock-gated and the
+        redundant execution never happens.
+        """
+        hit, stored, outcome = self.lut.lookup(opcode, operands)
+        action = ACTION_TABLE[(hit, timing_error)]
+
+        if hit:
+            assert stored is not None
+            return MemoDecision(
+                action=action,
+                result=stored,
+                hit=True,
+                timing_error=timing_error,
+                error_masked=timing_error,
+                recovery_triggered=False,
+                lut_updated=False,
+                match_outcome=outcome,
+            )
+
+        result = compute()
+        updated = False
+        if not timing_error or self.lut.mmio.update_on_error:
+            # W_en: memorize only contexts whose execution was error-free
+            # through all stages (or the recovered value when configured).
+            self.lut.update(opcode, operands, result)
+            updated = True
+        return MemoDecision(
+            action=action,
+            result=result,
+            hit=False,
+            timing_error=timing_error,
+            error_masked=False,
+            recovery_triggered=timing_error,
+            lut_updated=updated,
+            match_outcome=outcome,
+        )
+
+    def reset(self) -> None:
+        self.lut.reset()

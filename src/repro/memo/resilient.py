@@ -1,0 +1,183 @@
+"""The resilient FPU of Figure 9 — analytic fast-path model.
+
+Combines one pipelined FPU (characterized by its :class:`UnitSpec`), the
+EDS/ECU detect-then-correct machinery, and optionally the temporal
+memoization module.  This model accounts cycles and stage activity
+analytically per instruction instead of ticking every pipeline stage,
+which keeps the trace-driven kernel simulations fast; the cycle-level
+model in :mod:`repro.fpu.base` validates the accounting in tests.
+
+With ``memo=None`` the instance is exactly the baseline architecture:
+every unmasked error triggers the ECU's recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..config import ArchConfig, MemoConfig, TimingConfig
+from ..fpu import arithmetic
+from ..fpu.units import UnitSpec, pipeline_stages_for, spec_for
+from ..isa.opcodes import Opcode, UnitKind
+from ..timing.ecu import ErrorControlUnit, MultipleIssueReplay, RecoveryPolicy
+from ..timing.errors import ErrorInjector, NoErrorInjector, injector_for
+from .module import TemporalMemoizationModule
+from .matching import MatchOutcome
+
+
+@dataclass
+class FpuEventCounters:
+    """Per-FPU event and cycle accounting consumed by the energy model."""
+
+    ops: int = 0
+    errors_injected: int = 0
+    errors_masked: int = 0
+    errors_recovered: int = 0
+    issue_cycles: int = 0
+    recovery_stall_cycles: int = 0
+    active_stage_traversals: int = 0
+    gated_stage_traversals: int = 0
+
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles the unit was occupied (issue slots plus recovery stalls)."""
+        return self.issue_cycles + self.recovery_stall_cycles
+
+    def merge(self, other: "FpuEventCounters") -> None:
+        self.ops += other.ops
+        self.errors_injected += other.errors_injected
+        self.errors_masked += other.errors_masked
+        self.errors_recovered += other.errors_recovered
+        self.issue_cycles += other.issue_cycles
+        self.recovery_stall_cycles += other.recovery_stall_cycles
+        self.active_stage_traversals += other.active_stage_traversals
+        self.gated_stage_traversals += other.gated_stage_traversals
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """Detailed record of one executed instruction (opt-in, for tests)."""
+
+    result: float
+    hit: bool
+    timing_error: bool
+    error_masked: bool
+    recovery_cycles: int
+    match_outcome: MatchOutcome
+
+
+class ResilientFpu:
+    """One FPU instance with EDS/ECU and an optional memoization module."""
+
+    def __init__(
+        self,
+        kind: UnitKind,
+        memo_config: Optional[MemoConfig] = None,
+        injector: Optional[ErrorInjector] = None,
+        recovery_policy: Optional[RecoveryPolicy] = None,
+        arch: Optional[ArchConfig] = None,
+    ) -> None:
+        arch = arch or ArchConfig()
+        self.kind = kind
+        self.spec: UnitSpec = spec_for(kind)
+        self.depth = pipeline_stages_for(kind, arch)
+        self.injector = injector or NoErrorInjector()
+        self.ecu = ErrorControlUnit(
+            self.depth, recovery_policy or MultipleIssueReplay()
+        )
+        self.memo: Optional[TemporalMemoizationModule] = None
+        if memo_config is not None and not memo_config.power_gated:
+            self.memo = TemporalMemoizationModule(memo_config)
+        elif memo_config is not None:
+            # Power-gated module: present but contributes nothing; keep it
+            # so the energy model can charge zero (gated) overhead.
+            self.memo = TemporalMemoizationModule(memo_config)
+        self.counters = FpuEventCounters()
+
+    @classmethod
+    def build(
+        cls,
+        kind: UnitKind,
+        memo_config: Optional[MemoConfig],
+        timing: TimingConfig,
+        arch: Optional[ArchConfig] = None,
+        *stream_labels: object,
+    ) -> "ResilientFpu":
+        """Convenience constructor wiring an independent error stream."""
+        injector = injector_for(timing, kind.value, *stream_labels)
+        policy = MultipleIssueReplay(recovery_cycles=timing.recovery_cycles)
+        return cls(kind, memo_config, injector, policy, arch)
+
+    # -------------------------------------------------------------- execution
+    def execute(self, opcode: Opcode, operands: Tuple[float, ...]) -> float:
+        """Fast path: returns the architecturally visible result."""
+        counters = self.counters
+        counters.ops += 1
+        counters.issue_cycles += 1
+        timing_error = self.injector.sample()
+        if timing_error:
+            counters.errors_injected += 1
+
+        memo = self.memo
+        if memo is not None:
+            hit, stored, _ = memo.lut.lookup(opcode, operands)
+            if hit:
+                # LUT ran in parallel with stage 1; stages 2..depth gated.
+                counters.active_stage_traversals += 1
+                counters.gated_stage_traversals += self.depth - 1
+                if timing_error:
+                    counters.errors_masked += 1
+                    self.ecu.on_masked_error()
+                assert stored is not None
+                return stored
+
+        result = arithmetic.evaluate(opcode, operands)
+        counters.active_stage_traversals += self.depth
+        if timing_error:
+            record = self.ecu.on_error_signal(in_flight=self.depth)
+            counters.errors_recovered += 1
+            counters.recovery_stall_cycles += record.cycles
+            if memo is not None and memo.lut.mmio.update_on_error:
+                memo.lut.update(opcode, operands, result)
+        elif memo is not None:
+            memo.lut.update(opcode, operands, result)
+        return result
+
+    def execute_detailed(
+        self, opcode: Opcode, operands: Tuple[float, ...]
+    ) -> ExecutionOutcome:
+        """Like :meth:`execute` but returns the full outcome record."""
+        before_recovery = self.counters.recovery_stall_cycles
+        before_masked = self.counters.errors_masked
+        before_injected = self.counters.errors_injected
+        before_hits = self.memo.lut.stats.hits if self.memo else 0
+        result = self.execute(opcode, operands)
+        hits_now = self.memo.lut.stats.hits if self.memo else 0
+        hit = hits_now > before_hits
+        outcome = MatchOutcome.MISS
+        if hit and self.memo is not None:
+            outcome = MatchOutcome.EXACT if self.memo.lut.constraint.is_exact else (
+                MatchOutcome.APPROXIMATE
+            )
+        return ExecutionOutcome(
+            result=result,
+            hit=hit,
+            timing_error=self.counters.errors_injected > before_injected,
+            error_masked=self.counters.errors_masked > before_masked,
+            recovery_cycles=self.counters.recovery_stall_cycles - before_recovery,
+            match_outcome=outcome,
+        )
+
+    # ------------------------------------------------------------- statistics
+    @property
+    def hit_rate(self) -> float:
+        if self.memo is None or self.memo.lut.stats.lookups == 0:
+            return 0.0
+        return self.memo.lut.stats.hit_rate
+
+    def reset_stats(self) -> None:
+        self.counters = FpuEventCounters()
+        self.ecu.stats.__init__()
+        if self.memo is not None:
+            self.memo.lut.reset()

@@ -1,0 +1,169 @@
+"""Spatial memoization — the concurrent-reuse baseline of [20].
+
+Rahimi et al.'s earlier *spatial* memoization ("Spatial Memoization:
+Concurrent Instruction Reuse to Correct Timing Errors in SIMD
+Architectures", IEEE TCAS-II 2013) exploits value locality *across* the
+parallel lanes of one SIMD instruction instead of across time: a strong
+(error-protected) lane executes the instruction, and every other lane
+whose operands match reuses the broadcast result, correcting that lane's
+timing error for free.  The DATE'14 paper contrasts its temporal LUT
+against this approach: the broadcast across all lanes "tightens its
+scalability", while per-FPU FIFOs recover independently.
+
+This module models the single-strong-lane variant faithfully enough for
+an architectural comparison: per SIMD issue (one instruction over N
+lanes), lane 0 computes; lanes whose operand sets satisfy the matching
+constraint against lane 0's reuse the broadcast result, the rest execute
+and recover their own errors conventionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import MemoConfig
+from ..errors import MemoizationError
+from ..fpu import arithmetic
+from ..isa.opcodes import Opcode
+from .matching import MatchOutcome, MatchingConstraint
+
+
+@dataclass
+class SpatialStats:
+    """Reuse statistics of one spatially-memoized SIMD unit."""
+
+    simd_issues: int = 0
+    lane_executions: int = 0
+    strong_lane_executions: int = 0
+    reused_lanes: int = 0
+    errors_injected: int = 0
+    errors_masked: int = 0
+    errors_recovered: int = 0
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of weak-lane executions satisfied by the broadcast."""
+        weak = self.lane_executions - self.strong_lane_executions
+        return self.reused_lanes / weak if weak else 0.0
+
+
+@dataclass(frozen=True)
+class LaneOutcome:
+    """What happened to one lane of one SIMD issue."""
+
+    result: float
+    reused: bool
+    timing_error: bool
+    error_masked: bool
+    recovery_triggered: bool
+
+
+class SpatialMemoizationUnit:
+    """One SIMD instruction slot with a strong lane and broadcast reuse.
+
+    ``error_samplers`` provides one per-lane callable returning whether
+    that lane's execution suffered a timing error; the strong lane is
+    assumed error-protected (conservatively clocked), as in [20].
+    """
+
+    def __init__(
+        self,
+        lanes: int,
+        config: Optional[MemoConfig] = None,
+    ) -> None:
+        if lanes < 2:
+            raise MemoizationError("spatial reuse needs at least two lanes")
+        self.lanes = lanes
+        self.config = config or MemoConfig()
+        self.constraint = MatchingConstraint.from_config(self.config)
+        self.stats = SpatialStats()
+
+    def execute_simd(
+        self,
+        opcode: Opcode,
+        per_lane_operands: Sequence[Tuple[float, ...]],
+        error_samplers: Optional[Sequence[Callable[[], bool]]] = None,
+    ) -> List[LaneOutcome]:
+        """Execute one instruction across all lanes with concurrent reuse."""
+        if len(per_lane_operands) != self.lanes:
+            raise MemoizationError(
+                f"{len(per_lane_operands)} operand sets for {self.lanes} lanes"
+            )
+        if error_samplers is not None and len(error_samplers) != self.lanes:
+            raise MemoizationError("need one error sampler per lane")
+
+        stats = self.stats
+        stats.simd_issues += 1
+        outcomes: List[LaneOutcome] = []
+
+        strong_operands = per_lane_operands[0]
+        strong_result = arithmetic.evaluate(opcode, strong_operands)
+        stats.lane_executions += 1
+        stats.strong_lane_executions += 1
+        outcomes.append(
+            LaneOutcome(
+                result=strong_result,
+                reused=False,
+                timing_error=False,
+                error_masked=False,
+                recovery_triggered=False,
+            )
+        )
+
+        for lane in range(1, self.lanes):
+            operands = per_lane_operands[lane]
+            stats.lane_executions += 1
+            error = bool(error_samplers[lane]()) if error_samplers else False
+            if error:
+                stats.errors_injected += 1
+            match = self.constraint.match(opcode, operands, strong_operands)
+            if match is not MatchOutcome.MISS:
+                stats.reused_lanes += 1
+                if error:
+                    stats.errors_masked += 1
+                outcomes.append(
+                    LaneOutcome(
+                        result=strong_result,
+                        reused=True,
+                        timing_error=error,
+                        error_masked=error,
+                        recovery_triggered=False,
+                    )
+                )
+                continue
+            result = arithmetic.evaluate(opcode, operands)
+            if error:
+                stats.errors_recovered += 1
+            outcomes.append(
+                LaneOutcome(
+                    result=result,
+                    reused=False,
+                    timing_error=error,
+                    error_masked=False,
+                    recovery_triggered=error,
+                )
+            )
+        return outcomes
+
+
+def spatial_reuse_rate_for_streams(
+    opcode: Opcode,
+    lane_streams: Sequence[Sequence[Tuple[float, ...]]],
+    config: Optional[MemoConfig] = None,
+) -> SpatialStats:
+    """Measure spatial reuse over aligned per-lane operand streams.
+
+    ``lane_streams[l][i]`` is lane ``l``'s operand set for SIMD issue
+    ``i``; all lanes must have equal stream lengths (lockstep execution).
+    """
+    lanes = len(lane_streams)
+    if lanes < 2:
+        raise MemoizationError("need at least two lanes")
+    length = len(lane_streams[0])
+    if any(len(stream) != length for stream in lane_streams):
+        raise MemoizationError("lockstep lanes must have equal stream lengths")
+    unit = SpatialMemoizationUnit(lanes, config)
+    for i in range(length):
+        unit.execute_simd(opcode, [stream[i] for stream in lane_streams])
+    return unit.stats

@@ -1,0 +1,49 @@
+"""Timing-error detection, injection and recovery substrate.
+
+Models the circuit-level machinery the paper builds on: EDS sensors in
+every pipeline stage [6, 9], the error control unit with flush +
+multiple-issue instruction replay (12 recovery cycles per error in the
+synthesized design), the decoupling-queue SIMD baseline [11], and a
+voltage-overscaling model (alpha-power delay scaling plus a per-
+instruction critical-path activation distribution) that turns an operating
+voltage into a per-instruction timing-error probability.
+"""
+
+from .errors import (
+    BernoulliInjector,
+    ErrorInjector,
+    NoErrorInjector,
+    VoltageDrivenInjector,
+    injector_for,
+)
+from .eds import EdsBank, EdsObservation
+from .ecu import (
+    ErrorControlUnit,
+    HalfFrequencyReplay,
+    MultipleIssueReplay,
+    RecoveryPolicy,
+    RecoveryRecord,
+)
+from .voltage import AlphaPowerDelayModel, PathActivationModel, VoltageModel
+from .decoupling import DecoupledSimdPipeline, LockstepSimdPipeline, SimdRunStats
+
+__all__ = [
+    "BernoulliInjector",
+    "ErrorInjector",
+    "NoErrorInjector",
+    "VoltageDrivenInjector",
+    "injector_for",
+    "EdsBank",
+    "EdsObservation",
+    "ErrorControlUnit",
+    "HalfFrequencyReplay",
+    "MultipleIssueReplay",
+    "RecoveryPolicy",
+    "RecoveryRecord",
+    "AlphaPowerDelayModel",
+    "PathActivationModel",
+    "VoltageModel",
+    "DecoupledSimdPipeline",
+    "LockstepSimdPipeline",
+    "SimdRunStats",
+]

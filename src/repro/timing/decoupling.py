@@ -1,0 +1,165 @@
+"""SIMD lane-coupling models: lockstep vs. decoupling queues [11].
+
+In lock-step execution any error within any lane causes a global stall and
+forces recovery of the entire SIMD pipeline.  Pawlowski et al. [11]
+decouple the lanes through private instruction queues so each lane
+recovers independently; a global stall is only needed when the slip
+between lanes exceeds the queue depth.  These models quantify the
+performance side of that trade-off; the paper's proposed architecture
+superposes temporal memoization on the decoupled baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import TimingModelError
+from .errors import ErrorInjector
+
+
+@dataclass(frozen=True)
+class SimdRunStats:
+    """Outcome of running one instruction stream on a SIMD pipeline model."""
+
+    lanes: int
+    instructions: int
+    cycles: int
+    lane_errors: int
+    global_stall_cycles: int
+
+    @property
+    def throughput(self) -> float:
+        """Useful instructions retired per cycle across the whole SIMD unit."""
+        if self.cycles == 0:
+            return 0.0
+        return self.lanes * self.instructions / self.cycles
+
+    @property
+    def ideal_cycles(self) -> int:
+        return self.instructions
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Extra cycles relative to the error-free ideal."""
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions - 1.0
+
+
+def _check_run_args(lanes: int, instructions: int, injectors: Sequence) -> None:
+    if lanes < 1:
+        raise TimingModelError("need at least one lane")
+    if instructions < 0:
+        raise TimingModelError("instruction count cannot be negative")
+    if len(injectors) != lanes:
+        raise TimingModelError(
+            f"{len(injectors)} injectors for {lanes} lanes"
+        )
+
+
+class LockstepSimdPipeline:
+    """All lanes advance together; any lane's error stalls every lane."""
+
+    def __init__(self, lanes: int, recovery_cycles: int = 12) -> None:
+        if lanes < 1:
+            raise TimingModelError("need at least one lane")
+        if recovery_cycles < 1:
+            raise TimingModelError("recovery cycles must be positive")
+        self.lanes = lanes
+        self.recovery_cycles = recovery_cycles
+
+    def run(
+        self, instructions: int, injectors: Sequence[ErrorInjector]
+    ) -> SimdRunStats:
+        _check_run_args(self.lanes, instructions, injectors)
+        cycles = 0
+        lane_errors = 0
+        stall_cycles = 0
+        for _ in range(instructions):
+            cycles += 1
+            errs = sum(1 for inj in injectors if inj.sample())
+            if errs:
+                lane_errors += errs
+                # One global recovery resolves the whole issue slot, no
+                # matter how many lanes erred simultaneously.
+                cycles += self.recovery_cycles
+                stall_cycles += self.recovery_cycles
+        return SimdRunStats(
+            lanes=self.lanes,
+            instructions=instructions,
+            cycles=cycles,
+            lane_errors=lane_errors,
+            global_stall_cycles=stall_cycles,
+        )
+
+
+class DecoupledSimdPipeline:
+    """Private per-lane queues let lanes slip and recover independently.
+
+    The issue stage pushes each instruction into every lane's queue; a lane
+    that errs replays locally while the other lanes keep draining their
+    queues.  Issue stalls (a global stall) only when some lane's queue is
+    full — i.e. when the slip exceeds ``queue_depth``.
+    """
+
+    def __init__(
+        self, lanes: int, queue_depth: int = 4, recovery_cycles: int = 12
+    ) -> None:
+        if lanes < 1:
+            raise TimingModelError("need at least one lane")
+        if queue_depth < 1:
+            raise TimingModelError("queue depth must be at least 1")
+        if recovery_cycles < 1:
+            raise TimingModelError("recovery cycles must be positive")
+        self.lanes = lanes
+        self.queue_depth = queue_depth
+        self.recovery_cycles = recovery_cycles
+
+    def run(
+        self, instructions: int, injectors: Sequence[ErrorInjector]
+    ) -> SimdRunStats:
+        _check_run_args(self.lanes, instructions, injectors)
+        if instructions == 0:
+            return SimdRunStats(self.lanes, 0, 0, 0, 0)
+
+        depth = self.queue_depth
+        # finish[lane] is a rolling window of the last `depth` completion
+        # times; completion of instruction i in a lane is
+        #   max(issue_time[i], finish[lane][i-1]) + service_time
+        finish_history: List[List[int]] = [[] for _ in range(self.lanes)]
+        last_finish = [0] * self.lanes
+        issue_time = 0
+        lane_errors = 0
+        stall_cycles = 0
+
+        for i in range(instructions):
+            # Queue-full back-pressure: instruction i cannot issue before
+            # instruction i-depth has completed in every lane.
+            ready = issue_time + 1
+            if i >= depth:
+                oldest_done = max(history[0] for history in finish_history)
+                if oldest_done > ready:
+                    stall_cycles += oldest_done - ready
+                    ready = oldest_done
+            issue_time = ready
+
+            for lane in range(self.lanes):
+                service = 1
+                if injectors[lane].sample():
+                    lane_errors += 1
+                    service += self.recovery_cycles
+                done = max(issue_time, last_finish[lane]) + service
+                last_finish[lane] = done
+                history = finish_history[lane]
+                history.append(done)
+                if len(history) > depth:
+                    history.pop(0)
+
+        return SimdRunStats(
+            lanes=self.lanes,
+            instructions=instructions,
+            cycles=max(last_finish),
+            lane_errors=lane_errors,
+            global_stall_cycles=stall_cycles,
+        )

@@ -1,0 +1,153 @@
+"""The error control unit (ECU) and its recovery policies.
+
+Following the resilient core of Bowman et al. [9], once a timing error
+reaches the end of the pipeline the ECU prevents the errant instruction
+from corrupting architectural state, flushes the pipeline, and replays the
+instruction.  Two scalable policies exist:
+
+* **instruction replay at half frequency** — the errant instruction is
+  re-executed with a doubled clock period, guaranteeing success at the
+  cost of ``2 x depth`` slow cycles (counted in nominal cycles);
+* **multiple-issue instruction replay at the same frequency** — the
+  instruction is issued N times back to back so that at least one copy
+  completes without metastability; the paper's synthesized FPU design
+  costs 12 cycles per error with this policy.
+
+Both policies model the energy-relevant fact that during recovery the
+pipeline is actively clocking without retiring useful work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import RecoveryError
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """Cost of recovering one errant instruction."""
+
+    cycles: int
+    replayed_issues: int
+    flushed_ops: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise RecoveryError("recovery must take at least one cycle")
+        if self.replayed_issues < 1:
+            raise RecoveryError("recovery must replay the instruction")
+
+
+class RecoveryPolicy:
+    """Base class: turn one error event into a cycle/replay cost."""
+
+    name = "abstract"
+
+    def recover(self, pipeline_depth: int, in_flight: int) -> RecoveryRecord:
+        raise NotImplementedError
+
+
+class MultipleIssueReplay(RecoveryPolicy):
+    """Replay the errant instruction ``issue_count`` times at full clock.
+
+    Cost model: flush the ``in_flight`` younger operations, then pay a
+    fixed replay window.  The paper's synthesized baseline costs 12 cycles
+    per error for the four-stage FPUs.
+    """
+
+    name = "multiple-issue replay"
+
+    def __init__(self, recovery_cycles: int = 12, issue_count: int = 2) -> None:
+        if recovery_cycles < 1:
+            raise RecoveryError("recovery cycles must be positive")
+        if issue_count < 1:
+            raise RecoveryError("must issue the instruction at least once")
+        self.recovery_cycles = recovery_cycles
+        self.issue_count = issue_count
+
+    def recover(self, pipeline_depth: int, in_flight: int) -> RecoveryRecord:
+        if in_flight < 0 or in_flight > pipeline_depth:
+            raise RecoveryError(
+                f"in-flight count {in_flight} impossible for depth {pipeline_depth}"
+            )
+        return RecoveryRecord(
+            cycles=self.recovery_cycles,
+            replayed_issues=self.issue_count,
+            flushed_ops=in_flight,
+        )
+
+
+class HalfFrequencyReplay(RecoveryPolicy):
+    """Replay the errant instruction once with a doubled clock period."""
+
+    name = "half-frequency replay"
+
+    def __init__(self, extra_sync_cycles: int = 2) -> None:
+        if extra_sync_cycles < 0:
+            raise RecoveryError("synchronization cycles cannot be negative")
+        self.extra_sync_cycles = extra_sync_cycles
+
+    def recover(self, pipeline_depth: int, in_flight: int) -> RecoveryRecord:
+        if in_flight < 0 or in_flight > pipeline_depth:
+            raise RecoveryError(
+                f"in-flight count {in_flight} impossible for depth {pipeline_depth}"
+            )
+        # Each of the depth stages takes two nominal cycles, plus clock
+        # domain crossing overhead on entry and exit.
+        return RecoveryRecord(
+            cycles=2 * pipeline_depth + self.extra_sync_cycles,
+            replayed_issues=1,
+            flushed_ops=in_flight,
+        )
+
+
+@dataclass
+class EcuStats:
+    errors_seen: int = 0
+    recoveries: int = 0
+    recovery_cycles: int = 0
+    replayed_issues: int = 0
+    flushed_ops: int = 0
+    masked_by_memoization: int = 0
+
+    def merge(self, other: "EcuStats") -> None:
+        self.errors_seen += other.errors_seen
+        self.recoveries += other.recoveries
+        self.recovery_cycles += other.recovery_cycles
+        self.replayed_issues += other.replayed_issues
+        self.flushed_ops += other.flushed_ops
+        self.masked_by_memoization += other.masked_by_memoization
+
+
+class ErrorControlUnit:
+    """Per-FPU ECU: receives end-of-pipe error signals, triggers recovery."""
+
+    def __init__(
+        self,
+        pipeline_depth: int,
+        policy: Optional[RecoveryPolicy] = None,
+    ) -> None:
+        if pipeline_depth < 1:
+            raise RecoveryError("pipeline depth must be positive")
+        self.pipeline_depth = pipeline_depth
+        self.policy = policy or MultipleIssueReplay()
+        self.stats = EcuStats()
+
+    def on_error_signal(self, in_flight: Optional[int] = None) -> RecoveryRecord:
+        """An unmasked error reached the ECU: run the recovery policy."""
+        if in_flight is None:
+            in_flight = self.pipeline_depth
+        record = self.policy.recover(self.pipeline_depth, in_flight)
+        self.stats.errors_seen += 1
+        self.stats.recoveries += 1
+        self.stats.recovery_cycles += record.cycles
+        self.stats.replayed_issues += record.replayed_issues
+        self.stats.flushed_ops += record.flushed_ops
+        return record
+
+    def on_masked_error(self) -> None:
+        """A hit masked the error signal before it reached the ECU."""
+        self.stats.errors_seen += 1
+        self.stats.masked_by_memoization += 1

@@ -1,0 +1,77 @@
+"""Error-detection sequential (EDS) sensor bank.
+
+Every FPU pipeline stage carries EDS circuits [6, 9] that sample signals
+near the clock edge; a late transition raises an error signal that is
+propagated toward the end of the pipeline and finally reaches the ECU.
+For architectural simulation the only observable facts are *whether* an
+instruction erred and *in which stage* the first sensor fired; the stage
+matters for the cycle-level pipeline model, which must carry the error
+signal alongside the instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import TimingModelError
+from ..utils.rng import RngStream
+
+
+@dataclass(frozen=True)
+class EdsObservation:
+    """One instruction's worth of sensor output."""
+
+    error: bool
+    stage: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.error and self.stage is None:
+            raise TimingModelError("an error observation must name a stage")
+        if not self.error and self.stage is not None:
+            raise TimingModelError("error-free observation cannot name a stage")
+
+
+class EdsBank:
+    """Per-stage sensors for one pipelined unit.
+
+    ``stage_weights`` skews which stage detects the violation; by default
+    later stages are more likely, reflecting that the longest paths of an
+    arithmetic pipeline concentrate in the final alignment/normalization
+    stages.
+    """
+
+    def __init__(
+        self,
+        stages: int,
+        rng: RngStream,
+        stage_weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        if stages < 1:
+            raise TimingModelError("need at least one stage of sensors")
+        if stage_weights is None:
+            stage_weights = [float(i + 1) for i in range(stages)]
+        if len(stage_weights) != stages:
+            raise TimingModelError(
+                f"{len(stage_weights)} weights for {stages} stages"
+            )
+        if any(w < 0 for w in stage_weights) or sum(stage_weights) <= 0:
+            raise TimingModelError("stage weights must be non-negative, not all zero")
+        total = float(sum(stage_weights))
+        self.stages = stages
+        self._cumulative = []
+        acc = 0.0
+        for weight in stage_weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+        self._rng = rng
+
+    def observe(self, error: bool) -> EdsObservation:
+        """Attribute an injected error event to a detecting stage."""
+        if not error:
+            return EdsObservation(error=False)
+        draw = self._rng.uniform()
+        for stage, ceiling in enumerate(self._cumulative):
+            if draw <= ceiling:
+                return EdsObservation(error=True, stage=stage)
+        return EdsObservation(error=True, stage=self.stages - 1)

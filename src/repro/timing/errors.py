@@ -1,0 +1,88 @@
+"""Per-instruction timing-error injectors.
+
+The evaluation parameterizes resiliency by the per-instruction timing
+error *rate* (0%-4% in Figure 10), so the base injector is Bernoulli.
+:class:`VoltageDrivenInjector` derives its rate from the voltage model for
+the overscaling study of Figure 11.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..config import TimingConfig
+from ..errors import TimingModelError
+from ..utils.rng import RngStream
+from .voltage import VoltageModel
+
+
+class ErrorInjector(Protocol):
+    """Anything that can answer "did this instruction see a timing error?"."""
+
+    rate: float
+
+    def sample(self) -> bool:
+        """Draw one per-instruction error event."""
+        ...
+
+
+class NoErrorInjector:
+    """The error-free environment (0% timing error)."""
+
+    rate = 0.0
+
+    def sample(self) -> bool:
+        return False
+
+
+class BernoulliInjector:
+    """Independent per-instruction errors at a fixed rate."""
+
+    def __init__(self, rate: float, rng: RngStream) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise TimingModelError(f"error rate {rate} is not a probability")
+        self.rate = rate
+        self._rng = rng
+        # Draw uniforms in bulk: the injector sits on the hot path of every
+        # simulated FP instruction.
+        self._buffer = None
+        self._cursor = 0
+
+    def _refill(self) -> None:
+        self._buffer = self._rng.array_uniform(8192)
+        self._cursor = 0
+
+    def sample(self) -> bool:
+        if self.rate == 0.0:
+            return False
+        if self._buffer is None or self._cursor >= len(self._buffer):
+            self._refill()
+        value = self._buffer[self._cursor]
+        self._cursor += 1
+        return bool(value < self.rate)
+
+
+class VoltageDrivenInjector(BernoulliInjector):
+    """Bernoulli injector whose rate comes from the voltage model."""
+
+    def __init__(
+        self,
+        voltage: float,
+        rng: RngStream,
+        model: Optional[VoltageModel] = None,
+    ) -> None:
+        self.voltage = voltage
+        self.model = model or VoltageModel()
+        super().__init__(self.model.error_rate(voltage), rng)
+
+
+def injector_for(config: TimingConfig, *stream_labels: object) -> ErrorInjector:
+    """Build the right injector for a timing config.
+
+    Each call site passes distinguishing labels (compute unit, stream core,
+    unit kind) so every FPU gets an independent error stream.
+    """
+    if config.error_rate == 0.0:
+        return NoErrorInjector()
+    rng = RngStream(config.seed, "timing-errors", *stream_labels)
+    return BernoulliInjector(config.error_rate, rng)

@@ -1,0 +1,88 @@
+"""Static guardbanding — the predict-and-prevent alternative.
+
+The related work (Section 2) contrasts detect-then-correct resiliency
+with conservative guardbands and adaptive predict-and-prevent schemes
+[16-19, 22]: instead of recovering from errors, keep enough voltage (or
+frequency) margin that errors never happen.  This module computes the
+guardbanded operating point implied by the voltage model, so experiments
+can quantify what the margin costs relative to overscaled-but-resilient
+designs — "these guardbands have been steadily increasing, thus leaving
+untapped performance" (Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import TimingModelError
+from .voltage import VoltageModel
+
+
+@dataclass(frozen=True)
+class GuardbandPoint:
+    """A guardbanded operating point."""
+
+    voltage: float
+    error_rate: float
+    margin_vs: float
+
+    @property
+    def margin_fraction(self) -> float:
+        """Voltage margin relative to the aggressive reference point."""
+        return self.voltage / self.margin_vs - 1.0
+
+
+class StaticGuardband:
+    """Derive safe operating voltages from the delay/error model."""
+
+    def __init__(
+        self,
+        model: Optional[VoltageModel] = None,
+        max_error_rate: float = 1e-6,
+    ) -> None:
+        if max_error_rate < 0.0 or max_error_rate >= 1.0:
+            raise TimingModelError("max error rate must be in [0, 1)")
+        self.model = model or VoltageModel()
+        self.max_error_rate = max_error_rate
+
+    def is_safe(self, voltage: float) -> bool:
+        """Does this voltage meet the guardband's error budget?"""
+        return self.model.error_rate(voltage) <= self.max_error_rate
+
+    def minimum_safe_voltage(
+        self, low: float = 0.5, high: float = 1.2, tolerance: float = 1e-4
+    ) -> float:
+        """Bisect for the lowest voltage meeting the error budget.
+
+        Raises if even ``high`` is unsafe; returns ``low`` if the whole
+        range is safe (the budget never binds).
+        """
+        if low >= high:
+            raise TimingModelError("need low < high for the search")
+        if not self.is_safe(high):
+            raise TimingModelError(
+                f"no safe voltage at or below {high} V for error budget "
+                f"{self.max_error_rate}"
+            )
+        if self.is_safe(low):
+            return low
+        lo, hi = low, high
+        while hi - lo > tolerance:
+            mid = (lo + hi) / 2.0
+            if self.is_safe(mid):
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def guardband_against(self, aggressive_voltage: float) -> GuardbandPoint:
+        """The guardbanded point, with its margin over an aggressive one."""
+        if aggressive_voltage <= 0.0:
+            raise TimingModelError("aggressive voltage must be positive")
+        safe = self.minimum_safe_voltage()
+        return GuardbandPoint(
+            voltage=safe,
+            error_rate=self.model.error_rate(safe),
+            margin_vs=aggressive_voltage,
+        )

@@ -1,0 +1,27 @@
+"""Shared utilities: float32 bit manipulation, RNG streams, text rendering."""
+
+from .bitops import (
+    FRACTION_BITS,
+    bits_to_float32,
+    float32_to_bits,
+    fraction_mask_vector,
+    masked_equal,
+    quantize_to_mask,
+    ulp_distance,
+)
+from .rng import RngStream, split_seed
+from .tables import format_series, format_table
+
+__all__ = [
+    "FRACTION_BITS",
+    "bits_to_float32",
+    "float32_to_bits",
+    "fraction_mask_vector",
+    "masked_equal",
+    "quantize_to_mask",
+    "ulp_distance",
+    "RngStream",
+    "split_seed",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,78 @@
+"""IEEE-754 single-precision bit-level helpers.
+
+The memoization LUT's comparators are programmable through a 32-bit masking
+vector (Section 4.2): ignoring the ``k`` least significant fraction bits
+relaxes the exact match into an approximate one.  These helpers convert
+between Python floats and the 32-bit patterns the comparators see.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+#: Number of fraction (mantissa) bits in an IEEE-754 single.
+FRACTION_BITS = 23
+
+#: Bit width of the comparator masking vector.
+WORD_BITS = 32
+
+_PACK = struct.Struct("<f")
+_UNPACK = struct.Struct("<I")
+
+
+def float32_to_bits(value: float) -> int:
+    """Return the 32-bit pattern of ``value`` rounded to single precision."""
+    return _UNPACK.unpack(_PACK.pack(value))[0]
+
+
+def bits_to_float32(bits: int) -> float:
+    """Return the float whose single-precision pattern is ``bits``."""
+    if not 0 <= bits < (1 << WORD_BITS):
+        raise ValueError(f"bit pattern out of range: {bits:#x}")
+    return _PACK.unpack(_UNPACK.pack(bits))[0]
+
+
+def fraction_mask_vector(masked_fraction_bits: int) -> int:
+    """Masking vector that ignores the low ``masked_fraction_bits`` bits.
+
+    A set bit means "compare this bit"; the vector always compares the sign,
+    the exponent, and the remaining high fraction bits, which is how the
+    paper's 32-bit memory-mapped register relaxes matching toward the less
+    significant bits of the fraction part.
+    """
+    if not 0 <= masked_fraction_bits <= FRACTION_BITS:
+        raise ValueError(
+            f"masked fraction bits must be in [0, {FRACTION_BITS}], "
+            f"got {masked_fraction_bits}"
+        )
+    full = (1 << WORD_BITS) - 1
+    return full ^ ((1 << masked_fraction_bits) - 1)
+
+
+def masked_equal(a: float, b: float, mask_vector: int) -> bool:
+    """Compare two values under a comparator masking vector."""
+    return (float32_to_bits(a) & mask_vector) == (float32_to_bits(b) & mask_vector)
+
+
+def quantize_to_mask(value: float, mask_vector: int) -> float:
+    """Zero the ignored bits of ``value`` (canonical representative)."""
+    return bits_to_float32(float32_to_bits(value) & mask_vector)
+
+
+def ulp_distance(a: float, b: float) -> int:
+    """Units-in-the-last-place distance between two finite singles.
+
+    Uses the standard monotone integer mapping of IEEE floats, so the
+    distance is well defined across the zero boundary.
+    """
+    if math.isnan(a) or math.isnan(b):
+        raise ValueError("ULP distance undefined for NaN")
+    return abs(_ordered(a) - _ordered(b))
+
+
+def _ordered(value: float) -> int:
+    bits = float32_to_bits(value)
+    if bits & 0x8000_0000:
+        return -(bits & 0x7FFF_FFFF)
+    return bits

@@ -1,0 +1,73 @@
+"""Plain-text rendering of tables and series for the benchmark harness.
+
+The benches regenerate the paper's tables and figures as text: tables are
+rendered with aligned columns, figures (line series) as labelled rows of
+values, which is enough to compare shapes against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Union
+
+Cell = Union[str, float, int, None]
+
+
+def _render_cell(cell: Cell, float_format: str) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        if cell == float("inf"):
+            return "inf"
+        return format(cell, float_format)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    float_format: str = ".4g",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered = [[_render_cell(c, float_format) for c in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Cell],
+    series: Mapping[str, Sequence[Cell]],
+    title: str = "",
+    float_format: str = ".4g",
+) -> str:
+    """Render one or more y-series against shared x values (a text 'figure')."""
+    headers = [x_label] + list(series)
+    length = len(x_values)
+    for name, values in series.items():
+        if len(values) != length:
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected {length}"
+            )
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title, float_format=float_format)

@@ -1,0 +1,135 @@
+"""Tests for the experiment drivers (scaled down for speed)."""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_fig2_to_5_psnr,
+    run_fig6_7_hit_rates,
+    run_fig8_kernel_hit_rates,
+    run_fig10_energy_vs_error_rate,
+    run_fig11_voltage_overscaling,
+    run_fifo_depth_study,
+    run_table1,
+    run_table2_state_machine,
+)
+from repro.analysis.hitrate import collect_hit_rates
+from repro.analysis.sweep import fifo_depth_sweep, threshold_sweep
+from repro.kernels.registry import KERNEL_REGISTRY
+
+
+class TestPsnrExperiment:
+    def test_sobel_face_shape(self):
+        result = run_fig2_to_5_psnr("Sobel", "face", size=32, thresholds=(0.0, 1.0))
+        psnr_series = result.series_values("PSNR dB")
+        assert psnr_series[0] == math.inf  # exact matching lossless
+        assert psnr_series[1] < psnr_series[0]
+        hit_series = result.series_values("hit rate")
+        assert hit_series[1] >= hit_series[0]
+
+    def test_experiment_ids(self):
+        result = run_fig2_to_5_psnr("Gaussian", "book", size=16, thresholds=(0.0,))
+        assert result.experiment_id == "Fig 5"
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(ValueError):
+            run_fig2_to_5_psnr("Median", "face")
+
+    def test_to_text_renders(self):
+        result = run_fig2_to_5_psnr("Sobel", "face", size=16, thresholds=(0.0,))
+        text = result.to_text()
+        assert "Fig 2" in text and "PSNR" in text
+
+
+class TestHitRateExperiments:
+    def test_fig6_has_both_images(self):
+        results = run_fig6_7_hit_rates("Sobel", size=24, thresholds=(0.0, 1.0))
+        assert set(results) == {"face", "book"}
+        face = results["face"]
+        assert "SQRT" in face.series
+        assert "FP2INT" in face.series
+
+    def test_collect_hit_rates_sample(self):
+        spec = KERNEL_REGISTRY["FWT"]
+        sample = collect_hit_rates(spec.default_factory(), 0.0)
+        assert sample.workload == "FWT"
+        assert 0.0 <= sample.weighted <= 1.0
+        assert sample.executed_ops > 0
+        assert sample.activated_units()
+
+
+class TestFifoDepthStudy:
+    def test_hit_rate_non_decreasing_in_depth(self):
+        spec = KERNEL_REGISTRY["Haar"]
+        points = fifo_depth_sweep(spec.default_factory, [1, 2, 8], spec.threshold)
+        rates = [p.hit_rate for p in points]
+        assert rates[0] <= rates[1] <= rates[2] + 1e-9
+
+    def test_study_reports_gains(self):
+        result = run_fifo_depth_study(depths=(2, 8), kernels=("Haar", "FWT"))
+        gains = result.series_values("gain vs depth 2")
+        assert gains[0] == 0.0
+        assert gains[1] >= 0.0
+
+
+class TestThresholdSweep:
+    def test_threshold_zero_point_has_no_error(self):
+        spec = KERNEL_REGISTRY["Haar"]
+        points = threshold_sweep(spec.default_factory, [0.0, 0.5])
+        assert points[0].hit_rate <= points[1].hit_rate
+        assert points[0].baseline_energy_pj > 0
+        assert points[0].saving == 1 - (
+            points[0].memo_energy_pj / points[0].baseline_energy_pj
+        )
+
+
+class TestTableExperiments:
+    def test_table1_renders_without_validation(self):
+        text = run_table1(validate=False)
+        assert "Sobel" in text and "EigenValue" in text
+        assert "1536x1536" in text
+
+    def test_table2_renders_all_states(self):
+        text = run_table2_state_machine()
+        assert "masking error" in text
+        assert "Q_L" in text and "Q_S" in text
+
+
+class TestFig8:
+    def test_every_kernel_has_weighted_average(self):
+        result = run_fig8_kernel_hit_rates()
+        assert len(result.x_values) == 7
+        weighted = result.series_values("weighted avg")
+        assert all(0.0 <= w <= 1.0 for w in weighted)
+
+    def test_unactivated_units_are_none(self):
+        result = run_fig8_kernel_hit_rates()
+        fwt_index = result.x_values.index("FWT")
+        assert result.series["RECIP"][fwt_index] is None  # FWT never divides
+        assert result.series["ADD"][fwt_index] is not None
+
+
+class TestFig10:
+    def test_average_saving_grows_with_error_rate(self):
+        result = run_fig10_energy_vs_error_rate(
+            rates=(0.0, 0.04), kernels=("Sobel", "Haar")
+        )
+        avg = result.series_values("AVERAGE")
+        assert avg[1] > avg[0] > 0.0
+
+
+class TestFig11:
+    def test_crossover_shape(self):
+        result = run_fig11_voltage_overscaling(
+            voltages=(0.90, 0.86, 0.80), kernels=("Haar", "FWT")
+        )
+        base = result.series_values("baseline (norm)")
+        memo = result.series_values("memoized (norm)")
+        savings = result.series_values("avg saving")
+        # Baseline energy drops with voltage until errors blow it up.
+        assert base[1] < base[0]
+        assert base[2] > base[1]
+        # Memoized is cheaper at the deep-overscaling point.
+        assert memo[2] < base[2]
+        assert savings[2] > savings[1]

@@ -1,0 +1,180 @@
+"""Tests for locality analysis and trace replay."""
+
+import pytest
+
+from repro.analysis.locality import (
+    aligned_lane_streams,
+    analyze_trace,
+    compare_temporal_vs_spatial,
+    fifo_capture_fraction,
+    normalized_entropy,
+    operand_entropy,
+    reuse_distance_histogram,
+)
+from repro.analysis.replay import capture_trace, replay_trace
+from repro.config import ArchConfig, MemoConfig, SimConfig, TimingConfig, small_arch
+from repro.gpu.executor import GpuExecutor
+from repro.gpu.trace import FpTraceCollector, TraceEvent
+from repro.isa.opcodes import UnitKind, opcode_by_mnemonic
+from repro.kernels.registry import workload_by_name
+
+ADD = opcode_by_mnemonic("ADD")
+MUL = opcode_by_mnemonic("MUL")
+
+
+def make_events(operand_sets, opcode=ADD, lane=0):
+    return [
+        TraceEvent(0, lane, opcode, operands, 0.0) for operands in operand_sets
+    ]
+
+
+class TestEntropy:
+    def test_constant_stream_zero_entropy(self):
+        events = make_events([(1.0, 2.0)] * 16)
+        assert operand_entropy(events) == 0.0
+        assert normalized_entropy(events) == 0.0
+
+    def test_all_distinct_max_entropy(self):
+        events = make_events([(float(i), 0.0) for i in range(16)])
+        assert operand_entropy(events) == pytest.approx(4.0)
+        assert normalized_entropy(events) == pytest.approx(1.0)
+
+    def test_two_level_stream(self):
+        events = make_events([(1.0, 1.0), (2.0, 2.0)] * 8)
+        assert operand_entropy(events) == pytest.approx(1.0)
+
+    def test_opcode_part_of_context(self):
+        events = make_events([(1.0, 2.0)] * 4, ADD) + make_events(
+            [(1.0, 2.0)] * 4, MUL
+        )
+        assert operand_entropy(events) == pytest.approx(1.0)
+
+    def test_empty_stream(self):
+        assert operand_entropy([]) == 0.0
+        assert normalized_entropy([]) == 0.0
+
+
+class TestReuseDistance:
+    def test_immediate_repeat_distance_one(self):
+        events = make_events([(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)])
+        histogram = reuse_distance_histogram(events)
+        assert histogram[1] == 2
+        assert histogram[-1] == 1  # the first occurrence
+
+    def test_alternating_contexts_distance_two(self):
+        events = make_events([(1.0, 1.0), (2.0, 2.0)] * 4)
+        histogram = reuse_distance_histogram(events)
+        assert histogram[2] == 6
+        assert histogram[-1] == 2
+
+    def test_fifo_capture_fraction_alternating(self):
+        events = make_events([(1.0, 1.0), (2.0, 2.0)] * 8)
+        assert fifo_capture_fraction(events, depth=1) == 0.0
+        assert fifo_capture_fraction(events, depth=2) == pytest.approx(14 / 16)
+
+    def test_capture_fraction_matches_measured_hit_rate(self):
+        """The reuse-distance bound equals the actual depth-2 exact hit
+        rate (with commutative matching off — the bound counts identical
+        contexts only)."""
+        trace = capture_trace(workload_by_name("FWT"))
+        result = replay_trace(
+            trace,
+            MemoConfig(threshold=0.0, fifo_depth=2, commutative_matching=False),
+        )
+        # Compute the capture bound per FPU stream, aggregated.
+        per_stream = trace.per_fpu_streams()
+        captured = 0
+        total = 0
+        for events in per_stream.values():
+            captured += fifo_capture_fraction(events, 2) * len(events)
+            total += len(events)
+        assert result.weighted_hit_rate == pytest.approx(
+            captured / total, abs=1e-9
+        )
+
+
+class TestAnalyzeTrace:
+    def test_reports_per_activated_unit(self):
+        trace = capture_trace(workload_by_name("Haar"))
+        reports = analyze_trace(trace)
+        assert UnitKind.ADD in reports
+        assert UnitKind.MUL in reports
+        report = reports[UnitKind.ADD]
+        assert report.executions > 0
+        assert 0.0 <= report.normalized_entropy <= 1.0
+        assert 0.0 <= report.fifo2_capture <= 1.0
+
+    def test_low_entropy_claim_on_image_kernel(self):
+        """Section 4: data-level parallel execution has low value entropy."""
+        from repro.images.synth import synth_face
+        from repro.kernels.sobel import SobelWorkload
+
+        trace = capture_trace(SobelWorkload(synth_face(24)))
+        reports = analyze_trace(trace)
+        # The conversion unit sees 8-bit pixels: far below max entropy.
+        assert reports[UnitKind.FP2INT].normalized_entropy < 0.75
+
+
+class TestReplay:
+    def test_replay_matches_direct_run_exact_matching(self):
+        workload_factory = lambda: workload_by_name("Haar")
+        trace = capture_trace(workload_factory())
+        replayed = replay_trace(trace, MemoConfig(threshold=0.0))
+
+        config = SimConfig(arch=small_arch(), memo=MemoConfig(threshold=0.0))
+        executor = GpuExecutor(config)
+        workload_factory().run(executor)
+        direct = executor.device.lut_stats()
+
+        for unit, stats in direct.items():
+            if stats.lookups:
+                assert replayed.per_unit_lut_stats[unit].hits == stats.hits
+                assert replayed.per_unit_lut_stats[unit].lookups == stats.lookups
+
+    def test_replay_depth_sweep_monotone(self):
+        trace = capture_trace(workload_by_name("FWT"))
+        rates = [
+            replay_trace(trace, MemoConfig(fifo_depth=d)).weighted_hit_rate
+            for d in (1, 2, 8, 32)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_replay_counts_errors(self):
+        trace = capture_trace(workload_by_name("FWT"))
+        result = replay_trace(
+            trace,
+            MemoConfig(power_gated=True),
+            TimingConfig(error_rate=0.05),
+        )
+        injected = sum(
+            c.errors_injected for c in result.per_unit_counters.values()
+        )
+        ops = sum(c.ops for c in result.per_unit_counters.values())
+        assert 0.02 < injected / ops < 0.08
+
+
+class TestTemporalVsSpatial:
+    def test_aligned_streams_have_equal_lengths(self):
+        trace = capture_trace(workload_by_name("FWT"))
+        streams = aligned_lane_streams(trace, 0, UnitKind.ADD)
+        assert len(streams) == 16
+        assert len({len(s) for s in streams}) == 1
+
+    def test_comparison_produces_rates_for_shared_units(self):
+        comparison = compare_temporal_vs_spatial(workload_by_name("FWT"))
+        assert comparison.per_unit_temporal
+        for unit, rate in comparison.per_unit_spatial.items():
+            assert 0.0 <= rate <= 1.0
+        assert 0.0 <= comparison.temporal_weighted <= 1.0
+        assert 0.0 <= comparison.spatial_weighted <= 1.0
+
+    def test_binomial_setup_reuses_both_ways(self):
+        """The per-option lattice constants are identical across lanes AND
+        across time: both styles must capture them."""
+        from repro.kernels.binomial_option import BinomialOptionWorkload
+
+        comparison = compare_temporal_vs_spatial(
+            BinomialOptionWorkload(64, steps=4)
+        )
+        assert comparison.per_unit_temporal[UnitKind.SQRT] > 0.5
+        assert comparison.per_unit_spatial[UnitKind.SQRT] > 0.9

@@ -1,0 +1,67 @@
+"""Tests for multi-seed statistical measurement."""
+
+import pytest
+
+from repro.analysis.multirun import (
+    MultiSeedMeasurement,
+    Statistic,
+    measure_with_seeds,
+)
+from repro.errors import ConfigError
+from repro.kernels.registry import KERNEL_REGISTRY
+
+
+class TestStatistic:
+    def test_from_values(self):
+        stat = Statistic.from_values([1.0, 2.0, 3.0])
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.std == pytest.approx((2.0 / 3.0) ** 0.5)
+        assert stat.minimum == 1.0 and stat.maximum == 3.0
+        assert stat.samples == 3
+
+    def test_single_value_zero_spread(self):
+        stat = Statistic.from_values([5.0])
+        assert stat.mean == 5.0 and stat.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            Statistic.from_values([])
+
+    def test_str_rendering(self):
+        assert "n=2" in str(Statistic.from_values([1.0, 2.0]))
+
+
+class TestMeasureWithSeeds:
+    def test_error_free_runs_are_seed_invariant(self):
+        spec = KERNEL_REGISTRY["Haar"]
+        measurement = measure_with_seeds(
+            spec.default_factory, spec.threshold, 0.0, seeds=(1, 2, 3)
+        )
+        # Without errors the simulation is fully deterministic.
+        assert measurement.saving.std == pytest.approx(0.0, abs=1e-12)
+        assert measurement.hit_rate.std == pytest.approx(0.0, abs=1e-12)
+
+    def test_errant_runs_vary_but_cluster(self):
+        spec = KERNEL_REGISTRY["Haar"]
+        measurement = measure_with_seeds(
+            spec.default_factory, spec.threshold, 0.05, seeds=(1, 2, 3, 4)
+        )
+        # The spread is real but small relative to the mean.
+        assert measurement.saving.std < 0.2
+        assert measurement.saving.minimum <= measurement.saving.mean
+        assert measurement.saving.maximum >= measurement.saving.mean
+
+    def test_errors_increase_mean_saving(self):
+        spec = KERNEL_REGISTRY["Haar"]
+        clean = measure_with_seeds(
+            spec.default_factory, spec.threshold, 0.0, seeds=(1, 2)
+        )
+        errant = measure_with_seeds(
+            spec.default_factory, spec.threshold, 0.04, seeds=(1, 2)
+        )
+        assert errant.saving.mean > clean.saving.mean
+
+    def test_no_seeds_rejected(self):
+        spec = KERNEL_REGISTRY["Haar"]
+        with pytest.raises(ConfigError):
+            measure_with_seeds(spec.default_factory, 0.0, 0.0, seeds=())

@@ -1,0 +1,42 @@
+"""Tests for the full-report generator."""
+
+import pytest
+
+from repro.analysis.reporting import SECTIONS, SLOW_SECTIONS, generate_report
+
+
+class TestGenerateReport:
+    def test_selected_sections_only(self):
+        run = generate_report(sections=["Table 2"])
+        assert run.sections_run == ["Table 2"]
+        assert "masking error" in run.text
+        assert "Figure 2" not in run.text
+
+    def test_quick_skips_slow_sections(self):
+        # The full quick report takes ~30s; verify the selection logic
+        # itself (the sections a quick run would execute).
+        selected = [name for name in SECTIONS if name not in SLOW_SECTIONS]
+        assert "Figure 10" not in selected
+        assert "FIFO depth (S4.1)" not in selected
+        assert "Table 1" in selected
+
+    def test_header_is_single(self):
+        run = generate_report(sections=["Table 2"])
+        assert run.text.count("Reproduced evaluation") == 1
+        assert run.text.startswith("Temporal Memoization")
+
+    def test_timings_recorded(self):
+        run = generate_report(sections=["Table 2"])
+        assert run.seconds_per_section["Table 2"] >= 0.0
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report(sections=["Figure 99"])
+
+    def test_all_paper_sections_registered(self):
+        expected = {
+            "Table 1", "Table 2", "Figure 2", "Figure 3", "Figure 4",
+            "Figure 5", "Figure 6", "Figure 7", "Figure 8",
+            "FIFO depth (S4.1)", "Figure 10", "Figure 11",
+        }
+        assert set(SECTIONS) == expected

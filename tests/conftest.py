@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.config import ArchConfig, MemoConfig, SimConfig, TimingConfig
+from repro.isa.opcodes import opcode_by_mnemonic
+
+
+@pytest.fixture
+def tiny_arch() -> ArchConfig:
+    """A 1-CU, 4-lane, 8-item-wavefront device for fast tests."""
+    return ArchConfig(
+        num_compute_units=1,
+        stream_cores_per_cu=4,
+        wavefront_size=8,
+    )
+
+
+@pytest.fixture
+def tiny_sim(tiny_arch) -> SimConfig:
+    return SimConfig(arch=tiny_arch, memo=MemoConfig(), timing=TimingConfig())
+
+
+@pytest.fixture
+def add_op():
+    return opcode_by_mnemonic("ADD")
+
+
+@pytest.fixture
+def sub_op():
+    return opcode_by_mnemonic("SUB")
+
+
+@pytest.fixture
+def mul_op():
+    return opcode_by_mnemonic("MUL")
+
+
+@pytest.fixture
+def muladd_op():
+    return opcode_by_mnemonic("MULADD")
+
+
+@pytest.fixture
+def sqrt_op():
+    return opcode_by_mnemonic("SQRT")
+
+
+@pytest.fixture
+def recip_op():
+    return opcode_by_mnemonic("RECIP")

@@ -1,0 +1,169 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.energy.params import EnergyParams
+from repro.errors import EnergyModelError
+from repro.fpu.units import UNIT_SPECS
+from repro.isa.opcodes import UnitKind
+from repro.memo.lut import LutStats
+from repro.memo.resilient import FpuEventCounters
+
+
+def miss_counters(ops, depth=4):
+    """Counters for `ops` plain executions with no hits or errors."""
+    return FpuEventCounters(
+        ops=ops,
+        issue_cycles=ops,
+        active_stage_traversals=ops * depth,
+    )
+
+
+def hit_counters(ops, depth=4):
+    """Counters for `ops` all-hit executions."""
+    return FpuEventCounters(
+        ops=ops,
+        issue_cycles=ops,
+        active_stage_traversals=ops,
+        gated_stage_traversals=ops * (depth - 1),
+    )
+
+
+class TestBreakdown:
+    def test_total_is_sum_of_parts(self):
+        b = EnergyBreakdown(1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+        assert b.total_pj == 21.0
+
+    def test_fpu_excludes_memo(self):
+        b = EnergyBreakdown(1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+        assert b.fpu_pj == 15.0
+
+    def test_add_accumulates(self):
+        a = EnergyBreakdown(datapath_pj=1.0)
+        a.add(EnergyBreakdown(datapath_pj=2.0, memo_pj=1.0))
+        assert a.datapath_pj == 3.0
+        assert a.memo_pj == 1.0
+
+
+class TestUnitEnergy:
+    def test_plain_op_energy_close_to_spec(self):
+        model = EnergyModel()
+        breakdown = model.unit_energy(UnitKind.ADD, miss_counters(1000))
+        per_op = breakdown.total_pj / 1000
+        spec = UNIT_SPECS[UnitKind.ADD].energy_per_op_pj
+        # datapath + control = spec; leakage adds a small extra.
+        assert spec <= per_op <= spec * 1.1
+
+    def test_hit_cheaper_than_miss(self):
+        model = EnergyModel()
+        lut = LutStats(lookups=100, hits=100)
+        hit = model.unit_energy(UnitKind.ADD, hit_counters(100), lut)
+        miss = model.unit_energy(UnitKind.ADD, miss_counters(100))
+        assert hit.total_pj < miss.total_pj
+
+    def test_hit_saving_fraction_is_calibrated(self):
+        """Per-hit saving must be ~55% of a full op (see EnergyParams)."""
+        model = EnergyModel()
+        lut = LutStats(lookups=1000, hits=1000)
+        hit = model.unit_energy(UnitKind.MUL, hit_counters(1000), lut)
+        miss = model.unit_energy(UnitKind.MUL, miss_counters(1000))
+        saving = 1.0 - hit.total_pj / miss.total_pj
+        assert 0.4 < saving < 0.7
+
+    def test_recovery_energy_dominates_errors(self):
+        model = EnergyModel()
+        counters = miss_counters(100)
+        counters.errors_recovered = 10
+        counters.recovery_stall_cycles = 120
+        with_errors = model.unit_energy(UnitKind.ADD, counters)
+        without = model.unit_energy(UnitKind.ADD, miss_counters(100))
+        assert with_errors.recovery_pj > 0
+        # 10 recoveries at ~25x op energy ~ 2500 op-equivalents extra.
+        assert with_errors.total_pj > 2.0 * without.total_pj
+
+    def test_memo_energy_zero_without_lut(self):
+        model = EnergyModel()
+        breakdown = model.unit_energy(UnitKind.ADD, miss_counters(10))
+        assert breakdown.memo_pj == 0.0
+
+    def test_memo_energy_counts_lookups_and_updates(self):
+        model = EnergyModel()
+        lut = LutStats(lookups=10, hits=0, updates=10)
+        counters = miss_counters(10)
+        breakdown = model.unit_energy(UnitKind.ADD, counters, lut)
+        params = model.params
+        expected = (
+            10 * params.lut_lookup_pj
+            + 10 * params.lut_update_pj
+            + 10 * params.memo_clock_pj_per_cycle
+        )
+        assert breakdown.memo_pj == pytest.approx(expected)
+
+    def test_leakage_scales_with_busy_cycles(self):
+        model = EnergyModel()
+        short = model.unit_energy(UnitKind.ADD, miss_counters(10))
+        long = model.unit_energy(UnitKind.ADD, miss_counters(1000))
+        assert long.leakage_pj > short.leakage_pj
+
+    def test_deeper_pipeline_spreads_stage_energy(self):
+        model = EnergyModel()
+        shallow = model.unit_energy(
+            UnitKind.RECIP, miss_counters(10, depth=16), pipeline_depth=16
+        )
+        # Per-op energy should still be ~spec regardless of depth.
+        spec = UNIT_SPECS[UnitKind.RECIP].energy_per_op_pj
+        assert shallow.datapath_pj + shallow.control_pj == pytest.approx(
+            10 * spec, rel=0.01
+        )
+
+
+class TestVoltageScaling:
+    def test_dynamic_energy_scales_quadratically(self):
+        nominal = EnergyModel(fpu_voltage=0.9)
+        scaled = EnergyModel(fpu_voltage=0.8)
+        n = nominal.unit_energy(UnitKind.ADD, miss_counters(100))
+        s = scaled.unit_energy(UnitKind.ADD, miss_counters(100))
+        assert s.datapath_pj == pytest.approx(
+            n.datapath_pj * (0.8 / 0.9) ** 2
+        )
+
+    def test_memo_module_voltage_is_pinned(self):
+        nominal = EnergyModel(fpu_voltage=0.9)
+        scaled = EnergyModel(fpu_voltage=0.8)
+        lut = LutStats(lookups=100, hits=50, updates=50)
+        n = nominal.unit_energy(UnitKind.ADD, hit_counters(100), lut)
+        s = scaled.unit_energy(UnitKind.ADD, hit_counters(100), lut)
+        assert s.memo_pj == pytest.approx(n.memo_pj)  # fixed 0.9 V module
+
+    def test_leakage_scales_linearly(self):
+        nominal = EnergyModel(fpu_voltage=0.9)
+        scaled = EnergyModel(fpu_voltage=0.45)
+        n = nominal.unit_energy(UnitKind.ADD, miss_counters(100))
+        s = scaled.unit_energy(UnitKind.ADD, miss_counters(100))
+        assert s.leakage_pj == pytest.approx(n.leakage_pj * 0.5)
+
+    def test_invalid_voltage_rejected(self):
+        with pytest.raises(EnergyModelError):
+            EnergyModel(fpu_voltage=0.0)
+
+
+class TestAggregate:
+    def test_aggregate_and_total(self):
+        model = EnergyModel()
+        per_unit = {
+            UnitKind.ADD: miss_counters(10),
+            UnitKind.MUL: miss_counters(20),
+        }
+        breakdowns = model.aggregate(per_unit)
+        total = EnergyModel.total(breakdowns)
+        assert total.total_pj == pytest.approx(
+            breakdowns[UnitKind.ADD].total_pj + breakdowns[UnitKind.MUL].total_pj
+        )
+
+    def test_aggregate_with_lut_stats(self):
+        model = EnergyModel()
+        per_unit = {UnitKind.ADD: miss_counters(10)}
+        luts = {UnitKind.ADD: LutStats(lookups=10)}
+        breakdowns = model.aggregate(per_unit, luts)
+        assert breakdowns[UnitKind.ADD].memo_pj > 0

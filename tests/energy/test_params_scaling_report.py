@@ -1,0 +1,96 @@
+"""Tests for energy parameters, voltage scaling and reports."""
+
+import pytest
+
+from repro.energy.model import EnergyBreakdown
+from repro.energy.params import EnergyParams
+from repro.energy.report import EnergyReport, compare_energy, format_energy_report
+from repro.energy.voltage_scaling import VoltageScaling
+from repro.errors import EnergyModelError
+from repro.isa.opcodes import UnitKind
+
+
+class TestEnergyParams:
+    def test_defaults_valid(self):
+        EnergyParams()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"control_fraction": 1.0},
+            {"control_fraction": -0.1},
+            {"gated_stage_residual": 1.5},
+            {"lut_lookup_pj": -1.0},
+            {"recovery_activity_factor": 0.0},
+            {"recovery_sc_idle_pj_per_cycle": -1.0},
+            {"memo_voltage": 0.0},
+            {"clock_period_ns": 0.0},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(EnergyModelError):
+            EnergyParams(**kwargs)
+
+    def test_frozen(self):
+        params = EnergyParams()
+        with pytest.raises(Exception):
+            params.control_fraction = 0.5
+
+
+class TestVoltageScaling:
+    def test_nominal_scale_is_unity(self):
+        scaling = VoltageScaling()
+        assert scaling.dynamic_scale(0.9) == pytest.approx(1.0)
+        assert scaling.leakage_scale(0.9) == pytest.approx(1.0)
+
+    def test_quadratic_vs_linear(self):
+        scaling = VoltageScaling()
+        assert scaling.dynamic_scale(0.45) == pytest.approx(0.25)
+        assert scaling.leakage_scale(0.45) == pytest.approx(0.5)
+
+    def test_invalid_voltage(self):
+        with pytest.raises(EnergyModelError):
+            VoltageScaling().dynamic_scale(0.0)
+        with pytest.raises(EnergyModelError):
+            VoltageScaling(nominal_voltage=0.0)
+
+
+class TestEnergyReport:
+    def _report(self, label, add_pj, mul_pj):
+        return EnergyReport(
+            label=label,
+            voltage=0.9,
+            per_unit={
+                UnitKind.ADD: EnergyBreakdown(datapath_pj=add_pj),
+                UnitKind.MUL: EnergyBreakdown(datapath_pj=mul_pj),
+            },
+        )
+
+    def test_total(self):
+        report = self._report("x", 10.0, 20.0)
+        assert report.total_pj == 30.0
+
+    def test_saving_vs_baseline(self):
+        memo = self._report("memo", 10.0, 20.0)
+        base = self._report("base", 20.0, 20.0)
+        assert memo.saving_vs(base) == pytest.approx(0.25)
+        assert compare_energy(memo, base) == pytest.approx(0.25)
+
+    def test_zero_baseline_rejected(self):
+        memo = self._report("memo", 10.0, 20.0)
+        empty = EnergyReport("base", 0.9, {})
+        with pytest.raises(EnergyModelError):
+            memo.saving_vs(empty)
+
+    def test_format_contains_units_and_total(self):
+        memo = self._report("memoized", 10.0, 20.0)
+        text = format_energy_report(memo)
+        assert "ADD" in text and "MUL" in text and "TOTAL" in text
+        assert "memoized" in text
+
+    def test_format_with_baseline_has_saving_column(self):
+        memo = self._report("memo", 10.0, 20.0)
+        base = self._report("base", 20.0, 40.0)
+        text = format_energy_report(memo, base)
+        assert "saving %" in text
+        assert "50" in text

@@ -1,0 +1,196 @@
+"""Tests for bit-exact float32 operator semantics."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import IsaError
+from repro.fpu.arithmetic import FLOAT32_MAX, evaluate, float32
+from repro.isa.opcodes import FP_OPCODES, opcode_by_mnemonic
+
+
+def op(mnemonic):
+    return opcode_by_mnemonic(mnemonic)
+
+
+class TestFloat32Rounding:
+    def test_exact_values_unchanged(self):
+        assert float32(1.5) == 1.5
+
+    def test_inexact_double_rounds(self):
+        assert float32(0.1) == struct.unpack("<f", struct.pack("<f", 0.1))[0]
+
+    def test_overflow_to_infinity(self):
+        assert float32(1e39) == math.inf
+
+    def test_matches_numpy_float32(self):
+        for value in (0.1, math.pi, 1e-40, 123456.789):
+            assert float32(value) == float(np.float32(value))
+
+
+class TestBinaryOps:
+    def test_add_matches_numpy(self):
+        a, b = float32(0.1), float32(0.2)
+        assert evaluate(op("ADD"), (a, b)) == float(np.float32(a) + np.float32(b))
+
+    def test_sub(self):
+        assert evaluate(op("SUB"), (5.0, 3.0)) == 2.0
+
+    def test_mul_matches_numpy(self):
+        a, b = float32(1.1), float32(2.3)
+        assert evaluate(op("MUL"), (a, b)) == float(np.float32(a) * np.float32(b))
+
+    def test_max_min(self):
+        assert evaluate(op("MAX"), (1.0, 2.0)) == 2.0
+        assert evaluate(op("MIN"), (1.0, 2.0)) == 1.0
+
+    @pytest.mark.parametrize(
+        "mnemonic,a,b,expected",
+        [
+            ("SETE", 1.0, 1.0, 1.0),
+            ("SETE", 1.0, 2.0, 0.0),
+            ("SETNE", 1.0, 2.0, 1.0),
+            ("SETGT", 2.0, 1.0, 1.0),
+            ("SETGT", 1.0, 1.0, 0.0),
+            ("SETGE", 1.0, 1.0, 1.0),
+            ("SETGE", 0.0, 1.0, 0.0),
+        ],
+    )
+    def test_comparisons(self, mnemonic, a, b, expected):
+        assert evaluate(op(mnemonic), (a, b)) == expected
+
+
+class TestTernaryOps:
+    def test_muladd_is_fused(self):
+        # A fused multiply-add rounds once; with these operands the fused
+        # and unfused results differ in the last bit.
+        a = float32(1.0000001)
+        result = evaluate(op("MULADD"), (a, a, -1.0))
+        unfused = float32(float32(a * a) + -1.0)
+        fused = float32(a * a - 1.0)
+        assert result == fused
+        assert result != unfused or fused == unfused
+
+    def test_mulsub(self):
+        assert evaluate(op("MULSUB"), (3.0, 4.0, 2.0)) == 10.0
+
+
+class TestUnaryOps:
+    def test_sqrt(self):
+        assert evaluate(op("SQRT"), (16.0,)) == 4.0
+
+    def test_sqrt_negative_is_nan(self):
+        assert math.isnan(evaluate(op("SQRT"), (-1.0,)))
+
+    def test_rsqrt(self):
+        assert evaluate(op("RSQRT"), (4.0,)) == 0.5
+
+    def test_rsqrt_zero_is_inf(self):
+        assert evaluate(op("RSQRT"), (0.0,)) == math.inf
+
+    def test_recip(self):
+        assert evaluate(op("RECIP"), (4.0,)) == 0.25
+
+    def test_recip_zero_signed_infinity(self):
+        assert evaluate(op("RECIP"), (0.0,)) == math.inf
+        assert evaluate(op("RECIP"), (-0.0,)) == -math.inf
+
+    def test_recip_clamped_zero(self):
+        assert evaluate(op("RECIP_CLAMPED"), (0.0,)) == pytest.approx(
+            float32(FLOAT32_MAX)
+        )
+
+    def test_floor_fract(self):
+        assert evaluate(op("FLOOR"), (2.75,)) == 2.0
+        assert evaluate(op("FRACT"), (2.75,)) == 0.75
+
+    def test_floor_negative(self):
+        assert evaluate(op("FLOOR"), (-1.5,)) == -2.0
+
+    def test_trunc(self):
+        assert evaluate(op("TRUNC"), (-1.5,)) == -1.0
+        assert evaluate(op("TRUNC"), (1.9,)) == 1.0
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(2.5, 2.0), (3.5, 4.0), (2.4, 2.0), (2.6, 3.0), (-2.5, -2.0)],
+    )
+    def test_rndne_round_half_even(self, value, expected):
+        assert evaluate(op("RNDNE"), (value,)) == expected
+
+    def test_flt_to_int_truncates(self):
+        assert evaluate(op("FLT_TO_INT"), (3.9,)) == 3.0
+        assert evaluate(op("FLT_TO_INT"), (-3.9,)) == -3.0
+
+    def test_exp_log_inverse(self):
+        x = float32(1.25)
+        assert evaluate(op("LOG"), (evaluate(op("EXP"), (x,)),)) == pytest.approx(
+            x, abs=1e-6
+        )
+
+    def test_log_zero_is_neg_inf(self):
+        assert evaluate(op("LOG"), (0.0,)) == -math.inf
+
+    def test_log_negative_is_nan(self):
+        assert math.isnan(evaluate(op("LOG"), (-1.0,)))
+
+    def test_exp_overflow_is_inf(self):
+        assert evaluate(op("EXP"), (1000.0,)) == math.inf
+
+    def test_sin_cos(self):
+        assert evaluate(op("SIN"), (0.0,)) == 0.0
+        assert evaluate(op("COS"), (0.0,)) == 1.0
+
+
+class TestNonFiniteInputs:
+    """Hardware conversion/rounding behaviour for inf and NaN inputs
+    (originally caught by the executor property tests)."""
+
+    @pytest.mark.parametrize("mnemonic", ["FLOOR", "TRUNC", "RNDNE", "INT_TO_FLT"])
+    def test_rounding_ops_pass_infinity_through(self, mnemonic):
+        assert evaluate(op(mnemonic), (math.inf,)) == math.inf
+        assert evaluate(op(mnemonic), (-math.inf,)) == -math.inf
+
+    @pytest.mark.parametrize(
+        "mnemonic", ["FLOOR", "TRUNC", "RNDNE", "FRACT", "INT_TO_FLT"]
+    )
+    def test_rounding_ops_propagate_nan(self, mnemonic):
+        assert math.isnan(evaluate(op(mnemonic), (math.nan,)))
+
+    def test_fract_of_infinity_is_zero(self):
+        assert evaluate(op("FRACT"), (math.inf,)) == 0.0
+        assert evaluate(op("FRACT"), (-math.inf,)) == 0.0
+
+    def test_flt_to_int_saturates_on_infinity(self):
+        assert evaluate(op("FLT_TO_INT"), (math.inf,)) == 2147483648.0
+        assert evaluate(op("FLT_TO_INT"), (-math.inf,)) == -2147483648.0
+
+    def test_flt_to_int_nan_is_zero(self):
+        assert evaluate(op("FLT_TO_INT"), (math.nan,)) == 0.0
+
+    def test_sin_cos_of_infinity_is_nan(self):
+        assert math.isnan(evaluate(op("SIN"), (math.inf,)))
+        assert math.isnan(evaluate(op("COS"), (-math.inf,)))
+
+
+class TestEvaluateContract:
+    def test_every_opcode_evaluates(self):
+        for opcode in FP_OPCODES:
+            operands = tuple([1.5] * opcode.arity)
+            result = evaluate(opcode, operands)
+            assert isinstance(result, float)
+
+    def test_results_are_single_precision(self):
+        for opcode in FP_OPCODES:
+            operands = tuple([1.1] * opcode.arity)
+            result = evaluate(opcode, operands)
+            if not math.isnan(result):
+                assert result == float32(result)
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(IsaError):
+            evaluate(op("ADD"), (1.0,))
+        with pytest.raises(IsaError):
+            evaluate(op("SQRT"), (1.0, 2.0))

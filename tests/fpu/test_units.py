@@ -1,0 +1,106 @@
+"""Tests for unit specs and the FPU pool."""
+
+import pytest
+
+from repro.config import ArchConfig
+from repro.errors import ConfigError, PipelineError
+from repro.fpu.pool import FpuPool
+from repro.fpu.units import UNIT_SPECS, UnitSpec, pipeline_stages_for
+from repro.isa.opcodes import UnitKind, opcode_by_mnemonic
+
+
+class TestUnitSpecs:
+    def test_every_unit_kind_specified(self):
+        assert set(UNIT_SPECS) == set(UnitKind)
+
+    def test_recip_is_deepest(self):
+        recip = UNIT_SPECS[UnitKind.RECIP]
+        assert recip.pipeline_stages == 16
+        for kind, spec in UNIT_SPECS.items():
+            if kind is not UnitKind.RECIP:
+                assert spec.pipeline_stages == 4
+
+    def test_throughput_one_per_cycle(self):
+        for spec in UNIT_SPECS.values():
+            assert spec.issue_interval_cycles == 1
+
+    def test_energy_ordering_matches_complexity(self):
+        e = {kind: spec.energy_per_op_pj for kind, spec in UNIT_SPECS.items()}
+        assert e[UnitKind.FP2INT] < e[UnitKind.ADD] < e[UnitKind.MUL]
+        assert e[UnitKind.MUL] < e[UnitKind.MULADD] < e[UnitKind.SQRT]
+        assert e[UnitKind.SQRT] < e[UnitKind.RECIP]
+
+    def test_energy_per_stage(self):
+        spec = UNIT_SPECS[UnitKind.ADD]
+        assert spec.energy_per_stage_pj == pytest.approx(
+            spec.energy_per_op_pj / spec.pipeline_stages
+        )
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            UnitSpec(UnitKind.ADD, 0, 1, 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            UnitSpec(UnitKind.ADD, 4, 1, -1.0, 1.0)
+
+    def test_stages_follow_arch_config(self):
+        arch = ArchConfig(fpu_pipeline_stages=6, recip_pipeline_stages=20)
+        assert pipeline_stages_for(UnitKind.ADD, arch) == 6
+        assert pipeline_stages_for(UnitKind.RECIP, arch) == 20
+
+
+class TestFpuPool:
+    def test_routes_by_unit_kind(self):
+        pool = FpuPool()
+        add = opcode_by_mnemonic("ADD")
+        sqrt = opcode_by_mnemonic("SQRT")
+        pool.issue(add, (1.0, 2.0))
+        pool.issue(sqrt, (4.0,))  # different unit: no structural hazard
+        assert pool.occupancy == 2
+
+    def test_same_unit_conflicts(self):
+        pool = FpuPool()
+        add = opcode_by_mnemonic("ADD")
+        sub = opcode_by_mnemonic("SUB")  # also on the ADD unit
+        pool.issue(add, (1.0, 2.0))
+        with pytest.raises(PipelineError):
+            pool.issue(sub, (1.0, 2.0))
+
+    def test_tick_advances_all_units(self):
+        pool = FpuPool()
+        add = opcode_by_mnemonic("ADD")
+        mul = opcode_by_mnemonic("MUL")
+        pool.issue(add, (1.0, 2.0))
+        pool.issue(mul, (3.0, 4.0))
+        completions = []
+        for _ in range(4):
+            completions.extend(pool.tick())
+        assert sorted(c.result for c in completions) == [3.0, 12.0]
+
+    def test_recip_takes_longer(self):
+        pool = FpuPool()
+        recip = opcode_by_mnemonic("RECIP")
+        add = opcode_by_mnemonic("ADD")
+        pool.issue(recip, (2.0,))
+        pool.issue(add, (1.0, 1.0))
+        done_at = {}
+        for cycle in range(1, 20):
+            for completion in pool.tick():
+                done_at[completion.opcode.mnemonic] = cycle
+        assert done_at["ADD"] == 4
+        assert done_at["RECIP"] == 16
+
+    def test_drain(self):
+        pool = FpuPool()
+        pool.issue(opcode_by_mnemonic("RECIP"), (4.0,))
+        done = pool.drain()
+        assert len(done) == 1
+        assert done[0].result == 0.25
+        assert pool.occupancy == 0
+
+    def test_stats_per_unit(self):
+        pool = FpuPool()
+        pool.issue(opcode_by_mnemonic("ADD"), (1.0, 1.0))
+        pool.drain()
+        stats = pool.stats()
+        assert stats[UnitKind.ADD].completed == 1
+        assert stats[UnitKind.MUL].completed == 0

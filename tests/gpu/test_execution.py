@@ -1,0 +1,253 @@
+"""Tests for stream cores, compute units, dispatcher, device and executor."""
+
+import pytest
+
+from repro.config import ArchConfig, MemoConfig, SimConfig, TimingConfig
+from repro.errors import ArchitectureError, KernelError
+from repro.gpu.compute_unit import ComputeUnit
+from repro.gpu.device import Device
+from repro.gpu.dispatcher import UltraThreadDispatcher
+from repro.gpu.executor import GpuExecutor, ReferenceExecutor
+from repro.gpu.stream_core import StreamCore
+from repro.gpu.trace import FpTraceCollector
+from repro.gpu.wavefront import Wavefront, WorkItem
+from repro.isa.opcodes import UnitKind, opcode_by_mnemonic
+from repro.kernels.api import Buffer
+
+ADD = opcode_by_mnemonic("ADD")
+SQRT = opcode_by_mnemonic("SQRT")
+
+
+def scale_kernel(ctx, src, dst, factor):
+    """y = factor*x + 1"""
+    x = src.load(ctx.global_id)
+    y = yield ctx.fmul(x, factor)
+    z = yield ctx.fadd(y, 1.0)
+    dst.store(ctx.global_id, z)
+
+
+def sqrt_kernel(ctx, src, dst):
+    x = src.load(ctx.global_id)
+    y = yield ctx.fsqrt(x)
+    dst.store(ctx.global_id, y)
+
+
+class TestStreamCore:
+    def test_routes_to_correct_unit(self, tiny_arch):
+        core = StreamCore(0, 0, tiny_arch, MemoConfig(), TimingConfig())
+        assert core.execute(ADD, (1.0, 2.0)) == 3.0
+        assert core.execute(SQRT, (9.0,)) == 3.0
+        assert core.counters()[UnitKind.ADD].ops == 1
+        assert core.counters()[UnitKind.SQRT].ops == 1
+
+    def test_each_unit_has_private_lut(self, tiny_arch):
+        core = StreamCore(0, 0, tiny_arch, MemoConfig(), TimingConfig())
+        core.execute(ADD, (1.0, 2.0))
+        core.execute(ADD, (1.0, 2.0))
+        stats = core.lut_stats()
+        assert stats[UnitKind.ADD].hits == 1
+        assert stats[UnitKind.SQRT].hits == 0
+
+    def test_baseline_has_no_lut_stats(self, tiny_arch):
+        core = StreamCore(0, 0, tiny_arch, None, TimingConfig())
+        core.execute(ADD, (1.0, 2.0))
+        assert core.lut_stats() == {}
+
+    def test_lane_bounds_checked(self, tiny_arch):
+        with pytest.raises(ArchitectureError):
+            StreamCore(0, 99, tiny_arch, MemoConfig(), TimingConfig())
+
+    def test_trace_recording(self, tiny_arch):
+        trace = FpTraceCollector()
+        core = StreamCore(0, 1, tiny_arch, MemoConfig(), TimingConfig(), trace)
+        core.execute(ADD, (1.0, 2.0))
+        assert len(trace) == 1
+        event = trace.events[0]
+        assert event.lane_index == 1 and event.result == 3.0
+
+
+class TestComputeUnitScheduling:
+    def test_subwavefront_interleaving_order(self, tiny_arch):
+        """Per instruction, lanes see items w, w+L, w+2L... in order."""
+        trace = FpTraceCollector()
+        cu = ComputeUnit(0, tiny_arch, MemoConfig(), TimingConfig(), trace)
+
+        def tagged_kernel(ctx):
+            # Two FP ops; operand encodes the work-item id.
+            a = yield ctx.fadd(float(ctx.global_id), 0.0)
+            b = yield ctx.fmul(a, 1.0)
+
+        items = [
+            WorkItem(i, i, 0, coroutine=tagged_kernel(_ctx(i)))
+            for i in range(8)
+        ]
+        cu.execute_wavefront(Wavefront(0, items))
+        # Lane 0 runs items 0 and 4: first instruction of both precedes
+        # the second instruction of either.
+        lane0 = [
+            e.operands[0]
+            for e in trace.events
+            if e.lane_index == 0 and e.opcode is ADD
+        ]
+        assert lane0 == [0.0, 4.0]
+        # ADD of item 4 (slot 1) must come before MUL of item 0 (instr 2).
+        kinds = [
+            (e.opcode.mnemonic, e.operands[0])
+            for e in trace.events
+            if e.lane_index == 0
+        ]
+        assert kinds.index(("ADD", 4.0)) < kinds.index(("MUL", 0.0))
+
+    def test_instruction_rounds_counted(self, tiny_arch):
+        cu = ComputeUnit(0, tiny_arch, MemoConfig(), TimingConfig())
+
+        def k(ctx):
+            yield ctx.fadd(1.0, 1.0)
+            yield ctx.fadd(2.0, 2.0)
+
+        items = [WorkItem(i, i, 0, coroutine=k(_ctx(i))) for i in range(4)]
+        cu.execute_wavefront(Wavefront(0, items))
+        assert cu.instruction_rounds == 2
+        assert cu.wavefronts_executed == 1
+
+    def test_ragged_coroutine_lengths(self, tiny_arch):
+        cu = ComputeUnit(0, tiny_arch, MemoConfig(), TimingConfig())
+
+        def k(ctx):
+            for _ in range(ctx.global_id + 1):
+                yield ctx.fadd(1.0, 1.0)
+
+        items = [WorkItem(i, i, 0, coroutine=k(_ctx(i))) for i in range(4)]
+        cu.execute_wavefront(Wavefront(0, items))
+        assert cu.executed_ops == 1 + 2 + 3 + 4
+
+    def test_empty_coroutine_work_item(self, tiny_arch):
+        cu = ComputeUnit(0, tiny_arch, MemoConfig(), TimingConfig())
+
+        def empty(ctx):
+            return
+            yield  # pragma: no cover
+
+        items = [WorkItem(0, 0, 0, coroutine=empty(_ctx(0)))]
+        cu.execute_wavefront(Wavefront(0, items))
+        assert cu.executed_ops == 0
+
+
+def _ctx(i):
+    from repro.kernels.api import WorkItemCtx
+
+    return WorkItemCtx(global_id=i)
+
+
+class TestDispatcher:
+    def test_round_robin(self):
+        dispatcher = UltraThreadDispatcher(3)
+        wavefronts = [Wavefront(i, []) for i in range(7)]
+        assignment = dispatcher.assign(wavefronts)
+        assert [w.index for w in assignment[0]] == [0, 3, 6]
+        assert [w.index for w in assignment[1]] == [1, 4]
+        assert dispatcher.dispatched == 7
+
+    def test_invalid_unit_count(self):
+        with pytest.raises(ArchitectureError):
+            UltraThreadDispatcher(0)
+
+
+class TestGpuExecutor:
+    def test_kernel_computes_correctly(self, tiny_sim):
+        src = Buffer([1.0, 2.0, 3.0, 4.0])
+        dst = Buffer.zeros(4)
+        executor = GpuExecutor(tiny_sim)
+        result = executor.run(scale_kernel, 4, (src, dst, 2.0))
+        assert list(dst.to_array()) == [3.0, 5.0, 7.0, 9.0]
+        assert result.executed_ops == 8
+        assert result.wavefront_count == 1
+
+    def test_multiple_wavefronts(self, tiny_sim):
+        src = Buffer.zeros(20)
+        dst = Buffer.zeros(20)
+        executor = GpuExecutor(tiny_sim)
+        result = executor.run(scale_kernel, 20, (src, dst, 1.0))
+        assert result.wavefront_count == 3  # 8-item wavefronts
+
+    def test_hit_rates_exposed(self, tiny_sim):
+        src = Buffer.zeros(8)  # identical inputs -> massive locality
+        dst = Buffer.zeros(8)
+        executor = GpuExecutor(tiny_sim)
+        result = executor.run(scale_kernel, 8, (src, dst, 2.0))
+        # 2 items per lane: the first misses, the second hits -> exactly 1/2.
+        assert result.weighted_hit_rate() == pytest.approx(0.5)
+        assert UnitKind.MUL in result.hit_rates()
+
+    def test_baseline_mode_has_no_hits(self, tiny_sim):
+        src = Buffer.zeros(8)
+        dst = Buffer.zeros(8)
+        executor = GpuExecutor(tiny_sim, memoized=False)
+        result = executor.run(scale_kernel, 8, (src, dst, 2.0))
+        assert result.lut_stats() == {}
+        assert result.weighted_hit_rate() == 0.0
+
+    def test_non_generator_kernel_rejected(self, tiny_sim):
+        def not_a_generator(ctx):
+            return 42
+
+        executor = GpuExecutor(tiny_sim)
+        with pytest.raises(KernelError):
+            executor.run(not_a_generator, 4)
+
+    def test_zero_global_size_rejected(self, tiny_sim):
+        executor = GpuExecutor(tiny_sim)
+        with pytest.raises(KernelError):
+            executor.run(scale_kernel, 0)
+
+    def test_stats_accumulate_across_runs(self, tiny_sim):
+        src, dst = Buffer.zeros(4), Buffer.zeros(4)
+        executor = GpuExecutor(tiny_sim)
+        executor.run(scale_kernel, 4, (src, dst, 2.0))
+        executor.run(scale_kernel, 4, (src, dst, 2.0))
+        assert executor.device.executed_ops == 16
+
+    def test_device_reset(self, tiny_sim):
+        src, dst = Buffer.zeros(4), Buffer.zeros(4)
+        executor = GpuExecutor(tiny_sim)
+        executor.run(scale_kernel, 4, (src, dst, 2.0))
+        executor.device.reset_stats()
+        assert executor.device.executed_ops == 0
+
+
+class TestReferenceExecutor:
+    def test_matches_device_functional_output(self, tiny_sim):
+        src_data = [1.0, 4.0, 9.0, 16.0]
+        dev_src, dev_dst = Buffer(src_data), Buffer.zeros(4)
+        GpuExecutor(tiny_sim).run(sqrt_kernel, 4, (dev_src, dev_dst))
+
+        ref_src, ref_dst = Buffer(src_data), Buffer.zeros(4)
+        ReferenceExecutor().run(sqrt_kernel, 4, (ref_src, ref_dst))
+        assert list(dev_dst.to_array()) == list(ref_dst.to_array())
+
+    def test_counts_ops(self):
+        src, dst = Buffer.zeros(4), Buffer.zeros(4)
+        ref = ReferenceExecutor()
+        ops = ref.run(scale_kernel, 4, (src, dst, 1.0))
+        assert ops == 8
+        assert ref.executed_ops == 8
+
+
+class TestDeviceEnergyReport:
+    def test_report_covers_only_activated_units(self, tiny_sim):
+        src, dst = Buffer.zeros(4), Buffer.zeros(4)
+        executor = GpuExecutor(tiny_sim)
+        executor.run(scale_kernel, 4, (src, dst, 2.0))
+        report = executor.device.energy_report()
+        assert set(report.per_unit) == {UnitKind.ADD, UnitKind.MUL}
+
+    def test_memoized_cheaper_on_redundant_input(self, tiny_sim):
+        src, dst = Buffer.zeros(16), Buffer.zeros(16)
+        memo_ex = GpuExecutor(tiny_sim)
+        memo_ex.run(scale_kernel, 16, (src, dst, 2.0))
+        base_ex = GpuExecutor(tiny_sim, memoized=False)
+        base_ex.run(scale_kernel, 16, (src, dst, 2.0))
+        saving = memo_ex.device.energy_report().saving_vs(
+            base_ex.device.energy_report()
+        )
+        assert saving > 0.2

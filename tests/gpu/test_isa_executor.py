@@ -1,0 +1,129 @@
+"""Tests for ISA-program execution on the simulated device."""
+
+import numpy as np
+import pytest
+
+from repro.config import MemoConfig, SimConfig, small_arch
+from repro.errors import KernelError
+from repro.gpu.executor import GpuExecutor
+from repro.gpu.isa_executor import IsaKernelExecutor, iter_program_fp_ops
+from repro.gpu.memory import GlobalMemory
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import ScalarInterpreter
+
+# SAXPY-style: r0 = global id; load x[i]; y = 2.5*x + 1; result in r1.
+SAXPY = """
+CF EXEC_TEX @load
+CF EXEC_ALU @compute
+CF END
+
+TEX @load:
+  LOAD r2, [r0]
+
+ALU @compute:
+  X: MULADD r1, r2, 2.5, 1.0
+"""
+
+LOOPED = """
+CF LOOP 4
+CF EXEC_ALU @body
+CF ENDLOOP
+CF END
+
+ALU @body:
+  X: ADD r1, r1, 1.0
+"""
+
+
+def make_isa_executor(memo_threshold=0.0):
+    config = SimConfig(
+        arch=small_arch(), memo=MemoConfig(threshold=memo_threshold)
+    )
+    return IsaKernelExecutor(GpuExecutor(config))
+
+
+class TestIterProgramFpOps:
+    def test_yields_fp_ops_and_applies_results(self):
+        program = assemble(LOOPED)
+        registers = {}
+        gen = iter_program_fp_ops(program, registers, GlobalMemory(0))
+        request = gen.send(None)
+        count = 0
+        try:
+            while True:
+                opcode, operands = request
+                assert opcode.mnemonic == "ADD"
+                count += 1
+                request = gen.send(operands[0] + operands[1])
+        except StopIteration:
+            pass
+        assert count == 4
+        assert registers[1] == 4.0
+
+    def test_injected_results_propagate(self):
+        """Whatever the device sends back (e.g. an approximate memo hit)
+        must feed the next iteration's operands."""
+        program = assemble(LOOPED)
+        registers = {}
+        gen = iter_program_fp_ops(program, registers, GlobalMemory(0))
+        request = gen.send(None)
+        try:
+            while True:
+                request = gen.send(42.0)  # override every result
+        except StopIteration:
+            pass
+        assert registers[1] == 42.0
+
+
+class TestIsaKernelExecutor:
+    def test_saxpy_over_ndrange(self):
+        n = 32
+        memory = GlobalMemory(2 * n)
+        x = np.arange(n, dtype=np.float32)
+        memory.view()[:n] = x
+        program = assemble(SAXPY)
+
+        isa_exec = make_isa_executor()
+        result = isa_exec.run(program, n, memory, result_register=1, out_base=n)
+
+        out = memory.as_array()[n:]
+        assert np.allclose(out, 2.5 * x + 1.0)
+        assert result.executed_ops == n  # one MULADD per item
+
+    def test_matches_scalar_interpreter(self):
+        n = 8
+        memory_values = [float(i * i % 7) for i in range(n)]
+        program = assemble(SAXPY)
+
+        memory = GlobalMemory(2 * n)
+        memory.view()[:n] = memory_values
+        isa_exec = make_isa_executor()
+        isa_exec.run(program, n, memory, out_base=n)
+        device_out = memory.as_array()[n:]
+
+        for gid in range(n):
+            interp = ScalarInterpreter(memory=memory_values)
+            interp.registers[0] = float(gid)
+            regs = interp.run(program)
+            assert device_out[gid] == regs[1]
+
+    def test_memoization_applies_to_isa_programs(self):
+        n = 64
+        memory = GlobalMemory(2 * n)  # all zeros: maximal locality
+        program = assemble(SAXPY)
+        isa_exec = make_isa_executor()
+        result = isa_exec.run(program, n, memory, out_base=n)
+        assert result.weighted_hit_rate() > 0.5
+
+    def test_looped_program_on_device(self):
+        n = 4
+        memory = GlobalMemory(n)
+        program = assemble(LOOPED)
+        isa_exec = make_isa_executor()
+        isa_exec.run(program, n, memory, result_register=1, out_base=0)
+        assert list(memory.as_array()) == [4.0] * n
+
+    def test_invalid_global_size(self):
+        isa_exec = make_isa_executor()
+        with pytest.raises(KernelError):
+            isa_exec.run(assemble(LOOPED), 0, GlobalMemory(4))

@@ -1,0 +1,120 @@
+"""Tests for memory models and the register file."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.gpu.memory import ConstantMemory, GlobalMemory, LocalMemory
+from repro.gpu.registers import RegisterFile
+
+
+class TestGlobalMemory:
+    def test_size_construction(self):
+        mem = GlobalMemory(16)
+        assert len(mem) == 16
+        assert mem.load(0) == 0.0
+
+    def test_data_construction(self):
+        mem = GlobalMemory([1.0, 2.0, 3.0])
+        assert len(mem) == 3
+        assert mem.load(1) == 2.0
+
+    def test_store_load_roundtrip(self):
+        mem = GlobalMemory(4)
+        mem.store(2, 1.5)
+        assert mem.load(2) == 1.5
+
+    def test_values_quantized_to_float32(self):
+        mem = GlobalMemory(1)
+        mem.store(0, 0.1)
+        assert mem.load(0) == float(np.float32(0.1))
+
+    def test_bounds_checked(self):
+        mem = GlobalMemory(4)
+        with pytest.raises(ArchitectureError):
+            mem.load(4)
+        with pytest.raises(ArchitectureError):
+            mem.store(-1, 0.0)
+
+    def test_access_counting(self):
+        mem = GlobalMemory(4)
+        mem.store(0, 1.0)
+        mem.load(0)
+        mem.load(1)
+        assert mem.stores == 1
+        assert mem.loads == 2
+
+    def test_as_array_is_a_copy(self):
+        mem = GlobalMemory([1.0, 2.0])
+        arr = mem.as_array()
+        arr[0] = 99.0
+        assert mem.load(0) == 1.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ArchitectureError):
+            GlobalMemory(-1)
+
+    def test_2d_input_flattened(self):
+        mem = GlobalMemory(np.ones((2, 3)))
+        assert len(mem) == 6
+
+
+class TestLocalAndConstantMemory:
+    def test_local_memory_default_size(self):
+        assert len(LocalMemory()) == 8192
+
+    def test_constant_memory_rejects_kernel_stores(self):
+        mem = ConstantMemory(4)
+        with pytest.raises(ArchitectureError):
+            mem.store(0, 1.0)
+
+    def test_constant_memory_preload(self):
+        mem = ConstantMemory(4)
+        mem.preload([1.0, 2.0], offset=1)
+        assert mem.load(1) == 1.0
+        assert mem.load(2) == 2.0
+
+    def test_preload_bounds(self):
+        mem = ConstantMemory(2)
+        with pytest.raises(ArchitectureError):
+            mem.preload([1.0, 2.0, 3.0])
+
+
+class TestRegisterFile:
+    def test_default_zero(self):
+        regs = RegisterFile(8)
+        assert regs.read(3) == 0.0
+
+    def test_write_read(self):
+        regs = RegisterFile(8)
+        regs.write(2, 1.25)
+        assert regs.read(2) == 1.25
+
+    def test_float32_quantization(self):
+        regs = RegisterFile(8)
+        regs.write(0, 0.1)
+        assert regs.read(0) == float(np.float32(0.1))
+
+    def test_bounds(self):
+        regs = RegisterFile(8)
+        with pytest.raises(ArchitectureError):
+            regs.read(8)
+        with pytest.raises(ArchitectureError):
+            regs.write(-1, 0.0)
+
+    def test_read_ahead_buffer(self):
+        regs = RegisterFile(8)
+        regs.write(0, 1.0)
+        regs.write(1, 2.0)
+        assert regs.read_ahead([0, 1]) == (1.0, 2.0)
+
+    def test_access_counting(self):
+        regs = RegisterFile(8)
+        regs.write(0, 1.0)
+        regs.read(0)
+        assert regs.writes == 1 and regs.reads == 1
+
+    def test_snapshot(self):
+        regs = RegisterFile(8)
+        regs.write(1, 5.0)
+        assert regs.snapshot() == {1: 5.0}

@@ -1,0 +1,101 @@
+"""Tests for the launch performance model."""
+
+import pytest
+
+from repro.config import ArchConfig, MemoConfig, SimConfig, TimingConfig
+from repro.errors import ArchitectureError
+from repro.gpu.executor import GpuExecutor
+from repro.gpu.performance import (
+    LanePerformance,
+    PerformanceReport,
+    performance_report,
+)
+from repro.kernels.api import Buffer
+
+
+def lane(cu, idx, ops, stalls=0):
+    return LanePerformance(cu, idx, ops, stalls)
+
+
+class TestReportAggregation:
+    def test_lane_busy_cycles(self):
+        assert lane(0, 0, 100, 24).busy_cycles == 124
+
+    def test_cu_bound_by_slowest_lane(self):
+        report = PerformanceReport(
+            lanes=[lane(0, 0, 100), lane(0, 1, 80, 36)], total_ops=180
+        )
+        assert report.cu_cycles == {0: 116}
+
+    def test_device_bound_by_slowest_cu(self):
+        report = PerformanceReport(
+            lanes=[lane(0, 0, 100), lane(1, 0, 150)], total_ops=250
+        )
+        assert report.device_cycles == 150
+
+    def test_throughput(self):
+        report = PerformanceReport(
+            lanes=[lane(0, i, 100) for i in range(4)], total_ops=400
+        )
+        assert report.ops_per_cycle == pytest.approx(4.0)
+
+    def test_stall_fraction(self):
+        report = PerformanceReport(
+            lanes=[lane(0, 0, 90, 10)], total_ops=90
+        )
+        assert report.stall_fraction == pytest.approx(0.1)
+
+    def test_empty_report(self):
+        report = PerformanceReport(lanes=[], total_ops=0)
+        assert report.device_cycles == 0
+        assert report.ops_per_cycle == 0.0
+        assert report.stall_fraction == 0.0
+
+    def test_slowdown(self):
+        fast = PerformanceReport(lanes=[lane(0, 0, 100)], total_ops=100)
+        slow = PerformanceReport(lanes=[lane(0, 0, 100, 100)], total_ops=100)
+        assert slow.slowdown_vs(fast) == pytest.approx(2.0)
+        with pytest.raises(ArchitectureError):
+            fast.slowdown_vs(PerformanceReport(lanes=[], total_ops=0))
+
+
+class TestDeviceIntegration:
+    def _run(self, error_rate=0.0, memoized=True, n=64):
+        arch = ArchConfig(
+            num_compute_units=1, stream_cores_per_cu=4, wavefront_size=8
+        )
+        config = SimConfig(
+            arch=arch,
+            memo=MemoConfig(threshold=0.0),
+            timing=TimingConfig(error_rate=error_rate),
+        )
+        executor = GpuExecutor(config, memoized=memoized)
+
+        def k(ctx, buf):
+            x = buf.load(ctx.global_id)
+            y = yield ctx.fadd(x, 1.0)
+            z = yield ctx.fmul(y, 2.0)
+            buf.store(ctx.global_id, z)
+
+        executor.run(k, n, (Buffer.zeros(n),))
+        return performance_report(executor.device)
+
+    def test_error_free_cycles_equal_lane_ops(self):
+        report = self._run()
+        # 64 items x 2 ops over 4 lanes = 32 ops per lane.
+        assert report.device_cycles == 32
+        assert report.total_ops == 128
+        assert report.stall_fraction == 0.0
+
+    def test_errors_add_recovery_stalls_to_baseline(self):
+        clean = self._run(error_rate=0.0, memoized=False)
+        errant = self._run(error_rate=0.10, memoized=False)
+        assert errant.device_cycles > clean.device_cycles
+        assert errant.recovery_stall_cycles > 0
+        # Every stall is a multiple of the 12-cycle recovery window.
+        assert errant.recovery_stall_cycles % 12 == 0
+
+    def test_memoization_reduces_stalls(self):
+        base = self._run(error_rate=0.10, memoized=False)
+        memo = self._run(error_rate=0.10, memoized=True)
+        assert memo.recovery_stall_cycles < base.recovery_stall_cycles

@@ -1,0 +1,101 @@
+"""Tests for the execute-stage scheduling modes."""
+
+import numpy as np
+import pytest
+
+from repro.config import MemoConfig, SimConfig, small_arch
+from repro.errors import ConfigError
+from repro.gpu.executor import GpuExecutor
+from repro.images.synth import synth_face
+from repro.kernels.sobel import SobelWorkload
+from repro.kernels.registry import workload_by_name
+
+
+class TestScheduleConfig:
+    def test_default_is_subwavefront(self):
+        assert SimConfig().schedule == "subwavefront"
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(schedule="round-robin")
+
+    def test_item_serial_accepted(self):
+        assert SimConfig(schedule="item-serial").schedule == "item-serial"
+
+
+class TestScheduleEquivalence:
+    """Scheduling changes statistics, never functional results."""
+
+    def _run(self, schedule, threshold=0.0):
+        config = SimConfig(
+            arch=small_arch(),
+            memo=MemoConfig(threshold=threshold),
+            schedule=schedule,
+        )
+        executor = GpuExecutor(config)
+        out = SobelWorkload(synth_face(16)).run(executor)
+        return out, executor
+
+    def test_exact_matching_outputs_identical(self):
+        out_multiplexed, _ = self._run("subwavefront")
+        out_serial, _ = self._run("item-serial")
+        assert np.array_equal(out_multiplexed, out_serial)
+
+    def test_op_counts_identical(self):
+        _, ex_multiplexed = self._run("subwavefront")
+        _, ex_serial = self._run("item-serial")
+        assert ex_multiplexed.device.executed_ops == ex_serial.device.executed_ops
+
+    def test_hit_rates_may_differ(self):
+        """The schedules are allowed (expected) to produce different
+        locality; this pins the EigenValue collapse from the ablation."""
+        workload_factory = lambda: workload_by_name("EigenValue")
+
+        def hit_rate(schedule):
+            config = SimConfig(
+                arch=small_arch(), memo=MemoConfig(threshold=0.0), schedule=schedule
+            )
+            executor = GpuExecutor(config)
+            workload_factory().run(executor)
+            stats = executor.device.lut_stats()
+            return sum(s.hits for s in stats.values()) / sum(
+                s.lookups for s in stats.values()
+            )
+
+        assert hit_rate("subwavefront") > 2 * hit_rate("item-serial")
+
+    def test_item_serial_counts_rounds_per_op(self):
+        from repro.gpu.compute_unit import ComputeUnit
+        from repro.gpu.wavefront import Wavefront, WorkItem
+        from repro.kernels.api import WorkItemCtx
+        from repro.config import ArchConfig, TimingConfig
+
+        arch = ArchConfig(
+            num_compute_units=1, stream_cores_per_cu=4, wavefront_size=8
+        )
+        cu = ComputeUnit(0, arch, MemoConfig(), TimingConfig())
+
+        def k(ctx):
+            yield ctx.fadd(1.0, 1.0)
+            yield ctx.fadd(2.0, 2.0)
+
+        items = [
+            WorkItem(i, i, 0, coroutine=k(WorkItemCtx(global_id=i)))
+            for i in range(4)
+        ]
+        cu.execute_wavefront(Wavefront(0, items), schedule="item-serial")
+        assert cu.executed_ops == 8
+        assert cu.wavefronts_executed == 1
+
+    def test_bad_schedule_string_at_cu_level(self):
+        from repro.errors import WorkItemProtocolError
+        from repro.gpu.compute_unit import ComputeUnit
+        from repro.gpu.wavefront import Wavefront
+        from repro.config import ArchConfig, TimingConfig
+
+        arch = ArchConfig(
+            num_compute_units=1, stream_cores_per_cu=4, wavefront_size=8
+        )
+        cu = ComputeUnit(0, arch, MemoConfig(), TimingConfig())
+        with pytest.raises(WorkItemProtocolError):
+            cu.execute_wavefront(Wavefront(0, []), schedule="bogus")

@@ -1,0 +1,75 @@
+"""Tests for the FP trace collector."""
+
+import pytest
+
+from repro.gpu.trace import FpTraceCollector, NullTraceCollector, TraceEvent
+from repro.isa.opcodes import UnitKind, opcode_by_mnemonic
+
+ADD = opcode_by_mnemonic("ADD")
+SQRT = opcode_by_mnemonic("SQRT")
+
+
+class TestNullCollector:
+    def test_discards_everything(self):
+        collector = NullTraceCollector()
+        collector.record(0, 0, ADD, (1.0, 2.0), 3.0)
+        assert not collector.enabled
+
+
+class TestFpTraceCollector:
+    def test_records_events_in_order(self):
+        collector = FpTraceCollector()
+        collector.record(0, 1, ADD, (1.0, 2.0), 3.0)
+        collector.record(0, 2, SQRT, (4.0,), 2.0)
+        assert len(collector) == 2
+        assert collector.events[0].lane_index == 1
+        assert collector.events[1].opcode is SQRT
+
+    def test_capacity_limit_drops_excess(self):
+        collector = FpTraceCollector(capacity=2)
+        for i in range(5):
+            collector.record(0, 0, ADD, (float(i), 0.0), float(i))
+        assert len(collector) == 2
+        assert collector.dropped == 3
+
+    def test_per_fpu_streams_grouping(self):
+        collector = FpTraceCollector()
+        collector.record(0, 0, ADD, (1.0, 1.0), 2.0)
+        collector.record(0, 0, SQRT, (4.0,), 2.0)
+        collector.record(0, 1, ADD, (2.0, 2.0), 4.0)
+        collector.record(1, 0, ADD, (3.0, 3.0), 6.0)
+        streams = collector.per_fpu_streams()
+        assert len(streams) == 4
+        assert len(streams[(0, 0, UnitKind.ADD)]) == 1
+        assert (0, 0, UnitKind.SQRT) in streams
+        assert (1, 0, UnitKind.ADD) in streams
+
+    def test_iter_unit_filters(self):
+        collector = FpTraceCollector()
+        collector.record(0, 0, ADD, (1.0, 1.0), 2.0)
+        collector.record(0, 0, SQRT, (4.0,), 2.0)
+        sqrt_events = list(collector.iter_unit(UnitKind.SQRT))
+        assert len(sqrt_events) == 1
+        assert sqrt_events[0].result == 2.0
+
+    def test_event_unit_property(self):
+        event = TraceEvent(0, 0, SQRT, (9.0,), 3.0)
+        assert event.unit is UnitKind.SQRT
+
+    def test_device_level_tracing(self, tiny_sim):
+        from dataclasses import replace
+
+        from repro.gpu.executor import GpuExecutor
+        from repro.kernels.api import Buffer
+
+        config = replace(tiny_sim, collect_traces=True)
+        executor = GpuExecutor(config)
+
+        def k(ctx, buf):
+            value = buf.load(ctx.global_id)
+            yield ctx.fadd(value, 1.0)
+
+        executor.run(k, 4, (Buffer.zeros(4),))
+        trace = executor.device.trace
+        assert isinstance(trace, FpTraceCollector)
+        assert len(trace) == 4

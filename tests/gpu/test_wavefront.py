@@ -1,0 +1,74 @@
+"""Tests for wavefront packing and subwavefront mapping."""
+
+import pytest
+
+from repro.config import ArchConfig
+from repro.gpu.wavefront import WorkItem, Wavefront, split_into_wavefronts
+
+
+def items(n):
+    return [WorkItem(global_id=i, local_id=i % 64, group_id=i // 64) for i in range(n)]
+
+
+class TestSplitting:
+    def test_full_wavefronts(self):
+        arch = ArchConfig()
+        wavefronts = split_into_wavefronts(items(128), arch)
+        assert len(wavefronts) == 2
+        assert all(len(w) == 64 for w in wavefronts)
+
+    def test_ragged_tail(self):
+        arch = ArchConfig()
+        wavefronts = split_into_wavefronts(items(70), arch)
+        assert len(wavefronts) == 2
+        assert len(wavefronts[1]) == 6
+
+    def test_indices_sequential(self):
+        arch = ArchConfig()
+        wavefronts = split_into_wavefronts(items(130), arch)
+        assert [w.index for w in wavefronts] == [0, 1, 2]
+
+    def test_empty(self):
+        assert split_into_wavefronts([], ArchConfig()) == []
+
+
+class TestMapping:
+    def test_lane_assignment_is_modulo(self):
+        arch = ArchConfig()
+        wavefront = Wavefront(0, items(64))
+        assert wavefront.lane_of(0, arch) == 0
+        assert wavefront.lane_of(15, arch) == 15
+        assert wavefront.lane_of(16, arch) == 0
+        assert wavefront.lane_of(63, arch) == 15
+
+    def test_subwavefront_assignment(self):
+        arch = ArchConfig()
+        wavefront = Wavefront(0, items(64))
+        assert wavefront.subwavefront_of(0, arch) == 0
+        assert wavefront.subwavefront_of(15, arch) == 0
+        assert wavefront.subwavefront_of(16, arch) == 1
+        assert wavefront.subwavefront_of(63, arch) == 3
+
+    def test_four_subwavefronts_on_evergreen(self):
+        arch = ArchConfig()
+        assert arch.subwavefronts_per_wavefront == 4
+
+    def test_subwavefront_positions(self):
+        arch = ArchConfig()
+        wavefront = Wavefront(0, items(64))
+        assert list(wavefront.subwavefront_positions(1, arch)) == list(range(16, 32))
+
+    def test_subwavefront_positions_ragged(self):
+        arch = ArchConfig()
+        wavefront = Wavefront(0, items(20))
+        assert list(wavefront.subwavefront_positions(1, arch)) == list(range(16, 20))
+
+    def test_live_items(self):
+        wavefront = Wavefront(0, items(4))
+        assert wavefront.live_items == 4
+        wavefront.work_items[0].done = True
+        assert wavefront.live_items == 3
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(Exception):
+            Wavefront(-1, [])

@@ -1,0 +1,156 @@
+"""Tests for synthetic images, PSNR and PGM I/O."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.images.pgm import read_pgm, write_pgm
+from repro.images.psnr import mse, psnr
+from repro.images.synth import synth_book, synth_face, synthetic_image
+
+
+class TestSynthFace:
+    def test_shape_and_dtype(self):
+        image = synth_face(64)
+        assert image.shape == (64, 64)
+        assert image.dtype == np.float32
+
+    def test_8_bit_quantized(self):
+        image = synth_face(64)
+        assert np.all(image == np.round(image))
+        assert image.min() >= 0 and image.max() <= 255
+
+    def test_deterministic(self):
+        assert np.array_equal(synth_face(48), synth_face(48))
+
+    def test_has_flat_regions(self):
+        """Most horizontal neighbour pairs must be equal (photo-like)."""
+        image = synth_face(96)
+        same = np.mean(image[:, 1:] == image[:, :-1])
+        assert same > 0.5
+
+    def test_has_structure(self):
+        image = synth_face(96)
+        assert image.std() > 20  # not a constant field
+
+    def test_size_guard(self):
+        with pytest.raises(ImageError):
+            synth_face(4)
+
+
+class TestSynthBook:
+    def test_mostly_white_page(self):
+        image = synth_book(96)
+        assert np.mean(image > 200) > 0.6
+
+    def test_contains_dark_glyphs(self):
+        image = synth_book(96)
+        assert np.mean(image < 80) > 0.02
+
+    def test_deterministic(self):
+        assert np.array_equal(synth_book(64), synth_book(64))
+
+    def test_more_locality_than_face_at_exact_matching(self):
+        """The paper observes higher hit rates on book than on face."""
+        from repro.config import MemoConfig, SimConfig, small_arch
+        from repro.gpu.executor import GpuExecutor
+        from repro.kernels.sobel import SobelWorkload
+
+        def hit_rate(image):
+            config = SimConfig(arch=small_arch(), memo=MemoConfig(threshold=0.0))
+            executor = GpuExecutor(config)
+            SobelWorkload(image).run(executor)
+            stats = executor.device.lut_stats()
+            return sum(s.hits for s in stats.values()) / sum(
+                s.lookups for s in stats.values()
+            )
+
+        assert hit_rate(synth_book(48)) > hit_rate(synth_face(48))
+
+    def test_lookup_by_name(self):
+        assert np.array_equal(synthetic_image("face", 32), synth_face(32))
+        assert np.array_equal(synthetic_image("book", 32), synth_book(32))
+        with pytest.raises(ImageError):
+            synthetic_image("cat", 32)
+
+
+class TestPsnr:
+    def test_identical_images_infinite(self):
+        image = synth_face(16)
+        assert psnr(image, image) == math.inf
+
+    def test_known_mse(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 2.0)
+        assert mse(a, b) == 4.0
+        assert psnr(a, b) == pytest.approx(10 * math.log10(255**2 / 4))
+
+    def test_psnr_decreases_with_noise(self):
+        base = synth_face(32).astype(np.float64)
+        small = psnr(base, base + 1.0)
+        large = psnr(base, base + 10.0)
+        assert small > large
+
+    def test_30db_threshold_example(self):
+        base = np.full((64, 64), 128.0)
+        noisy = base + np.random.default_rng(1).normal(0, 8.06, base.shape)
+        assert psnr(base, noisy) == pytest.approx(30.0, abs=0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ImageError):
+            psnr(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ImageError):
+            mse(np.zeros((0,)), np.zeros((0,)))
+
+    def test_invalid_peak(self):
+        with pytest.raises(ImageError):
+            psnr(np.zeros((2, 2)), np.zeros((2, 2)), peak=0.0)
+
+
+class TestPgm:
+    def test_round_trip(self, tmp_path):
+        image = synth_face(24)
+        path = tmp_path / "face.pgm"
+        write_pgm(path, image)
+        loaded = read_pgm(path)
+        assert np.array_equal(loaded, image)
+
+    def test_values_clamped_on_write(self, tmp_path):
+        path = tmp_path / "clamp.pgm"
+        write_pgm(path, np.array([[300.0, -5.0]]))
+        loaded = read_pgm(path)
+        assert loaded[0, 0] == 255 and loaded[0, 1] == 0
+
+    def test_ascii_p2_supported(self, tmp_path):
+        path = tmp_path / "ascii.pgm"
+        path.write_text("P2\n# comment\n2 2\n255\n0 64\n128 255\n")
+        loaded = read_pgm(path)
+        assert loaded.tolist() == [[0.0, 64.0], [128.0, 255.0]]
+
+    def test_comment_in_binary_header(self, tmp_path):
+        image = synth_book(16)
+        path = tmp_path / "b.pgm"
+        write_pgm(path, image)
+        raw = path.read_bytes().replace(b"P5\n", b"P5\n# scanner\n", 1)
+        path.write_bytes(raw)
+        assert np.array_equal(read_pgm(path), image)
+
+    def test_non_pgm_rejected(self, tmp_path):
+        path = tmp_path / "x.pgm"
+        path.write_bytes(b"PNG whatever")
+        with pytest.raises(ImageError):
+            read_pgm(path)
+
+    def test_truncated_data_rejected(self, tmp_path):
+        path = tmp_path / "t.pgm"
+        path.write_bytes(b"P5\n4 4\n255\n\x00\x01")
+        with pytest.raises(ImageError):
+            read_pgm(path)
+
+    def test_non_2d_write_rejected(self, tmp_path):
+        with pytest.raises(ImageError):
+            write_pgm(tmp_path / "x.pgm", np.zeros(4))

@@ -1,0 +1,94 @@
+"""Cross-validation: cycle-level pipeline vs the analytic resilient model.
+
+The trace-driven experiments use the analytic accounting in
+``ResilientFpu``; these tests drive the cycle-accurate ``FpuPipeline``
+through the same scenarios and check that both models agree on the
+quantities the energy model consumes (active/gated stage traversals,
+results, error masking).
+"""
+
+import pytest
+
+from repro.config import MemoConfig
+from repro.fpu.base import FpuPipeline
+from repro.isa.opcodes import UnitKind, opcode_by_mnemonic
+from repro.memo.module import TemporalMemoizationModule
+from repro.memo.resilient import ResilientFpu
+from repro.timing.errors import NoErrorInjector
+
+ADD = opcode_by_mnemonic("ADD")
+
+
+class TestAgreement:
+    def _run_both(self, op_stream, memo_config):
+        # Analytic model.
+        analytic = ResilientFpu(UnitKind.ADD, memo_config, NoErrorInjector())
+        analytic_results = [analytic.execute(ADD, ops) for ops in op_stream]
+
+        # Cycle model with identical memo policy.  The FIFO write uses the
+        # bypass/forwarding assumption both models share: the computed
+        # result is visible to the LUT as soon as the operation is known
+        # error-free, not only after its writeback cycle (see DESIGN.md).
+        from repro.fpu import arithmetic
+
+        pipeline = FpuPipeline("ADD", stages=4)
+        module = TemporalMemoizationModule(memo_config)
+        cycle_results = []
+
+        def step():
+            done = pipeline.tick()
+            if done is not None:
+                cycle_results.append(done.result)
+
+        for operands in op_stream:
+            op_id = pipeline.issue(ADD, operands)
+            hit, stored, _ = module.lut.lookup(ADD, operands)
+            if hit:
+                pipeline.squash(op_id, stored)
+            else:
+                module.lut.update(ADD, operands, arithmetic.evaluate(ADD, operands))
+            step()
+        while pipeline.occupancy:
+            step()
+        return analytic, analytic_results, pipeline, cycle_results
+
+    def test_results_identical_exact_matching(self):
+        stream = [(1.0, 2.0), (1.0, 2.0), (3.0, 4.0), (1.0, 2.0), (3.0, 4.0)]
+        _, analytic_results, _, cycle_results = self._run_both(
+            stream, MemoConfig(threshold=0.0)
+        )
+        assert analytic_results == cycle_results
+
+    def test_results_identical_approximate_matching(self):
+        stream = [(1.0, 2.0), (1.1, 2.05), (3.0, 4.0), (3.2, 4.1)]
+        _, analytic_results, _, cycle_results = self._run_both(
+            stream, MemoConfig(threshold=0.5)
+        )
+        assert analytic_results == cycle_results
+
+    def test_stage_traversal_accounting_matches(self):
+        stream = [(1.0, 2.0)] * 6 + [(3.0, 4.0)] * 2
+        analytic, _, pipeline, _ = self._run_both(stream, MemoConfig())
+        assert (
+            analytic.counters.active_stage_traversals
+            == pipeline.stats.active_stage_cycles
+        )
+        assert (
+            analytic.counters.gated_stage_traversals
+            == pipeline.stats.gated_stage_cycles
+        )
+
+    def test_hit_counts_match(self):
+        stream = [(float(i % 3), 1.0) for i in range(12)]
+        analytic, _, pipeline, _ = self._run_both(stream, MemoConfig())
+        # Same lookup sequence -> same hit pattern; analytic hit count must
+        # equal the number of squashed completions in the cycle model.
+        assert analytic.memo.lut.stats.hits == pipeline.stats.issued - (
+            pipeline.stats.active_stage_cycles // 4
+        )
+
+    def test_issue_counts_match(self):
+        stream = [(1.0, 1.0)] * 10
+        analytic, _, pipeline, _ = self._run_both(stream, MemoConfig())
+        assert analytic.counters.ops == pipeline.stats.issued
+        assert analytic.counters.issue_cycles == pipeline.stats.issued

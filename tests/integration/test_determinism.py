@@ -1,0 +1,56 @@
+"""Determinism: identical configs must reproduce identical simulations."""
+
+import numpy as np
+
+from repro.config import MemoConfig, SimConfig, TimingConfig, small_arch
+from repro.gpu.executor import GpuExecutor
+from repro.images.synth import synth_face
+from repro.kernels.sobel import SobelWorkload
+from repro.kernels.registry import workload_by_name
+
+
+def run_once(seed=123, error_rate=0.03):
+    config = SimConfig(
+        arch=small_arch(),
+        memo=MemoConfig(threshold=1.0),
+        timing=TimingConfig(error_rate=error_rate, seed=seed),
+    )
+    executor = GpuExecutor(config)
+    out = SobelWorkload(synth_face(24)).run(executor)
+    counters = executor.device.counters()
+    injected = sum(c.errors_injected for c in counters.values())
+    stats = executor.device.lut_stats()
+    hits = sum(s.hits for s in stats.values())
+    return out, injected, hits
+
+
+class TestDeterminism:
+    def test_same_seed_identical_everything(self):
+        out1, err1, hits1 = run_once()
+        out2, err2, hits2 = run_once()
+        assert np.array_equal(out1, out2)
+        assert err1 == err2
+        assert hits1 == hits2
+
+    def test_different_seed_different_error_pattern(self):
+        _, err1, _ = run_once(seed=1)
+        _, err2, _ = run_once(seed=2)
+        # Counts may coincide; the error sequences should differ in count
+        # with overwhelming probability for 100k+ samples.
+        # Use output bytes as the stronger check:
+        out1, _, _ = run_once(seed=1)
+        out2, _, _ = run_once(seed=2)
+        # Outputs may still agree (errors are corrected/masked!), so check
+        # the injected counts are not always equal across several seeds.
+        counts = {run_once(seed=s)[1] for s in range(5)}
+        assert len(counts) > 1
+
+    def test_workload_inputs_are_deterministic(self):
+        a = workload_by_name("BlackScholes")
+        b = workload_by_name("BlackScholes")
+        assert np.array_equal(a.price, b.price)
+        assert np.array_equal(a.strike, b.strike)
+
+    def test_golden_runs_are_reproducible(self):
+        w = workload_by_name("Haar")
+        assert np.array_equal(w.golden(), w.golden())

@@ -1,0 +1,162 @@
+"""End-to-end integration: full kernels on the full simulated stack."""
+
+import numpy as np
+import pytest
+
+from repro.config import ArchConfig, MemoConfig, SimConfig, TimingConfig, small_arch
+from repro.gpu.executor import GpuExecutor
+from repro.images.synth import synth_face
+from repro.isa.opcodes import UnitKind
+from repro.kernels.registry import KERNEL_REGISTRY, workload_by_name
+from repro.kernels.sobel import SobelWorkload
+
+
+class TestFunctionalCorrectnessUnderErrors:
+    """Timing errors must never corrupt architectural state: the baseline
+    recovers every error, and exact memoization masks errors with the
+    bit-identical stored result."""
+
+    @pytest.mark.parametrize("memoized", [True, False])
+    def test_fwt_bit_exact_at_4_percent_errors(self, memoized):
+        workload = workload_by_name("FWT")
+        golden = workload.golden()
+        config = SimConfig(
+            arch=small_arch(),
+            memo=MemoConfig(threshold=0.0),
+            timing=TimingConfig(error_rate=0.04),
+        )
+        out = workload.run(GpuExecutor(config, memoized=memoized))
+        assert np.array_equal(out, golden)
+
+    def test_sobel_approximate_at_high_error_rate_still_acceptable(self):
+        from repro.images.psnr import psnr
+
+        workload = SobelWorkload(synth_face(32))
+        golden = workload.golden()
+        config = SimConfig(
+            arch=small_arch(),
+            memo=MemoConfig(threshold=1.0),
+            timing=TimingConfig(error_rate=0.10),
+        )
+        out = workload.run(GpuExecutor(config))
+        assert psnr(golden, out) >= 30.0
+
+
+class TestErrorAccounting:
+    def test_injected_errors_are_masked_or_recovered(self):
+        config = SimConfig(
+            arch=small_arch(),
+            memo=MemoConfig(threshold=1.0),
+            timing=TimingConfig(error_rate=0.05),
+        )
+        executor = GpuExecutor(config)
+        SobelWorkload(synth_face(24)).run(executor)
+        counters = executor.device.counters()
+        injected = sum(c.errors_injected for c in counters.values())
+        masked = sum(c.errors_masked for c in counters.values())
+        recovered = sum(c.errors_recovered for c in counters.values())
+        assert injected > 0
+        assert masked + recovered == injected
+        assert masked > 0  # hits do mask some errors
+
+    def test_baseline_recovers_every_error(self):
+        config = SimConfig(
+            arch=small_arch(), timing=TimingConfig(error_rate=0.05)
+        )
+        executor = GpuExecutor(config, memoized=False)
+        SobelWorkload(synth_face(24)).run(executor)
+        counters = executor.device.counters()
+        injected = sum(c.errors_injected for c in counters.values())
+        recovered = sum(c.errors_recovered for c in counters.values())
+        assert injected == recovered > 0
+
+    def test_error_rate_statistically_respected(self):
+        config = SimConfig(
+            arch=small_arch(), timing=TimingConfig(error_rate=0.03)
+        )
+        executor = GpuExecutor(config, memoized=False)
+        SobelWorkload(synth_face(32)).run(executor)
+        counters = executor.device.counters()
+        ops = sum(c.ops for c in counters.values())
+        injected = sum(c.errors_injected for c in counters.values())
+        assert 0.02 < injected / ops < 0.04
+
+
+class TestEnergyEndToEnd:
+    #: Kernels whose measured locality is too low for a guaranteed win at
+    #: 0% error rate; the paper's escape hatch is to power-gate the module
+    #: ("if an application lacks value locality, it can disable the entire
+    #: memoization module by power-gating").  They must still break even
+    #: within the module's overhead.
+    LOW_LOCALITY = {"BlackScholes", "FWT"}
+
+    def test_memoization_saves_energy_on_table1_kernels(self):
+        for name, spec in KERNEL_REGISTRY.items():
+            config = SimConfig(
+                arch=small_arch(), memo=MemoConfig(threshold=spec.threshold)
+            )
+            memo_ex = GpuExecutor(config)
+            spec.default_factory().run(memo_ex)
+            base_ex = GpuExecutor(config, memoized=False)
+            spec.default_factory().run(base_ex)
+            saving = memo_ex.device.energy_report().saving_vs(
+                base_ex.device.energy_report()
+            )
+            if name in self.LOW_LOCALITY:
+                assert saving > -0.10, f"{name} lost too much: {saving:.1%}"
+            else:
+                assert saving > 0.0, f"{name} wasted energy: {saving:.1%}"
+
+    def test_saving_grows_with_error_rate(self):
+        spec = KERNEL_REGISTRY["Sobel"]
+        savings = []
+        for rate in (0.0, 0.04):
+            config = SimConfig(
+                arch=small_arch(),
+                memo=MemoConfig(threshold=spec.threshold),
+                timing=TimingConfig(error_rate=rate),
+            )
+            memo_ex = GpuExecutor(config)
+            spec.default_factory().run(memo_ex)
+            base_ex = GpuExecutor(config, memoized=False)
+            spec.default_factory().run(base_ex)
+            savings.append(
+                memo_ex.device.energy_report().saving_vs(
+                    base_ex.device.energy_report()
+                )
+            )
+        assert savings[1] > savings[0]
+
+    def test_power_gated_module_costs_nothing(self):
+        config_gated = SimConfig(
+            arch=small_arch(), memo=MemoConfig(power_gated=True)
+        )
+        gated_ex = GpuExecutor(config_gated)
+        SobelWorkload(synth_face(16)).run(gated_ex)
+        base_ex = GpuExecutor(config_gated, memoized=False)
+        SobelWorkload(synth_face(16)).run(base_ex)
+        gated = gated_ex.device.energy_report().total_pj
+        base = base_ex.device.energy_report().total_pj
+        assert gated == pytest.approx(base, rel=1e-9)
+
+
+class TestMultiComputeUnit:
+    def test_work_spreads_across_compute_units(self):
+        arch = ArchConfig(num_compute_units=2)
+        config = SimConfig(arch=arch, memo=MemoConfig(threshold=1.0))
+        executor = GpuExecutor(config)
+        SobelWorkload(synth_face(24)).run(executor)
+        per_cu_ops = [cu.executed_ops for cu in executor.device.compute_units]
+        assert all(ops > 0 for ops in per_cu_ops)
+
+    def test_multi_cu_output_matches_single_cu(self):
+        image = synth_face(16)
+        single = SobelWorkload(image).run(
+            GpuExecutor(SimConfig(arch=small_arch(), memo=MemoConfig()))
+        )
+        multi = SobelWorkload(image).run(
+            GpuExecutor(
+                SimConfig(arch=ArchConfig(num_compute_units=4), memo=MemoConfig())
+            )
+        )
+        assert np.array_equal(single, multi)

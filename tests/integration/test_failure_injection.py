@@ -1,0 +1,122 @@
+"""Failure injection: hostile values must not corrupt the memoization.
+
+NaNs, infinities and signed zeros flow through real kernels (divide by
+zero, overflow); the comparators must handle them exactly like hardware
+comparators would — NaN never matches anything, infinities compare by
+bit pattern, and approximate matching never treats NaN distance as
+within threshold.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import MemoConfig, SimConfig, small_arch
+from repro.gpu.executor import GpuExecutor
+from repro.isa.opcodes import UnitKind, opcode_by_mnemonic
+from repro.kernels.api import Buffer
+from repro.memo.lut import MemoLUT
+from repro.memo.resilient import ResilientFpu
+from repro.timing.errors import NoErrorInjector
+
+ADD = opcode_by_mnemonic("ADD")
+RECIP = opcode_by_mnemonic("RECIP")
+SQRT = opcode_by_mnemonic("SQRT")
+
+
+class TestHostileValuesInLut:
+    def test_nan_operand_never_hits(self):
+        lut = MemoLUT(MemoConfig(threshold=1.0))
+        lut.update(ADD, (math.nan, 1.0), math.nan)
+        hit, _, _ = lut.lookup(ADD, (math.nan, 1.0))
+        assert not hit
+
+    def test_infinity_hits_exactly(self):
+        lut = MemoLUT(MemoConfig(threshold=0.0))
+        lut.update(ADD, (math.inf, 1.0), math.inf)
+        hit, result, _ = lut.lookup(ADD, (math.inf, 1.0))
+        assert hit and result == math.inf
+
+    def test_opposite_infinities_do_not_match(self):
+        lut = MemoLUT(MemoConfig(threshold=1000.0))
+        lut.update(ADD, (math.inf, 1.0), math.inf)
+        hit, _, _ = lut.lookup(ADD, (-math.inf, 1.0))
+        assert not hit
+
+    def test_infinite_threshold_distance_is_a_miss(self):
+        # inf - large_finite = inf > threshold: must miss, not crash.
+        lut = MemoLUT(MemoConfig(threshold=0.5))
+        lut.update(ADD, (3.0e38, 1.0), 3.0e38)
+        hit, _, _ = lut.lookup(ADD, (math.inf, 1.0))
+        assert not hit
+
+    def test_signed_zero_distinct_under_exact_matching(self):
+        lut = MemoLUT(MemoConfig(threshold=0.0, commutative_matching=False))
+        lut.update(ADD, (0.0, 1.0), 1.0)
+        hit, _, _ = lut.lookup(ADD, (-0.0, 1.0))
+        assert not hit
+
+    def test_signed_zero_matches_under_approximate(self):
+        lut = MemoLUT(MemoConfig(threshold=0.1))
+        lut.update(ADD, (0.0, 1.0), 1.0)
+        hit, _, _ = lut.lookup(ADD, (-0.0, 1.0))
+        assert hit  # |0.0 - (-0.0)| = 0 <= threshold
+
+
+class TestHostileValuesThroughFpu:
+    def test_recip_of_zero_produces_infinity_and_memoizes(self):
+        fpu = ResilientFpu(UnitKind.RECIP, MemoConfig(), NoErrorInjector())
+        first = fpu.execute(RECIP, (0.0,))
+        second = fpu.execute(RECIP, (0.0,))
+        assert first == math.inf and second == math.inf
+        assert fpu.memo.lut.stats.hits == 1
+
+    def test_sqrt_of_negative_reuses_the_nan_result(self):
+        # The *operand* (-1.0) is an ordinary value, so the context hits;
+        # reusing the stored NaN is exactly what re-execution would give.
+        fpu = ResilientFpu(UnitKind.SQRT, MemoConfig(), NoErrorInjector())
+        first = fpu.execute(SQRT, (-1.0,))
+        second = fpu.execute(SQRT, (-1.0,))
+        assert math.isnan(first) and math.isnan(second)
+        assert fpu.memo.lut.stats.hits == 1
+
+    def test_nan_operand_bit_matches_under_exact_mode(self):
+        # A hardware bit comparator matches two identical NaN patterns;
+        # the reused result is the stored NaN, which is what re-execution
+        # would produce anyway.
+        fpu = ResilientFpu(UnitKind.SQRT, MemoConfig(threshold=0.0), NoErrorInjector())
+        fpu.execute(SQRT, (math.nan,))
+        result = fpu.execute(SQRT, (math.nan,))
+        assert math.isnan(result)
+        assert fpu.memo.lut.stats.hits == 1
+
+    def test_nan_operand_never_matches_under_approximate_mode(self):
+        # Numeric |delta| <= threshold comparison is false for NaN.
+        fpu = ResilientFpu(UnitKind.SQRT, MemoConfig(threshold=0.5), NoErrorInjector())
+        fpu.execute(SQRT, (math.nan,))
+        fpu.execute(SQRT, (math.nan,))
+        assert fpu.memo.lut.stats.hits == 0
+
+
+class TestHostileValuesThroughKernels:
+    def test_kernel_with_nan_lane_is_contained(self):
+        """A NaN in one work-item must not leak into others via the LUT."""
+
+        def div_kernel(ctx, src, dst):
+            x = src.load(ctx.global_id)
+            r = yield ctx.frecip(x)
+            y = yield ctx.fmul(r, 2.0)
+            dst.store(ctx.global_id, y)
+
+        values = [1.0, 2.0, 0.0, 4.0] * 8  # zeros produce inf
+        src = Buffer(values)
+        dst = Buffer.zeros(len(values))
+        config = SimConfig(arch=small_arch(), memo=MemoConfig(threshold=0.5))
+        GpuExecutor(config).run(div_kernel, len(values), (src, dst))
+        out = dst.to_array()
+        finite = out[np.isfinite(out)]
+        assert np.all(finite > 0)
+        # Items with x=0 get inf; everyone else is finite and correct.
+        assert np.isinf(out[2]) and np.isfinite(out[0])
+        assert out[0] == pytest.approx(2.0)

@@ -1,0 +1,128 @@
+"""Tests for the textual assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.clause import AluClause, ControlFlowOp, TexClause
+
+BASIC = """
+; a small program
+CF EXEC_ALU @alu0
+CF END
+
+ALU @alu0:
+  X: ADD r2, r0, r1
+  T: SQRT r3, r2
+"""
+
+WITH_TEX_AND_LOOP = """
+CF EXEC_TEX @tex0
+CF LOOP 3
+CF EXEC_ALU @alu0
+CF ENDLOOP
+CF END
+
+TEX @tex0:
+  LOAD r0, [r9]
+
+ALU @alu0:
+  X: MUL r1, r0, 2.0
+  --
+  X: ADD r2, r1, 1.0
+"""
+
+
+class TestAssemble:
+    def test_basic_program_structure(self):
+        program = assemble(BASIC)
+        assert len(program.clauses) == 1
+        assert isinstance(program.clauses[0], AluClause)
+        assert program.control_flow[0].op is ControlFlowOp.EXEC_ALU
+        assert program.control_flow[-1].op is ControlFlowOp.END
+
+    def test_bundle_slots(self):
+        program = assemble(BASIC)
+        clause = program.clauses[0]
+        bundle = clause.bundles[0]
+        assert bundle.width == 2
+        assert bundle.get_slot("X").opcode.mnemonic == "ADD"
+        assert bundle.get_slot("T").opcode.mnemonic == "SQRT"
+
+    def test_bundle_separator_makes_two_bundles(self):
+        program = assemble(WITH_TEX_AND_LOOP)
+        alu = program.alu_clauses[0]
+        assert len(alu.bundles) == 2
+
+    def test_tex_clause_parsed(self):
+        program = assemble(WITH_TEX_AND_LOOP)
+        tex = program.tex_clauses[0]
+        assert isinstance(tex, TexClause)
+        assert tex.fetches[0].dest_register == 0
+        assert tex.fetches[0].address_register == 9
+
+    def test_loop_trip_count(self):
+        program = assemble(WITH_TEX_AND_LOOP)
+        loops = [
+            cf for cf in program.control_flow if cf.op is ControlFlowOp.LOOP_START
+        ]
+        assert loops[0].trip_count == 3
+
+    def test_immediate_operands(self):
+        program = assemble(WITH_TEX_AND_LOOP)
+        instr = program.alu_clauses[0].bundles[0].get_slot("X")
+        assert instr.sources[1].value == 2.0
+
+    def test_comments_stripped(self):
+        assemble("CF EXEC_ALU @a ; run it\nCF END\nALU @a:\n X: ADD r0, r1, r2")
+
+
+class TestAssemblerErrors:
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError, match="undefined clause label"):
+            assemble("CF EXEC_ALU @nope\nCF END")
+
+    def test_duplicate_label(self):
+        source = (
+            "CF EXEC_ALU @a\nCF END\n"
+            "ALU @a:\n X: ADD r0, r1, r2\n"
+            "ALU @a:\n X: ADD r0, r1, r2\n"
+        )
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble(source)
+
+    def test_missing_end(self):
+        with pytest.raises(Exception):
+            assemble("CF EXEC_ALU @a\nALU @a:\n X: ADD r0, r1, r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("CF EXEC_ALU @a\nCF END\nALU @a:\n X: ADD r0, r1")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(Exception):
+            assemble("CF EXEC_ALU @a\nCF END\nALU @a:\n X: FROB r0, r1, r2")
+
+    def test_destination_must_be_register(self):
+        with pytest.raises(AssemblerError, match="destination"):
+            assemble("CF EXEC_ALU @a\nCF END\nALU @a:\n X: ADD 1.0, r1, r2")
+
+    def test_empty_alu_clause(self):
+        with pytest.raises(AssemblerError, match="empty"):
+            assemble("CF EXEC_ALU @a\nCF END\nALU @a:\n --")
+
+    def test_transcendental_in_wrong_slot(self):
+        with pytest.raises(AssemblerError):
+            assemble("CF EXEC_ALU @a\nCF END\nALU @a:\n X: SQRT r0, r1")
+
+    def test_bad_tex_syntax(self):
+        with pytest.raises(AssemblerError):
+            assemble("CF EXEC_TEX @t\nCF END\nTEX @t:\n LOAD r0, r9")
+
+    def test_loop_without_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("CF LOOP\nCF ENDLOOP\nCF END")
+
+    def test_unparseable_line(self):
+        with pytest.raises(AssemblerError):
+            assemble("WAT is this\nCF END")

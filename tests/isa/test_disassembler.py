@@ -1,0 +1,81 @@
+"""Tests for the disassembler (toolchain round trips)."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import decode_program, encode_program
+from repro.isa.interpreter import ScalarInterpreter
+
+SOURCE = """
+CF EXEC_TEX @t0
+CF LOOP 2
+CF EXEC_ALU @a0
+CF ENDLOOP
+CF END
+
+TEX @t0:
+  LOAD r2, [r0]
+
+ALU @a0:
+  X: MULADD r3, r2, 0.25, r3
+  --
+  T: SQRT r1, r3
+"""
+
+
+def run_program(program, memory, r0):
+    interp = ScalarInterpreter(memory=memory)
+    interp.registers[0] = r0
+    return interp.run(program)
+
+
+class TestDisassembler:
+    def test_text_is_reassemblable(self):
+        program = assemble(SOURCE)
+        text = disassemble(program)
+        reassembled = assemble(text)
+        assert reassembled.fp_instruction_count == program.fp_instruction_count
+        assert len(reassembled.control_flow) == len(program.control_flow)
+
+    def test_assemble_disassemble_execution_fixed_point(self):
+        program = assemble(SOURCE)
+        round_tripped = assemble(disassemble(program))
+        memory = [4.0, 9.0]
+        assert run_program(program, memory, 1.0) == run_program(
+            round_tripped, memory, 1.0
+        )
+
+    def test_binary_to_text_pipeline(self):
+        """binary -> Program -> text -> Program executes identically."""
+        program = assemble(SOURCE)
+        blob = encode_program(program)
+        from_binary = decode_program(blob)
+        from_text = assemble(disassemble(from_binary))
+        memory = [2.0, 5.0]
+        assert run_program(from_text, memory, 0.0) == run_program(
+            program, memory, 0.0
+        )
+
+    def test_bundle_separators_preserved(self):
+        program = assemble(SOURCE)
+        text = disassemble(program)
+        assert "--" in text
+        # One ALU clause header (plus its CF reference) and one TEX header.
+        assert text.count("ALU @alu0:") == 1
+        assert text.count("TEX @tex0:") == 1
+
+    def test_immediates_rendered(self):
+        text = disassemble(assemble(SOURCE))
+        assert "0.25" in text
+
+    def test_loop_rendered(self):
+        text = disassemble(assemble(SOURCE))
+        assert "CF LOOP 2" in text
+        assert "CF ENDLOOP" in text
+
+    def test_unvalidated_program_rejected(self):
+        from repro.isa.program import Program
+
+        with pytest.raises(Exception):
+            disassemble(Program())

@@ -1,0 +1,153 @@
+"""Tests for the binary program container."""
+
+import struct
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.assembler import assemble
+from repro.isa.encoding import MAGIC, decode_program, encode_program
+from repro.isa.interpreter import ScalarInterpreter
+
+FULL_FEATURED = """
+CF EXEC_TEX @load
+CF LOOP 3
+CF EXEC_ALU @body
+CF ENDLOOP
+CF EXEC_ALU @final
+CF END
+
+TEX @load:
+  LOAD r2, [r0]
+
+ALU @body:
+  X: MULADD r3, r2, 0.5, r3
+  Y: ADD r4, r4, 1.0
+  --
+  T: SQRT r5, r3
+
+ALU @final:
+  X: MUL r1, r5, r4
+"""
+
+
+def roundtrip(source):
+    program = assemble(source)
+    blob = encode_program(program)
+    return program, decode_program(blob), blob
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        original, decoded, _ = roundtrip(FULL_FEATURED)
+        assert len(decoded.control_flow) == len(original.control_flow)
+        assert len(decoded.clauses) == len(original.clauses)
+        assert decoded.fp_instruction_count == original.fp_instruction_count
+
+    def test_control_flow_preserved(self):
+        original, decoded, _ = roundtrip(FULL_FEATURED)
+        for a, b in zip(original.control_flow, decoded.control_flow):
+            assert a.op is b.op
+            assert a.clause_index == b.clause_index
+            assert a.trip_count == b.trip_count
+
+    def test_instructions_preserved(self):
+        original, decoded, _ = roundtrip(FULL_FEATURED)
+        for clause_a, clause_b in zip(
+            original.alu_clauses, decoded.alu_clauses
+        ):
+            for bundle_a, bundle_b in zip(clause_a.bundles, clause_b.bundles):
+                assert str(bundle_a) == str(bundle_b)
+
+    def test_tex_fetches_preserved(self):
+        original, decoded, _ = roundtrip(FULL_FEATURED)
+        fetch_a = original.tex_clauses[0].fetches[0]
+        fetch_b = decoded.tex_clauses[0].fetches[0]
+        assert fetch_a.dest_register == fetch_b.dest_register
+        assert fetch_a.address_register == fetch_b.address_register
+
+    def test_execution_equivalence(self):
+        """Decoded binaries must compute exactly what the source does."""
+        original, decoded, _ = roundtrip(FULL_FEATURED)
+        memory = [3.0, 1.5, 7.0, 2.0]
+        for program in (original, decoded):
+            interp = ScalarInterpreter(memory=memory)
+            interp.registers[0] = 2.0
+            program_result = interp.run(program)
+            if program is original:
+                baseline = program_result
+        assert program_result == baseline
+
+    def test_literal_pool_deduplicates(self):
+        source = """
+CF EXEC_ALU @a
+CF END
+ALU @a:
+  X: MUL r1, r0, 0.5
+  --
+  Y: MUL r2, r0, 0.5
+  --
+  Z: MUL r3, r0, 2.5
+"""
+        _, _, blob = roundtrip(source)
+        n_literals = struct.unpack_from("<HHHH", blob, 4)[3]
+        assert n_literals == 2  # 0.5 shared, 2.5 distinct
+
+    def test_magic_header(self):
+        _, _, blob = roundtrip(FULL_FEATURED)
+        assert blob[:4] == MAGIC
+
+
+class TestDecodeErrors:
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(IsaError):
+            decode_program(b"NOPE" + b"\x00" * 16)
+
+    def test_wrong_version_rejected(self):
+        _, _, blob = roundtrip(FULL_FEATURED)
+        bad = MAGIC + struct.pack("<H", 99) + blob[6:]
+        with pytest.raises(IsaError):
+            decode_program(bad)
+
+    def test_truncated_blob_rejected(self):
+        _, _, blob = roundtrip(FULL_FEATURED)
+        with pytest.raises(Exception):
+            decode_program(blob[: len(blob) // 2])
+
+    def test_trailing_garbage_detected(self):
+        program = assemble("CF EXEC_ALU @a\nCF END\nALU @a:\n X: ADD r1, r0, r0")
+        blob = encode_program(program)
+        # Corrupt: bump the literal count without adding pool bytes.
+        n_lit = struct.unpack_from("<H", blob, 10)[0]
+        corrupted = blob[:10] + struct.pack("<H", n_lit + 4) + blob[12:]
+        with pytest.raises(IsaError):
+            decode_program(corrupted)
+
+
+class TestEncodeErrors:
+    def test_unencodable_register_rejected(self):
+        from repro.isa.clause import AluClause, ControlFlowInstruction, ControlFlowOp
+        from repro.isa.instruction import Instruction, RegisterOperand, VliwBundle
+        from repro.isa.opcodes import opcode_by_mnemonic
+        from repro.isa.program import Program
+
+        bundle = VliwBundle()
+        bundle.set_slot(
+            "X",
+            Instruction(
+                opcode_by_mnemonic("ADD"),
+                RegisterOperand(5000),  # beyond the 10-bit dest field
+                (RegisterOperand(0), RegisterOperand(1)),
+            ),
+        )
+        clause = AluClause()
+        clause.append(bundle)
+        program = Program(
+            control_flow=[
+                ControlFlowInstruction(ControlFlowOp.EXEC_ALU, clause_index=0),
+                ControlFlowInstruction(ControlFlowOp.END),
+            ],
+            clauses=[clause],
+        )
+        with pytest.raises(IsaError):
+            encode_program(program)

@@ -1,0 +1,98 @@
+"""Tests for instructions and VLIW bundles."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.instruction import (
+    ImmediateOperand,
+    Instruction,
+    RegisterOperand,
+    VliwBundle,
+)
+from repro.isa.opcodes import opcode_by_mnemonic
+
+
+def _instr(mnemonic, dest, *sources):
+    return Instruction(
+        opcode_by_mnemonic(mnemonic),
+        RegisterOperand(dest),
+        tuple(
+            RegisterOperand(s) if isinstance(s, int) else ImmediateOperand(s)
+            for s in sources
+        ),
+    )
+
+
+class TestOperands:
+    def test_register_str(self):
+        assert str(RegisterOperand(3)) == "r3"
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(IsaError):
+            RegisterOperand(-1)
+
+    def test_immediate_holds_value(self):
+        assert ImmediateOperand(0.5).value == 0.5
+
+
+class TestInstruction:
+    def test_source_count_must_match_arity(self):
+        with pytest.raises(IsaError):
+            _instr("ADD", 0, 1)  # ADD needs two sources
+
+    def test_unit_property(self):
+        assert _instr("SQRT", 0, 1).unit.value == "SQRT"
+
+    def test_str_rendering(self):
+        text = str(_instr("ADD", 0, 1, 2))
+        assert text == "ADD r0, r1, r2"
+
+    def test_immediate_source_allowed(self):
+        instr = _instr("MUL", 0, 1, 0.5)
+        assert isinstance(instr.sources[1], ImmediateOperand)
+
+
+class TestVliwBundle:
+    def test_set_and_get_slot(self):
+        bundle = VliwBundle()
+        instr = _instr("ADD", 0, 1, 2)
+        bundle.set_slot("X", instr)
+        assert bundle.get_slot("X") is instr
+
+    def test_width_counts_occupied_slots(self):
+        bundle = VliwBundle()
+        bundle.set_slot("X", _instr("ADD", 0, 1, 2))
+        bundle.set_slot("Y", _instr("MUL", 3, 4, 5))
+        assert bundle.width == 2
+
+    def test_unknown_slot_rejected(self):
+        bundle = VliwBundle()
+        with pytest.raises(IsaError):
+            bundle.set_slot("Q", _instr("ADD", 0, 1, 2))
+
+    def test_double_occupancy_rejected(self):
+        bundle = VliwBundle()
+        bundle.set_slot("X", _instr("ADD", 0, 1, 2))
+        with pytest.raises(IsaError):
+            bundle.set_slot("X", _instr("MUL", 3, 4, 5))
+
+    def test_transcendental_must_go_to_t_slot(self):
+        bundle = VliwBundle()
+        with pytest.raises(IsaError):
+            bundle.set_slot("X", _instr("SQRT", 0, 1))
+
+    def test_transcendental_accepted_in_t_slot(self):
+        bundle = VliwBundle()
+        bundle.set_slot("T", _instr("RECIP", 0, 1))
+        assert bundle.width == 1
+
+    def test_iteration_in_canonical_order(self):
+        bundle = VliwBundle()
+        bundle.set_slot("W", _instr("ADD", 0, 1, 2))
+        bundle.set_slot("X", _instr("MUL", 3, 4, 5))
+        labels = [label for label, _ in bundle]
+        assert labels == ["X", "W"]
+
+    def test_constructor_validates_slots(self):
+        with pytest.raises(IsaError):
+            VliwBundle(slots={"X": _instr("SQRT", 0, 1)})

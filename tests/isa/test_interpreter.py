@@ -1,0 +1,169 @@
+"""Tests for the scalar reference interpreter."""
+
+import math
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import ScalarInterpreter
+
+
+def run(source, memory=None, registers=None, fp_hook=None):
+    interp = ScalarInterpreter(memory=memory, fp_hook=fp_hook)
+    if registers:
+        for index, value in registers.items():
+            interp.registers[index] = value
+    program = assemble(source)
+    return interp.run(program), interp
+
+
+class TestBasicExecution:
+    def test_add(self):
+        regs, _ = run(
+            "CF EXEC_ALU @a\nCF END\nALU @a:\n X: ADD r2, r0, r1",
+            registers={0: 1.5, 1: 2.5},
+        )
+        assert regs[2] == 4.0
+
+    def test_immediate_operand(self):
+        regs, _ = run(
+            "CF EXEC_ALU @a\nCF END\nALU @a:\n X: MUL r1, r0, 0.5",
+            registers={0: 8.0},
+        )
+        assert regs[1] == 4.0
+
+    def test_unwritten_register_reads_zero(self):
+        regs, _ = run("CF EXEC_ALU @a\nCF END\nALU @a:\n X: ADD r2, r0, r1")
+        assert regs[2] == 0.0
+
+    def test_sqrt_in_t_slot(self):
+        regs, _ = run(
+            "CF EXEC_ALU @a\nCF END\nALU @a:\n T: SQRT r1, r0",
+            registers={0: 9.0},
+        )
+        assert regs[1] == 3.0
+
+    def test_chained_bundles(self):
+        source = """
+CF EXEC_ALU @a
+CF END
+ALU @a:
+  X: ADD r1, r0, 1.0
+  --
+  X: MUL r2, r1, r1
+"""
+        regs, _ = run(source, registers={0: 2.0})
+        assert regs[2] == 9.0
+
+    def test_vliw_reads_before_writes(self):
+        # Both slots read r0's OLD value even though X writes r0.
+        source = """
+CF EXEC_ALU @a
+CF END
+ALU @a:
+  X: ADD r0, r0, 1.0
+  Y: MUL r1, r0, 2.0
+"""
+        regs, _ = run(source, registers={0: 5.0})
+        assert regs[0] == 6.0
+        assert regs[1] == 10.0  # used old r0 = 5.0
+
+    def test_executed_op_count(self):
+        _, interp = run(
+            "CF EXEC_ALU @a\nCF END\nALU @a:\n X: ADD r0, r1, r2\n Y: MUL r3, r4, r5"
+        )
+        assert interp.executed_fp_ops == 2
+
+
+class TestControlFlow:
+    def test_loop_repeats_clause(self):
+        source = """
+CF LOOP 4
+CF EXEC_ALU @a
+CF ENDLOOP
+CF END
+ALU @a:
+  X: ADD r0, r0, 1.0
+"""
+        regs, _ = run(source)
+        assert regs[0] == 4.0
+
+    def test_nested_loops(self):
+        source = """
+CF LOOP 2
+CF LOOP 3
+CF EXEC_ALU @a
+CF ENDLOOP
+CF ENDLOOP
+CF END
+ALU @a:
+  X: ADD r0, r0, 1.0
+"""
+        regs, _ = run(source)
+        assert regs[0] == 6.0
+
+    def test_zero_trip_loop(self):
+        source = """
+CF LOOP 0
+CF EXEC_ALU @a
+CF ENDLOOP
+CF END
+ALU @a:
+  X: ADD r0, r0, 1.0
+"""
+        regs, _ = run(source)
+        assert regs.get(0, 0.0) == 0.0
+
+
+class TestMemory:
+    def test_tex_load(self):
+        source = """
+CF EXEC_TEX @t
+CF EXEC_ALU @a
+CF END
+TEX @t:
+  LOAD r1, [r0]
+ALU @a:
+  X: MUL r2, r1, 2.0
+"""
+        regs, _ = run(source, memory=[10.0, 20.0, 30.0], registers={0: 2.0})
+        assert regs[1] == 30.0
+        assert regs[2] == 60.0
+
+    def test_out_of_bounds_load(self):
+        source = "CF EXEC_TEX @t\nCF END\nTEX @t:\n LOAD r1, [r0]"
+        with pytest.raises(IsaError):
+            run(source, memory=[1.0], registers={0: 5.0})
+
+
+class TestFpHook:
+    def test_hook_observes_every_op(self):
+        seen = []
+
+        def hook(opcode, operands, result):
+            seen.append((opcode.mnemonic, operands, result))
+            return None
+
+        run(
+            "CF EXEC_ALU @a\nCF END\nALU @a:\n X: ADD r2, r0, r1",
+            registers={0: 1.0, 1: 2.0},
+            fp_hook=hook,
+        )
+        assert seen == [("ADD", (1.0, 2.0), 3.0)]
+
+    def test_hook_can_override_result(self):
+        regs, _ = run(
+            "CF EXEC_ALU @a\nCF END\nALU @a:\n X: ADD r2, r0, r1",
+            registers={0: 1.0, 1: 2.0},
+            fp_hook=lambda opcode, operands, result: 42.0,
+        )
+        assert regs[2] == 42.0
+
+    def test_hook_none_keeps_result(self):
+        regs, _ = run(
+            "CF EXEC_ALU @a\nCF END\nALU @a:\n X: ADD r2, r0, r1",
+            registers={0: 1.0, 1: 2.0},
+            fp_hook=lambda *args: None,
+        )
+        assert regs[2] == 3.0

@@ -1,0 +1,86 @@
+"""Tests for the 27-opcode table."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.opcodes import (
+    FP_OPCODES,
+    Opcode,
+    UnitKind,
+    opcode_by_mnemonic,
+    opcodes_for_unit,
+)
+
+
+class TestOpcodeTable:
+    def test_exactly_27_fp_opcodes(self):
+        assert len(FP_OPCODES) == 27
+
+    def test_mnemonics_unique(self):
+        mnemonics = [op.mnemonic for op in FP_OPCODES]
+        assert len(set(mnemonics)) == len(mnemonics)
+
+    def test_every_unit_kind_has_opcodes(self):
+        for kind in UnitKind:
+            assert opcodes_for_unit(kind), f"no opcodes for {kind}"
+
+    def test_unit_partition_is_complete(self):
+        total = sum(len(opcodes_for_unit(kind)) for kind in UnitKind)
+        assert total == 27
+
+    def test_lookup_case_insensitive(self):
+        assert opcode_by_mnemonic("add") is opcode_by_mnemonic("ADD")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(IsaError):
+            opcode_by_mnemonic("FNORD")
+
+    def test_lookup_returns_shared_instances(self):
+        assert opcode_by_mnemonic("MUL") is opcode_by_mnemonic("MUL")
+
+
+class TestSpecificOpcodes:
+    @pytest.mark.parametrize(
+        "mnemonic,unit",
+        [
+            ("ADD", UnitKind.ADD),
+            ("SUB", UnitKind.ADD),
+            ("MUL", UnitKind.MUL),
+            ("MULADD", UnitKind.MULADD),
+            ("SQRT", UnitKind.SQRT),
+            ("RECIP", UnitKind.RECIP),
+            ("FLT_TO_INT", UnitKind.FP2INT),
+            ("INT_TO_FLT", UnitKind.FP2INT),
+        ],
+    )
+    def test_unit_mapping(self, mnemonic, unit):
+        assert opcode_by_mnemonic(mnemonic).unit is unit
+
+    @pytest.mark.parametrize("mnemonic", ["ADD", "MUL", "MAX", "MIN", "SETE", "MULADD"])
+    def test_commutative_ops(self, mnemonic):
+        assert opcode_by_mnemonic(mnemonic).commutative
+
+    @pytest.mark.parametrize("mnemonic", ["SUB", "SETGT", "SETGE"])
+    def test_non_commutative_ops(self, mnemonic):
+        assert not opcode_by_mnemonic(mnemonic).commutative
+
+    @pytest.mark.parametrize(
+        "mnemonic,arity",
+        [("SQRT", 1), ("ADD", 2), ("MULADD", 3), ("RECIP", 1), ("FRACT", 1)],
+    )
+    def test_arity(self, mnemonic, arity):
+        assert opcode_by_mnemonic(mnemonic).arity == arity
+
+    def test_muladd_commutes_multiplicands_only(self):
+        muladd = opcode_by_mnemonic("MULADD")
+        assert muladd.commutative_operands == (0, 1)
+
+
+class TestOpcodeValidation:
+    def test_bad_arity_rejected(self):
+        with pytest.raises(IsaError):
+            Opcode("BOGUS", 4, UnitKind.ADD)
+
+    def test_unary_cannot_be_commutative(self):
+        with pytest.raises(IsaError):
+            Opcode("BOGUS", 1, UnitKind.SQRT, commutative=True)

@@ -1,0 +1,118 @@
+"""Tests for program validation and structure."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.assembler import assemble
+from repro.isa.clause import (
+    AluClause,
+    ControlFlowInstruction,
+    ControlFlowOp,
+    TexClause,
+    TexFetch,
+)
+from repro.isa.instruction import Instruction, RegisterOperand, VliwBundle
+from repro.isa.opcodes import opcode_by_mnemonic
+from repro.isa.program import Program
+
+
+def _alu_clause():
+    instr = Instruction(
+        opcode_by_mnemonic("ADD"),
+        RegisterOperand(0),
+        (RegisterOperand(1), RegisterOperand(2)),
+    )
+    bundle = VliwBundle()
+    bundle.set_slot("X", instr)
+    clause = AluClause()
+    clause.append(bundle)
+    return clause
+
+
+class TestProgramValidation:
+    def test_valid_program(self):
+        program = Program(
+            control_flow=[
+                ControlFlowInstruction(ControlFlowOp.EXEC_ALU, clause_index=0),
+                ControlFlowInstruction(ControlFlowOp.END),
+            ],
+            clauses=[_alu_clause()],
+        )
+        program.validate()
+
+    def test_clause_index_out_of_range(self):
+        program = Program(
+            control_flow=[
+                ControlFlowInstruction(ControlFlowOp.EXEC_ALU, clause_index=5),
+                ControlFlowInstruction(ControlFlowOp.END),
+            ],
+            clauses=[_alu_clause()],
+        )
+        with pytest.raises(IsaError):
+            program.validate()
+
+    def test_exec_alu_must_reference_alu_clause(self):
+        program = Program(
+            control_flow=[
+                ControlFlowInstruction(ControlFlowOp.EXEC_ALU, clause_index=0),
+                ControlFlowInstruction(ControlFlowOp.END),
+            ],
+            clauses=[TexClause(fetches=[TexFetch(0, 1)])],
+        )
+        with pytest.raises(IsaError):
+            program.validate()
+
+    def test_unbalanced_loop_rejected(self):
+        program = Program(
+            control_flow=[
+                ControlFlowInstruction(ControlFlowOp.LOOP_START, trip_count=2),
+                ControlFlowInstruction(ControlFlowOp.END),
+            ],
+            clauses=[],
+        )
+        with pytest.raises(IsaError):
+            program.validate()
+
+    def test_stray_loop_end_rejected(self):
+        program = Program(
+            control_flow=[
+                ControlFlowInstruction(ControlFlowOp.LOOP_END),
+                ControlFlowInstruction(ControlFlowOp.END),
+            ],
+            clauses=[],
+        )
+        with pytest.raises(IsaError):
+            program.validate()
+
+    def test_missing_end_rejected(self):
+        program = Program(control_flow=[], clauses=[])
+        with pytest.raises(IsaError):
+            program.validate()
+
+
+class TestProgramIntrospection:
+    SOURCE = """
+CF EXEC_ALU @a
+CF EXEC_TEX @t
+CF END
+ALU @a:
+  X: ADD r0, r1, r2
+  Y: MUL r3, r4, r5
+  --
+  T: SQRT r6, r0
+TEX @t:
+  LOAD r0, [r9]
+"""
+
+    def test_fp_instruction_count(self):
+        program = assemble(self.SOURCE)
+        assert program.fp_instruction_count == 3
+
+    def test_clause_partition(self):
+        program = assemble(self.SOURCE)
+        assert len(program.alu_clauses) == 1
+        assert len(program.tex_clauses) == 1
+
+    def test_iter_bundles(self):
+        program = assemble(self.SOURCE)
+        assert len(list(program.iter_bundles())) == 2

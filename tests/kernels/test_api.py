@@ -1,0 +1,95 @@
+"""Tests for the work-item API and Buffer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.isa.opcodes import UnitKind
+from repro.kernels.api import Buffer, WorkItemCtx
+
+
+class TestBuffer:
+    def test_zeros(self):
+        buf = Buffer.zeros(4)
+        assert len(buf) == 4
+        assert buf.load(0) == 0.0
+
+    def test_from_array(self):
+        buf = Buffer.from_array(np.array([1.0, 2.0]))
+        assert buf.load(1) == 2.0
+
+    def test_from_array_copies(self):
+        arr = np.array([1.0], dtype=np.float32)
+        buf = Buffer.from_array(arr)
+        arr[0] = 99.0
+        assert buf.load(0) == 1.0
+
+    def test_store_quantizes_to_float32(self):
+        buf = Buffer.zeros(1)
+        buf.store(0, 0.1)
+        assert buf.load(0) == float(np.float32(0.1))
+
+    def test_2d_input_flattened(self):
+        buf = Buffer(np.ones((2, 2)))
+        assert len(buf) == 4
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(KernelError):
+            Buffer(-1)
+
+    def test_copy_is_independent(self):
+        buf = Buffer([1.0, 2.0])
+        clone = buf.copy()
+        clone.store(0, 9.0)
+        assert buf.load(0) == 1.0
+
+    def test_to_array_is_copy(self):
+        buf = Buffer([1.0])
+        arr = buf.to_array()
+        arr[0] = 5.0
+        assert buf.load(0) == 1.0
+
+
+class TestWorkItemCtx:
+    def test_ids(self):
+        ctx = WorkItemCtx(global_id=70, local_id=6, group_id=1, global_size=128)
+        assert ctx.global_id == 70
+        assert ctx.local_id == 6
+        assert ctx.group_id == 1
+        assert ctx.global_size == 128
+
+    @pytest.mark.parametrize(
+        "method,args,mnemonic,unit",
+        [
+            ("fadd", (1.0, 2.0), "ADD", UnitKind.ADD),
+            ("fsub", (1.0, 2.0), "SUB", UnitKind.ADD),
+            ("fmul", (1.0, 2.0), "MUL", UnitKind.MUL),
+            ("fmax", (1.0, 2.0), "MAX", UnitKind.ADD),
+            ("fmin", (1.0, 2.0), "MIN", UnitKind.ADD),
+            ("fsete", (1.0, 2.0), "SETE", UnitKind.ADD),
+            ("fsetgt", (1.0, 2.0), "SETGT", UnitKind.ADD),
+            ("fsetge", (1.0, 2.0), "SETGE", UnitKind.ADD),
+            ("fsetne", (1.0, 2.0), "SETNE", UnitKind.ADD),
+            ("fmuladd", (1.0, 2.0, 3.0), "MULADD", UnitKind.MULADD),
+            ("fmulsub", (1.0, 2.0, 3.0), "MULSUB", UnitKind.MULADD),
+            ("fsqrt", (4.0,), "SQRT", UnitKind.SQRT),
+            ("frsqrt", (4.0,), "RSQRT", UnitKind.SQRT),
+            ("fsin", (0.0,), "SIN", UnitKind.SQRT),
+            ("fcos", (0.0,), "COS", UnitKind.SQRT),
+            ("fexp", (0.0,), "EXP", UnitKind.SQRT),
+            ("flog", (1.0,), "LOG", UnitKind.SQRT),
+            ("frecip", (2.0,), "RECIP", UnitKind.RECIP),
+            ("flt2int", (2.5,), "FLT_TO_INT", UnitKind.FP2INT),
+            ("int2flt", (2.0,), "INT_TO_FLT", UnitKind.FP2INT),
+            ("ftrunc", (2.5,), "TRUNC", UnitKind.FP2INT),
+            ("frndne", (2.5,), "RNDNE", UnitKind.FP2INT),
+            ("ffloor", (2.5,), "FLOOR", UnitKind.ADD),
+            ("ffract", (2.5,), "FRACT", UnitKind.ADD),
+        ],
+    )
+    def test_builders_produce_requests(self, method, args, mnemonic, unit):
+        ctx = WorkItemCtx(0)
+        opcode, operands = getattr(ctx, method)(*args)
+        assert opcode.mnemonic == mnemonic
+        assert opcode.unit is unit
+        assert operands == args

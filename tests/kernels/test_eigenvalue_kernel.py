@@ -1,0 +1,59 @@
+"""Tests for the EigenValue kernel."""
+
+import numpy as np
+import pytest
+
+from repro.config import MemoConfig, SimConfig, small_arch
+from repro.gpu.executor import GpuExecutor
+from repro.kernels.eigenvalue import EigenValueWorkload
+
+
+class TestEigenValueFunctional:
+    def test_bisection_approaches_numpy(self):
+        workload = EigenValueWorkload(8, iterations=30)
+        out = np.sort(workload.golden())
+        expected = workload.reference_eigenvalues()
+        interval = workload.upper - workload.lower
+        tolerance = interval / 2**29 + 1e-3
+        assert np.allclose(out, expected, atol=max(tolerance, 1e-3))
+
+    def test_eigenvalues_sorted_by_index(self):
+        workload = EigenValueWorkload(12, iterations=20)
+        out = workload.golden()
+        assert np.all(np.diff(out) >= -1e-4)
+
+    def test_gershgorin_bounds_contain_spectrum(self):
+        workload = EigenValueWorkload(10, iterations=5)
+        expected = workload.reference_eigenvalues()
+        assert workload.lower <= expected.min()
+        assert workload.upper >= expected.max()
+
+    def test_matrix_entries_are_integers(self):
+        workload = EigenValueWorkload(6)
+        assert np.all(workload.diag == np.trunc(workload.diag))
+        assert np.all(workload.offdiag == np.trunc(workload.offdiag))
+
+    def test_too_small_matrix_rejected(self):
+        with pytest.raises(Exception):
+            EigenValueWorkload(1)
+
+
+class TestEigenValueOnDevice:
+    def test_exact_matching_is_bit_exact(self):
+        workload = EigenValueWorkload(8, iterations=8)
+        golden = workload.golden()
+        config = SimConfig(arch=small_arch(), memo=MemoConfig(threshold=0.0))
+        out = workload.run(GpuExecutor(config))
+        assert np.array_equal(out, golden)
+
+    def test_matrix_conversions_memoize_heavily(self):
+        workload = EigenValueWorkload(32, iterations=4)
+        config = SimConfig(arch=small_arch(), memo=MemoConfig(threshold=0.0))
+        executor = GpuExecutor(config)
+        workload.run(executor)
+        from repro.isa.opcodes import UnitKind
+
+        stats = executor.device.lut_stats()
+        # Every work-item converts the same integer matrix: the FP2INT
+        # stream is the most redundant of the kernel.
+        assert stats[UnitKind.FP2INT].hit_rate >= 0.5

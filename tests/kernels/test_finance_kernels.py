@@ -1,0 +1,126 @@
+"""Tests for BlackScholes and BinomialOption."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import MemoConfig, SimConfig, small_arch
+from repro.gpu.executor import GpuExecutor
+from repro.kernels.binomial_option import BinomialOptionWorkload
+from repro.kernels.black_scholes import BlackScholesWorkload
+
+
+def scipy_call_put(s, k, t, r, sigma):
+    from math import erf, exp, log, sqrt
+
+    def cnd(x):
+        return 0.5 * (1.0 + erf(x / sqrt(2.0)))
+
+    d1 = (log(s / k) + (r + sigma * sigma / 2) * t) / (sigma * sqrt(t))
+    d2 = d1 - sigma * sqrt(t)
+    call = s * cnd(d1) - k * exp(-r * t) * cnd(d2)
+    put = k * exp(-r * t) * (1 - cnd(d2)) - s * (1 - cnd(d1))
+    return call, put
+
+
+class TestBlackScholesFunctional:
+    def test_against_closed_form(self):
+        workload = BlackScholesWorkload(16, rate=0.02, volatility=0.30)
+        out = workload.golden()
+        calls, puts = out[:16], out[16:]
+        for i in range(16):
+            expected_call, expected_put = scipy_call_put(
+                float(workload.price[i]),
+                float(workload.strike[i]),
+                float(workload.years[i]),
+                0.02,
+                0.30,
+            )
+            # The A&S polynomial CND is accurate to ~1e-4 in single precision.
+            assert calls[i] == pytest.approx(expected_call, abs=0.02)
+            assert puts[i] == pytest.approx(expected_put, abs=0.02)
+
+    def test_put_call_parity(self):
+        workload = BlackScholesWorkload(32)
+        out = workload.golden()
+        calls, puts = out[:32], out[32:]
+        for i in range(32):
+            s = float(workload.price[i])
+            k = float(workload.strike[i])
+            t = float(workload.years[i])
+            parity = calls[i] - puts[i]
+            expected = s - k * math.exp(-workload.rate * t)
+            assert parity == pytest.approx(expected, abs=0.02)
+
+    def test_prices_non_negative(self):
+        out = BlackScholesWorkload(64).golden()
+        assert np.all(out >= -1e-3)
+
+
+class TestBinomialFunctional:
+    def test_converges_to_black_scholes(self):
+        # Deep trees converge to the closed form for European calls.
+        workload = BinomialOptionWorkload(
+            4, steps=64, rate=0.02, volatility=0.30, years=1.0
+        )
+        out = workload.golden()
+        for i in range(4):
+            expected_call, _ = scipy_call_put(
+                float(workload.price[i]),
+                float(workload.strike[i]),
+                1.0,
+                0.02,
+                0.30,
+            )
+            assert out[i] == pytest.approx(expected_call, abs=0.15)
+
+    def test_deep_otm_option_worthless(self):
+        workload = BinomialOptionWorkload(1, steps=16)
+        workload.price[0] = 5.0
+        workload.strike[0] = 80.0
+        assert workload.golden()[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_deep_itm_option_close_to_intrinsic(self):
+        workload = BinomialOptionWorkload(1, steps=16, rate=0.0)
+        workload.price[0] = 100.0
+        workload.strike[0] = 10.0
+        assert workload.golden()[0] == pytest.approx(90.0, rel=0.05)
+
+    def test_price_monotone_in_strike(self):
+        workload = BinomialOptionWorkload(3, steps=16)
+        workload.price[:] = 20.0
+        workload.strike[:] = [10.0, 20.0, 30.0]
+        out = workload.golden()
+        assert out[0] > out[1] > out[2]
+
+
+class TestFinanceOnDevice:
+    def test_tiny_threshold_passes_host_check(self):
+        workload = BlackScholesWorkload(64)
+        golden = workload.golden()
+        config = SimConfig(
+            arch=small_arch(), memo=MemoConfig(threshold=0.000025)
+        )
+        out = workload.run(GpuExecutor(config))
+        assert float(np.max(np.abs(out - golden))) <= workload.output_tolerance()
+
+    def test_binomial_exact_matching_is_bit_exact(self):
+        workload = BinomialOptionWorkload(32, steps=8)
+        golden = workload.golden()
+        config = SimConfig(arch=small_arch(), memo=MemoConfig(threshold=0.0))
+        out = workload.run(GpuExecutor(config))
+        assert np.array_equal(out, golden)
+
+    def test_binomial_shared_setup_memoizes_across_items(self):
+        workload = BinomialOptionWorkload(64, steps=8)
+        config = SimConfig(arch=small_arch(), memo=MemoConfig(threshold=0.0))
+        executor = GpuExecutor(config)
+        workload.run(executor)
+        stats = executor.device.lut_stats()
+        from repro.isa.opcodes import UnitKind
+
+        # The per-item lattice constants (u, pu, discount...) are identical
+        # across work-items: SQRT/RECIP hit for 3 of every 4 lane-sharing items.
+        assert stats[UnitKind.SQRT].hit_rate >= 0.7
+        assert stats[UnitKind.RECIP].hit_rate >= 0.7

@@ -1,0 +1,144 @@
+"""Tests for the Sobel and Gaussian kernels."""
+
+import numpy as np
+import pytest
+
+from repro.config import MemoConfig, SimConfig, small_arch
+from repro.gpu.executor import GpuExecutor, ReferenceExecutor
+from repro.images.psnr import psnr
+from repro.images.synth import synth_face
+from repro.kernels.gaussian import GAUSSIAN_TAPS, GaussianWorkload
+from repro.kernels.sobel import SobelWorkload
+
+
+def flat_image(size=16, value=100.0):
+    return np.full((size, size), value, dtype=np.float32)
+
+
+def step_image(size=16):
+    image = np.zeros((size, size), dtype=np.float32)
+    image[:, size // 2 :] = 200.0
+    return image
+
+
+class TestSobelFunctional:
+    def test_flat_image_has_zero_gradient(self):
+        out = SobelWorkload(flat_image()).golden()
+        assert np.all(out == 0.0)
+
+    def test_vertical_edge_detected(self):
+        size = 16
+        out = SobelWorkload(step_image(size)).golden()
+        edge_columns = out[:, size // 2 - 1 : size // 2 + 1]
+        assert np.all(edge_columns > 0)
+        assert np.all(out[:, : size // 2 - 1] == 0.0)
+
+    def test_output_clamped_to_255(self):
+        image = np.zeros((8, 8), dtype=np.float32)
+        image[:, 4:] = 255.0
+        out = SobelWorkload(image).golden()
+        assert out.max() <= 255.0
+        assert out.min() >= 0.0
+
+    def test_output_is_integer_valued(self):
+        # The kernel converts back to uchar pixels with FLT_TO_INT.
+        out = SobelWorkload(synth_face(16)).golden()
+        assert np.all(out == np.trunc(out))
+
+    def test_matches_reference_convolution(self):
+        rng = np.random.default_rng(1)
+        image = rng.integers(0, 255, (12, 12)).astype(np.float32)
+        out = SobelWorkload(image).golden()
+        # Interior pixel check against a hand-rolled Sobel.
+        padded = np.pad(image, 1, mode="edge")
+        for y in (3, 6):
+            for x in (4, 7):
+                window = padded[y : y + 3, x : x + 3].astype(np.float64)
+                gx = (
+                    window[0, 2] - window[0, 0]
+                    + 2 * (window[1, 2] - window[1, 0])
+                    + window[2, 2] - window[2, 0]
+                )
+                gy = (
+                    window[2, 0] - window[0, 0]
+                    + 2 * (window[2, 1] - window[0, 1])
+                    + window[2, 2] - window[0, 2]
+                )
+                expected = min(max(np.sqrt(gx * gx + gy * gy) / 2, 0), 255)
+                assert out[y, x] == pytest.approx(np.trunc(expected), abs=1)
+
+    def test_rejects_non_2d_input(self):
+        with pytest.raises(Exception):
+            SobelWorkload(np.zeros(16, dtype=np.float32))
+
+
+class TestGaussianFunctional:
+    def test_taps_sum_to_one(self):
+        assert sum(w for _, _, w in GAUSSIAN_TAPS) == pytest.approx(1.0)
+
+    def test_flat_image_unchanged(self):
+        out = GaussianWorkload(flat_image(value=128.0)).golden()
+        assert np.all(out == 128.0)
+
+    def test_blur_smooths_step(self):
+        out = GaussianWorkload(step_image()).golden()
+        # The transition column must hold intermediate values.
+        middle = out[8, 7]
+        assert 0.0 < middle < 200.0
+
+    def test_output_bounded_by_input_range(self):
+        rng = np.random.default_rng(2)
+        image = rng.integers(10, 240, (10, 10)).astype(np.float32)
+        out = GaussianWorkload(image).golden()
+        assert out.min() >= 9.0 and out.max() <= 241.0
+
+    def test_25_taps(self):
+        assert len(GAUSSIAN_TAPS) == 25
+
+
+class TestImageKernelsOnDevice:
+    def test_exact_matching_is_lossless(self):
+        image = synth_face(24)
+        workload = SobelWorkload(image)
+        golden = workload.golden()
+        config = SimConfig(arch=small_arch(), memo=MemoConfig(threshold=0.0))
+        out = workload.run(GpuExecutor(config))
+        assert np.array_equal(out, golden)
+
+    def test_approximate_matching_stays_above_30db(self):
+        image = synth_face(32)
+        workload = GaussianWorkload(image)
+        golden = workload.golden()
+        config = SimConfig(arch=small_arch(), memo=MemoConfig(threshold=0.4))
+        out = workload.run(GpuExecutor(config))
+        assert psnr(golden, out) >= 30.0
+
+    def test_psnr_monotone_with_threshold(self):
+        image = synth_face(24)
+        workload = SobelWorkload(image)
+        golden = workload.golden()
+        quality = []
+        for threshold in (0.0, 0.5, 1.0):
+            config = SimConfig(
+                arch=small_arch(), memo=MemoConfig(threshold=threshold)
+            )
+            out = workload.run(GpuExecutor(config))
+            quality.append(psnr(golden, out))
+        assert quality[0] == float("inf")
+        assert quality[0] >= quality[1] >= quality[2]
+
+    def test_hit_rate_grows_with_threshold(self):
+        image = synth_face(24)
+        rates = []
+        for threshold in (0.0, 1.0):
+            config = SimConfig(
+                arch=small_arch(), memo=MemoConfig(threshold=threshold)
+            )
+            executor = GpuExecutor(config)
+            SobelWorkload(image).run(executor)
+            stats = executor.device.lut_stats()
+            rates.append(
+                sum(s.hits for s in stats.values())
+                / sum(s.lookups for s in stats.values())
+            )
+        assert rates[1] > rates[0]

@@ -1,0 +1,106 @@
+"""Per-kernel FP-operation mixes: the structure behind Figure 8.
+
+These tests pin which functional units each kernel activates and the
+per-work-item op counts, so refactors cannot silently change the op
+mixes the hit-rate and energy results depend on.
+"""
+
+import pytest
+
+from repro.analysis.replay import capture_trace
+from repro.config import ArchConfig
+from repro.isa.opcodes import UnitKind
+from repro.kernels.registry import KERNEL_REGISTRY
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """One captured trace per kernel (module-scoped: capture is costly)."""
+    return {
+        name: capture_trace(spec.default_factory())
+        for name, spec in KERNEL_REGISTRY.items()
+    }
+
+
+def units_used(trace):
+    return {event.unit for event in trace.events}
+
+
+def ops_by_unit(trace):
+    counts = {}
+    for event in trace.events:
+        counts[event.unit] = counts.get(event.unit, 0) + 1
+    return counts
+
+
+class TestActivatedUnits:
+    def test_sobel_units(self, traces):
+        assert units_used(traces["Sobel"]) == {
+            UnitKind.ADD,
+            UnitKind.MUL,
+            UnitKind.MULADD,
+            UnitKind.SQRT,
+            UnitKind.FP2INT,
+        }
+
+    def test_gaussian_units(self, traces):
+        assert units_used(traces["Gaussian"]) == {
+            UnitKind.ADD,
+            UnitKind.MULADD,
+            UnitKind.FP2INT,
+        }
+
+    def test_haar_units(self, traces):
+        assert units_used(traces["Haar"]) == {UnitKind.ADD, UnitKind.MUL}
+
+    def test_fwt_activates_only_the_adder(self, traces):
+        assert units_used(traces["FWT"]) == {UnitKind.ADD}
+
+    def test_black_scholes_activates_six_units(self, traces):
+        assert units_used(traces["BlackScholes"]) == set(UnitKind)
+
+    def test_binomial_units(self, traces):
+        assert units_used(traces["BinomialOption"]) == set(UnitKind)
+
+    def test_eigenvalue_units(self, traces):
+        assert units_used(traces["EigenValue"]) == {
+            UnitKind.ADD,
+            UnitKind.MUL,
+            UnitKind.RECIP,
+            UnitKind.FP2INT,
+        }
+
+
+class TestOpCounts:
+    def test_sobel_ops_per_pixel(self, traces):
+        trace = traces["Sobel"]
+        pixels = 64 * 64
+        # 8 conversions + 10 gradient ops + 2 magnitude + sqrt + scale +
+        # 2 clamps + 1 out-conversion = 25 per pixel.
+        assert len(trace.events) == 25 * pixels
+
+    def test_gaussian_ops_per_pixel(self, traces):
+        trace = traces["Gaussian"]
+        pixels = 64 * 64
+        # 25 x (convert + muladd) + 2 clamps + 1 out-conversion = 53.
+        assert len(trace.events) == 53 * pixels
+
+    def test_fwt_ops(self, traces):
+        # n/2 butterflies x 2 ops x log2(n) stages, n = 512.
+        assert len(traces["FWT"].events) == 256 * 2 * 9
+
+    def test_haar_ops(self, traces):
+        # Sum over levels of half x 4 ops, n = 256: 4 * (128+64+...+1).
+        assert len(traces["Haar"].events) == 4 * 255
+
+    def test_conversion_share_of_gaussian(self, traces):
+        counts = ops_by_unit(traces["Gaussian"])
+        total = sum(counts.values())
+        # 26 of 53 ops are conversions: FP2INT dominates the mix.
+        assert counts[UnitKind.FP2INT] / total == pytest.approx(26 / 53)
+
+    def test_every_kernel_runs_at_least_one_wavefront_group(self, traces):
+        arch = ArchConfig()
+        for name, trace in traces.items():
+            lanes = {e.lane_index for e in trace.events}
+            assert len(lanes) == arch.stream_cores_per_cu, name

@@ -1,0 +1,99 @@
+"""Tests for the Table-1 registry and host-side validation."""
+
+import pytest
+
+from repro.config import MemoConfig, SimConfig, small_arch
+from repro.errors import KernelError
+from repro.kernels.registry import KERNEL_REGISTRY, table1_rows, workload_by_name
+from repro.kernels.validation import ACCEPTABLE_PSNR_DB, validate_workload
+
+PAPER_THRESHOLDS = {
+    "Sobel": 1.0,
+    "Gaussian": 0.8,
+    "Haar": 0.046,
+    "BinomialOption": 0.000025,
+    "BlackScholes": 0.000025,
+    "FWT": 0.0,
+    "EigenValue": 0.0,
+}
+
+
+class TestRegistry:
+    def test_all_seven_kernels_present(self):
+        assert set(KERNEL_REGISTRY) == set(PAPER_THRESHOLDS)
+
+    def test_paper_thresholds_match_table1(self):
+        for name, threshold in PAPER_THRESHOLDS.items():
+            assert KERNEL_REGISTRY[name].paper_threshold == threshold
+
+    def test_error_tolerant_flags(self):
+        assert KERNEL_REGISTRY["Sobel"].error_tolerant
+        assert KERNEL_REGISTRY["Gaussian"].error_tolerant
+        for name in ("Haar", "BinomialOption", "BlackScholes", "FWT", "EigenValue"):
+            assert not KERNEL_REGISTRY[name].error_tolerant
+
+    def test_workload_by_name(self):
+        workload = workload_by_name("FWT")
+        assert workload.name == "FWT"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KernelError):
+            workload_by_name("Mandelbrot")
+
+    def test_factories_produce_fresh_instances(self):
+        a = workload_by_name("Haar")
+        b = workload_by_name("Haar")
+        assert a is not b
+
+    def test_table1_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 7
+        assert ("Sobel", "face (1536x1536)", 1.0) in rows
+
+    def test_exact_kernels_use_zero_threshold(self):
+        assert KERNEL_REGISTRY["FWT"].paper_threshold == 0.0
+        assert KERNEL_REGISTRY["EigenValue"].paper_threshold == 0.0
+
+
+class TestValidation:
+    def _config(self, threshold):
+        return SimConfig(arch=small_arch(), memo=MemoConfig(threshold=threshold))
+
+    def test_image_kernel_judged_by_psnr(self):
+        spec = KERNEL_REGISTRY["Sobel"]
+        result = validate_workload(
+            spec.default_factory(), self._config(spec.paper_threshold)
+        )
+        assert result.psnr_db is not None
+        assert result.passed
+        assert result.psnr_db >= ACCEPTABLE_PSNR_DB
+
+    def test_exact_kernel_passes_bit_exactly(self):
+        spec = KERNEL_REGISTRY["FWT"]
+        result = validate_workload(spec.default_factory(), self._config(0.0))
+        assert result.passed
+        assert result.max_abs_error == 0.0
+        assert result.psnr_db is None
+
+    def test_excessive_threshold_fails_image_check(self):
+        spec = KERNEL_REGISTRY["Gaussian"]
+        result = validate_workload(spec.default_factory(), self._config(40.0))
+        assert not result.passed
+
+    def test_result_string_rendering(self):
+        spec = KERNEL_REGISTRY["Haar"]
+        result = validate_workload(
+            spec.default_factory(), self._config(spec.paper_threshold)
+        )
+        text = str(result)
+        assert "Haar" in text
+        assert "Passed" in text or "FAILED" in text
+
+    @pytest.mark.parametrize("name", sorted(KERNEL_REGISTRY))
+    def test_every_kernel_passes_at_its_table1_threshold(self, name):
+        """The paper's Table-1 acceptance, re-validated end to end."""
+        spec = KERNEL_REGISTRY[name]
+        result = validate_workload(
+            spec.default_factory(), self._config(spec.threshold)
+        )
+        assert result.passed, str(result)

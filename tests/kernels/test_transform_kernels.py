@@ -1,0 +1,107 @@
+"""Tests for Haar and FWT transform kernels."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import MemoConfig, SimConfig, small_arch
+from repro.gpu.executor import GpuExecutor
+from repro.kernels.fwt import FwtWorkload
+from repro.kernels.haar import INV_SQRT2, HaarWorkload
+
+
+def hadamard(n):
+    h = np.array([[1.0]])
+    while h.shape[0] < n:
+        h = np.block([[h, h], [h, -h]])
+    return h
+
+
+class TestHaarFunctional:
+    def test_single_level_pair(self):
+        out = HaarWorkload(np.array([3.0, 1.0], dtype=np.float32)).golden()
+        assert out[0] == pytest.approx(4.0 * INV_SQRT2, rel=1e-6)
+        assert out[1] == pytest.approx(2.0 * INV_SQRT2, rel=1e-6)
+
+    def test_energy_preserved(self):
+        # Orthonormal transform: sum of squares is invariant.
+        signal = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], np.float32)
+        out = HaarWorkload(signal).golden()
+        assert float(np.sum(out**2)) == pytest.approx(
+            float(np.sum(signal.astype(np.float64) ** 2)), rel=1e-4
+        )
+
+    def test_constant_signal_concentrates_in_dc(self):
+        signal = np.full(8, 5.0, dtype=np.float32)
+        out = HaarWorkload(signal).golden()
+        assert out[0] == pytest.approx(5.0 * math.sqrt(8), rel=1e-5)
+        assert np.allclose(out[1:], 0.0, atol=1e-5)
+
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(3)
+        signal = rng.uniform(-10, 10, 16).astype(np.float32)
+        out = HaarWorkload(signal).golden()
+
+        ref = signal.astype(np.float64).copy()
+        length = 16
+        while length >= 2:
+            half = length // 2
+            evens, odds = ref[0 : length : 2][:half].copy(), None
+            a = ref[: length].copy()
+            s = (a[0::2] + a[1::2]) / math.sqrt(2)
+            d = (a[0::2] - a[1::2]) / math.sqrt(2)
+            ref[:half] = s
+            ref[half:length] = d
+            length = half
+        assert np.allclose(out, ref, atol=1e-3)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(Exception):
+            HaarWorkload(np.zeros(6, dtype=np.float32))
+
+
+class TestFwtFunctional:
+    def test_matches_hadamard_matrix(self):
+        rng = np.random.default_rng(4)
+        signal = rng.integers(-4, 4, 16).astype(np.float32)
+        out = FwtWorkload(signal).golden()
+        expected = hadamard(16) @ signal.astype(np.float64)
+        assert np.allclose(out, expected)
+
+    def test_impulse_spreads_uniformly(self):
+        signal = np.zeros(8, dtype=np.float32)
+        signal[0] = 1.0
+        out = FwtWorkload(signal).golden()
+        assert np.allclose(out, 1.0)
+
+    def test_involution_up_to_scale(self):
+        rng = np.random.default_rng(5)
+        signal = rng.integers(-8, 8, 8).astype(np.float32)
+        once = FwtWorkload(signal).golden()
+        twice = FwtWorkload(once).golden()
+        assert np.allclose(twice, 8.0 * signal.astype(np.float64))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(Exception):
+            FwtWorkload(np.zeros(12, dtype=np.float32))
+
+
+class TestTransformsOnDevice:
+    def test_fwt_exact_matching_is_bit_exact(self):
+        signal = np.where(np.arange(64) % 3 == 0, 1.0, -1.0).astype(np.float32)
+        workload = FwtWorkload(signal)
+        golden = workload.golden()
+        config = SimConfig(arch=small_arch(), memo=MemoConfig(threshold=0.0))
+        out = workload.run(GpuExecutor(config))
+        assert np.array_equal(out, golden)
+
+    def test_haar_small_threshold_bounded_error(self):
+        rng = np.random.default_rng(6)
+        signal = np.round(rng.uniform(-40, 40, 64)).astype(np.float32)
+        workload = HaarWorkload(signal)
+        golden = workload.golden()
+        config = SimConfig(arch=small_arch(), memo=MemoConfig(threshold=0.046))
+        out = workload.run(GpuExecutor(config))
+        # Error grows with the log2-depth cascade but stays bounded.
+        assert float(np.max(np.abs(out - golden))) <= workload.output_tolerance()

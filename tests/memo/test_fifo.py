@@ -1,0 +1,121 @@
+"""Tests for the memoization FIFO."""
+
+import pytest
+
+from repro.errors import MemoizationError
+from repro.memo.fifo import MemoFifo
+from repro.memo.matching import MatchOutcome, MatchingConstraint
+
+EXACT = MatchingConstraint(threshold=0.0)
+APPROX = MatchingConstraint(threshold=0.5)
+
+
+class TestInsertAndReplacement:
+    def test_insert_grows_until_depth(self, add_op):
+        fifo = MemoFifo(depth=2)
+        fifo.insert(add_op, (1.0, 1.0), 2.0)
+        assert len(fifo) == 1
+        fifo.insert(add_op, (2.0, 2.0), 4.0)
+        assert len(fifo) == 2
+
+    def test_fifo_replacement_evicts_oldest(self, add_op):
+        fifo = MemoFifo(depth=2)
+        fifo.insert(add_op, (1.0, 1.0), 2.0)
+        fifo.insert(add_op, (2.0, 2.0), 4.0)
+        fifo.insert(add_op, (3.0, 3.0), 6.0)
+        entry, _ = fifo.search(EXACT, add_op, (1.0, 1.0))
+        assert entry is None  # oldest evicted
+        entry, _ = fifo.search(EXACT, add_op, (2.0, 2.0))
+        assert entry is not None
+
+    def test_depth_one(self, add_op):
+        fifo = MemoFifo(depth=1)
+        fifo.insert(add_op, (1.0, 1.0), 2.0)
+        fifo.insert(add_op, (2.0, 2.0), 4.0)
+        assert len(fifo) == 1
+        assert fifo.entries[0].result == 4.0
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(MemoizationError):
+            MemoFifo(depth=0)
+
+    def test_clear(self, add_op):
+        fifo = MemoFifo(depth=2)
+        fifo.insert(add_op, (1.0, 1.0), 2.0)
+        fifo.clear()
+        assert len(fifo) == 0
+
+    def test_iteration_newest_first(self, add_op):
+        fifo = MemoFifo(depth=2)
+        fifo.insert(add_op, (1.0, 1.0), 2.0)
+        fifo.insert(add_op, (2.0, 2.0), 4.0)
+        results = [entry.result for entry in fifo]
+        assert results == [4.0, 2.0]
+
+
+class TestSearch:
+    def test_exact_hit(self, add_op):
+        fifo = MemoFifo(depth=2)
+        fifo.insert(add_op, (1.0, 2.0), 3.0)
+        entry, outcome = fifo.search(EXACT, add_op, (1.0, 2.0))
+        assert entry.result == 3.0
+        assert outcome is MatchOutcome.EXACT
+
+    def test_miss_on_empty(self, add_op):
+        fifo = MemoFifo(depth=2)
+        entry, outcome = fifo.search(EXACT, add_op, (1.0, 2.0))
+        assert entry is None
+        assert outcome is MatchOutcome.MISS
+
+    def test_approximate_hit_returns_stored_result(self, add_op):
+        fifo = MemoFifo(depth=2)
+        fifo.insert(add_op, (1.0, 2.0), 3.0)
+        entry, outcome = fifo.search(APPROX, add_op, (1.2, 2.1))
+        assert entry.result == 3.0
+        assert outcome is MatchOutcome.APPROXIMATE
+
+    def test_newest_matching_entry_wins(self, add_op):
+        fifo = MemoFifo(depth=2)
+        fifo.insert(add_op, (1.0, 2.0), 3.0)
+        fifo.insert(add_op, (1.1, 2.1), 3.2)
+        entry, _ = fifo.search(APPROX, add_op, (1.05, 2.05))
+        assert entry.result == 3.2  # both match; newest preferred
+
+    def test_opcode_is_part_of_the_context(self, add_op, sub_op):
+        # SUB shares the ADD unit; its entry must not satisfy an ADD lookup.
+        fifo = MemoFifo(depth=2)
+        fifo.insert(sub_op, (5.0, 3.0), 2.0)
+        entry, outcome = fifo.search(EXACT, add_op, (5.0, 3.0))
+        assert entry is None
+        assert outcome is MatchOutcome.MISS
+
+    def test_same_operands_different_opcodes_coexist(self, add_op, sub_op):
+        fifo = MemoFifo(depth=2)
+        fifo.insert(sub_op, (5.0, 3.0), 2.0)
+        fifo.insert(add_op, (5.0, 3.0), 8.0)
+        entry, _ = fifo.search(EXACT, add_op, (5.0, 3.0))
+        assert entry.result == 8.0
+        entry, _ = fifo.search(EXACT, sub_op, (5.0, 3.0))
+        assert entry.result == 2.0
+
+    def test_commuted_search(self, add_op):
+        fifo = MemoFifo(depth=2)
+        fifo.insert(add_op, (1.0, 2.0), 3.0)
+        entry, outcome = fifo.search(EXACT, add_op, (2.0, 1.0))
+        assert entry is not None
+        assert outcome is MatchOutcome.COMMUTED
+
+
+class TestPreload:
+    def test_preload_entries(self, add_op):
+        fifo = MemoFifo(depth=2)
+        fifo.preload([(add_op, (0.0, 0.0), 0.0), (add_op, (1.0, 1.0), 2.0)])
+        entry, _ = fifo.search(EXACT, add_op, (1.0, 1.0))
+        assert entry.result == 2.0
+
+    def test_preload_respects_depth(self, add_op):
+        fifo = MemoFifo(depth=2)
+        fifo.preload(
+            [(add_op, (float(i), float(i)), 2.0 * i) for i in range(5)]
+        )
+        assert len(fifo) == 2

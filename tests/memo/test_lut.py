@@ -1,0 +1,128 @@
+"""Tests for the single-cycle memoization LUT."""
+
+import pytest
+
+from repro.config import MemoConfig
+from repro.errors import MemoizationError
+from repro.memo.lut import MemoLUT
+from repro.memo.matching import MatchOutcome
+from repro.utils.bitops import fraction_mask_vector
+
+
+class TestLookupAndUpdate:
+    def test_miss_then_hit(self, add_op):
+        lut = MemoLUT(MemoConfig(threshold=0.0))
+        hit, result, outcome = lut.lookup(add_op, (1.0, 2.0))
+        assert not hit and result is None and outcome is MatchOutcome.MISS
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        hit, result, outcome = lut.lookup(add_op, (1.0, 2.0))
+        assert hit and result == 3.0 and outcome is MatchOutcome.EXACT
+
+    def test_stats_counted(self, add_op):
+        lut = MemoLUT()
+        lut.lookup(add_op, (1.0, 2.0))
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        lut.lookup(add_op, (1.0, 2.0))
+        assert lut.stats.lookups == 2
+        assert lut.stats.hits == 1
+        assert lut.stats.misses == 1
+        assert lut.stats.updates == 1
+        assert lut.stats.hit_rate == 0.5
+
+    def test_outcome_counts(self, add_op):
+        lut = MemoLUT(MemoConfig(threshold=0.5))
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        lut.lookup(add_op, (1.2, 2.0))
+        assert lut.stats.outcome_counts[MatchOutcome.APPROXIMATE] == 1
+
+    def test_fifo_depth_respected(self, add_op):
+        lut = MemoLUT(MemoConfig(fifo_depth=2))
+        for i in range(3):
+            lut.update(add_op, (float(i), float(i)), 2.0 * i)
+        hit, _, _ = lut.lookup(add_op, (0.0, 0.0))
+        assert not hit
+
+    def test_mmio_counters_track_stats(self, add_op):
+        lut = MemoLUT()
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        lut.lookup(add_op, (1.0, 2.0))
+        assert lut.mmio.read(0x10) == lut.stats.hits
+        assert lut.mmio.read(0x14) == lut.stats.lookups
+
+
+class TestProgramming:
+    def test_program_threshold_takes_effect(self, add_op):
+        lut = MemoLUT(MemoConfig(threshold=0.0))
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        hit, _, _ = lut.lookup(add_op, (1.2, 2.0))
+        assert not hit
+        lut.program_threshold(0.5)
+        hit, result, _ = lut.lookup(add_op, (1.2, 2.0))
+        assert hit and result == 3.0
+
+    def test_program_threshold_updates_mmio(self):
+        lut = MemoLUT()
+        lut.program_threshold(0.25)
+        assert lut.mmio.threshold == 0.25
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(MemoizationError):
+            MemoLUT().program_threshold(-0.5)
+
+    def test_program_mask(self, add_op):
+        lut = MemoLUT()
+        lut.program_mask(23)  # ignore entire fraction
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        hit, _, _ = lut.lookup(add_op, (1.5, 2.0))  # same exponent+sign
+        assert hit
+        assert lut.mmio.mask_vector == fraction_mask_vector(23)
+
+    def test_program_mask_out_of_range(self):
+        with pytest.raises(MemoizationError):
+            MemoLUT().program_mask(24)
+
+    def test_config_mask_applied_at_construction(self, add_op):
+        lut = MemoLUT(MemoConfig(masked_fraction_bits=23))
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        hit, _, _ = lut.lookup(add_op, (1.25, 2.0))
+        assert hit
+
+
+class TestPowerGating:
+    def test_power_gated_lut_never_hits(self, add_op):
+        lut = MemoLUT(MemoConfig(power_gated=True))
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        hit, result, _ = lut.lookup(add_op, (1.0, 2.0))
+        assert not hit and result is None
+        assert lut.stats.lookups == 0  # gated: no energy, no stats
+
+    def test_gate_and_ungate_at_runtime(self, add_op):
+        lut = MemoLUT()
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        lut.power_gate(True)
+        assert not lut.lookup(add_op, (1.0, 2.0))[0]
+        lut.power_gate(False)
+        assert lut.lookup(add_op, (1.0, 2.0))[0]
+
+
+class TestReset:
+    def test_reset_clears_contexts_and_stats(self, add_op):
+        lut = MemoLUT()
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        lut.lookup(add_op, (1.0, 2.0))
+        lut.reset()
+        assert lut.stats.lookups == 0
+        assert not lut.lookup(add_op, (1.0, 2.0))[0]
+
+
+class TestLutStatsMerge:
+    def test_merge_accumulates(self, add_op):
+        a = MemoLUT()
+        b = MemoLUT()
+        a.update(add_op, (1.0, 2.0), 3.0)
+        a.lookup(add_op, (1.0, 2.0))
+        b.lookup(add_op, (9.0, 9.0))
+        a.stats.merge(b.stats)
+        assert a.stats.lookups == 2
+        assert a.stats.hits == 1
+        assert a.stats.updates == 1

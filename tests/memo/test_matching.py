@@ -1,0 +1,157 @@
+"""Tests for the matching constraints (Equation 1)."""
+
+import math
+
+import pytest
+
+from repro.config import MemoConfig
+from repro.errors import MemoizationError
+from repro.memo.matching import MatchOutcome, MatchingConstraint
+from repro.utils.bitops import bits_to_float32, float32_to_bits, fraction_mask_vector
+
+
+class TestExactMatching:
+    def test_identical_operands_match(self, add_op):
+        constraint = MatchingConstraint(threshold=0.0)
+        assert constraint.match(add_op, (1.0, 2.0), (1.0, 2.0)) is MatchOutcome.EXACT
+
+    def test_different_operands_miss(self, add_op):
+        constraint = MatchingConstraint(threshold=0.0)
+        assert constraint.match(add_op, (1.0, 2.0), (1.0, 2.1)) is MatchOutcome.MISS
+
+    def test_one_ulp_difference_misses(self, add_op):
+        constraint = MatchingConstraint(threshold=0.0)
+        nudged = bits_to_float32(float32_to_bits(1.0) + 1)
+        assert constraint.match(add_op, (nudged, 2.0), (1.0, 2.0)) is MatchOutcome.MISS
+
+    def test_signed_zero_distinguished(self, add_op):
+        # Bit-by-bit comparators see +0.0 != -0.0.
+        constraint = MatchingConstraint(threshold=0.0, allow_commutative=False)
+        assert constraint.match(add_op, (-0.0, 1.0), (0.0, 1.0)) is MatchOutcome.MISS
+
+    def test_nan_never_matches(self, add_op):
+        constraint = MatchingConstraint(threshold=0.5)
+        assert (
+            constraint.match(add_op, (math.nan, 1.0), (math.nan, 1.0))
+            is MatchOutcome.MISS
+        )
+
+    def test_arity_mismatch_misses(self, add_op):
+        constraint = MatchingConstraint(threshold=0.0)
+        assert constraint.match(add_op, (1.0, 2.0), (1.0,)) is MatchOutcome.MISS
+
+    def test_is_exact_property(self):
+        assert MatchingConstraint(threshold=0.0).is_exact
+        assert not MatchingConstraint(threshold=0.1).is_exact
+        assert not MatchingConstraint(mask_vector=fraction_mask_vector(4)).is_exact
+
+
+class TestApproximateMatching:
+    def test_within_threshold_matches(self, add_op):
+        constraint = MatchingConstraint(threshold=0.5)
+        outcome = constraint.match(add_op, (1.3, 2.0), (1.0, 2.0))
+        assert outcome is MatchOutcome.APPROXIMATE
+
+    def test_every_operand_must_be_within_threshold(self, add_op):
+        constraint = MatchingConstraint(threshold=0.5)
+        assert constraint.match(add_op, (1.3, 9.0), (1.0, 2.0)) is MatchOutcome.MISS
+
+    def test_boundary_is_inclusive(self, add_op):
+        constraint = MatchingConstraint(threshold=0.5)
+        assert (
+            constraint.match(add_op, (1.5, 2.0), (1.0, 2.0))
+            is MatchOutcome.APPROXIMATE
+        )
+
+    def test_just_outside_boundary_misses(self, add_op):
+        constraint = MatchingConstraint(threshold=0.5)
+        assert constraint.match(add_op, (1.51, 2.0), (1.0, 2.0)) is MatchOutcome.MISS
+
+    def test_negative_differences_allowed(self, add_op):
+        constraint = MatchingConstraint(threshold=0.5)
+        assert (
+            constraint.match(add_op, (0.6, 2.0), (1.0, 2.0))
+            is MatchOutcome.APPROXIMATE
+        )
+
+    def test_exact_values_under_approximate_constraint(self, add_op):
+        constraint = MatchingConstraint(threshold=0.5)
+        assert (
+            constraint.match(add_op, (1.0, 2.0), (1.0, 2.0))
+            is MatchOutcome.APPROXIMATE
+        )
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(MemoizationError):
+            MatchingConstraint(threshold=-0.1)
+
+
+class TestMaskVectorMatching:
+    def test_low_fraction_bits_ignored(self, add_op):
+        constraint = MatchingConstraint(mask_vector=fraction_mask_vector(10))
+        nudged = bits_to_float32(float32_to_bits(1.0) | 0x155)
+        outcome = constraint.match(add_op, (nudged, 2.0), (1.0, 2.0))
+        assert outcome is MatchOutcome.APPROXIMATE
+
+    def test_high_bits_still_compared(self, add_op):
+        constraint = MatchingConstraint(mask_vector=fraction_mask_vector(10))
+        assert constraint.match(add_op, (1.5, 2.0), (1.0, 2.0)) is MatchOutcome.MISS
+
+    def test_mask_and_threshold_mutually_exclusive(self):
+        with pytest.raises(MemoizationError):
+            MatchingConstraint(threshold=0.5, mask_vector=fraction_mask_vector(4))
+
+
+class TestCommutativity:
+    def test_swapped_operands_match_commutative_op(self, add_op):
+        constraint = MatchingConstraint(threshold=0.0)
+        outcome = constraint.match(add_op, (2.0, 1.0), (1.0, 2.0))
+        assert outcome is MatchOutcome.COMMUTED
+
+    def test_swapped_operands_miss_non_commutative_op(self, sub_op):
+        constraint = MatchingConstraint(threshold=0.0)
+        assert constraint.match(sub_op, (2.0, 1.0), (1.0, 2.0)) is MatchOutcome.MISS
+
+    def test_commutativity_can_be_disabled(self, add_op):
+        constraint = MatchingConstraint(threshold=0.0, allow_commutative=False)
+        assert constraint.match(add_op, (2.0, 1.0), (1.0, 2.0)) is MatchOutcome.MISS
+
+    def test_muladd_commutes_multiplicands_only(self, muladd_op):
+        constraint = MatchingConstraint(threshold=0.0)
+        assert (
+            constraint.match(muladd_op, (2.0, 3.0, 4.0), (3.0, 2.0, 4.0))
+            is MatchOutcome.COMMUTED
+        )
+        assert (
+            constraint.match(muladd_op, (2.0, 4.0, 3.0), (3.0, 2.0, 4.0))
+            is MatchOutcome.MISS
+        )
+
+    def test_commuted_approximate_match(self, add_op):
+        constraint = MatchingConstraint(threshold=0.5)
+        outcome = constraint.match(add_op, (2.3, 1.0), (1.0, 2.0))
+        assert outcome is MatchOutcome.COMMUTED
+
+    def test_direct_match_preferred_over_commuted(self, add_op):
+        constraint = MatchingConstraint(threshold=0.0)
+        outcome = constraint.match(add_op, (1.0, 1.0), (1.0, 1.0))
+        assert outcome is MatchOutcome.EXACT
+
+
+class TestFromConfig:
+    def test_threshold_config(self):
+        constraint = MatchingConstraint.from_config(MemoConfig(threshold=0.25))
+        assert constraint.threshold == 0.25
+        assert constraint.mask_vector is None
+
+    def test_mask_config(self):
+        constraint = MatchingConstraint.from_config(
+            MemoConfig(masked_fraction_bits=8)
+        )
+        assert constraint.mask_vector == fraction_mask_vector(8)
+
+    def test_commutativity_config(self):
+        constraint = MatchingConstraint.from_config(
+            MemoConfig(commutative_matching=False)
+        )
+        assert not constraint.allow_commutative

@@ -1,0 +1,120 @@
+"""Tests for the memory-mapped register interface."""
+
+import pytest
+
+from repro.errors import MmioError
+from repro.memo.mmio import (
+    CTRL_COMMUTATIVE,
+    CTRL_ENABLE,
+    CTRL_POWER_GATE,
+    CTRL_UPDATE_ON_ERROR,
+    MemoMmio,
+    REG_CONTROL,
+    REG_HIT_COUNT,
+    REG_LOOKUP_COUNT,
+    REG_MASK_VECTOR,
+    REG_STATUS,
+    REG_THRESHOLD,
+)
+from repro.utils.bitops import float32_to_bits
+
+
+class TestResetState:
+    def test_mask_vector_defaults_to_full_compare(self):
+        assert MemoMmio().read(REG_MASK_VECTOR) == 0xFFFF_FFFF
+
+    def test_threshold_defaults_to_zero(self):
+        assert MemoMmio().threshold == 0.0
+
+    def test_enabled_and_commutative_by_default(self):
+        mmio = MemoMmio()
+        assert mmio.enabled
+        assert mmio.commutative
+        assert not mmio.power_gated
+        assert not mmio.update_on_error
+
+
+class TestBusAccess:
+    def test_write_and_read_mask(self):
+        mmio = MemoMmio()
+        mmio.write(REG_MASK_VECTOR, 0xFF80_0000)
+        assert mmio.read(REG_MASK_VECTOR) == 0xFF80_0000
+        assert mmio.mask_vector == 0xFF80_0000
+
+    def test_unmapped_offset_rejected(self):
+        mmio = MemoMmio()
+        with pytest.raises(MmioError):
+            mmio.read(0x40)
+        with pytest.raises(MmioError):
+            mmio.write(0x40, 0)
+
+    def test_counter_registers_read_only(self):
+        mmio = MemoMmio()
+        with pytest.raises(MmioError):
+            mmio.write(REG_HIT_COUNT, 5)
+
+    def test_value_must_fit_32_bits(self):
+        mmio = MemoMmio()
+        with pytest.raises(MmioError):
+            mmio.write(REG_MASK_VECTOR, 1 << 32)
+        with pytest.raises(MmioError):
+            mmio.write(REG_MASK_VECTOR, -1)
+
+    def test_counters_come_from_callables(self):
+        hits = {"n": 7}
+        mmio = MemoMmio(hit_count=lambda: hits["n"], lookup_count=lambda: 10)
+        assert mmio.read(REG_HIT_COUNT) == 7
+        assert mmio.read(REG_LOOKUP_COUNT) == 10
+        hits["n"] = 8
+        assert mmio.read(REG_HIT_COUNT) == 8
+
+    def test_counters_saturate_at_32_bits(self):
+        mmio = MemoMmio(hit_count=lambda: 1 << 40)
+        assert mmio.read(REG_HIT_COUNT) == 0xFFFF_FFFF
+
+
+class TestThresholdRegister:
+    def test_threshold_stored_as_ieee_bits(self):
+        mmio = MemoMmio()
+        mmio.set_threshold(0.5)
+        assert mmio.read(REG_THRESHOLD) == float32_to_bits(0.5)
+        assert mmio.threshold == 0.5
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(MmioError):
+            MemoMmio().set_threshold(-1.0)
+
+
+class TestControlRegister:
+    def test_set_control_individual_bits(self):
+        mmio = MemoMmio()
+        mmio.set_control(power_gate=True)
+        assert mmio.power_gated
+        assert mmio.enabled  # unrelated bits untouched
+        mmio.set_control(enable=False, update_on_error=True)
+        assert not mmio.enabled
+        assert mmio.update_on_error
+        assert mmio.power_gated
+
+    def test_raw_control_bit_layout(self):
+        mmio = MemoMmio()
+        mmio.write(
+            REG_CONTROL,
+            CTRL_ENABLE | CTRL_COMMUTATIVE | CTRL_POWER_GATE | CTRL_UPDATE_ON_ERROR,
+        )
+        assert mmio.enabled and mmio.commutative
+        assert mmio.power_gated and mmio.update_on_error
+
+
+class TestStatusRegister:
+    def test_hit_sets_sticky_flag(self):
+        mmio = MemoMmio()
+        assert mmio.read(REG_STATUS) == 0
+        mmio.record_hit()
+        assert mmio.read(REG_STATUS) == 1
+
+    def test_any_write_clears_flag(self):
+        mmio = MemoMmio()
+        mmio.record_hit()
+        mmio.write(REG_STATUS, 0xDEAD)
+        assert mmio.read(REG_STATUS) == 0

@@ -1,0 +1,126 @@
+"""Tests for the Table-2 decision logic."""
+
+import pytest
+
+from repro.config import MemoConfig
+from repro.memo.module import (
+    ACTION_TABLE,
+    MemoAction,
+    TemporalMemoizationModule,
+)
+
+
+def make_module(**kwargs):
+    return TemporalMemoizationModule(MemoConfig(**kwargs))
+
+
+def fail_compute():
+    raise AssertionError("compute must not run on a hit")
+
+
+class TestActionTable:
+    def test_all_four_states_present(self):
+        assert set(ACTION_TABLE) == {
+            (False, False),
+            (False, True),
+            (True, False),
+            (True, True),
+        }
+
+    def test_mapping_matches_paper(self):
+        assert ACTION_TABLE[(False, False)] is MemoAction.NORMAL_UPDATE
+        assert ACTION_TABLE[(False, True)] is MemoAction.BASELINE_RECOVERY
+        assert ACTION_TABLE[(True, False)] is MemoAction.REUSE_GATED
+        assert ACTION_TABLE[(True, True)] is MemoAction.REUSE_MASK_ERROR
+
+
+class TestMissNoError:
+    def test_normal_execution_updates_lut(self, add_op):
+        module = make_module()
+        decision = module.step(add_op, (1.0, 2.0), False, compute=lambda: 3.0)
+        assert decision.action is MemoAction.NORMAL_UPDATE
+        assert decision.result == 3.0
+        assert not decision.output_is_lut
+        assert decision.lut_updated
+        assert not decision.recovery_triggered
+
+    def test_q_pipe_selects_qs(self, add_op):
+        module = make_module()
+        decision = module.step(add_op, (1.0, 2.0), False, compute=lambda: 3.0)
+        assert not decision.output_is_lut
+
+
+class TestMissWithError:
+    def test_recovery_triggered(self, add_op):
+        module = make_module()
+        decision = module.step(add_op, (1.0, 2.0), True, compute=lambda: 3.0)
+        assert decision.action is MemoAction.BASELINE_RECOVERY
+        assert decision.recovery_triggered
+        assert not decision.error_masked
+
+    def test_no_lut_update_on_errant_execution(self, add_op):
+        # W_en requires no timing error during all stages.
+        module = make_module()
+        decision = module.step(add_op, (1.0, 2.0), True, compute=lambda: 3.0)
+        assert not decision.lut_updated
+        follow_up = module.step(add_op, (1.0, 2.0), False, compute=lambda: 3.0)
+        assert not follow_up.hit  # nothing was memorized
+
+    def test_update_on_error_control_bit(self, add_op):
+        module = make_module(update_on_timing_error=True)
+        decision = module.step(add_op, (1.0, 2.0), True, compute=lambda: 3.0)
+        assert decision.lut_updated
+        follow_up = module.step(add_op, (1.0, 2.0), False, compute=fail_compute)
+        assert follow_up.hit
+
+
+class TestHitNoError:
+    def test_reuse_skips_computation(self, add_op):
+        module = make_module()
+        module.step(add_op, (1.0, 2.0), False, compute=lambda: 3.0)
+        decision = module.step(add_op, (1.0, 2.0), False, compute=fail_compute)
+        assert decision.action is MemoAction.REUSE_GATED
+        assert decision.result == 3.0
+        assert decision.output_is_lut
+
+    def test_hit_does_not_update_lut(self, add_op):
+        module = make_module()
+        module.step(add_op, (1.0, 2.0), False, compute=lambda: 3.0)
+        decision = module.step(add_op, (1.0, 2.0), False, compute=fail_compute)
+        assert not decision.lut_updated
+
+
+class TestHitWithError:
+    def test_error_masked(self, add_op):
+        module = make_module()
+        module.step(add_op, (1.0, 2.0), False, compute=lambda: 3.0)
+        decision = module.step(add_op, (1.0, 2.0), True, compute=fail_compute)
+        assert decision.action is MemoAction.REUSE_MASK_ERROR
+        assert decision.error_masked
+        assert not decision.recovery_triggered
+        assert decision.result == 3.0
+
+
+class TestApproximateReuse:
+    def test_approximate_hit_returns_stored_value(self, add_op):
+        module = make_module(threshold=0.5)
+        module.step(add_op, (1.0, 2.0), False, compute=lambda: 3.0)
+        decision = module.step(add_op, (1.2, 2.1), False, compute=fail_compute)
+        assert decision.hit
+        assert decision.result == 3.0  # the *stored* result, not 3.3
+
+    def test_exact_module_rejects_nearby_operands(self, add_op):
+        module = make_module(threshold=0.0)
+        module.step(add_op, (1.0, 2.0), False, compute=lambda: 3.0)
+        decision = module.step(add_op, (1.2, 2.1), False, compute=lambda: 3.3)
+        assert not decision.hit
+        assert decision.result == 3.3
+
+
+class TestReset:
+    def test_reset_forgets_contexts(self, add_op):
+        module = make_module()
+        module.step(add_op, (1.0, 2.0), False, compute=lambda: 3.0)
+        module.reset()
+        decision = module.step(add_op, (1.0, 2.0), False, compute=lambda: 3.0)
+        assert not decision.hit

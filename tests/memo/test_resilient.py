@@ -1,0 +1,153 @@
+"""Tests for the analytic resilient-FPU model."""
+
+import pytest
+
+from repro.config import ArchConfig, MemoConfig, TimingConfig
+from repro.isa.opcodes import UnitKind, opcode_by_mnemonic
+from repro.memo.resilient import FpuEventCounters, ResilientFpu
+from repro.timing.errors import BernoulliInjector, NoErrorInjector
+from repro.utils.rng import RngStream
+
+ADD = opcode_by_mnemonic("ADD")
+SQRT = opcode_by_mnemonic("SQRT")
+
+
+class AlwaysError:
+    rate = 1.0
+
+    def sample(self):
+        return True
+
+
+def make_fpu(memo=MemoConfig(), injector=None, kind=UnitKind.ADD):
+    return ResilientFpu(kind, memo, injector or NoErrorInjector())
+
+
+class TestBasicExecution:
+    def test_returns_correct_result(self):
+        fpu = make_fpu()
+        assert fpu.execute(ADD, (1.0, 2.0)) == 3.0
+
+    def test_counts_ops_and_cycles(self):
+        fpu = make_fpu()
+        for _ in range(5):
+            fpu.execute(ADD, (1.0, 2.0))
+        assert fpu.counters.ops == 5
+        assert fpu.counters.issue_cycles == 5
+
+    def test_baseline_has_no_memo(self):
+        fpu = ResilientFpu(UnitKind.ADD, memo_config=None)
+        assert fpu.memo is None
+        assert fpu.execute(ADD, (1.0, 2.0)) == 3.0
+        assert fpu.hit_rate == 0.0
+
+    def test_recip_uses_deep_pipeline(self):
+        arch = ArchConfig()
+        fpu = ResilientFpu(UnitKind.RECIP, MemoConfig(), NoErrorInjector(), arch=arch)
+        assert fpu.depth == arch.recip_pipeline_stages
+
+
+class TestMemoizationPath:
+    def test_hit_gates_remaining_stages(self):
+        fpu = make_fpu()
+        fpu.execute(ADD, (1.0, 2.0))  # miss: 4 active traversals
+        fpu.execute(ADD, (1.0, 2.0))  # hit: 1 active + 3 gated
+        assert fpu.counters.active_stage_traversals == 5
+        assert fpu.counters.gated_stage_traversals == 3
+
+    def test_hit_rate_property(self):
+        fpu = make_fpu()
+        fpu.execute(ADD, (1.0, 2.0))
+        fpu.execute(ADD, (1.0, 2.0))
+        assert fpu.hit_rate == 0.5
+
+    def test_approximate_hit_changes_result(self):
+        fpu = make_fpu(MemoConfig(threshold=0.5))
+        fpu.execute(ADD, (1.0, 2.0))
+        result = fpu.execute(ADD, (1.2, 2.0))
+        assert result == 3.0  # reused, not 3.2
+
+    def test_power_gated_module_never_hits(self):
+        fpu = make_fpu(MemoConfig(power_gated=True))
+        fpu.execute(ADD, (1.0, 2.0))
+        fpu.execute(ADD, (1.0, 2.0))
+        assert fpu.memo.lut.stats.lookups == 0
+        assert fpu.counters.active_stage_traversals == 8
+
+
+class TestErrorHandling:
+    def test_error_on_miss_triggers_recovery(self):
+        fpu = make_fpu(injector=AlwaysError())
+        fpu.execute(ADD, (1.0, 2.0))
+        assert fpu.counters.errors_injected == 1
+        assert fpu.counters.errors_recovered == 1
+        assert fpu.counters.recovery_stall_cycles == 12
+        assert fpu.ecu.stats.recoveries == 1
+
+    def test_error_on_hit_is_masked(self):
+        # First execution errs (recovery, no update with default W_en)...
+        fpu = make_fpu(MemoConfig(update_on_timing_error=True), AlwaysError())
+        fpu.execute(ADD, (1.0, 2.0))
+        fpu.execute(ADD, (1.0, 2.0))  # hit with error -> masked
+        assert fpu.counters.errors_masked == 1
+        assert fpu.ecu.stats.masked_by_memoization == 1
+        assert fpu.counters.recovery_stall_cycles == 12  # only the first one
+
+    def test_default_wen_blocks_update_on_error(self):
+        fpu = make_fpu(injector=AlwaysError())
+        fpu.execute(ADD, (1.0, 2.0))
+        fpu.execute(ADD, (1.0, 2.0))
+        # No entry was ever memorized: both executions recovered.
+        assert fpu.counters.errors_recovered == 2
+        assert fpu.memo.lut.stats.updates == 0
+
+    def test_result_correct_despite_error(self):
+        fpu = make_fpu(injector=AlwaysError())
+        assert fpu.execute(ADD, (1.0, 2.0)) == 3.0
+
+    def test_recovery_cycles_follow_timing_config(self):
+        timing = TimingConfig(error_rate=1.0, recovery_cycles=28)
+        fpu = ResilientFpu.build(UnitKind.ADD, MemoConfig(), timing)
+        fpu.execute(ADD, (1.0, 2.0))
+        assert fpu.counters.recovery_stall_cycles == 28
+
+    def test_statistical_error_rate(self):
+        injector = BernoulliInjector(0.25, RngStream(1, "t"))
+        fpu = make_fpu(MemoConfig(power_gated=True), injector)
+        for i in range(4000):
+            fpu.execute(ADD, (float(i), 1.0))
+        rate = fpu.counters.errors_injected / fpu.counters.ops
+        assert 0.2 < rate < 0.3
+
+
+class TestDetailedExecution:
+    def test_detailed_hit_record(self):
+        fpu = make_fpu()
+        fpu.execute(ADD, (1.0, 2.0))
+        outcome = fpu.execute_detailed(ADD, (1.0, 2.0))
+        assert outcome.hit
+        assert outcome.result == 3.0
+        assert outcome.recovery_cycles == 0
+
+    def test_detailed_error_record(self):
+        fpu = make_fpu(injector=AlwaysError())
+        outcome = fpu.execute_detailed(ADD, (1.0, 2.0))
+        assert outcome.timing_error
+        assert not outcome.hit
+        assert outcome.recovery_cycles == 12
+
+
+class TestCounters:
+    def test_merge(self):
+        a = FpuEventCounters(ops=1, issue_cycles=1, active_stage_traversals=4)
+        b = FpuEventCounters(ops=2, issue_cycles=2, recovery_stall_cycles=12)
+        a.merge(b)
+        assert a.ops == 3
+        assert a.busy_cycles == 15
+
+    def test_reset_stats(self):
+        fpu = make_fpu()
+        fpu.execute(ADD, (1.0, 2.0))
+        fpu.reset_stats()
+        assert fpu.counters.ops == 0
+        assert fpu.memo.lut.stats.lookups == 0

@@ -1,0 +1,102 @@
+"""Tests for the spatial memoization baseline [20]."""
+
+import pytest
+
+from repro.config import MemoConfig
+from repro.errors import MemoizationError
+from repro.memo.spatial import (
+    SpatialMemoizationUnit,
+    spatial_reuse_rate_for_streams,
+)
+
+
+def always_error():
+    return True
+
+
+def never_error():
+    return False
+
+
+class TestSpatialExecution:
+    def test_matching_lanes_reuse_strong_result(self, add_op):
+        unit = SpatialMemoizationUnit(4, MemoConfig(threshold=0.0))
+        outcomes = unit.execute_simd(
+            add_op, [(1.0, 2.0), (1.0, 2.0), (3.0, 4.0), (1.0, 2.0)]
+        )
+        assert [o.reused for o in outcomes] == [False, True, False, True]
+        assert outcomes[1].result == 3.0
+        assert outcomes[2].result == 7.0
+
+    def test_strong_lane_never_reuses(self, add_op):
+        unit = SpatialMemoizationUnit(2)
+        outcomes = unit.execute_simd(add_op, [(1.0, 1.0), (1.0, 1.0)])
+        assert not outcomes[0].reused
+        assert outcomes[1].reused
+
+    def test_approximate_broadcast(self, add_op):
+        unit = SpatialMemoizationUnit(2, MemoConfig(threshold=0.5))
+        outcomes = unit.execute_simd(add_op, [(1.0, 2.0), (1.3, 2.2)])
+        assert outcomes[1].reused
+        assert outcomes[1].result == 3.0  # the strong lane's result
+
+    def test_error_masked_on_reusing_lane(self, add_op):
+        unit = SpatialMemoizationUnit(2)
+        outcomes = unit.execute_simd(
+            add_op,
+            [(1.0, 2.0), (1.0, 2.0)],
+            error_samplers=[never_error, always_error],
+        )
+        assert outcomes[1].error_masked
+        assert not outcomes[1].recovery_triggered
+        assert unit.stats.errors_masked == 1
+
+    def test_error_recovered_on_mismatching_lane(self, add_op):
+        unit = SpatialMemoizationUnit(2)
+        outcomes = unit.execute_simd(
+            add_op,
+            [(1.0, 2.0), (9.0, 9.0)],
+            error_samplers=[never_error, always_error],
+        )
+        assert outcomes[1].recovery_triggered
+        assert unit.stats.errors_recovered == 1
+
+    def test_reuse_rate_statistic(self, add_op):
+        unit = SpatialMemoizationUnit(4)
+        unit.execute_simd(add_op, [(1.0, 1.0)] * 4)  # 3 weak reuse
+        unit.execute_simd(
+            add_op, [(1.0, 1.0), (2.0, 2.0), (1.0, 1.0), (3.0, 3.0)]
+        )  # 1 of 3 weak reuses
+        assert unit.stats.reuse_rate == pytest.approx(4 / 6)
+
+    def test_lane_count_validation(self, add_op):
+        with pytest.raises(MemoizationError):
+            SpatialMemoizationUnit(1)
+        unit = SpatialMemoizationUnit(2)
+        with pytest.raises(MemoizationError):
+            unit.execute_simd(add_op, [(1.0, 2.0)])
+        with pytest.raises(MemoizationError):
+            unit.execute_simd(
+                add_op, [(1.0, 2.0), (1.0, 2.0)], error_samplers=[never_error]
+            )
+
+
+class TestStreamHelper:
+    def test_uniform_streams_reuse_fully(self, mul_op):
+        streams = [[(2.0, 3.0)] * 5 for _ in range(4)]
+        stats = spatial_reuse_rate_for_streams(mul_op, streams)
+        assert stats.reuse_rate == 1.0
+        assert stats.simd_issues == 5
+
+    def test_disjoint_streams_never_reuse(self, mul_op):
+        streams = [
+            [(float(lane), float(i)) for i in range(5)] for lane in range(4)
+        ]
+        stats = spatial_reuse_rate_for_streams(mul_op, streams)
+        assert stats.reuse_rate == 0.0
+
+    def test_length_mismatch_rejected(self, mul_op):
+        with pytest.raises(MemoizationError):
+            spatial_reuse_rate_for_streams(
+                mul_op, [[(1.0, 1.0)] * 3, [(1.0, 1.0)] * 2]
+            )

@@ -1,0 +1,145 @@
+"""Property-based tests for float32 semantics (hypothesis)."""
+
+import math
+import struct
+
+import numpy as np
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.fpu.arithmetic import evaluate, float32
+from repro.isa.opcodes import opcode_by_mnemonic
+
+f32 = st.floats(allow_nan=False, allow_infinity=False, width=32)
+pos_f32 = st.floats(
+    min_value=2.0**-96,
+    max_value=2.0**96,
+    allow_nan=False,
+    allow_infinity=False,
+    width=32,
+)
+
+ADD = opcode_by_mnemonic("ADD")
+SUB = opcode_by_mnemonic("SUB")
+MUL = opcode_by_mnemonic("MUL")
+MULADD = opcode_by_mnemonic("MULADD")
+MAX = opcode_by_mnemonic("MAX")
+MIN = opcode_by_mnemonic("MIN")
+SQRT = opcode_by_mnemonic("SQRT")
+RECIP = opcode_by_mnemonic("RECIP")
+FLOOR = opcode_by_mnemonic("FLOOR")
+FRACT = opcode_by_mnemonic("FRACT")
+TRUNC = opcode_by_mnemonic("TRUNC")
+RNDNE = opcode_by_mnemonic("RNDNE")
+
+
+class TestAgainstNumpy:
+    """Our scalar semantics must agree bit-for-bit with numpy float32."""
+
+    @given(a=f32, b=f32)
+    def test_add(self, a, b):
+        expected = np.float32(a) + np.float32(b)
+        result = evaluate(ADD, (a, b))
+        assert result == expected or (math.isnan(result) and np.isnan(expected))
+
+    @given(a=f32, b=f32)
+    def test_sub(self, a, b):
+        expected = np.float32(a) - np.float32(b)
+        result = evaluate(SUB, (a, b))
+        assert result == expected or (math.isnan(result) and np.isnan(expected))
+
+    @given(a=f32, b=f32)
+    def test_mul(self, a, b):
+        expected = np.float32(a) * np.float32(b)
+        result = evaluate(MUL, (a, b))
+        assert result == expected or (math.isnan(result) and np.isnan(expected))
+
+    @given(a=pos_f32)
+    def test_sqrt_against_numpy(self, a):
+        expected = np.sqrt(np.float32(a), dtype=np.float32)
+        assert evaluate(SQRT, (a,)) == expected
+
+
+class TestAlgebraicProperties:
+    @given(a=f32, b=f32)
+    def test_add_commutative(self, a, b):
+        assert evaluate(ADD, (a, b)) == evaluate(ADD, (b, a))
+
+    @given(a=f32, b=f32)
+    def test_mul_commutative(self, a, b):
+        assert evaluate(MUL, (a, b)) == evaluate(MUL, (b, a))
+
+    @given(a=f32, b=f32)
+    def test_max_min_partition(self, a, b):
+        hi = evaluate(MAX, (a, b))
+        lo = evaluate(MIN, (a, b))
+        assert {hi, lo} == {a, b} or hi == lo
+
+    @given(a=f32, b=f32)
+    def test_muladd_zero_c_is_mul(self, a, b):
+        assume(abs(a) < 1e15 and abs(b) < 1e15)
+        assert evaluate(MULADD, (a, b, 0.0)) == evaluate(MUL, (a, b))
+
+    @given(a=pos_f32)
+    def test_sqrt_squares_back(self, a):
+        root = evaluate(SQRT, (a,))
+        squared = evaluate(MUL, (root, root))
+        assert squared == pytest_approx(a)
+
+    @given(a=pos_f32)
+    def test_recip_involution_close(self, a):
+        twice = evaluate(RECIP, (evaluate(RECIP, (a,)),))
+        assert abs(twice - a) <= abs(a) * 1e-6
+
+
+def pytest_approx(a):
+    import pytest
+
+    return pytest.approx(a, rel=2e-7)
+
+
+class TestRoundingOps:
+    @given(a=f32)
+    def test_floor_fract_decomposition(self, a):
+        assume(abs(a) < 1e6)
+        floor = evaluate(FLOOR, (a,))
+        fract = evaluate(FRACT, (a,))
+        assert floor <= a
+        assert 0.0 <= fract < 1.0
+        assert floor + fract == pytest_approx_abs(a)
+
+    @given(a=f32)
+    def test_trunc_magnitude_bounded(self, a):
+        assume(abs(a) < 1e6)
+        t = evaluate(TRUNC, (a,))
+        assert abs(t) <= abs(a)
+        assert t == math.trunc(a)
+
+    @given(a=f32)
+    def test_rndne_is_integral_and_close(self, a):
+        assume(abs(a) < 1e6)
+        r = evaluate(RNDNE, (a,))
+        assert r == math.floor(r)
+        assert abs(r - a) <= 0.5
+
+
+def pytest_approx_abs(a):
+    import pytest
+
+    return pytest.approx(a, abs=1e-3)
+
+
+class TestSinglePrecisionClosure:
+    """All results must be exactly representable as singles."""
+
+    @given(a=f32, b=f32)
+    def test_add_result_is_single(self, a, b):
+        result = evaluate(ADD, (a, b))
+        if not math.isnan(result) and not math.isinf(result):
+            assert struct.unpack("<f", struct.pack("<f", result))[0] == result
+
+    @given(a=f32, b=f32, c=f32)
+    def test_muladd_result_is_single(self, a, b, c):
+        result = evaluate(MULADD, (a, b, c))
+        if not math.isnan(result) and not math.isinf(result):
+            assert float32(result) == result

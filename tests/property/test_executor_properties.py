@@ -1,0 +1,113 @@
+"""Property-based end-to-end tests of the executor (hypothesis).
+
+The strongest invariant of the whole stack: under exact matching (with
+or without timing errors) the simulated device must produce *bit-exact*
+reference results for arbitrary FP programs — memoization and recovery
+are architecturally invisible.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ArchConfig, MemoConfig, SimConfig, TimingConfig
+from repro.gpu.executor import GpuExecutor, ReferenceExecutor
+from repro.kernels.api import Buffer
+
+ARCH = ArchConfig(num_compute_units=1, stream_cores_per_cu=4, wavefront_size=8)
+
+# A random straight-line program: each step applies one op mixing the
+# accumulator with a literal (binary/ternary) or just itself (unary).
+_UNARY = ("fsqrt", "fexp", "ffloor", "ftrunc", "frndne", "ffract")
+_BINARY = ("fadd", "fsub", "fmul", "fmax", "fmin")
+_TERNARY = ("fmuladd", "fmulsub")
+
+literals = st.floats(
+    min_value=-8.0, max_value=8.0, allow_nan=False, allow_infinity=False, width=32
+)
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.sampled_from(_UNARY)),
+        st.tuples(st.sampled_from(_BINARY), literals),
+        st.tuples(st.sampled_from(_TERNARY), literals, literals),
+    ),
+    min_size=1,
+    max_size=12,
+)
+inputs = st.lists(literals, min_size=1, max_size=24)
+
+
+def make_kernel(program):
+    def kernel(ctx, src, dst):
+        acc = src.load(ctx.global_id)
+        for step in program:
+            method = getattr(ctx, step[0])
+            if len(step) == 1:
+                # Keep unary domains safe: square first for sqrt/log-ish.
+                acc = yield ctx.fmul(acc, acc)
+                acc = yield method(acc)
+            else:
+                acc = yield method(acc, *step[1:])
+        dst.store(ctx.global_id, acc)
+
+    return kernel
+
+
+def run_on(executor_factory, program, values):
+    src = Buffer(values)
+    dst = Buffer.zeros(len(values))
+    executor_factory().run(make_kernel(program), len(values), (src, dst))
+    return dst.to_array()
+
+
+def bits(array):
+    import numpy as np
+
+    return np.asarray(array, dtype=np.float32).tobytes()
+
+
+class TestExactMatchingInvisibility:
+    @given(program=steps, values=inputs)
+    @settings(max_examples=30, deadline=None)
+    def test_device_matches_reference_bit_exactly(self, program, values):
+        config = SimConfig(arch=ARCH, memo=MemoConfig(threshold=0.0))
+        device_out = run_on(lambda: GpuExecutor(config), program, values)
+        ref_out = run_on(ReferenceExecutor, program, values)
+        assert bits(device_out) == bits(ref_out)
+
+    @given(program=steps, values=inputs, rate=st.sampled_from([0.05, 0.25]))
+    @settings(max_examples=20, deadline=None)
+    def test_timing_errors_never_corrupt_exact_results(
+        self, program, values, rate
+    ):
+        config = SimConfig(
+            arch=ARCH,
+            memo=MemoConfig(threshold=0.0),
+            timing=TimingConfig(error_rate=rate),
+        )
+        device_out = run_on(lambda: GpuExecutor(config), program, values)
+        ref_out = run_on(ReferenceExecutor, program, values)
+        assert bits(device_out) == bits(ref_out)
+
+    @given(program=steps, values=inputs)
+    @settings(max_examples=20, deadline=None)
+    def test_baseline_matches_reference_bit_exactly(self, program, values):
+        config = SimConfig(
+            arch=ARCH, timing=TimingConfig(error_rate=0.10)
+        )
+        device_out = run_on(
+            lambda: GpuExecutor(config, memoized=False), program, values
+        )
+        ref_out = run_on(ReferenceExecutor, program, values)
+        assert bits(device_out) == bits(ref_out)
+
+    @given(program=steps, values=inputs)
+    @settings(max_examples=15, deadline=None)
+    def test_item_serial_schedule_matches_reference(self, program, values):
+        config = SimConfig(
+            arch=ARCH, memo=MemoConfig(threshold=0.0), schedule="item-serial"
+        )
+        device_out = run_on(lambda: GpuExecutor(config), program, values)
+        ref_out = run_on(ReferenceExecutor, program, values)
+        assert bits(device_out) == bits(ref_out)

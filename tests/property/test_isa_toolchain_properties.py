@@ -1,0 +1,156 @@
+"""Property-based tests of the ISA toolchain (hypothesis).
+
+Random clause-based programs must survive every representation change:
+``encode -> decode`` bit-exactly, ``disassemble -> assemble``
+semantically, and all representations must execute identically on the
+scalar interpreter.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.clause import (
+    AluClause,
+    ControlFlowInstruction,
+    ControlFlowOp,
+    TexClause,
+    TexFetch,
+)
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import decode_program, encode_program
+from repro.isa.instruction import (
+    ImmediateOperand,
+    Instruction,
+    RegisterOperand,
+    VliwBundle,
+)
+from repro.isa.interpreter import ScalarInterpreter
+from repro.isa.opcodes import FP_OPCODES, UnitKind
+from repro.isa.program import Program
+
+# Transcendental-unit ops are restricted to the T slot; build strategies
+# that respect the slot rule by construction.
+_T_UNITS = (UnitKind.SQRT, UnitKind.RECIP)
+_XYZW_OPS = [op for op in FP_OPCODES if op.unit not in _T_UNITS]
+_T_OPS = list(FP_OPCODES)
+
+registers = st.integers(min_value=0, max_value=15)
+immediates = st.floats(
+    min_value=-4.0, max_value=4.0, allow_nan=False, allow_infinity=False, width=32
+)
+operands = st.one_of(
+    registers.map(RegisterOperand), immediates.map(ImmediateOperand)
+)
+
+
+@st.composite
+def instructions(draw, slot):
+    opcode = draw(st.sampled_from(_T_OPS if slot == "T" else _XYZW_OPS))
+    sources = tuple(draw(operands) for _ in range(opcode.arity))
+    return Instruction(opcode, RegisterOperand(draw(registers)), sources)
+
+
+@st.composite
+def bundles(draw):
+    slots = draw(
+        st.lists(
+            st.sampled_from(["X", "Y", "Z", "W", "T"]),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        )
+    )
+    bundle = VliwBundle()
+    for slot in slots:
+        bundle.set_slot(slot, draw(instructions(slot)))
+    return bundle
+
+
+@st.composite
+def programs(draw):
+    n_alu = draw(st.integers(min_value=1, max_value=3))
+    clauses = []
+    for _ in range(n_alu):
+        clause = AluClause()
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            clause.append(draw(bundles()))
+        clauses.append(clause)
+    # Optionally one TEX clause.
+    has_tex = draw(st.booleans())
+    if has_tex:
+        clause = TexClause()
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            clause.fetches.append(
+                TexFetch(draw(registers), draw(registers))
+            )
+        clauses.append(clause)
+
+    control_flow = []
+    if has_tex:
+        control_flow.append(
+            ControlFlowInstruction(
+                ControlFlowOp.EXEC_TEX, clause_index=len(clauses) - 1
+            )
+        )
+    loop = draw(st.integers(min_value=0, max_value=3))
+    if loop:
+        control_flow.append(
+            ControlFlowInstruction(ControlFlowOp.LOOP_START, trip_count=loop)
+        )
+    for index in range(n_alu):
+        control_flow.append(
+            ControlFlowInstruction(ControlFlowOp.EXEC_ALU, clause_index=index)
+        )
+    if loop:
+        control_flow.append(ControlFlowInstruction(ControlFlowOp.LOOP_END))
+    control_flow.append(ControlFlowInstruction(ControlFlowOp.END))
+    program = Program(control_flow=control_flow, clauses=clauses)
+    program.validate()
+    return program
+
+
+def run(program):
+    interp = ScalarInterpreter(memory=[1.5, -2.0, 0.25, 8.0] * 4)
+    for i in range(16):
+        # Non-negative in-range values: any register may serve as a TEX
+        # address, and addresses must land inside the 16-word memory.
+        interp.registers[i] = float(i % 8)
+    regs = interp.run(program)
+    return sorted(regs.items())
+
+
+def same_results(a, b):
+    for (ra, va), (rb, vb) in zip(a, b):
+        if ra != rb:
+            return False
+        if va != vb and not (va != va and vb != vb):  # NaN-tolerant compare
+            return False
+    return len(a) == len(b)
+
+
+class TestToolchainRoundTrips:
+    @given(program=programs())
+    @settings(max_examples=40, deadline=None)
+    def test_binary_round_trip_preserves_execution(self, program):
+        decoded = decode_program(encode_program(program))
+        assert same_results(run(program), run(decoded))
+
+    @given(program=programs())
+    @settings(max_examples=40, deadline=None)
+    def test_disassembly_round_trip_preserves_execution(self, program):
+        reassembled = assemble(disassemble(program))
+        assert same_results(run(program), run(reassembled))
+
+    @given(program=programs())
+    @settings(max_examples=40, deadline=None)
+    def test_binary_round_trip_preserves_structure(self, program):
+        decoded = decode_program(encode_program(program))
+        assert decoded.fp_instruction_count == program.fp_instruction_count
+        assert len(decoded.control_flow) == len(program.control_flow)
+        assert len(decoded.clauses) == len(program.clauses)
+
+    @given(program=programs())
+    @settings(max_examples=20, deadline=None)
+    def test_encoding_is_deterministic(self, program):
+        assert encode_program(program) == encode_program(program)

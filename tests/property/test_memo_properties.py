@@ -1,0 +1,157 @@
+"""Property-based tests for the memoization core (hypothesis)."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.config import MemoConfig
+from repro.fpu.arithmetic import evaluate, float32
+from repro.memo.fifo import MemoFifo
+from repro.memo.matching import MatchOutcome, MatchingConstraint
+from repro.memo.module import TemporalMemoizationModule
+from repro.isa.opcodes import FP_OPCODES, opcode_by_mnemonic
+
+ADD = opcode_by_mnemonic("ADD")
+SUB = opcode_by_mnemonic("SUB")
+
+finite_f32 = st.floats(
+    min_value=-1e6,
+    max_value=1e6,
+    allow_nan=False,
+    allow_infinity=False,
+    width=32,
+)
+small_f32 = st.floats(min_value=-100.0, max_value=100.0, width=32)
+thresholds = st.floats(min_value=0.0, max_value=2.0, width=32)
+
+
+class TestMatchingProperties:
+    @given(a=finite_f32, b=finite_f32)
+    def test_exact_matching_is_reflexive(self, a, b):
+        constraint = MatchingConstraint(threshold=0.0)
+        assert constraint.match(ADD, (a, b), (a, b)) is not MatchOutcome.MISS
+
+    @given(a=finite_f32, b=finite_f32, t=thresholds)
+    def test_approximate_matching_is_reflexive(self, a, b, t):
+        constraint = MatchingConstraint(threshold=t)
+        assert constraint.match(ADD, (a, b), (a, b)) is not MatchOutcome.MISS
+
+    @given(a=small_f32, b=small_f32, c=small_f32, d=small_f32, t=thresholds)
+    def test_approximate_matching_is_symmetric(self, a, b, c, d, t):
+        constraint = MatchingConstraint(threshold=t, allow_commutative=False)
+        forward = constraint.match(SUB, (a, b), (c, d)) is not MatchOutcome.MISS
+        backward = constraint.match(SUB, (c, d), (a, b)) is not MatchOutcome.MISS
+        assert forward == backward
+
+    @given(a=small_f32, b=small_f32, c=small_f32, d=small_f32, t=thresholds)
+    def test_match_implies_operandwise_bound(self, a, b, c, d, t):
+        constraint = MatchingConstraint(threshold=t, allow_commutative=False)
+        if constraint.match(SUB, (a, b), (c, d)) is not MatchOutcome.MISS:
+            assert abs(a - c) <= t * (1 + 1e-6)
+            assert abs(b - d) <= t * (1 + 1e-6)
+
+    @given(a=small_f32, b=small_f32, c=small_f32, d=small_f32, t=thresholds)
+    def test_widening_threshold_preserves_matches(self, a, b, c, d, t):
+        narrow = MatchingConstraint(threshold=t)
+        wide = MatchingConstraint(threshold=t * 2 + 0.1)
+        if narrow.match(ADD, (a, b), (c, d)) is not MatchOutcome.MISS:
+            assert wide.match(ADD, (a, b), (c, d)) is not MatchOutcome.MISS
+
+    @given(a=small_f32, b=small_f32)
+    def test_commutative_swap_always_matches_for_add(self, a, b):
+        constraint = MatchingConstraint(threshold=0.0)
+        assert constraint.match(ADD, (b, a), (a, b)) is not MatchOutcome.MISS
+
+
+class TestFifoProperties:
+    @given(
+        entries=st.lists(
+            st.tuples(finite_f32, finite_f32, finite_f32), min_size=1, max_size=20
+        ),
+        depth=st.integers(min_value=1, max_value=8),
+    )
+    def test_fifo_never_exceeds_depth(self, entries, depth):
+        fifo = MemoFifo(depth)
+        for a, b, r in entries:
+            fifo.insert(ADD, (a, b), r)
+            assert len(fifo) <= depth
+
+    @given(
+        entries=st.lists(
+            st.tuples(finite_f32, finite_f32), min_size=1, max_size=20
+        )
+    )
+    def test_most_recent_entry_always_findable(self, entries):
+        fifo = MemoFifo(2)
+        constraint = MatchingConstraint(threshold=0.0)
+        for a, b in entries:
+            assume(not math.isnan(a + b))
+            fifo.insert(ADD, (a, b), float32(a + b))
+            found, _ = fifo.search(constraint, ADD, (a, b))
+            assert found is not None
+            assert found.result == float32(a + b)
+
+    @given(
+        entries=st.lists(
+            st.tuples(finite_f32, finite_f32), min_size=3, max_size=20, unique=True
+        )
+    )
+    def test_fifo_order_eviction(self, entries):
+        """Only the `depth` most recent distinct contexts are retained."""
+        fifo = MemoFifo(2)
+        constraint = MatchingConstraint(threshold=0.0, allow_commutative=False)
+        for a, b in entries:
+            fifo.insert(ADD, (a, b), 0.0)
+        retained = {tuple(e.operands) for e in fifo.entries}
+        assert retained == {tuple(p) for p in entries[-2:]}
+
+
+class TestModuleProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(small_f32, small_f32), min_size=1, max_size=30
+        )
+    )
+    def test_exact_module_is_semantically_invisible(self, ops):
+        """With threshold 0 and no errors, results equal plain execution."""
+        module = TemporalMemoizationModule(MemoConfig(threshold=0.0))
+        for a, b in ops:
+            assume(not math.isnan(a) and not math.isnan(b))
+            expected = evaluate(ADD, (a, b))
+            decision = module.step(
+                ADD, (a, b), False, compute=lambda a=a, b=b: evaluate(ADD, (a, b))
+            )
+            if math.isnan(expected):
+                assert math.isnan(decision.result)
+            else:
+                assert decision.result == expected
+
+    @given(
+        ops=st.lists(st.tuples(small_f32, small_f32), min_size=1, max_size=30),
+        threshold=thresholds,
+    )
+    def test_approximate_error_bounded_for_add(self, ops, threshold):
+        """|approx - exact| <= 2*threshold for ADD under Equation 1."""
+        module = TemporalMemoizationModule(MemoConfig(threshold=threshold))
+        for a, b in ops:
+            exact = evaluate(ADD, (a, b))
+            decision = module.step(
+                ADD, (a, b), False, compute=lambda a=a, b=b: evaluate(ADD, (a, b))
+            )
+            # Reused result comes from operands within `threshold` each:
+            # the ADD result differs by at most the sum of the slacks.
+            assert abs(decision.result - exact) <= 2 * threshold * (1 + 1e-5) + 1e-4
+
+    @given(
+        ops=st.lists(st.tuples(small_f32, small_f32), min_size=1, max_size=30)
+    )
+    def test_hits_plus_misses_equals_lookups(self, ops):
+        module = TemporalMemoizationModule(MemoConfig(threshold=0.1))
+        for a, b in ops:
+            module.step(ADD, (a, b), False, compute=lambda a=a, b=b: a + b)
+        stats = module.lut.stats
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.lookups == len(ops)
+        outcome_total = sum(stats.outcome_counts.values())
+        assert outcome_total == stats.lookups

@@ -1,0 +1,113 @@
+"""Property-based tests for the timing and energy models (hypothesis)."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.calibration import AnalyticModel
+from repro.energy.model import EnergyModel
+from repro.energy.params import EnergyParams
+from repro.energy.voltage_scaling import VoltageScaling
+from repro.isa.opcodes import UnitKind
+from repro.memo.resilient import FpuEventCounters
+from repro.timing.voltage import VoltageModel
+
+voltages = st.floats(min_value=0.5, max_value=1.1)
+rates = st.floats(min_value=0.0, max_value=1.0)
+hit_rates = st.floats(min_value=0.0, max_value=1.0)
+op_counts = st.integers(min_value=1, max_value=10000)
+
+
+def plain_counters(ops, depth=4):
+    return FpuEventCounters(
+        ops=ops, issue_cycles=ops, active_stage_traversals=ops * depth
+    )
+
+
+class TestVoltageModelProperties:
+    @given(v1=voltages, v2=voltages)
+    def test_error_rate_monotone_in_voltage(self, v1, v2):
+        model = VoltageModel()
+        low, high = sorted((v1, v2))
+        assert model.error_rate(low) >= model.error_rate(high)
+
+    @given(v=voltages)
+    def test_error_rate_is_probability(self, v):
+        rate = VoltageModel().error_rate(v)
+        assert 0.0 <= rate <= 1.0
+
+    @given(v=voltages)
+    def test_delay_scale_at_least_one_below_nominal(self, v):
+        model = VoltageModel()
+        assume(v <= model.delay.nominal_voltage)
+        assert model.delay.delay_scale(v) >= 1.0 - 1e-12
+
+
+class TestVoltageScalingProperties:
+    @given(v=voltages)
+    def test_dynamic_below_leakage_scale_under_nominal(self, v):
+        scaling = VoltageScaling()
+        assume(v <= scaling.nominal_voltage)
+        # V^2 shrinks faster than V.
+        assert scaling.dynamic_scale(v) <= scaling.leakage_scale(v) + 1e-12
+
+    @given(v=voltages)
+    def test_scales_positive(self, v):
+        scaling = VoltageScaling()
+        assert scaling.dynamic_scale(v) > 0
+        assert scaling.leakage_scale(v) > 0
+
+
+class TestEnergyModelProperties:
+    @given(ops=op_counts, v=voltages)
+    def test_energy_linear_in_ops(self, ops, v):
+        model = EnergyModel(fpu_voltage=v)
+        one = model.unit_energy(UnitKind.ADD, plain_counters(ops)).total_pj
+        two = model.unit_energy(UnitKind.ADD, plain_counters(2 * ops)).total_pj
+        assert two == pytest.approx(2 * one, rel=1e-9)
+
+    @given(ops=op_counts, v1=voltages, v2=voltages)
+    def test_energy_monotone_in_voltage(self, ops, v1, v2):
+        low, high = sorted((v1, v2))
+        counters = plain_counters(ops)
+        e_low = EnergyModel(fpu_voltage=low).unit_energy(UnitKind.ADD, counters)
+        e_high = EnergyModel(fpu_voltage=high).unit_energy(UnitKind.ADD, counters)
+        assert e_low.total_pj <= e_high.total_pj + 1e-9
+
+    @given(ops=op_counts)
+    def test_energy_positive(self, ops):
+        model = EnergyModel()
+        for kind in UnitKind:
+            depth = 16 if kind is UnitKind.RECIP else 4
+            breakdown = model.unit_energy(
+                kind, plain_counters(ops, depth), pipeline_depth=depth
+            )
+            assert breakdown.total_pj > 0
+
+
+class TestAnalyticModelProperties:
+    @given(h=hit_rates, r=rates)
+    def test_baseline_never_cheaper_than_one_op(self, h, r):
+        model = AnalyticModel(EnergyParams())
+        assert model.baseline_energy(r) >= 1.0
+
+    @given(h1=hit_rates, h2=hit_rates, r=rates)
+    def test_saving_monotone_in_hit_rate(self, h1, h2, r):
+        model = AnalyticModel(EnergyParams())
+        low, high = sorted((h1, h2))
+        assert model.predicted_saving(high, r) >= model.predicted_saving(
+            low, r
+        ) - 1e-12
+
+    @given(h=hit_rates, r1=rates, r2=rates)
+    def test_saving_monotone_in_error_rate(self, h, r1, r2):
+        model = AnalyticModel(EnergyParams())
+        low, high = sorted((r1, r2))
+        assert model.predicted_saving(h, high) >= model.predicted_saving(
+            h, low
+        ) - 1e-12
+
+    @given(h=st.floats(min_value=0.05, max_value=0.95), r=rates)
+    def test_saving_bounded_by_hit_rate_ceiling(self, h, r):
+        model = AnalyticModel(EnergyParams())
+        assert model.predicted_saving(h, r) <= h + 1e-9

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_kernels_and_experiments(self):
+        code, text = run_cli("list")
+        assert code == 0
+        assert "Sobel" in text and "EigenValue" in text
+        assert "fig10" in text and "table1" in text
+
+
+class TestRun:
+    def test_run_kernel_default_threshold(self):
+        code, text = run_cli("run", "FWT")
+        assert code == 0
+        assert "FWT" in text and "Passed" in text
+        assert "hit rate" in text
+
+    def test_run_with_custom_threshold_and_errors(self):
+        code, text = run_cli(
+            "run", "Haar", "--threshold", "0.046", "--error-rate", "0.02"
+        )
+        assert code == 0
+        assert "Passed" in text
+
+    def test_run_baseline_mode(self):
+        code, text = run_cli("run", "FWT", "--baseline")
+        assert code == 0
+        assert "baseline run" in text
+        assert "hit rate" not in text
+
+    def test_run_with_energy_breakdown(self):
+        code, text = run_cli("run", "FWT", "--energy")
+        assert code == 0
+        assert "TOTAL" in text and "memo pJ" in text
+
+    def test_excessive_threshold_fails_validation(self):
+        code, text = run_cli("run", "Gaussian", "--threshold", "50.0")
+        assert code == 1
+        assert "FAILED" in text
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "Mandelbrot")
+
+
+class TestExperiment:
+    def test_table2_experiment(self):
+        code, text = run_cli("experiment", "table2")
+        assert code == 0
+        assert "masking error" in text
+
+    def test_fig2_experiment(self):
+        code, text = run_cli("experiment", "fig2")
+        assert code == 0
+        assert "PSNR" in text
+
+    def test_all_experiment_ids_are_registered(self):
+        expected = {
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig10", "fig11", "table1", "table2", "fifo-depth",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_report_command_quick_section_selection(self):
+        # Covered structurally in tests/analysis/test_reporting.py; here
+        # just check the argparse wiring accepts the flags.
+        import argparse
+
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(["report", "--quick"])
+        assert args.command == "report" and args.quick
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("experiment", "fig99")
+
+
+class TestLocality:
+    def test_locality_report(self):
+        code, text = run_cli("locality", "FWT")
+        assert code == 0
+        assert "Value locality" in text
+        assert "ADD" in text
+        assert "FIFO-2 capture" in text
+
+
+class TestCalibrate:
+    def test_feasible_calibration(self):
+        code, text = run_cli("calibrate", "0.35")
+        assert code == 0
+        assert "control_fraction" in text
+        assert "predicted saving series" in text
+
+    def test_infeasible_calibration(self):
+        # A 4% anchor above the masking ceiling (the hit rate).
+        code, text = run_cli(
+            "calibrate", "0.20", "--saving-at-zero", "0.05",
+            "--saving-at-four", "0.30",
+        )
+        assert code == 1
+        assert "infeasible" in text
+
+
+class TestUsage:
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli()

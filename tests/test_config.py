@@ -1,0 +1,129 @@
+"""Tests for configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    ArchConfig,
+    MemoConfig,
+    NOMINAL_VOLTAGE,
+    PE_LABELS,
+    SimConfig,
+    TimingConfig,
+    small_arch,
+)
+from repro.errors import ConfigError
+
+
+class TestArchConfig:
+    def test_evergreen_defaults(self):
+        arch = ArchConfig()
+        assert arch.num_compute_units == 20
+        assert arch.stream_cores_per_cu == 16
+        assert arch.pes_per_stream_core == 5
+        assert arch.wavefront_size == 64
+        assert arch.subwavefronts_per_wavefront == 4
+        assert arch.total_stream_cores == 320
+
+    def test_pe_labels(self):
+        assert PE_LABELS == ("X", "Y", "Z", "W", "T")
+
+    def test_pipeline_depths(self):
+        arch = ArchConfig()
+        assert arch.fpu_pipeline_stages == 4
+        assert arch.recip_pipeline_stages == 16
+
+    def test_wavefront_must_divide_into_subwavefronts(self):
+        with pytest.raises(ConfigError):
+            ArchConfig(wavefront_size=50)
+
+    def test_recip_cannot_be_shallower_than_fpu(self):
+        with pytest.raises(ConfigError):
+            ArchConfig(fpu_pipeline_stages=8, recip_pipeline_stages=4)
+
+    def test_scaled_copy(self):
+        arch = ArchConfig().scaled(num_compute_units=2)
+        assert arch.num_compute_units == 2
+        assert arch.stream_cores_per_cu == 16
+
+    def test_small_arch_keeps_simd_shape(self):
+        arch = small_arch()
+        assert arch.num_compute_units == 1
+        assert arch.stream_cores_per_cu == 16
+        assert arch.subwavefronts_per_wavefront == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_compute_units": 0},
+            {"stream_cores_per_cu": 0},
+            {"pes_per_stream_core": 0},
+            {"wavefront_size": 0},
+            {"fpu_pipeline_stages": 0},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ConfigError):
+            ArchConfig(**kwargs)
+
+
+class TestMemoConfig:
+    def test_defaults_follow_paper(self):
+        memo = MemoConfig()
+        assert memo.fifo_depth == 2
+        assert memo.threshold == 0.0
+        assert memo.exact
+        assert memo.commutative_matching
+        assert not memo.update_on_timing_error
+        assert not memo.power_gated
+
+    def test_approximate_config_not_exact(self):
+        assert not MemoConfig(threshold=0.5).exact
+        assert not MemoConfig(masked_fraction_bits=4).exact
+
+    def test_with_threshold_and_depth(self):
+        memo = MemoConfig().with_threshold(0.8).with_depth(8)
+        assert memo.threshold == 0.8
+        assert memo.fifo_depth == 8
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigError):
+            MemoConfig(fifo_depth=0)
+        with pytest.raises(ConfigError):
+            MemoConfig(threshold=-1.0)
+        with pytest.raises(ConfigError):
+            MemoConfig(masked_fraction_bits=24)
+
+
+class TestTimingConfig:
+    def test_defaults(self):
+        timing = TimingConfig()
+        assert timing.error_rate == 0.0
+        assert timing.recovery_cycles == 12
+        assert timing.voltage == NOMINAL_VOLTAGE
+
+    def test_with_helpers(self):
+        timing = TimingConfig().with_error_rate(0.04).with_voltage(0.8)
+        assert timing.error_rate == 0.04
+        assert timing.voltage == 0.8
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigError):
+            TimingConfig(error_rate=1.5)
+        with pytest.raises(ConfigError):
+            TimingConfig(recovery_cycles=0)
+        with pytest.raises(ConfigError):
+            TimingConfig(voltage=2.0)
+
+
+class TestSimConfig:
+    def test_bundle_defaults(self):
+        config = SimConfig()
+        assert config.arch.num_compute_units == 20
+        assert not config.collect_traces
+
+    def test_with_helpers(self):
+        config = SimConfig().with_memo(MemoConfig(threshold=1.0))
+        assert config.memo.threshold == 1.0
+        config = config.with_timing(TimingConfig(error_rate=0.02))
+        assert config.timing.error_rate == 0.02
+        assert config.memo.threshold == 1.0

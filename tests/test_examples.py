@@ -1,0 +1,79 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation that executes; each is run in-process with
+small arguments and its output sanity-checked.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(capsys, monkeypatch, script: str, *argv: str) -> str:
+    monkeypatch.setattr(sys, "argv", [script, *argv])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys, monkeypatch, tmp_path):
+        out = run_example(
+            capsys,
+            monkeypatch,
+            "quickstart.py",
+            "--size", "24",
+            "--out-dir", str(tmp_path / "out"),
+        )
+        assert "hit rates" in out.lower()
+        assert "Total energy saving" in out
+        assert (tmp_path / "out" / "sobel_memoized.pgm").exists()
+
+    def test_image_pipeline(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "image_pipeline.py", "--size", "24")
+        assert "selected threshold" in out
+        assert "Sobel / face" in out and "Gaussian / book" in out
+
+    def test_finance_resilience(self, capsys, monkeypatch):
+        out = run_example(
+            capsys, monkeypatch, "finance_resilience.py", "--options", "32"
+        )
+        assert "BlackScholes" in out and "BinomialOption" in out
+        assert "FAIL" not in out  # every host check must pass
+
+    def test_voltage_overscaling(self, capsys, monkeypatch):
+        out = run_example(
+            capsys, monkeypatch, "voltage_overscaling.py", "--kernel", "FWT"
+        )
+        assert "Minimum-energy operating point" in out
+        assert "memoized" in out
+
+    def test_isa_program(self, capsys, monkeypatch):
+        out = run_example(
+            capsys, monkeypatch, "isa_program.py", "--items", "64"
+        )
+        assert "Assembled program" in out
+        assert "hit rate" in out
+        assert "Timing errors" in out
+
+    def test_custom_kernel_quantized(self, capsys, monkeypatch):
+        out = run_example(
+            capsys, monkeypatch, "custom_kernel.py", "--items", "128"
+        )
+        assert "Deployment decision" in out
+        assert "keep the module ON" in out
+
+    def test_custom_kernel_continuous(self, capsys, monkeypatch):
+        out = run_example(
+            capsys,
+            monkeypatch,
+            "custom_kernel.py",
+            "--items", "128",
+            "--continuous",
+        )
+        assert "Deployment decision" in out
+        # Continuous inputs lack locality: the module should be gated.
+        assert "POWER-GATE" in out

@@ -1,0 +1,61 @@
+"""Tests for the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_error_hierarchy_root(self):
+        from repro.errors import (
+            ConfigError,
+            EnergyModelError,
+            IsaError,
+            KernelError,
+            MemoizationError,
+            ReproError,
+            TimingModelError,
+        )
+
+        for exc in (
+            ConfigError,
+            EnergyModelError,
+            IsaError,
+            KernelError,
+            MemoizationError,
+            TimingModelError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_quickstart_snippet_from_docstring(self):
+        """The exact flow shown in the package docstring must work."""
+        from repro import GpuExecutor, MemoConfig, SimConfig, small_arch, workload_by_name
+
+        config = SimConfig(arch=small_arch(), memo=MemoConfig(threshold=1.0))
+        workload = workload_by_name("FWT")
+        executor = GpuExecutor(config)
+        output = workload.run(executor)
+        assert output is not None
+        assert executor.device.lut_stats()
+
+    def test_registry_accessible_from_top_level(self):
+        assert len(repro.KERNEL_REGISTRY) == 7
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.energy
+        import repro.fpu
+        import repro.gpu
+        import repro.images
+        import repro.isa
+        import repro.kernels
+        import repro.memo
+        import repro.timing
+        import repro.utils

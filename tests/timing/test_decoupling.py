@@ -1,0 +1,114 @@
+"""Tests for lockstep vs decoupling-queue SIMD models."""
+
+import pytest
+
+from repro.errors import TimingModelError
+from repro.timing.decoupling import DecoupledSimdPipeline, LockstepSimdPipeline
+from repro.timing.errors import BernoulliInjector, NoErrorInjector
+from repro.utils.rng import RngStream
+
+
+def injectors(lanes, rate=0.0, seed=1):
+    if rate == 0.0:
+        return [NoErrorInjector() for _ in range(lanes)]
+    return [
+        BernoulliInjector(rate, RngStream(seed, "lane", i)) for i in range(lanes)
+    ]
+
+
+class TestLockstep:
+    def test_error_free_is_one_instruction_per_cycle(self):
+        stats = LockstepSimdPipeline(16).run(100, injectors(16))
+        assert stats.cycles == 100
+        assert stats.lane_errors == 0
+        assert stats.throughput == 16.0
+
+    def test_any_lane_error_stalls_everyone(self):
+        lanes = 4
+        injs = [NoErrorInjector() for _ in range(lanes - 1)]
+        injs.append(BernoulliInjector(1.0, RngStream(1)))
+        stats = LockstepSimdPipeline(lanes, recovery_cycles=12).run(10, injs)
+        assert stats.cycles == 10 + 10 * 12
+        assert stats.global_stall_cycles == 120
+
+    def test_simultaneous_errors_one_recovery(self):
+        injs = [BernoulliInjector(1.0, RngStream(2, i)) for i in range(4)]
+        stats = LockstepSimdPipeline(4, recovery_cycles=12).run(5, injs)
+        assert stats.lane_errors == 20
+        assert stats.cycles == 5 + 5 * 12  # one global recovery per slot
+
+    def test_zero_instructions(self):
+        stats = LockstepSimdPipeline(4).run(0, injectors(4))
+        assert stats.cycles == 0
+        assert stats.throughput == 0.0
+
+
+class TestDecoupled:
+    def test_error_free_matches_lockstep(self):
+        stats = DecoupledSimdPipeline(16, queue_depth=4).run(100, injectors(16))
+        assert stats.cycles == pytest.approx(101, abs=2)
+
+    def test_independent_lane_errors_cheaper_when_decoupled(self):
+        # Decoupling pays the max of the lanes' error burdens; lockstep
+        # pays their union.  With several independently erring lanes the
+        # decoupled pipeline must finish sooner.
+        lanes, n, rate = 4, 200, 0.15
+        lockstep = LockstepSimdPipeline(lanes, 12).run(
+            n, injectors(lanes, rate, seed=3)
+        )
+        decoupled = DecoupledSimdPipeline(lanes, 8, 12).run(
+            n, injectors(lanes, rate, seed=3)
+        )
+        assert decoupled.cycles < lockstep.cycles
+
+    def test_single_erring_lane_is_the_critical_path(self):
+        # With exactly one erring lane decoupling cannot beat that lane's
+        # own serial time; it only avoids over-stalling the healthy lanes.
+        lanes, n = 4, 100
+        injs = [NoErrorInjector() for _ in range(lanes - 1)]
+        injs.append(BernoulliInjector(1.0, RngStream(3)))
+        decoupled = DecoupledSimdPipeline(lanes, 8, 12).run(n, injs)
+        serial_bad_lane = n * (1 + 12)
+        assert decoupled.cycles == pytest.approx(serial_bad_lane, abs=2)
+
+    def test_deeper_queue_absorbs_more_slip(self):
+        def run(depth):
+            injs = [
+                BernoulliInjector(0.05, RngStream(4, "l", i)) for i in range(8)
+            ]
+            return DecoupledSimdPipeline(8, depth, 12).run(300, injs)
+
+        shallow = run(1)
+        deep = run(16)
+        assert deep.global_stall_cycles <= shallow.global_stall_cycles
+
+    def test_overhead_ratio(self):
+        injs = injectors(4)
+        stats = DecoupledSimdPipeline(4, 4).run(100, injs)
+        assert stats.overhead_ratio == pytest.approx(
+            stats.cycles / 100 - 1.0
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TimingModelError):
+            DecoupledSimdPipeline(4, queue_depth=0)
+        with pytest.raises(TimingModelError):
+            DecoupledSimdPipeline(0, queue_depth=4)
+        with pytest.raises(TimingModelError):
+            DecoupledSimdPipeline(4, 4).run(10, injectors(3))
+
+    def test_zero_instructions(self):
+        stats = DecoupledSimdPipeline(4, 4).run(0, injectors(4))
+        assert stats.cycles == 0
+
+
+class TestCrossModelComparison:
+    def test_decoupling_wins_at_high_error_rates(self):
+        """The motivation for [11]: decoupling beats lockstep under errors."""
+        lanes, n, rate = 8, 400, 0.05
+
+        lock = LockstepSimdPipeline(lanes, 12).run(n, injectors(lanes, rate, 7))
+        dec = DecoupledSimdPipeline(lanes, 8, 12).run(
+            n, injectors(lanes, rate, 7)
+        )
+        assert dec.cycles < lock.cycles

@@ -1,0 +1,108 @@
+"""Tests for the error control unit and recovery policies."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.timing.ecu import (
+    ErrorControlUnit,
+    HalfFrequencyReplay,
+    MultipleIssueReplay,
+    RecoveryRecord,
+)
+
+
+class TestMultipleIssueReplay:
+    def test_default_cost_is_12_cycles(self):
+        policy = MultipleIssueReplay()
+        record = policy.recover(pipeline_depth=4, in_flight=4)
+        assert record.cycles == 12
+
+    def test_replays_multiple_issues(self):
+        record = MultipleIssueReplay(issue_count=3).recover(4, 2)
+        assert record.replayed_issues == 3
+
+    def test_flush_counts_in_flight(self):
+        record = MultipleIssueReplay().recover(4, 3)
+        assert record.flushed_ops == 3
+
+    def test_impossible_in_flight_rejected(self):
+        with pytest.raises(RecoveryError):
+            MultipleIssueReplay().recover(4, 5)
+        with pytest.raises(RecoveryError):
+            MultipleIssueReplay().recover(4, -1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(RecoveryError):
+            MultipleIssueReplay(recovery_cycles=0)
+        with pytest.raises(RecoveryError):
+            MultipleIssueReplay(issue_count=0)
+
+
+class TestHalfFrequencyReplay:
+    def test_cost_doubles_pipeline_depth(self):
+        record = HalfFrequencyReplay(extra_sync_cycles=2).recover(4, 4)
+        assert record.cycles == 10  # 2*4 + 2
+
+    def test_deeper_pipeline_costs_more(self):
+        shallow = HalfFrequencyReplay().recover(4, 0)
+        deep = HalfFrequencyReplay().recover(16, 0)
+        assert deep.cycles > shallow.cycles
+
+    def test_single_replay(self):
+        assert HalfFrequencyReplay().recover(4, 0).replayed_issues == 1
+
+
+class TestRecoveryRecord:
+    def test_invalid_records_rejected(self):
+        with pytest.raises(RecoveryError):
+            RecoveryRecord(cycles=0, replayed_issues=1, flushed_ops=0)
+        with pytest.raises(RecoveryError):
+            RecoveryRecord(cycles=5, replayed_issues=0, flushed_ops=0)
+
+
+class TestErrorControlUnit:
+    def test_error_signal_triggers_policy(self):
+        ecu = ErrorControlUnit(pipeline_depth=4)
+        record = ecu.on_error_signal()
+        assert record.cycles == 12
+        assert ecu.stats.recoveries == 1
+        assert ecu.stats.recovery_cycles == 12
+
+    def test_default_in_flight_is_full_pipeline(self):
+        ecu = ErrorControlUnit(pipeline_depth=4)
+        record = ecu.on_error_signal()
+        assert record.flushed_ops == 4
+
+    def test_masked_errors_bypass_recovery(self):
+        ecu = ErrorControlUnit(pipeline_depth=4)
+        ecu.on_masked_error()
+        assert ecu.stats.errors_seen == 1
+        assert ecu.stats.masked_by_memoization == 1
+        assert ecu.stats.recoveries == 0
+        assert ecu.stats.recovery_cycles == 0
+
+    def test_stats_accumulate(self):
+        ecu = ErrorControlUnit(pipeline_depth=4)
+        ecu.on_error_signal()
+        ecu.on_error_signal(in_flight=2)
+        ecu.on_masked_error()
+        assert ecu.stats.errors_seen == 3
+        assert ecu.stats.recoveries == 2
+        assert ecu.stats.flushed_ops == 6
+
+    def test_custom_policy(self):
+        ecu = ErrorControlUnit(4, HalfFrequencyReplay(extra_sync_cycles=0))
+        assert ecu.on_error_signal().cycles == 8
+
+    def test_stats_merge(self):
+        a = ErrorControlUnit(4)
+        b = ErrorControlUnit(4)
+        a.on_error_signal()
+        b.on_masked_error()
+        a.stats.merge(b.stats)
+        assert a.stats.errors_seen == 2
+        assert a.stats.masked_by_memoization == 1
+
+    def test_invalid_depth(self):
+        with pytest.raises(RecoveryError):
+            ErrorControlUnit(0)

@@ -1,0 +1,62 @@
+"""Tests for the EDS sensor bank."""
+
+import pytest
+
+from repro.errors import TimingModelError
+from repro.timing.eds import EdsBank, EdsObservation
+from repro.utils.rng import RngStream
+
+
+class TestEdsObservation:
+    def test_error_requires_stage(self):
+        with pytest.raises(TimingModelError):
+            EdsObservation(error=True)
+
+    def test_clean_observation_cannot_name_stage(self):
+        with pytest.raises(TimingModelError):
+            EdsObservation(error=False, stage=1)
+
+    def test_valid_observations(self):
+        assert EdsObservation(error=False).stage is None
+        assert EdsObservation(error=True, stage=2).stage == 2
+
+
+class TestEdsBank:
+    def test_clean_pass_through(self):
+        bank = EdsBank(4, RngStream(1))
+        obs = bank.observe(False)
+        assert not obs.error
+
+    def test_error_attributed_to_valid_stage(self):
+        bank = EdsBank(4, RngStream(2))
+        for _ in range(100):
+            obs = bank.observe(True)
+            assert obs.error
+            assert 0 <= obs.stage < 4
+
+    def test_default_weights_favor_later_stages(self):
+        bank = EdsBank(4, RngStream(3))
+        stages = [bank.observe(True).stage for _ in range(4000)]
+        counts = [stages.count(s) for s in range(4)]
+        assert counts[3] > counts[0]
+
+    def test_custom_weights(self):
+        bank = EdsBank(3, RngStream(4), stage_weights=[1.0, 0.0, 0.0])
+        stages = {bank.observe(True).stage for _ in range(50)}
+        assert stages == {0}
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(TimingModelError):
+            EdsBank(3, RngStream(5), stage_weights=[1.0, 2.0])
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(TimingModelError):
+            EdsBank(2, RngStream(6), stage_weights=[0.0, 0.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(TimingModelError):
+            EdsBank(2, RngStream(6), stage_weights=[1.0, -1.0])
+
+    def test_zero_stage_bank_rejected(self):
+        with pytest.raises(TimingModelError):
+            EdsBank(0, RngStream(7))

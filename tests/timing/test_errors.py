@@ -1,0 +1,88 @@
+"""Tests for the error injectors."""
+
+import pytest
+
+from repro.config import TimingConfig
+from repro.errors import TimingModelError
+from repro.timing.errors import (
+    BernoulliInjector,
+    NoErrorInjector,
+    VoltageDrivenInjector,
+    injector_for,
+)
+from repro.utils.rng import RngStream
+
+
+class TestNoErrorInjector:
+    def test_never_fires(self):
+        injector = NoErrorInjector()
+        assert not any(injector.sample() for _ in range(1000))
+        assert injector.rate == 0.0
+
+
+class TestBernoulliInjector:
+    def test_rate_zero_never_fires(self):
+        injector = BernoulliInjector(0.0, RngStream(1))
+        assert not any(injector.sample() for _ in range(100))
+
+    def test_rate_one_always_fires(self):
+        injector = BernoulliInjector(1.0, RngStream(1))
+        assert all(injector.sample() for _ in range(100))
+
+    def test_statistical_rate(self):
+        injector = BernoulliInjector(0.1, RngStream(2))
+        fires = sum(injector.sample() for _ in range(20000))
+        assert 1700 < fires < 2300
+
+    def test_deterministic_given_seed(self):
+        a = BernoulliInjector(0.5, RngStream(3, "x"))
+        b = BernoulliInjector(0.5, RngStream(3, "x"))
+        assert [a.sample() for _ in range(100)] == [b.sample() for _ in range(100)]
+
+    def test_buffer_refill_beyond_8192(self):
+        injector = BernoulliInjector(0.5, RngStream(4))
+        # Crossing the bulk-buffer boundary must not fail or repeat.
+        samples = [injector.sample() for _ in range(20000)]
+        assert 9000 < sum(samples) < 11000
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(TimingModelError):
+            BernoulliInjector(1.5, RngStream(1))
+        with pytest.raises(TimingModelError):
+            BernoulliInjector(-0.1, RngStream(1))
+
+
+class TestVoltageDrivenInjector:
+    def test_nominal_voltage_is_error_free(self):
+        injector = VoltageDrivenInjector(0.90, RngStream(5))
+        assert injector.rate == 0.0
+
+    def test_overscaled_voltage_fires(self):
+        injector = VoltageDrivenInjector(0.80, RngStream(5))
+        assert injector.rate > 0.1
+        assert any(injector.sample() for _ in range(100))
+
+
+class TestInjectorFor:
+    def test_zero_rate_gives_no_error_injector(self):
+        injector = injector_for(TimingConfig(error_rate=0.0))
+        assert isinstance(injector, NoErrorInjector)
+
+    def test_nonzero_rate_gives_bernoulli(self):
+        injector = injector_for(TimingConfig(error_rate=0.1))
+        assert isinstance(injector, BernoulliInjector)
+        assert injector.rate == 0.1
+
+    def test_stream_labels_decorrelate(self):
+        config = TimingConfig(error_rate=0.5)
+        a = injector_for(config, "cu0", "lane0")
+        b = injector_for(config, "cu0", "lane1")
+        seq_a = [a.sample() for _ in range(64)]
+        seq_b = [b.sample() for _ in range(64)]
+        assert seq_a != seq_b
+
+    def test_same_labels_reproduce(self):
+        config = TimingConfig(error_rate=0.5)
+        a = injector_for(config, "cu0", 3)
+        b = injector_for(config, "cu0", 3)
+        assert [a.sample() for _ in range(64)] == [b.sample() for _ in range(64)]

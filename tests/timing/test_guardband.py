@@ -1,0 +1,67 @@
+"""Tests for the static-guardbanding model."""
+
+import pytest
+
+from repro.errors import TimingModelError
+from repro.timing.guardband import GuardbandPoint, StaticGuardband
+from repro.timing.voltage import VoltageModel
+
+
+class TestSafety:
+    def test_nominal_voltage_is_safe(self):
+        assert StaticGuardband().is_safe(0.90)
+
+    def test_deep_overscaling_is_unsafe(self):
+        assert not StaticGuardband().is_safe(0.80)
+
+
+class TestMinimumSafeVoltage:
+    def test_lands_near_the_error_knee(self):
+        safe = StaticGuardband().minimum_safe_voltage()
+        # The calibrated model's rates become negligible around 0.86 V.
+        assert 0.84 < safe < 0.89
+
+    def test_safe_voltage_monotone_in_budget(self):
+        strict = StaticGuardband(max_error_rate=0.0).minimum_safe_voltage()
+        relaxed = StaticGuardband(max_error_rate=0.01).minimum_safe_voltage()
+        assert relaxed <= strict
+
+    def test_safe_point_meets_budget(self):
+        guardband = StaticGuardband(max_error_rate=1e-4)
+        safe = guardband.minimum_safe_voltage()
+        assert guardband.model.error_rate(safe) <= 1e-4
+        # And a point below pays more errors than the budget.
+        assert guardband.model.error_rate(safe - 0.02) > 1e-4
+
+    def test_whole_range_safe_returns_low(self):
+        guardband = StaticGuardband(max_error_rate=0.5)
+        assert guardband.minimum_safe_voltage(low=0.85, high=1.0) == 0.85
+
+    def test_unsatisfiable_budget_rejected(self):
+        with pytest.raises(TimingModelError):
+            StaticGuardband(max_error_rate=0.0).minimum_safe_voltage(
+                low=0.5, high=0.8
+            )
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(TimingModelError):
+            StaticGuardband().minimum_safe_voltage(low=1.0, high=0.9)
+
+
+class TestGuardbandPoint:
+    def test_margin_fraction(self):
+        point = GuardbandPoint(voltage=0.88, error_rate=0.0, margin_vs=0.80)
+        assert point.margin_fraction == pytest.approx(0.10)
+
+    def test_guardband_against(self):
+        point = StaticGuardband().guardband_against(0.80)
+        assert point.margin_fraction > 0.05  # the "untapped" margin
+        assert point.error_rate <= 1e-6
+
+    def test_invalid_reference_rejected(self):
+        with pytest.raises(TimingModelError):
+            StaticGuardband().guardband_against(0.0)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(TimingModelError):
+            StaticGuardband(max_error_rate=1.0)

@@ -1,0 +1,101 @@
+"""Tests for the voltage-overscaling error model."""
+
+import pytest
+
+from repro.errors import TimingModelError
+from repro.timing.voltage import (
+    AlphaPowerDelayModel,
+    PathActivationModel,
+    VoltageModel,
+)
+
+
+class TestAlphaPowerDelay:
+    def test_nominal_scale_is_one(self):
+        model = AlphaPowerDelayModel()
+        assert model.delay_scale(model.nominal_voltage) == pytest.approx(1.0)
+
+    def test_lower_voltage_is_slower(self):
+        model = AlphaPowerDelayModel()
+        assert model.delay_scale(0.84) > 1.0
+        assert model.delay_scale(0.80) > model.delay_scale(0.84)
+
+    def test_monotone_decreasing_in_voltage(self):
+        model = AlphaPowerDelayModel()
+        scales = [model.delay_scale(v / 100) for v in range(80, 95)]
+        assert all(a > b for a, b in zip(scales, scales[1:]))
+
+    def test_subthreshold_voltage_rejected(self):
+        model = AlphaPowerDelayModel()
+        with pytest.raises(TimingModelError):
+            model.delay_scale(0.3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(TimingModelError):
+            AlphaPowerDelayModel(threshold_voltage=-0.1)
+        with pytest.raises(TimingModelError):
+            AlphaPowerDelayModel(threshold_voltage=0.95)
+        with pytest.raises(TimingModelError):
+            AlphaPowerDelayModel(alpha=0.0)
+
+
+class TestPathActivation:
+    def test_no_violations_without_scaling(self):
+        paths = PathActivationModel()
+        assert paths.violation_probability(1.0) < 1e-4
+
+    def test_probability_grows_with_delay(self):
+        paths = PathActivationModel()
+        p1 = paths.violation_probability(1.05)
+        p2 = paths.violation_probability(1.15)
+        assert p2 > p1
+
+    def test_extreme_scaling_saturates(self):
+        paths = PathActivationModel()
+        assert paths.violation_probability(10.0) > 0.99
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TimingModelError):
+            PathActivationModel(mean=1.5)
+        with pytest.raises(TimingModelError):
+            PathActivationModel(std=0.0)
+        with pytest.raises(TimingModelError):
+            PathActivationModel().violation_probability(0.0)
+
+
+class TestVoltageModel:
+    """The calibrated end-to-end shape of Section 5.3."""
+
+    def test_error_free_at_nominal(self):
+        assert VoltageModel().error_rate(0.90) == 0.0
+
+    def test_error_free_down_to_0_86(self):
+        model = VoltageModel()
+        assert model.error_rate(0.88) == 0.0
+        assert model.error_rate(0.86) <= 0.001
+
+    def test_small_rate_at_0_84(self):
+        rate = VoltageModel().error_rate(0.84)
+        assert 0.0005 < rate < 0.03
+
+    def test_abrupt_rise_below_0_84(self):
+        model = VoltageModel()
+        assert model.error_rate(0.82) > 5 * model.error_rate(0.84)
+        assert model.error_rate(0.80) > 3 * model.error_rate(0.82)
+
+    def test_substantial_rate_at_0_80(self):
+        rate = VoltageModel().error_rate(0.80)
+        assert 0.15 < rate < 0.6
+
+    def test_rate_is_monotone_in_voltage(self):
+        model = VoltageModel()
+        rates = [model.error_rate(v / 100) for v in range(80, 91)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_rate_never_exceeds_one(self):
+        assert VoltageModel().error_rate(0.5) <= 1.0
+
+    def test_sweep_helper(self):
+        sweep = VoltageModel().sweep([0.9, 0.8])
+        assert set(sweep) == {0.9, 0.8}
+        assert sweep[0.8] > sweep[0.9]

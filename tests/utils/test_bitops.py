@@ -1,0 +1,118 @@
+"""Tests for float32 bit-level helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.bitops import (
+    FRACTION_BITS,
+    bits_to_float32,
+    float32_to_bits,
+    fraction_mask_vector,
+    masked_equal,
+    quantize_to_mask,
+    ulp_distance,
+)
+
+
+class TestBitConversion:
+    def test_one_round_trips(self):
+        assert bits_to_float32(float32_to_bits(1.0)) == 1.0
+
+    def test_known_pattern_for_one(self):
+        assert float32_to_bits(1.0) == 0x3F800000
+
+    def test_known_pattern_for_minus_two(self):
+        assert float32_to_bits(-2.0) == 0xC0000000
+
+    def test_zero_is_all_zero_bits(self):
+        assert float32_to_bits(0.0) == 0
+
+    def test_negative_zero_has_sign_bit(self):
+        assert float32_to_bits(-0.0) == 0x8000_0000
+
+    def test_double_rounds_to_single(self):
+        # 0.1 is not single-representable; conversion must round.
+        bits = float32_to_bits(0.1)
+        assert bits_to_float32(bits) != 0.1
+        assert abs(bits_to_float32(bits) - 0.1) < 1e-8
+
+    def test_infinity_pattern(self):
+        assert float32_to_bits(math.inf) == 0x7F800000
+
+    def test_nan_round_trips_as_nan(self):
+        assert math.isnan(bits_to_float32(float32_to_bits(math.nan)))
+
+    def test_bits_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_float32(1 << 32)
+        with pytest.raises(ValueError):
+            bits_to_float32(-1)
+
+
+class TestMaskVector:
+    def test_zero_masked_bits_is_full_compare(self):
+        assert fraction_mask_vector(0) == 0xFFFF_FFFF
+
+    def test_masking_all_fraction_bits(self):
+        vector = fraction_mask_vector(FRACTION_BITS)
+        # Sign and exponent still compared.
+        assert vector == 0xFF80_0000
+
+    def test_mask_vector_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fraction_mask_vector(-1)
+
+    def test_mask_vector_rejects_too_many_bits(self):
+        with pytest.raises(ValueError):
+            fraction_mask_vector(FRACTION_BITS + 1)
+
+    def test_masked_equal_ignores_low_bits(self):
+        vector = fraction_mask_vector(10)
+        a = 1.0
+        b = bits_to_float32(float32_to_bits(1.0) | 0x3FF)  # tweak low 10 bits
+        assert masked_equal(a, b, vector)
+
+    def test_masked_equal_detects_high_bit_difference(self):
+        vector = fraction_mask_vector(10)
+        assert not masked_equal(1.0, 2.0, vector)
+
+    def test_full_mask_is_exact_equality(self):
+        vector = fraction_mask_vector(0)
+        assert masked_equal(1.5, 1.5, vector)
+        nudged = bits_to_float32(float32_to_bits(1.5) + 1)
+        assert not masked_equal(1.5, nudged, vector)
+
+    def test_quantize_zeroes_ignored_bits(self):
+        vector = fraction_mask_vector(8)
+        value = bits_to_float32(float32_to_bits(3.14159) | 0xFF)
+        quantized = quantize_to_mask(value, vector)
+        assert float32_to_bits(quantized) & 0xFF == 0
+
+    def test_quantize_is_idempotent(self):
+        vector = fraction_mask_vector(12)
+        once = quantize_to_mask(2.71828, vector)
+        assert quantize_to_mask(once, vector) == once
+
+
+class TestUlpDistance:
+    def test_identical_values(self):
+        assert ulp_distance(1.0, 1.0) == 0
+
+    def test_adjacent_values(self):
+        nxt = bits_to_float32(float32_to_bits(1.0) + 1)
+        assert ulp_distance(1.0, nxt) == 1
+
+    def test_symmetry(self):
+        assert ulp_distance(1.0, 2.0) == ulp_distance(2.0, 1.0)
+
+    def test_across_zero(self):
+        tiny = bits_to_float32(1)  # smallest positive subnormal
+        assert ulp_distance(-tiny, tiny) == 2
+
+    def test_zero_boundary(self):
+        assert ulp_distance(0.0, -0.0) == 0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ulp_distance(math.nan, 1.0)

@@ -1,0 +1,82 @@
+"""Tests for deterministic RNG streams."""
+
+import pytest
+
+from repro.utils.rng import RngStream, split_seed
+
+
+class TestSplitSeed:
+    def test_deterministic(self):
+        assert split_seed(42, "a", 1) == split_seed(42, "a", 1)
+
+    def test_distinct_labels_give_distinct_seeds(self):
+        assert split_seed(42, "a") != split_seed(42, "b")
+
+    def test_distinct_masters_give_distinct_seeds(self):
+        assert split_seed(1, "a") != split_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert split_seed(42, "a", "b") != split_seed(42, "b", "a")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= split_seed(7, "x") < (1 << 64)
+
+
+class TestRngStream:
+    def test_same_labels_same_sequence(self):
+        a = RngStream(1, "errors", 0)
+        b = RngStream(1, "errors", 0)
+        assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+    def test_different_labels_different_sequence(self):
+        a = RngStream(1, "errors", 0)
+        b = RngStream(1, "errors", 1)
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_child_is_independent_of_parent_state(self):
+        parent = RngStream(1, "p")
+        child_before = parent.child("c")
+        _ = [parent.uniform() for _ in range(10)]
+        child_after = parent.child("c")
+        assert child_before.uniform() == child_after.uniform()
+
+    def test_uniform_range(self):
+        stream = RngStream(3)
+        for _ in range(100):
+            value = stream.uniform(2.0, 5.0)
+            assert 2.0 <= value < 5.0
+
+    def test_bernoulli_zero_never_fires(self):
+        stream = RngStream(4)
+        assert not any(stream.bernoulli(0.0) for _ in range(100))
+
+    def test_bernoulli_one_always_fires(self):
+        stream = RngStream(4)
+        assert all(stream.bernoulli(1.0) for _ in range(100))
+
+    def test_bernoulli_rate_roughly_respected(self):
+        stream = RngStream(5)
+        hits = sum(stream.bernoulli(0.3) for _ in range(10000))
+        assert 2500 < hits < 3500
+
+    def test_bernoulli_rejects_invalid_probability(self):
+        stream = RngStream(6)
+        with pytest.raises(ValueError):
+            stream.bernoulli(1.5)
+        with pytest.raises(ValueError):
+            stream.bernoulli(-0.1)
+
+    def test_integers_half_open(self):
+        stream = RngStream(7)
+        values = {stream.integers(0, 3) for _ in range(200)}
+        assert values == {0, 1, 2}
+
+    def test_array_uniform_shape(self):
+        stream = RngStream(8)
+        arr = stream.array_uniform((3, 4))
+        assert arr.shape == (3, 4)
+
+    def test_array_normal_statistics(self):
+        stream = RngStream(9)
+        arr = stream.array_normal(10000, mean=2.0, std=0.5)
+        assert abs(float(arr.mean()) - 2.0) < 0.05

@@ -1,0 +1,57 @@
+"""Tests for ASCII table/series rendering."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bbbb"], [["x", 1], ["yyy", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert "|" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title_prepended(self):
+        text = format_table(["a"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159]], float_format=".2f")
+        assert "3.14" in text
+        assert "3.14159" not in text
+
+    def test_none_renders_as_dash(self):
+        text = format_table(["v"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_infinity_renders(self):
+        text = format_table(["v"], [[float("inf")]])
+        assert "inf" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_integers_not_float_formatted(self):
+        text = format_table(["v"], [[10]], float_format=".2f")
+        assert "10" in text
+        assert "10.00" not in text
+
+
+class TestFormatSeries:
+    def test_headers_are_series_names(self):
+        text = format_series("x", [1, 2], {"y1": [3, 4], "y2": [5, 6]})
+        header = text.splitlines()[0]
+        assert "x" in header and "y1" in header and "y2" in header
+
+    def test_values_aligned_to_x(self):
+        text = format_series("x", [1, 2], {"y": [10, 20]})
+        rows = text.splitlines()[2:]
+        assert "1" in rows[0] and "10" in rows[0]
+        assert "2" in rows[1] and "20" in rows[1]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"y": [1]})
