@@ -9,10 +9,6 @@ memoization's zero-cycle correction is measured.
 
 from conftest import run_once
 
-from repro.config import MemoConfig, SimConfig, TimingConfig, small_arch
-from repro.gpu.executor import GpuExecutor
-from repro.isa.opcodes import UnitKind
-from repro.kernels.registry import KERNEL_REGISTRY
 from repro.memo.resilient import ResilientFpu
 from repro.timing.ecu import HalfFrequencyReplay, MultipleIssueReplay
 from repro.timing.errors import BernoulliInjector

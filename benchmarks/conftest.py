@@ -2,14 +2,27 @@
 
 Every bench regenerates one of the paper's tables/figures, prints it, and
 archives the text under ``benchmarks/results/`` so the regenerated
-evaluation can be inspected after a run.
+evaluation can be inspected after a run.  In addition, the whole session
+is summarized machine-readably: per-bench wall times land in
+``BENCH_telemetry.json`` at the repo root, giving the performance
+trajectory a data point per run (see ``docs/observability.md``).
 """
 
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_TELEMETRY_PATH = REPO_ROOT / "BENCH_telemetry.json"
+
+_bench_records = []
+_session_started = time.perf_counter()
 
 
 @pytest.fixture
@@ -31,3 +44,45 @@ def run_once(benchmark, fn, *args, **kwargs):
     single round keeps the harness usable while still reporting wall
     time through pytest-benchmark)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def _git_describe() -> str:
+    try:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.telemetry.manifest import git_describe
+
+        return git_describe()
+    except Exception:
+        return "unknown"
+
+
+def pytest_runtest_logreport(report):
+    """Collect per-bench wall time for the telemetry summary."""
+    if report.when != "call":
+        return
+    _bench_records.append(
+        {
+            "bench": report.nodeid,
+            "outcome": report.outcome,
+            "duration_s": round(report.duration, 4),
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit the machine-readable bench summary at the repo root."""
+    if not _bench_records:
+        return
+    payload = {
+        "schema": 1,
+        "kind": "bench-telemetry",
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+        "git_describe": _git_describe(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "exit_status": int(exitstatus),
+        "total_wall_s": round(time.perf_counter() - _session_started, 4),
+        "bench_count": len(_bench_records),
+        "benches": sorted(_bench_records, key=lambda r: r["bench"]),
+    }
+    BENCH_TELEMETRY_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -16,7 +16,10 @@ A Python reproduction of the paper's full system:
 * :mod:`repro.kernels`, :mod:`repro.images` — the seven AMD APP SDK
   workloads and synthetic image inputs;
 * :mod:`repro.analysis` — sweep drivers and one experiment per paper
-  figure/table.
+  figure/table;
+* :mod:`repro.telemetry` — opt-in structured metrics, event streams and
+  run manifests wired through the whole simulator (see
+  ``docs/observability.md``).
 
 Quickstart::
 
@@ -34,10 +37,11 @@ from .config import (
     MemoConfig,
     NOMINAL_VOLTAGE,
     SimConfig,
+    TelemetryConfig,
     TimingConfig,
     small_arch,
 )
-from .errors import ReproError
+from .errors import ReproError, TelemetryError
 from .energy import EnergyModel, EnergyParams, EnergyReport
 from .gpu import (
     Device,
@@ -56,6 +60,13 @@ from .kernels import (
     workload_by_name,
 )
 from .memo import MemoLUT, SpatialMemoizationUnit, TemporalMemoizationModule
+from .telemetry import (
+    EventRing,
+    MetricsRegistry,
+    MetricsSnapshot,
+    TelemetryHub,
+    render_dashboard,
+)
 from .timing import VoltageModel
 
 __version__ = "1.0.0"
@@ -65,9 +76,11 @@ __all__ = [
     "MemoConfig",
     "NOMINAL_VOLTAGE",
     "SimConfig",
+    "TelemetryConfig",
     "TimingConfig",
     "small_arch",
     "ReproError",
+    "TelemetryError",
     "EnergyModel",
     "EnergyParams",
     "EnergyReport",
@@ -86,6 +99,11 @@ __all__ = [
     "MemoLUT",
     "SpatialMemoizationUnit",
     "TemporalMemoizationModule",
+    "EventRing",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "TelemetryHub",
+    "render_dashboard",
     "VoltageModel",
     "__version__",
 ]

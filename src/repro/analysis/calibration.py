@@ -25,7 +25,6 @@ from typing import Dict, Sequence
 from ..energy.params import EnergyParams
 from ..errors import EnergyModelError
 from ..fpu.units import UNIT_SPECS
-from ..isa.opcodes import UnitKind
 
 
 def _average_op_energy() -> float:
@@ -118,9 +117,9 @@ def solve_params(
     model = AnalyticModel(base_params)
     h = average_hit_rate
     # Anchor 1: E_memo(0)/E = 1 - target  ->  solve k, then c from k.
-    l = model.lut_overhead_fraction
+    lut = model.lut_overhead_fraction
     u = model.update_overhead_fraction
-    k = (1.0 - target_saving_at_zero - l - (1.0 - h) * (1.0 + u)) / h
+    k = (1.0 - target_saving_at_zero - lut - (1.0 - h) * (1.0 + u)) / h
     d = float(model.pipeline_depth)
     g = base_params.gated_stage_residual
     stage_term = 1.0 / d + (d - 1.0) / d * g

@@ -10,9 +10,9 @@ not as bitmaps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..config import MemoConfig, SimConfig, TimingConfig, small_arch
+from ..config import MemoConfig, SimConfig, small_arch
 from ..images.psnr import psnr
 from ..images.synth import synthetic_image
 from ..isa.opcodes import UnitKind, opcode_by_mnemonic

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..config import MemoConfig, SimConfig, small_arch
 from ..errors import MemoizationError
 from ..gpu.trace import FpTraceCollector, TraceEvent
-from ..isa.opcodes import Opcode, UnitKind
+from ..isa.opcodes import UnitKind
 from ..kernels.base import Workload
 from ..memo.spatial import SpatialMemoizationUnit
 

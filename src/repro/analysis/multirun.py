@@ -10,12 +10,14 @@ point estimates.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
-from typing import Callable, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
-from ..config import MemoConfig, SimConfig, TimingConfig, small_arch
+from ..config import MemoConfig, SimConfig, TelemetryConfig, TimingConfig, small_arch
 from ..errors import ConfigError
 from ..kernels.base import Workload
+from ..telemetry.registry import MetricsSnapshot
+from ..telemetry.sinks import merge_snapshots
 from .hitrate import weighted_hit_rate
 
 WorkloadFactory = Callable[[], Workload]
@@ -52,11 +54,18 @@ class Statistic:
 
 @dataclass(frozen=True)
 class MultiSeedMeasurement:
-    """Saving and hit-rate statistics over independent error seeds."""
+    """Saving and hit-rate statistics over independent error seeds.
+
+    ``telemetry`` is the merged metric snapshot of the memoized shards
+    when the measurement ran with telemetry collection enabled (one
+    shard per seed, combined with the associative snapshot merge), else
+    ``None``.
+    """
 
     saving: Statistic
     hit_rate: Statistic
     error_rate: float
+    telemetry: Optional[MetricsSnapshot] = None
 
 
 def measure_with_seeds(
@@ -64,6 +73,7 @@ def measure_with_seeds(
     threshold: float,
     error_rate: float,
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    collect_telemetry: bool = False,
 ) -> MultiSeedMeasurement:
     """Memoized-vs-baseline saving across independent error streams."""
     from ..gpu.executor import GpuExecutor
@@ -72,10 +82,15 @@ def measure_with_seeds(
         raise ConfigError("need at least one seed")
     savings = []
     hit_rates = []
+    shards = []
+    telemetry = TelemetryConfig(enabled=collect_telemetry)
     for seed in seeds:
         timing = TimingConfig(error_rate=error_rate, seed=seed)
         config = SimConfig(
-            arch=small_arch(), memo=MemoConfig(threshold=threshold), timing=timing
+            arch=small_arch(),
+            memo=MemoConfig(threshold=threshold),
+            timing=timing,
+            telemetry=telemetry,
         )
         memo_ex = GpuExecutor(config)
         factory().run(memo_ex)
@@ -87,8 +102,11 @@ def measure_with_seeds(
             )
         )
         hit_rates.append(weighted_hit_rate(memo_ex.device.lut_stats()))
+        if collect_telemetry:
+            shards.append(memo_ex.telemetry.snapshot())
     return MultiSeedMeasurement(
         saving=Statistic.from_values(savings),
         hit_rate=Statistic.from_values(hit_rates),
         error_rate=error_rate,
+        telemetry=merge_snapshots(shards) if shards else None,
     )

@@ -15,17 +15,27 @@ errors (argparse convention).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional
 
 from .analysis import experiments as exp
 from .analysis.locality import analyze_trace
 from .analysis.replay import capture_trace
-from .config import MemoConfig, SimConfig, TimingConfig, small_arch
+from .config import (
+    MemoConfig,
+    SimConfig,
+    TelemetryConfig,
+    TimingConfig,
+    small_arch,
+)
 from .energy.model import EnergyModel
 from .energy.report import format_energy_report
+from .errors import ReproError
 from .kernels.registry import KERNEL_REGISTRY
 from .kernels.validation import validate_workload
+from .telemetry import build_manifest, render_dashboard, write_run_jsonl
 from .utils.tables import format_table
 
 #: Experiment ids accepted by ``repro experiment``.
@@ -80,11 +90,44 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--energy", action="store_true", help="print the energy breakdown"
     )
+    run.add_argument(
+        "--emit-json",
+        metavar="PATH",
+        default=None,
+        help="write a machine-readable telemetry artifact (.json for one "
+        "document, .jsonl for typed line records)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
     )
-    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "id",
+        help="experiment id (see 'repro list'), or 'all' to run every one",
+    )
+    experiment.add_argument(
+        "--emit-json",
+        metavar="PATH",
+        default=None,
+        help="also write the output(s) plus a run manifest as JSON",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run one kernel with telemetry enabled and print the dashboard",
+    )
+    metrics.add_argument("kernel", choices=sorted(KERNEL_REGISTRY))
+    metrics.add_argument("--threshold", type=float, default=None)
+    metrics.add_argument("--error-rate", type=float, default=0.0)
+    metrics.add_argument("--voltage", type=float, default=0.9)
+    metrics.add_argument("--fifo-depth", type=int, default=2)
+    metrics.add_argument(
+        "--events-capacity",
+        type=int,
+        default=4096,
+        help="structured-event ring size",
+    )
+    metrics.add_argument("--emit-json", metavar="PATH", default=None)
 
     locality = sub.add_parser(
         "locality", help="value-locality report for one kernel"
@@ -132,16 +175,99 @@ def _cmd_list(out) -> int:
     return 0
 
 
+def _energy_to_dict(report) -> dict:
+    """JSON-safe view of an :class:`~repro.energy.report.EnergyReport`."""
+    per_unit = {}
+    for kind, b in report.per_unit.items():
+        per_unit[kind.value] = {
+            "datapath_pj": b.datapath_pj,
+            "gated_pj": b.gated_pj,
+            "control_pj": b.control_pj,
+            "recovery_pj": b.recovery_pj,
+            "leakage_pj": b.leakage_pj,
+            "memo_pj": b.memo_pj,
+            "total_pj": b.total_pj,
+        }
+    return {
+        "label": report.label,
+        "voltage": report.voltage,
+        "per_unit": per_unit,
+        "total_pj": report.total_pj,
+    }
+
+
+def _write_run_artifact(
+    path: str,
+    label: str,
+    config: SimConfig,
+    executor,
+    wall_time_s: float,
+    out,
+) -> None:
+    """Write the telemetry artifact of one kernel run (.json or .jsonl)."""
+    hub = executor.telemetry
+    snapshot = hub.snapshot() if hub is not None else None
+    hit_rates = {
+        kind.value: stats.hit_rate
+        for kind, stats in executor.device.lut_stats().items()
+        if stats.lookups
+    }
+    energy = _energy_to_dict(
+        executor.device.energy_report(EnergyModel(fpu_voltage=config.timing.voltage))
+    )
+    manifest = build_manifest(label, config, wall_time_s)
+    if path.endswith(".jsonl"):
+        manifest["hit_rates"] = hit_rates
+        manifest["energy"] = energy
+        write_run_jsonl(
+            path,
+            manifest=manifest,
+            snapshot=snapshot,
+            events=hub.events if hub is not None else (),
+        )
+    else:
+        artifact = {
+            "manifest": manifest,
+            "hit_rates": hit_rates,
+            "energy": energy,
+        }
+        if hub is not None:
+            artifact["metrics"] = snapshot.to_dict()
+            artifact["rollups"] = {
+                "memo": hub.per_unit_hits(),
+                "ecu": hub.recovery_counts(),
+            }
+            artifact["events"] = {
+                "total": hub.events.total,
+                "dropped": hub.events.dropped,
+            }
+        with open(path, "w") as f:
+            json.dump(artifact, f, indent=2)
+            f.write("\n")
+    print(f"telemetry written to {path}", file=out)
+
+
+def _run_config(args) -> SimConfig:
+    spec = KERNEL_REGISTRY[args.kernel]
+    threshold = args.threshold if args.threshold is not None else spec.threshold
+    telemetry = TelemetryConfig(
+        enabled=args.emit_json is not None,
+        events_capacity=getattr(args, "events_capacity", 4096),
+    )
+    return SimConfig(
+        arch=small_arch(),
+        memo=MemoConfig(threshold=threshold, fifo_depth=args.fifo_depth),
+        timing=TimingConfig(error_rate=args.error_rate, voltage=args.voltage),
+        telemetry=telemetry,
+    )
+
+
 def _cmd_run(args, out) -> int:
     from .gpu.executor import GpuExecutor
 
     spec = KERNEL_REGISTRY[args.kernel]
-    threshold = args.threshold if args.threshold is not None else spec.threshold
-    config = SimConfig(
-        arch=small_arch(),
-        memo=MemoConfig(threshold=threshold, fifo_depth=args.fifo_depth),
-        timing=TimingConfig(error_rate=args.error_rate, voltage=args.voltage),
-    )
+    config = _run_config(args)
+    started = time.perf_counter()
 
     if args.baseline:
         executor = GpuExecutor(config, memoized=False)
@@ -172,11 +298,89 @@ def _cmd_run(args, out) -> int:
         report = executor.device.energy_report(model)
         print(file=out)
         print(format_energy_report(report), file=out)
+
+    if args.emit_json:
+        _write_run_artifact(
+            args.emit_json,
+            f"run:{args.kernel}",
+            config,
+            executor,
+            time.perf_counter() - started,
+            out,
+        )
+    return 0
+
+
+def _cmd_metrics(args, out) -> int:
+    from .gpu.executor import GpuExecutor
+
+    spec = KERNEL_REGISTRY[args.kernel]
+    threshold = args.threshold if args.threshold is not None else spec.threshold
+    config = SimConfig(
+        arch=small_arch(),
+        memo=MemoConfig(threshold=threshold, fifo_depth=args.fifo_depth),
+        timing=TimingConfig(error_rate=args.error_rate, voltage=args.voltage),
+        telemetry=TelemetryConfig(
+            enabled=True, events_capacity=args.events_capacity
+        ),
+    )
+    started = time.perf_counter()
+    executor = GpuExecutor(config)
+    spec.default_factory().run(executor)
+    # Publish the energy gauges into the registry before snapshotting.
+    executor.device.energy_report(EnergyModel(fpu_voltage=args.voltage))
+    hub = executor.telemetry
+    print(
+        render_dashboard(
+            hub.snapshot(), hub.events, title=f"telemetry: {args.kernel}"
+        ),
+        file=out,
+    )
+    if args.emit_json:
+        _write_run_artifact(
+            args.emit_json,
+            f"metrics:{args.kernel}",
+            config,
+            executor,
+            time.perf_counter() - started,
+            out,
+        )
     return 0
 
 
 def _cmd_experiment(args, out) -> int:
-    print(EXPERIMENTS[args.id](), file=out)
+    ids = sorted(EXPERIMENTS)
+    if args.id == "all":
+        selected = ids
+    elif args.id in EXPERIMENTS:
+        selected = [args.id]
+    else:
+        print(
+            f"unknown experiment {args.id!r}; valid ids: "
+            + ", ".join(ids + ["all"]),
+            file=out,
+        )
+        return 2
+    started = time.perf_counter()
+    outputs = {}
+    for exp_id in selected:
+        text = EXPERIMENTS[exp_id]()
+        outputs[exp_id] = text
+        if len(selected) > 1:
+            print(f"=== {exp_id} ===", file=out)
+        print(text, file=out)
+        if len(selected) > 1:
+            print(file=out)
+    if args.emit_json:
+        manifest = build_manifest(
+            f"experiment:{args.id}",
+            wall_time_s=time.perf_counter() - started,
+            extra={"experiments": selected},
+        )
+        with open(args.emit_json, "w") as f:
+            json.dump({"manifest": manifest, "outputs": outputs}, f, indent=2)
+            f.write("\n")
+        print(f"telemetry written to {args.emit_json}", file=out)
     return 0
 
 
@@ -266,12 +470,25 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+
+
+def _dispatch(args, out) -> int:
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "run":
         return _cmd_run(args, out)
     if args.command == "experiment":
         return _cmd_experiment(args, out)
+    if args.command == "metrics":
+        return _cmd_metrics(args, out)
     if args.command == "locality":
         return _cmd_locality(args, out)
     if args.command == "report":

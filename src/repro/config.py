@@ -143,6 +143,29 @@ class TimingConfig:
         return replace(self, voltage=voltage)
 
 
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Structured instrumentation switchboard (:mod:`repro.telemetry`).
+
+    Disabled by default: with ``enabled=False`` no hub, registry or ring
+    is built and every probe site reduces to one attribute check on the
+    hot path.  ``events_capacity`` bounds the structured-event ring;
+    ``record_fp_ops`` additionally streams every executed FP instruction
+    into the ring (high volume — the ring stays bounded, but per-op
+    cost rises), mirroring the old trace-collector behaviour.
+    """
+
+    enabled: bool = False
+    events_capacity: int = 4096
+    record_fp_ops: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.events_capacity >= 1, "event ring needs capacity >= 1")
+
+    def with_enabled(self, enabled: bool = True) -> "TelemetryConfig":
+        return replace(self, enabled=enabled)
+
+
 #: Execute-stage schedules the compute unit supports.
 SCHEDULES = ("subwavefront", "item-serial")
 
@@ -160,6 +183,7 @@ class SimConfig:
     arch: ArchConfig = field(default_factory=ArchConfig)
     memo: MemoConfig = field(default_factory=MemoConfig)
     timing: TimingConfig = field(default_factory=TimingConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     collect_traces: bool = False
     schedule: str = "subwavefront"
 
@@ -174,6 +198,9 @@ class SimConfig:
 
     def with_timing(self, timing: TimingConfig) -> "SimConfig":
         return replace(self, timing=timing)
+
+    def with_telemetry(self, telemetry: TelemetryConfig) -> "SimConfig":
+        return replace(self, telemetry=telemetry)
 
 
 def small_arch(num_compute_units: int = 1) -> ArchConfig:

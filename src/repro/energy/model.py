@@ -20,7 +20,7 @@ supply voltage; the module terms scale with the module supply.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
 from ..config import NOMINAL_VOLTAGE
@@ -177,3 +177,41 @@ class EnergyModel:
         for breakdown in breakdowns.values():
             total.add(breakdown)
         return total
+
+
+#: Per-mechanism slices published as telemetry gauges, in breakdown order.
+_BREAKDOWN_FIELDS = (
+    "datapath_pj",
+    "gated_pj",
+    "control_pj",
+    "recovery_pj",
+    "leakage_pj",
+    "memo_pj",
+)
+
+
+def publish_breakdowns(
+    registry,
+    per_unit: Mapping[UnitKind, EnergyBreakdown],
+    prefix: str = "energy",
+) -> None:
+    """Publish per-unit energy breakdowns as ``energy.{KIND}.{slice}`` gauges.
+
+    ``registry`` is a :class:`repro.telemetry.MetricsRegistry` (duck-typed
+    here to keep the energy layer import-free of telemetry).  Gauges are
+    overwritten on each call, so the registry always reflects the most
+    recent accounting of the run.
+    """
+    total = EnergyBreakdown()
+    for kind, breakdown in per_unit.items():
+        for field_name in _BREAKDOWN_FIELDS:
+            registry.gauge(f"{prefix}.{kind.value}.{field_name}").set(
+                getattr(breakdown, field_name)
+            )
+        registry.gauge(f"{prefix}.{kind.value}.total_pj").set(breakdown.total_pj)
+        total.add(breakdown)
+    for field_name in _BREAKDOWN_FIELDS:
+        registry.gauge(f"{prefix}.TOTAL.{field_name}").set(
+            getattr(total, field_name)
+        )
+    registry.gauge(f"{prefix}.TOTAL.total_pj").set(total.total_pj)

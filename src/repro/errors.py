@@ -60,5 +60,9 @@ class EnergyModelError(ReproError):
     """Invalid energy accounting request or parameter set."""
 
 
+class TelemetryError(ReproError):
+    """Misuse of the telemetry registry, sinks, or event stream."""
+
+
 class ImageError(ReproError):
     """Image synthesis or I/O failure."""

@@ -9,7 +9,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..config import ArchConfig
-from ..errors import PipelineError
 from ..isa.opcodes import Opcode, UnitKind
 from .base import CompletedOp, FpuPipeline
 from .units import pipeline_stages_for

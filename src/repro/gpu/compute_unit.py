@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 
 from ..config import ArchConfig, MemoConfig, TimingConfig
 from ..errors import WorkItemProtocolError
-from ..isa.opcodes import Opcode, UnitKind
+from ..isa.opcodes import UnitKind
 from ..memo.lut import LutStats
 from ..memo.resilient import FpuEventCounters
 from .stream_core import StreamCore
@@ -33,15 +33,17 @@ class ComputeUnit:
         memo: Optional[MemoConfig],
         timing: TimingConfig,
         trace: Optional[TraceCollector] = None,
+        telemetry=None,
     ) -> None:
         self.index = index
         self.arch = arch
         self.stream_cores: List[StreamCore] = [
-            StreamCore(index, lane, arch, memo, timing, trace)
+            StreamCore(index, lane, arch, memo, timing, trace, telemetry)
             for lane in range(arch.stream_cores_per_cu)
         ]
         self.wavefronts_executed = 0
         self.instruction_rounds = 0
+        self.probe = None if telemetry is None else telemetry.cu_probe(index)
 
     # -------------------------------------------------------------- execution
     def execute_wavefront(self, wavefront: Wavefront, schedule: str = "subwavefront") -> None:
@@ -76,8 +78,12 @@ class ComputeUnit:
             self._prime(item)
 
         live = wavefront.live_items
+        probe = self.probe
+        rounds_at_entry = self.instruction_rounds
         while live:
             self.instruction_rounds += 1
+            if probe is not None:
+                probe.on_instruction_round()
             for slot in range(arch.subwavefronts_per_wavefront):
                 for position in wavefront.subwavefront_positions(slot, arch):
                     item = items[position]
@@ -97,10 +103,14 @@ class ComputeUnit:
                     if item.done:
                         live -= 1
         self.wavefronts_executed += 1
+        if probe is not None:
+            probe.on_wavefront_retired(self.instruction_rounds - rounds_at_entry)
 
     def _execute_item_serial(self, wavefront: Wavefront) -> None:
         """Run each work-item to completion on its lane (ablation mode)."""
         lanes = self.arch.stream_cores_per_cu
+        probe = self.probe
+        rounds_at_entry = self.instruction_rounds
         for position, item in enumerate(wavefront.work_items):
             core = self.stream_cores[position % lanes]
             self._prime(item)
@@ -109,8 +119,12 @@ class ComputeUnit:
                 result = core.execute(opcode, operands)
                 item.executed_ops += 1
                 self.instruction_rounds += 1
+                if probe is not None:
+                    probe.on_instruction_round()
                 self._advance(item, result)
         self.wavefronts_executed += 1
+        if probe is not None:
+            probe.on_wavefront_retired(self.instruction_rounds - rounds_at_entry)
 
     @staticmethod
     def _prime(item) -> None:

@@ -5,16 +5,17 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..config import SimConfig
-from ..energy.model import EnergyModel
+from ..energy.model import EnergyModel, publish_breakdowns
 from ..energy.report import EnergyReport
 from ..fpu.units import pipeline_stages_for
 from ..isa.opcodes import UnitKind
 from ..memo.lut import LutStats
 from ..memo.resilient import FpuEventCounters
+from ..telemetry.events import TraceEventSink
+from ..telemetry.probes import TelemetryHub
 from .compute_unit import ComputeUnit
 from .dispatcher import UltraThreadDispatcher
 from .trace import FpTraceCollector, NullTraceCollector
-from .wavefront import Wavefront, split_into_wavefronts
 
 
 class Device:
@@ -28,11 +29,21 @@ class Device:
         self.config = config
         self.memoized = memoized
         memo = config.memo if memoized else None
-        self.trace = (
-            FpTraceCollector() if config.collect_traces else NullTraceCollector()
-        )
+        self.telemetry = TelemetryHub.from_config(config.telemetry)
+        if config.collect_traces:
+            self.trace = FpTraceCollector()
+        elif (
+            self.telemetry is not None and config.telemetry.record_fp_ops
+        ):
+            # Bounded alternative to the unbounded trace list: stream
+            # every FP op into the telemetry event ring instead.
+            self.trace = TraceEventSink(self.telemetry.events)
+        else:
+            self.trace = NullTraceCollector()
         self.compute_units = [
-            ComputeUnit(i, config.arch, memo, config.timing, self.trace)
+            ComputeUnit(
+                i, config.arch, memo, config.timing, self.trace, self.telemetry
+            )
             for i in range(config.arch.num_compute_units)
         ]
         self.dispatcher = UltraThreadDispatcher(config.arch.num_compute_units)
@@ -81,6 +92,8 @@ class Device:
             for kind, breakdown in per_unit.items()
             if counters[kind].ops > 0
         }
+        if self.telemetry is not None:
+            publish_breakdowns(self.telemetry.registry, per_unit)
         return EnergyReport(
             label=label or ("memoized" if self.memoized else "baseline"),
             voltage=model.fpu_voltage,

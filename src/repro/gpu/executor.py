@@ -11,12 +11,12 @@ for PSNR and host-side validation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence
 
 from ..config import SimConfig
 from ..energy.model import EnergyModel
 from ..energy.report import EnergyReport
-from ..errors import KernelError, WorkItemProtocolError
+from ..errors import KernelError
 from ..fpu import arithmetic
 from ..isa.opcodes import UnitKind
 from ..kernels.api import WorkItemCtx
@@ -69,6 +69,11 @@ class RunResult:
     ) -> EnergyReport:
         return self.device.energy_report(model, label)
 
+    @property
+    def telemetry(self):
+        """The device's :class:`~repro.telemetry.TelemetryHub` (or None)."""
+        return self.device.telemetry
+
 
 def _build_work_items(
     kernel: KernelFn,
@@ -111,6 +116,11 @@ class GpuExecutor:
         self.memoized = memoized
         self.device = Device(self.config, memoized=memoized)
 
+    @property
+    def telemetry(self):
+        """The device's :class:`~repro.telemetry.TelemetryHub` (or None)."""
+        return self.device.telemetry
+
     def run(
         self,
         kernel: KernelFn,
@@ -128,6 +138,12 @@ class GpuExecutor:
         )
         wavefronts = split_into_wavefronts(items, self.config.arch)
         self.device.run_wavefronts(wavefronts)
+        hub = self.device.telemetry
+        if hub is not None:
+            hub.registry.counter("run.launches").inc()
+            hub.registry.counter("run.work_items").inc(global_size)
+            hub.registry.counter("run.wavefronts").inc(len(wavefronts))
+            hub.registry.gauge("run.executed_ops").set(self.device.executed_ops)
         return RunResult(
             kernel_name=getattr(kernel, "__name__", "kernel"),
             global_size=global_size,

@@ -25,7 +25,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from ..errors import IsaError, KernelError
 from ..fpu.arithmetic import float32
 from ..isa.clause import AluClause, ControlFlowOp, TexClause
-from ..isa.instruction import ImmediateOperand, Instruction, RegisterOperand
+from ..isa.instruction import ImmediateOperand, Instruction
 from ..isa.program import Program
 from .executor import GpuExecutor, RunResult
 

@@ -9,7 +9,7 @@ single, which the memoization comparators rely on.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Iterable, Union
 
 import numpy as np
 

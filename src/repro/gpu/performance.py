@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..errors import ArchitectureError
-from ..isa.opcodes import UnitKind
 from .device import Device
 
 

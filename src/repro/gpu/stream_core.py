@@ -29,6 +29,7 @@ class StreamCore:
         memo: Optional[MemoConfig],
         timing: TimingConfig,
         trace: Optional[TraceCollector] = None,
+        telemetry=None,
     ) -> None:
         if lane_index < 0 or lane_index >= arch.stream_cores_per_cu:
             raise ArchitectureError(
@@ -47,6 +48,11 @@ class StreamCore:
             )
             for kind in UnitKind
         }
+        if telemetry is not None:
+            # One pre-bound probe per FPU: its counters live under the
+            # `cu{c}.sc{l}.fpu.{KIND}` namespace of the hub's registry.
+            for kind, fpu in self.fpus.items():
+                fpu.attach_probe(telemetry.fpu_probe(cu_index, lane_index, kind))
 
     # -------------------------------------------------------------- execution
     def execute(self, opcode: Opcode, operands: Tuple[float, ...]) -> float:

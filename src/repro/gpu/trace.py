@@ -8,8 +8,9 @@ dominates simulation time for large kernels.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Protocol, Tuple
+from typing import Deque, Iterator, Optional, Protocol, Tuple
 
 from ..isa.opcodes import Opcode, UnitKind
 
@@ -50,25 +51,45 @@ class NullTraceCollector:
 
 
 class FpTraceCollector:
-    """Keeps every event in memory; supports per-unit replay.
+    """Keeps recent events in memory; supports per-unit replay.
 
     Useful for offline experiments that re-simulate different memoization
     configurations over the same operand stream without re-running the
     kernel (e.g. the FIFO-depth sweep).
+
+    Two independent bounding modes (both off by default):
+
+    * ``capacity`` — stop recording once full, *dropping the newest*
+      events (the historical head-capture behaviour);
+    * ``max_events`` — ring-buffer mode: keep only the most recent
+      events, *dropping the oldest* beyond the cap.
+
+    ``dropped`` counts lost events in either mode.
     """
 
     enabled = True
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be at least 1")
         self.capacity = capacity
-        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.events: Deque[TraceEvent] = deque(maxlen=max_events)
         self.dropped = 0
 
     def record(self, cu_index, lane_index, opcode, operands, result) -> None:
-        if self.capacity is not None and len(self.events) >= self.capacity:
+        events = self.events
+        if self.capacity is not None and len(events) >= self.capacity:
             self.dropped += 1
             return
-        self.events.append(
+        if self.max_events is not None and len(events) == self.max_events:
+            # The deque evicts its oldest entry on append.
+            self.dropped += 1
+        events.append(
             TraceEvent(cu_index, lane_index, opcode, operands, result)
         )
 

@@ -11,7 +11,6 @@ fresh output buffers so a memoized run never contaminates the golden one.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..errors import KernelError
-from ..images.synth import synth_book, synth_face
+from ..images.synth import synth_face
 from ..utils.rng import RngStream
 from .base import Workload
 from .binomial_option import BinomialOptionWorkload

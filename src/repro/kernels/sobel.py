@@ -12,7 +12,6 @@ sequence (uniform control flow, as the SIMD hardware requires).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -58,6 +58,9 @@ class MemoLUT:
         self.fifo = MemoFifo(self.config.fifo_depth)
         self.constraint = MatchingConstraint.from_config(self.config)
         self.stats = LutStats()
+        #: Optional telemetry probe (:class:`repro.telemetry.FpuProbe`);
+        #: ``None`` keeps the data path probe-free.
+        self.probe = None
         self.mmio = MemoMmio(
             hit_count=lambda: self.stats.hits,
             lookup_count=lambda: self.stats.lookups,
@@ -121,10 +124,15 @@ class MemoLUT:
         self.stats.lookups += 1
         entry, outcome = self.fifo.search(self.constraint, opcode, operands)
         self.stats.outcome_counts[outcome] += 1
+        probe = self.probe
         if entry is None:
+            if probe is not None:
+                probe.on_lookup(False, opcode)
             return False, None, MatchOutcome.MISS
         self.stats.hits += 1
         self.mmio.record_hit()
+        if probe is not None:
+            probe.on_lookup(True, opcode)
         return True, entry.result, outcome
 
     def update(
@@ -135,6 +143,9 @@ class MemoLUT:
             return
         self.fifo.insert(opcode, operands, result)
         self.stats.updates += 1
+        probe = self.probe
+        if probe is not None:
+            probe.on_update()
 
     def reset(self) -> None:
         """Clear stored contexts and statistics (e.g. between kernels)."""

@@ -73,6 +73,10 @@ class TemporalMemoizationModule:
         self.config = config or MemoConfig()
         self.lut = MemoLUT(self.config)
 
+    def attach_probe(self, probe) -> None:
+        """Install a telemetry probe on the module and its LUT."""
+        self.lut.probe = probe
+
     def step(
         self,
         opcode: Opcode,

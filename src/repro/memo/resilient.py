@@ -94,6 +94,17 @@ class ResilientFpu:
             # so the energy model can charge zero (gated) overhead.
             self.memo = TemporalMemoizationModule(memo_config)
         self.counters = FpuEventCounters()
+        #: Optional telemetry probe; ``None`` (the default) keeps the
+        #: fast path at one attribute check per instrumented branch.
+        self.probe = None
+
+    def attach_probe(self, probe) -> None:
+        """Install one pre-bound telemetry probe across the unit's layers
+        (FPU fast path, memoization LUT, ECU)."""
+        self.probe = probe
+        self.ecu.probe = probe
+        if self.memo is not None:
+            self.memo.attach_probe(probe)
 
     @classmethod
     def build(
@@ -118,6 +129,11 @@ class ResilientFpu:
         timing_error = self.injector.sample()
         if timing_error:
             counters.errors_injected += 1
+        probe = self.probe
+        if probe is not None:
+            probe.on_op()
+            if timing_error:
+                probe.on_timing_error()
 
         memo = self.memo
         if memo is not None:

@@ -19,8 +19,8 @@ and recover their own errors conventionally.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..config import MemoConfig
 from ..errors import MemoizationError

@@ -1,0 +1,71 @@
+"""repro.telemetry — structured instrumentation & metrics.
+
+The observability substrate of the simulator:
+
+* :mod:`~repro.telemetry.registry` — hierarchical dotted-path metrics
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram`) with cheap
+  glob aggregation and mergeable :class:`MetricsSnapshot` shards;
+* :mod:`~repro.telemetry.probes` — pre-bound, near-zero-overhead probe
+  points installed throughout the GPU/memo/timing/energy layers
+  (a disabled probe costs one attribute check);
+* :mod:`~repro.telemetry.events` — a bounded ring of structured events
+  (memo hit/miss, timing error, recovery, wavefront/clause boundaries);
+* :mod:`~repro.telemetry.sinks` — JSONL and CSV exporters plus snapshot
+  merging for multi-run sweeps;
+* :mod:`~repro.telemetry.manifest` — run manifests (config, seed,
+  revision, wall time, metrics) written next to results;
+* :mod:`~repro.telemetry.report` — the ASCII dashboard.
+
+Enable it per run through :class:`repro.config.TelemetryConfig`::
+
+    config = SimConfig(telemetry=TelemetryConfig(enabled=True))
+    executor = GpuExecutor(config)
+    workload.run(executor)
+    print(render_dashboard(executor.telemetry.snapshot()))
+"""
+
+from .events import EventKind, EventRing, TelemetryEvent, TraceEventSink
+from .manifest import build_manifest, git_describe, read_manifest, write_manifest
+from .probes import ComputeUnitProbe, FpuProbe, TelemetryHub
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from .report import render_dashboard
+from .sinks import (
+    merge_snapshots,
+    read_jsonl,
+    snapshot_from_jsonl,
+    snapshot_to_rows,
+    write_metrics_csv,
+    write_run_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "TelemetryHub",
+    "FpuProbe",
+    "ComputeUnitProbe",
+    "EventKind",
+    "EventRing",
+    "TelemetryEvent",
+    "TraceEventSink",
+    "render_dashboard",
+    "merge_snapshots",
+    "snapshot_to_rows",
+    "snapshot_from_jsonl",
+    "write_metrics_csv",
+    "write_run_jsonl",
+    "read_jsonl",
+    "build_manifest",
+    "write_manifest",
+    "read_manifest",
+    "git_describe",
+]

@@ -1,0 +1,143 @@
+"""Bounded structured-event stream.
+
+Where the metrics registry answers "how many", the event stream answers
+"what happened, in order": memoization hits and misses, injected timing
+errors, ECU recoveries, wavefront retirements and clause boundaries are
+appended as typed records to a fixed-capacity ring buffer.  Once the ring
+is full the oldest events are overwritten and a dropped counter keeps the
+loss visible, so an always-on stream can never exhaust memory the way the
+unbounded :class:`~repro.gpu.trace.FpTraceCollector` historically could.
+
+:class:`TraceEventSink` adapts the ring to the trace-collector protocol of
+:mod:`repro.gpu.trace`, so anything that accepts a ``TraceCollector``
+(stream cores, devices) can feed the telemetry stream directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import TelemetryError
+
+
+class EventKind(enum.Enum):
+    """Structured event types emitted by the instrumented simulator."""
+
+    MEMO_HIT = "memo_hit"
+    MEMO_MISS = "memo_miss"
+    MEMO_UPDATE = "memo_update"
+    TIMING_ERROR = "timing_error"
+    RECOVERY = "recovery"
+    ERROR_MASKED = "error_masked"
+    WAVEFRONT_RETIRED = "wavefront_retired"
+    CLAUSE_BOUNDARY = "clause_boundary"
+    FP_OP = "fp_op"
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured event: what, where, and event-specific payload."""
+
+    seq: int
+    kind: EventKind
+    source: str
+    payload: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "kind": self.kind.value,
+            "source": self.source,
+            **self.payload,
+        }
+
+
+class EventRing:
+    """Fixed-capacity ring buffer of :class:`TelemetryEvent`.
+
+    Appends are O(1); iteration yields retained events oldest-first.
+    ``total`` counts every append ever made; ``dropped`` is how many
+    events the ring has already overwritten.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise TelemetryError("event ring capacity must be at least 1")
+        self.capacity = capacity
+        self.total = 0
+        self._buffer: List[TelemetryEvent] = []
+        self._start = 0
+
+    def emit(
+        self, kind: EventKind, source: str, payload: Optional[dict] = None
+    ) -> TelemetryEvent:
+        event = TelemetryEvent(self.total, kind, source, payload or {})
+        self.append(event)
+        return event
+
+    def append(self, event: TelemetryEvent) -> None:
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(event)
+        else:
+            self._buffer[self._start] = event
+            self._start = (self._start + 1) % self.capacity
+        self.total += 1
+
+    @property
+    def dropped(self) -> int:
+        return self.total - len(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[TelemetryEvent]:
+        n = len(self._buffer)
+        for i in range(n):
+            yield self._buffer[(self._start + i) % n]
+
+    def iter_kind(self, kind: EventKind) -> Iterator[TelemetryEvent]:
+        return (event for event in self if event.kind is kind)
+
+    def to_list(self) -> List[TelemetryEvent]:
+        return list(self)
+
+    def clear(self) -> None:
+        self._buffer = []
+        self._start = 0
+        self.total = 0
+
+
+class TraceEventSink:
+    """Adapter: the trace-collector protocol feeding an :class:`EventRing`.
+
+    Implements the same ``record`` signature as
+    :class:`repro.gpu.trace.TraceCollector`, so the telemetry stream can
+    stand in wherever the old collector was wired; every executed FP
+    instruction becomes a bounded ``FP_OP`` event instead of an entry in
+    an unbounded list.
+    """
+
+    enabled = True
+
+    def __init__(self, ring: EventRing) -> None:
+        self.ring = ring
+
+    def record(
+        self,
+        cu_index: int,
+        lane_index: int,
+        opcode,
+        operands: Tuple[float, ...],
+        result: float,
+    ) -> None:
+        self.ring.emit(
+            EventKind.FP_OP,
+            f"cu{cu_index}.sc{lane_index}",
+            {
+                "opcode": opcode.mnemonic,
+                "operands": list(operands),
+                "result": result,
+            },
+        )

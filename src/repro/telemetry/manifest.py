@@ -1,0 +1,93 @@
+"""Run manifests: what produced this pile of numbers?
+
+A manifest records enough context to reproduce (or distrust) a result
+file found weeks later next to it: the full simulation config, the error
+seed, the source revision (``git describe``), wall time and the final
+metric snapshot.  ``schema`` is bumped on incompatible layout changes so
+downstream tooling can refuse politely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from typing import Optional
+
+from ..config import SimConfig
+from .registry import MetricsSnapshot
+
+#: Manifest layout version.
+MANIFEST_SCHEMA = 1
+
+
+def git_describe() -> str:
+    """Best-effort source revision; ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    revision = out.stdout.strip()
+    return revision if out.returncode == 0 and revision else "unknown"
+
+
+def _config_to_dict(config: Optional[SimConfig]) -> Optional[dict]:
+    if config is None:
+        return None
+    raw = dataclasses.asdict(config)
+
+    def _clean(value):
+        if isinstance(value, dict):
+            return {k: _clean(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [_clean(v) for v in value]
+        return value
+
+    return _clean(raw)
+
+
+def build_manifest(
+    label: str,
+    config: Optional[SimConfig] = None,
+    wall_time_s: Optional[float] = None,
+    snapshot: Optional[MetricsSnapshot] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Assemble the manifest dict for one run."""
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "label": label,
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+        "git_describe": git_describe(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "seed": config.timing.seed if config is not None else None,
+        "config": _config_to_dict(config),
+        "wall_time_s": wall_time_s,
+    }
+    if snapshot is not None:
+        manifest["metrics"] = snapshot.to_dict()
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(path: str, manifest: dict) -> None:
+    """Write a manifest as pretty-printed JSON next to the results."""
+    with open(path, "w") as f:
+        json.dump(manifest, f, indent=2, sort_keys=False)
+        f.write("\n")
+
+
+def read_manifest(path: str) -> dict:
+    with open(path) as f:
+        return json.load(f)

@@ -1,0 +1,183 @@
+"""Probe points: near-zero-overhead instrumentation hooks.
+
+Every instrumented object (resilient FPU, memoization LUT, ECU, compute
+unit) carries a ``probe``/``telemetry`` attribute that defaults to
+``None``.  The hot path pays exactly one attribute load plus a ``None``
+check when telemetry is disabled::
+
+    probe = self.probe
+    if probe is not None:
+        probe.on_lookup(hit, opcode)
+
+When a :class:`TelemetryHub` is attached, each probe is *pre-bound*: it
+holds direct references to its own :class:`~repro.telemetry.registry.Counter`
+objects (no dict lookups per event) and to the shared event ring, so the
+enabled path is a handful of attribute increments.
+
+The hub owns one :class:`~repro.telemetry.registry.MetricsRegistry` and
+one :class:`~repro.telemetry.events.EventRing` per device; metric paths
+follow the ``cu{c}.sc{l}.fpu.{KIND}.{subsystem}.{leaf}`` naming scheme
+documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import TelemetryConfig
+from .events import EventKind, EventRing
+from .registry import MetricsRegistry, MetricsSnapshot
+
+#: Recovery-cost histogram bounds (cycles); 12 is the paper's baseline.
+RECOVERY_CYCLE_BUCKETS = (4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0)
+
+
+class FpuProbe:
+    """Pre-bound probe for one resilient FPU and its LUT + ECU.
+
+    One instance is shared by the three layers of the unit (the FPU
+    fast path, its memoization LUT and its ECU) so their events land in
+    one coherent ``cu{c}.sc{l}.fpu.{KIND}`` namespace.
+    """
+
+    __slots__ = (
+        "source",
+        "events",
+        "ops",
+        "errors_injected",
+        "memo_lookups",
+        "memo_hits",
+        "memo_misses",
+        "memo_updates",
+        "ecu_recoveries",
+        "ecu_recovery_cycles",
+        "ecu_masked",
+        "recovery_hist",
+    )
+
+    def __init__(
+        self, registry: MetricsRegistry, events: EventRing, source: str
+    ) -> None:
+        self.source = source
+        self.events = events
+        self.ops = registry.counter(f"{source}.ops")
+        self.errors_injected = registry.counter(f"{source}.errors.injected")
+        self.memo_lookups = registry.counter(f"{source}.memo.lookups")
+        self.memo_hits = registry.counter(f"{source}.memo.hits")
+        self.memo_misses = registry.counter(f"{source}.memo.misses")
+        self.memo_updates = registry.counter(f"{source}.memo.updates")
+        self.ecu_recoveries = registry.counter(f"{source}.ecu.recoveries")
+        self.ecu_recovery_cycles = registry.counter(
+            f"{source}.ecu.recovery_cycles"
+        )
+        self.ecu_masked = registry.counter(f"{source}.ecu.masked")
+        self.recovery_hist = registry.histogram(
+            f"{source}.ecu.recovery_cost", RECOVERY_CYCLE_BUCKETS
+        )
+
+    # ------------------------------------------------------- FPU fast path
+    def on_op(self) -> None:
+        self.ops.inc()
+
+    def on_timing_error(self) -> None:
+        self.errors_injected.inc()
+        self.events.emit(EventKind.TIMING_ERROR, self.source)
+
+    # ------------------------------------------------------------ memo LUT
+    def on_lookup(self, hit: bool, opcode=None) -> None:
+        self.memo_lookups.inc()
+        payload = {} if opcode is None else {"opcode": opcode.mnemonic}
+        if hit:
+            self.memo_hits.inc()
+            self.events.emit(EventKind.MEMO_HIT, self.source, payload)
+        else:
+            self.memo_misses.inc()
+            self.events.emit(EventKind.MEMO_MISS, self.source, payload)
+
+    def on_update(self) -> None:
+        self.memo_updates.inc()
+
+    # ------------------------------------------------------------------ ECU
+    def on_recovery(self, cycles: int) -> None:
+        self.ecu_recoveries.inc()
+        self.ecu_recovery_cycles.inc(cycles)
+        self.recovery_hist.observe(cycles)
+        self.events.emit(EventKind.RECOVERY, self.source, {"cycles": cycles})
+
+    def on_masked(self) -> None:
+        self.ecu_masked.inc()
+        self.events.emit(EventKind.ERROR_MASKED, self.source)
+
+
+class ComputeUnitProbe:
+    """Pre-bound probe for one compute unit's scheduler."""
+
+    __slots__ = ("source", "events", "wavefronts", "instruction_rounds")
+
+    def __init__(
+        self, registry: MetricsRegistry, events: EventRing, source: str
+    ) -> None:
+        self.source = source
+        self.events = events
+        self.wavefronts = registry.counter(f"{source}.wavefronts")
+        self.instruction_rounds = registry.counter(
+            f"{source}.instruction_rounds"
+        )
+
+    def on_instruction_round(self) -> None:
+        self.instruction_rounds.inc()
+
+    def on_wavefront_retired(self, rounds: int) -> None:
+        self.wavefronts.inc()
+        self.events.emit(
+            EventKind.WAVEFRONT_RETIRED, self.source, {"rounds": rounds}
+        )
+
+    def on_clause_boundary(self, clause_kind: str) -> None:
+        self.events.emit(
+            EventKind.CLAUSE_BOUNDARY, self.source, {"clause": clause_kind}
+        )
+
+
+class TelemetryHub:
+    """Per-device telemetry root: one registry + one event ring.
+
+    Instrumented layers ask the hub for pre-bound probes at construction
+    time; the hub is the single object the sinks, the dashboard and the
+    manifest consume afterwards.
+    """
+
+    def __init__(self, config: Optional[TelemetryConfig] = None) -> None:
+        self.config = config or TelemetryConfig(enabled=True)
+        self.registry = MetricsRegistry()
+        self.events = EventRing(self.config.events_capacity)
+
+    @classmethod
+    def from_config(
+        cls, config: Optional[TelemetryConfig]
+    ) -> Optional["TelemetryHub"]:
+        """The wiring entry point: ``None`` (free) when disabled."""
+        if config is None or not config.enabled:
+            return None
+        return cls(config)
+
+    # ---------------------------------------------------------------- probes
+    def fpu_probe(self, cu_index: int, lane_index: int, kind) -> FpuProbe:
+        kind_name = getattr(kind, "value", kind)
+        source = f"cu{cu_index}.sc{lane_index}.fpu.{kind_name}"
+        return FpuProbe(self.registry, self.events, source)
+
+    def cu_probe(self, cu_index: int) -> ComputeUnitProbe:
+        return ComputeUnitProbe(self.registry, self.events, f"cu{cu_index}")
+
+    # ----------------------------------------------------------------- views
+    def snapshot(self) -> MetricsSnapshot:
+        return self.registry.snapshot()
+
+    def per_unit_hits(self) -> dict:
+        """Device-wide memo counters rolled up per FPU kind."""
+        return self.registry.rollup("*.*.fpu.*.memo.*", strip=2)
+
+    def recovery_counts(self) -> dict:
+        """Device-wide ECU counters rolled up per FPU kind."""
+        return self.registry.rollup("*.*.fpu.*.ecu.*", strip=2)

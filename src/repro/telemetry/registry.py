@@ -1,0 +1,342 @@
+"""Hierarchical metrics registry: counters, gauges and histograms.
+
+Metrics are addressed by dotted path mirroring the architectural
+hierarchy, e.g. ``cu0.sc3.fpu.SQRT.memo.hits``: compute unit, stream
+core, unit kind, then the subsystem-local leaf name.  The registry is a
+flat dict keyed by the full path — creation is get-or-create, lookups
+during simulation are pre-bound (probes hold direct references to their
+metric objects), and the hierarchy only matters at aggregation time,
+where glob patterns select sub-trees cheaply (``fnmatch`` over the
+path components).
+
+A :class:`MetricsSnapshot` is the frozen, plain-data view of a registry
+used by the sinks; snapshots from independent shards (multi-seed sweeps,
+parallel runs) combine with :meth:`MetricsSnapshot.merge`, which is
+associative and commutative so shard order never changes the totals.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import TelemetryError
+
+#: Default cycle-count-flavoured histogram bucket upper bounds.
+DEFAULT_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise TelemetryError("counters only move forward")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins; shards merge by max)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts are derived on export).
+
+    ``buckets`` are upper bounds; one implicit overflow bucket catches
+    everything above the last bound.  Bounds are fixed at creation so
+    histograms from different shards stay mergeable bucket-by-bucket.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets", "counts", "count", "total")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not buckets:
+            raise TelemetryError("histogram needs at least one bucket bound")
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds):
+            raise TelemetryError("histogram bucket bounds must be sorted")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(n={self.count}, mean={self.mean:.3g})"
+
+
+def _last_component(path: str) -> str:
+    return path.rsplit(".", 1)[-1]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of dotted-path metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    # ------------------------------------------------------------- creation
+    def _get_or_create(self, path: str, factory, kind: str):
+        if not path or path.startswith(".") or path.endswith(".") or ".." in path:
+            raise TelemetryError(f"malformed metric path {path!r}")
+        metric = self._metrics.get(path)
+        if metric is None:
+            metric = factory()
+            self._metrics[path] = metric
+            return metric
+        if metric.kind != kind:
+            raise TelemetryError(
+                f"metric {path!r} already registered as {metric.kind}, "
+                f"requested {kind}"
+            )
+        return metric
+
+    def counter(self, path: str) -> Counter:
+        return self._get_or_create(path, Counter, "counter")
+
+    def gauge(self, path: str) -> Gauge:
+        return self._get_or_create(path, Gauge, "gauge")
+
+    def histogram(
+        self, path: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        metric = self._get_or_create(path, lambda: Histogram(buckets), "histogram")
+        if metric.buckets != tuple(float(b) for b in buckets):
+            raise TelemetryError(
+                f"histogram {path!r} already registered with different buckets"
+            )
+        return metric
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._metrics
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        """All (path, metric) pairs in sorted path order."""
+        for path in sorted(self._metrics):
+            yield path, self._metrics[path]
+
+    def match(self, pattern: str) -> Iterator[Tuple[str, object]]:
+        """(path, metric) pairs whose dotted path matches a glob pattern."""
+        for path, metric in self.items():
+            if fnmatchcase(path, pattern):
+                yield path, metric
+
+    def value(self, path: str) -> float:
+        metric = self._metrics.get(path)
+        if metric is None:
+            raise TelemetryError(f"no metric registered at {path!r}")
+        if metric.kind == "histogram":
+            return float(metric.count)
+        return metric.value
+
+    def sum(self, pattern: str) -> float:
+        """Aggregate counter/gauge values across a sub-tree."""
+        total = 0.0
+        for _, metric in self.match(pattern):
+            if metric.kind == "histogram":
+                total += metric.count
+            else:
+                total += metric.value
+        return total
+
+    def collect(self, pattern: str = "*") -> Dict[str, float]:
+        """Matching scalar values keyed by full path."""
+        out: Dict[str, float] = {}
+        for path, metric in self.match(pattern):
+            out[path] = metric.count if metric.kind == "histogram" else metric.value
+        return out
+
+    def rollup(self, pattern: str, strip: int = 2) -> Dict[str, float]:
+        """Sum matching metrics grouped by path suffix.
+
+        ``strip`` removes the leading location components, so counters
+        kept per stream core (``cu0.sc3.fpu.SQRT.memo.hits``) aggregate
+        across the device to ``fpu.SQRT.memo.hits``.
+        """
+        out: Dict[str, float] = {}
+        for path, metric in self.match(pattern):
+            parts = path.split(".")
+            key = ".".join(parts[strip:]) if len(parts) > strip else path
+            value = metric.count if metric.kind == "histogram" else metric.value
+            out[key] = out.get(key, 0.0) + value
+        return out
+
+    def snapshot(self) -> "MetricsSnapshot":
+        return MetricsSnapshot.from_registry(self)
+
+
+class MetricsSnapshot:
+    """Immutable-ish plain-data view of a registry, mergeable across shards.
+
+    Merge semantics keep the operation associative and commutative:
+    counters and histogram bins add, gauges keep the maximum.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(
+        self,
+        counters: Optional[Dict[str, int]] = None,
+        gauges: Optional[Dict[str, float]] = None,
+        histograms: Optional[Dict[str, dict]] = None,
+    ) -> None:
+        self.counters: Dict[str, int] = dict(counters or {})
+        self.gauges: Dict[str, float] = dict(gauges or {})
+        self.histograms: Dict[str, dict] = {
+            path: {
+                "buckets": list(h["buckets"]),
+                "counts": list(h["counts"]),
+                "count": h["count"],
+                "total": h["total"],
+            }
+            for path, h in (histograms or {}).items()
+        }
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "MetricsSnapshot":
+        snap = cls()
+        for path, metric in registry.items():
+            if metric.kind == "counter":
+                snap.counters[path] = metric.value
+            elif metric.kind == "gauge":
+                snap.gauges[path] = metric.value
+            else:
+                snap.histograms[path] = {
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric.counts),
+                    "count": metric.count,
+                    "total": metric.total,
+                }
+        return snap
+
+    # --------------------------------------------------------------- algebra
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two shards into a new snapshot (self is unchanged)."""
+        merged = MetricsSnapshot(self.counters, self.gauges, self.histograms)
+        for path, value in other.counters.items():
+            merged.counters[path] = merged.counters.get(path, 0) + value
+        for path, value in other.gauges.items():
+            current = merged.gauges.get(path)
+            merged.gauges[path] = value if current is None else max(current, value)
+        for path, hist in other.histograms.items():
+            mine = merged.histograms.get(path)
+            if mine is None:
+                merged.histograms[path] = {
+                    "buckets": list(hist["buckets"]),
+                    "counts": list(hist["counts"]),
+                    "count": hist["count"],
+                    "total": hist["total"],
+                }
+                continue
+            if list(mine["buckets"]) != list(hist["buckets"]):
+                raise TelemetryError(
+                    f"histogram {path!r} has mismatched buckets across shards"
+                )
+            mine["counts"] = [a + b for a, b in zip(mine["counts"], hist["counts"])]
+            mine["count"] += hist["count"]
+            mine["total"] += hist["total"]
+        return merged
+
+    # ------------------------------------------------------------- transport
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                path: {
+                    "buckets": list(h["buckets"]),
+                    "counts": list(h["counts"]),
+                    "count": h["count"],
+                    "total": h["total"],
+                }
+                for path, h in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        return cls(
+            counters=data.get("counters"),
+            gauges=data.get("gauges"),
+            histograms=data.get("histograms"),
+        )
+
+    def sum(self, pattern: str) -> float:
+        total = 0.0
+        for path, value in self.counters.items():
+            if fnmatchcase(path, pattern):
+                total += value
+        for path, value in self.gauges.items():
+            if fnmatchcase(path, pattern):
+                total += value
+        for path, hist in self.histograms.items():
+            if fnmatchcase(path, pattern):
+                total += hist["count"]
+        return total
+
+    def rollup(self, pattern: str, strip: int = 2) -> Dict[str, float]:
+        """Like :meth:`MetricsRegistry.rollup` but over the frozen view."""
+        out: Dict[str, float] = {}
+        pairs: List[Tuple[str, float]] = list(self.counters.items())
+        pairs += list(self.gauges.items())
+        pairs += [(p, float(h["count"])) for p, h in self.histograms.items()]
+        for path, value in pairs:
+            if not fnmatchcase(path, pattern):
+                continue
+            parts = path.split(".")
+            key = ".".join(parts[strip:]) if len(parts) > strip else path
+            out[key] = out.get(key, 0.0) + value
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsSnapshot):
+            return NotImplemented
+        return (
+            self.counters == other.counters
+            and self.gauges == other.gauges
+            and self.histograms == other.histograms
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsSnapshot({len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, {len(self.histograms)} histograms)"
+        )

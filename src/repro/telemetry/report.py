@@ -1,0 +1,165 @@
+"""ASCII telemetry dashboard.
+
+Renders a :class:`~repro.telemetry.registry.MetricsSnapshot` (or a live
+hub) as the aligned tables of :mod:`repro.utils.tables`: per-FPU-kind
+memoization counters with hit rates, ECU recovery accounting, energy
+gauges and the run-level scalars, plus the event-ring tail when one is
+supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..utils.tables import format_table
+from .events import EventRing
+from .registry import MetricsSnapshot
+
+
+def _unit_keys(rollup: Dict[str, float], middle: str) -> List[str]:
+    """Distinct FPU-kind names appearing in ``fpu.<KIND>.<middle>.*`` keys."""
+    kinds = set()
+    for key in rollup:
+        parts = key.split(".")
+        if len(parts) >= 3 and parts[0] == "fpu" and parts[2] == middle:
+            kinds.add(parts[1])
+    return sorted(kinds)
+
+
+def _memo_section(snapshot: MetricsSnapshot) -> Optional[str]:
+    rollup = snapshot.rollup("*.*.fpu.*.memo.*", strip=2)
+    kinds = _unit_keys(rollup, "memo")
+    if not kinds:
+        return None
+    rows = []
+    for kind in kinds:
+        lookups = rollup.get(f"fpu.{kind}.memo.lookups", 0.0)
+        hits = rollup.get(f"fpu.{kind}.memo.hits", 0.0)
+        if not lookups:
+            continue
+        rows.append(
+            [
+                kind,
+                int(lookups),
+                int(hits),
+                int(rollup.get(f"fpu.{kind}.memo.misses", 0.0)),
+                int(rollup.get(f"fpu.{kind}.memo.updates", 0.0)),
+                hits / lookups,
+            ]
+        )
+    if not rows:
+        return None
+    return format_table(
+        ["unit", "lookups", "hits", "misses", "updates", "hit rate"],
+        rows,
+        title="Memoization (per FPU kind, aggregated over the device)",
+    )
+
+
+def _ecu_section(snapshot: MetricsSnapshot) -> Optional[str]:
+    rollup = snapshot.rollup("*.*.fpu.*.ecu.*", strip=2)
+    errors = snapshot.rollup("*.*.fpu.*.errors.injected", strip=2)
+    kinds = sorted(
+        set(_unit_keys(rollup, "ecu"))
+        | {k.split(".")[1] for k in errors if k.startswith("fpu.")}
+    )
+    rows = []
+    for kind in kinds:
+        injected = errors.get(f"fpu.{kind}.errors.injected", 0.0)
+        recoveries = rollup.get(f"fpu.{kind}.ecu.recoveries", 0.0)
+        masked = rollup.get(f"fpu.{kind}.ecu.masked", 0.0)
+        cycles = rollup.get(f"fpu.{kind}.ecu.recovery_cycles", 0.0)
+        if not (injected or recoveries or masked):
+            continue
+        rows.append([kind, int(injected), int(recoveries), int(masked), int(cycles)])
+    if not rows:
+        return None
+    return format_table(
+        ["unit", "errors injected", "recoveries", "masked", "stall cycles"],
+        rows,
+        title="Timing errors & ECU recovery",
+    )
+
+
+def _energy_section(snapshot: MetricsSnapshot) -> Optional[str]:
+    rows = []
+    prefix = "energy."
+    by_unit: Dict[str, Dict[str, float]] = {}
+    for path, value in snapshot.gauges.items():
+        if not path.startswith(prefix):
+            continue
+        parts = path.split(".")
+        if len(parts) != 3:
+            continue
+        by_unit.setdefault(parts[1], {})[parts[2]] = value
+    for unit in sorted(by_unit):
+        slices = by_unit[unit]
+        rows.append(
+            [
+                unit,
+                slices.get("datapath_pj", 0.0),
+                slices.get("gated_pj", 0.0),
+                slices.get("recovery_pj", 0.0),
+                slices.get("memo_pj", 0.0),
+                slices.get("total_pj", 0.0),
+            ]
+        )
+    if not rows:
+        return None
+    return format_table(
+        ["unit", "datapath pJ", "gated pJ", "recovery pJ", "memo pJ", "total pJ"],
+        rows,
+        title="Energy (published gauges)",
+    )
+
+
+def _scalar_section(snapshot: MetricsSnapshot) -> Optional[str]:
+    rows = []
+    for path in sorted(snapshot.counters):
+        if path.count(".") <= 1 and not path.startswith("energy."):
+            rows.append([path, snapshot.counters[path]])
+    for path in sorted(snapshot.gauges):
+        if path.count(".") <= 1 and not path.startswith("energy."):
+            rows.append([path, snapshot.gauges[path]])
+    if not rows:
+        return None
+    return format_table(["metric", "value"], rows, title="Run-level scalars")
+
+
+def _events_section(events: EventRing, tail: int = 10) -> Optional[str]:
+    if events.total == 0:
+        return None
+    recent = events.to_list()[-tail:]
+    rows = [
+        [event.seq, event.kind.value, event.source, str(event.payload or "")]
+        for event in recent
+    ]
+    title = (
+        f"Event stream tail ({events.total} emitted, "
+        f"{events.dropped} dropped by the ring)"
+    )
+    return format_table(["seq", "kind", "source", "payload"], rows, title=title)
+
+
+def render_dashboard(
+    snapshot: MetricsSnapshot,
+    events: Optional[EventRing] = None,
+    title: str = "telemetry",
+) -> str:
+    """Render the full ASCII dashboard for one snapshot."""
+    sections = [f"== {title} =="]
+    for section in (
+        _memo_section(snapshot),
+        _ecu_section(snapshot),
+        _energy_section(snapshot),
+        _scalar_section(snapshot),
+    ):
+        if section:
+            sections.append(section)
+    if events is not None:
+        tail = _events_section(events)
+        if tail:
+            sections.append(tail)
+    if len(sections) == 1:
+        sections.append("(no metrics recorded)")
+    return "\n\n".join(sections)

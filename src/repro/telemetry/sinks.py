@@ -1,0 +1,110 @@
+"""Exporters: JSONL / CSV / in-memory snapshot merging.
+
+The JSONL form is one self-describing JSON object per line, each tagged
+with a ``"type"`` field (``manifest``, ``metric``, ``event``) so a file
+can be streamed, filtered with standard tools, and concatenated across
+runs.  The CSV form is the flat scalar view (``path,kind,value``) for
+spreadsheet-style consumption.  :func:`merge_snapshots` folds any number
+of shard snapshots into one — the multi-seed sweep and future parallel
+executors combine per-shard metrics with it.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import TelemetryError
+from .events import TelemetryEvent
+from .registry import MetricsSnapshot
+
+
+def snapshot_to_rows(snapshot: MetricsSnapshot) -> List[tuple]:
+    """Flatten a snapshot to sorted ``(path, kind, value)`` rows."""
+    rows: List[tuple] = []
+    for path, value in snapshot.counters.items():
+        rows.append((path, "counter", value))
+    for path, value in snapshot.gauges.items():
+        rows.append((path, "gauge", value))
+    for path, hist in snapshot.histograms.items():
+        rows.append((path, "histogram_count", hist["count"]))
+        rows.append((path, "histogram_total", hist["total"]))
+    rows.sort()
+    return rows
+
+
+def write_metrics_csv(path: str, snapshot: MetricsSnapshot) -> None:
+    """Write the flat scalar view as ``path,kind,value`` CSV."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["path", "kind", "value"])
+        writer.writerows(snapshot_to_rows(snapshot))
+
+
+def write_run_jsonl(
+    path: str,
+    manifest: Optional[dict] = None,
+    snapshot: Optional[MetricsSnapshot] = None,
+    events: Iterable[TelemetryEvent] = (),
+) -> int:
+    """Write one run as typed JSONL records; returns the line count."""
+    lines = 0
+    with open(path, "w") as f:
+        if manifest is not None:
+            f.write(json.dumps({"type": "manifest", **manifest}) + "\n")
+            lines += 1
+        if snapshot is not None:
+            for mpath, kind, value in snapshot_to_rows(snapshot):
+                f.write(
+                    json.dumps(
+                        {
+                            "type": "metric",
+                            "path": mpath,
+                            "kind": kind,
+                            "value": value,
+                        }
+                    )
+                    + "\n"
+                )
+                lines += 1
+        for event in events:
+            f.write(json.dumps({"type": "event", **event.to_dict()}) + "\n")
+            lines += 1
+    return lines
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Load every record of a JSONL file (blank lines ignored)."""
+    records = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def snapshot_from_jsonl(records: Iterable[dict]) -> MetricsSnapshot:
+    """Rebuild the scalar part of a snapshot from JSONL metric records."""
+    counters = {}
+    gauges = {}
+    for record in records:
+        if record.get("type") != "metric":
+            continue
+        kind = record["kind"]
+        if kind == "counter":
+            counters[record["path"]] = int(record["value"])
+        elif kind == "gauge":
+            gauges[record["path"]] = float(record["value"])
+    return MetricsSnapshot(counters=counters, gauges=gauges)
+
+
+def merge_snapshots(shards: Sequence[MetricsSnapshot]) -> MetricsSnapshot:
+    """Fold shard snapshots into one (associative, order-independent)."""
+    if not shards:
+        raise TelemetryError("need at least one snapshot to merge")
+    merged = shards[0]
+    for shard in shards[1:]:
+        merged = merged.merge(shard)
+    return merged

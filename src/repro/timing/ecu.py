@@ -19,8 +19,8 @@ pipeline is actively clocking without retiring useful work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import RecoveryError
 
@@ -134,6 +134,9 @@ class ErrorControlUnit:
         self.pipeline_depth = pipeline_depth
         self.policy = policy or MultipleIssueReplay()
         self.stats = EcuStats()
+        #: Optional telemetry probe (:class:`repro.telemetry.FpuProbe`);
+        #: ``None`` keeps recovery handling probe-free.
+        self.probe = None
 
     def on_error_signal(self, in_flight: Optional[int] = None) -> RecoveryRecord:
         """An unmasked error reached the ECU: run the recovery policy."""
@@ -145,9 +148,15 @@ class ErrorControlUnit:
         self.stats.recovery_cycles += record.cycles
         self.stats.replayed_issues += record.replayed_issues
         self.stats.flushed_ops += record.flushed_ops
+        probe = self.probe
+        if probe is not None:
+            probe.on_recovery(record.cycles)
         return record
 
     def on_masked_error(self) -> None:
         """A hit masked the error signal before it reached the ECU."""
         self.stats.errors_seen += 1
         self.stats.masked_by_memoization += 1
+        probe = self.probe
+        if probe is not None:
+            probe.on_masked()

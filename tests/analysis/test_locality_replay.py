@@ -12,9 +12,9 @@ from repro.analysis.locality import (
     reuse_distance_histogram,
 )
 from repro.analysis.replay import capture_trace, replay_trace
-from repro.config import ArchConfig, MemoConfig, SimConfig, TimingConfig, small_arch
+from repro.config import MemoConfig, SimConfig, TimingConfig, small_arch
 from repro.gpu.executor import GpuExecutor
-from repro.gpu.trace import FpTraceCollector, TraceEvent
+from repro.gpu.trace import TraceEvent
 from repro.isa.opcodes import UnitKind, opcode_by_mnemonic
 from repro.kernels.registry import workload_by_name
 
@@ -117,7 +117,8 @@ class TestAnalyzeTrace:
 
 class TestReplay:
     def test_replay_matches_direct_run_exact_matching(self):
-        workload_factory = lambda: workload_by_name("Haar")
+        def workload_factory():
+            return workload_by_name("Haar")
         trace = capture_trace(workload_factory())
         replayed = replay_trace(trace, MemoConfig(threshold=0.0))
 

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.analysis.multirun import (
-    MultiSeedMeasurement,
-    Statistic,
-    measure_with_seeds,
-)
+from repro.analysis.multirun import Statistic, measure_with_seeds
 from repro.errors import ConfigError
 from repro.kernels.registry import KERNEL_REGISTRY
 

@@ -12,7 +12,7 @@ from repro.config import MemoConfig, SimConfig, small_arch
 from repro.energy.params import EnergyParams
 from repro.errors import EnergyModelError, MemoizationError
 from repro.gpu.executor import GpuExecutor
-from repro.gpu.trace import FpTraceCollector, TraceEvent
+from repro.gpu.trace import FpTraceCollector
 from repro.isa.opcodes import UnitKind, opcode_by_mnemonic
 from repro.kernels.binomial_option import BinomialOptionWorkload
 
@@ -64,7 +64,8 @@ class TestPreloadDevice:
         cold-start misses for the shared lattice constants; preloading a
         profile from an earlier run turns them into hits.
         """
-        workload_factory = lambda: BinomialOptionWorkload(16, steps=4)
+        def workload_factory():
+            return BinomialOptionWorkload(16, steps=4)
         profile = build_preload_profile(capture_trace(workload_factory()))
 
         def run(with_preload):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.energy.model import EnergyBreakdown, EnergyModel
-from repro.energy.params import EnergyParams
 from repro.errors import EnergyModelError
 from repro.fpu.units import UNIT_SPECS
 from repro.isa.opcodes import UnitKind

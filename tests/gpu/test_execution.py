@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.config import ArchConfig, MemoConfig, SimConfig, TimingConfig
+from repro.config import MemoConfig, TimingConfig
 from repro.errors import ArchitectureError, KernelError
 from repro.gpu.compute_unit import ComputeUnit
-from repro.gpu.device import Device
 from repro.gpu.dispatcher import UltraThreadDispatcher
 from repro.gpu.executor import GpuExecutor, ReferenceExecutor
 from repro.gpu.stream_core import StreamCore
@@ -75,7 +74,7 @@ class TestComputeUnitScheduling:
         def tagged_kernel(ctx):
             # Two FP ops; operand encodes the work-item id.
             a = yield ctx.fadd(float(ctx.global_id), 0.0)
-            b = yield ctx.fmul(a, 1.0)
+            yield ctx.fmul(a, 1.0)
 
         items = [
             WorkItem(i, i, 0, coroutine=tagged_kernel(_ctx(i)))

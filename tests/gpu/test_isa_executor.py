@@ -66,10 +66,10 @@ class TestIterProgramFpOps:
         program = assemble(LOOPED)
         registers = {}
         gen = iter_program_fp_ops(program, registers, GlobalMemory(0))
-        request = gen.send(None)
+        gen.send(None)
         try:
             while True:
-                request = gen.send(42.0)  # override every result
+                gen.send(42.0)  # override every result
         except StopIteration:
             pass
         assert registers[1] == 42.0

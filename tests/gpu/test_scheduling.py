@@ -49,7 +49,8 @@ class TestScheduleEquivalence:
     def test_hit_rates_may_differ(self):
         """The schedules are allowed (expected) to produce different
         locality; this pins the EigenValue collapse from the ablation."""
-        workload_factory = lambda: workload_by_name("EigenValue")
+        def workload_factory():
+            return workload_by_name("EigenValue")
 
         def hit_rate(schedule):
             config = SimConfig(

@@ -1,6 +1,5 @@
 """Tests for the FP trace collector."""
 
-import pytest
 
 from repro.gpu.trace import FpTraceCollector, NullTraceCollector, TraceEvent
 from repro.isa.opcodes import UnitKind, opcode_by_mnemonic

@@ -7,7 +7,6 @@ quantities the energy model consumes (active/gated stage traversals,
 results, error masking).
 """
 
-import pytest
 
 from repro.config import MemoConfig
 from repro.fpu.base import FpuPipeline

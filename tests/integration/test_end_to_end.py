@@ -6,7 +6,6 @@ import pytest
 from repro.config import ArchConfig, MemoConfig, SimConfig, TimingConfig, small_arch
 from repro.gpu.executor import GpuExecutor
 from repro.images.synth import synth_face
-from repro.isa.opcodes import UnitKind
 from repro.kernels.registry import KERNEL_REGISTRY, workload_by_name
 from repro.kernels.sobel import SobelWorkload
 

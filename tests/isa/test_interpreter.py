@@ -1,6 +1,5 @@
 """Tests for the scalar reference interpreter."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.config import MemoConfig, SimConfig, small_arch
-from repro.gpu.executor import GpuExecutor, ReferenceExecutor
+from repro.gpu.executor import GpuExecutor
 from repro.images.psnr import psnr
 from repro.images.synth import synth_face
 from repro.kernels.gaussian import GAUSSIAN_TAPS, GaussianWorkload

@@ -1,6 +1,5 @@
 """Tests for the Table-2 decision logic."""
 
-import pytest
 
 from repro.config import MemoConfig
 from repro.memo.module import (

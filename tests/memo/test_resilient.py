@@ -1,6 +1,5 @@
 """Tests for the analytic resilient-FPU model."""
 
-import pytest
 
 from repro.config import ArchConfig, MemoConfig, TimingConfig
 from repro.isa.opcodes import UnitKind, opcode_by_mnemonic

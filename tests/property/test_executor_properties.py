@@ -6,7 +6,6 @@ reference results for arbitrary FP programs — memoization and recovery
 are architecturally invisible.
 """
 
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -2,7 +2,7 @@
 
 import math
 
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.config import MemoConfig
@@ -10,7 +10,7 @@ from repro.fpu.arithmetic import evaluate, float32
 from repro.memo.fifo import MemoFifo
 from repro.memo.matching import MatchOutcome, MatchingConstraint
 from repro.memo.module import TemporalMemoizationModule
-from repro.isa.opcodes import FP_OPCODES, opcode_by_mnemonic
+from repro.isa.opcodes import opcode_by_mnemonic
 
 ADD = opcode_by_mnemonic("ADD")
 SUB = opcode_by_mnemonic("SUB")
@@ -100,7 +100,6 @@ class TestFifoProperties:
     def test_fifo_order_eviction(self, entries):
         """Only the `depth` most recent distinct contexts are retained."""
         fifo = MemoFifo(2)
-        constraint = MatchingConstraint(threshold=0.0, allow_commutative=False)
         for a, b in entries:
             fifo.insert(ADD, (a, b), 0.0)
         retained = {tuple(e.operands) for e in fifo.entries}

@@ -1,7 +1,7 @@
 """Property-based tests for the timing and energy models (hypothesis)."""
 
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.analysis.calibration import AnalyticModel

@@ -1,0 +1,107 @@
+"""Property tests: metric-snapshot merging is a well-behaved monoid.
+
+Multi-run sweeps fold per-shard snapshots in whatever order the shards
+finish, so ``merge`` must be associative and order-independent, and the
+merged counter totals must equal the sum over shards.
+"""
+
+import functools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.registry import MetricsSnapshot
+from repro.telemetry.sinks import merge_snapshots
+
+PATHS = st.sampled_from(
+    [
+        "cu0.sc0.fpu.ADD.memo.hits",
+        "cu0.sc1.fpu.ADD.memo.hits",
+        "cu0.sc0.fpu.SQRT.memo.lookups",
+        "cu1.sc0.fpu.MUL.ecu.recoveries",
+        "run.launches",
+    ]
+)
+
+BUCKETS = (1.0, 4.0, 16.0)
+
+
+def _histogram(counts, total):
+    return {
+        "buckets": list(BUCKETS),
+        "counts": list(counts),
+        "count": sum(counts),
+        "total": total,
+    }
+
+
+SNAPSHOTS = st.builds(
+    MetricsSnapshot,
+    counters=st.dictionaries(PATHS, st.integers(min_value=0, max_value=10**6)),
+    gauges=st.dictionaries(
+        st.sampled_from(["run.executed_ops", "energy.TOTAL.total_pj"]),
+        st.integers(min_value=0, max_value=10**6).map(float),
+    ),
+    histograms=st.dictionaries(
+        st.sampled_from(["cu0.sc0.fpu.ADD.ecu.recovery_cost"]),
+        st.builds(
+            _histogram,
+            st.lists(
+                st.integers(min_value=0, max_value=1000),
+                min_size=len(BUCKETS) + 1,
+                max_size=len(BUCKETS) + 1,
+            ),
+            st.integers(min_value=0, max_value=10**6).map(float),
+        ),
+    ),
+)
+
+
+class TestMergeAlgebra:
+    @given(a=SNAPSHOTS, b=SNAPSHOTS, c=SNAPSHOTS)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        assert a.merge(b.merge(c)) == a.merge(b).merge(c)
+
+    @given(a=SNAPSHOTS, b=SNAPSHOTS)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(shards=st.lists(SNAPSHOTS, min_size=1, max_size=6), seed=st.randoms())
+    @settings(max_examples=40, deadline=None)
+    def test_shard_order_never_changes_the_fold(self, shards, seed):
+        shuffled = list(shards)
+        seed.shuffle(shuffled)
+        assert merge_snapshots(shards) == merge_snapshots(shuffled)
+
+    @given(shards=st.lists(SNAPSHOTS, min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_counter_totals_equal_sum_of_shards(self, shards):
+        merged = merge_snapshots(shards)
+        paths = set()
+        for shard in shards:
+            paths.update(shard.counters)
+        for path in paths:
+            expected = sum(shard.counters.get(path, 0) for shard in shards)
+            assert merged.counters[path] == expected
+
+    @given(a=SNAPSHOTS)
+    @settings(max_examples=40, deadline=None)
+    def test_empty_snapshot_is_identity(self, a):
+        empty = MetricsSnapshot()
+        assert a.merge(empty) == a
+        assert empty.merge(a) == a
+
+    @given(a=SNAPSHOTS, b=SNAPSHOTS)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_leaves_inputs_untouched(self, a, b):
+        before = functools.reduce(
+            lambda acc, kv: acc, [], (dict(a.counters), dict(a.gauges))
+        )
+        a_counters = dict(a.counters)
+        b_counters = dict(b.counters)
+        a.merge(b)
+        assert a.counters == a_counters
+        assert b.counters == b_counters
+        del before

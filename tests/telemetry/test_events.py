@@ -1,0 +1,137 @@
+"""Tests for the bounded structured-event stream."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.gpu.trace import FpTraceCollector
+from repro.isa.opcodes import opcode_by_mnemonic
+from repro.telemetry.events import (
+    EventKind,
+    EventRing,
+    TelemetryEvent,
+    TraceEventSink,
+)
+
+ADD = opcode_by_mnemonic("ADD")
+
+
+class TestEventRing:
+    def test_append_below_capacity_keeps_everything(self):
+        ring = EventRing(4)
+        for i in range(3):
+            ring.emit(EventKind.MEMO_HIT, f"src{i}")
+        assert len(ring) == 3
+        assert ring.dropped == 0
+        assert [e.seq for e in ring] == [0, 1, 2]
+
+    def test_overflow_drops_oldest(self):
+        ring = EventRing(3)
+        for i in range(7):
+            ring.emit(EventKind.TIMING_ERROR, "fpu", {"i": i})
+        assert len(ring) == 3
+        assert ring.total == 7
+        assert ring.dropped == 4
+        assert [e.payload["i"] for e in ring] == [4, 5, 6]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(TelemetryError):
+            EventRing(0)
+
+    def test_iter_kind_filters(self):
+        ring = EventRing(10)
+        ring.emit(EventKind.MEMO_HIT, "a")
+        ring.emit(EventKind.RECOVERY, "b", {"cycles": 12})
+        ring.emit(EventKind.MEMO_HIT, "c")
+        hits = list(ring.iter_kind(EventKind.MEMO_HIT))
+        assert [e.source for e in hits] == ["a", "c"]
+
+    def test_clear_resets_all_state(self):
+        ring = EventRing(2)
+        for _ in range(5):
+            ring.emit(EventKind.MEMO_MISS, "x")
+        ring.clear()
+        assert len(ring) == 0 and ring.total == 0 and ring.dropped == 0
+
+    def test_event_to_dict_flattens_payload(self):
+        event = TelemetryEvent(7, EventKind.RECOVERY, "cu0.sc1.fpu.ADD", {"cycles": 12})
+        assert event.to_dict() == {
+            "seq": 7,
+            "kind": "recovery",
+            "source": "cu0.sc1.fpu.ADD",
+            "cycles": 12,
+        }
+
+
+class TestTraceEventSink:
+    def test_implements_collector_protocol(self):
+        ring = EventRing(8)
+        sink = TraceEventSink(ring)
+        sink.record(0, 3, ADD, (1.0, 2.0), 3.0)
+        events = ring.to_list()
+        assert len(events) == 1
+        event = events[0]
+        assert event.kind is EventKind.FP_OP
+        assert event.source == "cu0.sc3"
+        assert event.payload == {
+            "opcode": "ADD",
+            "operands": [1.0, 2.0],
+            "result": 3.0,
+        }
+
+    def test_bounded_unlike_legacy_collector(self):
+        ring = EventRing(2)
+        sink = TraceEventSink(ring)
+        for i in range(10):
+            sink.record(0, 0, ADD, (float(i), 0.0), float(i))
+        assert len(ring) == 2 and ring.dropped == 8
+
+    def test_device_can_stream_fp_ops_into_ring(self, tiny_arch):
+        from repro.config import SimConfig, TelemetryConfig
+        from repro.gpu.executor import GpuExecutor
+        from repro.kernels.api import Buffer
+
+        config = SimConfig(
+            arch=tiny_arch,
+            telemetry=TelemetryConfig(
+                enabled=True, events_capacity=64, record_fp_ops=True
+            ),
+        )
+        executor = GpuExecutor(config)
+
+        def k(ctx, buf):
+            value = buf.load(ctx.global_id)
+            yield ctx.fadd(value, 1.0)
+
+        executor.run(k, 4, (Buffer.zeros(4),))
+        fp_ops = list(executor.telemetry.events.iter_kind(EventKind.FP_OP))
+        assert len(fp_ops) == 4
+
+
+class TestLegacyTraceRingMode:
+    def test_max_events_keeps_most_recent(self):
+        collector = FpTraceCollector(max_events=3)
+        for i in range(8):
+            collector.record(0, 0, ADD, (float(i), 0.0), float(i))
+        assert len(collector) == 3
+        assert collector.dropped == 5
+        assert [e.result for e in collector.events] == [5.0, 6.0, 7.0]
+
+    def test_max_events_replay_api_still_works(self):
+        collector = FpTraceCollector(max_events=4)
+        for i in range(6):
+            collector.record(0, i % 2, ADD, (float(i), 0.0), float(i))
+        streams = collector.per_fpu_streams()
+        assert sum(len(s) for s in streams.values()) == 4
+        assert len(list(collector.iter_unit(ADD.unit))) == 4
+
+    def test_max_events_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FpTraceCollector(max_events=0)
+
+    def test_capacity_mode_unchanged_drops_newest(self):
+        collector = FpTraceCollector(capacity=2)
+        for i in range(5):
+            collector.record(0, 0, ADD, (float(i), 0.0), float(i))
+        assert len(collector) == 2
+        assert collector.dropped == 3
+        assert [e.result for e in collector.events] == [0.0, 1.0]

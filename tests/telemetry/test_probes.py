@@ -1,0 +1,200 @@
+"""Probe wiring: registry counters mirror the simulator's own tallies,
+and a disabled probe costs (nearly) nothing on the hot path."""
+
+import time
+
+from repro.config import (
+    MemoConfig,
+    SimConfig,
+    TelemetryConfig,
+    TimingConfig,
+)
+from repro.gpu.executor import GpuExecutor
+from repro.isa.opcodes import UnitKind, opcode_by_mnemonic
+from repro.kernels.api import Buffer
+from repro.memo.resilient import ResilientFpu
+from repro.telemetry.events import EventKind
+from repro.telemetry.probes import TelemetryHub
+
+ADD = opcode_by_mnemonic("ADD")
+
+
+def _kernel(ctx, buf):
+    value = buf.load(ctx.global_id)
+    total = yield ctx.fadd(value, 1.0)
+    yield ctx.fmul(total, 2.0)
+
+
+def _run(config):
+    executor = GpuExecutor(config)
+    executor.run(_kernel, 16, (Buffer.zeros(16),))
+    return executor
+
+
+class TestHubConstruction:
+    def test_disabled_config_builds_no_hub(self, tiny_arch):
+        config = SimConfig(arch=tiny_arch)
+        executor = GpuExecutor(config)
+        assert executor.telemetry is None
+
+    def test_default_config_is_disabled(self):
+        assert not SimConfig().telemetry.enabled
+
+    def test_enabled_config_builds_hub(self, tiny_arch):
+        config = SimConfig(
+            arch=tiny_arch, telemetry=TelemetryConfig(enabled=True)
+        )
+        executor = GpuExecutor(config)
+        assert isinstance(executor.telemetry, TelemetryHub)
+
+
+class TestCountersMirrorSimulatorTallies:
+    def test_memo_counters_match_lut_stats(self, tiny_arch):
+        config = SimConfig(
+            arch=tiny_arch,
+            memo=MemoConfig(threshold=0.5),
+            timing=TimingConfig(error_rate=0.05),
+            telemetry=TelemetryConfig(enabled=True),
+        )
+        executor = _run(config)
+        hub = executor.telemetry
+        lut_stats = executor.device.lut_stats()
+        hits = sum(s.hits for s in lut_stats.values())
+        lookups = sum(s.lookups for s in lut_stats.values())
+        updates = sum(s.updates for s in lut_stats.values())
+        assert hub.registry.sum("*.*.fpu.*.memo.hits") == hits
+        assert hub.registry.sum("*.*.fpu.*.memo.lookups") == lookups
+        assert hub.registry.sum("*.*.fpu.*.memo.updates") == updates
+
+    def test_ecu_counters_match_fpu_counters(self, tiny_arch):
+        config = SimConfig(
+            arch=tiny_arch,
+            memo=MemoConfig(threshold=0.5),
+            timing=TimingConfig(error_rate=0.2),
+            telemetry=TelemetryConfig(enabled=True),
+        )
+        executor = _run(config)
+        hub = executor.telemetry
+        counters = executor.device.counters()
+        injected = sum(c.errors_injected for c in counters.values())
+        recovered = sum(c.errors_recovered for c in counters.values())
+        masked = sum(c.errors_masked for c in counters.values())
+        stalls = sum(c.recovery_stall_cycles for c in counters.values())
+        assert hub.registry.sum("*.*.fpu.*.errors.injected") == injected
+        assert hub.registry.sum("*.*.fpu.*.ecu.recoveries") == recovered
+        assert hub.registry.sum("*.*.fpu.*.ecu.masked") == masked
+        assert hub.registry.sum("*.*.fpu.*.ecu.recovery_cycles") == stalls
+
+    def test_ops_and_wavefront_counters(self, tiny_arch):
+        config = SimConfig(
+            arch=tiny_arch, telemetry=TelemetryConfig(enabled=True)
+        )
+        executor = _run(config)
+        hub = executor.telemetry
+        assert hub.registry.sum("*.*.fpu.*.ops") == executor.device.executed_ops
+        unit = executor.device.compute_units[0]
+        assert hub.registry.value("cu0.wavefronts") == unit.wavefronts_executed
+        assert (
+            hub.registry.value("cu0.instruction_rounds")
+            == unit.instruction_rounds
+        )
+        assert hub.registry.value("run.launches") == 1
+        assert hub.registry.value("run.work_items") == 16
+
+    def test_events_emitted_for_memo_and_errors(self, tiny_arch):
+        config = SimConfig(
+            arch=tiny_arch,
+            memo=MemoConfig(threshold=0.5),
+            timing=TimingConfig(error_rate=0.2),
+            telemetry=TelemetryConfig(enabled=True, events_capacity=100_000),
+        )
+        executor = _run(config)
+        events = executor.telemetry.events
+        kinds = {event.kind for event in events}
+        assert EventKind.MEMO_MISS in kinds
+        assert EventKind.WAVEFRONT_RETIRED in kinds
+        hits = len(list(events.iter_kind(EventKind.MEMO_HIT)))
+        lut_stats = executor.device.lut_stats()
+        assert hits == sum(s.hits for s in lut_stats.values())
+
+    def test_baseline_device_has_no_memo_counters_but_tracks_ecu(self, tiny_arch):
+        config = SimConfig(
+            arch=tiny_arch,
+            timing=TimingConfig(error_rate=0.2),
+            telemetry=TelemetryConfig(enabled=True),
+        )
+        executor = GpuExecutor(config, memoized=False)
+        executor.run(_kernel, 16, (Buffer.zeros(16),))
+        hub = executor.telemetry
+        assert hub.registry.sum("*.*.fpu.*.memo.lookups") == 0
+        counters = executor.device.counters()
+        recovered = sum(c.errors_recovered for c in counters.values())
+        assert hub.registry.sum("*.*.fpu.*.ecu.recoveries") == recovered
+        assert recovered > 0
+
+    def test_energy_gauges_published_on_report(self, tiny_arch):
+        config = SimConfig(
+            arch=tiny_arch, telemetry=TelemetryConfig(enabled=True)
+        )
+        executor = _run(config)
+        executor.device.energy_report()
+        snap = executor.telemetry.snapshot()
+        assert snap.gauges["energy.TOTAL.total_pj"] > 0
+        assert any(path.startswith("energy.ADD.") for path in snap.gauges)
+
+
+class TestHubRollups:
+    def test_per_unit_hits_and_recovery_counts(self, tiny_arch):
+        config = SimConfig(
+            arch=tiny_arch,
+            memo=MemoConfig(threshold=0.5),
+            timing=TimingConfig(error_rate=0.1),
+            telemetry=TelemetryConfig(enabled=True),
+        )
+        executor = _run(config)
+        hub = executor.telemetry
+        memo = hub.per_unit_hits()
+        assert f"fpu.{UnitKind.ADD.value}.memo.lookups" in memo
+        ecu = hub.recovery_counts()
+        assert f"fpu.{UnitKind.ADD.value}.ecu.recoveries" in ecu
+
+
+class TestDisabledProbeOverhead:
+    """A disabled probe is one attribute check on the hot path."""
+
+    OPS = 3000
+
+    @staticmethod
+    def _time_fpu(fpu) -> float:
+        operands_stream = [(float(i % 7), 1.0) for i in range(TestDisabledProbeOverhead.OPS)]
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for operands in operands_stream:
+                fpu.execute(ADD, operands)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def test_disabled_probe_not_slower_than_enabled(self):
+        plain = ResilientFpu(UnitKind.ADD, MemoConfig())
+        t_disabled = self._time_fpu(plain)
+
+        hub = TelemetryHub(TelemetryConfig(enabled=True, events_capacity=1024))
+        probed = ResilientFpu(UnitKind.ADD, MemoConfig())
+        probed.attach_probe(hub.fpu_probe(0, 0, UnitKind.ADD))
+        t_enabled = self._time_fpu(probed)
+
+        # The disabled path (attribute check only) must not cost more
+        # than the enabled path (counter increments + ring appends);
+        # generous slack keeps this stable on noisy CI machines.
+        assert t_disabled <= t_enabled * 1.5, (
+            f"disabled probe suspiciously slow: {t_disabled:.4f}s vs "
+            f"enabled {t_enabled:.4f}s"
+        )
+
+    def test_disabled_probe_records_nothing(self):
+        fpu = ResilientFpu(UnitKind.ADD, MemoConfig())
+        fpu.execute(ADD, (1.0, 2.0))
+        assert fpu.probe is None
+        assert fpu.ecu.probe is None
+        assert fpu.memo.lut.probe is None

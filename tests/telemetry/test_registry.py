@@ -1,0 +1,149 @@
+"""Tests for the hierarchical metrics registry."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(TelemetryError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        h = Histogram(buckets=(1.0, 4.0, 12.0))
+        for value in (0.5, 2.0, 12.0, 100.0):
+            h.observe(value)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.total == pytest.approx(114.5)
+        assert h.mean == pytest.approx(114.5 / 4)
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(TelemetryError):
+            Histogram(buckets=(4.0, 1.0))
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(TelemetryError):
+            Histogram(buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("cu0.sc0.fpu.ADD.memo.hits")
+        b = reg.counter("cu0.sc0.fpu.ADD.memo.hits")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x.y")
+        with pytest.raises(TelemetryError):
+            reg.gauge("x.y")
+
+    def test_malformed_paths_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("", ".x", "x.", "a..b"):
+            with pytest.raises(TelemetryError):
+                reg.counter(bad)
+
+    def test_histogram_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(TelemetryError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_glob_sum_across_hierarchy(self):
+        reg = MetricsRegistry()
+        for cu in range(2):
+            for sc in range(3):
+                reg.counter(f"cu{cu}.sc{sc}.fpu.SQRT.memo.hits").inc(10)
+        reg.counter("cu0.sc0.fpu.ADD.memo.hits").inc(7)
+        assert reg.sum("*.*.fpu.SQRT.memo.hits") == 60
+        assert reg.sum("*.*.fpu.*.memo.hits") == 67
+        assert reg.sum("cu1.*.fpu.*.memo.hits") == 30
+
+    def test_rollup_strips_location_components(self):
+        reg = MetricsRegistry()
+        reg.counter("cu0.sc0.fpu.SQRT.memo.hits").inc(4)
+        reg.counter("cu0.sc1.fpu.SQRT.memo.hits").inc(6)
+        reg.counter("cu1.sc0.fpu.ADD.memo.hits").inc(1)
+        rollup = reg.rollup("*.*.fpu.*.memo.hits", strip=2)
+        assert rollup == {"fpu.SQRT.memo.hits": 10.0, "fpu.ADD.memo.hits": 1.0}
+
+    def test_value_of_missing_path_raises(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().value("nope")
+
+
+class TestSnapshot:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("a.hits").inc(3)
+        reg.gauge("a.rate").set(0.5)
+        reg.histogram("a.cost", buckets=(1.0, 2.0)).observe(1.5)
+        return reg
+
+    def test_round_trip_via_dict(self):
+        snap = self._registry().snapshot()
+        clone = MetricsSnapshot.from_dict(snap.to_dict())
+        assert clone == snap
+
+    def test_merge_adds_counters_and_histograms_and_maxes_gauges(self):
+        a = self._registry().snapshot()
+        b = self._registry().snapshot()
+        b.gauges["a.rate"] = 0.9
+        merged = a.merge(b)
+        assert merged.counters["a.hits"] == 6
+        assert merged.gauges["a.rate"] == 0.9
+        assert merged.histograms["a.cost"]["count"] == 2
+        # Inputs untouched.
+        assert a.counters["a.hits"] == 3
+
+    def test_merge_disjoint_paths(self):
+        a = MetricsSnapshot(counters={"x": 1})
+        b = MetricsSnapshot(counters={"y": 2}, gauges={"g": 1.0})
+        merged = a.merge(b)
+        assert merged.counters == {"x": 1, "y": 2}
+        assert merged.gauges == {"g": 1.0}
+
+    def test_merge_rejects_mismatched_histogram_buckets(self):
+        a = MetricsSnapshot(
+            histograms={"h": {"buckets": [1.0], "counts": [0, 1], "count": 1, "total": 2.0}}
+        )
+        b = MetricsSnapshot(
+            histograms={"h": {"buckets": [2.0], "counts": [1, 0], "count": 1, "total": 1.0}}
+        )
+        with pytest.raises(TelemetryError):
+            a.merge(b)
+
+    def test_snapshot_rollup_and_sum(self):
+        snap = MetricsSnapshot(
+            counters={"cu0.sc0.fpu.ADD.memo.hits": 2, "cu0.sc1.fpu.ADD.memo.hits": 3}
+        )
+        assert snap.sum("*.*.fpu.*.memo.hits") == 5
+        assert snap.rollup("*.*.fpu.*.memo.hits") == {"fpu.ADD.memo.hits": 5.0}

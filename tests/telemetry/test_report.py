@@ -1,0 +1,54 @@
+"""Tests for the ASCII telemetry dashboard."""
+
+from repro.telemetry.events import EventKind, EventRing
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.report import render_dashboard
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("cu0.sc0.fpu.ADD.memo.lookups").inc(100)
+    reg.counter("cu0.sc0.fpu.ADD.memo.hits").inc(25)
+    reg.counter("cu0.sc0.fpu.ADD.memo.misses").inc(75)
+    reg.counter("cu0.sc0.fpu.ADD.memo.updates").inc(70)
+    reg.counter("cu0.sc0.fpu.ADD.errors.injected").inc(8)
+    reg.counter("cu0.sc0.fpu.ADD.ecu.recoveries").inc(6)
+    reg.counter("cu0.sc0.fpu.ADD.ecu.masked").inc(2)
+    reg.counter("cu0.sc0.fpu.ADD.ecu.recovery_cycles").inc(72)
+    reg.gauge("energy.ADD.total_pj").set(123.4)
+    reg.gauge("energy.ADD.datapath_pj").set(100.0)
+    reg.counter("run.launches").inc()
+    reg.counter("cu0.wavefronts").inc(3)
+    return reg
+
+
+class TestDashboard:
+    def test_sections_present(self):
+        text = render_dashboard(_populated_registry().snapshot())
+        assert "Memoization" in text
+        assert "hit rate" in text
+        assert "ECU recovery" in text
+        assert "Energy" in text
+        assert "Run-level scalars" in text
+        assert "ADD" in text
+
+    def test_hit_rate_value_rendered(self):
+        text = render_dashboard(_populated_registry().snapshot())
+        assert "0.25" in text
+
+    def test_event_tail_included_when_ring_given(self):
+        ring = EventRing(8)
+        ring.emit(EventKind.RECOVERY, "cu0.sc0.fpu.ADD", {"cycles": 12})
+        text = render_dashboard(_populated_registry().snapshot(), ring)
+        assert "Event stream tail" in text
+        assert "recovery" in text
+
+    def test_empty_snapshot_renders_placeholder(self):
+        text = render_dashboard(MetricsRegistry().snapshot())
+        assert "no metrics recorded" in text
+
+    def test_title_used(self):
+        text = render_dashboard(
+            _populated_registry().snapshot(), title="telemetry: Sobel"
+        )
+        assert text.startswith("== telemetry: Sobel ==")

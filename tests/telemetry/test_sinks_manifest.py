@@ -1,0 +1,156 @@
+"""Tests for the JSONL/CSV sinks and the run manifest."""
+
+import csv
+import json
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import TelemetryError
+from repro.telemetry.events import EventKind, EventRing
+from repro.telemetry.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    git_describe,
+    read_manifest,
+    write_manifest,
+)
+from repro.telemetry.registry import MetricsRegistry, MetricsSnapshot
+from repro.telemetry.sinks import (
+    merge_snapshots,
+    read_jsonl,
+    snapshot_from_jsonl,
+    snapshot_to_rows,
+    write_metrics_csv,
+    write_run_jsonl,
+)
+
+
+def _snapshot() -> MetricsSnapshot:
+    reg = MetricsRegistry()
+    reg.counter("cu0.sc0.fpu.ADD.memo.hits").inc(4)
+    reg.gauge("run.executed_ops").set(128)
+    reg.histogram("cu0.sc0.fpu.ADD.ecu.recovery_cost", (12.0,)).observe(12.0)
+    return reg.snapshot()
+
+
+class TestRows:
+    def test_rows_are_sorted_and_typed(self):
+        rows = snapshot_to_rows(_snapshot())
+        assert ("cu0.sc0.fpu.ADD.memo.hits", "counter", 4) in rows
+        assert ("run.executed_ops", "gauge", 128.0) in rows
+        kinds = {row[1] for row in rows}
+        assert {"counter", "gauge", "histogram_count", "histogram_total"} <= kinds
+        assert rows == sorted(rows)
+
+
+class TestCsvSink:
+    def test_csv_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.csv"
+        write_metrics_csv(str(path), _snapshot())
+        with open(path, newline="") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["path", "kind", "value"]
+        body = {(r[0], r[1]) for r in rows[1:]}
+        assert ("cu0.sc0.fpu.ADD.memo.hits", "counter") in body
+
+
+class TestJsonlSink:
+    def test_typed_records_and_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        ring = EventRing(4)
+        ring.emit(EventKind.RECOVERY, "cu0.sc0.fpu.ADD", {"cycles": 12})
+        manifest = {"label": "test-run"}
+        count = write_run_jsonl(
+            str(path), manifest=manifest, snapshot=_snapshot(), events=ring
+        )
+        records = read_jsonl(str(path))
+        assert len(records) == count
+        types = [record["type"] for record in records]
+        assert types[0] == "manifest"
+        assert "metric" in types and "event" in types
+        event = [r for r in records if r["type"] == "event"][0]
+        assert event["kind"] == "recovery" and event["cycles"] == 12
+
+    def test_snapshot_rebuilds_from_jsonl(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        snap = _snapshot()
+        write_run_jsonl(str(path), snapshot=snap)
+        rebuilt = snapshot_from_jsonl(read_jsonl(str(path)))
+        assert rebuilt.counters == snap.counters
+        assert rebuilt.gauges == snap.gauges
+
+
+class TestMergeSnapshots:
+    def test_counter_totals_are_shard_sums(self):
+        shards = [_snapshot() for _ in range(3)]
+        merged = merge_snapshots(shards)
+        assert merged.counters["cu0.sc0.fpu.ADD.memo.hits"] == 12
+
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(TelemetryError):
+            merge_snapshots([])
+
+
+class TestManifest:
+    def test_build_contains_reproducibility_fields(self):
+        manifest = build_manifest(
+            "unit-test", SimConfig(), wall_time_s=1.25, snapshot=_snapshot()
+        )
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["label"] == "unit-test"
+        assert manifest["seed"] == SimConfig().timing.seed
+        assert manifest["config"]["memo"]["fifo_depth"] == 2
+        assert manifest["wall_time_s"] == 1.25
+        assert manifest["metrics"]["counters"]
+        assert isinstance(manifest["git_describe"], str)
+
+    def test_manifest_is_json_serializable(self):
+        manifest = build_manifest("x", SimConfig())
+        json.dumps(manifest)
+
+    def test_write_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = build_manifest("round-trip", SimConfig(), extra={"k": "v"})
+        write_manifest(str(path), manifest)
+        assert read_manifest(str(path)) == manifest
+
+    def test_git_describe_returns_string(self):
+        assert isinstance(git_describe(), str) and git_describe()
+
+
+class TestMultirunIntegration:
+    def test_measure_with_seeds_merges_shards(self):
+        from repro.analysis.multirun import measure_with_seeds
+        from repro.kernels.base import Workload
+
+        class TinyWorkload(Workload):
+            name = "Tiny"
+
+            def run(self, runner):
+                from repro.kernels.api import Buffer
+
+                out = Buffer.zeros(16)
+
+                def k(ctx, buf):
+                    yield ctx.fadd(float(ctx.global_id % 3), 1.0)
+
+                runner.run(k, 16, (out,))
+                return out.to_array()
+
+            def output_tolerance(self):
+                return 0.0
+
+        measurement = measure_with_seeds(
+            TinyWorkload, threshold=0.0, error_rate=0.1, seeds=(1, 2),
+            collect_telemetry=True,
+        )
+        snap = measurement.telemetry
+        assert snap is not None
+        # Two shards of 16 ops each.
+        assert snap.sum("*.*.fpu.*.ops") == 32
+        # Without the flag nothing is collected.
+        silent = measure_with_seeds(
+            TinyWorkload, threshold=0.0, error_rate=0.1, seeds=(1,),
+        )
+        assert silent.telemetry is None

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -77,16 +78,108 @@ class TestExperiment:
     def test_report_command_quick_section_selection(self):
         # Covered structurally in tests/analysis/test_reporting.py; here
         # just check the argparse wiring accepts the flags.
-        import argparse
 
         from repro.cli import _build_parser
 
         args = _build_parser().parse_args(["report", "--quick"])
         assert args.command == "report" and args.quick
 
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
-            run_cli("experiment", "fig99")
+    def test_unknown_experiment_exits_2_and_lists_ids(self):
+        code, text = run_cli("experiment", "fig99")
+        assert code == 2
+        assert "unknown experiment" in text
+        assert "fig10" in text and "table2" in text and "all" in text
+
+    def test_experiment_all_runs_every_id(self, monkeypatch):
+        import repro.cli as cli_mod
+
+        calls = []
+        monkeypatch.setattr(
+            cli_mod,
+            "EXPERIMENTS",
+            {
+                "alpha": lambda: calls.append("alpha") or "alpha output",
+                "beta": lambda: calls.append("beta") or "beta output",
+            },
+        )
+        code, text = run_cli("experiment", "all")
+        assert code == 0
+        assert calls == ["alpha", "beta"]
+        assert "=== alpha ===" in text and "=== beta ===" in text
+        assert "alpha output" in text and "beta output" in text
+
+
+class TestTelemetryCli:
+    def test_run_emit_json_artifact(self, tmp_path):
+        path = tmp_path / "out.json"
+        code, text = run_cli(
+            "run", "FWT", "--error-rate", "0.02", "--emit-json", str(path)
+        )
+        assert code == 0
+        assert f"telemetry written to {path}" in text
+        with open(path) as f:
+            artifact = json.load(f)
+        # Run manifest with reproducibility fields.
+        manifest = artifact["manifest"]
+        assert manifest["label"] == "run:FWT"
+        assert "seed" in manifest and "config" in manifest
+        # Hit rates and an energy breakdown are always present.
+        assert artifact["hit_rates"]
+        assert all(0.0 <= v <= 1.0 for v in artifact["hit_rates"].values())
+        assert artifact["energy"]["total_pj"] > 0
+        assert "ADD" in artifact["energy"]["per_unit"]
+        # Per-unit memo counters and ECU recovery counts from the registry.
+        counters = artifact["metrics"]["counters"]
+        assert any(".memo.hits" in path_ for path_ in counters)
+        assert any(".ecu.recoveries" in path_ for path_ in counters)
+        assert artifact["rollups"]["memo"]
+        assert artifact["events"]["total"] >= 0
+
+    def test_run_emit_jsonl_typed_records(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        code, _ = run_cli("run", "FWT", "--emit-json", str(path))
+        assert code == 0
+        with open(path) as f:
+            records = [json.loads(line) for line in f]
+        assert records[0]["type"] == "manifest"
+        assert "hit_rates" in records[0] and "energy" in records[0]
+        assert any(r["type"] == "metric" for r in records)
+
+    def test_run_without_emit_json_keeps_telemetry_off(self):
+        code, text = run_cli("run", "FWT")
+        assert code == 0
+        assert "telemetry written" not in text
+
+    def test_metrics_prints_dashboard(self):
+        code, text = run_cli("metrics", "FWT", "--error-rate", "0.02")
+        assert code == 0
+        assert "telemetry: FWT" in text
+        assert "Memoization" in text and "hit rate" in text
+        assert "ECU recovery" in text
+        assert "Energy" in text
+
+    def test_metrics_emit_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        code, _ = run_cli("metrics", "FWT", "--emit-json", str(path))
+        assert code == 0
+        with open(path) as f:
+            artifact = json.load(f)
+        assert artifact["manifest"]["label"] == "metrics:FWT"
+        assert artifact["metrics"]["counters"]
+
+    def test_experiment_emit_json(self, tmp_path, monkeypatch):
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(
+            cli_mod, "EXPERIMENTS", {"tiny": lambda: "tiny output"}
+        )
+        path = tmp_path / "exp.json"
+        code, _ = run_cli("experiment", "tiny", "--emit-json", str(path))
+        assert code == 0
+        with open(path) as f:
+            artifact = json.load(f)
+        assert artifact["outputs"] == {"tiny": "tiny output"}
+        assert artifact["manifest"]["experiments"] == ["tiny"]
 
 
 class TestLocality:

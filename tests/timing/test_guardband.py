@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import TimingModelError
 from repro.timing.guardband import GuardbandPoint, StaticGuardband
-from repro.timing.voltage import VoltageModel
 
 
 class TestSafety:
