@@ -3,7 +3,13 @@
 Error injection is stochastic; this bench repeats the saving measurement
 across independent error-stream seeds and reports mean +- std, verifying
 that the headline numbers are not artifacts of one random sequence.
+The companion bench compares the serial and sharded execution paths of
+the same measurement: identical results, wall-clock speedup recorded in
+``BENCH_telemetry.json``.
 """
+
+import os
+import time
 
 from conftest import run_once
 
@@ -14,6 +20,10 @@ from repro.utils.tables import format_table
 KERNELS = ("Sobel", "Haar", "FWT")
 SEEDS = (1, 2, 3)
 ERROR_RATE = 0.04
+
+#: Seeds and worker count for the serial-vs-parallel comparison.
+PARALLEL_SEEDS = (1, 2, 3, 4)
+PARALLEL_JOBS = 4
 
 
 def run_multiseed():
@@ -53,3 +63,65 @@ def test_multiseed_confidence(benchmark, bench_report):
         assert measurement.saving.minimum > 0.0, name
         # The hit rate barely moves (errors change energy, not locality).
         assert measurement.hit_rate.std < 0.02, name
+
+
+def run_serial_vs_parallel():
+    spec = KERNEL_REGISTRY["Sobel"]
+    started = time.perf_counter()
+    serial = measure_with_seeds(
+        spec.default_factory,
+        spec.threshold,
+        ERROR_RATE,
+        seeds=PARALLEL_SEEDS,
+        jobs=1,
+    )
+    serial_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = measure_with_seeds(
+        spec.default_factory,
+        spec.threshold,
+        ERROR_RATE,
+        seeds=PARALLEL_SEEDS,
+        jobs=PARALLEL_JOBS,
+    )
+    parallel_wall = time.perf_counter() - started
+    return serial, parallel, serial_wall, parallel_wall
+
+
+def test_serial_vs_parallel_engine(benchmark, bench_report, bench_metrics):
+    serial, parallel, serial_wall, parallel_wall = run_once(
+        benchmark, run_serial_vs_parallel
+    )
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
+    cpus = os.cpu_count() or 1
+
+    table = format_table(
+        ["path", "wall s", "mean saving", "mean hit rate"],
+        [
+            ["serial", serial_wall, serial.saving.mean, serial.hit_rate.mean],
+            [
+                f"{PARALLEL_JOBS} workers",
+                parallel_wall,
+                parallel.saving.mean,
+                parallel.hit_rate.mean,
+            ],
+        ],
+        title=f"Sobel, {len(PARALLEL_SEEDS)} seeds: serial vs sharded "
+        f"({speedup:.2f}x on {cpus} CPUs)",
+    )
+    bench_report(table)
+
+    bench_metrics("serial_wall_s", round(serial_wall, 4))
+    bench_metrics("parallel_wall_s", round(parallel_wall, 4))
+    bench_metrics("speedup", round(speedup, 3))
+    bench_metrics("workers", parallel.engine.workers)
+    bench_metrics("cpu_count", cpus)
+
+    # The sharded path must be a pure execution strategy: bit-identical
+    # statistics regardless of worker count.
+    assert serial.saving == parallel.saving
+    assert serial.hit_rate == parallel.hit_rate
+    # The speedup claim only holds where the hardware can deliver it;
+    # single-CPU containers still record the comparison above.
+    if cpus >= 4:
+        assert speedup >= 2.0

@@ -22,7 +22,24 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_TELEMETRY_PATH = REPO_ROOT / "BENCH_telemetry.json"
 
 _bench_records = []
+_bench_metrics = {}
 _session_started = time.perf_counter()
+
+
+@pytest.fixture
+def bench_metrics(request):
+    """Record named numeric metrics for this bench.
+
+    Recorded values land in a ``metrics`` object next to the bench's
+    wall time in ``BENCH_telemetry.json`` — e.g. the parallel engine's
+    measured speedup.
+    """
+    metrics = _bench_metrics.setdefault(request.node.nodeid, {})
+
+    def _record(name: str, value) -> None:
+        metrics[name] = value
+
+    return _record
 
 
 @pytest.fixture
@@ -60,13 +77,15 @@ def pytest_runtest_logreport(report):
     """Collect per-bench wall time for the telemetry summary."""
     if report.when != "call":
         return
-    _bench_records.append(
-        {
-            "bench": report.nodeid,
-            "outcome": report.outcome,
-            "duration_s": round(report.duration, 4),
-        }
-    )
+    record = {
+        "bench": report.nodeid,
+        "outcome": report.outcome,
+        "duration_s": round(report.duration, 4),
+    }
+    metrics = _bench_metrics.get(report.nodeid)
+    if metrics:
+        record["metrics"] = metrics
+    _bench_records.append(record)
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -19,14 +19,29 @@ from .locality import (
     reuse_distance_histogram,
 )
 from .calibration import AnalyticModel, solve_params
-from .multirun import MultiSeedMeasurement, Statistic, measure_with_seeds
+from .multirun import (
+    MultiSeedMeasurement,
+    SeedShardResult,
+    SeedShardTask,
+    Statistic,
+    measure_with_seeds,
+    run_seed_shard,
+)
+from .parallel import (
+    EngineReport,
+    ShardRecord,
+    resolve_jobs,
+    run_sharded,
+)
 from .preload import PreloadProfile, build_preload_profile, preload_device
 from .replay import ReplayResult, capture_trace, replay_trace
 from .reporting import generate_report
 from .sweep import (
     SweepPoint,
+    SweepTask,
     error_rate_sweep,
     fifo_depth_sweep,
+    run_sweep_point,
     threshold_sweep,
     voltage_sweep,
 )
@@ -54,8 +69,15 @@ __all__ = [
     "AnalyticModel",
     "solve_params",
     "MultiSeedMeasurement",
+    "SeedShardResult",
+    "SeedShardTask",
     "Statistic",
     "measure_with_seeds",
+    "run_seed_shard",
+    "EngineReport",
+    "ShardRecord",
+    "resolve_jobs",
+    "run_sharded",
     "PreloadProfile",
     "build_preload_profile",
     "preload_device",
@@ -67,6 +89,8 @@ __all__ = [
     "collect_hit_rates",
     "weighted_hit_rate",
     "SweepPoint",
+    "SweepTask",
+    "run_sweep_point",
     "error_rate_sweep",
     "fifo_depth_sweep",
     "threshold_sweep",

@@ -161,6 +161,7 @@ def run_fig6_7_hit_rates(
 def run_fifo_depth_study(
     depths: Sequence[int] = FIFO_DEPTHS,
     kernels: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Average hit-rate gain of deeper FIFOs over the 2-entry default.
 
@@ -174,7 +175,7 @@ def run_fifo_depth_study(
         for name in names:
             spec = KERNEL_REGISTRY[name]
             points = fifo_depth_sweep(
-                spec.default_factory, [depth], spec.threshold
+                spec.default_factory, [depth], spec.threshold, jobs=jobs
             )
             rates.append(points[0].hit_rate)
         per_depth_avg.append(sum(rates) / len(rates))
@@ -263,14 +264,19 @@ def run_fig8_kernel_hit_rates() -> ExperimentResult:
 def run_fig10_energy_vs_error_rate(
     rates: Sequence[float] = ERROR_RATES,
     kernels: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Average energy saving vs injected timing-error rate."""
+    """Average energy saving vs injected timing-error rate.
+
+    ``jobs`` shards each kernel's error-rate grid across worker
+    processes; the merged series are identical to the serial path.
+    """
     names = list(kernels or KERNEL_REGISTRY)
     per_kernel: Dict[str, List[object]] = {name: [] for name in names}
     for name in names:
         spec = KERNEL_REGISTRY[name]
         points = error_rate_sweep(
-            spec.default_factory, rates, spec.threshold
+            spec.default_factory, rates, spec.threshold, jobs=jobs
         )
         per_kernel[name] = [point.saving for point in points]
     averages = [
@@ -304,11 +310,13 @@ FIG11_KERNELS: Tuple[str, ...] = (
 def run_fig11_voltage_overscaling(
     voltages: Sequence[float] = VOLTAGES,
     kernels: Sequence[str] = FIG11_KERNELS,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Total energy of baseline vs memoized architecture under overscaling.
 
     Energies are normalized to the baseline at nominal 0.9 V per kernel so
-    the series are comparable across kernels.
+    the series are comparable across kernels.  ``jobs`` shards each
+    kernel's voltage grid across worker processes.
     """
     base_series: List[float] = [0.0] * len(voltages)
     memo_series: List[float] = [0.0] * len(voltages)
@@ -316,7 +324,7 @@ def run_fig11_voltage_overscaling(
     for name in kernels:
         spec = KERNEL_REGISTRY[name]
         points = voltage_sweep(
-            spec.default_factory, voltages, spec.threshold
+            spec.default_factory, voltages, spec.threshold, jobs=jobs
         )
         nominal = points[0].baseline_energy_pj
         for i, point in enumerate(points):

@@ -5,20 +5,34 @@ noise.  ``measure_with_seeds`` repeats a memoized-vs-baseline measurement
 across independent error-stream seeds and reports mean / std / extremes,
 so benches and papers-over-the-paper can quote confidence alongside the
 point estimates.
+
+Each seed is one fully independent shard, executed by the module-level
+:func:`run_seed_shard` worker — in-process for ``jobs=1``, or fanned out
+across a process pool (:mod:`repro.analysis.parallel`) for ``jobs > 1``.
+Shard results come back in seed order and are folded with the existing
+merge algebra (``FpuEventCounters.merge`` / ``LutStats.merge`` /
+``EcuStats.merge`` / :func:`~repro.telemetry.sinks.merge_snapshots`), so
+the merged measurement is bit-identical to the serial path for the same
+seed list regardless of worker count or completion order.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from ..config import MemoConfig, SimConfig, TelemetryConfig, TimingConfig, small_arch
 from ..errors import ConfigError
+from ..isa.opcodes import UnitKind
 from ..kernels.base import Workload
+from ..memo.lut import LutStats
+from ..memo.resilient import FpuEventCounters
 from ..telemetry.registry import MetricsSnapshot
 from ..telemetry.sinks import merge_snapshots
+from ..timing.ecu import EcuStats
 from .hitrate import weighted_hit_rate
+from .parallel import EngineReport, run_sharded
 
 WorkloadFactory = Callable[[], Workload]
 
@@ -53,19 +67,100 @@ class Statistic:
 
 
 @dataclass(frozen=True)
+class SeedShardTask:
+    """Picklable spec of one seed's measurement (ships to pool workers)."""
+
+    factory: WorkloadFactory
+    threshold: float
+    error_rate: float
+    seed: int
+    collect_telemetry: bool = False
+
+
+@dataclass
+class SeedShardResult:
+    """Everything one seed's run tallied, ready for the parent's fold."""
+
+    seed: int
+    saving: float
+    hit_rate: float
+    counters: Dict[UnitKind, FpuEventCounters]
+    lut_stats: Dict[UnitKind, LutStats]
+    ecu_stats: Dict[UnitKind, EcuStats]
+    snapshot: Optional[MetricsSnapshot] = None
+
+
+def run_seed_shard(task: SeedShardTask) -> SeedShardResult:
+    """Run one (seed, config) shard: memoized run, baseline run, tallies.
+
+    Module-level (not a closure) so it pickles by reference and executes
+    under any multiprocessing start method, including spawn.
+    """
+    from ..gpu.executor import GpuExecutor
+
+    timing = TimingConfig(error_rate=task.error_rate, seed=task.seed)
+    config = SimConfig(
+        arch=small_arch(),
+        memo=MemoConfig(threshold=task.threshold),
+        timing=timing,
+        telemetry=TelemetryConfig(enabled=task.collect_telemetry),
+    )
+    memo_ex = GpuExecutor(config)
+    task.factory().run(memo_ex)
+    base_ex = GpuExecutor(config, memoized=False)
+    task.factory().run(base_ex)
+    saving = memo_ex.device.energy_report().saving_vs(
+        base_ex.device.energy_report()
+    )
+    device = memo_ex.device
+    return SeedShardResult(
+        seed=task.seed,
+        saving=saving,
+        hit_rate=weighted_hit_rate(device.lut_stats()),
+        counters=device.counters(),
+        lut_stats=device.lut_stats(),
+        ecu_stats=device.ecu_stats(),
+        snapshot=memo_ex.telemetry.snapshot() if task.collect_telemetry else None,
+    )
+
+
+def _fold_tallies(shards: Sequence[SeedShardResult]):
+    """Merge per-seed tallies in shard order with the stats algebra."""
+    counters = {kind: FpuEventCounters() for kind in UnitKind}
+    lut_stats: Dict[UnitKind, LutStats] = {}
+    ecu_stats = {kind: EcuStats() for kind in UnitKind}
+    for shard in shards:
+        for kind, shard_counters in shard.counters.items():
+            counters[kind].merge(shard_counters)
+        for kind, shard_lut in shard.lut_stats.items():
+            lut_stats.setdefault(kind, LutStats()).merge(shard_lut)
+        for kind, shard_ecu in shard.ecu_stats.items():
+            ecu_stats[kind].merge(shard_ecu)
+    return counters, lut_stats, ecu_stats
+
+
+@dataclass(frozen=True)
 class MultiSeedMeasurement:
     """Saving and hit-rate statistics over independent error seeds.
 
     ``telemetry`` is the merged metric snapshot of the memoized shards
     when the measurement ran with telemetry collection enabled (one
     shard per seed, combined with the associative snapshot merge), else
-    ``None``.
+    ``None``.  ``counters`` / ``lut_stats`` / ``ecu_stats`` are the
+    seed-merged simulator tallies of the memoized runs.  ``engine``
+    records *how* the shards executed (worker count, per-shard wall
+    times) — provenance that deliberately stays out of ``telemetry`` so
+    serial and parallel runs of the same seeds snapshot identically.
     """
 
     saving: Statistic
     hit_rate: Statistic
     error_rate: float
     telemetry: Optional[MetricsSnapshot] = None
+    counters: Optional[Dict[UnitKind, FpuEventCounters]] = None
+    lut_stats: Optional[Dict[UnitKind, LutStats]] = None
+    ecu_stats: Optional[Dict[UnitKind, EcuStats]] = None
+    engine: Optional[EngineReport] = None
 
 
 def measure_with_seeds(
@@ -74,39 +169,47 @@ def measure_with_seeds(
     error_rate: float,
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
     collect_telemetry: bool = False,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    start_method: Optional[str] = None,
 ) -> MultiSeedMeasurement:
-    """Memoized-vs-baseline saving across independent error streams."""
-    from ..gpu.executor import GpuExecutor
+    """Memoized-vs-baseline saving across independent error streams.
 
+    ``jobs`` shards the seeds across worker processes (``1`` = serial
+    in-process, ``0`` = one worker per CPU); results are identical for
+    any value.  ``timeout`` bounds each shard's wall clock;
+    ``start_method`` overrides the multiprocessing start method (e.g.
+    ``"spawn"``) for the pool path.
+    """
     if not seeds:
         raise ConfigError("need at least one seed")
-    savings = []
-    hit_rates = []
-    shards = []
-    telemetry = TelemetryConfig(enabled=collect_telemetry)
-    for seed in seeds:
-        timing = TimingConfig(error_rate=error_rate, seed=seed)
-        config = SimConfig(
-            arch=small_arch(),
-            memo=MemoConfig(threshold=threshold),
-            timing=timing,
-            telemetry=telemetry,
+    tasks = [
+        SeedShardTask(
+            factory=factory,
+            threshold=threshold,
+            error_rate=error_rate,
+            seed=seed,
+            collect_telemetry=collect_telemetry,
         )
-        memo_ex = GpuExecutor(config)
-        factory().run(memo_ex)
-        base_ex = GpuExecutor(config, memoized=False)
-        factory().run(base_ex)
-        savings.append(
-            memo_ex.device.energy_report().saving_vs(
-                base_ex.device.energy_report()
-            )
-        )
-        hit_rates.append(weighted_hit_rate(memo_ex.device.lut_stats()))
-        if collect_telemetry:
-            shards.append(memo_ex.telemetry.snapshot())
+        for seed in seeds
+    ]
+    shards, engine = run_sharded(
+        tasks,
+        run_seed_shard,
+        jobs=jobs,
+        timeout=timeout,
+        start_method=start_method,
+        label=lambda task: f"seed {task.seed}",
+    )
+    counters, lut_stats, ecu_stats = _fold_tallies(shards)
+    snapshots = [s.snapshot for s in shards if s.snapshot is not None]
     return MultiSeedMeasurement(
-        saving=Statistic.from_values(savings),
-        hit_rate=Statistic.from_values(hit_rates),
+        saving=Statistic.from_values([s.saving for s in shards]),
+        hit_rate=Statistic.from_values([s.hit_rate for s in shards]),
         error_rate=error_rate,
-        telemetry=merge_snapshots(shards) if shards else None,
+        telemetry=merge_snapshots(snapshots) if snapshots else None,
+        counters=counters,
+        lut_stats=lut_stats,
+        ecu_stats=ecu_stats,
+        engine=engine,
     )

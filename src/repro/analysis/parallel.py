@@ -1,0 +1,245 @@
+"""Process-pool execution engine for sharded measurements.
+
+Multi-seed and multi-point studies repeat one independent simulation per
+(seed, config) shard; nothing flows between shards until the final fold.
+:func:`run_sharded` exploits that: it ships picklable task specs to a
+pool of worker processes, collects each shard's result, and hands them
+back **in task-submission order** so the caller's fold (``.merge()`` on
+the stat dataclasses, :func:`~repro.telemetry.sinks.merge_snapshots` on
+telemetry) produces output bit-identical to the serial loop regardless
+of worker count or completion order.
+
+Design rules the engine enforces:
+
+* **Spawn safety** — workers must be module-level functions and tasks
+  picklable values; both are checked up front so the ``spawn`` start
+  method (macOS/Windows default) works, not just ``fork``.
+* **Serial fallback** — ``jobs == 1`` (the default everywhere) runs the
+  same worker in-process with no pool, no pickling, no subprocesses.
+* **Clean failure** — a crashed or timed-out worker surfaces as a
+  :class:`~repro.errors.ParallelExecutionError` naming the shard (e.g.
+  the seed), never a raw ``BrokenProcessPool`` traceback.
+
+The engine keeps its own bookkeeping out of the shard results: wall
+times and worker counts are nondeterministic, so they live in the
+returned :class:`EngineReport` (and its ``parallel.*`` metric snapshot)
+instead of the merged measurement telemetry, keeping serial and
+parallel measurement snapshots identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError, ParallelExecutionError, ReproError
+from ..telemetry.registry import MetricsRegistry, MetricsSnapshot
+
+#: Wall-time histogram bucket upper bounds, in seconds.
+SHARD_WALL_TIME_BUCKETS: Tuple[float, ...] = (
+    0.01,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    15.0,
+    60.0,
+)
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``--jobs`` value: ``0`` means one worker per CPU."""
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """Provenance of one executed shard (per-shard manifest entry)."""
+
+    label: str
+    wall_time_s: float
+
+    def to_dict(self) -> dict:
+        return {"label": self.label, "wall_time_s": self.wall_time_s}
+
+
+@dataclass
+class EngineReport:
+    """How one sharded run was executed (not *what* it measured).
+
+    Everything here is provenance — worker counts and wall times vary
+    run to run, so this report stays separate from the deterministic
+    merged measurement telemetry.
+    """
+
+    requested_jobs: int
+    workers: int
+    serial: bool
+    start_method: str
+    shards: List[ShardRecord] = field(default_factory=list)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_shard_wall_s(self) -> float:
+        return sum(record.wall_time_s for record in self.shards)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The engine's own ``parallel.*`` metrics as a snapshot."""
+        registry = MetricsRegistry()
+        registry.counter("parallel.shards").inc(self.shard_count)
+        registry.gauge("parallel.workers").set(self.workers)
+        registry.counter("parallel.serial_fallbacks").inc(int(self.serial))
+        wall = registry.histogram(
+            "parallel.shard_wall_time_s", buckets=SHARD_WALL_TIME_BUCKETS
+        )
+        for record in self.shards:
+            wall.observe(record.wall_time_s)
+        return registry.snapshot()
+
+    def to_dict(self) -> dict:
+        """JSON-safe view for run artifacts (per-shard manifests)."""
+        return {
+            "requested_jobs": self.requested_jobs,
+            "workers": self.workers,
+            "serial": self.serial,
+            "start_method": self.start_method,
+            "shard_count": self.shard_count,
+            "total_shard_wall_s": self.total_shard_wall_s,
+            "shards": [record.to_dict() for record in self.shards],
+        }
+
+
+def _timed_call(worker, task):
+    """Worker-side wrapper: run one shard and clock it (module-level so
+    it pickles by reference under every start method)."""
+    started = time.perf_counter()
+    result = worker(task)
+    return result, time.perf_counter() - started
+
+
+def _require_picklable(worker, tasks: Sequence[object], labels: List[str]) -> None:
+    try:
+        pickle.dumps(worker)
+    except Exception as exc:
+        raise ParallelExecutionError(
+            f"worker {worker!r} is not picklable ({exc}); parallel shards "
+            "need a module-level function, not a lambda or closure"
+        ) from exc
+    for task, label in zip(tasks, labels):
+        try:
+            pickle.dumps(task)
+        except Exception as exc:
+            raise ParallelExecutionError(
+                f"shard {label} has an unpicklable task spec ({exc}); "
+                "factories shipped to workers must be module-level "
+                "callables (registry factories are — lambdas are not)"
+            ) from exc
+
+
+def run_sharded(
+    tasks: Sequence[object],
+    worker: Callable,
+    jobs: int = 1,
+    *,
+    timeout: Optional[float] = None,
+    start_method: Optional[str] = None,
+    label: Optional[Callable[[object], str]] = None,
+) -> Tuple[list, EngineReport]:
+    """Run ``worker(task)`` for every task, possibly across processes.
+
+    Returns ``(results, report)`` with ``results`` in **task order** —
+    never completion order — so deterministic folds come for free.
+
+    ``jobs=1`` runs serially in-process (no pickling requirements);
+    ``jobs=0`` uses one worker per CPU.  ``timeout`` bounds each shard's
+    completion, measured while collecting in submission order; a shard
+    that exceeds it (or whose worker dies) raises
+    :class:`~repro.errors.ParallelExecutionError` naming the shard via
+    ``label`` (defaults to the task's ``repr``).
+    """
+    tasks = list(tasks)
+    label = label or repr
+    labels = [label(task) for task in tasks]
+    workers = resolve_jobs(jobs)
+    workers = max(1, min(workers, len(tasks))) if tasks else 1
+
+    if workers == 1:
+        results = []
+        records = []
+        for task, shard_label in zip(tasks, labels):
+            try:
+                result, wall = _timed_call(worker, task)
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise ParallelExecutionError(
+                    f"shard {shard_label} failed: {exc!r}"
+                ) from exc
+            results.append(result)
+            records.append(ShardRecord(label=shard_label, wall_time_s=wall))
+        return results, EngineReport(
+            requested_jobs=jobs,
+            workers=1,
+            serial=True,
+            start_method="in-process",
+            shards=records,
+        )
+
+    _require_picklable(worker, tasks, labels)
+    context = multiprocessing.get_context(start_method)
+    results = []
+    records = []
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        futures = [pool.submit(_timed_call, worker, task) for task in tasks]
+        try:
+            for shard_label, future in zip(labels, futures):
+                try:
+                    result, wall = future.result(timeout=timeout)
+                except FuturesTimeoutError:
+                    # Kill the stuck workers so the pool shutdown below
+                    # cannot block on the hung shard.
+                    for process in getattr(pool, "_processes", {}).values():
+                        process.terminate()
+                    raise ParallelExecutionError(
+                        f"shard {shard_label} exceeded the {timeout:g}s "
+                        "per-shard timeout"
+                    ) from None
+                except BrokenProcessPool as exc:
+                    raise ParallelExecutionError(
+                        f"worker process died while running shard "
+                        f"{shard_label}"
+                    ) from exc
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    raise ParallelExecutionError(
+                        f"shard {shard_label} failed: {exc!r}"
+                    ) from exc
+                results.append(result)
+                records.append(
+                    ShardRecord(label=shard_label, wall_time_s=wall)
+                )
+        finally:
+            for future in futures:
+                future.cancel()
+    return results, EngineReport(
+        requested_jobs=jobs,
+        workers=workers,
+        serial=False,
+        start_method=context.get_start_method(),
+        shards=records,
+    )

@@ -4,6 +4,13 @@ Every sweep runs a *fresh* workload instance per point (workload factories
 are passed, not instances) so FIFO state and statistics never leak between
 points, and both the memoized and the baseline architecture are measured
 where energy is involved.
+
+Points are independent, so every sweep takes a ``jobs`` parameter and
+shards its grid across worker processes through
+:mod:`repro.analysis.parallel`; points come back in grid order, making
+the parallel result identical to the serial one.  The per-point work is
+the module-level :func:`run_sweep_point` worker over a picklable
+:class:`SweepTask` — no closures, so the spawn start method works.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from ..energy.params import EnergyParams
 from ..kernels.base import Workload
 from ..timing.voltage import VoltageModel
 from .hitrate import weighted_hit_rate
+from .parallel import run_sharded
 
 WorkloadFactory = Callable[[], Workload]
 
@@ -38,27 +46,40 @@ class SweepPoint:
         return 1.0 - self.memo_energy_pj / self.baseline_energy_pj
 
 
-def _measure(
-    factory: WorkloadFactory,
-    memo: MemoConfig,
-    timing: TimingConfig,
-    energy_model: Optional[EnergyModel] = None,
-) -> SweepPoint:
+@dataclass(frozen=True)
+class SweepTask:
+    """Picklable spec of one sweep point.
+
+    The energy model is reconstructed worker-side from ``energy_params``
+    and the timing config's voltage instead of shipping a model object.
+    """
+
+    x: float
+    factory: WorkloadFactory
+    memo: MemoConfig
+    timing: TimingConfig
+    energy_params: Optional[EnergyParams] = None
+
+
+def run_sweep_point(task: SweepTask) -> SweepPoint:
+    """Measure one (memo config, timing config) point — pool worker."""
     from ..gpu.executor import GpuExecutor
 
-    config = SimConfig(arch=small_arch(), memo=memo, timing=timing)
-    model = energy_model or EnergyModel(fpu_voltage=timing.voltage)
+    config = SimConfig(arch=small_arch(), memo=task.memo, timing=task.timing)
+    model = EnergyModel(
+        params=task.energy_params, fpu_voltage=task.timing.voltage
+    )
 
     memo_ex = GpuExecutor(config)
-    factory().run(memo_ex)
+    task.factory().run(memo_ex)
     memo_report = memo_ex.device.energy_report(model)
 
     base_ex = GpuExecutor(config, memoized=False)
-    factory().run(base_ex)
+    task.factory().run(base_ex)
     base_report = base_ex.device.energy_report(model)
 
     return SweepPoint(
-        x=0.0,
+        x=task.x,
         hit_rate=weighted_hit_rate(memo_ex.device.lut_stats()),
         memo_energy_pj=memo_report.total_pj,
         baseline_energy_pj=base_report.total_pj,
@@ -66,65 +87,71 @@ def _measure(
     )
 
 
-def _with_x(point: SweepPoint, x: float) -> SweepPoint:
-    return SweepPoint(
-        x=x,
-        hit_rate=point.hit_rate,
-        memo_energy_pj=point.memo_energy_pj,
-        baseline_energy_pj=point.baseline_energy_pj,
-        executed_ops=point.executed_ops,
+def _run_points(tasks: Sequence[SweepTask], jobs: int) -> list:
+    points, _ = run_sharded(
+        tasks,
+        run_sweep_point,
+        jobs=jobs,
+        label=lambda task: f"x={task.x:g}",
     )
+    return points
 
 
 def threshold_sweep(
     factory: WorkloadFactory,
     thresholds: Sequence[float],
     fifo_depth: int = 2,
+    jobs: int = 1,
 ) -> list:
     """Hit rate / energy across matching thresholds (error-free)."""
-    points = []
-    for threshold in thresholds:
-        point = _measure(
-            factory,
-            MemoConfig(threshold=threshold, fifo_depth=fifo_depth),
-            TimingConfig(),
+    tasks = [
+        SweepTask(
+            x=threshold,
+            factory=factory,
+            memo=MemoConfig(threshold=threshold, fifo_depth=fifo_depth),
+            timing=TimingConfig(),
         )
-        points.append(_with_x(point, threshold))
-    return points
+        for threshold in thresholds
+    ]
+    return _run_points(tasks, jobs)
 
 
 def fifo_depth_sweep(
     factory: WorkloadFactory,
     depths: Sequence[int],
     threshold: float,
+    jobs: int = 1,
 ) -> list:
     """Hit rate across FIFO depths at a fixed threshold (Section 4.1)."""
-    points = []
-    for depth in depths:
-        point = _measure(
-            factory,
-            MemoConfig(threshold=threshold, fifo_depth=depth),
-            TimingConfig(),
+    tasks = [
+        SweepTask(
+            x=float(depth),
+            factory=factory,
+            memo=MemoConfig(threshold=threshold, fifo_depth=depth),
+            timing=TimingConfig(),
         )
-        points.append(_with_x(point, float(depth)))
-    return points
+        for depth in depths
+    ]
+    return _run_points(tasks, jobs)
 
 
 def error_rate_sweep(
     factory: WorkloadFactory,
     rates: Sequence[float],
     threshold: float,
+    jobs: int = 1,
 ) -> list:
     """Energy saving across injected timing-error rates (Figure 10)."""
-    points = []
-    for rate in rates:
-        point = _measure(
-            factory,
-            MemoConfig(threshold=threshold),
-            TimingConfig(error_rate=rate),
+    tasks = [
+        SweepTask(
+            x=rate,
+            factory=factory,
+            memo=MemoConfig(threshold=threshold),
+            timing=TimingConfig(error_rate=rate),
         )
-        points.append(_with_x(point, rate))
-    return points
+        for rate in rates
+    ]
+    return _run_points(tasks, jobs)
 
 
 def voltage_sweep(
@@ -133,6 +160,7 @@ def voltage_sweep(
     threshold: float,
     voltage_model: Optional[VoltageModel] = None,
     params: Optional[EnergyParams] = None,
+    jobs: int = 1,
 ) -> list:
     """Energy across overscaled voltages (Figure 11).
 
@@ -141,15 +169,16 @@ def voltage_sweep(
     fixed nominal voltage.
     """
     voltage_model = voltage_model or VoltageModel()
-    points = []
-    for voltage in voltages:
-        rate = voltage_model.error_rate(voltage)
-        model = EnergyModel(params=params, fpu_voltage=voltage)
-        point = _measure(
-            factory,
-            MemoConfig(threshold=threshold),
-            TimingConfig(error_rate=rate, voltage=voltage),
-            energy_model=model,
+    tasks = [
+        SweepTask(
+            x=voltage,
+            factory=factory,
+            memo=MemoConfig(threshold=threshold),
+            timing=TimingConfig(
+                error_rate=voltage_model.error_rate(voltage), voltage=voltage
+            ),
+            energy_params=params,
         )
-        points.append(_with_x(point, voltage))
-    return points
+        for voltage in voltages
+    ]
+    return _run_points(tasks, jobs)

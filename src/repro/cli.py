@@ -15,6 +15,7 @@ errors (argparse convention).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -38,25 +39,43 @@ from .kernels.validation import validate_workload
 from .telemetry import build_manifest, render_dashboard, write_run_jsonl
 from .utils.tables import format_table
 
-#: Experiment ids accepted by ``repro experiment``.
+#: Experiment ids accepted by ``repro experiment``.  Every entry takes
+#: the worker count; drivers without a parallel axis ignore it.
 EXPERIMENTS = {
-    "fig2": lambda: exp.run_fig2_to_5_psnr("Sobel", "face").to_text(),
-    "fig3": lambda: exp.run_fig2_to_5_psnr("Gaussian", "face").to_text(),
-    "fig4": lambda: exp.run_fig2_to_5_psnr("Sobel", "book").to_text(),
-    "fig5": lambda: exp.run_fig2_to_5_psnr("Gaussian", "book").to_text(),
-    "fig6": lambda: "\n\n".join(
+    "fig2": lambda jobs=1: exp.run_fig2_to_5_psnr("Sobel", "face").to_text(),
+    "fig3": lambda jobs=1: exp.run_fig2_to_5_psnr("Gaussian", "face").to_text(),
+    "fig4": lambda jobs=1: exp.run_fig2_to_5_psnr("Sobel", "book").to_text(),
+    "fig5": lambda jobs=1: exp.run_fig2_to_5_psnr("Gaussian", "book").to_text(),
+    "fig6": lambda jobs=1: "\n\n".join(
         r.to_text() for r in exp.run_fig6_7_hit_rates("Sobel").values()
     ),
-    "fig7": lambda: "\n\n".join(
+    "fig7": lambda jobs=1: "\n\n".join(
         r.to_text() for r in exp.run_fig6_7_hit_rates("Gaussian").values()
     ),
-    "fig8": lambda: exp.run_fig8_kernel_hit_rates().to_text(),
-    "fig10": lambda: exp.run_fig10_energy_vs_error_rate().to_text(),
-    "fig11": lambda: exp.run_fig11_voltage_overscaling().to_text(),
-    "table1": lambda: exp.run_table1(),
-    "table2": lambda: exp.run_table2_state_machine(),
-    "fifo-depth": lambda: exp.run_fifo_depth_study().to_text(),
+    "fig8": lambda jobs=1: exp.run_fig8_kernel_hit_rates().to_text(),
+    "fig10": lambda jobs=1: exp.run_fig10_energy_vs_error_rate(
+        jobs=jobs
+    ).to_text(),
+    "fig11": lambda jobs=1: exp.run_fig11_voltage_overscaling(
+        jobs=jobs
+    ).to_text(),
+    "table1": lambda jobs=1: exp.run_table1(),
+    "table2": lambda jobs=1: exp.run_table2_state_machine(),
+    "fifo-depth": lambda jobs=1: exp.run_fifo_depth_study(jobs=jobs).to_text(),
 }
+
+
+def _parse_seeds(text: str) -> tuple:
+    """Parse the ``--seeds`` comma list (e.g. ``"1,2,3"``)."""
+    try:
+        seeds = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise ReproError(
+            f"--seeds expects comma-separated integers, got {text!r}"
+        ) from None
+    if not seeds:
+        raise ReproError("--seeds needs at least one seed")
+    return seeds
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -97,6 +116,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a machine-readable telemetry artifact (.json for one "
         "document, .jsonl for typed line records)",
     )
+    run.add_argument(
+        "--seeds",
+        metavar="S1,S2,...",
+        default=None,
+        help="run a multi-seed confidence measurement over these "
+        "error-stream seeds instead of one validated run",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the multi-seed measurement "
+        "(1 = serial, 0 = one per CPU); results are identical either way",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
@@ -110,6 +143,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the output(s) plus a run manifest as JSON",
+    )
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep-based experiments "
+        "(1 = serial, 0 = one per CPU); results are identical either way",
     )
 
     metrics = sub.add_parser(
@@ -262,9 +302,63 @@ def _run_config(args) -> SimConfig:
     )
 
 
+def _cmd_run_multiseed(args, out) -> int:
+    """Multi-seed confidence measurement (``run KERNEL --seeds ...``)."""
+    from .analysis.multirun import measure_with_seeds
+
+    spec = KERNEL_REGISTRY[args.kernel]
+    threshold = args.threshold if args.threshold is not None else spec.threshold
+    seeds = _parse_seeds(args.seeds)
+    started = time.perf_counter()
+    measurement = measure_with_seeds(
+        spec.default_factory,
+        threshold,
+        args.error_rate,
+        seeds=seeds,
+        collect_telemetry=args.emit_json is not None,
+        jobs=args.jobs,
+    )
+    engine = measurement.engine
+    mode = "serial" if engine.serial else f"{engine.workers} workers"
+    print(
+        f"{args.kernel}: {len(seeds)} seeds at {args.error_rate:.1%} "
+        f"error rate, threshold {threshold:g} ({mode})",
+        file=out,
+    )
+    print(f"  saving   {measurement.saving}", file=out)
+    print(f"  hit rate {measurement.hit_rate}", file=out)
+    if args.emit_json:
+        artifact = {
+            "manifest": build_manifest(
+                f"run:{args.kernel}:multiseed",
+                wall_time_s=time.perf_counter() - started,
+                extra={
+                    "seeds": list(seeds),
+                    "threshold": threshold,
+                    "error_rate": args.error_rate,
+                    "jobs": args.jobs,
+                },
+            ),
+            "saving": dataclasses.asdict(measurement.saving),
+            "hit_rate": dataclasses.asdict(measurement.hit_rate),
+            # Per-shard provenance: how the measurement was executed.
+            "engine": engine.to_dict(),
+            "engine_metrics": engine.snapshot().to_dict(),
+        }
+        if measurement.telemetry is not None:
+            artifact["metrics"] = measurement.telemetry.to_dict()
+        with open(args.emit_json, "w") as f:
+            json.dump(artifact, f, indent=2)
+            f.write("\n")
+        print(f"telemetry written to {args.emit_json}", file=out)
+    return 0
+
+
 def _cmd_run(args, out) -> int:
     from .gpu.executor import GpuExecutor
 
+    if args.seeds is not None:
+        return _cmd_run_multiseed(args, out)
     spec = KERNEL_REGISTRY[args.kernel]
     config = _run_config(args)
     started = time.perf_counter()
@@ -364,7 +458,7 @@ def _cmd_experiment(args, out) -> int:
     started = time.perf_counter()
     outputs = {}
     for exp_id in selected:
-        text = EXPERIMENTS[exp_id]()
+        text = EXPERIMENTS[exp_id](jobs=args.jobs)
         outputs[exp_id] = text
         if len(selected) > 1:
             print(f"=== {exp_id} ===", file=out)
@@ -375,7 +469,7 @@ def _cmd_experiment(args, out) -> int:
         manifest = build_manifest(
             f"experiment:{args.id}",
             wall_time_s=time.perf_counter() - started,
-            extra={"experiments": selected},
+            extra={"experiments": selected, "jobs": args.jobs},
         )
         with open(args.emit_json, "w") as f:
             json.dump({"manifest": manifest, "outputs": outputs}, f, indent=2)

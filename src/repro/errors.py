@@ -64,5 +64,9 @@ class TelemetryError(ReproError):
     """Misuse of the telemetry registry, sinks, or event stream."""
 
 
+class ParallelExecutionError(ReproError):
+    """A sharded measurement failed inside the process-pool engine."""
+
+
 class ImageError(ReproError):
     """Image synthesis or I/O failure."""

@@ -18,6 +18,7 @@ from ..errors import WorkItemProtocolError
 from ..isa.opcodes import UnitKind
 from ..memo.lut import LutStats
 from ..memo.resilient import FpuEventCounters
+from ..timing.ecu import EcuStats
 from .stream_core import StreamCore
 from .trace import TraceCollector
 from .wavefront import Wavefront
@@ -155,6 +156,13 @@ class ComputeUnit:
         for core in self.stream_cores:
             for kind, stats in core.lut_stats().items():
                 totals.setdefault(kind, LutStats()).merge(stats)
+        return totals
+
+    def ecu_stats(self) -> Dict[UnitKind, EcuStats]:
+        totals = {kind: EcuStats() for kind in UnitKind}
+        for core in self.stream_cores:
+            for kind, stats in core.ecu_stats().items():
+                totals[kind].merge(stats)
         return totals
 
     @property

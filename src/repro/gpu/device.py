@@ -12,6 +12,7 @@ from ..isa.opcodes import UnitKind
 from ..memo.lut import LutStats
 from ..memo.resilient import FpuEventCounters
 from ..telemetry.events import TraceEventSink
+from ..timing.ecu import EcuStats
 from ..telemetry.probes import TelemetryHub
 from .compute_unit import ComputeUnit
 from .dispatcher import UltraThreadDispatcher
@@ -69,6 +70,13 @@ class Device:
         for unit in self.compute_units:
             for kind, stats in unit.lut_stats().items():
                 totals.setdefault(kind, LutStats()).merge(stats)
+        return totals
+
+    def ecu_stats(self) -> Dict[UnitKind, EcuStats]:
+        totals = {kind: EcuStats() for kind in UnitKind}
+        for unit in self.compute_units:
+            for kind, stats in unit.ecu_stats().items():
+                totals[kind].merge(stats)
         return totals
 
     @property

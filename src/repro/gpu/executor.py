@@ -153,9 +153,18 @@ class GpuExecutor:
 
 
 class ReferenceExecutor:
-    """Golden execution: exact float32 arithmetic, no device in the loop."""
+    """Golden execution: exact float32 arithmetic, no device in the loop.
 
-    def __init__(self) -> None:
+    ``wavefront_size`` fixes the NDRange geometry (``local_id`` /
+    ``group_id``) seen by the kernel; it must match the simulated
+    architecture's wavefront size for geometry-sensitive kernels to
+    produce the same golden output.
+    """
+
+    def __init__(self, wavefront_size: int = 64) -> None:
+        if wavefront_size < 1:
+            raise KernelError("wavefront size must be at least 1")
+        self.wavefront_size = wavefront_size
         self.executed_ops = 0
 
     def run(
@@ -165,7 +174,7 @@ class ReferenceExecutor:
         args: Sequence[object] = (),
     ) -> int:
         """Run every work-item to completion; returns executed FP ops."""
-        items = _build_work_items(kernel, global_size, args, 64)
+        items = _build_work_items(kernel, global_size, args, self.wavefront_size)
         evaluate = arithmetic.evaluate
         ops = 0
         for item in items:

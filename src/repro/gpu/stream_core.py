@@ -15,6 +15,7 @@ from ..errors import ArchitectureError
 from ..isa.opcodes import Opcode, UnitKind
 from ..memo.lut import LutStats
 from ..memo.resilient import FpuEventCounters, ResilientFpu
+from ..timing.ecu import EcuStats
 from .trace import NullTraceCollector, TraceCollector
 
 
@@ -74,6 +75,9 @@ class StreamCore:
             if fpu.memo is not None and not fpu.memo.lut.power_gated:
                 stats[kind] = fpu.memo.lut.stats
         return stats
+
+    def ecu_stats(self) -> Dict[UnitKind, EcuStats]:
+        return {kind: fpu.ecu.stats for kind, fpu in self.fpus.items()}
 
     @property
     def executed_ops(self) -> int:

@@ -31,11 +31,16 @@ class Workload(abc.ABC):
     def output_tolerance(self) -> float:
         """Max absolute output error accepted by the host-side test program."""
 
-    def golden(self) -> np.ndarray:
-        """Reference output via exact float32 execution."""
+    def golden(self, wavefront_size: int = 64) -> np.ndarray:
+        """Reference output via exact float32 execution.
+
+        Pass the simulated architecture's wavefront size so geometry-
+        sensitive kernels (those reading ``local_id`` / ``group_id``)
+        see the same NDRange layout the device did.
+        """
         from ..gpu.executor import ReferenceExecutor
 
-        return self.run(ReferenceExecutor())
+        return self.run(ReferenceExecutor(wavefront_size=wavefront_size))
 
     @staticmethod
     def _require(condition: bool, message: str) -> None:

@@ -27,6 +27,29 @@ from .sobel import SobelWorkload
 
 
 @dataclass(frozen=True)
+class RegisteredFactory:
+    """Picklable factory for one kernel's scaled default workload.
+
+    Registry factories used to be lambdas, which cannot cross a process
+    boundary; this callable pickles by class reference plus the kernel
+    name, so shard workers (``repro.analysis.parallel``) rebuild the
+    workload under any multiprocessing start method, including spawn.
+    """
+
+    kernel: str
+
+    def __call__(self) -> Workload:
+        try:
+            builder = _WORKLOAD_BUILDERS[self.kernel]
+        except KeyError:
+            raise KernelError(
+                f"unknown kernel {self.kernel!r}; known: "
+                f"{sorted(_WORKLOAD_BUILDERS)}"
+            ) from None
+        return builder()
+
+
+@dataclass(frozen=True)
 class KernelSpec:
     """One row of Table 1 plus this repo's scaled defaults.
 
@@ -89,13 +112,52 @@ def _fwt_signal(n: int):
     return np.where(rng.array_uniform(n) < 0.5, -1.0, 1.0).astype(np.float32)
 
 
+def _build_sobel() -> Workload:
+    return SobelWorkload(synth_face(64))
+
+
+def _build_gaussian() -> Workload:
+    return GaussianWorkload(synth_face(64))
+
+
+def _build_haar() -> Workload:
+    return HaarWorkload(_haar_signal(256))
+
+
+def _build_binomial_option() -> Workload:
+    return BinomialOptionWorkload(64, steps=16)
+
+
+def _build_black_scholes() -> Workload:
+    return BlackScholesWorkload(128)
+
+
+def _build_fwt() -> Workload:
+    return FwtWorkload(_fwt_signal(512))
+
+
+def _build_eigenvalue() -> Workload:
+    return EigenValueWorkload(64, iterations=8)
+
+
+_WORKLOAD_BUILDERS: Dict[str, Callable[[], Workload]] = {
+    "Sobel": _build_sobel,
+    "Gaussian": _build_gaussian,
+    "Haar": _build_haar,
+    "BinomialOption": _build_binomial_option,
+    "BlackScholes": _build_black_scholes,
+    "FWT": _build_fwt,
+    "EigenValue": _build_eigenvalue,
+}
+
+
 KERNEL_REGISTRY: Dict[str, KernelSpec] = {
     "Sobel": KernelSpec(
         name="Sobel",
         paper_input="face (1536x1536)",
         paper_threshold=1.0,
         error_tolerant=True,
-        default_factory=lambda: SobelWorkload(synth_face(64)),
+        default_factory=RegisteredFactory("Sobel"),
         scaled_input="synthetic face (64x64)",
     ),
     "Gaussian": KernelSpec(
@@ -103,7 +165,7 @@ KERNEL_REGISTRY: Dict[str, KernelSpec] = {
         paper_input="face (1536x1536)",
         paper_threshold=0.8,
         error_tolerant=True,
-        default_factory=lambda: GaussianWorkload(synth_face(64)),
+        default_factory=RegisteredFactory("Gaussian"),
         scaled_input="synthetic face (64x64)",
         scaled_threshold=0.6,
     ),
@@ -112,7 +174,7 @@ KERNEL_REGISTRY: Dict[str, KernelSpec] = {
         paper_input="1024",
         paper_threshold=0.046,
         error_tolerant=False,
-        default_factory=lambda: HaarWorkload(_haar_signal(256)),
+        default_factory=RegisteredFactory("Haar"),
         scaled_input="signal of 256 samples",
     ),
     "BinomialOption": KernelSpec(
@@ -120,7 +182,7 @@ KERNEL_REGISTRY: Dict[str, KernelSpec] = {
         paper_input="20",
         paper_threshold=0.000025,
         error_tolerant=False,
-        default_factory=lambda: BinomialOptionWorkload(64, steps=16),
+        default_factory=RegisteredFactory("BinomialOption"),
         scaled_input="64 options, 16 tree steps",
     ),
     "BlackScholes": KernelSpec(
@@ -128,7 +190,7 @@ KERNEL_REGISTRY: Dict[str, KernelSpec] = {
         paper_input="20",
         paper_threshold=0.000025,
         error_tolerant=False,
-        default_factory=lambda: BlackScholesWorkload(128),
+        default_factory=RegisteredFactory("BlackScholes"),
         scaled_input="128 options",
     ),
     "FWT": KernelSpec(
@@ -136,7 +198,7 @@ KERNEL_REGISTRY: Dict[str, KernelSpec] = {
         paper_input="1000000",
         paper_threshold=0.0,
         error_tolerant=False,
-        default_factory=lambda: FwtWorkload(_fwt_signal(512)),
+        default_factory=RegisteredFactory("FWT"),
         scaled_input="signal of 512 samples",
     ),
     "EigenValue": KernelSpec(
@@ -144,7 +206,7 @@ KERNEL_REGISTRY: Dict[str, KernelSpec] = {
         paper_input="1000x1000",
         paper_threshold=0.0,
         error_tolerant=False,
-        default_factory=lambda: EigenValueWorkload(64, iterations=8),
+        default_factory=RegisteredFactory("EigenValue"),
         scaled_input="64x64 tridiagonal matrix",
     ),
 }

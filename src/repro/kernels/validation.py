@@ -56,7 +56,7 @@ def validate_workload(
     config = config or SimConfig()
     executor = GpuExecutor(config)
     device_output = workload.run(executor)
-    golden_output = workload.golden()
+    golden_output = workload.golden(wavefront_size=config.arch.wavefront_size)
 
     device_flat = np.asarray(device_output, dtype=np.float64).ravel()
     golden_flat = np.asarray(golden_output, dtype=np.float64).ravel()

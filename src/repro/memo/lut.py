@@ -87,6 +87,10 @@ class MemoLUT:
         if threshold < 0.0:
             raise MemoizationError("threshold must be non-negative")
         self.mmio.set_threshold(threshold)
+        # Restore the full-compare mask vector so a previously programmed
+        # mask doesn't linger in MASK_VECTOR (program_mask zeroes the
+        # threshold for the same reason: the two modes are exclusive).
+        self.mmio.write(0x00, fraction_mask_vector(0))
         self.constraint = MatchingConstraint(
             threshold=threshold,
             allow_commutative=self.constraint.allow_commutative,

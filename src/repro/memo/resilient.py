@@ -94,6 +94,10 @@ class ResilientFpu:
             # so the energy model can charge zero (gated) overhead.
             self.memo = TemporalMemoizationModule(memo_config)
         self.counters = FpuEventCounters()
+        #: Match outcome of the most recent :meth:`execute` call — the
+        #: LUT's own verdict (EXACT / APPROXIMATE / COMMUTED), not a
+        #: reconstruction from the constraint mode.
+        self.last_match_outcome = MatchOutcome.MISS
         #: Optional telemetry probe; ``None`` (the default) keeps the
         #: fast path at one attribute check per instrumented branch.
         self.probe = None
@@ -137,7 +141,8 @@ class ResilientFpu:
 
         memo = self.memo
         if memo is not None:
-            hit, stored, _ = memo.lut.lookup(opcode, operands)
+            hit, stored, outcome = memo.lut.lookup(opcode, operands)
+            self.last_match_outcome = outcome
             if hit:
                 # LUT ran in parallel with stage 1; stages 2..depth gated.
                 counters.active_stage_traversals += 1
@@ -147,6 +152,8 @@ class ResilientFpu:
                     self.ecu.on_masked_error()
                 assert stored is not None
                 return stored
+        else:
+            self.last_match_outcome = MatchOutcome.MISS
 
         result = arithmetic.evaluate(opcode, operands)
         counters.active_stage_traversals += self.depth
@@ -171,18 +178,13 @@ class ResilientFpu:
         result = self.execute(opcode, operands)
         hits_now = self.memo.lut.stats.hits if self.memo else 0
         hit = hits_now > before_hits
-        outcome = MatchOutcome.MISS
-        if hit and self.memo is not None:
-            outcome = MatchOutcome.EXACT if self.memo.lut.constraint.is_exact else (
-                MatchOutcome.APPROXIMATE
-            )
         return ExecutionOutcome(
             result=result,
             hit=hit,
             timing_error=self.counters.errors_injected > before_injected,
             error_masked=self.counters.errors_masked > before_masked,
             recovery_cycles=self.counters.recovery_stall_cycles - before_recovery,
-            match_outcome=outcome,
+            match_outcome=self.last_match_outcome,
         )
 
     # ------------------------------------------------------------- statistics

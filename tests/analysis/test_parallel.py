@@ -1,0 +1,188 @@
+"""Tests for the sharded process-pool measurement engine."""
+
+import dataclasses
+import os
+import time
+
+import pytest
+
+from repro.analysis.multirun import measure_with_seeds
+from repro.analysis.parallel import (
+    EngineReport,
+    ShardRecord,
+    resolve_jobs,
+    run_sharded,
+)
+from repro.analysis.sweep import threshold_sweep
+from repro.errors import ConfigError, ParallelExecutionError, ReproError
+from repro.kernels.registry import KERNEL_REGISTRY
+
+HAAR = KERNEL_REGISTRY["Haar"].default_factory
+
+
+# Pool workers must be module-level so they pickle by reference.
+def double(task):
+    return task * 2
+
+
+def raise_value_error(task):
+    raise ValueError(f"boom on {task}")
+
+
+def raise_repro_error(task):
+    raise ReproError("domain failure")
+
+
+def crash_process(task):
+    os._exit(13)
+
+
+def sleep_for(task):
+    time.sleep(task)
+    return task
+
+
+class TestResolveJobs:
+    def test_positive_passthrough(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs(-1)
+
+
+class TestSerialPath:
+    def test_results_in_task_order(self):
+        results, report = run_sharded([3, 1, 2], double, jobs=1)
+        assert results == [6, 2, 4]
+        assert report.serial
+        assert report.workers == 1
+        assert report.start_method == "in-process"
+        assert [s.label for s in report.shards] == ["3", "1", "2"]
+
+    def test_failure_names_shard(self):
+        with pytest.raises(ParallelExecutionError, match="shard seed 1"):
+            run_sharded(
+                [1], raise_value_error, jobs=1, label=lambda t: f"seed {t}"
+            )
+
+    def test_domain_errors_propagate_unwrapped(self):
+        with pytest.raises(ReproError, match="domain failure"):
+            run_sharded([1], raise_repro_error, jobs=1)
+
+    def test_empty_task_list(self):
+        results, report = run_sharded([], double, jobs=4)
+        assert results == []
+        assert report.shard_count == 0
+
+
+class TestPoolPath:
+    def test_results_match_serial_in_order(self):
+        serial, _ = run_sharded(list(range(8)), double, jobs=1)
+        parallel, report = run_sharded(list(range(8)), double, jobs=2)
+        assert parallel == serial
+        assert not report.serial
+        assert report.workers == 2
+        assert report.shard_count == 8
+
+    def test_workers_capped_by_task_count(self):
+        _, report = run_sharded([1], double, jobs=8)
+        # A single task never pays for a pool.
+        assert report.workers == 1 and report.serial
+
+    def test_unpicklable_worker_rejected_up_front(self):
+        # Two tasks: a single task takes the serial fallback, which has
+        # no pickling requirement.
+        with pytest.raises(ParallelExecutionError, match="not picklable"):
+            run_sharded([1, 2], lambda t: t, jobs=2)
+
+    def test_unpicklable_task_names_shard(self):
+        tasks = [1, lambda: None]
+        with pytest.raises(ParallelExecutionError, match="unpicklable"):
+            run_sharded(tasks, double, jobs=2, label=lambda t: "t")
+
+    def test_crashed_worker_names_shard(self):
+        with pytest.raises(ParallelExecutionError, match="shard seed 9"):
+            run_sharded(
+                [9, 10], crash_process, jobs=2, label=lambda t: f"seed {t}"
+            )
+
+    def test_timeout_names_shard(self):
+        with pytest.raises(ParallelExecutionError, match="timeout"):
+            run_sharded([30.0, 30.0], sleep_for, jobs=2, timeout=0.2)
+
+    def test_worker_exception_names_shard(self):
+        with pytest.raises(ParallelExecutionError, match="shard 5 failed"):
+            run_sharded([5, 6], raise_value_error, jobs=2, label=str)
+
+
+class TestEngineReport:
+    def test_snapshot_metrics(self):
+        report = EngineReport(
+            requested_jobs=2,
+            workers=2,
+            serial=False,
+            start_method="fork",
+            shards=[ShardRecord("seed 1", 0.2), ShardRecord("seed 2", 0.3)],
+        )
+        snapshot = report.snapshot().to_dict()
+        assert snapshot["counters"]["parallel.shards"] == 2
+        assert snapshot["gauges"]["parallel.workers"] == 2.0
+        assert snapshot["counters"]["parallel.serial_fallbacks"] == 0
+        wall = snapshot["histograms"]["parallel.shard_wall_time_s"]
+        assert wall["count"] == 2
+        assert wall["total"] == pytest.approx(0.5)
+
+    def test_to_dict_round_trip(self):
+        _, report = run_sharded([1, 2], double, jobs=1)
+        as_dict = report.to_dict()
+        assert as_dict["shard_count"] == 2
+        assert len(as_dict["shards"]) == 2
+        assert as_dict["total_shard_wall_s"] == pytest.approx(
+            report.total_shard_wall_s
+        )
+
+
+class TestDeterminism:
+    def test_multiseed_parallel_identical_to_serial(self):
+        serial = measure_with_seeds(
+            HAAR, 0.01, 0.02, seeds=(1, 2, 3, 4),
+            collect_telemetry=True, jobs=1,
+        )
+        parallel = measure_with_seeds(
+            HAAR, 0.01, 0.02, seeds=(1, 2, 3, 4),
+            collect_telemetry=True, jobs=4,
+        )
+        assert serial.saving == parallel.saving
+        assert serial.hit_rate == parallel.hit_rate
+        assert serial.telemetry.to_dict() == parallel.telemetry.to_dict()
+        assert serial.counters == parallel.counters
+        assert serial.lut_stats == parallel.lut_stats
+        assert serial.ecu_stats == parallel.ecu_stats
+        assert not parallel.engine.serial
+        assert parallel.engine.workers == 4
+
+    def test_determinism_spawn_two_workers(self):
+        # The spawn start method (macOS/Windows default) re-imports every
+        # module in the child, so this also proves the task specs and the
+        # registry factories are genuinely picklable.
+        serial = measure_with_seeds(HAAR, 0.01, 0.0, seeds=(1, 2), jobs=1)
+        spawned = measure_with_seeds(
+            HAAR, 0.01, 0.0, seeds=(1, 2), jobs=2, start_method="spawn"
+        )
+        assert dataclasses.asdict(serial.saving) == dataclasses.asdict(
+            spawned.saving
+        )
+        assert dataclasses.asdict(serial.hit_rate) == dataclasses.asdict(
+            spawned.hit_rate
+        )
+        assert spawned.engine.start_method == "spawn"
+
+    def test_sweep_parallel_identical_to_serial(self):
+        serial = threshold_sweep(HAAR, [0.0, 0.05], jobs=1)
+        parallel = threshold_sweep(HAAR, [0.0, 0.05], jobs=2)
+        assert serial == parallel

@@ -231,6 +231,33 @@ class TestReferenceExecutor:
         assert ops == 8
         assert ref.executed_ops == 8
 
+    def test_wavefront_size_shapes_geometry(self, tiny_sim):
+        # Regression: the reference executor hardcoded a 64-item wavefront,
+        # so kernels reading local_id/group_id saw a different NDRange
+        # geometry than the simulated device (wavefront_size=8 here).
+        def geometry_kernel(ctx, dst):
+            value = yield ctx.fmuladd(
+                float(ctx.group_id), 100.0, float(ctx.local_id)
+            )
+            dst.store(ctx.global_id, value)
+
+        dev_dst = Buffer.zeros(16)
+        GpuExecutor(tiny_sim).run(geometry_kernel, 16, (dev_dst,))
+
+        ref_dst = Buffer.zeros(16)
+        wf = tiny_sim.arch.wavefront_size
+        ReferenceExecutor(wavefront_size=wf).run(geometry_kernel, 16, (ref_dst,))
+        assert list(dev_dst.to_array()) == list(ref_dst.to_array())
+
+        # The old hardcoded geometry (64) disagrees for 16 items at wf=8.
+        stale_dst = Buffer.zeros(16)
+        ReferenceExecutor().run(geometry_kernel, 16, (stale_dst,))
+        assert list(stale_dst.to_array()) != list(ref_dst.to_array())
+
+    def test_invalid_wavefront_size_rejected(self):
+        with pytest.raises(KernelError):
+            ReferenceExecutor(wavefront_size=0)
+
 
 class TestDeviceEnergyReport:
     def test_report_covers_only_activated_units(self, tiny_sim):

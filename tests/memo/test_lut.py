@@ -81,6 +81,18 @@ class TestProgramming:
         with pytest.raises(MemoizationError):
             MemoLUT().program_mask(24)
 
+    def test_program_threshold_clears_stale_mask(self, add_op):
+        # Regression: program_threshold left the previously programmed mask
+        # vector in MMIO register 0x00, so threshold mode kept ignoring
+        # fraction bits masked by an earlier program_mask call.
+        lut = MemoLUT()
+        lut.program_mask(23)
+        lut.program_threshold(0.01)
+        assert lut.mmio.mask_vector == fraction_mask_vector(0)
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        hit, _, _ = lut.lookup(add_op, (1.5, 2.0))  # far outside threshold
+        assert not hit
+
     def test_config_mask_applied_at_construction(self, add_op):
         lut = MemoLUT(MemoConfig(masked_fraction_bits=23))
         lut.update(add_op, (1.0, 2.0), 3.0)

@@ -3,6 +3,7 @@
 
 from repro.config import ArchConfig, MemoConfig, TimingConfig
 from repro.isa.opcodes import UnitKind, opcode_by_mnemonic
+from repro.memo.matching import MatchOutcome
 from repro.memo.resilient import FpuEventCounters, ResilientFpu
 from repro.timing.errors import BernoulliInjector, NoErrorInjector
 from repro.utils.rng import RngStream
@@ -134,6 +135,37 @@ class TestDetailedExecution:
         assert outcome.timing_error
         assert not outcome.hit
         assert outcome.recovery_cycles == 12
+
+    def test_commuted_hit_reported_as_commuted(self):
+        # Regression: execute() used to discard the LUT's MatchOutcome and
+        # execute_detailed() reconstructed EXACT/APPROXIMATE from the
+        # constraint mode, so commuted-operand hits were misreported.
+        fpu = make_fpu(MemoConfig(threshold=0.0, commutative_matching=True))
+        fpu.execute(ADD, (1.0, 2.0))
+        outcome = fpu.execute_detailed(ADD, (2.0, 1.0))
+        assert outcome.hit
+        assert outcome.match_outcome is MatchOutcome.COMMUTED
+        assert fpu.memo.lut.stats.outcome_counts[MatchOutcome.COMMUTED] == 1
+
+    def test_detailed_outcome_agrees_with_lut_counts(self):
+        exact_fpu = make_fpu(MemoConfig(threshold=0.0))
+        exact_fpu.execute(ADD, (1.0, 2.0))
+        exact = exact_fpu.execute_detailed(ADD, (1.0, 2.0))
+        assert exact.match_outcome is MatchOutcome.EXACT
+        assert exact_fpu.memo.lut.stats.outcome_counts[MatchOutcome.EXACT] == 1
+
+        approx_fpu = make_fpu(MemoConfig(threshold=0.5))
+        approx_fpu.execute(ADD, (1.0, 2.0))
+        approx = approx_fpu.execute_detailed(ADD, (1.2, 2.0))
+        assert approx.match_outcome is MatchOutcome.APPROXIMATE
+        counts = approx_fpu.memo.lut.stats.outcome_counts
+        assert counts[MatchOutcome.APPROXIMATE] == 1
+
+    def test_detailed_miss_reports_miss(self):
+        fpu = make_fpu()
+        outcome = fpu.execute_detailed(ADD, (1.0, 2.0))
+        assert not outcome.hit
+        assert outcome.match_outcome is MatchOutcome.MISS
 
 
 class TestCounters:

@@ -98,8 +98,8 @@ class TestExperiment:
             cli_mod,
             "EXPERIMENTS",
             {
-                "alpha": lambda: calls.append("alpha") or "alpha output",
-                "beta": lambda: calls.append("beta") or "beta output",
+                "alpha": lambda jobs=1: calls.append("alpha") or "alpha output",
+                "beta": lambda jobs=1: calls.append("beta") or "beta output",
             },
         )
         code, text = run_cli("experiment", "all")
@@ -107,6 +107,62 @@ class TestExperiment:
         assert calls == ["alpha", "beta"]
         assert "=== alpha ===" in text and "=== beta ===" in text
         assert "alpha output" in text and "beta output" in text
+
+
+class TestMultiSeedRun:
+    def test_run_seeds_reports_statistics(self):
+        code, text = run_cli("run", "Haar", "--seeds", "1,2")
+        assert code == 0
+        assert "2 seeds" in text and "(serial)" in text
+        assert "saving" in text and "hit rate" in text
+
+    def test_run_seeds_parallel_artifact(self, tmp_path):
+        path = tmp_path / "ms.json"
+        code, _ = run_cli(
+            "run", "Haar", "--seeds", "1,2,3", "--jobs", "2",
+            "--emit-json", str(path),
+        )
+        assert code == 0
+        with open(path) as f:
+            artifact = json.load(f)
+        assert artifact["saving"]["samples"] == 3
+        engine = artifact["engine"]
+        assert engine["workers"] == 2 and not engine["serial"]
+        assert [s["label"] for s in engine["shards"]] == [
+            "seed 1", "seed 2", "seed 3",
+        ]
+        counters = artifact["engine_metrics"]["counters"]
+        assert counters["parallel.shards"] == 3
+        assert artifact["manifest"]["jobs"] == 2
+        assert artifact["manifest"]["seeds"] == [1, 2, 3]
+        # Telemetry collection is tied to --emit-json.
+        assert artifact["metrics"]["counters"]
+
+    def test_parallel_output_matches_serial(self, tmp_path):
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        run_cli("run", "Haar", "--seeds", "1,2", "--emit-json", str(serial_path))
+        run_cli(
+            "run", "Haar", "--seeds", "1,2", "--jobs", "2",
+            "--emit-json", str(parallel_path),
+        )
+        with open(serial_path) as f:
+            serial = json.load(f)
+        with open(parallel_path) as f:
+            parallel = json.load(f)
+        assert serial["saving"] == parallel["saving"]
+        assert serial["hit_rate"] == parallel["hit_rate"]
+        assert serial["metrics"] == parallel["metrics"]
+
+    def test_malformed_seeds_rejected(self):
+        code, text = run_cli("run", "Haar", "--seeds", "1,x")
+        assert code == 1
+        assert "comma-separated integers" in text
+
+    def test_empty_seeds_rejected(self):
+        code, text = run_cli("run", "Haar", "--seeds", ",")
+        assert code == 1
+        assert "at least one seed" in text
 
 
 class TestTelemetryCli:
@@ -171,7 +227,7 @@ class TestTelemetryCli:
         import repro.cli as cli_mod
 
         monkeypatch.setattr(
-            cli_mod, "EXPERIMENTS", {"tiny": lambda: "tiny output"}
+            cli_mod, "EXPERIMENTS", {"tiny": lambda jobs=1: "tiny output"}
         )
         path = tmp_path / "exp.json"
         code, _ = run_cli("experiment", "tiny", "--emit-json", str(path))
