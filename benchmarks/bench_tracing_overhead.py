@@ -1,0 +1,115 @@
+"""Tracing-overhead accounting: observation must be close to free.
+
+The tracing subsystem's contract is the telemetry one: a run that does
+not ask for it pays one attribute check per instrumented site.  This
+bench times the same kernel launch three ways — tracing disabled,
+timeline tracing enabled, tracing plus host-phase profiling — checks
+that all three produce identical simulation results, and records the
+disabled-path overhead against an untraceable pre-tracing proxy in
+``BENCH_telemetry.json``.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.config import (
+    MemoConfig,
+    SimConfig,
+    TelemetryConfig,
+    TimingConfig,
+    TracingConfig,
+    small_arch,
+)
+from repro.gpu.executor import GpuExecutor
+from repro.kernels.registry import KERNEL_REGISTRY
+from repro.tracing.sentinel import audit_device
+from repro.utils.tables import format_table
+
+KERNEL = "FWT"
+ERROR_RATE = 0.02
+#: Repetitions per variant; the median wall time is reported.
+REPEATS = 3
+
+
+def _run(tracing: TracingConfig) -> tuple:
+    spec = KERNEL_REGISTRY[KERNEL]
+    config = SimConfig(
+        arch=small_arch(),
+        memo=MemoConfig(threshold=spec.threshold),
+        timing=TimingConfig(error_rate=ERROR_RATE),
+        telemetry=TelemetryConfig(enabled=True),
+        tracing=tracing,
+    )
+    started = time.perf_counter()
+    executor = GpuExecutor(config)
+    spec.default_factory().run(executor)
+    wall = time.perf_counter() - started
+    return executor, wall
+
+
+def _median_wall(tracing: TracingConfig) -> tuple:
+    walls = []
+    executor = None
+    for _ in range(REPEATS):
+        executor, wall = _run(tracing)
+        walls.append(wall)
+    walls.sort()
+    return executor, walls[len(walls) // 2]
+
+
+def run_overhead_study():
+    baseline, baseline_wall = _median_wall(TracingConfig(enabled=False))
+    traced, traced_wall = _median_wall(TracingConfig(enabled=True))
+    profiled, profiled_wall = _median_wall(
+        TracingConfig(enabled=True, profile_host=True)
+    )
+    return (
+        (baseline, baseline_wall),
+        (traced, traced_wall),
+        (profiled, profiled_wall),
+    )
+
+
+def _signature(executor) -> tuple:
+    device = executor.device
+    return (
+        device.executed_ops,
+        tuple(sorted((k.value, s.lookups, s.hits) for k, s in device.lut_stats().items())),
+        tuple(sorted((k.value, e.recoveries, e.recovery_cycles) for k, e in device.ecu_stats().items())),
+    )
+
+
+def test_tracing_overhead(benchmark, bench_report, bench_metrics):
+    results = run_once(benchmark, run_overhead_study)
+    (baseline, base_wall), (traced, traced_wall), (profiled, prof_wall) = results
+
+    rows = [
+        ["tracing off", base_wall, 1.0],
+        ["timeline tracing", traced_wall, traced_wall / base_wall],
+        ["tracing + profiler", prof_wall, prof_wall / base_wall],
+    ]
+    bench_report(
+        format_table(
+            ["variant", "median wall s", "vs off"],
+            rows,
+            title=f"{KERNEL} at {ERROR_RATE:.0%} error rate "
+            f"(median of {REPEATS})",
+        )
+    )
+    bench_metrics("disabled_wall_s", round(base_wall, 4))
+    bench_metrics("traced_wall_s", round(traced_wall, 4))
+    bench_metrics("profiled_wall_s", round(prof_wall, 4))
+    bench_metrics("traced_overhead", round(traced_wall / base_wall, 3))
+    bench_metrics("profiled_overhead", round(prof_wall / base_wall, 3))
+
+    # Observation only: every variant simulates the identical run.
+    assert _signature(baseline) == _signature(traced) == _signature(profiled)
+    assert baseline.tracer is None and traced.tracer is not None
+
+    # And the traced variants agree with themselves (the sentinel).
+    report = audit_device(traced.device, traced.tracer)
+    assert report.ok, report.to_text()
+
+    # The enabled path records the full run.
+    assert len(traced.tracer) > 0 and traced.tracer.dropped == 0

@@ -19,7 +19,11 @@ A Python reproduction of the paper's full system:
   figure/table;
 * :mod:`repro.telemetry` — opt-in structured metrics, event streams and
   run manifests wired through the whole simulator (see
-  ``docs/observability.md``).
+  ``docs/observability.md``);
+* :mod:`repro.tracing` — cycle-timeline tracing (Perfetto-loadable
+  Chrome traces), host-phase profiling and the invariant sentinel that
+  cross-checks every statistics surface after a run (see
+  ``docs/tracing.md``).
 
 Quickstart::
 
@@ -39,9 +43,10 @@ from .config import (
     SimConfig,
     TelemetryConfig,
     TimingConfig,
+    TracingConfig,
     small_arch,
 )
-from .errors import ReproError, TelemetryError
+from .errors import InvariantViolation, ReproError, TelemetryError, TracingError
 from .energy import EnergyModel, EnergyParams, EnergyReport
 from .gpu import (
     Device,
@@ -68,6 +73,14 @@ from .telemetry import (
     render_dashboard,
 )
 from .timing import VoltageModel
+from .tracing import (
+    HostPhaseProfiler,
+    SentinelReport,
+    TimelineTracer,
+    audit_device,
+    render_timeline_summary,
+    write_chrome_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -78,9 +91,12 @@ __all__ = [
     "SimConfig",
     "TelemetryConfig",
     "TimingConfig",
+    "TracingConfig",
     "small_arch",
     "ReproError",
     "TelemetryError",
+    "TracingError",
+    "InvariantViolation",
     "EnergyModel",
     "EnergyParams",
     "EnergyReport",
@@ -105,5 +121,11 @@ __all__ = [
     "TelemetryHub",
     "render_dashboard",
     "VoltageModel",
+    "HostPhaseProfiler",
+    "SentinelReport",
+    "TimelineTracer",
+    "audit_device",
+    "render_timeline_summary",
+    "write_chrome_trace",
     "__version__",
 ]

@@ -41,6 +41,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError, ParallelExecutionError, ReproError
 from ..telemetry.registry import MetricsRegistry, MetricsSnapshot
+from ..tracing import profile
+from ..tracing.profile import merge_phase_snapshots
 
 #: Wall-time histogram bucket upper bounds, in seconds.
 SHARD_WALL_TIME_BUCKETS: Tuple[float, ...] = (
@@ -65,13 +67,23 @@ def resolve_jobs(jobs: int) -> int:
 
 @dataclass(frozen=True)
 class ShardRecord:
-    """Provenance of one executed shard (per-shard manifest entry)."""
+    """Provenance of one executed shard (per-shard manifest entry).
+
+    ``phases`` is the shard's host-phase attribution (see
+    :mod:`repro.tracing.profile`) when the shard's device recorded any;
+    ``None`` otherwise.  Like the wall time it is nondeterministic
+    provenance, so it stays out of the merged measurement telemetry.
+    """
 
     label: str
     wall_time_s: float
+    phases: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {"label": self.label, "wall_time_s": self.wall_time_s}
+        record = {"label": self.label, "wall_time_s": self.wall_time_s}
+        if self.phases:
+            record["phases"] = self.phases
+        return record
 
 
 @dataclass
@@ -97,6 +109,14 @@ class EngineReport:
     def total_shard_wall_s(self) -> float:
         return sum(record.wall_time_s for record in self.shards)
 
+    def phase_totals(self) -> dict:
+        """Host-phase attribution folded across every shard, in task
+        order (the fold is a sum, so the merged totals are deterministic
+        given the shard set even though each wall time is not)."""
+        return merge_phase_snapshots(
+            [record.phases for record in self.shards if record.phases]
+        )
+
     def snapshot(self) -> MetricsSnapshot:
         """The engine's own ``parallel.*`` metrics as a snapshot."""
         registry = MetricsRegistry()
@@ -108,6 +128,8 @@ class EngineReport:
         )
         for record in self.shards:
             wall.observe(record.wall_time_s)
+        for name, stat in self.phase_totals().items():
+            registry.gauge(f"parallel.phase.{name}_s").set(stat["total_s"])
         return registry.snapshot()
 
     def to_dict(self) -> dict:
@@ -119,16 +141,23 @@ class EngineReport:
             "start_method": self.start_method,
             "shard_count": self.shard_count,
             "total_shard_wall_s": self.total_shard_wall_s,
+            "phase_totals": self.phase_totals(),
             "shards": [record.to_dict() for record in self.shards],
         }
 
 
 def _timed_call(worker, task):
     """Worker-side wrapper: run one shard and clock it (module-level so
-    it pickles by reference under every start method)."""
+    it pickles by reference under every start method).
+
+    The shard runs inside an ambient host-phase capture: any device the
+    worker builds with ``profile_host`` enabled adopts the capture's
+    profiler, so the shard's phase attribution travels back to the
+    parent in plain-dict form alongside the result."""
     started = time.perf_counter()
-    result = worker(task)
-    return result, time.perf_counter() - started
+    with profile.capture() as profiler:
+        result = worker(task)
+    return result, time.perf_counter() - started, profiler.snapshot()
 
 
 def _require_picklable(worker, tasks: Sequence[object], labels: List[str]) -> None:
@@ -182,7 +211,7 @@ def run_sharded(
         records = []
         for task, shard_label in zip(tasks, labels):
             try:
-                result, wall = _timed_call(worker, task)
+                result, wall, phases = _timed_call(worker, task)
             except ReproError:
                 raise
             except Exception as exc:
@@ -190,7 +219,11 @@ def run_sharded(
                     f"shard {shard_label} failed: {exc!r}"
                 ) from exc
             results.append(result)
-            records.append(ShardRecord(label=shard_label, wall_time_s=wall))
+            records.append(
+                ShardRecord(
+                    label=shard_label, wall_time_s=wall, phases=phases or None
+                )
+            )
         return results, EngineReport(
             requested_jobs=jobs,
             workers=1,
@@ -208,7 +241,7 @@ def run_sharded(
         try:
             for shard_label, future in zip(labels, futures):
                 try:
-                    result, wall = future.result(timeout=timeout)
+                    result, wall, phases = future.result(timeout=timeout)
                 except FuturesTimeoutError:
                     # Kill the stuck workers so the pool shutdown below
                     # cannot block on the hung shard.
@@ -231,7 +264,11 @@ def run_sharded(
                     ) from exc
                 results.append(result)
                 records.append(
-                    ShardRecord(label=shard_label, wall_time_s=wall)
+                    ShardRecord(
+                        label=shard_label,
+                        wall_time_s=wall,
+                        phases=phases or None,
+                    )
                 )
         finally:
             for future in futures:

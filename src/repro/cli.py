@@ -29,6 +29,7 @@ from .config import (
     SimConfig,
     TelemetryConfig,
     TimingConfig,
+    TracingConfig,
     small_arch,
 )
 from .energy.model import EnergyModel
@@ -130,6 +131,71 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the multi-seed measurement "
         "(1 = serial, 0 = one per CPU); results are identical either way",
     )
+    run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="record the cycle timeline and write a Perfetto-loadable "
+        "Chrome trace JSON",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute host wall time to simulator phases and print the "
+        "phase report",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one kernel with cycle-timeline tracing and export a "
+        "Perfetto-loadable trace",
+    )
+    trace.add_argument("kernel", choices=sorted(KERNEL_REGISTRY))
+    trace.add_argument(
+        "--out",
+        metavar="PATH",
+        default="trace.json",
+        help="Chrome trace-event JSON output path (default: trace.json)",
+    )
+    trace.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help="also write the events as typed JSONL records",
+    )
+    trace.add_argument("--threshold", type=float, default=None)
+    trace.add_argument("--error-rate", type=float, default=0.0)
+    trace.add_argument("--voltage", type=float, default=0.9)
+    trace.add_argument("--fifo-depth", type=int, default=2)
+    trace.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        help="bound the in-memory event list (overflow is counted, not "
+        "silently lost)",
+    )
+    trace.add_argument(
+        "--record-ops",
+        action="store_true",
+        help="also record one span per executed FP instruction (high volume)",
+    )
+    trace.add_argument(
+        "--record-rounds",
+        action="store_true",
+        help="also record one instant per sub-wavefront issue round",
+    )
+    trace.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute host wall time to simulator phases and print the "
+        "phase report",
+    )
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows in the top-stalls / hit-burst summary tables",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
@@ -151,6 +217,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for sweep-based experiments "
         "(1 = serial, 0 = one per CPU); results are identical either way",
     )
+    experiment.add_argument(
+        "--profile",
+        action="store_true",
+        help="capture host-phase wall-time attribution across the "
+        "experiment's runs and print the phase report",
+    )
 
     metrics = sub.add_parser(
         "metrics",
@@ -166,6 +238,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="structured-event ring size",
+    )
+    metrics.add_argument(
+        "--compute-units",
+        type=int,
+        default=1,
+        help="compute units to simulate (more units populate the per-CU "
+        "dashboard section)",
     )
     metrics.add_argument("--emit-json", metavar="PATH", default=None)
 
@@ -294,11 +373,16 @@ def _run_config(args) -> SimConfig:
         enabled=args.emit_json is not None,
         events_capacity=getattr(args, "events_capacity", 4096),
     )
+    tracing = TracingConfig(
+        enabled=getattr(args, "trace_out", None) is not None,
+        profile_host=getattr(args, "profile", False),
+    )
     return SimConfig(
         arch=small_arch(),
         memo=MemoConfig(threshold=threshold, fifo_depth=args.fifo_depth),
         timing=TimingConfig(error_rate=args.error_rate, voltage=args.voltage),
         telemetry=telemetry,
+        tracing=tracing,
     )
 
 
@@ -327,6 +411,17 @@ def _cmd_run_multiseed(args, out) -> int:
     )
     print(f"  saving   {measurement.saving}", file=out)
     print(f"  hit rate {measurement.hit_rate}", file=out)
+    if args.profile:
+        from .tracing.profile import format_phase_report
+
+        print(file=out)
+        print(
+            format_phase_report(
+                engine.phase_totals(),
+                title=f"host phases ({engine.shard_count} shards)",
+            ),
+            file=out,
+        )
     if args.emit_json:
         artifact = {
             "manifest": build_manifest(
@@ -402,6 +497,77 @@ def _cmd_run(args, out) -> int:
             time.perf_counter() - started,
             out,
         )
+    if args.trace_out:
+        from .tracing import write_chrome_trace
+
+        count = write_chrome_trace(
+            args.trace_out, executor.tracer, label=f"run:{args.kernel}"
+        )
+        print(f"chrome trace written to {args.trace_out} ({count} events)", file=out)
+    if args.profile:
+        from .tracing.profile import format_phase_report
+
+        print(file=out)
+        print(format_phase_report(executor.profiler.snapshot()), file=out)
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    from .gpu.executor import GpuExecutor
+    from .tracing import (
+        audit_device,
+        render_timeline_summary,
+        write_chrome_trace,
+        write_trace_jsonl,
+    )
+    from .tracing.profile import format_phase_report
+
+    spec = KERNEL_REGISTRY[args.kernel]
+    threshold = args.threshold if args.threshold is not None else spec.threshold
+    config = SimConfig(
+        arch=small_arch(),
+        memo=MemoConfig(threshold=threshold, fifo_depth=args.fifo_depth),
+        timing=TimingConfig(error_rate=args.error_rate, voltage=args.voltage),
+        telemetry=TelemetryConfig(enabled=True),
+        tracing=TracingConfig(
+            enabled=True,
+            max_events=args.max_events,
+            record_ops=args.record_ops,
+            record_rounds=args.record_rounds,
+            profile_host=args.profile,
+        ),
+    )
+    started = time.perf_counter()
+    executor = GpuExecutor(config)
+    spec.default_factory().run(executor)
+    wall = time.perf_counter() - started
+    tracer = executor.tracer
+    print(
+        f"{args.kernel}: {executor.device.executed_ops} FP ops in "
+        f"{wall:.2f}s ({len(tracer)} events, {tracer.dropped} dropped)",
+        file=out,
+    )
+    count = write_chrome_trace(args.out, tracer, label=f"trace:{args.kernel}")
+    print(f"chrome trace written to {args.out} ({count} events)", file=out)
+    if args.jsonl:
+        lines = write_trace_jsonl(
+            args.jsonl,
+            tracer,
+            manifest=build_manifest(f"trace:{args.kernel}", config, wall),
+        )
+        print(f"jsonl trace written to {args.jsonl} ({lines} lines)", file=out)
+    print(file=out)
+    print(render_timeline_summary(tracer, top=args.top), file=out)
+    if args.profile:
+        print(file=out)
+        print(format_phase_report(executor.profiler.snapshot()), file=out)
+    report = audit_device(executor.device, tracer)
+    print(file=out)
+    if report.ok:
+        print(f"invariant sentinel: PASS ({len(report.checks)} checks)", file=out)
+    else:
+        print(report.to_text(), file=out)
+        return 1
     return 0
 
 
@@ -411,7 +577,7 @@ def _cmd_metrics(args, out) -> int:
     spec = KERNEL_REGISTRY[args.kernel]
     threshold = args.threshold if args.threshold is not None else spec.threshold
     config = SimConfig(
-        arch=small_arch(),
+        arch=small_arch(args.compute_units),
         memo=MemoConfig(threshold=threshold, fifo_depth=args.fifo_depth),
         timing=TimingConfig(error_rate=args.error_rate, voltage=args.voltage),
         telemetry=TelemetryConfig(
@@ -457,14 +623,27 @@ def _cmd_experiment(args, out) -> int:
         return 2
     started = time.perf_counter()
     outputs = {}
-    for exp_id in selected:
-        text = EXPERIMENTS[exp_id](jobs=args.jobs)
-        outputs[exp_id] = text
-        if len(selected) > 1:
-            print(f"=== {exp_id} ===", file=out)
-        print(text, file=out)
-        if len(selected) > 1:
-            print(file=out)
+    from .tracing import profile
+
+    with profile.capture() as profiler:
+        for exp_id in selected:
+            text = EXPERIMENTS[exp_id](jobs=args.jobs)
+            outputs[exp_id] = text
+            if len(selected) > 1:
+                print(f"=== {exp_id} ===", file=out)
+            print(text, file=out)
+            if len(selected) > 1:
+                print(file=out)
+    if args.profile:
+        from .tracing.profile import format_phase_report
+
+        print(
+            format_phase_report(
+                profiler.snapshot(), title=f"host phases: {args.id}"
+            ),
+            file=out,
+        )
+        print(file=out)
     if args.emit_json:
         manifest = build_manifest(
             f"experiment:{args.id}",
@@ -579,6 +758,8 @@ def _dispatch(args, out) -> int:
         return _cmd_list(out)
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     if args.command == "experiment":
         return _cmd_experiment(args, out)
     if args.command == "metrics":

@@ -166,6 +166,39 @@ class TelemetryConfig:
         return replace(self, enabled=enabled)
 
 
+@dataclass(frozen=True)
+class TracingConfig:
+    """Cycle-timeline tracing switchboard (:mod:`repro.tracing`).
+
+    Disabled by default: with ``enabled=False`` no tracer is built and
+    every trace site reduces to one attribute check on the hot path
+    (the same Null-object pattern as :class:`TelemetryConfig`).
+
+    ``max_events`` bounds the in-memory event list (``None`` keeps every
+    event; a bound counts overflow in the tracer's ``dropped``).
+    ``record_ops`` adds one ``X`` span per executed FP instruction
+    (high volume; hit/miss instants are always recorded).
+    ``record_rounds`` adds one instant per sub-wavefront issue round on
+    each compute unit's scheduler track.  ``profile_host`` attaches the
+    host-phase profiler (:mod:`repro.tracing.profile`) to the run,
+    attributing *wall* time to decode/dispatch/FPU/LUT/ECU phases —
+    orthogonal to the simulated-cycle timeline and usable without it.
+    """
+
+    enabled: bool = False
+    max_events: Optional[int] = None
+    record_ops: bool = False
+    record_rounds: bool = False
+    profile_host: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None:
+            _require(self.max_events >= 1, "event bound must be at least 1")
+
+    def with_enabled(self, enabled: bool = True) -> "TracingConfig":
+        return replace(self, enabled=enabled)
+
+
 #: Execute-stage schedules the compute unit supports.
 SCHEDULES = ("subwavefront", "item-serial")
 
@@ -184,6 +217,7 @@ class SimConfig:
     memo: MemoConfig = field(default_factory=MemoConfig)
     timing: TimingConfig = field(default_factory=TimingConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    tracing: TracingConfig = field(default_factory=TracingConfig)
     collect_traces: bool = False
     schedule: str = "subwavefront"
 
@@ -201,6 +235,9 @@ class SimConfig:
 
     def with_telemetry(self, telemetry: TelemetryConfig) -> "SimConfig":
         return replace(self, telemetry=telemetry)
+
+    def with_tracing(self, tracing: TracingConfig) -> "SimConfig":
+        return replace(self, tracing=tracing)
 
 
 def small_arch(num_compute_units: int = 1) -> ArchConfig:

@@ -64,6 +64,22 @@ class TelemetryError(ReproError):
     """Misuse of the telemetry registry, sinks, or event stream."""
 
 
+class TracingError(ReproError):
+    """Misuse of the timeline tracer, exporters, or host profiler."""
+
+
+class InvariantViolation(TracingError):
+    """The invariant sentinel found disagreeing statistics after a run.
+
+    Carries the full :class:`repro.tracing.sentinel.SentinelReport` as
+    ``report`` so callers can inspect every failed cross-check.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class ParallelExecutionError(ReproError):
     """A sharded measurement failed inside the process-pool engine."""
 

@@ -35,16 +35,26 @@ class ComputeUnit:
         timing: TimingConfig,
         trace: Optional[TraceCollector] = None,
         telemetry=None,
+        tracer=None,
     ) -> None:
         self.index = index
         self.arch = arch
         self.stream_cores: List[StreamCore] = [
-            StreamCore(index, lane, arch, memo, timing, trace, telemetry)
+            StreamCore(index, lane, arch, memo, timing, trace, telemetry, tracer)
             for lane in range(arch.stream_cores_per_cu)
         ]
         self.wavefronts_executed = 0
         self.instruction_rounds = 0
         self.probe = None if telemetry is None else telemetry.cu_probe(index)
+        #: Pre-bound scheduler-track tracer (:class:`repro.tracing.CuTracer`);
+        #: its thread id sits one past the last lane on this CU's process.
+        self.tracer = None
+        if tracer is not None:
+            self.tracer = tracer.cu_tracer(
+                index,
+                [core.tracer for core in self.stream_cores],
+                arch.stream_cores_per_cu,
+            )
 
     # -------------------------------------------------------------- execution
     def execute_wavefront(self, wavefront: Wavefront, schedule: str = "subwavefront") -> None:
@@ -80,6 +90,8 @@ class ComputeUnit:
 
         live = wavefront.live_items
         probe = self.probe
+        tracer = self.tracer
+        started = tracer.on_wavefront_start() if tracer is not None else 0
         rounds_at_entry = self.instruction_rounds
         while live:
             self.instruction_rounds += 1
@@ -103,14 +115,21 @@ class ComputeUnit:
                     self._advance(item, result)
                     if item.done:
                         live -= 1
+            if tracer is not None:
+                tracer.on_round(self.instruction_rounds - rounds_at_entry)
         self.wavefronts_executed += 1
+        rounds = self.instruction_rounds - rounds_at_entry
         if probe is not None:
-            probe.on_wavefront_retired(self.instruction_rounds - rounds_at_entry)
+            probe.on_wavefront_retired(rounds)
+        if tracer is not None:
+            tracer.on_wavefront_retired(started, rounds)
 
     def _execute_item_serial(self, wavefront: Wavefront) -> None:
         """Run each work-item to completion on its lane (ablation mode)."""
         lanes = self.arch.stream_cores_per_cu
         probe = self.probe
+        tracer = self.tracer
+        started = tracer.on_wavefront_start() if tracer is not None else 0
         rounds_at_entry = self.instruction_rounds
         for position, item in enumerate(wavefront.work_items):
             core = self.stream_cores[position % lanes]
@@ -124,8 +143,11 @@ class ComputeUnit:
                     probe.on_instruction_round()
                 self._advance(item, result)
         self.wavefronts_executed += 1
+        rounds = self.instruction_rounds - rounds_at_entry
         if probe is not None:
-            probe.on_wavefront_retired(self.instruction_rounds - rounds_at_entry)
+            probe.on_wavefront_retired(rounds)
+        if tracer is not None:
+            tracer.on_wavefront_retired(started, rounds)
 
     @staticmethod
     def _prime(item) -> None:

@@ -14,9 +14,12 @@ from ..memo.resilient import FpuEventCounters
 from ..telemetry.events import TraceEventSink
 from ..timing.ecu import EcuStats
 from ..telemetry.probes import TelemetryHub
+from ..tracing import profile
+from ..tracing.profile import HostPhaseProfiler
+from ..tracing.timeline import TimelineTracer, compose_op_sinks
 from .compute_unit import ComputeUnit
 from .dispatcher import UltraThreadDispatcher
-from .trace import FpTraceCollector, NullTraceCollector
+from .trace import FpTraceCollector
 
 
 class Device:
@@ -31,22 +34,39 @@ class Device:
         self.memoized = memoized
         memo = config.memo if memoized else None
         self.telemetry = TelemetryHub.from_config(config.telemetry)
+        self.tracer = TimelineTracer.from_config(config.tracing)
+        # Host-phase profiler: adopt the ambient one when a capture is
+        # active (the parallel engine wraps each shard in one, so this
+        # device's FPU phases land in the shard's attribution) or own a
+        # fresh profiler otherwise.
+        self.profiler = None
+        if config.tracing.profile_host:
+            self.profiler = profile.current() or HostPhaseProfiler()
+        sinks = []
         if config.collect_traces:
-            self.trace = FpTraceCollector()
-        elif (
-            self.telemetry is not None and config.telemetry.record_fp_ops
-        ):
+            sinks.append(FpTraceCollector())
+        if self.telemetry is not None and config.telemetry.record_fp_ops:
             # Bounded alternative to the unbounded trace list: stream
-            # every FP op into the telemetry event ring instead.
-            self.trace = TraceEventSink(self.telemetry.events)
-        else:
-            self.trace = NullTraceCollector()
+            # every FP op into the telemetry event ring as well.
+            sinks.append(TraceEventSink(self.telemetry.events))
+        self.trace = compose_op_sinks(sinks)
         self.compute_units = [
             ComputeUnit(
-                i, config.arch, memo, config.timing, self.trace, self.telemetry
+                i,
+                config.arch,
+                memo,
+                config.timing,
+                self.trace,
+                self.telemetry,
+                self.tracer,
             )
             for i in range(config.arch.num_compute_units)
         ]
+        if self.profiler is not None:
+            for unit in self.compute_units:
+                for core in unit.stream_cores:
+                    for fpu in core.fpus.values():
+                        fpu.profiler = self.profiler
         self.dispatcher = UltraThreadDispatcher(config.arch.num_compute_units)
 
     # -------------------------------------------------------------- execution

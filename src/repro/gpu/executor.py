@@ -10,6 +10,7 @@ for PSNR and host-side validation.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence
 
@@ -22,6 +23,8 @@ from ..isa.opcodes import UnitKind
 from ..kernels.api import WorkItemCtx
 from ..memo.lut import LutStats
 from ..memo.resilient import FpuEventCounters
+from ..tracing import profile
+from ..tracing.profile import PHASE_DECODE, PHASE_DISPATCH, PHASE_TELEMETRY
 from .device import Device
 from .wavefront import WorkItem, split_into_wavefronts
 
@@ -74,6 +77,16 @@ class RunResult:
         """The device's :class:`~repro.telemetry.TelemetryHub` (or None)."""
         return self.device.telemetry
 
+    @property
+    def tracer(self):
+        """The device's :class:`~repro.tracing.TimelineTracer` (or None)."""
+        return self.device.tracer
+
+    @property
+    def profiler(self):
+        """The device's :class:`~repro.tracing.HostPhaseProfiler` (or None)."""
+        return self.device.profiler
+
 
 def _build_work_items(
     kernel: KernelFn,
@@ -121,6 +134,16 @@ class GpuExecutor:
         """The device's :class:`~repro.telemetry.TelemetryHub` (or None)."""
         return self.device.telemetry
 
+    @property
+    def tracer(self):
+        """The device's :class:`~repro.tracing.TimelineTracer` (or None)."""
+        return self.device.tracer
+
+    @property
+    def profiler(self):
+        """The device's :class:`~repro.tracing.HostPhaseProfiler` (or None)."""
+        return self.device.profiler
+
     def run(
         self,
         kernel: KernelFn,
@@ -133,17 +156,26 @@ class GpuExecutor:
         accumulate on the device across calls; use ``device.reset_stats()``
         between independent measurements.
         """
-        items = _build_work_items(
-            kernel, global_size, args, self.config.arch.wavefront_size
-        )
-        wavefronts = split_into_wavefronts(items, self.config.arch)
-        self.device.run_wavefronts(wavefronts)
+        # Coarse host phases go to the device's profiler when configured,
+        # else to the ambient capture (how the parallel engine attributes
+        # shard wall time) when one is active.
+        prof = self.device.profiler or profile.current()
+        with prof.phase(PHASE_DECODE) if prof is not None else nullcontext():
+            items = _build_work_items(
+                kernel, global_size, args, self.config.arch.wavefront_size
+            )
+            wavefronts = split_into_wavefronts(items, self.config.arch)
+        with prof.phase(PHASE_DISPATCH) if prof is not None else nullcontext():
+            self.device.run_wavefronts(wavefronts)
         hub = self.device.telemetry
         if hub is not None:
-            hub.registry.counter("run.launches").inc()
-            hub.registry.counter("run.work_items").inc(global_size)
-            hub.registry.counter("run.wavefronts").inc(len(wavefronts))
-            hub.registry.gauge("run.executed_ops").set(self.device.executed_ops)
+            with prof.phase(PHASE_TELEMETRY) if prof is not None else nullcontext():
+                hub.registry.counter("run.launches").inc()
+                hub.registry.counter("run.work_items").inc(global_size)
+                hub.registry.counter("run.wavefronts").inc(len(wavefronts))
+                hub.registry.gauge("run.executed_ops").set(
+                    self.device.executed_ops
+                )
         return RunResult(
             kernel_name=getattr(kernel, "__name__", "kernel"),
             global_size=global_size,

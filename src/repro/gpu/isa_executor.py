@@ -20,7 +20,7 @@ memory.  The convention mirrors simple OpenCL binaries:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import IsaError, KernelError
 from ..fpu.arithmetic import float32
@@ -34,12 +34,15 @@ def iter_program_fp_ops(
     program: Program,
     registers: Dict[int, float],
     memory,
+    on_clause: Optional[Callable[[str], None]] = None,
 ) -> Iterator[Tuple[object, Tuple[float, ...]]]:
     """Generator form of the scalar interpreter.
 
     Yields ``(opcode, operands)`` for every FP instruction and expects the
     (possibly memoized/approximate) result to be sent back; integer-side
-    work (control flow, TEX loads) happens natively.
+    work (control flow, TEX loads) happens natively.  ``on_clause`` is
+    invoked with ``"ALU"``/``"TEX"`` at every clause entry, including loop
+    re-entries (observability hook).
     """
 
     def read(operand) -> float:
@@ -56,6 +59,8 @@ def iter_program_fp_ops(
             if cf.op is ControlFlowOp.EXEC_ALU:
                 clause = program.clauses[cf.clause_index]
                 assert isinstance(clause, AluClause)
+                if on_clause is not None:
+                    on_clause("ALU")
                 for bundle in clause.bundles:
                     staged: List[Tuple[Instruction, Tuple[float, ...]]] = []
                     for _, instruction in bundle:
@@ -68,6 +73,8 @@ def iter_program_fp_ops(
             elif cf.op is ControlFlowOp.EXEC_TEX:
                 clause = program.clauses[cf.clause_index]
                 assert isinstance(clause, TexClause)
+                if on_clause is not None:
+                    on_clause("TEX")
                 for fetch in clause.fetches:
                     address = int(registers.get(fetch.address_register, 0.0))
                     registers[fetch.dest_register] = memory.load(address)
@@ -122,9 +129,33 @@ class IsaKernelExecutor:
         if global_size < 1:
             raise KernelError("global size must be at least 1")
 
+        # Clause boundaries are a wavefront-level event: every work-item of
+        # a wavefront traverses the same clause sequence, so the lead item
+        # (local id 0) reports them for the compute unit its wavefront is
+        # dispatched to (round-robin by wavefront order).
+        compute_units = self.executor.device.compute_units
+
+        def clause_hook(ctx):
+            if ctx.local_id != 0:
+                return None
+            unit = compute_units[ctx.group_id % len(compute_units)]
+            tracer, probe = unit.tracer, unit.probe
+            if tracer is None and probe is None:
+                return None
+
+            def on_clause(kind: str) -> None:
+                if tracer is not None:
+                    tracer.on_clause_boundary(kind)
+                if probe is not None:
+                    probe.on_clause_boundary(kind)
+
+            return on_clause
+
         def isa_kernel(ctx):
             registers: Dict[int, float] = {0: float(ctx.global_id)}
-            yield from iter_program_fp_ops(program, registers, memory)
+            yield from iter_program_fp_ops(
+                program, registers, memory, on_clause=clause_hook(ctx)
+            )
             if out_base is not None:
                 memory.store(
                     out_base + ctx.global_id,

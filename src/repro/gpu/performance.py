@@ -62,24 +62,50 @@ class PerformanceReport:
         return sum(lane.recovery_stall_cycles for lane in self.lanes)
 
     @property
+    def empty(self) -> bool:
+        """True when the report covers a run that executed no FP ops."""
+        return self.device_cycles == 0
+
+    @property
     def ops_per_cycle(self) -> float:
-        """Device-level FP throughput (ideal = lanes x CUs)."""
-        if self.device_cycles == 0:
+        """Device-level FP throughput (ideal = lanes x CUs).
+
+        An empty run (no FP ops executed) has no meaningful throughput;
+        0.0 is returned by convention — check :attr:`empty` to tell that
+        apart from a run that was genuinely all stalls.
+        """
+        if self.empty:
             return 0.0
         return self.total_ops / self.device_cycles
 
     @property
     def stall_fraction(self) -> float:
-        """Fraction of lane-busy time spent in recovery stalls."""
+        """Fraction of lane-busy time spent in recovery stalls.
+
+        0.0 for an empty run by convention (no busy time to divide by);
+        check :attr:`empty` to distinguish that from a stall-free run.
+        """
         busy = sum(lane.busy_cycles for lane in self.lanes)
         if busy == 0:
             return 0.0
         return self.recovery_stall_cycles / busy
 
     def slowdown_vs(self, other: "PerformanceReport") -> float:
-        """This run's cycles relative to another run's (same work)."""
-        if other.device_cycles == 0:
-            raise ArchitectureError("reference run executed nothing")
+        """This run's cycles relative to another run's (same work).
+
+        Two empty runs compare as 1.0 (neither did anything, so neither
+        is slower).  A non-empty run has no defined slowdown against an
+        empty reference; that raises an :class:`ArchitectureError`
+        explaining the situation instead of a bare division error.
+        """
+        if other.empty:
+            if self.empty:
+                return 1.0
+            raise ArchitectureError(
+                "cannot compute slowdown: the reference run executed no FP "
+                f"ops (0 cycles) while this run took {self.device_cycles} "
+                "cycles — run the reference workload before comparing"
+            )
         return self.device_cycles / other.device_cycles
 
 

@@ -31,6 +31,7 @@ class StreamCore:
         timing: TimingConfig,
         trace: Optional[TraceCollector] = None,
         telemetry=None,
+        tracer=None,
     ) -> None:
         if lane_index < 0 or lane_index >= arch.stream_cores_per_cu:
             raise ArchitectureError(
@@ -54,6 +55,15 @@ class StreamCore:
             # `cu{c}.sc{l}.fpu.{KIND}` namespace of the hub's registry.
             for kind, fpu in self.fpus.items():
                 fpu.attach_probe(telemetry.fpu_probe(cu_index, lane_index, kind))
+        #: Pre-bound lane tracer (:class:`repro.tracing.LaneTracer`); one
+        #: per lane, shared by all the lane's FPUs so their events land
+        #: on one timeline track with a single cycle cursor.
+        self.tracer = None
+        if tracer is not None:
+            lane_tracer = tracer.lane_tracer(cu_index, lane_index)
+            self.tracer = lane_tracer
+            for fpu in self.fpus.values():
+                fpu.attach_tracer(lane_tracer)
 
     # -------------------------------------------------------------- execution
     def execute(self, opcode: Opcode, operands: Tuple[float, ...]) -> float:

@@ -4,15 +4,23 @@ The paper modifies Multi2Sim to collect per-FPU operand streams; here a
 trace collector can observe every executed FP instruction.  Tracing is
 off by default (:class:`NullTraceCollector`) because recording every op
 dominates simulation time for large kernels.
+
+The collectors are registered sinks of the unified per-op hierarchy in
+:mod:`repro.tracing.timeline` (:class:`~repro.tracing.OpSink`), so they
+compose with other sinks via
+:func:`~repro.tracing.compose_op_sinks` instead of occupying the single
+``device.trace`` slot exclusively; ``TraceCollector`` remains as the
+historical name of the sink interface.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, Optional, Protocol, Tuple
+from typing import Deque, Iterator, Optional, Tuple
 
 from ..isa.opcodes import Opcode, UnitKind
+from ..tracing.timeline import NullOpSink, OpSink
 
 
 @dataclass(frozen=True)
@@ -30,27 +38,16 @@ class TraceEvent:
         return self.opcode.unit
 
 
-class TraceCollector(Protocol):
-    def record(
-        self,
-        cu_index: int,
-        lane_index: int,
-        opcode: Opcode,
-        operands: Tuple[float, ...],
-        result: float,
-    ) -> None: ...
+#: Historical name of the per-op sink interface; anything accepting a
+#: ``TraceCollector`` accepts any :class:`repro.tracing.OpSink`.
+TraceCollector = OpSink
 
 
-class NullTraceCollector:
+class NullTraceCollector(NullOpSink):
     """Discards everything (default)."""
 
-    enabled = False
 
-    def record(self, cu_index, lane_index, opcode, operands, result) -> None:
-        return
-
-
-class FpTraceCollector:
+class FpTraceCollector(OpSink):
     """Keeps recent events in memory; supports per-unit replay.
 
     Useful for offline experiments that re-simulate different memoization

@@ -61,6 +61,10 @@ class MemoLUT:
         #: Optional telemetry probe (:class:`repro.telemetry.FpuProbe`);
         #: ``None`` keeps the data path probe-free.
         self.probe = None
+        #: Optional pre-bound lane tracer (:class:`repro.tracing.LaneTracer`)
+        #: emitting a hit/commute/miss instant per lookup; same ``None``
+        #: fast path as the probe.
+        self.tracer = None
         self.mmio = MemoMmio(
             hit_count=lambda: self.stats.hits,
             lookup_count=lambda: self.stats.lookups,
@@ -129,14 +133,19 @@ class MemoLUT:
         entry, outcome = self.fifo.search(self.constraint, opcode, operands)
         self.stats.outcome_counts[outcome] += 1
         probe = self.probe
+        tracer = self.tracer
         if entry is None:
             if probe is not None:
                 probe.on_lookup(False, opcode)
+            if tracer is not None:
+                tracer.on_memo_lookup(False, MatchOutcome.MISS)
             return False, None, MatchOutcome.MISS
         self.stats.hits += 1
         self.mmio.record_hit()
         if probe is not None:
             probe.on_lookup(True, opcode)
+        if tracer is not None:
+            tracer.on_memo_lookup(True, outcome)
         return True, entry.result, outcome
 
     def update(

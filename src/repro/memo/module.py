@@ -77,6 +77,10 @@ class TemporalMemoizationModule:
         """Install a telemetry probe on the module and its LUT."""
         self.lut.probe = probe
 
+    def attach_tracer(self, tracer) -> None:
+        """Install a pre-bound lane tracer on the module's LUT."""
+        self.lut.tracer = tracer
+
     def step(
         self,
         opcode: Opcode,

@@ -13,11 +13,17 @@ every unmasked error triggers the ECU's recovery.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..config import ArchConfig, MemoConfig, TimingConfig
 from ..fpu import arithmetic
+from ..tracing.profile import (
+    PHASE_ECU_REPLAY,
+    PHASE_FPU_EXECUTE,
+    PHASE_LUT_LOOKUP,
+)
 from ..fpu.units import UnitSpec, pipeline_stages_for, spec_for
 from ..isa.opcodes import Opcode, UnitKind
 from ..timing.ecu import ErrorControlUnit, MultipleIssueReplay, RecoveryPolicy
@@ -101,6 +107,13 @@ class ResilientFpu:
         #: Optional telemetry probe; ``None`` (the default) keeps the
         #: fast path at one attribute check per instrumented branch.
         self.probe = None
+        #: Optional pre-bound lane tracer (:class:`repro.tracing.LaneTracer`)
+        #: owning this lane's simulated-cycle cursor; same ``None`` pattern.
+        self.tracer = None
+        #: Optional host-phase profiler
+        #: (:class:`repro.tracing.HostPhaseProfiler`) attributing wall time
+        #: to the LUT lookup / FPU arithmetic / ECU replay phases.
+        self.profiler = None
 
     def attach_probe(self, probe) -> None:
         """Install one pre-bound telemetry probe across the unit's layers
@@ -109,6 +122,15 @@ class ResilientFpu:
         self.ecu.probe = probe
         if self.memo is not None:
             self.memo.attach_probe(probe)
+
+    def attach_tracer(self, tracer) -> None:
+        """Install one pre-bound lane tracer across the unit's layers
+        (FPU fast path, memoization LUT, ECU) so every event lands on
+        the same lane track with a shared cycle cursor."""
+        self.tracer = tracer
+        self.ecu.tracer = tracer
+        if self.memo is not None:
+            self.memo.attach_tracer(tracer)
 
     @classmethod
     def build(
@@ -138,10 +160,17 @@ class ResilientFpu:
             probe.on_op()
             if timing_error:
                 probe.on_timing_error()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_op(opcode)
+        profiler = self.profiler
 
         memo = self.memo
         if memo is not None:
+            began = time.perf_counter() if profiler is not None else 0.0
             hit, stored, outcome = memo.lut.lookup(opcode, operands)
+            if profiler is not None:
+                profiler.add(PHASE_LUT_LOOKUP, time.perf_counter() - began)
             self.last_match_outcome = outcome
             if hit:
                 # LUT ran in parallel with stage 1; stages 2..depth gated.
@@ -155,10 +184,16 @@ class ResilientFpu:
         else:
             self.last_match_outcome = MatchOutcome.MISS
 
+        began = time.perf_counter() if profiler is not None else 0.0
         result = arithmetic.evaluate(opcode, operands)
+        if profiler is not None:
+            profiler.add(PHASE_FPU_EXECUTE, time.perf_counter() - began)
         counters.active_stage_traversals += self.depth
         if timing_error:
+            began = time.perf_counter() if profiler is not None else 0.0
             record = self.ecu.on_error_signal(in_flight=self.depth)
+            if profiler is not None:
+                profiler.add(PHASE_ECU_REPLAY, time.perf_counter() - began)
             counters.errors_recovered += 1
             counters.recovery_stall_cycles += record.cycles
             if memo is not None and memo.lut.mmio.update_on_error:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
 from ..errors import TelemetryError
+from ..tracing.timeline import OpSink
 
 
 class EventKind(enum.Enum):
@@ -109,17 +110,14 @@ class EventRing:
         self.total = 0
 
 
-class TraceEventSink:
-    """Adapter: the trace-collector protocol feeding an :class:`EventRing`.
+class TraceEventSink(OpSink):
+    """Adapter: a registered per-op sink feeding an :class:`EventRing`.
 
-    Implements the same ``record`` signature as
-    :class:`repro.gpu.trace.TraceCollector`, so the telemetry stream can
-    stand in wherever the old collector was wired; every executed FP
-    instruction becomes a bounded ``FP_OP`` event instead of an entry in
-    an unbounded list.
+    An :class:`~repro.tracing.OpSink`, so the telemetry stream can stand
+    in (or fan out alongside) wherever a trace collector is wired; every
+    executed FP instruction becomes a bounded ``FP_OP`` event instead of
+    an entry in an unbounded list.
     """
-
-    enabled = True
 
     def __init__(self, ring: EventRing) -> None:
         self.ring = ring

@@ -81,6 +81,67 @@ def _ecu_section(snapshot: MetricsSnapshot) -> Optional[str]:
     )
 
 
+def _per_cu_section(snapshot: MetricsSnapshot) -> Optional[str]:
+    """Per-compute-unit rollup: the same counters, grouped by location.
+
+    The device-wide sections above hide load imbalance; this one keeps
+    one row per CU so an idle or error-heavy unit stands out.
+    """
+    per_cu: Dict[str, Dict[str, float]] = {}
+    for path, value in snapshot.counters.items():
+        parts = path.split(".")
+        if len(parts) < 2 or not parts[0].startswith("cu"):
+            continue
+        leaf = ".".join(parts[2:]) if len(parts) > 2 else parts[1]
+        totals = per_cu.setdefault(parts[0], {})
+        totals[leaf] = totals.get(leaf, 0.0) + value
+    rows = []
+    for cu in sorted(per_cu, key=lambda name: int(name[2:]) if name[2:].isdigit() else 0):
+        totals = per_cu[cu]
+        ops = sum(v for k, v in totals.items() if k.endswith(".ops") or k == "ops")
+        lookups = sum(v for k, v in totals.items() if k.endswith("memo.lookups"))
+        hits = sum(v for k, v in totals.items() if k.endswith("memo.hits"))
+        injected = sum(v for k, v in totals.items() if k.endswith("errors.injected"))
+        recovered = sum(v for k, v in totals.items() if k.endswith("ecu.recoveries"))
+        masked = sum(v for k, v in totals.items() if k.endswith("ecu.masked"))
+        stalls = sum(
+            v for k, v in totals.items() if k.endswith("ecu.recovery_cycles")
+        )
+        if not ops:
+            continue
+        rows.append(
+            [
+                cu,
+                int(ops),
+                int(lookups),
+                int(hits),
+                hits / lookups if lookups else None,
+                int(injected),
+                int(recovered),
+                int(masked),
+                int(stalls),
+            ]
+        )
+    if len(rows) < 2:
+        # A single-CU device adds nothing over the aggregate sections.
+        return None
+    return format_table(
+        [
+            "cu",
+            "ops",
+            "lookups",
+            "hits",
+            "hit rate",
+            "injected",
+            "recovered",
+            "masked",
+            "stalls",
+        ],
+        rows,
+        title="Per compute unit",
+    )
+
+
 def _energy_section(snapshot: MetricsSnapshot) -> Optional[str]:
     rows = []
     prefix = "energy."
@@ -151,6 +212,7 @@ def render_dashboard(
     for section in (
         _memo_section(snapshot),
         _ecu_section(snapshot),
+        _per_cu_section(snapshot),
         _energy_section(snapshot),
         _scalar_section(snapshot),
     ):

@@ -137,6 +137,10 @@ class ErrorControlUnit:
         #: Optional telemetry probe (:class:`repro.telemetry.FpuProbe`);
         #: ``None`` keeps recovery handling probe-free.
         self.probe = None
+        #: Optional pre-bound lane tracer (:class:`repro.tracing.LaneTracer`)
+        #: placing recovery spans and masked-error instants on the lane's
+        #: cycle timeline; same ``None`` fast path as the probe.
+        self.tracer = None
 
     def on_error_signal(self, in_flight: Optional[int] = None) -> RecoveryRecord:
         """An unmasked error reached the ECU: run the recovery policy."""
@@ -151,6 +155,9 @@ class ErrorControlUnit:
         probe = self.probe
         if probe is not None:
             probe.on_recovery(record.cycles)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_recovery(record.cycles)
         return record
 
     def on_masked_error(self) -> None:
@@ -160,3 +167,6 @@ class ErrorControlUnit:
         probe = self.probe
         if probe is not None:
             probe.on_masked()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_masked()

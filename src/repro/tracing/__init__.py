@@ -1,0 +1,61 @@
+"""repro.tracing — cycle-timeline tracing, host profiling, invariants.
+
+Three observability layers over one simulated run:
+
+* :mod:`~repro.tracing.timeline` — spans and instants stamped in
+  simulated cycles on per-lane tracks (off by default, Null-object fast
+  path), exported to Perfetto by :mod:`~repro.tracing.export`;
+* :mod:`~repro.tracing.profile` — wall-time attribution of the
+  simulator's own host phases;
+* :mod:`~repro.tracing.sentinel` — post-run cross-checks proving the
+  tracer, the telemetry registry and the canonical counters agree.
+"""
+
+from .export import (
+    chrome_trace_dict,
+    chrome_trace_events,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from .profile import (
+    HostPhaseProfiler,
+    format_phase_report,
+    merge_phase_snapshots,
+)
+from .sentinel import InvariantCheck, SentinelReport, audit_device
+from .summary import hit_bursts, lane_utilization, longest_stalls, render_timeline_summary
+from .timeline import (
+    CuTracer,
+    FanoutOpSink,
+    LaneTracer,
+    NullOpSink,
+    OpSink,
+    TimelineEvent,
+    TimelineTracer,
+    compose_op_sinks,
+)
+
+__all__ = [
+    "CuTracer",
+    "FanoutOpSink",
+    "HostPhaseProfiler",
+    "InvariantCheck",
+    "LaneTracer",
+    "NullOpSink",
+    "OpSink",
+    "SentinelReport",
+    "TimelineEvent",
+    "TimelineTracer",
+    "audit_device",
+    "chrome_trace_dict",
+    "chrome_trace_events",
+    "compose_op_sinks",
+    "format_phase_report",
+    "hit_bursts",
+    "lane_utilization",
+    "longest_stalls",
+    "merge_phase_snapshots",
+    "render_timeline_summary",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,103 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and typed JSONL.
+
+The Chrome form is the ``{"traceEvents": [...]}`` JSON-object variant
+of the trace-event format, loadable directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``: one process per
+compute unit, one thread per stream-core lane plus the scheduler track,
+timestamps in simulated cycles rendered as microseconds.  Metadata
+(``ph: "M"``) events name every process and thread, and the remaining
+events are emitted sorted by ``(pid, tid, ts)`` so each track reads
+front to back.
+
+The JSONL form mirrors :mod:`repro.telemetry.sinks`: one
+self-describing object per line tagged ``"type": "trace_event"`` (plus
+an optional leading manifest record), so traces stream through the same
+standard tooling as telemetry artifacts and concatenate across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from .timeline import TimelineTracer
+
+
+def chrome_trace_events(tracer: TimelineTracer) -> List[dict]:
+    """Every event as Chrome trace-event objects, metadata first."""
+    records: List[dict] = []
+    pids = sorted({pid for pid, _ in tracer.thread_names})
+    for pid in pids:
+        records.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"CU{pid}"},
+            }
+        )
+    for (pid, tid), name in sorted(tracer.thread_names.items()):
+        records.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    ordered = sorted(tracer.events, key=lambda e: (e.pid, e.tid, e.ts))
+    records.extend(event.to_chrome() for event in ordered)
+    return records
+
+
+def chrome_trace_dict(
+    tracer: TimelineTracer, label: Optional[str] = None
+) -> dict:
+    """The complete JSON-object-format trace document."""
+    other = {
+        "clock": "simulated cycles (1 cycle rendered as 1 us)",
+        "events_recorded": len(tracer.events),
+        "events_dropped": tracer.dropped,
+    }
+    if label is not None:
+        other["label"] = label
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    tracer: TimelineTracer,
+    label: Optional[str] = None,
+    indent: Optional[int] = None,
+) -> int:
+    """Write the Perfetto-loadable trace file; returns the event count."""
+    document = chrome_trace_dict(tracer, label)
+    with open(path, "w") as f:
+        json.dump(document, f, indent=indent)
+        f.write("\n")
+    return len(document["traceEvents"])
+
+
+def write_trace_jsonl(
+    path: str,
+    tracer: TimelineTracer,
+    manifest: Optional[dict] = None,
+) -> int:
+    """Write typed JSONL trace records; returns the line count."""
+    lines = 0
+    with open(path, "w") as f:
+        if manifest is not None:
+            f.write(json.dumps({"type": "manifest", **manifest}) + "\n")
+            lines += 1
+        for event in tracer.events:
+            f.write(
+                json.dumps({"type": "trace_event", **event.to_chrome()}) + "\n"
+            )
+            lines += 1
+    return lines

@@ -1,0 +1,169 @@
+"""Host-phase profiling: where does *wall* time go?
+
+The timeline tracer stamps simulated cycles; this module clocks the
+simulator itself.  A :class:`HostPhaseProfiler` accumulates wall seconds
+and call counts per named phase — work-item decode, wavefront dispatch,
+FPU arithmetic, LUT lookup, ECU replay, telemetry overhead — so "why is
+this run slow" is answerable with data now that the process-pool engine
+made host time a first-class measurement.
+
+Two attachment modes, both off by default:
+
+* **configured** — ``TracingConfig(profile_host=True)`` makes the
+  device build (or adopt) a profiler and wire the fine-grained FPU
+  phases (``fpu.execute``, ``fpu.lut_lookup``, ``fpu.ecu_replay``);
+* **ambient capture** — :func:`capture` installs a profiler on a
+  module-level stack; coarse phases (``host.decode``,
+  ``host.dispatch``, ``host.telemetry``) recorded by the executor land
+  there even when the simulated config knows nothing about profiling.
+  The process-pool engine wraps every shard in a capture, so per-shard
+  phase attributions ride back in the
+  :class:`~repro.analysis.parallel.EngineReport`.
+
+Phase snapshots are plain ``{name: {"total_s": ..., "calls": ...}}``
+dicts; :func:`merge_phase_snapshots` folds shard snapshots in input
+order (sum of sums), which keeps the merged attribution deterministic
+given the shard order even though each wall time is not.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import TracingError
+from ..utils.tables import format_table
+
+#: Phase names used by the built-in instrumentation sites.
+PHASE_DECODE = "host.decode"
+PHASE_DISPATCH = "host.dispatch"
+PHASE_TELEMETRY = "host.telemetry"
+PHASE_FPU_EXECUTE = "fpu.execute"
+PHASE_LUT_LOOKUP = "fpu.lut_lookup"
+PHASE_ECU_REPLAY = "fpu.ecu_replay"
+
+#: Phases nested inside ``host.dispatch`` (shown indented in reports).
+DISPATCH_CHILDREN = (PHASE_FPU_EXECUTE, PHASE_LUT_LOOKUP, PHASE_ECU_REPLAY)
+
+
+class PhaseStat:
+    """Accumulated wall time and call count of one phase."""
+
+    __slots__ = ("total_s", "calls")
+
+    def __init__(self, total_s: float = 0.0, calls: int = 0) -> None:
+        self.total_s = total_s
+        self.calls = calls
+
+    def to_dict(self) -> dict:
+        return {"total_s": self.total_s, "calls": self.calls}
+
+
+class HostPhaseProfiler:
+    """Accumulates wall seconds per named phase.
+
+    ``add`` is the hot-path entry (two ``perf_counter`` reads around the
+    timed region, one dict upsert); ``phase`` is the context-manager
+    form for coarse regions.
+    """
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, PhaseStat] = {}
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        stat = self.phases.get(name)
+        if stat is None:
+            stat = PhaseStat()
+            self.phases[name] = stat
+        stat.total_s += seconds
+        stat.calls += calls
+
+    @contextmanager
+    def phase(self, name: str):
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - started)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Plain-data view, sorted by phase name."""
+        return {
+            name: self.phases[name].to_dict() for name in sorted(self.phases)
+        }
+
+
+def merge_phase_snapshots(snapshots: Sequence[Dict[str, dict]]) -> Dict[str, dict]:
+    """Fold phase snapshots (sum seconds and calls; sorted keys).
+
+    Folding is order-independent (addition), so merging per-shard
+    snapshots in task order yields one deterministic attribution no
+    matter how many workers produced them.
+    """
+    totals: Dict[str, PhaseStat] = {}
+    for snapshot in snapshots:
+        for name, stat in snapshot.items():
+            merged = totals.setdefault(name, PhaseStat())
+            merged.total_s += float(stat.get("total_s", 0.0))
+            merged.calls += int(stat.get("calls", 0))
+    return {name: totals[name].to_dict() for name in sorted(totals)}
+
+
+def format_phase_report(
+    snapshot: Dict[str, dict], title: str = "host phases"
+) -> str:
+    """Render one phase snapshot as an aligned ASCII table.
+
+    The share column is relative to the top-level phases only (the
+    ``fpu.*`` phases are nested inside ``host.dispatch`` and shown
+    indented, so their seconds are not double-counted in the total).
+    """
+    if not snapshot:
+        return f"== {title} ==\n(no phases recorded)"
+    top_total = sum(
+        stat["total_s"]
+        for name, stat in snapshot.items()
+        if name not in DISPATCH_CHILDREN
+    )
+    rows = []
+    for name in sorted(snapshot):
+        stat = snapshot[name]
+        label = f"  {name}" if name in DISPATCH_CHILDREN else name
+        share = stat["total_s"] / top_total if top_total > 0 else 0.0
+        rows.append([label, stat["total_s"], stat["calls"], share])
+    return format_table(
+        ["phase", "wall s", "calls", "share"], rows, title=title
+    )
+
+
+# ------------------------------------------------------- ambient profiler
+_ACTIVE: List[HostPhaseProfiler] = []
+
+
+def current() -> Optional[HostPhaseProfiler]:
+    """The innermost ambient profiler, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def activate(profiler: HostPhaseProfiler) -> None:
+    _ACTIVE.append(profiler)
+
+
+def deactivate(profiler: HostPhaseProfiler) -> None:
+    if not _ACTIVE or _ACTIVE[-1] is not profiler:
+        raise TracingError(
+            "profiler deactivation out of order; use tracing.profile.capture()"
+        )
+    _ACTIVE.pop()
+
+
+@contextmanager
+def capture(profiler: Optional[HostPhaseProfiler] = None):
+    """Install a profiler as the ambient one for the enclosed block."""
+    profiler = profiler or HostPhaseProfiler()
+    activate(profiler)
+    try:
+        yield profiler
+    finally:
+        deactivate(profiler)

@@ -1,0 +1,324 @@
+"""The invariant sentinel: post-run cross-checks between statistics.
+
+Four bookkeeping systems observe the same simulated run: the canonical
+per-FPU statistics (:class:`~repro.memo.resilient.FpuEventCounters`,
+:class:`~repro.memo.lut.LutStats`, :class:`~repro.timing.ecu.EcuStats`),
+the telemetry registry, the launch-level performance report, and — when
+tracing is on — the cycle timeline itself.  They are updated by
+different code on different paths, which is exactly what makes their
+agreement meaningful: a silent double-count or missed probe call in any
+one of them shows up as a disagreement here.
+
+:func:`audit_device` runs every applicable cross-check (sections skip
+themselves when their subsystem is off) and returns a
+:class:`SentinelReport`; :meth:`SentinelReport.raise_if_violated` turns
+disagreements into a structured
+:class:`~repro.errors.InvariantViolation`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import InvariantViolation
+from ..memo.matching import MatchOutcome
+from ..utils.tables import format_table
+from .timeline import (
+    INSTANT_COMMUTE,
+    INSTANT_HIT,
+    INSTANT_MASKED,
+    INSTANT_MISS,
+    SPAN_RECOVERY,
+    SPAN_WAVEFRONT,
+    TimelineTracer,
+)
+
+
+@dataclass(frozen=True)
+class InvariantCheck:
+    """One cross-check: two independently maintained views of a total."""
+
+    name: str
+    expected: float
+    actual: float
+    ok: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "expected": self.expected,
+            "actual": self.actual,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class SentinelReport:
+    """Every check the sentinel ran, plus notes about skipped sections."""
+
+    checks: List[InvariantCheck] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[InvariantCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_text(self) -> str:
+        rows = [
+            [check.name, check.expected, check.actual, "ok" if check.ok else "FAIL"]
+            for check in self.checks
+        ]
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.violations)} violated)"
+        table = format_table(
+            ["invariant", "expected", "actual", "verdict"],
+            rows,
+            title=f"invariant sentinel: {verdict}",
+        )
+        if self.notes:
+            table += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return table
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checks": [check.to_dict() for check in self.checks],
+            "notes": list(self.notes),
+        }
+
+    def raise_if_violated(self) -> None:
+        if self.ok:
+            return
+        names = ", ".join(check.name for check in self.violations)
+        raise InvariantViolation(
+            f"{len(self.violations)} invariant(s) violated: {names}", self
+        )
+
+    # ------------------------------------------------------------- recording
+    def check(
+        self, name: str, expected: float, actual: float, exact: bool = True
+    ) -> None:
+        if exact:
+            ok = expected == actual
+        else:
+            ok = math.isclose(expected, actual, rel_tol=1e-9, abs_tol=1e-9)
+        self.checks.append(InvariantCheck(name, expected, actual, ok))
+
+
+def _audit_lut(report: SentinelReport, device) -> None:
+    for kind, stats in sorted(device.lut_stats().items(), key=lambda kv: kv[0].value):
+        if stats.lookups == 0:
+            continue
+        label = f"lut.{kind.value}"
+        report.check(
+            f"{label}.outcomes==lookups",
+            stats.lookups,
+            sum(stats.outcome_counts.values()),
+        )
+        hit_outcomes = (
+            stats.outcome_counts[MatchOutcome.EXACT]
+            + stats.outcome_counts[MatchOutcome.APPROXIMATE]
+            + stats.outcome_counts[MatchOutcome.COMMUTED]
+        )
+        report.check(f"{label}.hits==hit-outcomes", stats.hits, hit_outcomes)
+        report.check(
+            f"{label}.misses==miss-outcomes",
+            stats.misses,
+            stats.outcome_counts[MatchOutcome.MISS],
+        )
+
+
+def _audit_fpu_vs_ecu(report: SentinelReport, device) -> None:
+    counters = device.counters()
+    ecu = device.ecu_stats()
+    for kind in sorted(counters, key=lambda k: k.value):
+        c, e = counters[kind], ecu[kind]
+        if c.ops == 0 and e.errors_seen == 0:
+            continue
+        label = f"fpu.{kind.value}"
+        report.check(f"{label}.ops==issue_cycles", c.ops, c.issue_cycles)
+        report.check(
+            f"{label}.injected==ecu.errors_seen", c.errors_injected, e.errors_seen
+        )
+        report.check(f"{label}.masked==ecu.masked", c.errors_masked, e.masked_by_memoization)
+        report.check(f"{label}.recovered==ecu.recoveries", c.errors_recovered, e.recoveries)
+        report.check(
+            f"{label}.stalls==ecu.recovery_cycles",
+            c.recovery_stall_cycles,
+            e.recovery_cycles,
+        )
+        report.check(
+            f"{label}.errors==masked+recovered",
+            e.errors_seen,
+            e.masked_by_memoization + e.recoveries,
+        )
+
+
+def _audit_telemetry(report: SentinelReport, device) -> None:
+    hub = device.telemetry
+    if hub is None:
+        report.notes.append("telemetry disabled; registry checks skipped")
+        return
+    registry = hub.registry
+    counters = device.counters()
+    ecu = device.ecu_stats()
+    lut = device.lut_stats()
+    pairs = [
+        ("ops", sum(c.ops for c in counters.values()), "*.*.fpu.*.ops"),
+        (
+            "errors.injected",
+            sum(c.errors_injected for c in counters.values()),
+            "*.*.fpu.*.errors.injected",
+        ),
+        ("memo.lookups", sum(s.lookups for s in lut.values()), "*.*.fpu.*.memo.lookups"),
+        ("memo.hits", sum(s.hits for s in lut.values()), "*.*.fpu.*.memo.hits"),
+        ("memo.misses", sum(s.misses for s in lut.values()), "*.*.fpu.*.memo.misses"),
+        ("memo.updates", sum(s.updates for s in lut.values()), "*.*.fpu.*.memo.updates"),
+        (
+            "ecu.recoveries",
+            sum(e.recoveries for e in ecu.values()),
+            "*.*.fpu.*.ecu.recoveries",
+        ),
+        (
+            "ecu.recovery_cycles",
+            sum(e.recovery_cycles for e in ecu.values()),
+            "*.*.fpu.*.ecu.recovery_cycles",
+        ),
+        (
+            "ecu.masked",
+            sum(e.masked_by_memoization for e in ecu.values()),
+            "*.*.fpu.*.ecu.masked",
+        ),
+    ]
+    for leaf, canonical, pattern in pairs:
+        report.check(f"telemetry.{leaf}==canonical", canonical, registry.sum(pattern))
+    report.check(
+        "telemetry.wavefronts==canonical",
+        sum(unit.wavefronts_executed for unit in device.compute_units),
+        registry.sum("cu*.wavefronts"),
+    )
+
+
+def _audit_performance(report: SentinelReport, device) -> None:
+    from ..gpu.performance import performance_report
+
+    perf = performance_report(device)
+    report.check("perf.total_ops==device.executed_ops", device.executed_ops, perf.total_ops)
+    ecu = device.ecu_stats()
+    report.check(
+        "perf.stalls==ecu.recovery_cycles",
+        sum(e.recovery_cycles for e in ecu.values()),
+        perf.recovery_stall_cycles,
+    )
+
+
+def _audit_energy(report: SentinelReport, device) -> None:
+    energy = device.energy_report()
+    components = ("datapath_pj", "gated_pj", "control_pj", "recovery_pj", "leakage_pj", "memo_pj")
+    for kind in sorted(energy.per_unit, key=lambda k: k.value):
+        breakdown = energy.per_unit[kind]
+        report.check(
+            f"energy.{kind.value}.balance",
+            breakdown.total_pj,
+            sum(getattr(breakdown, name) for name in components),
+            exact=False,
+        )
+    report.check(
+        "energy.total==sum(per-unit)",
+        energy.total_pj,
+        sum(b.total_pj for b in energy.per_unit.values()),
+        exact=False,
+    )
+
+
+def _audit_trace(report: SentinelReport, device, tracer: TimelineTracer) -> None:
+    lut = device.lut_stats()
+    ecu = device.ecu_stats()
+    # The lane cursors are maintained even when the event list saturates,
+    # so they always audit against the lane-serial cycle accounting.
+    from ..gpu.performance import performance_report
+
+    perf = performance_report(device)
+    busy = {
+        (lane.cu_index, lane.lane_index): lane.busy_cycles for lane in perf.lanes
+    }
+    cursors = tracer.lane_cycles()
+    mismatched = sum(
+        1 for key, cycle in cursors.items() if busy.get(key, 0) != cycle
+    )
+    report.check("trace.lane_cursors==busy_cycles", 0, mismatched)
+    if tracer.dropped > 0:
+        report.notes.append(
+            f"tracer dropped {tracer.dropped} events (max_events="
+            f"{tracer.config.max_events}); event-count checks skipped"
+        )
+        return
+    report.check(
+        "trace.hits==lut.hits",
+        sum(s.hits for s in lut.values()),
+        tracer.count(INSTANT_HIT) + tracer.count(INSTANT_COMMUTE),
+    )
+    report.check(
+        "trace.commutes==lut.commuted",
+        sum(s.outcome_counts[MatchOutcome.COMMUTED] for s in lut.values()),
+        tracer.count(INSTANT_COMMUTE),
+    )
+    report.check(
+        "trace.misses==lut.misses",
+        sum(s.misses for s in lut.values()),
+        tracer.count(INSTANT_MISS),
+    )
+    report.check(
+        "trace.recovery_spans==ecu.recoveries",
+        sum(e.recoveries for e in ecu.values()),
+        tracer.count(SPAN_RECOVERY),
+    )
+    report.check(
+        "trace.recovery_cycles==ecu.recovery_cycles",
+        sum(e.recovery_cycles for e in ecu.values()),
+        tracer.total_duration(SPAN_RECOVERY),
+    )
+    report.check(
+        "trace.masked==ecu.masked",
+        sum(e.masked_by_memoization for e in ecu.values()),
+        tracer.count(INSTANT_MASKED),
+    )
+    report.check(
+        "trace.wavefronts==retired",
+        sum(unit.wavefronts_executed for unit in device.compute_units),
+        tracer.count(SPAN_WAVEFRONT),
+    )
+
+
+def audit_device(
+    device,
+    tracer: Optional[TimelineTracer] = None,
+    include_energy: bool = True,
+) -> SentinelReport:
+    """Cross-check every statistics system of a finished run.
+
+    ``device`` is a :class:`repro.gpu.device.Device` whose counters hold
+    the run to audit; ``tracer`` adds the timeline-derived checks.
+    Sections whose subsystem is off (no telemetry hub, no tracer, no
+    memoization) skip themselves and leave a note.
+    """
+    report = SentinelReport()
+    if device.memoized:
+        _audit_lut(report, device)
+    else:
+        report.notes.append("baseline device (no memoization); LUT checks skipped")
+    _audit_fpu_vs_ecu(report, device)
+    _audit_telemetry(report, device)
+    _audit_performance(report, device)
+    if include_energy:
+        _audit_energy(report, device)
+    if tracer is not None:
+        _audit_trace(report, device, tracer)
+    else:
+        report.notes.append("no tracer attached; timeline checks skipped")
+    return report

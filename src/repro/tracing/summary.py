@@ -1,0 +1,129 @@
+"""ASCII timeline summary: the trace's headline story without Perfetto.
+
+The CLI prints this after a traced run: where the longest ECU recovery
+stalls landed, where memoization hits clustered back-to-back (the
+paper's temporal-locality signature under sub-wavefront multiplexing),
+and how much of each lane's busy time went to stalls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..utils.tables import format_table
+from .timeline import (
+    HIT_INSTANT_NAMES,
+    INSTANT_MISS,
+    SPAN_RECOVERY,
+    TimelineTracer,
+)
+
+
+def _lane_label(pid: int, tid: int) -> str:
+    return f"cu{pid}.lane{tid}"
+
+
+def longest_stalls(
+    tracer: TimelineTracer, top: int = 10
+) -> List[Tuple[str, int, int]]:
+    """The ``top`` longest recovery spans as (lane, start cycle, cycles)."""
+    spans = [
+        (_lane_label(e.pid, e.tid), e.ts, e.dur)
+        for e in tracer.iter_events(name=SPAN_RECOVERY, ph="X")
+    ]
+    spans.sort(key=lambda s: (-s[2], s[1], s[0]))
+    return spans[:top]
+
+
+def hit_bursts(
+    tracer: TimelineTracer, top: int = 10
+) -> List[Tuple[str, int, int]]:
+    """The ``top`` longest runs of consecutive memoization hits per lane.
+
+    A burst is a maximal run of hit/commute instants on one lane track
+    uninterrupted by a miss; returned as (lane, start cycle, length).
+    Events are scanned in emission order, which is per-lane time order.
+    """
+    open_bursts: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    bursts: List[Tuple[str, int, int]] = []
+
+    def close(key: Tuple[int, int]) -> None:
+        started, length = open_bursts.pop(key)
+        bursts.append((_lane_label(*key), started, length))
+
+    for event in tracer.events:
+        if event.name in HIT_INSTANT_NAMES:
+            key = (event.pid, event.tid)
+            started, length = open_bursts.get(key, (event.ts, 0))
+            open_bursts[key] = (started, length + 1)
+        elif event.name == INSTANT_MISS and (event.pid, event.tid) in open_bursts:
+            close((event.pid, event.tid))
+    for key in list(open_bursts):
+        close(key)
+    bursts.sort(key=lambda b: (-b[2], b[1], b[0]))
+    return bursts[:top]
+
+
+def lane_utilization(tracer: TimelineTracer) -> List[Tuple[str, int, int, float]]:
+    """(lane, busy cycles, stall cycles, stall fraction) per lane track."""
+    stalls: Dict[Tuple[int, int], int] = {}
+    for event in tracer.iter_events(name=SPAN_RECOVERY, ph="X"):
+        key = (event.pid, event.tid)
+        stalls[key] = stalls.get(key, 0) + event.dur
+    rows = []
+    for key, cycles in tracer.lane_cycles().items():
+        stalled = stalls.get(key, 0)
+        fraction = stalled / cycles if cycles else 0.0
+        rows.append((_lane_label(*key), cycles, stalled, fraction))
+    return rows
+
+
+def render_timeline_summary(tracer: TimelineTracer, top: int = 10) -> str:
+    """The full ASCII summary printed by ``repro trace``."""
+    cursors = tracer.lane_cycles()
+    final_cycle = max(cursors.values()) if cursors else 0
+    lines = [
+        "== timeline summary ==",
+        f"events recorded : {len(tracer.events)}",
+        f"events dropped  : {tracer.dropped}",
+        f"lane tracks     : {len(cursors)}",
+        f"final cycle     : {final_cycle}",
+    ]
+
+    stalls = longest_stalls(tracer, top)
+    if stalls:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["lane", "start cycle", "stall cycles"],
+                [list(row) for row in stalls],
+                title=f"top {len(stalls)} recovery stalls",
+            )
+        )
+    else:
+        lines.append("no recovery stalls recorded")
+
+    bursts = hit_bursts(tracer, top)
+    if bursts:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["lane", "start cycle", "hits in a row"],
+                [list(row) for row in bursts],
+                title=f"top {len(bursts)} memoization hit bursts",
+            )
+        )
+    else:
+        lines.append("no memoization hits recorded")
+
+    utilization = lane_utilization(tracer)
+    if utilization:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["lane", "busy cycles", "stall cycles", "stall frac"],
+                [list(row) for row in utilization],
+                title="lane utilization",
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,387 @@
+"""Cycle-timeline tracing: spans and instants on the simulated clock.
+
+Where :mod:`repro.telemetry` answers *how many* (counters over a whole
+run), this module answers *when*: every wavefront dispatch/retire, ECU
+recovery stall, and memoization hit/miss lands on a per-lane timeline
+stamped in **simulated cycles**, so the paper's temporal claims — memo
+hits clustering back-to-back under sub-wavefront multiplexing, 12-cycle
+recovery stalls punctuating the schedule — become visible instead of
+aggregate.
+
+The trace model mirrors the Chrome trace-event format so exports load
+directly into Perfetto (:mod:`repro.tracing.export`):
+
+* ``pid`` — compute unit index;
+* ``tid`` — stream-core lane, plus one extra "scheduler" track per CU;
+* ``ts``/``dur`` — simulated cycles (rendered as microseconds).
+
+Tracing is off by default.  The hot path follows the telemetry probe
+pattern: every instrumented object carries a ``tracer`` attribute that
+defaults to ``None`` and costs one attribute check per instruction when
+disabled.  When enabled, pre-bound :class:`LaneTracer` objects own the
+per-lane cycle cursor — the lane issues one FP instruction per cycle
+and stalls through its FPUs' recoveries, exactly the accounting of
+:mod:`repro.gpu.performance`, so trace-derived totals cross-check the
+canonical counters (:mod:`repro.tracing.sentinel`).
+
+This module also owns the per-FP-op sink hierarchy (:class:`OpSink`):
+:class:`repro.gpu.trace.FpTraceCollector` and
+:class:`repro.telemetry.events.TraceEventSink` register as tracing
+sinks instead of implementing a parallel one-off protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..config import TracingConfig
+from ..memo.matching import MatchOutcome
+
+#: Event names emitted by the built-in instrumentation sites.
+SPAN_WAVEFRONT = "wavefront"
+SPAN_RECOVERY = "ecu.recovery"
+INSTANT_HIT = "memo.hit"
+INSTANT_COMMUTE = "memo.commute"
+INSTANT_MISS = "memo.miss"
+INSTANT_MASKED = "ecu.masked"
+INSTANT_ROUND = "round"
+INSTANT_CLAUSE = "clause"
+
+#: Names counting as a memoization hit (a commuted match is a hit whose
+#: operands matched in swapped order).
+HIT_INSTANT_NAMES = (INSTANT_HIT, INSTANT_COMMUTE)
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One trace event, shaped after the Chrome trace-event format.
+
+    ``ph`` is the phase letter: ``"X"`` (complete span with ``dur``),
+    ``"i"`` (instant), or ``"C"`` (counter sample with values in
+    ``args``).  ``ts`` and ``dur`` are simulated cycles.
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts: int
+    pid: int
+    tid: int
+    dur: int = 0
+    args: Optional[dict] = None
+
+    def to_chrome(self) -> dict:
+        """The Chrome trace-event JSON object for this event."""
+        record = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": self.ts,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.ph == "X":
+            record["dur"] = self.dur
+        elif self.ph == "i":
+            record["s"] = "t"  # instant scope: thread
+        if self.args:
+            record["args"] = dict(self.args)
+        return record
+
+
+# --------------------------------------------------------------- op sinks
+class OpSink:
+    """Base of the per-FP-op sink hierarchy.
+
+    A sink observes every executed FP instruction through ``record``;
+    stream cores call it once per op.  Subclasses include the in-memory
+    :class:`repro.gpu.trace.FpTraceCollector` (replay studies) and the
+    bounded :class:`repro.telemetry.events.TraceEventSink`.
+    """
+
+    enabled = True
+
+    def record(
+        self,
+        cu_index: int,
+        lane_index: int,
+        opcode,
+        operands: Tuple[float, ...],
+        result: float,
+    ) -> None:
+        raise NotImplementedError
+
+
+class NullOpSink(OpSink):
+    """Discards everything (the disabled-tracing fast path)."""
+
+    enabled = False
+
+    def record(self, cu_index, lane_index, opcode, operands, result) -> None:
+        return
+
+
+class FanoutOpSink(OpSink):
+    """Feed one op stream to several registered sinks in order."""
+
+    def __init__(self, sinks: Sequence[OpSink]) -> None:
+        self.sinks = tuple(sinks)
+
+    def record(self, cu_index, lane_index, opcode, operands, result) -> None:
+        for sink in self.sinks:
+            sink.record(cu_index, lane_index, opcode, operands, result)
+
+
+def compose_op_sinks(sinks: Sequence[OpSink]) -> OpSink:
+    """The cheapest sink serving every registered one.
+
+    No sinks → a shared no-op; one sink → that sink itself (keeping
+    ``device.trace`` the familiar collector object); several → a fanout.
+    """
+    sinks = [sink for sink in sinks if sink is not None]
+    if not sinks:
+        return NullOpSink()
+    if len(sinks) == 1:
+        return sinks[0]
+    return FanoutOpSink(sinks)
+
+
+# ---------------------------------------------------------------- tracers
+class LaneTracer:
+    """Pre-bound tracer for one stream-core lane.
+
+    Owns the lane's simulated-cycle cursor: one issue cycle per FP op,
+    plus every recovery stall — the same serial-issue accounting as
+    :class:`repro.gpu.performance.LanePerformance.busy_cycles`, which is
+    what makes trace totals auditable against the canonical counters.
+    All of the lane's FPUs (and their LUTs and ECUs) share one instance,
+    so their events land on one coherent timeline track.
+    """
+
+    __slots__ = ("tracer", "pid", "tid", "cycle", "record_ops")
+
+    def __init__(
+        self, tracer: "TimelineTracer", pid: int, tid: int, record_ops: bool
+    ) -> None:
+        self.tracer = tracer
+        self.pid = pid
+        self.tid = tid
+        self.cycle = 0
+        self.record_ops = record_ops
+
+    # ------------------------------------------------------- FPU fast path
+    def on_op(self, opcode) -> None:
+        """One FP instruction issued: advance the cursor one cycle."""
+        ts = self.cycle
+        self.cycle = ts + 1
+        if self.record_ops:
+            self.tracer.span(opcode.mnemonic, "op", self.pid, self.tid, ts, 1)
+
+    # ------------------------------------------------------------ memo LUT
+    def on_memo_lookup(self, hit: bool, outcome: MatchOutcome) -> None:
+        if hit:
+            name = (
+                INSTANT_COMMUTE
+                if outcome is MatchOutcome.COMMUTED
+                else INSTANT_HIT
+            )
+        else:
+            name = INSTANT_MISS
+        self.tracer.instant(name, "memo", self.pid, self.tid, self.cycle)
+
+    # ------------------------------------------------------------------ ECU
+    def on_recovery(self, cycles: int) -> None:
+        """An ECU replay window: a span covering the stall cycles."""
+        ts = self.cycle
+        self.cycle = ts + cycles
+        self.tracer.span(SPAN_RECOVERY, "ecu", self.pid, self.tid, ts, cycles)
+
+    def on_masked(self) -> None:
+        self.tracer.instant(INSTANT_MASKED, "ecu", self.pid, self.tid, self.cycle)
+
+
+class CuTracer:
+    """Pre-bound tracer for one compute unit's scheduler track.
+
+    The scheduler track's clock is the maximum of the unit's lane
+    cursors (lanes run in parallel; the slowest bounds the unit), so
+    wavefront spans line up with the lane activity they cover.
+    """
+
+    __slots__ = ("tracer", "pid", "tid", "lanes", "record_rounds", "retired")
+
+    def __init__(
+        self,
+        tracer: "TimelineTracer",
+        pid: int,
+        tid: int,
+        lanes: Sequence[LaneTracer],
+        record_rounds: bool,
+    ) -> None:
+        self.tracer = tracer
+        self.pid = pid
+        self.tid = tid
+        self.lanes = tuple(lanes)
+        self.record_rounds = record_rounds
+        self.retired = 0
+
+    def now(self) -> int:
+        """The unit's current cycle: the furthest lane cursor."""
+        return max((lane.cycle for lane in self.lanes), default=0)
+
+    def on_wavefront_start(self) -> int:
+        """Mark dispatch; returns the start timestamp for the retire call."""
+        return self.now()
+
+    def on_round(self, round_index: int) -> None:
+        """One sub-wavefront issue round completed (opt-in, high volume)."""
+        if self.record_rounds:
+            self.tracer.instant(
+                INSTANT_ROUND,
+                "schedule",
+                self.pid,
+                self.tid,
+                self.now(),
+                {"round": round_index},
+            )
+
+    def on_wavefront_retired(self, start_ts: int, rounds: int) -> None:
+        end = self.now()
+        self.retired += 1
+        self.tracer.span(
+            SPAN_WAVEFRONT,
+            "schedule",
+            self.pid,
+            self.tid,
+            start_ts,
+            max(end - start_ts, 0),
+            {"rounds": rounds},
+        )
+        self.tracer.counter(
+            "wavefronts", self.pid, self.tid, end, {"retired": self.retired}
+        )
+
+    def on_clause_boundary(self, clause_kind: str) -> None:
+        self.tracer.instant(
+            INSTANT_CLAUSE,
+            "schedule",
+            self.pid,
+            self.tid,
+            self.now(),
+            {"clause": clause_kind},
+        )
+
+
+class TimelineTracer:
+    """Per-device trace root: the event list plus pre-bound track tracers.
+
+    Mirrors :class:`repro.telemetry.TelemetryHub`: built once per device
+    from :class:`repro.config.TracingConfig` (``from_config`` returns
+    ``None`` when disabled, which keeps every trace site at one
+    attribute check), handed to compute units and stream cores at
+    construction time, and consumed afterwards by the exporters, the
+    timeline summary and the invariant sentinel.
+    """
+
+    enabled = True
+
+    def __init__(self, config: Optional[TracingConfig] = None) -> None:
+        self.config = config or TracingConfig(enabled=True)
+        self.events: List[TimelineEvent] = []
+        self.dropped = 0
+        self.thread_names: Dict[Tuple[int, int], str] = {}
+        self._lanes: Dict[Tuple[int, int], LaneTracer] = {}
+        self._max_events = self.config.max_events
+
+    @classmethod
+    def from_config(
+        cls, config: Optional[TracingConfig]
+    ) -> Optional["TimelineTracer"]:
+        """The wiring entry point: ``None`` (free) when disabled."""
+        if config is None or not config.enabled:
+            return None
+        return cls(config)
+
+    # -------------------------------------------------------------- emission
+    def emit(self, event: TimelineEvent) -> None:
+        if self._max_events is not None and len(self.events) >= self._max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        pid: int,
+        tid: int,
+        ts: int,
+        dur: int,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.emit(TimelineEvent(name, cat, "X", ts, pid, tid, dur, args))
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        pid: int,
+        tid: int,
+        ts: int,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.emit(TimelineEvent(name, cat, "i", ts, pid, tid, 0, args))
+
+    def counter(
+        self, name: str, pid: int, tid: int, ts: int, values: dict
+    ) -> None:
+        self.emit(TimelineEvent(name, "counter", "C", ts, pid, tid, 0, values))
+
+    # --------------------------------------------------------------- tracks
+    def lane_tracer(self, cu_index: int, lane_index: int) -> LaneTracer:
+        """Get-or-create the pre-bound tracer of one lane track."""
+        key = (cu_index, lane_index)
+        lane = self._lanes.get(key)
+        if lane is None:
+            lane = LaneTracer(self, cu_index, lane_index, self.config.record_ops)
+            self._lanes[key] = lane
+            self.thread_names[key] = f"lane{lane_index}"
+        return lane
+
+    def cu_tracer(
+        self,
+        cu_index: int,
+        lanes: Sequence[LaneTracer],
+        scheduler_tid: int,
+    ) -> CuTracer:
+        """The scheduler-track tracer of one compute unit."""
+        self.thread_names[(cu_index, scheduler_tid)] = "scheduler"
+        return CuTracer(
+            self, cu_index, scheduler_tid, lanes, self.config.record_rounds
+        )
+
+    def lane_cycles(self) -> Dict[Tuple[int, int], int]:
+        """Final cycle cursor per (cu, lane) track."""
+        return {key: lane.cycle for key, lane in sorted(self._lanes.items())}
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def iter_events(
+        self, name: Optional[str] = None, ph: Optional[str] = None
+    ) -> Iterator[TimelineEvent]:
+        for event in self.events:
+            if name is not None and event.name != name:
+                continue
+            if ph is not None and event.ph != ph:
+                continue
+            yield event
+
+    def count(self, name: str) -> int:
+        return sum(1 for _ in self.iter_events(name=name))
+
+    def total_duration(self, name: str) -> int:
+        """Summed duration (cycles) of every span with this name."""
+        return sum(e.dur for e in self.iter_events(name=name, ph="X"))

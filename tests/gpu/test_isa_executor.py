@@ -3,13 +3,22 @@
 import numpy as np
 import pytest
 
-from repro.config import MemoConfig, SimConfig, small_arch
+from repro.config import (
+    ArchConfig,
+    MemoConfig,
+    SimConfig,
+    TelemetryConfig,
+    TracingConfig,
+    small_arch,
+)
 from repro.errors import KernelError
 from repro.gpu.executor import GpuExecutor
 from repro.gpu.isa_executor import IsaKernelExecutor, iter_program_fp_ops
 from repro.gpu.memory import GlobalMemory
 from repro.isa.assembler import assemble
 from repro.isa.interpreter import ScalarInterpreter
+from repro.telemetry.events import EventKind
+from repro.tracing.timeline import INSTANT_CLAUSE
 
 # SAXPY-style: r0 = global id; load x[i]; y = 2.5*x + 1; result in r1.
 SAXPY = """
@@ -127,3 +136,62 @@ class TestIsaKernelExecutor:
         isa_exec = make_isa_executor()
         with pytest.raises(KernelError):
             isa_exec.run(assemble(LOOPED), 0, GlobalMemory(4))
+
+
+def make_observed_isa_executor(num_compute_units=2):
+    config = SimConfig(
+        arch=ArchConfig(
+            num_compute_units=num_compute_units,
+            stream_cores_per_cu=4,
+            wavefront_size=8,
+        ),
+        memo=MemoConfig(threshold=0.0),
+        telemetry=TelemetryConfig(enabled=True),
+        tracing=TracingConfig(enabled=True),
+    )
+    return IsaKernelExecutor(GpuExecutor(config))
+
+
+class TestClauseBoundaries:
+    def test_interpreter_reports_clause_entries(self):
+        program = assemble(LOOPED)
+        seen = []
+        gen = iter_program_fp_ops(
+            program, {}, GlobalMemory(0), on_clause=seen.append
+        )
+        try:
+            request = gen.send(None)
+            while True:
+                request = gen.send(sum(request[1]))
+        except StopIteration:
+            pass
+        # One ALU clause entry per loop iteration.
+        assert seen == ["ALU"] * 4
+
+    def test_wavefront_leads_emit_clause_instants(self):
+        n = 32  # 4 wavefronts of 8 over 2 compute units
+        isa_exec = make_observed_isa_executor()
+        memory = GlobalMemory(2 * n)
+        isa_exec.run(assemble(SAXPY), n, memory, out_base=n)
+
+        tracer = isa_exec.executor.tracer
+        instants = [e for e in tracer.events if e.name == INSTANT_CLAUSE]
+        # SAXPY enters TEX then ALU once; one lead work-item per wavefront.
+        assert len(instants) == 4 * 2
+        assert {e.args["clause"] for e in instants} == {"ALU", "TEX"}
+        assert {e.pid for e in instants} == {0, 1}
+
+        hub = isa_exec.executor.telemetry
+        boundary_events = [
+            record
+            for record in hub.events.to_list()
+            if record.kind is EventKind.CLAUSE_BOUNDARY
+        ]
+        assert len(boundary_events) == 4 * 2
+
+    def test_untraced_run_emits_nothing(self):
+        n = 8
+        isa_exec = make_isa_executor()
+        isa_exec.run(assemble(SAXPY), n, GlobalMemory(2 * n), out_base=n)
+        assert isa_exec.executor.tracer is None
+        assert isa_exec.executor.telemetry is None

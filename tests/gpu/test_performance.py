@@ -59,6 +59,35 @@ class TestReportAggregation:
             fast.slowdown_vs(PerformanceReport(lanes=[], total_ops=0))
 
 
+class TestEmptyRuns:
+    """The empty-run story: 0.0 conventions are flagged, not ambiguous."""
+
+    def test_empty_flag(self):
+        assert PerformanceReport(lanes=[], total_ops=0).empty
+        # Lanes that never issued anything still make an empty report.
+        assert PerformanceReport(lanes=[lane(0, 0, 0)], total_ops=0).empty
+        assert not PerformanceReport(lanes=[lane(0, 0, 1)], total_ops=1).empty
+
+    def test_two_empty_runs_compare_as_equal(self):
+        a = PerformanceReport(lanes=[], total_ops=0)
+        b = PerformanceReport(lanes=[lane(0, 0, 0)], total_ops=0)
+        assert a.slowdown_vs(b) == 1.0
+        assert b.slowdown_vs(a) == 1.0
+
+    def test_empty_reference_raises_with_context(self):
+        run = PerformanceReport(lanes=[lane(0, 0, 50)], total_ops=50)
+        empty = PerformanceReport(lanes=[], total_ops=0)
+        with pytest.raises(ArchitectureError, match="executed no FP ops"):
+            run.slowdown_vs(empty)
+
+    def test_fresh_device_report_is_empty(self):
+        executor = GpuExecutor(SimConfig(arch=ArchConfig(num_compute_units=1)))
+        report = performance_report(executor.device)
+        assert report.empty
+        assert report.ops_per_cycle == 0.0
+        assert report.stall_fraction == 0.0
+
+
 class TestDeviceIntegration:
     def _run(self, error_rate=0.0, memoized=True, n=64):
         arch = ArchConfig(

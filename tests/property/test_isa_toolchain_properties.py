@@ -76,14 +76,20 @@ def programs(draw):
         for _ in range(draw(st.integers(min_value=1, max_value=3))):
             clause.append(draw(bundles()))
         clauses.append(clause)
-    # Optionally one TEX clause.
+    # Optionally one TEX clause.  Fetches run sequentially, so a later
+    # fetch must not use an earlier fetch's destination as its address:
+    # the loaded value (e.g. -2.0) would become an out-of-range address.
     has_tex = draw(st.booleans())
     if has_tex:
         clause = TexClause()
+        written = set()
         for _ in range(draw(st.integers(min_value=1, max_value=2))):
-            clause.fetches.append(
-                TexFetch(draw(registers), draw(registers))
+            address = draw(
+                st.sampled_from([r for r in range(16) if r not in written])
             )
+            dest = draw(registers)
+            clause.fetches.append(TexFetch(dest, address))
+            written.add(dest)
         clauses.append(clause)
 
     control_flow = []
@@ -115,6 +121,8 @@ def run(program):
     for i in range(16):
         # Non-negative in-range values: any register may serve as a TEX
         # address, and addresses must land inside the 16-word memory.
+        # (The program generator keeps fetch addresses independent of
+        # earlier fetch destinations, so this stays true at runtime.)
         interp.registers[i] = float(i % 8)
     regs = interp.run(program)
     return sorted(regs.items())

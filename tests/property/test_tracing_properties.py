@@ -1,0 +1,78 @@
+"""Property tests: the invariant sentinel holds over the config space.
+
+Whatever error rate, seed or event bound a run uses, every statistics
+system must tell the same story — that's the sentinel's whole claim, so
+hypothesis gets to pick the run.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    ArchConfig,
+    MemoConfig,
+    SimConfig,
+    TelemetryConfig,
+    TimingConfig,
+    TracingConfig,
+)
+from repro.gpu.executor import GpuExecutor
+from repro.kernels.api import Buffer
+from repro.tracing.sentinel import audit_device
+
+
+def blur_kernel(ctx, src, dst):
+    a = src.load(ctx.global_id)
+    b = src.load((ctx.global_id + 1) % ctx.global_size)
+    s = yield ctx.fadd(a, b)
+    m = yield ctx.fmul(s, 0.5)
+    dst.store(ctx.global_id, m)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    error_rate=st.floats(min_value=0.0, max_value=0.1),
+    seed=st.integers(min_value=0, max_value=2**31),
+    max_events=st.one_of(st.none(), st.integers(min_value=1, max_value=50)),
+    threshold=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_audit_passes_for_any_traced_run(error_rate, seed, max_events, threshold):
+    config = SimConfig(
+        arch=ArchConfig(
+            num_compute_units=1, stream_cores_per_cu=4, wavefront_size=8
+        ),
+        memo=MemoConfig(threshold=threshold),
+        timing=TimingConfig(error_rate=error_rate, seed=seed),
+        telemetry=TelemetryConfig(enabled=True),
+        tracing=TracingConfig(enabled=True, max_events=max_events),
+    )
+    executor = GpuExecutor(config)
+    src = Buffer([0.125 * (i % 5) for i in range(32)])
+    dst = Buffer.zeros(32)
+    executor.run(blur_kernel, 32, (src, dst))
+    report = audit_device(executor.device, executor.tracer)
+    assert report.ok, report.to_text()
+    report.raise_if_violated()  # must not raise when ok
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    error_rate=st.floats(min_value=0.0, max_value=0.1),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_baseline_device_audit_passes(error_rate, seed):
+    config = SimConfig(
+        arch=ArchConfig(
+            num_compute_units=1, stream_cores_per_cu=4, wavefront_size=8
+        ),
+        memo=MemoConfig(),
+        timing=TimingConfig(error_rate=error_rate, seed=seed),
+        tracing=TracingConfig(enabled=True),
+    )
+    executor = GpuExecutor(config, memoized=False)
+    src = Buffer([float(i) for i in range(16)])
+    dst = Buffer.zeros(16)
+    executor.run(blur_kernel, 16, (src, dst))
+    report = audit_device(executor.device, executor.tracer)
+    assert report.ok, report.to_text()
+    assert any("no memoization" in note for note in report.notes)

@@ -2,7 +2,7 @@
 
 from repro.telemetry.events import EventKind, EventRing
 from repro.telemetry.registry import MetricsRegistry
-from repro.telemetry.report import render_dashboard
+from repro.telemetry.report import _per_cu_section, render_dashboard
 
 
 def _populated_registry() -> MetricsRegistry:
@@ -52,3 +52,45 @@ class TestDashboard:
             _populated_registry().snapshot(), title="telemetry: Sobel"
         )
         assert text.startswith("== telemetry: Sobel ==")
+
+
+def _multi_cu_registry() -> MetricsRegistry:
+    reg = _populated_registry()
+    reg.counter("cu0.sc0.fpu.ADD.ops").inc(100)
+    reg.counter("cu1.sc0.fpu.ADD.ops").inc(40)
+    reg.counter("cu1.sc0.fpu.ADD.memo.lookups").inc(40)
+    reg.counter("cu1.sc0.fpu.ADD.memo.hits").inc(10)
+    reg.counter("cu1.sc0.fpu.ADD.ecu.recovery_cycles").inc(24)
+    reg.counter("cu1.wavefronts").inc(1)
+    return reg
+
+
+class TestPerCuSection:
+    def test_single_cu_device_is_suppressed(self):
+        assert _per_cu_section(_populated_registry().snapshot()) is None
+        assert "Per compute unit" not in render_dashboard(
+            _populated_registry().snapshot()
+        )
+
+    def test_multi_cu_rollup_rows(self):
+        text = _per_cu_section(_multi_cu_registry().snapshot())
+        assert text is not None and "Per compute unit" in text
+        lines = text.splitlines()
+        cu0 = next(line for line in lines if line.startswith("cu0"))
+        cu1 = next(line for line in lines if line.startswith("cu1"))
+        # cu0: 100 ops, 100 lookups, 25 hits, 2 masked, 72 stall cycles.
+        for value in ("100", "25", "0.25", "72"):
+            assert value in cu0
+        # cu1: 40 ops, 10/40 hits, 24 stall cycles.
+        for value in ("40", "10", "0.25", "24"):
+            assert value in cu1
+
+    def test_section_appears_in_dashboard(self):
+        text = render_dashboard(_multi_cu_registry().snapshot())
+        assert "Per compute unit" in text
+
+    def test_idle_cu_rows_are_dropped(self):
+        reg = _multi_cu_registry()
+        reg.counter("cu2.sc0.fpu.ADD.memo.lookups").inc(0)
+        text = _per_cu_section(reg.snapshot())
+        assert "cu2" not in text

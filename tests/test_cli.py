@@ -238,6 +238,71 @@ class TestTelemetryCli:
         assert artifact["manifest"]["experiments"] == ["tiny"]
 
 
+class TestTrace:
+    def test_trace_writes_perfetto_json_and_passes_sentinel(self, tmp_path):
+        path = tmp_path / "trace.json"
+        code, text = run_cli(
+            "trace", "FWT", "--error-rate", "0.02", "--out", str(path)
+        )
+        assert code == 0
+        assert "invariant sentinel: PASS" in text
+        assert "timeline summary" in text
+        document = json.loads(path.read_text())
+        records = document["traceEvents"]
+        assert any(r["ph"] == "M" for r in records)
+        assert any(r["name"] == "wavefront" for r in records)
+        assert document["otherData"]["events_dropped"] == 0
+
+    def test_trace_jsonl_and_profile(self, tmp_path):
+        json_path = tmp_path / "t.json"
+        jsonl_path = tmp_path / "t.jsonl"
+        code, text = run_cli(
+            "trace", "FWT", "--out", str(json_path),
+            "--jsonl", str(jsonl_path), "--profile",
+        )
+        assert code == 0
+        assert "host phases" in text and "host.dispatch" in text
+        lines = jsonl_path.read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "manifest"
+        assert json.loads(lines[1])["type"] == "trace_event"
+
+    def test_trace_max_events_reports_drops(self, tmp_path):
+        path = tmp_path / "t.json"
+        code, text = run_cli(
+            "trace", "FWT", "--out", str(path), "--max-events", "100"
+        )
+        assert code == 0
+        assert "invariant sentinel: PASS" in text
+        document = json.loads(path.read_text())
+        assert document["otherData"]["events_dropped"] > 0
+
+    def test_run_with_trace_out_and_profile(self, tmp_path):
+        path = tmp_path / "run-trace.json"
+        code, text = run_cli(
+            "run", "FWT", "--trace-out", str(path), "--profile"
+        )
+        assert code == 0
+        assert "chrome trace written" in text
+        assert "host phases" in text
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_metrics_compute_units_populates_per_cu_section(self):
+        code, text = run_cli("metrics", "FWT", "--compute-units", "2")
+        assert code == 0
+        assert "Per compute unit" in text
+        code, text = run_cli("metrics", "FWT")
+        assert code == 0
+        assert "Per compute unit" not in text
+
+    def test_multiseed_profile_prints_phase_totals(self):
+        code, text = run_cli(
+            "run", "FWT", "--seeds", "1,2", "--profile"
+        )
+        assert code == 0
+        assert "host phases (2 shards)" in text
+        assert "host.dispatch" in text
+
+
 class TestLocality:
     def test_locality_report(self):
         code, text = run_cli("locality", "FWT")

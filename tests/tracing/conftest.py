@@ -1,0 +1,58 @@
+"""Shared fixtures for the tracing tests."""
+
+import pytest
+
+from repro.config import (
+    ArchConfig,
+    MemoConfig,
+    SimConfig,
+    TelemetryConfig,
+    TimingConfig,
+    TracingConfig,
+)
+from repro.gpu.executor import GpuExecutor
+from repro.kernels.api import Buffer
+
+
+def mix_kernel(ctx, src, dst):
+    """Enough op mix to exercise hits, misses and recoveries."""
+    x = src.load(ctx.global_id)
+    y = yield ctx.fmul(x, 0.5)
+    z = yield ctx.fadd(y, 1.0)
+    w = yield ctx.fsqrt(z)
+    dst.store(ctx.global_id, w)
+
+
+def traced_run(
+    error_rate: float = 0.02,
+    seed: int = 7,
+    tracing: TracingConfig = None,
+    telemetry: bool = True,
+    compute_units: int = 2,
+    global_size: int = 64,
+):
+    """Run the mix kernel on a tiny traced device; returns the executor."""
+    config = SimConfig(
+        arch=ArchConfig(
+            num_compute_units=compute_units,
+            stream_cores_per_cu=4,
+            wavefront_size=8,
+        ),
+        memo=MemoConfig(threshold=0.05),
+        timing=TimingConfig(error_rate=error_rate, seed=seed),
+        telemetry=TelemetryConfig(enabled=telemetry),
+        tracing=tracing
+        if tracing is not None
+        else TracingConfig(enabled=True),
+    )
+    executor = GpuExecutor(config)
+    src = Buffer([0.25 * (i % 8) for i in range(global_size)])
+    dst = Buffer.zeros(global_size)
+    executor.run(mix_kernel, global_size, (src, dst))
+    return executor, dst
+
+
+@pytest.fixture
+def traced_executor():
+    executor, _ = traced_run()
+    return executor

@@ -1,0 +1,126 @@
+"""Golden tests for the Chrome trace-event (Perfetto) and JSONL exports."""
+
+import json
+
+from repro.tracing.export import (
+    chrome_trace_dict,
+    chrome_trace_events,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.tracing.timeline import TimelineTracer
+
+#: The keys Perfetto requires on each phase letter.
+SPAN_KEYS = {"name", "cat", "ph", "ts", "pid", "tid", "dur"}
+INSTANT_KEYS = {"name", "cat", "ph", "ts", "pid", "tid", "s"}
+
+
+def small_tracer() -> TimelineTracer:
+    tracer = TimelineTracer()
+    lane0 = tracer.lane_tracer(0, 0)
+    lane1 = tracer.lane_tracer(0, 1)
+    cu = tracer.cu_tracer(0, [lane0, lane1], scheduler_tid=4)
+    started = cu.on_wavefront_start()
+    tracer.span("ecu.recovery", "ecu", 0, 1, 3, 12)
+    tracer.instant("memo.hit", "memo", 0, 0, 5)
+    cu.on_wavefront_retired(started, rounds=1)
+    return tracer
+
+
+class TestChromeExport:
+    def test_metadata_events_come_first(self):
+        records = chrome_trace_events(small_tracer())
+        meta = [r for r in records if r["ph"] == "M"]
+        assert records[: len(meta)] == meta
+        names = {(r["pid"], r["tid"]): r["args"]["name"] for r in meta}
+        assert names[(0, 0)] in ("CU0", "lane0")
+        process = [r for r in meta if r["name"] == "process_name"]
+        threads = [r for r in meta if r["name"] == "thread_name"]
+        assert [r["args"]["name"] for r in process] == ["CU0"]
+        assert {r["args"]["name"] for r in threads} == {
+            "lane0",
+            "lane1",
+            "scheduler",
+        }
+
+    def test_golden_event_schemas(self):
+        records = chrome_trace_events(small_tracer())
+        spans = [r for r in records if r["ph"] == "X"]
+        instants = [r for r in records if r["ph"] == "i"]
+        assert spans and instants
+        for span in spans:
+            assert SPAN_KEYS <= set(span)
+        for instant in instants:
+            assert INSTANT_KEYS <= set(instant)
+            assert instant["s"] == "t"
+        recovery = next(r for r in records if r["name"] == "ecu.recovery")
+        assert recovery == {
+            "name": "ecu.recovery",
+            "cat": "ecu",
+            "ph": "X",
+            "ts": 3,
+            "pid": 0,
+            "tid": 1,
+            "dur": 12,
+        }
+
+    def test_tracks_are_time_ordered(self):
+        tracer = small_tracer()
+        # Emit out of track order on purpose: the exporter must re-sort.
+        tracer.instant("memo.miss", "memo", 0, 0, 1)
+        records = [
+            r for r in chrome_trace_events(tracer) if r["ph"] != "M"
+        ]
+        last = {}
+        for record in records:
+            key = (record["pid"], record["tid"])
+            assert last.get(key, -1) <= record["ts"]
+            last[key] = record["ts"]
+
+    def test_document_shape_and_provenance(self):
+        document = chrome_trace_dict(small_tracer(), label="unit-test")
+        assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+        other = document["otherData"]
+        assert other["label"] == "unit-test"
+        assert other["events_recorded"] == 4
+        assert other["events_dropped"] == 0
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path), small_tracer(), label="x")
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == count
+        assert any(r["ph"] == "X" for r in document["traceEvents"])
+
+
+class TestJsonlExport:
+    def test_typed_lines_with_manifest_first(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = write_trace_jsonl(
+            str(path), small_tracer(), manifest={"label": "t"}
+        )
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == lines == 5
+        assert records[0] == {"type": "manifest", "label": "t"}
+        assert all(r["type"] == "trace_event" for r in records[1:])
+
+    def test_manifest_is_optional(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = write_trace_jsonl(str(path), small_tracer())
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == 4
+        assert {r["type"] for r in records} == {"trace_event"}
+
+
+class TestTracedRunExport:
+    def test_real_run_exports_loadable_trace(self, tmp_path, traced_executor):
+        path = tmp_path / "run.json"
+        write_chrome_trace(str(path), traced_executor.tracer)
+        document = json.loads(path.read_text())
+        records = document["traceEvents"]
+        # One process per CU, lanes + scheduler named per CU.
+        pids = {r["pid"] for r in records}
+        assert pids == {0, 1}
+        thread_meta = [r for r in records if r["name"] == "thread_name"]
+        assert len(thread_meta) == 2 * (4 + 1)
+        assert any(r["name"] == "wavefront" for r in records)

@@ -1,0 +1,46 @@
+"""Tracing must be observation-only: results are identical with it off.
+
+The archetype's acceptance bar: enabling (or disabling) the tracer, the
+profiler and the sentinel changes nothing about the simulated run — not
+the kernel output bits, not a single counter.
+"""
+
+from repro.config import TracingConfig
+
+from .conftest import traced_run
+
+
+def run_signature(executor, output):
+    device = executor.device
+    return (
+        output.to_array().tobytes(),
+        device.executed_ops,
+        {k: (c.ops, c.errors_injected, c.errors_masked, c.errors_recovered,
+             c.issue_cycles, c.recovery_stall_cycles)
+         for k, c in device.counters().items()},
+        {k: (s.lookups, s.hits, s.updates) for k, s in device.lut_stats().items()},
+        {k: (e.errors_seen, e.recoveries, e.recovery_cycles,
+             e.masked_by_memoization) for k, e in device.ecu_stats().items()},
+    )
+
+
+class TestIsolation:
+    def test_disabled_and_enabled_runs_are_bit_identical(self):
+        traced, traced_out = traced_run(
+            tracing=TracingConfig(
+                enabled=True, record_ops=True, profile_host=True
+            )
+        )
+        plain, plain_out = traced_run(tracing=TracingConfig(enabled=False))
+        assert run_signature(traced, traced_out) == run_signature(
+            plain, plain_out
+        )
+
+    def test_disabled_run_builds_no_tracer_state(self):
+        executor, _ = traced_run(tracing=TracingConfig(enabled=False))
+        assert executor.tracer is None
+        assert executor.profiler is None
+        for unit in executor.device.compute_units:
+            assert unit.tracer is None
+            for core in unit.stream_cores:
+                assert core.tracer is None

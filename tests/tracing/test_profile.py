@@ -1,0 +1,115 @@
+"""Tests for the host-phase profiler and the ambient capture stack."""
+
+import pytest
+
+from repro.config import TracingConfig
+from repro.errors import TracingError
+from repro.tracing import profile
+from repro.tracing.profile import (
+    DISPATCH_CHILDREN,
+    HostPhaseProfiler,
+    PHASE_DISPATCH,
+    PHASE_LUT_LOOKUP,
+    format_phase_report,
+    merge_phase_snapshots,
+)
+
+
+class TestProfiler:
+    def test_add_accumulates(self):
+        prof = HostPhaseProfiler()
+        prof.add("a", 0.5)
+        prof.add("a", 0.25, calls=3)
+        snapshot = prof.snapshot()
+        assert snapshot["a"]["total_s"] == pytest.approx(0.75)
+        assert snapshot["a"]["calls"] == 4
+
+    def test_phase_context_manager_times_the_block(self):
+        prof = HostPhaseProfiler()
+        with prof.phase("x"):
+            pass
+        stat = prof.snapshot()["x"]
+        assert stat["calls"] == 1 and stat["total_s"] >= 0.0
+
+    def test_snapshot_is_sorted(self):
+        prof = HostPhaseProfiler()
+        prof.add("b", 1.0)
+        prof.add("a", 1.0)
+        assert list(prof.snapshot()) == ["a", "b"]
+
+
+class TestMerge:
+    def test_merge_sums_seconds_and_calls(self):
+        merged = merge_phase_snapshots(
+            [
+                {"a": {"total_s": 1.0, "calls": 2}},
+                {"a": {"total_s": 0.5, "calls": 1}, "b": {"total_s": 2.0, "calls": 4}},
+            ]
+        )
+        assert merged["a"] == {"total_s": 1.5, "calls": 3}
+        assert merged["b"] == {"total_s": 2.0, "calls": 4}
+
+    def test_merge_empty(self):
+        assert merge_phase_snapshots([]) == {}
+
+
+class TestReport:
+    def test_empty_report(self):
+        assert "(no phases recorded)" in format_phase_report({})
+
+    def test_nested_phases_are_indented_and_not_double_counted(self):
+        snapshot = {
+            PHASE_DISPATCH: {"total_s": 1.0, "calls": 1},
+            PHASE_LUT_LOOKUP: {"total_s": 0.6, "calls": 100},
+        }
+        text = format_phase_report(snapshot)
+        assert f"  {PHASE_LUT_LOOKUP}" in text
+        # Share is against the top level only: dispatch owns 100%.
+        assert "1 " in text
+        assert PHASE_LUT_LOOKUP in DISPATCH_CHILDREN
+
+
+class TestAmbientCapture:
+    def test_capture_installs_and_removes(self):
+        assert profile.current() is None
+        with profile.capture() as prof:
+            assert profile.current() is prof
+        assert profile.current() is None
+
+    def test_nested_captures_stack(self):
+        with profile.capture() as outer:
+            with profile.capture() as inner:
+                assert profile.current() is inner
+            assert profile.current() is outer
+
+    def test_out_of_order_deactivation_raises(self):
+        outer, inner = HostPhaseProfiler(), HostPhaseProfiler()
+        profile.activate(outer)
+        profile.activate(inner)
+        with pytest.raises(TracingError):
+            profile.deactivate(outer)
+        profile.deactivate(inner)
+        profile.deactivate(outer)
+
+
+class TestRunAttribution:
+    def test_profile_host_records_fpu_phases(self):
+        from .conftest import traced_run
+
+        executor, _ = traced_run(
+            tracing=TracingConfig(enabled=True, profile_host=True)
+        )
+        snapshot = executor.profiler.snapshot()
+        # Every executed FP op goes through exactly one LUT lookup.
+        assert snapshot["fpu.lut_lookup"]["calls"] == executor.device.executed_ops
+        assert "host.dispatch" in snapshot and "host.decode" in snapshot
+
+    def test_ambient_capture_gets_coarse_phases(self):
+        from .conftest import traced_run
+
+        with profile.capture() as prof:
+            traced_run(tracing=TracingConfig(enabled=False))
+        snapshot = prof.snapshot()
+        assert "host.dispatch" in snapshot
+        # Fine-grained FPU phases need profile_host on the config.
+        assert "fpu.lut_lookup" not in snapshot

@@ -1,0 +1,123 @@
+"""Tests for the invariant sentinel.
+
+The sentinel's value is that its inputs are maintained by *different*
+code paths; these tests check both directions — a clean run agrees
+everywhere, and a corrupted counter in any one system is caught.
+"""
+
+import pytest
+
+from repro.config import TracingConfig
+from repro.errors import InvariantViolation
+from repro.isa.opcodes import UnitKind
+from repro.tracing.sentinel import SentinelReport, audit_device
+
+from .conftest import traced_run
+
+
+class TestCleanRuns:
+    def test_traced_run_passes_every_check(self, traced_executor):
+        report = audit_device(traced_executor.device, traced_executor.tracer)
+        assert report.ok, report.to_text()
+        # Every section contributed: LUT, FPU/ECU, telemetry, perf,
+        # energy and the trace-derived checks.
+        names = {check.name for check in report.checks}
+        assert any(n.startswith("lut.") for n in names)
+        assert any(n.startswith("fpu.") for n in names)
+        assert any(n.startswith("telemetry.") for n in names)
+        assert any(n.startswith("energy.") for n in names)
+        assert any(n.startswith("trace.") for n in names)
+
+    def test_error_free_run_passes(self):
+        executor, _ = traced_run(error_rate=0.0)
+        report = audit_device(executor.device, executor.tracer)
+        assert report.ok, report.to_text()
+
+    def test_untraced_device_skips_timeline_checks_with_note(self):
+        executor, _ = traced_run(tracing=TracingConfig(enabled=False))
+        report = audit_device(executor.device, tracer=None)
+        assert report.ok, report.to_text()
+        assert any("timeline checks skipped" in note for note in report.notes)
+
+    def test_saturated_tracer_still_audits_cursors(self):
+        executor, _ = traced_run(
+            tracing=TracingConfig(enabled=True, max_events=10)
+        )
+        tracer = executor.tracer
+        assert tracer.dropped > 0
+        report = audit_device(executor.device, tracer)
+        assert report.ok, report.to_text()
+        assert any("event-count checks skipped" in n for n in report.notes)
+        assert any(
+            check.name == "trace.lane_cursors==busy_cycles"
+            for check in report.checks
+        )
+
+
+def _first_active_fpu(device):
+    for unit in device.compute_units:
+        for core in unit.stream_cores:
+            for fpu in core.fpus.values():
+                if fpu.counters.ops:
+                    return fpu
+    raise AssertionError("no FPU executed anything")
+
+
+class TestCorruptionIsCaught:
+    def test_corrupted_fpu_counter(self, traced_executor):
+        fpu = _first_active_fpu(traced_executor.device)
+        fpu.counters.ops += 1
+        report = audit_device(traced_executor.device, traced_executor.tracer)
+        assert not report.ok
+        assert any(".ops==" in check.name for check in report.violations)
+
+    def test_corrupted_ecu_stats(self, traced_executor):
+        fpu = _first_active_fpu(traced_executor.device)
+        fpu.ecu.stats.recoveries += 1
+        report = audit_device(traced_executor.device, traced_executor.tracer)
+        assert not report.ok
+
+    def test_corrupted_telemetry_registry(self, traced_executor):
+        hub = traced_executor.telemetry
+        kind = UnitKind.ADD.value
+        hub.registry.counter(f"cu0.sc0.fpu.{kind}.memo.lookups").inc(5)
+        report = audit_device(traced_executor.device, traced_executor.tracer)
+        assert not report.ok
+        assert any(
+            check.name == "telemetry.memo.lookups==canonical"
+            for check in report.violations
+        )
+
+    def test_raise_if_violated_carries_the_report(self, traced_executor):
+        fpu = _first_active_fpu(traced_executor.device)
+        fpu.counters.errors_injected += 3
+        report = audit_device(traced_executor.device, traced_executor.tracer)
+        with pytest.raises(InvariantViolation) as excinfo:
+            report.raise_if_violated()
+        assert excinfo.value.report is report
+        assert "invariant(s) violated" in str(excinfo.value)
+
+
+class TestReportSurface:
+    def test_check_exact_and_close(self):
+        report = SentinelReport()
+        report.check("a", 1, 1)
+        report.check("b", 1.0, 1.0 + 1e-12, exact=False)
+        report.check("c", 1, 2)
+        assert [check.ok for check in report.checks] == [True, True, False]
+        assert [check.name for check in report.violations] == ["c"]
+
+    def test_text_and_dict_views(self):
+        report = SentinelReport()
+        report.check("good", 2, 2)
+        report.check("bad", 2, 3)
+        report.notes.append("a note")
+        text = report.to_text()
+        assert "FAIL (1 violated)" in text and "note: a note" in text
+        data = report.to_dict()
+        assert data["ok"] is False and len(data["checks"]) == 2
+
+    def test_passing_report_does_not_raise(self):
+        report = SentinelReport()
+        report.check("fine", 0, 0)
+        report.raise_if_violated()

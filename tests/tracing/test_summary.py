@@ -1,0 +1,68 @@
+"""Tests for the ASCII timeline summary helpers."""
+
+from repro.tracing.summary import (
+    hit_bursts,
+    lane_utilization,
+    longest_stalls,
+    render_timeline_summary,
+)
+from repro.tracing.timeline import TimelineTracer
+
+
+def tracer_with_story() -> TimelineTracer:
+    tracer = TimelineTracer()
+    lane0 = tracer.lane_tracer(0, 0)
+    lane1 = tracer.lane_tracer(0, 1)
+    # lane0: hit, hit, miss, hit  -> bursts of 2 then 1 (still open).
+    lane0.cycle = 10
+    tracer.instant("memo.hit", "memo", 0, 0, 10)
+    tracer.instant("memo.commute", "memo", 0, 0, 11)
+    tracer.instant("memo.miss", "memo", 0, 0, 12)
+    tracer.instant("memo.hit", "memo", 0, 0, 13)
+    # lane1: two stalls of different length.
+    tracer.span("ecu.recovery", "ecu", 0, 1, 5, 12)
+    tracer.span("ecu.recovery", "ecu", 0, 1, 30, 4)
+    lane1.cycle = 40
+    return tracer
+
+
+class TestLongestStalls:
+    def test_sorted_by_duration(self):
+        stalls = longest_stalls(tracer_with_story())
+        assert stalls == [("cu0.lane1", 5, 12), ("cu0.lane1", 30, 4)]
+
+    def test_top_limits_rows(self):
+        assert len(longest_stalls(tracer_with_story(), top=1)) == 1
+
+
+class TestHitBursts:
+    def test_bursts_split_on_miss_and_close_at_end(self):
+        bursts = hit_bursts(tracer_with_story())
+        assert bursts == [("cu0.lane0", 10, 2), ("cu0.lane0", 13, 1)]
+
+    def test_commute_counts_as_hit(self):
+        tracer = TimelineTracer()
+        tracer.lane_tracer(0, 0)
+        tracer.instant("memo.commute", "memo", 0, 0, 0)
+        tracer.instant("memo.commute", "memo", 0, 0, 1)
+        assert hit_bursts(tracer) == [("cu0.lane0", 0, 2)]
+
+
+class TestLaneUtilization:
+    def test_stall_fraction(self):
+        rows = lane_utilization(tracer_with_story())
+        assert ("cu0.lane1", 40, 16, 0.4) in rows
+        assert ("cu0.lane0", 10, 0, 0.0) in rows
+
+
+class TestRender:
+    def test_full_summary(self):
+        text = render_timeline_summary(tracer_with_story(), top=5)
+        assert "== timeline summary ==" in text
+        assert "recovery stalls" in text and "hit bursts" in text
+        assert "final cycle     : 40" in text
+
+    def test_empty_tracer_fallbacks(self):
+        text = render_timeline_summary(TimelineTracer())
+        assert "no recovery stalls recorded" in text
+        assert "no memoization hits recorded" in text

@@ -1,0 +1,170 @@
+"""Tests for the timeline tracer, lane/CU tracers and the op-sink tree."""
+
+import pytest
+
+from repro.config import TracingConfig
+from repro.gpu.trace import FpTraceCollector, NullTraceCollector, TraceCollector
+from repro.isa.opcodes import opcode_by_mnemonic
+from repro.memo.matching import MatchOutcome
+from repro.tracing.timeline import (
+    FanoutOpSink,
+    INSTANT_COMMUTE,
+    INSTANT_HIT,
+    INSTANT_MASKED,
+    INSTANT_MISS,
+    NullOpSink,
+    OpSink,
+    SPAN_RECOVERY,
+    SPAN_WAVEFRONT,
+    TimelineTracer,
+    compose_op_sinks,
+)
+
+ADD = opcode_by_mnemonic("ADD")
+
+
+class TestFromConfig:
+    def test_disabled_config_builds_nothing(self):
+        assert TimelineTracer.from_config(TracingConfig()) is None
+        assert TimelineTracer.from_config(None) is None
+
+    def test_enabled_config_builds_tracer(self):
+        tracer = TimelineTracer.from_config(TracingConfig(enabled=True))
+        assert tracer is not None and len(tracer) == 0
+
+
+class TestLaneTracer:
+    def test_op_advances_cursor_without_events(self):
+        tracer = TimelineTracer()
+        lane = tracer.lane_tracer(0, 3)
+        lane.on_op(ADD)
+        lane.on_op(ADD)
+        assert lane.cycle == 2
+        assert len(tracer) == 0  # record_ops off by default
+
+    def test_record_ops_emits_one_span_per_op(self):
+        tracer = TimelineTracer(TracingConfig(enabled=True, record_ops=True))
+        lane = tracer.lane_tracer(0, 0)
+        lane.on_op(ADD)
+        (event,) = tracer.events
+        assert event.name == "ADD" and event.ph == "X"
+        assert event.ts == 0 and event.dur == 1
+
+    def test_memo_lookup_instants(self):
+        tracer = TimelineTracer()
+        lane = tracer.lane_tracer(0, 0)
+        lane.on_memo_lookup(True, MatchOutcome.EXACT)
+        lane.on_memo_lookup(True, MatchOutcome.COMMUTED)
+        lane.on_memo_lookup(False, MatchOutcome.MISS)
+        assert tracer.count(INSTANT_HIT) == 1
+        assert tracer.count(INSTANT_COMMUTE) == 1
+        assert tracer.count(INSTANT_MISS) == 1
+
+    def test_recovery_span_advances_cursor(self):
+        tracer = TimelineTracer()
+        lane = tracer.lane_tracer(0, 0)
+        lane.on_op(ADD)
+        lane.on_recovery(12)
+        assert lane.cycle == 13
+        (event,) = list(tracer.iter_events(name=SPAN_RECOVERY))
+        assert event.ts == 1 and event.dur == 12
+        assert tracer.total_duration(SPAN_RECOVERY) == 12
+
+    def test_masked_instant_does_not_stall(self):
+        tracer = TimelineTracer()
+        lane = tracer.lane_tracer(0, 0)
+        lane.on_masked()
+        assert lane.cycle == 0
+        assert tracer.count(INSTANT_MASKED) == 1
+
+    def test_lane_tracer_is_cached_per_track(self):
+        tracer = TimelineTracer()
+        assert tracer.lane_tracer(0, 1) is tracer.lane_tracer(0, 1)
+        assert tracer.lane_tracer(0, 1) is not tracer.lane_tracer(1, 1)
+        assert tracer.thread_names[(0, 1)] == "lane1"
+
+
+class TestCuTracer:
+    def test_scheduler_clock_is_max_lane_cursor(self):
+        tracer = TimelineTracer()
+        lanes = [tracer.lane_tracer(0, i) for i in range(2)]
+        cu = tracer.cu_tracer(0, lanes, scheduler_tid=4)
+        assert cu.now() == 0
+        lanes[1].on_op(ADD)
+        lanes[1].on_op(ADD)
+        assert cu.now() == 2
+        assert tracer.thread_names[(0, 4)] == "scheduler"
+
+    def test_wavefront_span_covers_lane_activity(self):
+        tracer = TimelineTracer()
+        lanes = [tracer.lane_tracer(0, i) for i in range(2)]
+        cu = tracer.cu_tracer(0, lanes, scheduler_tid=4)
+        started = cu.on_wavefront_start()
+        for lane in lanes:
+            lane.on_op(ADD)
+            lane.on_op(ADD)
+        cu.on_wavefront_retired(started, rounds=2)
+        (span,) = list(tracer.iter_events(name=SPAN_WAVEFRONT))
+        assert span.ts == 0 and span.dur == 2
+        assert span.args == {"rounds": 2}
+        (counter,) = list(tracer.iter_events(ph="C"))
+        assert counter.args == {"retired": 1}
+
+    def test_rounds_are_opt_in(self):
+        tracer = TimelineTracer()
+        cu = tracer.cu_tracer(0, [tracer.lane_tracer(0, 0)], 4)
+        cu.on_round(1)
+        assert tracer.count("round") == 0
+        tracer2 = TimelineTracer(TracingConfig(enabled=True, record_rounds=True))
+        cu2 = tracer2.cu_tracer(0, [tracer2.lane_tracer(0, 0)], 4)
+        cu2.on_round(1)
+        assert tracer2.count("round") == 1
+
+
+class TestEventBound:
+    def test_max_events_counts_overflow(self):
+        tracer = TimelineTracer(TracingConfig(enabled=True, max_events=2))
+        lane = tracer.lane_tracer(0, 0)
+        for _ in range(5):
+            lane.on_memo_lookup(False, MatchOutcome.MISS)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        # Cursors keep advancing regardless of the event bound.
+        lane.on_op(ADD)
+        assert lane.cycle == 1
+
+
+class RecordingSink(OpSink):
+    def __init__(self):
+        self.seen = []
+
+    def record(self, cu_index, lane_index, opcode, operands, result):
+        self.seen.append((cu_index, lane_index, opcode, operands, result))
+
+
+class TestOpSinks:
+    def test_compose_empty_is_null(self):
+        sink = compose_op_sinks([])
+        assert isinstance(sink, NullOpSink) and not sink.enabled
+        sink.record(0, 0, ADD, (1.0, 2.0), 3.0)  # no-op
+
+    def test_compose_single_is_identity(self):
+        sink = RecordingSink()
+        assert compose_op_sinks([None, sink]) is sink
+
+    def test_compose_many_fans_out(self):
+        sinks = [RecordingSink(), RecordingSink()]
+        fanout = compose_op_sinks(sinks)
+        assert isinstance(fanout, FanoutOpSink)
+        fanout.record(1, 2, ADD, (1.0, 2.0), 3.0)
+        for sink in sinks:
+            assert sink.seen == [(1, 2, ADD, (1.0, 2.0), 3.0)]
+
+    def test_fp_trace_collector_is_registered_sink(self):
+        assert issubclass(FpTraceCollector, OpSink)
+        assert issubclass(NullTraceCollector, NullOpSink)
+        assert TraceCollector is OpSink  # back-compat alias
+
+    def test_base_sink_requires_record(self):
+        with pytest.raises(NotImplementedError):
+            OpSink().record(0, 0, ADD, (1.0,), 1.0)
