@@ -1,0 +1,73 @@
+"""Cold-vs-warm result-store cache on a Figure-10 style sweep.
+
+The first pass computes every sweep point and writes it to a fresh
+content-addressed store; the second pass reruns the identical sweep
+against the now-warm store and must load everything from blobs.  The
+bench asserts the two passes produce identical series (the store is a
+pure execution shortcut) and records the warm-over-cold speedup in
+``BENCH_telemetry.json``.
+"""
+
+import tempfile
+import time
+
+from conftest import run_once
+
+from repro.analysis.sweep import error_rate_sweep
+from repro.campaign import ResultStore
+from repro.kernels.registry import KERNEL_REGISTRY
+from repro.utils.tables import format_table
+
+KERNEL = "Sobel"
+ERROR_RATES = (0.0, 0.02, 0.04, 0.08)
+
+
+def run_cold_vs_warm():
+    spec = KERNEL_REGISTRY[KERNEL]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        store = ResultStore(root)
+        started = time.perf_counter()
+        cold = error_rate_sweep(
+            spec.default_factory, ERROR_RATES, spec.threshold, store=store
+        )
+        cold_wall = time.perf_counter() - started
+
+        warm_store = ResultStore(root)  # fresh LRU: warm pass hits disk
+        started = time.perf_counter()
+        warm = error_rate_sweep(
+            spec.default_factory, ERROR_RATES, spec.threshold, store=warm_store
+        )
+        warm_wall = time.perf_counter() - started
+        counters = warm_store.counter_values()
+    return cold, warm, cold_wall, warm_wall, counters
+
+
+def test_campaign_cache_cold_vs_warm(benchmark, bench_report, bench_metrics):
+    cold, warm, cold_wall, warm_wall, counters = run_once(
+        benchmark, run_cold_vs_warm
+    )
+    speedup = cold_wall / warm_wall if warm_wall > 0 else 0.0
+
+    table = format_table(
+        ["pass", "wall s", "points", "store traffic"],
+        [
+            ["cold", cold_wall, len(cold), f"{len(cold)} writes"],
+            ["warm", warm_wall, len(warm), f"{counters['hit']} hits"],
+        ],
+        title=f"{KERNEL} error-rate sweep through the result store "
+        f"({speedup:.0f}x warm speedup)",
+    )
+    bench_report(table)
+
+    bench_metrics("cold_wall_s", round(cold_wall, 4))
+    bench_metrics("warm_wall_s", round(warm_wall, 4))
+    bench_metrics("warm_speedup", round(speedup, 1))
+    bench_metrics("points", len(cold))
+
+    # The store is a shortcut, not a different computation: identical series.
+    assert warm == cold
+    # The warm pass simulated nothing.
+    assert counters["hit"] == len(ERROR_RATES)
+    assert counters["miss"] == 0 and counters["write"] == 0
+    # Loading JSON beats simulating Sobel by orders of magnitude.
+    assert speedup > 10.0

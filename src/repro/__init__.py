@@ -23,7 +23,10 @@ A Python reproduction of the paper's full system:
 * :mod:`repro.tracing` — cycle-timeline tracing (Perfetto-loadable
   Chrome traces), host-phase profiling and the invariant sentinel that
   cross-checks every statistics surface after a run (see
-  ``docs/tracing.md``).
+  ``docs/tracing.md``);
+* :mod:`repro.campaign` — durable experiment campaigns: a
+  content-addressed result store, declarative sweep specs, and a
+  crash-safe resumable runner (see ``docs/campaigns.md``).
 
 Quickstart::
 
@@ -36,6 +39,7 @@ Quickstart::
     print(executor.device.lut_stats())
 """
 
+from .campaign import CampaignSpec, ResultStore, plan_campaign, run_campaign
 from .config import (
     ArchConfig,
     MemoConfig,
@@ -46,7 +50,14 @@ from .config import (
     TracingConfig,
     small_arch,
 )
-from .errors import InvariantViolation, ReproError, TelemetryError, TracingError
+from .errors import (
+    CampaignError,
+    InvariantViolation,
+    ReproError,
+    StoreError,
+    TelemetryError,
+    TracingError,
+)
 from .energy import EnergyModel, EnergyParams, EnergyReport
 from .gpu import (
     Device,
@@ -97,6 +108,12 @@ __all__ = [
     "TelemetryError",
     "TracingError",
     "InvariantViolation",
+    "CampaignError",
+    "StoreError",
+    "CampaignSpec",
+    "ResultStore",
+    "plan_campaign",
+    "run_campaign",
     "EnergyModel",
     "EnergyParams",
     "EnergyReport",

@@ -162,6 +162,7 @@ def run_fifo_depth_study(
     depths: Sequence[int] = FIFO_DEPTHS,
     kernels: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    store=None,
 ) -> ExperimentResult:
     """Average hit-rate gain of deeper FIFOs over the 2-entry default.
 
@@ -175,7 +176,11 @@ def run_fifo_depth_study(
         for name in names:
             spec = KERNEL_REGISTRY[name]
             points = fifo_depth_sweep(
-                spec.default_factory, [depth], spec.threshold, jobs=jobs
+                spec.default_factory,
+                [depth],
+                spec.threshold,
+                jobs=jobs,
+                store=store,
             )
             rates.append(points[0].hit_rate)
         per_depth_avg.append(sum(rates) / len(rates))
@@ -265,18 +270,21 @@ def run_fig10_energy_vs_error_rate(
     rates: Sequence[float] = ERROR_RATES,
     kernels: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    store=None,
 ) -> ExperimentResult:
     """Average energy saving vs injected timing-error rate.
 
     ``jobs`` shards each kernel's error-rate grid across worker
     processes; the merged series are identical to the serial path.
+    ``store`` short-circuits already-durable points (same series either
+    way).
     """
     names = list(kernels or KERNEL_REGISTRY)
     per_kernel: Dict[str, List[object]] = {name: [] for name in names}
     for name in names:
         spec = KERNEL_REGISTRY[name]
         points = error_rate_sweep(
-            spec.default_factory, rates, spec.threshold, jobs=jobs
+            spec.default_factory, rates, spec.threshold, jobs=jobs, store=store
         )
         per_kernel[name] = [point.saving for point in points]
     averages = [
@@ -311,12 +319,14 @@ def run_fig11_voltage_overscaling(
     voltages: Sequence[float] = VOLTAGES,
     kernels: Sequence[str] = FIG11_KERNELS,
     jobs: int = 1,
+    store=None,
 ) -> ExperimentResult:
     """Total energy of baseline vs memoized architecture under overscaling.
 
     Energies are normalized to the baseline at nominal 0.9 V per kernel so
     the series are comparable across kernels.  ``jobs`` shards each
-    kernel's voltage grid across worker processes.
+    kernel's voltage grid across worker processes; ``store``
+    short-circuits already-durable points.
     """
     base_series: List[float] = [0.0] * len(voltages)
     memo_series: List[float] = [0.0] * len(voltages)
@@ -324,7 +334,7 @@ def run_fig11_voltage_overscaling(
     for name in kernels:
         spec = KERNEL_REGISTRY[name]
         points = voltage_sweep(
-            spec.default_factory, voltages, spec.threshold, jobs=jobs
+            spec.default_factory, voltages, spec.threshold, jobs=jobs, store=store
         )
         nominal = points[0].baseline_energy_pj
         for i, point in enumerate(points):

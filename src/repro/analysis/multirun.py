@@ -163,6 +163,45 @@ class MultiSeedMeasurement:
     engine: Optional[EngineReport] = None
 
 
+def _run_shards_with_store(
+    tasks: Sequence[SeedShardTask],
+    store,
+    jobs: int,
+    timeout: Optional[float],
+    start_method: Optional[str],
+):
+    """Resolve shards through a result store: cached shards decode from
+    durable blobs, the rest compute through the engine and are written
+    back.  Shards return in task order either way, so the caller's fold
+    is bit-identical to the storeless path.
+    """
+    from ..campaign.codec import decode_seed_shard, encode_seed_shard
+    from ..campaign.keys import seed_shard_key
+
+    keys = [seed_shard_key(task) for task in tasks]
+    shards: list = [None] * len(tasks)
+    pending = []
+    for index, (task, key) in enumerate(zip(tasks, keys)):
+        payload = store.get(key) if key is not None else None
+        if payload is not None:
+            shards[index] = decode_seed_shard(payload)
+        else:
+            pending.append(index)
+    computed, engine = run_sharded(
+        [tasks[index] for index in pending],
+        run_seed_shard,
+        jobs=jobs,
+        timeout=timeout,
+        start_method=start_method,
+        label=lambda task: f"seed {task.seed}",
+    )
+    for index, shard in zip(pending, computed):
+        shards[index] = shard
+        if keys[index] is not None:
+            store.put(keys[index], encode_seed_shard(shard))
+    return shards, engine
+
+
 def measure_with_seeds(
     factory: WorkloadFactory,
     threshold: float,
@@ -172,6 +211,7 @@ def measure_with_seeds(
     jobs: int = 1,
     timeout: Optional[float] = None,
     start_method: Optional[str] = None,
+    store=None,
 ) -> MultiSeedMeasurement:
     """Memoized-vs-baseline saving across independent error streams.
 
@@ -179,7 +219,10 @@ def measure_with_seeds(
     in-process, ``0`` = one worker per CPU); results are identical for
     any value.  ``timeout`` bounds each shard's wall clock;
     ``start_method`` overrides the multiprocessing start method (e.g.
-    ``"spawn"``) for the pool path.
+    ``"spawn"``) for the pool path.  ``store`` (a
+    :class:`repro.campaign.ResultStore`) short-circuits shards whose
+    results are already durable and persists newly computed ones —
+    the measurement is bit-identical with or without it.
     """
     if not seeds:
         raise ConfigError("need at least one seed")
@@ -193,14 +236,19 @@ def measure_with_seeds(
         )
         for seed in seeds
     ]
-    shards, engine = run_sharded(
-        tasks,
-        run_seed_shard,
-        jobs=jobs,
-        timeout=timeout,
-        start_method=start_method,
-        label=lambda task: f"seed {task.seed}",
-    )
+    if store is not None:
+        shards, engine = _run_shards_with_store(
+            tasks, store, jobs, timeout, start_method
+        )
+    else:
+        shards, engine = run_sharded(
+            tasks,
+            run_seed_shard,
+            jobs=jobs,
+            timeout=timeout,
+            start_method=start_method,
+            label=lambda task: f"seed {task.seed}",
+        )
     counters, lut_stats, ecu_stats = _fold_tallies(shards)
     snapshots = [s.snapshot for s in shards if s.snapshot is not None]
     return MultiSeedMeasurement(

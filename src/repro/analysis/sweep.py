@@ -87,13 +87,45 @@ def run_sweep_point(task: SweepTask) -> SweepPoint:
     )
 
 
-def _run_points(tasks: Sequence[SweepTask], jobs: int) -> list:
-    points, _ = run_sharded(
-        tasks,
+def _run_points(tasks: Sequence[SweepTask], jobs: int, store=None) -> list:
+    """Execute sweep points, optionally through a result store.
+
+    With a store, points whose results are already durable decode from
+    their blobs and only the rest are computed (and written back);
+    points return in grid order either way, so the sweep output is
+    bit-identical with or without the store.
+    """
+    if store is None:
+        points, _ = run_sharded(
+            tasks,
+            run_sweep_point,
+            jobs=jobs,
+            label=lambda task: f"x={task.x:g}",
+        )
+        return points
+
+    from ..campaign.codec import decode_sweep_point, encode_sweep_point
+    from ..campaign.keys import sweep_point_key
+
+    keys = [sweep_point_key(task) for task in tasks]
+    points: list = [None] * len(tasks)
+    pending = []
+    for index, key in enumerate(keys):
+        payload = store.get(key) if key is not None else None
+        if payload is not None:
+            points[index] = decode_sweep_point(payload)
+        else:
+            pending.append(index)
+    computed, _ = run_sharded(
+        [tasks[index] for index in pending],
         run_sweep_point,
         jobs=jobs,
         label=lambda task: f"x={task.x:g}",
     )
+    for index, point in zip(pending, computed):
+        points[index] = point
+        if keys[index] is not None:
+            store.put(keys[index], encode_sweep_point(point))
     return points
 
 
@@ -102,6 +134,7 @@ def threshold_sweep(
     thresholds: Sequence[float],
     fifo_depth: int = 2,
     jobs: int = 1,
+    store=None,
 ) -> list:
     """Hit rate / energy across matching thresholds (error-free)."""
     tasks = [
@@ -113,7 +146,7 @@ def threshold_sweep(
         )
         for threshold in thresholds
     ]
-    return _run_points(tasks, jobs)
+    return _run_points(tasks, jobs, store)
 
 
 def fifo_depth_sweep(
@@ -121,6 +154,7 @@ def fifo_depth_sweep(
     depths: Sequence[int],
     threshold: float,
     jobs: int = 1,
+    store=None,
 ) -> list:
     """Hit rate across FIFO depths at a fixed threshold (Section 4.1)."""
     tasks = [
@@ -132,7 +166,7 @@ def fifo_depth_sweep(
         )
         for depth in depths
     ]
-    return _run_points(tasks, jobs)
+    return _run_points(tasks, jobs, store)
 
 
 def error_rate_sweep(
@@ -140,6 +174,7 @@ def error_rate_sweep(
     rates: Sequence[float],
     threshold: float,
     jobs: int = 1,
+    store=None,
 ) -> list:
     """Energy saving across injected timing-error rates (Figure 10)."""
     tasks = [
@@ -151,7 +186,7 @@ def error_rate_sweep(
         )
         for rate in rates
     ]
-    return _run_points(tasks, jobs)
+    return _run_points(tasks, jobs, store)
 
 
 def voltage_sweep(
@@ -161,6 +196,7 @@ def voltage_sweep(
     voltage_model: Optional[VoltageModel] = None,
     params: Optional[EnergyParams] = None,
     jobs: int = 1,
+    store=None,
 ) -> list:
     """Energy across overscaled voltages (Figure 11).
 
@@ -181,4 +217,4 @@ def voltage_sweep(
         )
         for voltage in voltages
     ]
-    return _run_points(tasks, jobs)
+    return _run_points(tasks, jobs, store)

@@ -1,0 +1,95 @@
+"""repro.campaign — durable experiment campaigns over a result store.
+
+The caching + checkpointing layer of the evaluation stack:
+
+* :mod:`~repro.campaign.keys` — canonical cache keys: a content hash
+  of (configs, kernel identity + workload params, seed, schema
+  version), invariant under dict order, float formatting and seed-list
+  order;
+* :mod:`~repro.campaign.store` — the content-addressed result store:
+  atomic-rename JSON blobs under ``.repro-cache/`` with integrity
+  verification on read, an in-memory LRU front, ``gc``/``stats``
+  maintenance, and ``cache.*`` telemetry counters;
+* :mod:`~repro.campaign.codec` — exact round-trip codecs between the
+  measurement dataclasses and store payloads;
+* :mod:`~repro.campaign.spec` — declarative campaign specs (kernels x
+  error-rate grid x seed list) and the planner that diffs a spec
+  against the store;
+* :mod:`~repro.campaign.runner` — the crash-safe runner: drives the
+  process-pool engine over the pending set, persists every shard as it
+  completes, checkpoints a manifest per batch, and merges a result
+  bit-identical to an uninterrupted run.
+
+Off by default everywhere: with no store configured, every CLI and
+analysis path behaves (and outputs) exactly as before.
+"""
+
+from .keys import (
+    SCHEMA_VERSION,
+    canonical_json,
+    canonicalize,
+    content_hash,
+    factory_identity,
+    seed_shard_key,
+    sweep_point_key,
+)
+from .codec import (
+    decode_seed_shard,
+    decode_sweep_point,
+    encode_seed_shard,
+    encode_sweep_point,
+)
+from .runner import (
+    CampaignReport,
+    CampaignResult,
+    PointSummary,
+    campaign_status,
+    manifest_path,
+    merge_campaign,
+    read_campaign_manifest,
+    run_campaign,
+)
+from .spec import (
+    CAMPAIGN_SCHEMA,
+    CampaignPlan,
+    CampaignSpec,
+    CampaignTask,
+    plan_campaign,
+)
+from .store import (
+    DEFAULT_STORE_DIR,
+    GcReport,
+    ResultStore,
+    StoreStats,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CAMPAIGN_SCHEMA",
+    "DEFAULT_STORE_DIR",
+    "canonicalize",
+    "canonical_json",
+    "content_hash",
+    "factory_identity",
+    "seed_shard_key",
+    "sweep_point_key",
+    "encode_seed_shard",
+    "decode_seed_shard",
+    "encode_sweep_point",
+    "decode_sweep_point",
+    "ResultStore",
+    "StoreStats",
+    "GcReport",
+    "CampaignSpec",
+    "CampaignTask",
+    "CampaignPlan",
+    "plan_campaign",
+    "CampaignReport",
+    "CampaignResult",
+    "PointSummary",
+    "run_campaign",
+    "merge_campaign",
+    "campaign_status",
+    "read_campaign_manifest",
+    "manifest_path",
+]

@@ -1,0 +1,172 @@
+"""Payload codecs: simulator results <-> store-safe plain JSON.
+
+The store keeps plain JSON; the measurement layers traffic in stat
+dataclasses (:class:`~repro.analysis.multirun.SeedShardResult`,
+:class:`~repro.analysis.sweep.SweepPoint`).  These codecs are *exact*:
+floats survive the JSON round trip bit-for-bit (``repr`` shortest-form
+serialization round-trips IEEE-754 doubles), enum-keyed dicts are keyed
+by enum value, and decode rebuilds dataclasses indistinguishable from
+freshly computed ones — which is what lets a resumed campaign merge to
+a result byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.multirun import SeedShardResult
+from ..analysis.sweep import SweepPoint
+from ..errors import StoreError
+from ..isa.opcodes import UnitKind
+from ..memo.lut import LutStats
+from ..memo.matching import MatchOutcome
+from ..memo.resilient import FpuEventCounters
+from ..telemetry.registry import MetricsSnapshot
+from ..timing.ecu import EcuStats
+
+_COUNTER_FIELDS = (
+    "ops",
+    "errors_injected",
+    "errors_masked",
+    "errors_recovered",
+    "issue_cycles",
+    "recovery_stall_cycles",
+    "active_stage_traversals",
+    "gated_stage_traversals",
+)
+
+_ECU_FIELDS = (
+    "errors_seen",
+    "recoveries",
+    "recovery_cycles",
+    "replayed_issues",
+    "flushed_ops",
+    "masked_by_memoization",
+)
+
+
+def _counters_to_dict(counters: FpuEventCounters) -> dict:
+    return {name: getattr(counters, name) for name in _COUNTER_FIELDS}
+
+
+def _counters_from_dict(data: dict) -> FpuEventCounters:
+    return FpuEventCounters(**{name: int(data[name]) for name in _COUNTER_FIELDS})
+
+
+def _lut_stats_to_dict(stats: LutStats) -> dict:
+    return {
+        "lookups": stats.lookups,
+        "hits": stats.hits,
+        "updates": stats.updates,
+        "outcomes": {
+            outcome.value: count
+            for outcome, count in stats.outcome_counts.items()
+        },
+    }
+
+
+def _lut_stats_from_dict(data: dict) -> LutStats:
+    stats = LutStats(
+        lookups=int(data["lookups"]),
+        hits=int(data["hits"]),
+        updates=int(data["updates"]),
+    )
+    for name, count in data.get("outcomes", {}).items():
+        stats.outcome_counts[MatchOutcome(name)] = int(count)
+    return stats
+
+
+def _ecu_stats_to_dict(stats: EcuStats) -> dict:
+    return {name: getattr(stats, name) for name in _ECU_FIELDS}
+
+
+def _ecu_stats_from_dict(data: dict) -> EcuStats:
+    return EcuStats(**{name: int(data[name]) for name in _ECU_FIELDS})
+
+
+def _by_unit_to_dict(mapping, encode) -> dict:
+    return {kind.value: encode(value) for kind, value in mapping.items()}
+
+
+def _by_unit_from_dict(data: dict, decode) -> dict:
+    return {UnitKind(name): decode(value) for name, value in data.items()}
+
+
+def encode_seed_shard(result: SeedShardResult) -> dict:
+    """One seed shard's tallies as a plain store payload."""
+    return {
+        "seed": result.seed,
+        "saving": result.saving,
+        "hit_rate": result.hit_rate,
+        "counters": _by_unit_to_dict(result.counters, _counters_to_dict),
+        "lut_stats": _by_unit_to_dict(result.lut_stats, _lut_stats_to_dict),
+        "ecu_stats": _by_unit_to_dict(result.ecu_stats, _ecu_stats_to_dict),
+        "snapshot": (
+            result.snapshot.to_dict() if result.snapshot is not None else None
+        ),
+    }
+
+
+def decode_seed_shard(payload: dict) -> SeedShardResult:
+    """Rebuild a :class:`SeedShardResult` from a store payload."""
+    try:
+        snapshot = payload.get("snapshot")
+        return SeedShardResult(
+            seed=int(payload["seed"]),
+            saving=float(payload["saving"]),
+            hit_rate=float(payload["hit_rate"]),
+            counters=_by_unit_from_dict(payload["counters"], _counters_from_dict),
+            lut_stats=_by_unit_from_dict(payload["lut_stats"], _lut_stats_from_dict),
+            ecu_stats=_by_unit_from_dict(payload["ecu_stats"], _ecu_stats_from_dict),
+            snapshot=(
+                MetricsSnapshot.from_dict(snapshot)
+                if snapshot is not None
+                else None
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreError(f"undecodable seed-shard payload: {exc!r}") from exc
+
+
+def encode_sweep_point(point: SweepPoint) -> dict:
+    """One sweep point as a plain store payload."""
+    return {
+        "x": point.x,
+        "hit_rate": point.hit_rate,
+        "memo_energy_pj": point.memo_energy_pj,
+        "baseline_energy_pj": point.baseline_energy_pj,
+        "executed_ops": point.executed_ops,
+    }
+
+
+def decode_sweep_point(payload: dict) -> SweepPoint:
+    """Rebuild a :class:`SweepPoint` from a store payload."""
+    try:
+        return SweepPoint(
+            x=float(payload["x"]),
+            hit_rate=float(payload["hit_rate"]),
+            memo_energy_pj=float(payload["memo_energy_pj"]),
+            baseline_energy_pj=float(payload["baseline_energy_pj"]),
+            executed_ops=int(payload["executed_ops"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreError(f"undecodable sweep-point payload: {exc!r}") from exc
+
+
+def fill_missing_units(
+    counters: Optional[Dict[UnitKind, FpuEventCounters]] = None,
+    ecu_stats: Optional[Dict[UnitKind, EcuStats]] = None,
+):
+    """Complete per-unit maps with zero entries for inactive units.
+
+    Device tallies enumerate *every* unit kind; payloads written by
+    :func:`encode_seed_shard` keep all of them, but defensive decoding
+    tolerates payloads that dropped zero rows.
+    """
+    if counters is not None:
+        for kind in UnitKind:
+            counters.setdefault(kind, FpuEventCounters())
+    if ecu_stats is not None:
+        for kind in UnitKind:
+            ecu_stats.setdefault(kind, EcuStats())
+    return counters, ecu_stats

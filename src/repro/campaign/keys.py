@@ -1,0 +1,152 @@
+"""Canonical cache keys for the content-addressed result store.
+
+A cache key must depend on exactly the inputs that determine a
+measurement — the simulation configs, the kernel identity and workload
+parameters, the error seed, and the payload schema version — and on
+nothing else.  Two representations of the same inputs must hash the
+same: dict insertion order, float formatting history (``0.5`` vs
+``float("0.50")``), tuple-vs-list spelling and seed-list order are all
+normalized away by :func:`canonicalize` before hashing.
+
+Normalization rules:
+
+* dataclasses become plain dicts (field name -> canonical value);
+* enums become their ``value``;
+* dicts are emitted with sorted keys (``json.dumps(sort_keys=True)``);
+* floats are encoded as ``float.hex()`` strings — exact, parse-history
+  independent, and platform stable (``repr`` round-trips too, but hex
+  makes the independence from decimal formatting explicit);
+* tuples/lists become lists, sets/frozensets become sorted lists;
+* non-finite floats are rejected (they would compare unequal to
+  themselves and have no place in a config).
+
+Keys are the SHA-256 hex digest of the canonical JSON, so they are
+safe as filenames and collision-resistant across the whole store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import math
+from typing import Optional
+
+from ..errors import StoreError
+
+#: Bumped whenever a stored payload layout changes incompatibly; old
+#: blobs then simply stop matching and are recomputed (or gc'd).
+SCHEMA_VERSION = 1
+
+
+def canonicalize(value):
+    """Reduce ``value`` to canonical plain data (see module docstring)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: canonicalize(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return canonicalize(value.value)
+    if isinstance(value, dict):
+        canonical = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                key = str(canonicalize(key))
+            canonical[key] = canonicalize(item)
+        return canonical
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(
+            (canonicalize(item) for item in value), key=lambda c: json.dumps(c)
+        )
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise StoreError(f"non-finite float {value!r} cannot be cache-keyed")
+        return value.hex()
+    raise StoreError(
+        f"value of type {type(value).__name__} cannot be canonicalized for "
+        "a cache key; use plain data, dataclasses, or enums"
+    )
+
+
+def canonical_json(value) -> str:
+    """The canonical JSON text of ``value`` (sorted keys, no whitespace)."""
+    return json.dumps(
+        canonicalize(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+def content_hash(value) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def factory_identity(factory) -> Optional[dict]:
+    """A canonical identity for a workload factory, or ``None``.
+
+    Registry factories (``RegisteredFactory``) are dataclasses and carry
+    their kernel name plus any workload parameters in their fields —
+    they canonicalize directly.  Plain module-level functions are named
+    by module and qualname.  Anything else (lambdas, closures, bound
+    methods of ad-hoc objects) has no stable identity; callers must
+    treat ``None`` as "not cacheable" and compute without the store.
+    """
+    if dataclasses.is_dataclass(factory) and not isinstance(factory, type):
+        return {
+            "kind": type(factory).__name__,
+            "fields": canonicalize(factory),
+        }
+    qualname = getattr(factory, "__qualname__", "")
+    module = getattr(factory, "__module__", "")
+    if module and qualname and "<lambda>" not in qualname and "<locals>" not in qualname:
+        return {"kind": "function", "ref": f"{module}:{qualname}"}
+    return None
+
+
+def seed_shard_key(task, schema: int = SCHEMA_VERSION) -> Optional[str]:
+    """Cache key of one multi-seed shard (``SeedShardTask``), or ``None``
+    when the task's workload factory has no stable identity."""
+    identity = factory_identity(task.factory)
+    if identity is None:
+        return None
+    return content_hash(
+        {
+            "kind": "multirun.seed_shard",
+            "schema": schema,
+            "factory": identity,
+            "threshold": task.threshold,
+            "error_rate": task.error_rate,
+            "seed": task.seed,
+            "collect_telemetry": task.collect_telemetry,
+        }
+    )
+
+
+def sweep_point_key(task, schema: int = SCHEMA_VERSION) -> Optional[str]:
+    """Cache key of one sweep point (``SweepTask``), or ``None`` when the
+    task's workload factory has no stable identity.
+
+    The memo/timing configs (which include the error seed) and the
+    energy parameters are hashed whole, so any config field change —
+    FIFO depth, masking vector, recovery cycles, calibration constants —
+    moves the point to a new key.
+    """
+    identity = factory_identity(task.factory)
+    if identity is None:
+        return None
+    return content_hash(
+        {
+            "kind": "sweep.point",
+            "schema": schema,
+            "factory": identity,
+            "x": task.x,
+            "memo": task.memo,
+            "timing": task.timing,
+            "energy_params": task.energy_params,
+        }
+    )

@@ -1,0 +1,319 @@
+"""Resumable campaign runner over the sharded measurement engine.
+
+The runner executes a :class:`~repro.campaign.spec.CampaignSpec`'s
+pending tasks (store diff) through the PR-2 process-pool engine
+(:func:`~repro.analysis.parallel.run_sharded`), persisting every
+completed shard into the content-addressed store **as it completes**
+and checkpointing the campaign manifest after each batch.  Durability
+is therefore per shard: a SIGKILL at any instant loses at most the
+shards currently in flight, and a subsequent run re-plans against the
+store and computes only the remainder.
+
+Determinism contract: the merged :class:`CampaignResult` is assembled
+from the *store* in spec task order, through the same merge algebra
+(`Statistic.from_values` over seed-ordered shards, ``.merge()`` folds
+on the stat dataclasses) as an uninterrupted in-memory run — so a
+killed-and-resumed campaign's result file is byte-identical to the
+uninterrupted one.  Everything nondeterministic (wall times, worker
+counts, timestamps) stays in the manifest, never in the result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.multirun import SeedShardResult, Statistic, run_seed_shard
+from ..analysis.parallel import EngineReport, resolve_jobs, run_sharded
+from ..errors import CampaignError
+from ..telemetry.manifest import git_describe
+from ..telemetry.sinks import merge_snapshots
+from ..utils.io import atomic_write_json, atomic_write_text
+from .codec import (
+    _by_unit_to_dict,
+    _counters_to_dict,
+    _ecu_stats_to_dict,
+    _lut_stats_to_dict,
+    decode_seed_shard,
+    encode_seed_shard,
+)
+from .spec import CAMPAIGN_SCHEMA, CampaignPlan, CampaignSpec, plan_campaign
+from .store import ResultStore
+
+#: Merged-result layout version (independent of blob schema).
+RESULT_SCHEMA = 1
+
+
+def manifest_path(store: ResultStore, spec: CampaignSpec) -> Path:
+    """Where ``spec``'s checkpoint manifest lives inside ``store``."""
+    return store.root / "campaigns" / spec.name / "manifest.json"
+
+
+def read_campaign_manifest(
+    store: ResultStore, spec: CampaignSpec
+) -> Optional[dict]:
+    """The last checkpointed manifest of ``spec``, or ``None``."""
+    path = manifest_path(store, spec)
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+@dataclass(frozen=True)
+class PointSummary:
+    """The seed-merged statistics of one (kernel, threshold, rate) cell."""
+
+    kernel: str
+    threshold: float
+    error_rate: float
+    seeds: Tuple[int, ...]
+    saving: Statistic
+    hit_rate: Statistic
+
+
+@dataclass
+class CampaignResult:
+    """The deterministic merged output of one complete campaign."""
+
+    name: str
+    fingerprint: str
+    points: List[PointSummary] = field(default_factory=list)
+    tallies: List[dict] = field(default_factory=list)
+    telemetry: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        document = {
+            "schema": RESULT_SCHEMA,
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "points": [
+                {
+                    "kernel": point.kernel,
+                    "threshold": point.threshold,
+                    "error_rate": point.error_rate,
+                    "seeds": list(point.seeds),
+                    "saving": dataclasses.asdict(point.saving),
+                    "hit_rate": dataclasses.asdict(point.hit_rate),
+                    "tallies": tallies,
+                }
+                for point, tallies in zip(self.points, self.tallies)
+            ],
+        }
+        if self.telemetry is not None:
+            document["telemetry"] = self.telemetry
+        return document
+
+    def to_json(self) -> str:
+        """Canonical rendering: sorted keys, fixed layout — two runs of
+        the same campaign produce byte-identical files."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def write(self, path: str) -> None:
+        atomic_write_text(path, self.to_json())
+
+
+@dataclass
+class CampaignReport:
+    """How one ``run_campaign`` invocation went (provenance + result)."""
+
+    spec: CampaignSpec
+    plan: CampaignPlan
+    computed: int = 0
+    complete: bool = False
+    wall_time_s: float = 0.0
+    engines: List[EngineReport] = field(default_factory=list)
+    result: Optional[CampaignResult] = None
+
+    @property
+    def cached(self) -> int:
+        return len(self.plan.cached)
+
+    @property
+    def total(self) -> int:
+        return self.plan.total
+
+
+def _fold_point(
+    shards: List[SeedShardResult],
+) -> Tuple[Statistic, Statistic, dict]:
+    """Merge one cell's seed shards (seed order) into stats + tallies."""
+    from ..analysis.multirun import _fold_tallies
+
+    counters, lut_stats, ecu_stats = _fold_tallies(shards)
+    tallies = {
+        "counters": _by_unit_to_dict(counters, _counters_to_dict),
+        "lut_stats": _by_unit_to_dict(lut_stats, _lut_stats_to_dict),
+        "ecu_stats": _by_unit_to_dict(ecu_stats, _ecu_stats_to_dict),
+    }
+    saving = Statistic.from_values([shard.saving for shard in shards])
+    hit_rate = Statistic.from_values([shard.hit_rate for shard in shards])
+    return saving, hit_rate, tallies
+
+
+def merge_campaign(spec: CampaignSpec, store: ResultStore) -> CampaignResult:
+    """Assemble the merged result of a *complete* campaign from the store.
+
+    Raises :class:`~repro.errors.CampaignError` naming the first missing
+    shard if the campaign is not fully durable yet.
+    """
+    grouped: Dict[tuple, List[SeedShardResult]] = {}
+    order: List[tuple] = []
+    snapshots = []
+    for task in spec.tasks():
+        payload = store.get(task.key)
+        if payload is None:
+            raise CampaignError(
+                f"campaign {spec.name!r} is incomplete: shard "
+                f"{task.label} is not in the store (run or resume it first)"
+            )
+        shard = decode_seed_shard(payload)
+        if task.point_id not in grouped:
+            grouped[task.point_id] = []
+            order.append(task.point_id)
+        grouped[task.point_id].append(shard)
+        if shard.snapshot is not None:
+            snapshots.append(shard.snapshot)
+    result = CampaignResult(name=spec.name, fingerprint=spec.fingerprint())
+    for point_id in order:
+        kernel, threshold, error_rate = point_id
+        shards = grouped[point_id]
+        saving, hit_rate, tallies = _fold_point(shards)
+        result.points.append(
+            PointSummary(
+                kernel=kernel,
+                threshold=threshold,
+                error_rate=error_rate,
+                seeds=tuple(shard.seed for shard in shards),
+                saving=saving,
+                hit_rate=hit_rate,
+            )
+        )
+        result.tallies.append(tallies)
+    if snapshots:
+        result.telemetry = merge_snapshots(snapshots).to_dict()
+    return result
+
+
+def _checkpoint_manifest(
+    store: ResultStore,
+    spec: CampaignSpec,
+    plan: CampaignPlan,
+    computed: int,
+    status: str,
+    jobs: int,
+    started_utc: str,
+) -> None:
+    """Atomically rewrite the campaign manifest (crash-safe checkpoint)."""
+    completed = len(plan.cached) + computed
+    manifest = {
+        "schema": CAMPAIGN_SCHEMA,
+        "name": spec.name,
+        "fingerprint": spec.fingerprint(),
+        "spec": spec.to_dict(),
+        "git_describe": git_describe(),
+        "started_utc": started_utc,
+        "updated_utc": datetime.now(timezone.utc).isoformat(),
+        "status": status,
+        "jobs": jobs,
+        "total": plan.total,
+        "cached_at_start": len(plan.cached),
+        "computed": computed,
+        "completed": completed,
+        "pending": plan.total - completed,
+    }
+    atomic_write_json(str(manifest_path(store, spec)), manifest)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore,
+    jobs: int = 1,
+    max_shards: Optional[int] = None,
+    timeout: Optional[float] = None,
+    start_method: Optional[str] = None,
+) -> CampaignReport:
+    """Run (or resume) ``spec`` against ``store``; returns the report.
+
+    The pending set executes in batches of the worker count; each
+    shard's payload is written to the store the moment its batch
+    returns, and the manifest checkpoints after every batch, so
+    progress is durable at shard granularity.  ``max_shards`` stops
+    after that many computed shards (the report is then partial) —
+    useful for budgeted night runs and for testing resume.
+
+    Running a spec whose grid is already fully durable performs no
+    simulation and just re-merges — which is also exactly what
+    "resume" means.
+    """
+    started = time.perf_counter()
+    started_utc = datetime.now(timezone.utc).isoformat()
+    plan = plan_campaign(spec, store)
+    report = CampaignReport(spec=spec, plan=plan)
+    workers = max(1, resolve_jobs(jobs))
+    batch_size = workers
+
+    _checkpoint_manifest(
+        store, spec, plan, 0, "running", jobs, started_utc
+    )
+    pending = plan.pending
+    if max_shards is not None:
+        pending = pending[:max_shards]
+    for start in range(0, len(pending), batch_size):
+        batch = pending[start : start + batch_size]
+        shards, engine = run_sharded(
+            [task.shard for task in batch],
+            run_seed_shard,
+            jobs=jobs,
+            timeout=timeout,
+            start_method=start_method,
+            label=lambda shard: f"seed {shard.seed}",
+        )
+        report.engines.append(engine)
+        for task, shard in zip(batch, shards):
+            store.put(
+                task.key,
+                encode_seed_shard(shard),
+                meta={"campaign": spec.name, "label": task.label},
+            )
+            report.computed += 1
+        _checkpoint_manifest(
+            store, spec, plan, report.computed, "running", jobs, started_utc
+        )
+    report.complete = report.computed == len(plan.pending)
+    if report.complete:
+        report.result = merge_campaign(spec, store)
+    _checkpoint_manifest(
+        store,
+        spec,
+        plan,
+        report.computed,
+        "complete" if report.complete else "partial",
+        jobs,
+        started_utc,
+    )
+    report.wall_time_s = time.perf_counter() - started
+    return report
+
+
+def campaign_status(spec: CampaignSpec, store: ResultStore) -> dict:
+    """Plan diff + last manifest, for ``repro campaign status``."""
+    plan = plan_campaign(spec, store)
+    status = plan.to_dict()
+    manifest = read_campaign_manifest(store, spec)
+    if manifest is not None:
+        status["manifest"] = {
+            "status": manifest.get("status"),
+            "updated_utc": manifest.get("updated_utc"),
+            "completed": manifest.get("completed"),
+            "fingerprint_matches": (
+                manifest.get("fingerprint") == status["fingerprint"]
+            ),
+        }
+    return status

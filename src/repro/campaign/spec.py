@@ -1,0 +1,280 @@
+"""Declarative campaign specs and the store-diff planner.
+
+A campaign is the paper's figure-grid shape made explicit: *kernels* x
+*error rates* x *seeds* (threshold per kernel, from Table 1 unless the
+spec overrides it).  The spec expands to a deterministic task list —
+one :class:`~repro.analysis.multirun.SeedShardTask` per grid cell —
+and the planner diffs that list against the result store so a run only
+executes what is not already durable.  Because every task's identity
+is its content-addressed cache key, "resume after a crash", "re-run
+with two more seeds", and "warm-start a nightly sweep" are all the
+same operation: plan, then run the pending remainder.
+
+Spec files are plain JSON::
+
+    {
+      "name": "fig10-nightly",
+      "kernels": ["Sobel", "Haar"],
+      "error_rates": [0.0, 0.02, 0.04],
+      "seeds": [1, 2, 3, 4, 5],
+      "thresholds": {"Sobel": 1.0}        // optional per-kernel override
+    }
+
+The spec fingerprint hashes the *set* semantics of the grid (seed and
+kernel order do not matter), so cosmetic reordering of a spec file
+does not orphan a campaign's manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.multirun import SeedShardTask
+from ..errors import CampaignError
+from ..kernels.registry import KERNEL_REGISTRY
+from .keys import content_hash, seed_shard_key
+from .store import ResultStore
+
+#: Campaign spec / manifest layout version.
+CAMPAIGN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One grid cell: the shard task, its point identity, and its key."""
+
+    kernel: str
+    threshold: float
+    error_rate: float
+    seed: int
+    key: str
+    shard: SeedShardTask
+
+    @property
+    def point_id(self) -> Tuple[str, float, float]:
+        """The (kernel, threshold, error_rate) cell this seed belongs to."""
+        return (self.kernel, self.threshold, self.error_rate)
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.kernel} rate={self.error_rate:g} seed={self.seed}"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The declarative grid of one measurement campaign."""
+
+    name: str
+    kernels: Tuple[str, ...]
+    error_rates: Tuple[float, ...] = (0.0,)
+    seeds: Tuple[int, ...] = (1, 2, 3, 4, 5)
+    thresholds: Optional[Dict[str, float]] = None
+    collect_telemetry: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("-", "").replace("_", "").isalnum():
+            raise CampaignError(
+                f"campaign name {self.name!r} must be non-empty and use only "
+                "letters, digits, '-' and '_' (it names a directory)"
+            )
+        if not self.kernels:
+            raise CampaignError("campaign needs at least one kernel")
+        for kernel in self.kernels:
+            if kernel not in KERNEL_REGISTRY:
+                raise CampaignError(
+                    f"unknown kernel {kernel!r}; known: {sorted(KERNEL_REGISTRY)}"
+                )
+        if not self.error_rates:
+            raise CampaignError("campaign needs at least one error rate")
+        if not self.seeds:
+            raise CampaignError("campaign needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise CampaignError("campaign seeds must be distinct")
+        for kernel in self.thresholds or {}:
+            if kernel not in self.kernels:
+                raise CampaignError(
+                    f"threshold override for {kernel!r} which is not in the "
+                    "campaign's kernel list"
+                )
+
+    # ------------------------------------------------------------- identity
+    def threshold_for(self, kernel: str) -> float:
+        overrides = self.thresholds or {}
+        if kernel in overrides:
+            return float(overrides[kernel])
+        return KERNEL_REGISTRY[kernel].threshold
+
+    def fingerprint(self) -> str:
+        """Content hash of the grid's *set* semantics (order-free)."""
+        return content_hash(
+            {
+                "kind": "campaign.spec",
+                "schema": CAMPAIGN_SCHEMA,
+                "name": self.name,
+                "kernels": sorted(self.kernels),
+                "error_rates": sorted(self.error_rates),
+                "seeds": sorted(self.seeds),
+                "thresholds": {
+                    kernel: self.threshold_for(kernel)
+                    for kernel in sorted(self.kernels)
+                },
+                "collect_telemetry": self.collect_telemetry,
+            }
+        )
+
+    # ------------------------------------------------------------ expansion
+    def tasks(self) -> List[CampaignTask]:
+        """The full grid as tasks, in deterministic spec order.
+
+        Order is (kernel, error_rate, seed) as written in the spec; the
+        merge algebra folds in this order, so the merged campaign result
+        is a function of the spec alone — never of which tasks happened
+        to be cached or of worker scheduling.
+        """
+        tasks: List[CampaignTask] = []
+        for kernel in self.kernels:
+            spec = KERNEL_REGISTRY[kernel]
+            threshold = self.threshold_for(kernel)
+            for error_rate in self.error_rates:
+                for seed in self.seeds:
+                    shard = SeedShardTask(
+                        factory=spec.default_factory,
+                        threshold=threshold,
+                        error_rate=error_rate,
+                        seed=seed,
+                        collect_telemetry=self.collect_telemetry,
+                    )
+                    key = seed_shard_key(shard)
+                    assert key is not None  # registry factories are stable
+                    tasks.append(
+                        CampaignTask(
+                            kernel=kernel,
+                            threshold=threshold,
+                            error_rate=error_rate,
+                            seed=seed,
+                            key=key,
+                            shard=shard,
+                        )
+                    )
+        return tasks
+
+    # ------------------------------------------------------------ transport
+    def to_dict(self) -> dict:
+        document = {
+            "schema": CAMPAIGN_SCHEMA,
+            "name": self.name,
+            "kernels": list(self.kernels),
+            "error_rates": list(self.error_rates),
+            "seeds": list(self.seeds),
+        }
+        if self.thresholds:
+            document["thresholds"] = dict(self.thresholds)
+        if self.collect_telemetry:
+            document["collect_telemetry"] = True
+        return document
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        if not isinstance(data, dict):
+            raise CampaignError("campaign spec must be a JSON object")
+        schema = data.get("schema", CAMPAIGN_SCHEMA)
+        if schema != CAMPAIGN_SCHEMA:
+            raise CampaignError(
+                f"campaign spec schema {schema!r} is not supported "
+                f"(this build reads schema {CAMPAIGN_SCHEMA})"
+            )
+        known = {
+            "schema",
+            "name",
+            "kernels",
+            "error_rates",
+            "seeds",
+            "thresholds",
+            "collect_telemetry",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise CampaignError(
+                f"unknown campaign spec field(s) {unknown}; known: "
+                f"{sorted(known)}"
+            )
+        try:
+            return cls(
+                name=str(data["name"]),
+                kernels=tuple(str(k) for k in data["kernels"]),
+                error_rates=tuple(
+                    float(r) for r in data.get("error_rates", (0.0,))
+                ),
+                seeds=tuple(int(s) for s in data.get("seeds", (1, 2, 3, 4, 5))),
+                thresholds=(
+                    {str(k): float(v) for k, v in data["thresholds"].items()}
+                    if data.get("thresholds")
+                    else None
+                ),
+                collect_telemetry=bool(data.get("collect_telemetry", False)),
+            )
+        except KeyError as exc:
+            raise CampaignError(f"campaign spec is missing field {exc}") from None
+        except (TypeError, ValueError) as exc:
+            raise CampaignError(f"malformed campaign spec: {exc}") from None
+
+    @classmethod
+    def from_file(cls, path: str) -> "CampaignSpec":
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            raise CampaignError(f"campaign spec {path!r} does not exist") from None
+        except json.JSONDecodeError as exc:
+            raise CampaignError(
+                f"campaign spec {path!r} is not valid JSON: {exc}"
+            ) from None
+        return cls.from_dict(data)
+
+
+@dataclass
+class CampaignPlan:
+    """The diff of a spec against a store: what is durable, what is not."""
+
+    spec: CampaignSpec
+    tasks: List[CampaignTask] = field(default_factory=list)
+    cached: List[CampaignTask] = field(default_factory=list)
+    pending: List[CampaignTask] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "fingerprint": self.spec.fingerprint(),
+            "total": self.total,
+            "cached": len(self.cached),
+            "pending": len(self.pending),
+        }
+
+
+def plan_campaign(spec: CampaignSpec, store: ResultStore) -> CampaignPlan:
+    """Diff ``spec``'s grid against ``store``: only missing (or damaged)
+    blobs become pending tasks.
+
+    Planning reads through the store's verifying ``get``, so a corrupt
+    blob counts as pending — the runner recomputes and rewrites it.
+    """
+    plan = CampaignPlan(spec=spec)
+    plan.tasks = spec.tasks()
+    for task in plan.tasks:
+        if store.get(task.key) is not None:
+            plan.cached.append(task)
+        else:
+            plan.pending.append(task)
+    return plan

@@ -1,0 +1,337 @@
+"""Content-addressed result store: atomic JSON blobs + an LRU front.
+
+The store maps a canonical cache key (:mod:`repro.campaign.keys`) to a
+JSON payload on disk.  Layout under the store root (``.repro-cache/``
+by default)::
+
+    .repro-cache/
+      objects/<k[:2]>/<key>.json     one envelope per result
+      campaigns/<name>/manifest.json campaign checkpoints (runner)
+
+Each blob is an *envelope* — schema version, the full key, a SHA-256
+integrity hash of the canonical payload, optional provenance metadata,
+and the payload itself.  Writes go through the atomic-rename helper
+(:mod:`repro.utils.io`), so a killed process never leaves a torn blob
+and two processes racing on one key both land complete envelopes (last
+rename wins; the payloads are deterministic, so either is correct).
+Reads verify the envelope end to end; any damage — truncation, JSON
+rot, key or hash mismatch, schema drift — demotes the entry to a miss,
+deletes the bad file, and lets the caller recompute and rewrite.
+
+A small in-memory LRU front avoids re-reading hot blobs during a
+sweep; `cache.hit` / `cache.miss` / `cache.write` / `cache.evict` /
+`cache.corrupt` counters live in the store's own metrics registry, and
+disk reads/writes are attributed to the ambient host-phase profiler
+(:mod:`repro.tracing.profile`) as ``store.read`` / ``store.write``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from ..errors import StoreError
+from ..telemetry.registry import MetricsRegistry, MetricsSnapshot
+from ..tracing import profile
+from ..utils.io import atomic_writer
+from .keys import SCHEMA_VERSION, content_hash
+
+#: Default store directory, relative to the working directory.
+DEFAULT_STORE_DIR = ".repro-cache"
+
+#: Host-profiler phase names for store disk traffic.
+PHASE_STORE_READ = "store.read"
+PHASE_STORE_WRITE = "store.write"
+
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+@dataclass
+class StoreStats:
+    """Point-in-time view of one store (disk census + session counters)."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+    writes: int
+    evictions: int
+    corrupt: int
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+        }
+
+
+@dataclass
+class GcReport:
+    """What one :meth:`ResultStore.gc` pass removed and kept."""
+
+    removed: int = 0
+    removed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+    removed_keys: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "removed": self.removed,
+            "removed_bytes": self.removed_bytes,
+            "kept": self.kept,
+            "kept_bytes": self.kept_bytes,
+        }
+
+
+class ResultStore:
+    """Durable key -> JSON-payload store with integrity verification.
+
+    ``lru_capacity`` bounds the in-memory front (0 disables it);
+    ``registry`` lets callers aggregate the ``cache.*`` counters into a
+    wider telemetry registry (the store builds its own otherwise).
+    """
+
+    def __init__(
+        self,
+        root: str = DEFAULT_STORE_DIR,
+        lru_capacity: int = 256,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if lru_capacity < 0:
+            raise StoreError("lru_capacity cannot be negative")
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.lru_capacity = lru_capacity
+        self._lru: "OrderedDict[str, dict]" = OrderedDict()
+        # Explicit None test: an empty registry is falsy (it has __len__).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hits = self.registry.counter("cache.hit")
+        self._misses = self.registry.counter("cache.miss")
+        self._writes = self.registry.counter("cache.write")
+        self._evictions = self.registry.counter("cache.evict")
+        self._corrupt = self.registry.counter("cache.corrupt")
+
+    # ---------------------------------------------------------------- paths
+    def _require_key(self, key: str) -> str:
+        if not isinstance(key, str) or not _KEY_RE.match(key):
+            raise StoreError(
+                f"malformed cache key {key!r}; expected a 64-char hex digest"
+            )
+        return key
+
+    def path_for(self, key: str) -> Path:
+        """Blob path of ``key`` (two-level fan-out keeps dirs small)."""
+        key = self._require_key(key)
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # ----------------------------------------------------------------- read
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def get(self, key: str) -> Optional[dict]:
+        """The payload stored under ``key``, or ``None`` on a miss.
+
+        A corrupt blob (torn write survivor, bit rot, schema drift) is
+        deleted and reported as a miss so the caller recomputes and
+        rewrites it.
+        """
+        key = self._require_key(key)
+        cached = self._lru.get(key)
+        if cached is not None:
+            self._lru.move_to_end(key)
+            self._hits.inc()
+            return cached
+        path = self.path_for(key)
+        profiler = profile.current()
+        started = time.perf_counter() if profiler is not None else 0.0
+        try:
+            payload = self._read_verified(key, path)
+        finally:
+            if profiler is not None:
+                profiler.add(PHASE_STORE_READ, time.perf_counter() - started)
+        if payload is None:
+            self._misses.inc()
+            return None
+        self._hits.inc()
+        self._remember(key, payload)
+        return payload
+
+    def _read_verified(self, key: str, path: Path) -> Optional[dict]:
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema") != SCHEMA_VERSION
+            or envelope.get("key") != key
+            or "payload" not in envelope
+        ):
+            self._quarantine(path)
+            return None
+        payload = envelope["payload"]
+        try:
+            if envelope.get("payload_sha256") != content_hash(payload):
+                self._quarantine(path)
+                return None
+        except StoreError:
+            self._quarantine(path)
+            return None
+        return payload
+
+    def _quarantine(self, path: Path) -> None:
+        """Drop a damaged blob so the slot reads as a clean miss."""
+        self._corrupt.inc()
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # ---------------------------------------------------------------- write
+    def put(self, key: str, payload: dict, meta: Optional[dict] = None) -> Path:
+        """Store ``payload`` under ``key`` atomically; returns the path."""
+        key = self._require_key(key)
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "payload_sha256": content_hash(payload),
+            "created_utc": time.time(),
+            "meta": meta or {},
+            "payload": payload,
+        }
+        path = self.path_for(key)
+        profiler = profile.current()
+        started = time.perf_counter() if profiler is not None else 0.0
+        try:
+            with atomic_writer(str(path)) as handle:
+                json.dump(envelope, handle, sort_keys=True)
+                handle.write("\n")
+        finally:
+            if profiler is not None:
+                profiler.add(PHASE_STORE_WRITE, time.perf_counter() - started)
+        self._writes.inc()
+        self._remember(key, payload)
+        return path
+
+    def _remember(self, key: str, payload: dict) -> None:
+        if self.lru_capacity == 0:
+            return
+        self._lru[key] = payload
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.lru_capacity:
+            self._lru.popitem(last=False)
+            self._evictions.inc()
+
+    # ---------------------------------------------------------- maintenance
+    def _blob_paths(self) -> List[Path]:
+        if not self.objects_dir.is_dir():
+            return []
+        return sorted(self.objects_dir.glob("*/*.json"))
+
+    def keys(self) -> List[str]:
+        """Every key with a blob on disk (unverified), sorted."""
+        return [path.stem for path in self._blob_paths()]
+
+    def stats(self) -> StoreStats:
+        """Disk census plus this session's cache counters."""
+        paths = self._blob_paths()
+        total = 0
+        for path in paths:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return StoreStats(
+            root=str(self.root),
+            entries=len(paths),
+            total_bytes=total,
+            hits=self._hits.value,
+            misses=self._misses.value,
+            writes=self._writes.value,
+            evictions=self._evictions.value,
+            corrupt=self._corrupt.value,
+        )
+
+    def gc(
+        self,
+        max_age_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> GcReport:
+        """Expire old blobs and/or shrink the store under a byte budget.
+
+        ``max_age_s`` removes blobs older than the horizon (by mtime);
+        ``max_bytes`` then evicts oldest-first until the store fits.
+        With neither bound this only removes corrupt blobs.  The LRU
+        front is cleared so reads re-verify against the surviving disk
+        state.
+        """
+        report = GcReport()
+        now = time.time()
+        survivors = []  # (mtime, size, path)
+        for path in self._blob_paths():
+            key = path.stem
+            if self._read_verified(key, path) is None:
+                # _read_verified already unlinked the corrupt blob.
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if max_age_s is not None and now - stat.st_mtime > max_age_s:
+                self._remove(path, stat.st_size, report)
+            else:
+                survivors.append((stat.st_mtime, stat.st_size, path))
+        if max_bytes is not None:
+            survivors.sort()  # oldest first
+            total = sum(size for _, size, _ in survivors)
+            while survivors and total > max_bytes:
+                _, size, path = survivors.pop(0)
+                self._remove(path, size, report)
+                total -= size
+        report.kept = len(survivors)
+        report.kept_bytes = sum(size for _, size, _ in survivors)
+        self._lru.clear()
+        return report
+
+    def _remove(self, path: Path, size: int, report: GcReport) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            return
+        self._evictions.inc()
+        report.removed += 1
+        report.removed_bytes += size
+        report.removed_keys.append(path.stem)
+
+    # ------------------------------------------------------------ telemetry
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """The store's ``cache.*`` counters as a mergeable snapshot."""
+        return self.registry.snapshot()
+
+    def counter_values(self) -> dict:
+        """Plain ``{hit, miss, write, evict, corrupt}`` counter values."""
+        return {
+            "hit": self._hits.value,
+            "miss": self._misses.value,
+            "write": self._writes.value,
+            "evict": self._evictions.value,
+            "corrupt": self._corrupt.value,
+        }

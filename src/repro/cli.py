@@ -41,29 +41,66 @@ from .telemetry import build_manifest, render_dashboard, write_run_jsonl
 from .utils.tables import format_table
 
 #: Experiment ids accepted by ``repro experiment``.  Every entry takes
-#: the worker count; drivers without a parallel axis ignore it.
+#: the worker count and an optional result store; drivers without a
+#: parallel or cacheable axis ignore them.
 EXPERIMENTS = {
-    "fig2": lambda jobs=1: exp.run_fig2_to_5_psnr("Sobel", "face").to_text(),
-    "fig3": lambda jobs=1: exp.run_fig2_to_5_psnr("Gaussian", "face").to_text(),
-    "fig4": lambda jobs=1: exp.run_fig2_to_5_psnr("Sobel", "book").to_text(),
-    "fig5": lambda jobs=1: exp.run_fig2_to_5_psnr("Gaussian", "book").to_text(),
-    "fig6": lambda jobs=1: "\n\n".join(
+    "fig2": lambda jobs=1, store=None: exp.run_fig2_to_5_psnr(
+        "Sobel", "face"
+    ).to_text(),
+    "fig3": lambda jobs=1, store=None: exp.run_fig2_to_5_psnr(
+        "Gaussian", "face"
+    ).to_text(),
+    "fig4": lambda jobs=1, store=None: exp.run_fig2_to_5_psnr(
+        "Sobel", "book"
+    ).to_text(),
+    "fig5": lambda jobs=1, store=None: exp.run_fig2_to_5_psnr(
+        "Gaussian", "book"
+    ).to_text(),
+    "fig6": lambda jobs=1, store=None: "\n\n".join(
         r.to_text() for r in exp.run_fig6_7_hit_rates("Sobel").values()
     ),
-    "fig7": lambda jobs=1: "\n\n".join(
+    "fig7": lambda jobs=1, store=None: "\n\n".join(
         r.to_text() for r in exp.run_fig6_7_hit_rates("Gaussian").values()
     ),
-    "fig8": lambda jobs=1: exp.run_fig8_kernel_hit_rates().to_text(),
-    "fig10": lambda jobs=1: exp.run_fig10_energy_vs_error_rate(
-        jobs=jobs
+    "fig8": lambda jobs=1, store=None: exp.run_fig8_kernel_hit_rates().to_text(),
+    "fig10": lambda jobs=1, store=None: exp.run_fig10_energy_vs_error_rate(
+        jobs=jobs, store=store
     ).to_text(),
-    "fig11": lambda jobs=1: exp.run_fig11_voltage_overscaling(
-        jobs=jobs
+    "fig11": lambda jobs=1, store=None: exp.run_fig11_voltage_overscaling(
+        jobs=jobs, store=store
     ).to_text(),
-    "table1": lambda jobs=1: exp.run_table1(),
-    "table2": lambda jobs=1: exp.run_table2_state_machine(),
-    "fifo-depth": lambda jobs=1: exp.run_fifo_depth_study(jobs=jobs).to_text(),
+    "table1": lambda jobs=1, store=None: exp.run_table1(),
+    "table2": lambda jobs=1, store=None: exp.run_table2_state_machine(),
+    "fifo-depth": lambda jobs=1, store=None: exp.run_fifo_depth_study(
+        jobs=jobs, store=store
+    ).to_text(),
 }
+
+
+def _add_cache_arguments(parser) -> None:
+    """The shared ``--cache`` / ``--cache-dir`` result-store options."""
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="read/write sweep results through the content-addressed "
+        "result store (default directory: .repro-cache)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result-store directory (implies --cache)",
+    )
+
+
+def _build_store(args):
+    """The result store the flags ask for, or ``None`` (the default)."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if not getattr(args, "cache", False) and cache_dir is None:
+        return None
+    from .campaign import DEFAULT_STORE_DIR, ResultStore
+
+    return ResultStore(cache_dir or DEFAULT_STORE_DIR)
 
 
 def _parse_seeds(text: str) -> tuple:
@@ -144,6 +181,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="attribute host wall time to simulator phases and print the "
         "phase report",
     )
+    _add_cache_arguments(run)
 
     trace = sub.add_parser(
         "trace",
@@ -222,6 +260,76 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="capture host-phase wall-time attribution across the "
         "experiment's runs and print the phase report",
+    )
+    _add_cache_arguments(experiment)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="durable multi-seed measurement campaigns with crash-safe "
+        "resume (see docs/campaigns.md)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run a campaign spec (skipping already-durable shards)"
+    )
+    campaign_resume = campaign_sub.add_parser(
+        "resume",
+        help="resume an interrupted campaign (requires its checkpoint "
+        "manifest; otherwise identical to 'run')",
+    )
+    for sub_parser in (campaign_run, campaign_resume):
+        sub_parser.add_argument("spec", help="campaign spec JSON file")
+        sub_parser.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            default=None,
+            help="result-store directory (default: .repro-cache)",
+        )
+        sub_parser.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes (1 = serial, 0 = one per CPU); the "
+            "merged result is identical either way",
+        )
+        sub_parser.add_argument(
+            "--max-shards",
+            type=int,
+            default=None,
+            help="stop after computing this many shards (partial run; "
+            "resume later)",
+        )
+        sub_parser.add_argument(
+            "--result",
+            metavar="PATH",
+            default=None,
+            help="write the merged campaign result JSON here when complete",
+        )
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="show cached/pending counts for a campaign spec"
+    )
+    campaign_status.add_argument("spec", help="campaign spec JSON file")
+    campaign_status.add_argument(
+        "--cache-dir", metavar="DIR", default=None
+    )
+
+    campaign_gc = campaign_sub.add_parser(
+        "gc", help="verify, expire and shrink the result store"
+    )
+    campaign_gc.add_argument("--cache-dir", metavar="DIR", default=None)
+    campaign_gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="remove blobs older than this many days",
+    )
+    campaign_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="evict oldest blobs until the store fits this byte budget",
     )
 
     metrics = sub.add_parser(
@@ -393,6 +501,7 @@ def _cmd_run_multiseed(args, out) -> int:
     spec = KERNEL_REGISTRY[args.kernel]
     threshold = args.threshold if args.threshold is not None else spec.threshold
     seeds = _parse_seeds(args.seeds)
+    store = _build_store(args)
     started = time.perf_counter()
     measurement = measure_with_seeds(
         spec.default_factory,
@@ -401,6 +510,7 @@ def _cmd_run_multiseed(args, out) -> int:
         seeds=seeds,
         collect_telemetry=args.emit_json is not None,
         jobs=args.jobs,
+        store=store,
     )
     engine = measurement.engine
     mode = "serial" if engine.serial else f"{engine.workers} workers"
@@ -411,6 +521,13 @@ def _cmd_run_multiseed(args, out) -> int:
     )
     print(f"  saving   {measurement.saving}", file=out)
     print(f"  hit rate {measurement.hit_rate}", file=out)
+    if store is not None:
+        counts = store.counter_values()
+        print(
+            f"  cache    {counts['hit']} cached, {counts['write']} computed "
+            f"({store.root})",
+            file=out,
+        )
     if args.profile:
         from .tracing.profile import format_phase_report
 
@@ -454,6 +571,12 @@ def _cmd_run(args, out) -> int:
 
     if args.seeds is not None:
         return _cmd_run_multiseed(args, out)
+    if args.cache or args.cache_dir is not None:
+        print(
+            "note: --cache applies to multi-seed measurements (--seeds) "
+            "and experiments; a single validated run is not cached",
+            file=out,
+        )
     spec = KERNEL_REGISTRY[args.kernel]
     config = _run_config(args)
     started = time.perf_counter()
@@ -623,17 +746,26 @@ def _cmd_experiment(args, out) -> int:
         return 2
     started = time.perf_counter()
     outputs = {}
+    store = _build_store(args)
     from .tracing import profile
 
     with profile.capture() as profiler:
         for exp_id in selected:
-            text = EXPERIMENTS[exp_id](jobs=args.jobs)
+            text = EXPERIMENTS[exp_id](jobs=args.jobs, store=store)
             outputs[exp_id] = text
             if len(selected) > 1:
                 print(f"=== {exp_id} ===", file=out)
             print(text, file=out)
             if len(selected) > 1:
                 print(file=out)
+    if store is not None:
+        counts = store.counter_values()
+        print(
+            f"cache: {counts['hit']} cached points, {counts['write']} "
+            f"computed ({store.root})",
+            file=out,
+        )
+        print(file=out)
     if args.profile:
         from .tracing.profile import format_phase_report
 
@@ -645,15 +777,103 @@ def _cmd_experiment(args, out) -> int:
         )
         print(file=out)
     if args.emit_json:
+        extra = {"experiments": selected, "jobs": args.jobs}
+        if store is not None:
+            extra["cache"] = store.counter_values()
         manifest = build_manifest(
             f"experiment:{args.id}",
             wall_time_s=time.perf_counter() - started,
-            extra={"experiments": selected, "jobs": args.jobs},
+            extra=extra,
         )
         with open(args.emit_json, "w") as f:
             json.dump({"manifest": manifest, "outputs": outputs}, f, indent=2)
             f.write("\n")
         print(f"telemetry written to {args.emit_json}", file=out)
+    return 0
+
+
+def _cmd_campaign(args, out) -> int:
+    from .campaign import (
+        DEFAULT_STORE_DIR,
+        CampaignSpec,
+        ResultStore,
+        campaign_status,
+        manifest_path,
+        read_campaign_manifest,
+        run_campaign,
+    )
+
+    store = ResultStore(args.cache_dir or DEFAULT_STORE_DIR)
+
+    if args.campaign_command == "gc":
+        max_age_s = (
+            args.max_age_days * 86400.0 if args.max_age_days is not None else None
+        )
+        report = store.gc(max_age_s=max_age_s, max_bytes=args.max_bytes)
+        print(
+            f"gc({store.root}): removed {report.removed} blobs "
+            f"({report.removed_bytes} bytes), kept {report.kept} "
+            f"({report.kept_bytes} bytes)",
+            file=out,
+        )
+        return 0
+
+    spec = CampaignSpec.from_file(args.spec)
+
+    if args.campaign_command == "status":
+        status = campaign_status(spec, store)
+        print(
+            f"campaign {spec.name}: {status['cached']}/{status['total']} "
+            f"shards durable, {status['pending']} pending ({store.root})",
+            file=out,
+        )
+        manifest = status.get("manifest")
+        if manifest:
+            stale = "" if manifest["fingerprint_matches"] else " (SPEC CHANGED)"
+            print(
+                f"  last checkpoint: {manifest['status']}{stale} at "
+                f"{manifest['updated_utc']}",
+                file=out,
+            )
+        return 0
+
+    if args.campaign_command == "resume":
+        if read_campaign_manifest(store, spec) is None:
+            print(
+                f"error: no checkpoint manifest for campaign "
+                f"{spec.name!r} under {store.root} "
+                f"(expected {manifest_path(store, spec)}); "
+                "use 'repro campaign run' to start it",
+                file=out,
+            )
+            return 1
+
+    report = run_campaign(
+        spec, store, jobs=args.jobs, max_shards=args.max_shards
+    )
+    state = "complete" if report.complete else "partial"
+    print(
+        f"campaign {spec.name}: {state} — {report.cached} shards cached, "
+        f"{report.computed} computed of {report.total} "
+        f"({report.wall_time_s:.2f}s, {store.root})",
+        file=out,
+    )
+    if report.result is not None:
+        for point in report.result.points:
+            print(
+                f"  {point.kernel:<15} rate={point.error_rate:<6g} "
+                f"saving {point.saving} hit rate {point.hit_rate}",
+                file=out,
+            )
+        if args.result:
+            report.result.write(args.result)
+            print(f"merged result written to {args.result}", file=out)
+    elif args.result:
+        print(
+            f"campaign is partial; no merged result written to {args.result} "
+            "(resume to completion first)",
+            file=out,
+        )
     return 0
 
 
@@ -762,6 +982,8 @@ def _dispatch(args, out) -> int:
         return _cmd_trace(args, out)
     if args.command == "experiment":
         return _cmd_experiment(args, out)
+    if args.command == "campaign":
+        return _cmd_campaign(args, out)
     if args.command == "metrics":
         return _cmd_metrics(args, out)
     if args.command == "locality":

@@ -84,5 +84,13 @@ class ParallelExecutionError(ReproError):
     """A sharded measurement failed inside the process-pool engine."""
 
 
+class CampaignError(ReproError):
+    """Invalid campaign spec, plan, or runner misuse."""
+
+
+class StoreError(CampaignError):
+    """Misuse of the content-addressed result store."""
+
+
 class ImageError(ReproError):
     """Image synthesis or I/O failure."""

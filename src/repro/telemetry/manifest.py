@@ -18,6 +18,7 @@ from datetime import datetime, timezone
 from typing import Optional
 
 from ..config import SimConfig
+from ..utils.io import atomic_write_json
 from .registry import MetricsSnapshot
 
 #: Manifest layout version.
@@ -82,10 +83,11 @@ def build_manifest(
 
 
 def write_manifest(path: str, manifest: dict) -> None:
-    """Write a manifest as pretty-printed JSON next to the results."""
-    with open(path, "w") as f:
-        json.dump(manifest, f, indent=2, sort_keys=False)
-        f.write("\n")
+    """Write a manifest as pretty-printed JSON next to the results.
+
+    Written atomically so a crash never leaves a torn manifest.
+    """
+    atomic_write_json(path, manifest, indent=2)
 
 
 def read_manifest(path: str) -> dict:

@@ -16,6 +16,7 @@ import json
 from typing import Iterable, List, Optional, Sequence
 
 from ..errors import TelemetryError
+from ..utils.io import atomic_writer
 from .events import TelemetryEvent
 from .registry import MetricsSnapshot
 
@@ -36,7 +37,7 @@ def snapshot_to_rows(snapshot: MetricsSnapshot) -> List[tuple]:
 
 def write_metrics_csv(path: str, snapshot: MetricsSnapshot) -> None:
     """Write the flat scalar view as ``path,kind,value`` CSV."""
-    with open(path, "w", newline="") as f:
+    with atomic_writer(path, newline="") as f:
         writer = csv.writer(f)
         writer.writerow(["path", "kind", "value"])
         writer.writerows(snapshot_to_rows(snapshot))
@@ -48,9 +49,13 @@ def write_run_jsonl(
     snapshot: Optional[MetricsSnapshot] = None,
     events: Iterable[TelemetryEvent] = (),
 ) -> int:
-    """Write one run as typed JSONL records; returns the line count."""
+    """Write one run as typed JSONL records; returns the line count.
+
+    The file appears atomically (temp + fsync + rename), so a crash
+    mid-write never leaves a truncated record stream behind.
+    """
     lines = 0
-    with open(path, "w") as f:
+    with atomic_writer(path) as f:
         if manifest is not None:
             f.write(json.dumps({"type": "manifest", **manifest}) + "\n")
             lines += 1

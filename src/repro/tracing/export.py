@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 from typing import List, Optional
 
+from ..utils.io import atomic_writer
 from .timeline import TimelineTracer
 
 
@@ -76,9 +77,14 @@ def write_chrome_trace(
     label: Optional[str] = None,
     indent: Optional[int] = None,
 ) -> int:
-    """Write the Perfetto-loadable trace file; returns the event count."""
+    """Write the Perfetto-loadable trace file; returns the event count.
+
+    Written atomically (temp + fsync + rename): traces can be large and
+    slow to serialize, and a killed run must not leave a torn JSON
+    document that Perfetto refuses to load.
+    """
     document = chrome_trace_dict(tracer, label)
-    with open(path, "w") as f:
+    with atomic_writer(path) as f:
         json.dump(document, f, indent=indent)
         f.write("\n")
     return len(document["traceEvents"])
@@ -91,7 +97,7 @@ def write_trace_jsonl(
 ) -> int:
     """Write typed JSONL trace records; returns the line count."""
     lines = 0
-    with open(path, "w") as f:
+    with atomic_writer(path) as f:
         if manifest is not None:
             f.write(json.dumps({"type": "manifest", **manifest}) + "\n")
             lines += 1

@@ -1,5 +1,6 @@
-"""Shared utilities: float32 bit manipulation, RNG streams, text rendering."""
+"""Shared utilities: float32 bits, RNG streams, text tables, atomic I/O."""
 
+from .io import atomic_write_json, atomic_write_text, atomic_writer
 from .bitops import (
     FRACTION_BITS,
     bits_to_float32,
@@ -13,6 +14,9 @@ from .rng import RngStream, split_seed
 from .tables import format_series, format_table
 
 __all__ = [
+    "atomic_writer",
+    "atomic_write_json",
+    "atomic_write_text",
     "FRACTION_BITS",
     "bits_to_float32",
     "float32_to_bits",

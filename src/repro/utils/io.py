@@ -1,0 +1,62 @@
+"""Crash-safe file writing: temp file + fsync + atomic rename.
+
+Every artifact this package writes (telemetry JSON/JSONL/CSV, run
+manifests, Chrome traces, result-store blobs) is the kind of file a
+reader may pick up weeks later — so a crash mid-write must never leave
+a truncated or torn document behind.  :func:`atomic_writer` provides
+the standard POSIX recipe: write to a temporary file in the *same
+directory* (same filesystem, so the rename is atomic), flush and fsync
+it, then ``os.replace`` it over the destination.  Readers therefore
+see either the old complete file or the new complete file, never a
+partial one; concurrent writers race safely (last rename wins, both
+candidates are complete documents).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import Iterator, Optional, TextIO
+
+
+@contextmanager
+def atomic_writer(path: str, newline: Optional[str] = None) -> Iterator[TextIO]:
+    """Yield a text file handle whose contents replace ``path`` atomically.
+
+    On a clean exit the temp file is fsynced and renamed over ``path``;
+    on an exception the temp file is removed and ``path`` is untouched.
+    ``newline`` is forwarded to the underlying open (CSV writers pass
+    ``""``).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", newline=newline) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Replace ``path`` with ``text`` atomically."""
+    with atomic_writer(path) as handle:
+        handle.write(text)
+
+
+def atomic_write_json(path: str, document, indent=2, sort_keys: bool = False) -> None:
+    """Replace ``path`` with ``document`` as JSON atomically."""
+    with atomic_writer(path) as handle:
+        json.dump(document, handle, indent=indent, sort_keys=sort_keys)
+        handle.write("\n")

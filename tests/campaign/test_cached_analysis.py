@@ -1,0 +1,107 @@
+"""Store-enabled analysis paths must equal the storeless ones exactly.
+
+``measure_with_seeds`` and the sweep drivers accept an optional
+``store``; with one, previously computed shards/points load from blobs
+instead of simulating.  These tests pin the contract: same numbers with
+or without the store, and a warm second pass that is all cache hits.
+"""
+
+import dataclasses
+
+from repro.analysis.multirun import measure_with_seeds
+from repro.analysis.sweep import error_rate_sweep, threshold_sweep
+from repro.campaign import ResultStore
+from repro.kernels.registry import KERNEL_REGISTRY
+
+HAAR = KERNEL_REGISTRY["Haar"].default_factory
+HAAR_THRESHOLD = KERNEL_REGISTRY["Haar"].threshold
+
+
+class TestMeasureWithSeeds:
+    def test_store_does_not_change_the_measurement(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        plain = measure_with_seeds(
+            HAAR, HAAR_THRESHOLD, error_rate=0.1, seeds=(1, 2)
+        )
+        stored = measure_with_seeds(
+            HAAR, HAAR_THRESHOLD, error_rate=0.1, seeds=(1, 2), store=store
+        )
+        assert stored.saving == plain.saving
+        assert stored.hit_rate == plain.hit_rate
+        assert stored.counters == plain.counters
+        assert stored.lut_stats == plain.lut_stats
+        assert stored.ecu_stats == plain.ecu_stats
+
+    def test_second_pass_is_all_hits(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        first = measure_with_seeds(
+            HAAR, HAAR_THRESHOLD, error_rate=0.1, seeds=(1, 2), store=store
+        )
+        assert store.counter_values()["write"] == 2
+        second = measure_with_seeds(
+            HAAR, HAAR_THRESHOLD, error_rate=0.1, seeds=(1, 2), store=store
+        )
+        assert store.counter_values()["miss"] == 2  # only the cold pass
+        assert second.saving == first.saving
+
+    def test_seed_superset_reuses_the_overlap(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        measure_with_seeds(
+            HAAR, HAAR_THRESHOLD, error_rate=0.1, seeds=(1, 2), store=store
+        )
+        grown = measure_with_seeds(
+            HAAR, HAAR_THRESHOLD, error_rate=0.1, seeds=(1, 2, 3), store=store
+        )
+        assert store.counter_values()["write"] == 3  # only seed 3 computed
+        plain = measure_with_seeds(
+            HAAR, HAAR_THRESHOLD, error_rate=0.1, seeds=(1, 2, 3)
+        )
+        assert grown.saving == plain.saving
+
+    def test_uncacheable_factory_still_works(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        lam = lambda: HAAR()  # noqa: E731 - deliberately identity-free
+        measurement = measure_with_seeds(
+            lam, HAAR_THRESHOLD, error_rate=0.1, seeds=(1,), store=store
+        )
+        assert measurement.saving.samples == 1
+        assert store.counter_values()["write"] == 0  # nothing cached
+
+    def test_telemetry_snapshot_round_trips_through_store(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        cold = measure_with_seeds(
+            HAAR, HAAR_THRESHOLD, error_rate=0.1, seeds=(1,),
+            collect_telemetry=True, store=store,
+        )
+        warm = measure_with_seeds(
+            HAAR, HAAR_THRESHOLD, error_rate=0.1, seeds=(1,),
+            collect_telemetry=True, store=store,
+        )
+        assert warm.telemetry is not None
+        assert warm.telemetry.counters == cold.telemetry.counters
+
+
+class TestSweeps:
+    def test_threshold_sweep_with_store_matches_without(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        thresholds = (0.0, HAAR_THRESHOLD)
+        plain = threshold_sweep(HAAR, thresholds)
+        cold = threshold_sweep(HAAR, thresholds, store=store)
+        warm = threshold_sweep(HAAR, thresholds, store=store)
+        assert [dataclasses.asdict(p) for p in cold] == [
+            dataclasses.asdict(p) for p in plain
+        ]
+        assert [dataclasses.asdict(p) for p in warm] == [
+            dataclasses.asdict(p) for p in plain
+        ]
+        counts = store.counter_values()
+        assert counts["write"] == 2 and counts["hit"] == 2
+
+    def test_error_rate_sweep_with_store_matches_without(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        rates = (0.0, 0.1)
+        plain = error_rate_sweep(HAAR, rates, HAAR_THRESHOLD)
+        cold = error_rate_sweep(HAAR, rates, HAAR_THRESHOLD, store=store)
+        assert [dataclasses.asdict(p) for p in cold] == [
+            dataclasses.asdict(p) for p in plain
+        ]

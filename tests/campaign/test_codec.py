@@ -1,0 +1,94 @@
+"""Tests for the store payload codecs — round trips must be exact."""
+
+import json
+
+import pytest
+
+from repro.analysis.multirun import SeedShardTask, run_seed_shard
+from repro.analysis.sweep import SweepPoint
+from repro.campaign.codec import (
+    decode_seed_shard,
+    decode_sweep_point,
+    encode_seed_shard,
+    encode_sweep_point,
+    fill_missing_units,
+)
+from repro.errors import StoreError
+from repro.isa.opcodes import UnitKind
+from repro.kernels.registry import KERNEL_REGISTRY
+
+
+def haar_shard(collect_telemetry: bool = False):
+    return run_seed_shard(
+        SeedShardTask(
+            factory=KERNEL_REGISTRY["Haar"].default_factory,
+            threshold=KERNEL_REGISTRY["Haar"].threshold,
+            error_rate=0.1,
+            seed=1,
+            collect_telemetry=collect_telemetry,
+        )
+    )
+
+
+class TestSeedShardCodec:
+    def test_round_trip_is_exact(self):
+        shard = haar_shard()
+        decoded = decode_seed_shard(encode_seed_shard(shard))
+        assert decoded.seed == shard.seed
+        assert decoded.saving == shard.saving  # bit-for-bit
+        assert decoded.hit_rate == shard.hit_rate
+        assert decoded.counters == shard.counters
+        assert {k: vars(v) for k, v in decoded.lut_stats.items()} == {
+            k: vars(v) for k, v in shard.lut_stats.items()
+        }
+        assert decoded.ecu_stats == shard.ecu_stats
+        assert decoded.snapshot is None
+
+    def test_round_trip_survives_json_text(self):
+        shard = haar_shard()
+        payload = json.loads(json.dumps(encode_seed_shard(shard)))
+        decoded = decode_seed_shard(payload)
+        assert decoded.saving == shard.saving
+        assert decoded.counters == shard.counters
+
+    def test_telemetry_snapshot_round_trips(self):
+        shard = haar_shard(collect_telemetry=True)
+        decoded = decode_seed_shard(
+            json.loads(json.dumps(encode_seed_shard(shard)))
+        )
+        assert decoded.snapshot is not None
+        assert decoded.snapshot.counters == shard.snapshot.counters
+
+    def test_undecodable_payload_raises_store_error(self):
+        with pytest.raises(StoreError):
+            decode_seed_shard({"seed": 1})
+        with pytest.raises(StoreError):
+            decode_seed_shard({**encode_seed_shard(haar_shard()), "saving": "x"})
+
+
+class TestSweepPointCodec:
+    def test_round_trip_is_exact(self):
+        point = SweepPoint(
+            x=0.1,
+            hit_rate=0.123456789012345,
+            memo_energy_pj=1e9 + 0.25,
+            baseline_energy_pj=2e9,
+            executed_ops=123456,
+        )
+        decoded = decode_sweep_point(
+            json.loads(json.dumps(encode_sweep_point(point)))
+        )
+        assert decoded == point
+        assert decoded.saving == point.saving
+
+    def test_undecodable_payload_raises_store_error(self):
+        with pytest.raises(StoreError):
+            decode_sweep_point({"x": 1.0})
+
+
+class TestFillMissingUnits:
+    def test_completes_dropped_zero_rows(self):
+        counters, ecu = fill_missing_units({}, {})
+        assert set(counters) == set(UnitKind)
+        assert set(ecu) == set(UnitKind)
+        assert all(c.ops == 0 for c in counters.values())

@@ -1,0 +1,160 @@
+"""Tests for canonical cache keys."""
+
+import pytest
+
+from repro.analysis.multirun import SeedShardTask
+from repro.analysis.sweep import SweepTask
+from repro.config import MemoConfig, TimingConfig
+from repro.errors import StoreError
+from repro.campaign.keys import (
+    canonical_json,
+    canonicalize,
+    content_hash,
+    factory_identity,
+    seed_shard_key,
+    sweep_point_key,
+)
+from repro.kernels.registry import KERNEL_REGISTRY
+
+
+class TestCanonicalize:
+    def test_dict_key_order_ignored(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json(
+            {"b": 2, "a": 1}
+        )
+
+    def test_float_formatting_history_ignored(self):
+        assert canonical_json(0.5) == canonical_json(float("0.50"))
+        assert canonical_json(0.1) == canonical_json(float(repr(0.1)))
+
+    def test_distinct_floats_distinct(self):
+        assert canonical_json(0.1) != canonical_json(0.1 + 1e-12)
+
+    def test_tuple_and_list_equivalent(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_set_order_free(self):
+        assert canonical_json({3, 1, 2}) == canonical_json({2, 3, 1})
+
+    def test_enum_uses_value(self):
+        from repro.isa.opcodes import UnitKind
+
+        assert canonicalize(UnitKind.ADD) == UnitKind.ADD.value
+
+    def test_dataclass_becomes_field_dict(self):
+        memo = MemoConfig(threshold=1.0)
+        canonical = canonicalize(memo)
+        assert isinstance(canonical, dict)
+        assert canonical["threshold"] == (1.0).hex()
+
+    def test_bool_is_not_treated_as_int(self):
+        assert canonical_json(True) != canonical_json(1)
+
+    def test_non_finite_float_rejected(self):
+        with pytest.raises(StoreError):
+            canonicalize(float("nan"))
+        with pytest.raises(StoreError):
+            canonicalize(float("inf"))
+
+    def test_unhashable_object_rejected(self):
+        with pytest.raises(StoreError):
+            canonicalize(object())
+
+    def test_idempotent(self):
+        value = {"a": [0.25, {"b": (1, 2.5)}], "c": None}
+        assert canonical_json(canonicalize(value)) == canonical_json(value)
+
+    def test_content_hash_is_sha256_hex(self):
+        digest = content_hash({"x": 1})
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+
+class TestFactoryIdentity:
+    def test_registry_factory_is_stable(self):
+        factory = KERNEL_REGISTRY["Haar"].default_factory
+        identity = factory_identity(factory)
+        assert identity is not None
+        assert identity == factory_identity(
+            KERNEL_REGISTRY["Haar"].default_factory
+        )
+
+    def test_different_kernels_differ(self):
+        assert factory_identity(
+            KERNEL_REGISTRY["Haar"].default_factory
+        ) != factory_identity(KERNEL_REGISTRY["Sobel"].default_factory)
+
+    def test_module_level_function_named_by_ref(self):
+        identity = factory_identity(content_hash)
+        assert identity == {
+            "kind": "function",
+            "ref": "repro.campaign.keys:content_hash",
+        }
+
+    def test_lambda_has_no_identity(self):
+        assert factory_identity(lambda: None) is None
+
+    def test_closure_has_no_identity(self):
+        def outer():
+            def inner():
+                pass
+
+            return inner
+
+        assert factory_identity(outer()) is None
+
+
+class TestTaskKeys:
+    def _shard(self, **overrides):
+        defaults = dict(
+            factory=KERNEL_REGISTRY["Haar"].default_factory,
+            threshold=0.046,
+            error_rate=0.1,
+            seed=1,
+        )
+        defaults.update(overrides)
+        return SeedShardTask(**defaults)
+
+    def test_seed_shard_key_deterministic(self):
+        assert seed_shard_key(self._shard()) == seed_shard_key(self._shard())
+
+    def test_every_input_moves_the_key(self):
+        base = seed_shard_key(self._shard())
+        assert seed_shard_key(self._shard(seed=2)) != base
+        assert seed_shard_key(self._shard(error_rate=0.2)) != base
+        assert seed_shard_key(self._shard(threshold=1.0)) != base
+        assert seed_shard_key(self._shard(collect_telemetry=True)) != base
+        assert (
+            seed_shard_key(
+                self._shard(factory=KERNEL_REGISTRY["FWT"].default_factory)
+            )
+            != base
+        )
+
+    def test_schema_bump_moves_the_key(self):
+        task = self._shard()
+        assert seed_shard_key(task, schema=1) != seed_shard_key(task, schema=2)
+
+    def test_uncacheable_factory_yields_none(self):
+        assert seed_shard_key(self._shard(factory=lambda: None)) is None
+
+    def test_sweep_point_key_sees_config_fields(self):
+        def point(**overrides):
+            defaults = dict(
+                x=1.0,
+                factory=KERNEL_REGISTRY["Haar"].default_factory,
+                memo=MemoConfig(threshold=1.0),
+                timing=TimingConfig(),
+            )
+            defaults.update(overrides)
+            return SweepTask(**defaults)
+
+        base = sweep_point_key(point())
+        assert sweep_point_key(point()) == base
+        assert (
+            sweep_point_key(point(memo=MemoConfig(threshold=1.0, fifo_depth=4)))
+            != base
+        )
+        assert (
+            sweep_point_key(point(timing=TimingConfig(error_rate=0.1))) != base
+        )

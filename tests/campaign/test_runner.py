@@ -1,0 +1,205 @@
+"""Tests for the resumable campaign runner.
+
+The headline guarantee under test: a campaign that is interrupted (by
+``max_shards`` budgeting or a real SIGKILL mid-run) and then resumed
+merges to a result **byte-identical** to an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    campaign_status,
+    manifest_path,
+    merge_campaign,
+    read_campaign_manifest,
+    run_campaign,
+)
+from repro.errors import CampaignError
+
+
+def tiny_spec(**overrides):
+    defaults = dict(
+        name="tiny", kernels=("Haar",), error_rates=(0.0, 0.1), seeds=(1, 2)
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestRunCampaign:
+    def test_cold_run_computes_everything(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        report = run_campaign(tiny_spec(), store)
+        assert report.complete
+        assert report.computed == 4 and report.cached == 0
+        assert report.result is not None
+        assert len(report.result.points) == 2  # one per error rate
+
+    def test_warm_run_computes_nothing(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        first = run_campaign(tiny_spec(), store)
+        second = run_campaign(tiny_spec(), store)
+        assert second.computed == 0 and second.cached == 4
+        assert second.result.to_json() == first.result.to_json()
+
+    def test_result_json_shape(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        report = run_campaign(tiny_spec(), store)
+        document = json.loads(report.result.to_json())
+        assert document["name"] == "tiny"
+        assert document["fingerprint"] == tiny_spec().fingerprint()
+        point = document["points"][0]
+        assert point["seeds"] == [1, 2]
+        assert point["saving"]["samples"] == 2
+        assert {"counters", "lut_stats", "ecu_stats"} <= set(point["tallies"])
+
+    def test_result_write_is_atomic_file(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        report = run_campaign(tiny_spec(), store)
+        target = tmp_path / "result.json"
+        report.result.write(str(target))
+        assert target.read_text() == report.result.to_json()
+
+    def test_jobs_do_not_change_the_result(self, tmp_path):
+        serial = run_campaign(
+            tiny_spec(), ResultStore(str(tmp_path / "serial"))
+        )
+        parallel = run_campaign(
+            tiny_spec(), ResultStore(str(tmp_path / "parallel")), jobs=2
+        )
+        assert parallel.result.to_json() == serial.result.to_json()
+
+    def test_telemetry_campaign_merges_snapshots(self, tmp_path):
+        spec = tiny_spec(collect_telemetry=True, error_rates=(0.1,))
+        report = run_campaign(spec, ResultStore(str(tmp_path / "cache")))
+        assert report.result.telemetry is not None
+        assert report.result.telemetry["counters"]
+
+
+class TestResume:
+    def test_max_shards_checkpoint_then_resume_bit_identical(self, tmp_path):
+        spec = tiny_spec(seeds=(1, 2, 3))
+        interrupted = ResultStore(str(tmp_path / "interrupted"))
+        partial = run_campaign(spec, interrupted, max_shards=2)
+        assert not partial.complete
+        assert partial.result is None
+        manifest = read_campaign_manifest(interrupted, spec)
+        assert manifest["status"] == "partial"
+        assert manifest["completed"] == 2 and manifest["pending"] == 4
+
+        resumed = run_campaign(spec, interrupted)
+        assert resumed.complete
+        assert resumed.cached == 2 and resumed.computed == 4
+
+        fresh = run_campaign(spec, ResultStore(str(tmp_path / "fresh")))
+        assert resumed.result.to_json() == fresh.result.to_json()
+
+    def test_corrupt_blob_mid_campaign_is_recomputed(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(str(tmp_path / "cache"), lru_capacity=0)
+        first = run_campaign(spec, store)
+        victim = store.path_for(spec.tasks()[1].key)
+        victim.write_text("{definitely torn")
+        again = run_campaign(spec, store)
+        assert again.computed == 1 and again.cached == 3
+        assert again.result.to_json() == first.result.to_json()
+
+    def test_merge_incomplete_campaign_names_missing_shard(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(str(tmp_path / "cache"))
+        run_campaign(spec, store, max_shards=1)
+        with pytest.raises(CampaignError) as excinfo:
+            merge_campaign(spec, store)
+        assert "Haar" in str(excinfo.value)
+
+    def test_sigkill_mid_run_then_resume_bit_identical(self, tmp_path):
+        """Kill a real campaign process and resume from its store."""
+        spec = tiny_spec(
+            name="killme", error_rates=(0.0, 0.05, 0.1, 0.15), seeds=(1, 2, 3)
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        cache = tmp_path / "cache"
+
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "campaign", "run",
+                str(spec_path), "--cache-dir", str(cache),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Wait until at least one shard is durable, then pull the plug.
+            objects = cache / "objects"
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if objects.is_dir() and any(objects.glob("*/*.json")):
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.02)
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=60)
+
+        store = ResultStore(str(cache))
+        assert store.keys(), "no shard became durable before the kill"
+
+        resumed = run_campaign(spec, store)
+        assert resumed.complete
+        fresh = run_campaign(spec, ResultStore(str(tmp_path / "fresh")))
+        assert resumed.result.to_json() == fresh.result.to_json()
+
+
+class TestManifestAndStatus:
+    def test_manifest_checkpoints_are_valid_json_with_provenance(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(str(tmp_path / "cache"))
+        run_campaign(spec, store, jobs=2)
+        manifest = json.loads(manifest_path(store, spec).read_text())
+        assert manifest["name"] == "tiny"
+        assert manifest["fingerprint"] == spec.fingerprint()
+        assert manifest["spec"] == spec.to_dict()
+        assert manifest["status"] == "complete"
+        assert manifest["jobs"] == 2
+        assert manifest["completed"] == 4 and manifest["pending"] == 0
+
+    def test_status_without_manifest(self, tmp_path):
+        status = campaign_status(
+            tiny_spec(), ResultStore(str(tmp_path / "cache"))
+        )
+        assert status["cached"] == 0 and status["pending"] == 4
+        assert "manifest" not in status
+
+    def test_status_after_run(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(str(tmp_path / "cache"))
+        run_campaign(spec, store)
+        status = campaign_status(spec, store)
+        assert status["cached"] == 4 and status["pending"] == 0
+        assert status["manifest"]["status"] == "complete"
+        assert status["manifest"]["fingerprint_matches"]
+
+    def test_status_flags_spec_drift(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        run_campaign(tiny_spec(), store)
+        grown = tiny_spec(seeds=(1, 2, 3))
+        status = campaign_status(grown, store)
+        assert not status["manifest"]["fingerprint_matches"]
+        assert status["cached"] == 4 and status["pending"] == 2

@@ -1,0 +1,168 @@
+"""Tests for campaign specs and the store-diff planner."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    plan_campaign,
+)
+from repro.campaign.codec import encode_seed_shard
+from repro.analysis.multirun import run_seed_shard
+from repro.errors import CampaignError
+from repro.kernels.registry import KERNEL_REGISTRY
+
+
+def tiny_spec(**overrides):
+    defaults = dict(
+        name="tiny", kernels=("Haar",), error_rates=(0.0, 0.1), seeds=(1, 2)
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestValidation:
+    def test_bad_name_rejected(self):
+        for name in ("", "has space", "slash/y", "dots..", "café?"):
+            with pytest.raises(CampaignError):
+                tiny_spec(name=name)
+
+    def test_dashes_and_underscores_allowed(self):
+        assert tiny_spec(name="fig10-nightly_v2").name == "fig10-nightly_v2"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(CampaignError):
+            tiny_spec(kernels=("Mandelbrot",))
+
+    def test_empty_grid_axes_rejected(self):
+        with pytest.raises(CampaignError):
+            tiny_spec(kernels=())
+        with pytest.raises(CampaignError):
+            tiny_spec(error_rates=())
+        with pytest.raises(CampaignError):
+            tiny_spec(seeds=())
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(CampaignError):
+            tiny_spec(seeds=(1, 1))
+
+    def test_threshold_override_must_name_listed_kernel(self):
+        with pytest.raises(CampaignError):
+            tiny_spec(thresholds={"Sobel": 1.0})
+
+
+class TestThresholdsAndFingerprint:
+    def test_default_threshold_from_table1(self):
+        assert tiny_spec().threshold_for("Haar") == (
+            KERNEL_REGISTRY["Haar"].threshold
+        )
+
+    def test_override_wins(self):
+        spec = tiny_spec(thresholds={"Haar": 2.0})
+        assert spec.threshold_for("Haar") == 2.0
+
+    def test_fingerprint_ignores_grid_order(self):
+        a = CampaignSpec(
+            name="x", kernels=("Haar", "FWT"), error_rates=(0.0, 0.1),
+            seeds=(1, 2, 3),
+        )
+        b = CampaignSpec(
+            name="x", kernels=("FWT", "Haar"), error_rates=(0.1, 0.0),
+            seeds=(3, 1, 2),
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_sees_grid_content(self):
+        assert tiny_spec().fingerprint() != tiny_spec(seeds=(1, 3)).fingerprint()
+        assert (
+            tiny_spec().fingerprint()
+            != tiny_spec(thresholds={"Haar": 9.0}).fingerprint()
+        )
+
+
+class TestExpansion:
+    def test_task_order_is_kernel_rate_seed(self):
+        spec = CampaignSpec(
+            name="order", kernels=("Haar", "FWT"), error_rates=(0.0, 0.1),
+            seeds=(1, 2),
+        )
+        triples = [(t.kernel, t.error_rate, t.seed) for t in spec.tasks()]
+        assert triples == [
+            ("Haar", 0.0, 1), ("Haar", 0.0, 2),
+            ("Haar", 0.1, 1), ("Haar", 0.1, 2),
+            ("FWT", 0.0, 1), ("FWT", 0.0, 2),
+            ("FWT", 0.1, 1), ("FWT", 0.1, 2),
+        ]
+
+    def test_all_keys_distinct(self):
+        tasks = tiny_spec().tasks()
+        assert len({t.key for t in tasks}) == len(tasks)
+
+    def test_task_labels_are_human_readable(self):
+        task = tiny_spec().tasks()[0]
+        assert "Haar" in task.label and "seed=1" in task.label
+
+
+class TestTransport:
+    def test_round_trip(self):
+        spec = tiny_spec(thresholds={"Haar": 2.0}, collect_telemetry=True)
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(tiny_spec().to_dict()))
+        assert CampaignSpec.from_file(str(path)) == tiny_spec()
+
+    def test_missing_file_raises_campaign_error(self, tmp_path):
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_file(str(tmp_path / "absent.json"))
+
+    def test_invalid_json_raises_campaign_error(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{not json")
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_file(str(path))
+
+    def test_unknown_field_rejected(self):
+        data = tiny_spec().to_dict()
+        data["kernel"] = ["Haar"]  # typo for "kernels"
+        with pytest.raises(CampaignError) as excinfo:
+            CampaignSpec.from_dict(data)
+        assert "kernel" in str(excinfo.value)
+
+    def test_unsupported_schema_rejected(self):
+        data = tiny_spec().to_dict()
+        data["schema"] = 99
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_dict(data)
+
+
+class TestPlanner:
+    def test_empty_store_everything_pending(self, tmp_path):
+        spec = tiny_spec()
+        plan = plan_campaign(spec, ResultStore(str(tmp_path / "cache")))
+        assert plan.total == 4
+        assert not plan.cached and len(plan.pending) == 4
+        assert not plan.complete
+
+    def test_durable_shards_drop_out_of_pending(self, tmp_path):
+        spec = tiny_spec(seeds=(1,))
+        store = ResultStore(str(tmp_path / "cache"))
+        first = spec.tasks()[0]
+        store.put(first.key, encode_seed_shard(run_seed_shard(first.shard)))
+        plan = plan_campaign(spec, store)
+        assert [t.key for t in plan.cached] == [first.key]
+        assert len(plan.pending) == plan.total - 1
+
+    def test_corrupt_blob_counts_as_pending(self, tmp_path):
+        spec = tiny_spec(seeds=(1,))
+        store = ResultStore(str(tmp_path / "cache"), lru_capacity=0)
+        first = spec.tasks()[0]
+        path = store.put(
+            first.key, encode_seed_shard(run_seed_shard(first.shard))
+        )
+        path.write_text("{")  # torn write
+        plan = plan_campaign(spec, store)
+        assert first.key in [t.key for t in plan.pending]

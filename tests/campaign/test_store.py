@@ -1,0 +1,244 @@
+"""Tests for the content-addressed result store.
+
+The interesting behaviors are the failure modes: corrupt and truncated
+blobs must read as misses (and be cleaned up) so callers recompute and
+rewrite, and two uncoordinated processes writing the same key must both
+land complete envelopes.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.campaign.keys import content_hash
+from repro.campaign.store import ResultStore
+from repro.errors import StoreError
+from repro.telemetry.registry import MetricsRegistry
+
+
+def key_of(value) -> str:
+    return content_hash({"test": value})
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        key = key_of("round-trip")
+        payload = {"saving": 0.25, "seeds": [1, 2, 3]}
+        store.put(key, payload)
+        assert store.get(key) == payload
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        assert store.get(key_of("absent")) is None
+        assert store.counter_values()["miss"] == 1
+
+    def test_contains(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        key = key_of("contains")
+        assert key not in store
+        store.put(key, {"x": 1})
+        assert key in store
+
+    def test_survives_process_boundary(self, tmp_path):
+        key = key_of("durable")
+        ResultStore(str(tmp_path / "cache")).put(key, {"x": 1})
+        fresh = ResultStore(str(tmp_path / "cache"))
+        assert fresh.get(key) == {"x": 1}
+        assert fresh.counter_values() == {
+            "hit": 1,
+            "miss": 0,
+            "write": 0,
+            "evict": 0,
+            "corrupt": 0,
+        }
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        for bad in ("", "abc", "../../etc/passwd", "Z" * 64):
+            with pytest.raises(StoreError):
+                store.get(bad)
+
+    def test_negative_lru_capacity_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            ResultStore(str(tmp_path / "cache"), lru_capacity=-1)
+
+
+class TestCorruption:
+    """Damage in any layer demotes the blob to a miss and removes it."""
+
+    def _stored(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"), lru_capacity=0)
+        key = key_of("corruptible")
+        path = store.put(key, {"value": 42})
+        return store, key, path
+
+    def test_truncated_blob_is_a_miss_and_removed(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # torn write survivor
+        assert store.get(key) is None
+        assert not path.exists()
+        assert store.counter_values()["corrupt"] == 1
+
+    def test_bit_rot_in_payload_is_a_miss(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["value"] = 43  # hash no longer matches
+        path.write_text(json.dumps(envelope))
+        assert store.get(key) is None
+        assert not path.exists()
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        envelope = json.loads(path.read_text())
+        envelope["key"] = key_of("somebody else")
+        path.write_text(json.dumps(envelope))
+        assert store.get(key) is None
+
+    def test_schema_drift_is_a_miss(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = 999
+        path.write_text(json.dumps(envelope))
+        assert store.get(key) is None
+
+    def test_non_json_garbage_is_a_miss(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        path.write_bytes(b"\x00\xff not json")
+        assert store.get(key) is None
+
+    def test_miss_then_recompute_then_rewrite(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        path.write_text("{")  # partial write
+        assert store.get(key) is None  # miss -> caller recomputes
+        store.put(key, {"value": 42})  # rewrite
+        assert store.get(key) == {"value": 42}
+        counts = store.counter_values()
+        assert counts["corrupt"] == 1 and counts["write"] == 2
+
+
+class TestConcurrentWriters:
+    def test_two_processes_racing_on_one_key(self, tmp_path):
+        """Both writers land complete envelopes; last rename wins."""
+        key = key_of("contended")
+        script = (
+            "import sys\n"
+            "from repro.campaign.store import ResultStore\n"
+            "store = ResultStore(sys.argv[1])\n"
+            "for round in range(25):\n"
+            "    store.put(sys.argv[2], {'value': 42, 'writer': sys.argv[3],"
+            " 'round': round})\n"
+        )
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(tmp_path / "cache"), key, who],
+                env=env,
+            )
+            for who in ("a", "b")
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=60) == 0
+        store = ResultStore(str(tmp_path / "cache"))
+        payload = store.get(key)
+        assert payload is not None  # never torn, never quarantined
+        assert payload["value"] == 42
+        assert payload["writer"] in ("a", "b") and payload["round"] == 24
+        assert store.counter_values()["corrupt"] == 0
+
+
+class TestLruFront:
+    def test_disk_read_only_once(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        key = key_of("hot")
+        path = store.put(key, {"x": 1})
+        os.unlink(path)  # disk gone; LRU still serves it
+        assert store.get(key) == {"x": 1}
+
+    def test_eviction_counted_and_bounded(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"), lru_capacity=2)
+        keys = [key_of(f"entry-{i}") for i in range(4)]
+        for key in keys:
+            store.put(key, {"k": key})
+        assert store.counter_values()["evict"] == 2
+        assert len(store._lru) == 2
+
+    def test_capacity_zero_disables_front(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"), lru_capacity=0)
+        key = key_of("cold")
+        path = store.put(key, {"x": 1})
+        os.unlink(path)
+        assert store.get(key) is None
+
+
+class TestMaintenance:
+    def test_stats_census(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        for i in range(3):
+            store.put(key_of(f"s{i}"), {"i": i})
+        stats = store.stats()
+        assert stats.entries == 3
+        assert stats.total_bytes > 0
+        assert stats.writes == 3
+        assert stats.to_dict()["entries"] == 3
+
+    def test_keys_sorted(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        wanted = sorted(key_of(f"k{i}") for i in range(3))
+        for key in wanted:
+            store.put(key, {})
+        assert store.keys() == wanted
+
+    def test_gc_removes_corrupt_blobs(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        good = key_of("good")
+        store.put(good, {"x": 1})
+        bad_path = store.put(key_of("bad"), {"x": 2})
+        bad_path.write_text("{")
+        report = store.gc()
+        assert report.kept == 1
+        assert store.keys() == [good]
+
+    def test_gc_max_age_expires_old_blobs(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        old = key_of("old")
+        young = key_of("young")
+        old_path = store.put(old, {"x": 1})
+        store.put(young, {"x": 2})
+        ancient = os.stat(old_path).st_mtime - 10_000
+        os.utime(old_path, (ancient, ancient))
+        report = store.gc(max_age_s=3600)
+        assert report.removed == 1 and report.kept == 1
+        assert store.keys() == [young]
+
+    def test_gc_max_bytes_evicts_oldest_first(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        paths = []
+        for i in range(3):
+            paths.append(store.put(key_of(f"b{i}"), {"i": i}))
+        for offset, path in enumerate(paths):
+            stamp = os.stat(path).st_mtime - 100 + offset
+            os.utime(path, (stamp, stamp))
+        one_blob = os.stat(paths[0]).st_size
+        report = store.gc(max_bytes=one_blob + 1)
+        assert report.removed == 2
+        assert report.removed_keys == [paths[0].stem, paths[1].stem]
+        # gc cleared the LRU front, so survivors re-verify from disk
+        assert store.get(paths[2].stem) == {"i": 2}
+
+    def test_shared_registry_aggregates_counters(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ResultStore(str(tmp_path / "cache"), registry=registry)
+        store.put(key_of("r"), {})
+        snapshot = registry.snapshot()
+        assert snapshot.counters.get("cache.write") == 1
+        assert store.metrics_snapshot().counters == snapshot.counters

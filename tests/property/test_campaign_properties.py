@@ -1,0 +1,116 @@
+"""Property tests: cache-key canonicalization is representation-free.
+
+A cache key must be a function of a measurement's *meaning*, not of how
+its inputs happened to be spelled: dict insertion order, float
+formatting history, tuple-vs-list spelling and grid order must all wash
+out, while any change of actual value must move the key.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.keys import canonical_json, canonicalize, content_hash
+from repro.campaign.spec import CampaignSpec
+
+FINITE_FLOATS = st.floats(allow_nan=False, allow_infinity=False)
+
+SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    FINITE_FLOATS,
+    st.text(max_size=20),
+)
+
+VALUES = st.recursive(
+    SCALARS,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+def shuffle_dicts(value, rnd):
+    """The same value with every dict's insertion order permuted."""
+    if isinstance(value, dict):
+        items = [(k, shuffle_dicts(v, rnd)) for k, v in value.items()]
+        rnd.shuffle(items)
+        return dict(items)
+    if isinstance(value, list):
+        return [shuffle_dicts(item, rnd) for item in value]
+    return value
+
+
+def reformat_floats(value):
+    """The same value with every float round-tripped through text."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return float(f"{value:.17g}")
+    if isinstance(value, dict):
+        return {k: reformat_floats(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [reformat_floats(item) for item in value]
+    return value
+
+
+class TestCanonicalization:
+    @settings(max_examples=200)
+    @given(VALUES, st.randoms(use_true_random=False))
+    def test_dict_order_never_changes_the_key(self, value, rnd):
+        assert content_hash(shuffle_dicts(value, rnd)) == content_hash(value)
+
+    @settings(max_examples=200)
+    @given(VALUES)
+    def test_float_formatting_never_changes_the_key(self, value):
+        assert content_hash(reformat_floats(value)) == content_hash(value)
+        as_repr = json.loads(json.dumps(value))  # repr round trip
+        assert content_hash(as_repr) == content_hash(value)
+
+    @settings(max_examples=200)
+    @given(VALUES)
+    def test_canonicalize_is_idempotent(self, value):
+        canonical = canonicalize(value)
+        assert canonical_json(canonical) == canonical_json(value)
+
+    @settings(max_examples=200)
+    @given(st.lists(SCALARS, max_size=5))
+    def test_tuple_list_spelling_never_changes_the_key(self, items):
+        assert content_hash(tuple(items)) == content_hash(list(items))
+
+    @settings(max_examples=100)
+    @given(FINITE_FLOATS, FINITE_FLOATS)
+    def test_distinct_floats_get_distinct_keys(self, a, b):
+        if a == b:
+            assert content_hash(a) == content_hash(b)
+        else:
+            assert content_hash(a) != content_hash(b)
+
+
+class TestSpecFingerprint:
+    @settings(max_examples=50)
+    @given(
+        st.permutations([1, 2, 3, 4, 5]),
+        st.permutations([0.0, 0.05, 0.1]),
+        st.permutations(["Haar", "FWT", "Sobel"]),
+    )
+    def test_grid_order_never_changes_the_fingerprint(
+        self, seeds, rates, kernels
+    ):
+        reference = CampaignSpec(
+            name="prop",
+            kernels=("Haar", "FWT", "Sobel"),
+            error_rates=(0.0, 0.05, 0.1),
+            seeds=(1, 2, 3, 4, 5),
+        )
+        shuffled = CampaignSpec(
+            name="prop",
+            kernels=tuple(kernels),
+            error_rates=tuple(rates),
+            seeds=tuple(seeds),
+        )
+        assert shuffled.fingerprint() == reference.fingerprint()

@@ -98,8 +98,12 @@ class TestExperiment:
             cli_mod,
             "EXPERIMENTS",
             {
-                "alpha": lambda jobs=1: calls.append("alpha") or "alpha output",
-                "beta": lambda jobs=1: calls.append("beta") or "beta output",
+                "alpha": lambda jobs=1, store=None: (
+                    calls.append("alpha") or "alpha output"
+                ),
+                "beta": lambda jobs=1, store=None: (
+                    calls.append("beta") or "beta output"
+                ),
             },
         )
         code, text = run_cli("experiment", "all")
@@ -227,7 +231,9 @@ class TestTelemetryCli:
         import repro.cli as cli_mod
 
         monkeypatch.setattr(
-            cli_mod, "EXPERIMENTS", {"tiny": lambda jobs=1: "tiny output"}
+            cli_mod,
+            "EXPERIMENTS",
+            {"tiny": lambda jobs=1, store=None: "tiny output"},
         )
         path = tmp_path / "exp.json"
         code, _ = run_cli("experiment", "tiny", "--emit-json", str(path))

@@ -1,0 +1,81 @@
+"""Tests for the atomic-write helpers."""
+
+import json
+import os
+
+import pytest
+
+from repro.utils.io import atomic_write_json, atomic_write_text, atomic_writer
+
+
+class TestAtomicWriter:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_writer(str(target)) as handle:
+            handle.write("hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_writer(str(target)) as handle:
+            handle.write("x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with atomic_writer(str(target)) as handle:
+            handle.write("new")
+        assert target.read_text() == "new"
+
+    def test_exception_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(str(target)) as handle:
+                handle.write("partial garbage")
+                raise RuntimeError("boom")
+        assert target.read_text() == "original"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_exception_with_no_prior_file_creates_nothing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_writer(str(target)):
+                raise RuntimeError("boom")
+        assert os.listdir(tmp_path) == []
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        with atomic_writer(str(target)) as handle:
+            handle.write("deep")
+        assert target.read_text() == "deep"
+
+    def test_newline_forwarded(self, tmp_path):
+        target = tmp_path / "out.csv"
+        with atomic_writer(str(target), newline="") as handle:
+            handle.write("a\r\n")
+        assert target.read_bytes() == b"a\r\n"
+
+
+class TestConvenienceWrappers:
+    def test_atomic_write_text(self, tmp_path):
+        target = tmp_path / "t.txt"
+        atomic_write_text(str(target), "body")
+        assert target.read_text() == "body"
+
+    def test_atomic_write_json_round_trips(self, tmp_path):
+        target = tmp_path / "d.json"
+        atomic_write_json(str(target), {"b": 1, "a": [1.5, None]})
+        assert json.loads(target.read_text()) == {"b": 1, "a": [1.5, None]}
+
+    def test_atomic_write_json_ends_with_newline(self, tmp_path):
+        target = tmp_path / "d.json"
+        atomic_write_json(str(target), {})
+        assert target.read_text().endswith("\n")
+
+    def test_atomic_write_json_sort_keys(self, tmp_path):
+        target = tmp_path / "d.json"
+        atomic_write_json(str(target), {"b": 1, "a": 2}, sort_keys=True)
+        text = target.read_text()
+        assert text.index('"a"') < text.index('"b"')
