@@ -26,7 +26,11 @@ A Python reproduction of the paper's full system:
   ``docs/tracing.md``);
 * :mod:`repro.campaign` — durable experiment campaigns: a
   content-addressed result store, declarative sweep specs, and a
-  crash-safe resumable runner (see ``docs/campaigns.md``).
+  crash-safe resumable runner (see ``docs/campaigns.md``);
+* :mod:`repro.oracle` — the differential FP-correctness harness behind
+  ``repro verify``: an independent NumPy-float32 reference for all 27
+  opcodes, an adversarial operand corpus, and metamorphic invariants
+  through the full simulator (see ``docs/verification.md``).
 
 Quickstart::
 
@@ -76,6 +80,12 @@ from .kernels import (
     workload_by_name,
 )
 from .memo import MemoLUT, SpatialMemoizationUnit, TemporalMemoizationModule
+from .oracle import (
+    VerificationConfig,
+    VerificationReport,
+    reference_evaluate,
+    run_verification,
+)
 from .telemetry import (
     EventRing,
     MetricsRegistry,
@@ -132,6 +142,10 @@ __all__ = [
     "MemoLUT",
     "SpatialMemoizationUnit",
     "TemporalMemoizationModule",
+    "VerificationConfig",
+    "VerificationReport",
+    "reference_evaluate",
+    "run_verification",
     "EventRing",
     "MetricsRegistry",
     "MetricsSnapshot",

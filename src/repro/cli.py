@@ -369,6 +369,45 @@ def _build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--saving-at-zero", type=float, default=0.13)
     calibrate.add_argument("--saving-at-four", type=float, default=0.25)
 
+    verify = sub.add_parser(
+        "verify",
+        help="run the differential FP-correctness oracle "
+        "(see docs/verification.md)",
+    )
+    verify.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="corpus fuzzer seed (the adversarial corpus is always included)",
+    )
+    verify.add_argument(
+        "--fuzz",
+        type=int,
+        default=256,
+        metavar="N",
+        help="random bit-pattern cases per opcode and operand shape",
+    )
+    verify.add_argument(
+        "--kernel",
+        action="append",
+        choices=sorted(KERNEL_REGISTRY),
+        default=None,
+        help="restrict the memo-transparency sweep to this kernel "
+        "(repeatable; default: all Table-1 kernels)",
+    )
+    verify.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the full-simulator memo-transparency sweep "
+        "(corpus invariants only)",
+    )
+    verify.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the structured divergence report here (CI artifact)",
+    )
+
     report = sub.add_parser(
         "report", help="run the whole evaluation and print one report"
     )
@@ -910,6 +949,22 @@ def _cmd_locality(args, out) -> int:
     return 0
 
 
+def _cmd_verify(args, out) -> int:
+    from .oracle import VerificationConfig, run_and_report
+
+    config = VerificationConfig(
+        seed=args.seed,
+        fuzz_cases=args.fuzz,
+        kernels=tuple(args.kernel) if args.kernel else None,
+        include_kernels=not args.quick,
+    )
+    report = run_and_report(config, json_path=args.json)
+    print(report.to_text(), file=out)
+    if args.json:
+        print(f"\ndivergence report written to {args.json}", file=out)
+    return 0 if report.ok else 1
+
+
 def _cmd_report(args, out) -> int:
     from .analysis.reporting import generate_report
 
@@ -988,6 +1043,8 @@ def _dispatch(args, out) -> int:
         return _cmd_metrics(args, out)
     if args.command == "locality":
         return _cmd_locality(args, out)
+    if args.command == "verify":
+        return _cmd_verify(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
     if args.command == "calibrate":

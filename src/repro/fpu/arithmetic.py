@@ -43,6 +43,13 @@ def _set(condition: bool) -> float:
     return 1.0 if condition else 0.0
 
 
+def _signed_zero(result: float, a: float) -> float:
+    # IEEE roundToIntegral preserves the sign of zero (floor(-0.0) is
+    # -0.0, trunc(-0.7) is -0.0); Python's math.floor/trunc return the
+    # int 0, which loses the sign when converted back to float.
+    return math.copysign(result, a) if result == 0.0 else result
+
+
 def _rndne(a: float) -> float:
     # round-half-to-even on the real value; result is integral so exact.
     if not math.isfinite(a):
@@ -50,22 +57,30 @@ def _rndne(a: float) -> float:
     floor = math.floor(a)
     frac = a - floor
     if frac > 0.5:
-        return floor + 1.0
-    if frac < 0.5:
-        return float(floor)
-    return floor + 1.0 if floor % 2 else float(floor)
+        result = floor + 1.0
+    elif frac < 0.5:
+        result = float(floor)
+    else:
+        result = floor + 1.0 if floor % 2 else float(floor)
+    return _signed_zero(result, a)
 
 
 def _floor(a: float) -> float:
     if not math.isfinite(a):
         return a
-    return float(math.floor(a))
+    return _signed_zero(float(math.floor(a)), a)
 
 
 def _trunc(a: float) -> float:
     if not math.isfinite(a):
         return a
-    return float(math.trunc(a))
+    return _signed_zero(float(math.trunc(a)), a)
+
+
+#: Saturation bounds of the float->int32 conversion, as single-precision
+#: values: float32(INT32_MAX) rounds up to 2^31, and INT32_MIN is exact.
+_INT32_SAT_POS = 2147483648.0
+_INT32_SAT_NEG = -2147483648.0
 
 
 def _flt_to_int(a: float) -> float:
@@ -73,8 +88,13 @@ def _flt_to_int(a: float) -> float:
     if math.isnan(a):
         return 0.0
     if math.isinf(a):
-        return math.copysign(2147483648.0, a)  # saturated int32 bound
-    return float(math.trunc(a))
+        return math.copysign(_INT32_SAT_POS, a)
+    truncated = float(math.trunc(a))
+    if truncated > _INT32_SAT_POS:
+        return _INT32_SAT_POS
+    if truncated < _INT32_SAT_NEG:
+        return _INT32_SAT_NEG
+    return truncated
 
 
 def _recip(a: float) -> float:
@@ -87,7 +107,9 @@ def _recip_clamped(a: float) -> float:
     if a == 0.0:
         return math.copysign(FLOAT32_MAX, a)
     result = 1.0 / a
-    if math.isinf(result):
+    # Clamp after the single-precision rounding: the reciprocal of a
+    # subnormal is a finite double that still overflows single precision.
+    if math.isinf(float32(result)):
         return math.copysign(FLOAT32_MAX, result)
     return result
 
@@ -128,6 +150,34 @@ def _cos(a: float) -> float:
     return math.cos(a)
 
 
+def _max_ieee(a: float, b: float) -> float:
+    """IEEE-754 maxNum: the non-NaN operand wins; ``max(-0.0, +0.0) = +0.0``.
+
+    Python's ``max`` is order dependent for NaN, which broke the bitwise
+    transparency of COMMUTED memoization hits (MAX is declared
+    ``commutative=True``); maxNum is genuinely commutative.
+    """
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    if a == b:
+        # Equal zeros still carry a sign: +0.0 is the larger one.
+        return a if math.copysign(1.0, a) >= math.copysign(1.0, b) else b
+    return a if a > b else b
+
+
+def _min_ieee(a: float, b: float) -> float:
+    """IEEE-754 minNum: the non-NaN operand wins; ``min(-0.0, +0.0) = -0.0``."""
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    if a == b:
+        return a if math.copysign(1.0, a) <= math.copysign(1.0, b) else b
+    return a if a < b else b
+
+
 #: Largest single strictly below 1.0 (FRACT's supremum).
 _ONE_MINUS_ULP = 1.0 - 2.0**-24
 
@@ -138,6 +188,11 @@ def _fract(a: float) -> float:
     # inputs have no fractional part: NaN propagates, infinities give 0.
     if not math.isfinite(a):
         return math.nan if math.isnan(a) else 0.0
+    if a == 0.0:
+        # a - floor(a) is +0.0 for either zero (IEEE floor keeps the
+        # sign, so -0.0 - -0.0 = +0.0); Python's int-returning floor
+        # would leak -0.0 through the subtraction.
+        return 0.0
     fract = a - math.floor(a)
     if fract >= 1.0 or float32(fract) >= 1.0:
         return _ONE_MINUS_ULP
@@ -166,8 +221,8 @@ _BINARY: Dict[str, Callable[[float, float], float]] = {
     "SUB": lambda a, b: a - b,
     "MUL": lambda a, b: a * b,
     "MUL_IEEE": lambda a, b: a * b,
-    "MAX": lambda a, b: max(a, b),
-    "MIN": lambda a, b: min(a, b),
+    "MAX": _max_ieee,
+    "MIN": _min_ieee,
     "SETE": lambda a, b: _set(a == b),
     "SETNE": lambda a, b: _set(a != b),
     "SETGT": lambda a, b: _set(a > b),

@@ -7,6 +7,21 @@ hardware alternative — a 32-bit masking vector ignoring low fraction
 bits — is also supported.  Constraints may additionally try the swapped
 operand order for commutative opcodes ("the matching constraints ...
 allow commutativity of the operands where applicable").
+
+Two behaviours are intentional and pinned by tests (and cross-checked
+by the ``repro.oracle`` invariant suite):
+
+* **Threshold mode never matches NaN.**  The comparison ``-t <= a-b <= t``
+  is false whenever either operand is NaN, so a NaN context can neither
+  hit nor be hit under a numeric threshold.  Exact (threshold-0) and
+  mask-vector modes compare raw bit patterns instead, so two NaNs with
+  identical (masked) patterns *do* match — exactly like the hardware
+  comparator bank.  Bit comparison also distinguishes ``+0.0`` from
+  ``-0.0``, while threshold mode treats them as equal (``0.0 - -0.0``
+  is within any threshold).
+* **A direct match wins over a commuted one.**  The swapped operand
+  order is only tried after the direct order misses, so ``match`` never
+  reports COMMUTED for operands that also match in place.
 """
 
 from __future__ import annotations
@@ -78,8 +93,9 @@ class MatchingConstraint:
             return True
         threshold = self.threshold
         if threshold == 0.0:
-            # Bit-by-bit equality: distinguishes +0.0 from -0.0 and never
-            # matches NaN, exactly like a hardware comparator.
+            # Bit-by-bit equality: distinguishes +0.0 from -0.0 and
+            # matches two NaNs with the same pattern, exactly like a
+            # hardware comparator.
             for a, b in zip(incoming, stored):
                 if float32_to_bits(a) != float32_to_bits(b):
                     return False

@@ -1,0 +1,82 @@
+"""repro.oracle — the differential FP-correctness harness.
+
+The memoization LUT's whole value proposition is *transparency*: an
+exact (threshold-0) hit must return the bit-identical result the FPU
+would have produced.  This package is the standing proof obligation for
+that claim — and for the arithmetic layer beneath it:
+
+* :mod:`repro.oracle.reference` — an independent NumPy-float32
+  re-implementation of all 27 opcodes, with a per-opcode ULP envelope;
+* :mod:`repro.oracle.corpus` — a deterministic adversarial operand
+  corpus (signed zeros, infinities, NaN payloads, subnormals, int32
+  boundaries, ULP-adjacent pairs) plus a seeded bit-pattern fuzzer;
+* :mod:`repro.oracle.invariants` — metamorphic checks through the full
+  simulator: commutativity, interpreter-vs-evaluate consistency,
+  exact-memo bit-transparency on every Table-1 kernel, and the
+  threshold-mode error envelope;
+* :mod:`repro.oracle.runner` — the ``repro verify`` engine: a
+  structured divergence report, ``oracle.*`` telemetry counters and an
+  atomic JSON artifact for CI.
+
+Any fast-path rework of the executor or the arithmetic tables must keep
+``repro verify`` green; the corpus is deterministic, so a divergence
+report reproduces from its seed alone.
+
+See ``docs/verification.md``.
+"""
+
+from .corpus import (
+    CorpusConfig,
+    corpus_case_count,
+    describe_bits,
+    operand_corpus,
+    special_values,
+    ulp_adjacent_pairs,
+)
+from .invariants import (
+    Divergence,
+    InvariantResult,
+    check_commutativity,
+    check_isa_consistency,
+    check_memo_transparency,
+    check_reference_agreement,
+    check_threshold_bound,
+)
+from .reference import (
+    ULP_TOLERANCE,
+    reference_evaluate,
+    results_equivalent,
+    ulp_tolerance,
+)
+from .runner import (
+    MAX_REPORTED_DIVERGENCES,
+    VerificationConfig,
+    VerificationReport,
+    run_and_report,
+    run_verification,
+)
+
+__all__ = [
+    "CorpusConfig",
+    "corpus_case_count",
+    "describe_bits",
+    "operand_corpus",
+    "special_values",
+    "ulp_adjacent_pairs",
+    "Divergence",
+    "InvariantResult",
+    "check_commutativity",
+    "check_isa_consistency",
+    "check_memo_transparency",
+    "check_reference_agreement",
+    "check_threshold_bound",
+    "ULP_TOLERANCE",
+    "reference_evaluate",
+    "results_equivalent",
+    "ulp_tolerance",
+    "MAX_REPORTED_DIVERGENCES",
+    "VerificationConfig",
+    "VerificationReport",
+    "run_and_report",
+    "run_verification",
+]

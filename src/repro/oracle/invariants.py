@@ -1,0 +1,420 @@
+"""Metamorphic invariants cross-checking the simulator against itself.
+
+The reference oracle (:mod:`repro.oracle.reference`) answers "is this
+single result right?"; the invariants here answer "do independent paths
+through the system agree with each other?":
+
+* **reference** — the differential sweep itself: ``evaluate`` must agree
+  with the NumPy reference on every corpus case, within each opcode's
+  documented ULP envelope.
+* **commutativity** — every opcode declared ``commutative=True`` must be
+  *value*-commutative (bitwise) on the corpus.  This is what makes a
+  COMMUTED memoization hit transparent: the LUT returns the result of
+  the swapped operand order.
+* **isa_consistency** — a single-instruction program run through the
+  :class:`~repro.isa.interpreter.ScalarInterpreter` must produce the
+  same bits as calling ``evaluate`` directly.
+* **memo_transparency** — running a kernel with exact (threshold-0)
+  memoization must be bit-identical to running it with the memo module
+  absent, for every Table-1 kernel.  A zero-cycle correction that
+  changes the answer is itself an error source.
+* **threshold_bound** — under a numeric threshold ``t``, a memoization
+  hit may only perturb Lipschitz-bounded opcodes by a bounded amount
+  (``2t`` for ADD/SUB, ``t`` for MAX/MIN, plus rounding slack), and a
+  NaN context must never match at all (threshold comparisons are false
+  for NaN by construction — see :mod:`repro.memo.matching`).
+
+Every violated expectation becomes a :class:`Divergence` carrying the
+operand bit patterns needed to replay it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import MemoConfig, SimConfig, TimingConfig, small_arch
+from ..fpu.arithmetic import evaluate, float32
+from ..isa.clause import AluClause, ControlFlowInstruction, ControlFlowOp
+from ..isa.instruction import (
+    ImmediateOperand,
+    Instruction,
+    RegisterOperand,
+    VliwBundle,
+)
+from ..isa.interpreter import ScalarInterpreter
+from ..isa.opcodes import FP_OPCODES, Opcode, UnitKind
+from ..isa.program import Program
+from ..memo.module import TemporalMemoizationModule
+from ..utils.bitops import float32_to_bits
+from .corpus import CorpusConfig, describe_bits, operand_corpus
+from .reference import reference_evaluate, results_equivalent, ulp_tolerance
+
+
+def _json_float(value: Optional[float]):
+    """A JSON-serializable spelling of a float (NaN/inf become strings)."""
+    if value is None:
+        return None
+    if math.isfinite(value):
+        return value
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One broken expectation, with everything needed to replay it."""
+
+    invariant: str
+    opcode: str
+    detail: str
+    operands: Tuple[float, ...] = ()
+    ours: Optional[float] = None
+    expected: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        doc = {
+            "invariant": self.invariant,
+            "opcode": self.opcode,
+            "detail": self.detail,
+            "operands": [_json_float(v) for v in self.operands],
+            "operand_bits": [describe_bits(v) for v in self.operands],
+        }
+        if self.ours is not None:
+            doc["ours"] = _json_float(self.ours)
+            doc["ours_bits"] = describe_bits(self.ours)
+        if self.expected is not None:
+            doc["expected"] = _json_float(self.expected)
+            doc["expected_bits"] = describe_bits(self.expected)
+        return doc
+
+    def __str__(self) -> str:
+        parts = [f"[{self.invariant}]"]
+        if self.opcode:
+            parts.append(self.opcode)
+        if self.operands:
+            bits = ", ".join(describe_bits(v) for v in self.operands)
+            parts.append(f"({bits})")
+        parts.append(self.detail)
+        return " ".join(parts)
+
+
+@dataclass
+class InvariantResult:
+    """Outcome of one invariant over its whole case load."""
+
+    name: str
+    cases: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    @property
+    def divergence_count(self) -> int:
+        return len(self.divergences)
+
+
+def _bitwise_equal(a: float, b: float) -> bool:
+    """Bitwise equality with any-NaN-equals-any-NaN."""
+    if math.isnan(a) and math.isnan(b):
+        return True
+    return float32_to_bits(a) == float32_to_bits(b)
+
+
+# ---------------------------------------------------------------- reference
+def check_reference_agreement(
+    config: Optional[CorpusConfig] = None,
+) -> InvariantResult:
+    """Differential sweep: ``evaluate`` vs the NumPy reference, all opcodes."""
+    config = config or CorpusConfig()
+    result = InvariantResult("reference")
+    for opcode in FP_OPCODES:
+        for operands in operand_corpus(opcode, config):
+            result.cases += 1
+            ours = evaluate(opcode, operands)
+            expected = reference_evaluate(opcode, operands)
+            if not results_equivalent(opcode, ours, expected):
+                result.divergences.append(
+                    Divergence(
+                        invariant="reference",
+                        opcode=opcode.mnemonic,
+                        operands=operands,
+                        ours=ours,
+                        expected=expected,
+                        detail=(
+                            f"simulator {ours!r} vs reference {expected!r} "
+                            f"(allowed: {ulp_tolerance(opcode)} ULP)"
+                        ),
+                    )
+                )
+    return result
+
+
+# ------------------------------------------------------------ commutativity
+def check_commutativity(
+    config: Optional[CorpusConfig] = None,
+) -> InvariantResult:
+    """Declared-commutative opcodes must be bitwise value-commutative."""
+    config = config or CorpusConfig()
+    result = InvariantResult("commutativity")
+    for opcode in FP_OPCODES:
+        if not opcode.commutative:
+            continue
+        i, j = opcode.commutative_operands
+        for operands in operand_corpus(opcode, config):
+            result.cases += 1
+            swapped = list(operands)
+            swapped[i], swapped[j] = swapped[j], swapped[i]
+            direct = evaluate(opcode, operands)
+            commuted = evaluate(opcode, tuple(swapped))
+            if not _bitwise_equal(direct, commuted):
+                result.divergences.append(
+                    Divergence(
+                        invariant="commutativity",
+                        opcode=opcode.mnemonic,
+                        operands=operands,
+                        ours=direct,
+                        expected=commuted,
+                        detail=(
+                            f"swapping operands {i} and {j} changes the "
+                            f"result: {direct!r} vs {commuted!r} — a "
+                            "COMMUTED memo hit would not be transparent"
+                        ),
+                    )
+                )
+    return result
+
+
+# ---------------------------------------------------------- ISA consistency
+def _single_instruction_program(
+    opcode: Opcode, operands: Sequence[float]
+) -> Program:
+    sources = tuple(ImmediateOperand(value) for value in operands)
+    instruction = Instruction(opcode, RegisterOperand(0), sources)
+    bundle = VliwBundle()
+    slot = "T" if opcode.unit in (UnitKind.SQRT, UnitKind.RECIP) else "X"
+    bundle.set_slot(slot, instruction)
+    clause = AluClause()
+    clause.append(bundle)
+    return Program(
+        control_flow=[
+            ControlFlowInstruction(ControlFlowOp.EXEC_ALU, clause_index=0),
+            ControlFlowInstruction(ControlFlowOp.END),
+        ],
+        clauses=[clause],
+    )
+
+
+def check_isa_consistency(
+    config: Optional[CorpusConfig] = None, samples_per_opcode: int = 48
+) -> InvariantResult:
+    """Interpreter-executed programs must match direct ``evaluate`` calls."""
+    config = config or CorpusConfig()
+    result = InvariantResult("isa_consistency")
+    for opcode in FP_OPCODES:
+        for operands in islice(
+            operand_corpus(opcode, config), samples_per_opcode
+        ):
+            result.cases += 1
+            program = _single_instruction_program(opcode, operands)
+            registers = ScalarInterpreter().run(program)
+            ours = registers[0]
+            # The interpreter rounds immediates to single precision on
+            # read; corpus values are already exact singles.
+            expected = evaluate(opcode, tuple(float32(v) for v in operands))
+            if not _bitwise_equal(ours, expected):
+                result.divergences.append(
+                    Divergence(
+                        invariant="isa_consistency",
+                        opcode=opcode.mnemonic,
+                        operands=tuple(operands),
+                        ours=ours,
+                        expected=expected,
+                        detail=(
+                            f"interpreter result {ours!r} differs from "
+                            f"direct evaluate {expected!r}"
+                        ),
+                    )
+                )
+    return result
+
+
+# -------------------------------------------------------- memo transparency
+def check_memo_transparency(
+    kernels: Optional[Sequence[str]] = None,
+    error_rates: Sequence[float] = (0.0, 0.02),
+) -> InvariantResult:
+    """Exact (threshold-0) memo runs must be bit-identical to memo-off runs.
+
+    Runs through the *full* simulator: device, wavefront scheduling, ECU
+    recovery and the memo module together.  With bit-exact matching the
+    LUT only ever returns results the FPU itself produced for identical
+    operand bits — including via COMMUTED hits — so disabling the module
+    must not change a single output bit, with or without timing errors
+    (recovery replays produce exact results too).
+    """
+    # Imported here: repro.gpu.executor imports repro.kernels.api, so a
+    # module-level import would create a cycle when repro.gpu loads first.
+    from ..gpu.executor import GpuExecutor
+    from ..kernels.registry import KERNEL_REGISTRY
+
+    names = tuple(kernels) if kernels else tuple(KERNEL_REGISTRY)
+    result = InvariantResult("memo_transparency")
+    for name in names:
+        spec = KERNEL_REGISTRY[name]
+        for error_rate in error_rates:
+            result.cases += 1
+            config = SimConfig(
+                arch=small_arch(),
+                memo=MemoConfig(threshold=0.0),
+                timing=TimingConfig(error_rate=error_rate),
+            )
+            memo_output = np.asarray(
+                spec.default_factory().run(GpuExecutor(config, memoized=True)),
+                dtype=np.float32,
+            )
+            plain_output = np.asarray(
+                spec.default_factory().run(GpuExecutor(config, memoized=False)),
+                dtype=np.float32,
+            )
+            if memo_output.tobytes() != plain_output.tobytes():
+                differing = int(
+                    np.count_nonzero(
+                        memo_output.view(np.uint32)
+                        != plain_output.view(np.uint32)
+                    )
+                )
+                result.divergences.append(
+                    Divergence(
+                        invariant="memo_transparency",
+                        opcode="",
+                        detail=(
+                            f"{name} at error rate {error_rate:g}: "
+                            f"{differing} of {memo_output.size} outputs "
+                            "differ bitwise between the exact-memo and "
+                            "memo-off runs"
+                        ),
+                    )
+                )
+    return result
+
+
+# ---------------------------------------------------------- threshold bound
+#: Lipschitz bound of |f(a', b') - f(a, b)| when every |x' - x| <= t.
+_THRESHOLD_BOUND_FACTOR: Dict[str, float] = {
+    "ADD": 2.0,
+    "SUB": 2.0,
+    "MAX": 1.0,
+    "MIN": 1.0,
+}
+
+
+def check_threshold_bound(
+    thresholds: Sequence[float] = (0.25,),
+) -> InvariantResult:
+    """Approximate hits must stay within the opcode's Lipschitz envelope.
+
+    For each Lipschitz-bounded opcode, memorize an exact execution, then
+    present operands perturbed by at most the threshold.  If the module
+    reports a hit, the reused result may differ from the exact result of
+    the *incoming* operands by at most ``factor * t`` plus single-
+    precision rounding slack.  Also asserts the documented NaN rule:
+    a NaN context never hits under a numeric threshold.
+    """
+    from ..isa.opcodes import opcode_by_mnemonic
+
+    result = InvariantResult("threshold_bound")
+    anchors = (
+        (0.0, 0.0),
+        (1.0, 2.0),
+        (-1.5, 0.5),
+        (100.0, -75.0),
+        (1e-3, -1e-3),
+        (-2048.0, 2047.0),
+    )
+    for mnemonic, factor in _THRESHOLD_BOUND_FACTOR.items():
+        opcode = opcode_by_mnemonic(mnemonic)
+        for threshold in thresholds:
+            deltas = (threshold, -threshold, 0.5 * threshold, -0.5 * threshold)
+            for a, b in anchors:
+                a, b = float32(a), float32(b)
+                for delta in deltas:
+                    incoming = (float32(a + delta), float32(b - delta))
+                    if (
+                        abs(incoming[0] - a) > threshold
+                        or abs(incoming[1] - b) > threshold
+                    ):
+                        continue  # rounding pushed it outside; cannot hit
+                    result.cases += 1
+                    module = TemporalMemoizationModule(
+                        MemoConfig(threshold=threshold)
+                    )
+                    module.step(
+                        opcode, (a, b), False, lambda: evaluate(opcode, (a, b))
+                    )
+                    decision = module.step(
+                        opcode,
+                        incoming,
+                        False,
+                        lambda: evaluate(opcode, incoming),
+                    )
+                    if not decision.hit:
+                        continue
+                    exact = evaluate(opcode, incoming)
+                    error = abs(decision.result - exact)
+                    slack = 2.0**-20 * max(
+                        1.0, abs(exact), abs(decision.result)
+                    )
+                    bound = factor * threshold + slack
+                    if not error <= bound:
+                        result.divergences.append(
+                            Divergence(
+                                invariant="threshold_bound",
+                                opcode=mnemonic,
+                                operands=incoming,
+                                ours=decision.result,
+                                expected=exact,
+                                detail=(
+                                    f"approximate hit at threshold "
+                                    f"{threshold:g} is off by {error:g}, "
+                                    f"beyond the {bound:g} envelope"
+                                ),
+                            )
+                        )
+        # The NaN rule: a memorized NaN context must never be re-matched.
+        for threshold in thresholds:
+            result.cases += 1
+            module = TemporalMemoizationModule(MemoConfig(threshold=threshold))
+            nan_operands = (math.nan, 1.0)
+            module.step(
+                opcode,
+                nan_operands,
+                False,
+                lambda: evaluate(opcode, nan_operands),
+            )
+            decision = module.step(
+                opcode,
+                nan_operands,
+                False,
+                lambda: evaluate(opcode, nan_operands),
+            )
+            if decision.hit:
+                result.divergences.append(
+                    Divergence(
+                        invariant="threshold_bound",
+                        opcode=mnemonic,
+                        operands=nan_operands,
+                        ours=decision.result,
+                        detail=(
+                            f"NaN context matched under threshold "
+                            f"{threshold:g}; threshold mode must never "
+                            "match NaN"
+                        ),
+                    )
+                )
+    return result

@@ -1,0 +1,316 @@
+"""Independent IEEE-754 single-precision reference semantics.
+
+This module re-implements all 27 FP opcodes against NumPy's float32
+arithmetic, deliberately *not* sharing code with
+:mod:`repro.fpu.arithmetic` (which computes in Python doubles and rounds
+once).  The two implementations arrive at the same values along different
+routes, so a disagreement points at a real semantic bug in one of them —
+the classic differential-testing setup of reduced-precision checkers.
+
+How bit-exact the agreement must be depends on the opcode:
+
+* **Exactly rounded ops** — ADD/SUB/MUL, the comparisons, MIN/MAX,
+  FLOOR/FRACT/TRUNC/RNDNE, the conversions, RECIP/RECIP_CLAMPED and
+  SQRT — are computed here natively in float32 (or exactly), and must
+  agree *bitwise* with the simulator.  For division and square root the
+  double-then-round route is provably equal to the correctly rounded
+  single result (the 53-bit intermediate exceeds the 2p+2 = 50 bits
+  double rounding needs), so tolerance zero is sound, not optimistic.
+* **Fused MULADD/MULADD_IEEE/MULSUB** — the reference computes the
+  product exactly in float64 (a product of two singles always fits),
+  adds the addend in float64 and rounds once to float32.  That matches
+  the simulator's documented fused model bit-for-bit, including its
+  double-rounding corner cases, so tolerance is zero.
+* **Transcendentals** — SIN/COS/EXP/LOG/RSQRT go through float64 libm
+  with one final rounding, the accuracy envelope the paper's FloPoCo
+  units promise.  The reference and the simulator may legitimately
+  disagree by a unit in the last place there, recorded in
+  :data:`ULP_TOLERANCE`.
+
+All helpers take Python floats that are exact single-precision values
+(the same contract :func:`repro.fpu.arithmetic.evaluate` imposes) and
+return Python floats that are exact single-precision values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ..errors import IsaError
+from ..isa.opcodes import FP_OPCODES, Opcode
+from ..utils.bitops import float32_to_bits, ulp_distance
+
+#: Largest finite single-precision magnitude (RECIP_CLAMPED's clamp).
+_F32_MAX = float(np.finfo(np.float32).max)
+
+#: Saturation bounds of FLT_TO_INT as exact single-precision values.
+_INT32_SAT_POS = 2147483648.0
+_INT32_SAT_NEG = -2147483648.0
+
+#: Maximum acceptable ULP distance between the simulator and this
+#: reference, per opcode mnemonic.  Missing entries mean bit-exact.
+ULP_TOLERANCE: Dict[str, int] = {
+    "SIN": 1,
+    "COS": 1,
+    "EXP": 1,
+    "LOG": 1,
+    "RSQRT": 1,
+}
+
+
+def ulp_tolerance(opcode: Opcode) -> int:
+    """The acceptable ULP disagreement for ``opcode`` (0 = bit-exact)."""
+    return ULP_TOLERANCE.get(opcode.mnemonic, 0)
+
+
+def _f32(value: float) -> np.float32:
+    return np.float32(value)
+
+
+def _round_once(value: float) -> float:
+    """Round a float64 intermediate to single precision exactly once."""
+    with np.errstate(all="ignore"):
+        return float(np.float32(value))
+
+
+def _native(op: Callable[[np.float32, np.float32], np.floating]):
+    """Lift a native float32 binary ufunc application to Python floats."""
+
+    def apply(a: float, b: float) -> float:
+        with np.errstate(all="ignore"):
+            return float(op(_f32(a), _f32(b)))
+
+    return apply
+
+
+# ----------------------------------------------------------------- binary
+def _ref_max(a: float, b: float) -> float:
+    # IEEE-754 maxNum: a NaN loses to any number; +0.0 beats -0.0.
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    if a == b:
+        # Equal zeros still carry a sign: +0.0 is the larger one.
+        return a if math.copysign(1.0, a) >= math.copysign(1.0, b) else b
+    with np.errstate(all="ignore"):
+        return float(np.maximum(_f32(a), _f32(b)))
+
+
+def _ref_min(a: float, b: float) -> float:
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    if a == b:
+        return a if math.copysign(1.0, a) <= math.copysign(1.0, b) else b
+    with np.errstate(all="ignore"):
+        return float(np.minimum(_f32(a), _f32(b)))
+
+
+def _ref_set(condition: np.bool_) -> float:
+    return 1.0 if bool(condition) else 0.0
+
+
+_BINARY: Dict[str, Callable[[float, float], float]] = {
+    "ADD": _native(np.add),
+    "SUB": _native(np.subtract),
+    "MUL": _native(np.multiply),
+    "MUL_IEEE": _native(np.multiply),
+    "MAX": _ref_max,
+    "MIN": _ref_min,
+    "SETE": lambda a, b: _ref_set(np.equal(_f32(a), _f32(b))),
+    "SETNE": lambda a, b: _ref_set(np.not_equal(_f32(a), _f32(b))),
+    "SETGT": lambda a, b: _ref_set(np.greater(_f32(a), _f32(b))),
+    "SETGE": lambda a, b: _ref_set(np.greater_equal(_f32(a), _f32(b))),
+}
+
+
+# ---------------------------------------------------------------- ternary
+def _ref_fma(a: float, b: float, c: float) -> float:
+    # The product of two singles is exact in float64; one float64 add and
+    # a single rounding models the fused unit the same way the simulator
+    # documents (shared double-rounding corners included).
+    with np.errstate(all="ignore"):
+        return float(np.float32(np.float64(a) * np.float64(b) + np.float64(c)))
+
+
+_TERNARY: Dict[str, Callable[[float, float, float], float]] = {
+    "MULADD": _ref_fma,
+    "MULADD_IEEE": _ref_fma,
+    "MULSUB": lambda a, b, c: _ref_fma(a, b, -c),
+}
+
+
+# ------------------------------------------------------------------ unary
+def _ref_floor(a: float) -> float:
+    with np.errstate(all="ignore"):
+        return float(np.floor(_f32(a)))
+
+
+def _ref_fract(a: float) -> float:
+    # Hardware FRACT clamps to [0, 1); NaN propagates, infinities give 0.
+    if math.isnan(a):
+        return math.nan
+    if math.isinf(a):
+        return 0.0
+    with np.errstate(all="ignore"):
+        fract = np.subtract(_f32(a), np.floor(_f32(a)))
+        if fract >= np.float32(1.0):
+            return float(np.nextafter(np.float32(1.0), np.float32(0.0)))
+        return float(fract)
+
+
+def _ref_trunc(a: float) -> float:
+    with np.errstate(all="ignore"):
+        return float(np.trunc(_f32(a)))
+
+
+def _ref_rndne(a: float) -> float:
+    with np.errstate(all="ignore"):
+        return float(np.rint(_f32(a)))
+
+
+def _ref_flt_to_int(a: float) -> float:
+    # Saturating conversion: NaN -> 0, out-of-range clamps to the
+    # float32-representable int32 bounds.
+    if math.isnan(a):
+        return 0.0
+    if math.isinf(a):
+        return math.copysign(_INT32_SAT_POS, a)
+    with np.errstate(all="ignore"):
+        truncated = float(np.trunc(_f32(a)))
+    if truncated == 0.0:
+        return 0.0  # the conversion yields an *integer* zero: no sign
+    return min(max(truncated, _INT32_SAT_NEG), _INT32_SAT_POS)
+
+
+def _ref_sqrt(a: float) -> float:
+    with np.errstate(all="ignore"):
+        return float(np.sqrt(_f32(a)))
+
+
+def _ref_recip(a: float) -> float:
+    with np.errstate(all="ignore"):
+        return float(np.divide(np.float32(1.0), _f32(a)))
+
+
+def _ref_recip_clamped(a: float) -> float:
+    if a == 0.0:
+        return math.copysign(_F32_MAX, a)
+    with np.errstate(all="ignore"):
+        result = np.divide(np.float32(1.0), _f32(a))
+        if np.isinf(result):
+            return math.copysign(_F32_MAX, float(result))
+        return float(result)
+
+
+def _ref_rsqrt(a: float) -> float:
+    if a == 0.0:
+        return math.inf
+    if math.isnan(a) or a < 0.0:
+        return math.nan
+    return _round_once(1.0 / np.sqrt(np.float64(a)))
+
+
+def _ref_log(a: float) -> float:
+    if a == 0.0:
+        return -math.inf
+    if math.isnan(a) or a < 0.0:
+        return math.nan
+    with np.errstate(all="ignore"):
+        return _round_once(float(np.log(np.float64(a))))
+
+
+def _ref_exp(a: float) -> float:
+    with np.errstate(all="ignore"):
+        return _round_once(float(np.exp(np.float64(a))))
+
+
+def _ref_sin(a: float) -> float:
+    if math.isinf(a):
+        return math.nan
+    with np.errstate(all="ignore"):
+        return _round_once(float(np.sin(np.float64(a))))
+
+
+def _ref_cos(a: float) -> float:
+    if math.isinf(a):
+        return math.nan
+    with np.errstate(all="ignore"):
+        return _round_once(float(np.cos(np.float64(a))))
+
+
+_UNARY: Dict[str, Callable[[float], float]] = {
+    "FLOOR": _ref_floor,
+    "FRACT": _ref_fract,
+    "SQRT": _ref_sqrt,
+    "RSQRT": _ref_rsqrt,
+    "SIN": _ref_sin,
+    "COS": _ref_cos,
+    "EXP": _ref_exp,
+    "LOG": _ref_log,
+    "RECIP": _ref_recip,
+    "RECIP_CLAMPED": _ref_recip_clamped,
+    "FLT_TO_INT": _ref_flt_to_int,
+    "INT_TO_FLT": _ref_trunc,
+    "TRUNC": _ref_trunc,
+    "RNDNE": _ref_rndne,
+}
+
+_TABLES = (_UNARY, _BINARY, _TERNARY)
+
+
+def reference_evaluate(opcode: Opcode, operands: Sequence[float]) -> float:
+    """Evaluate one opcode under the independent NumPy-float32 reference."""
+    if len(operands) != opcode.arity:
+        raise IsaError(
+            f"{opcode.mnemonic} expects {opcode.arity} operands, "
+            f"got {len(operands)}"
+        )
+    table = _TABLES[opcode.arity - 1]
+    try:
+        func = table[opcode.mnemonic]
+    except KeyError:  # pragma: no cover - guarded by the coverage self-check
+        raise IsaError(
+            f"no reference semantics for opcode {opcode.mnemonic}"
+        ) from None
+    return func(*operands)
+
+
+def results_equivalent(opcode: Opcode, ours: float, reference: float) -> bool:
+    """Judge one simulator-vs-reference result pair.
+
+    Any NaN equals any NaN (payloads are not part of the contract);
+    otherwise the results must be bitwise equal, except for opcodes with
+    a documented ULP envelope, where finite results within
+    :func:`ulp_tolerance` ULPs also pass.
+    """
+    if math.isnan(ours) and math.isnan(reference):
+        return True
+    if float32_to_bits(ours) == float32_to_bits(reference):
+        return True
+    tolerance = ulp_tolerance(opcode)
+    if (
+        tolerance
+        and math.isfinite(ours)
+        and math.isfinite(reference)
+        and ulp_distance(ours, reference) <= tolerance
+    ):
+        return True
+    return False
+
+
+def _check_coverage() -> None:
+    """Every declared opcode must have reference semantics."""
+    implemented = set(_UNARY) | set(_BINARY) | set(_TERNARY)
+    declared = {op.mnemonic for op in FP_OPCODES}
+    missing = declared - implemented
+    if missing:
+        raise IsaError(f"opcodes without reference semantics: {sorted(missing)}")
+
+
+_check_coverage()

@@ -1,0 +1,213 @@
+"""The verification runner behind ``repro verify``.
+
+Composes the differential sweep and the metamorphic invariants into one
+:class:`VerificationReport`: per-invariant case/violation counts, the
+divergence records themselves (operand bit patterns, simulator-vs-oracle
+values, which invariant broke), ``oracle.*`` telemetry counters in the
+same style as the result store's ``cache.*`` family, and an atomic JSON
+artifact for CI to upload.  Exit semantics are a gate: any divergence
+anywhere fails the run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..isa.opcodes import FP_OPCODES
+from ..telemetry.registry import MetricsRegistry, MetricsSnapshot
+from ..utils.io import atomic_write_json
+from ..utils.tables import format_table
+from .corpus import CorpusConfig
+from .invariants import (
+    Divergence,
+    InvariantResult,
+    check_commutativity,
+    check_isa_consistency,
+    check_memo_transparency,
+    check_reference_agreement,
+    check_threshold_bound,
+)
+
+#: Cap on divergences embedded per invariant in the JSON artifact; the
+#: counts always reflect the full total (no silent truncation).
+MAX_REPORTED_DIVERGENCES = 50
+
+
+@dataclass(frozen=True)
+class VerificationConfig:
+    """What the runner sweeps.
+
+    ``seed`` and ``fuzz_cases`` parameterize the corpus fuzzer;
+    ``kernels=None`` means every Table-1 kernel.  ``include_kernels``
+    gates the (comparatively slow) full-simulator memo-transparency
+    sweep, for quick iteration on the arithmetic layers.
+    """
+
+    seed: int = 0
+    fuzz_cases: int = 256
+    kernels: Optional[Tuple[str, ...]] = None
+    error_rates: Tuple[float, ...] = (0.0, 0.02)
+    thresholds: Tuple[float, ...] = (0.25,)
+    isa_samples: int = 48
+    include_kernels: bool = True
+
+    def corpus(self) -> CorpusConfig:
+        return CorpusConfig(seed=self.seed, fuzz_cases=self.fuzz_cases)
+
+
+@dataclass
+class VerificationReport:
+    """Everything one ``repro verify`` run learned."""
+
+    seed: int
+    results: List[InvariantResult] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    opcode_count: int = len(FP_OPCODES)
+    kernels: Tuple[str, ...] = ()
+
+    @property
+    def total_cases(self) -> int:
+        return sum(result.cases for result in self.results)
+
+    @property
+    def total_divergences(self) -> int:
+        return sum(result.divergence_count for result in self.results)
+
+    @property
+    def ok(self) -> bool:
+        return self.total_divergences == 0
+
+    def divergences(self) -> List[Divergence]:
+        return [d for result in self.results for d in result.divergences]
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "opcodes": self.opcode_count,
+            "kernels": list(self.kernels),
+            "wall_time_s": self.wall_time_s,
+            "invariants": [
+                {
+                    "name": result.name,
+                    "cases": result.cases,
+                    "divergence_count": result.divergence_count,
+                    "divergences": [
+                        d.to_dict()
+                        for d in result.divergences[:MAX_REPORTED_DIVERGENCES]
+                    ],
+                    "reported": min(
+                        result.divergence_count, MAX_REPORTED_DIVERGENCES
+                    ),
+                }
+                for result in self.results
+            ],
+            "total_cases": self.total_cases,
+            "total_divergences": self.total_divergences,
+            "ok": self.ok,
+        }
+
+    def write(self, path: str) -> None:
+        """Write the divergence report atomically (CI artifact)."""
+        atomic_write_json(path, self.to_dict())
+
+    def to_text(self, max_divergences: int = 10) -> str:
+        rows = [
+            [
+                result.name,
+                result.cases,
+                result.divergence_count,
+                "ok" if result.ok else "FAIL",
+            ]
+            for result in self.results
+        ]
+        rows.append(
+            [
+                "total",
+                self.total_cases,
+                self.total_divergences,
+                "ok" if self.ok else "FAIL",
+            ]
+        )
+        text = format_table(
+            ["invariant", "cases", "divergences", "status"],
+            rows,
+            title=(
+                f"differential FP-correctness oracle "
+                f"({self.opcode_count} opcodes, seed {self.seed})"
+            ),
+        )
+        if not self.ok:
+            shown = self.divergences()[:max_divergences]
+            lines = [str(d) for d in shown]
+            remaining = self.total_divergences - len(shown)
+            if remaining > 0:
+                lines.append(f"... and {remaining} more")
+            text += "\n\n" + "\n".join(lines)
+        return text
+
+
+def run_verification(
+    config: Optional[VerificationConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> VerificationReport:
+    """Run the oracle and every invariant; returns the full report.
+
+    ``registry`` lets callers aggregate the ``oracle.*`` counters into a
+    wider telemetry registry (a private one is built otherwise).
+    """
+    config = config or VerificationConfig()
+    # Explicit None test: an empty registry is falsy (it has __len__).
+    registry = registry if registry is not None else MetricsRegistry()
+    corpus = config.corpus()
+    started = time.perf_counter()
+
+    results = [
+        check_reference_agreement(corpus),
+        check_commutativity(corpus),
+        check_isa_consistency(corpus, samples_per_opcode=config.isa_samples),
+        check_threshold_bound(config.thresholds),
+    ]
+    kernels: Tuple[str, ...] = ()
+    if config.include_kernels:
+        from ..kernels.registry import KERNEL_REGISTRY
+
+        kernels = config.kernels or tuple(KERNEL_REGISTRY)
+        results.append(
+            check_memo_transparency(kernels, error_rates=config.error_rates)
+        )
+
+    report = VerificationReport(
+        seed=config.seed,
+        results=results,
+        wall_time_s=time.perf_counter() - started,
+        kernels=kernels,
+    )
+    registry.counter("oracle.cases").inc(report.total_cases)
+    registry.counter("oracle.divergences").inc(report.total_divergences)
+    for result in results:
+        registry.counter(f"oracle.invariant.{result.name}.cases").inc(
+            result.cases
+        )
+        registry.counter(f"oracle.invariant.{result.name}.violations").inc(
+            result.divergence_count
+        )
+    return report
+
+
+def oracle_snapshot(registry: MetricsRegistry) -> MetricsSnapshot:
+    """The registry's ``oracle.*`` counters as a mergeable snapshot."""
+    return registry.snapshot()
+
+
+def run_and_report(
+    config: Optional[VerificationConfig] = None,
+    json_path: Optional[str] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> VerificationReport:
+    """Run the verification and optionally write the JSON artifact."""
+    report = run_verification(config, registry=registry)
+    if json_path:
+        report.write(json_path)
+    return report

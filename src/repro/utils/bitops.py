@@ -64,10 +64,15 @@ def ulp_distance(a: float, b: float) -> int:
     """Units-in-the-last-place distance between two finite singles.
 
     Uses the standard monotone integer mapping of IEEE floats, so the
-    distance is well defined across the zero boundary.
+    distance is well defined across the zero boundary.  Non-finite
+    inputs raise :class:`ValueError`: NaN has no position on the number
+    line, and an infinity is not one ULP beyond the largest finite
+    single — callers must compare those bit patterns directly.
     """
     if math.isnan(a) or math.isnan(b):
         raise ValueError("ULP distance undefined for NaN")
+    if math.isinf(a) or math.isinf(b):
+        raise ValueError("ULP distance undefined for infinities")
     return abs(_ordered(a) - _ordered(b))
 
 

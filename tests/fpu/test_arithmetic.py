@@ -9,10 +9,15 @@ import pytest
 from repro.errors import IsaError
 from repro.fpu.arithmetic import FLOAT32_MAX, evaluate, float32
 from repro.isa.opcodes import FP_OPCODES, opcode_by_mnemonic
+from repro.utils.bitops import bits_to_float32, float32_to_bits
 
 
 def op(mnemonic):
     return opcode_by_mnemonic(mnemonic)
+
+
+def bits(value):
+    return float32_to_bits(value)
 
 
 class TestFloat32Rounding:
@@ -60,6 +65,58 @@ class TestBinaryOps:
     )
     def test_comparisons(self, mnemonic, a, b, expected):
         assert evaluate(op(mnemonic), (a, b)) == expected
+
+
+class TestMaxMinIeee:
+    """MAX/MIN follow IEEE-754 maxNum/minNum, making them genuinely
+    commutative (a COMMUTED memo hit must be transparent)."""
+
+    @pytest.mark.parametrize("mnemonic", ["MAX", "MIN"])
+    def test_nan_operand_loses(self, mnemonic):
+        assert evaluate(op(mnemonic), (math.nan, 3.0)) == 3.0
+        assert evaluate(op(mnemonic), (3.0, math.nan)) == 3.0
+
+    @pytest.mark.parametrize("mnemonic", ["MAX", "MIN"])
+    def test_both_nan_is_nan(self, mnemonic):
+        assert math.isnan(evaluate(op(mnemonic), (math.nan, math.nan)))
+
+    def test_max_of_signed_zeros_is_positive(self):
+        assert bits(evaluate(op("MAX"), (-0.0, 0.0))) == 0x00000000
+        assert bits(evaluate(op("MAX"), (0.0, -0.0))) == 0x00000000
+
+    def test_min_of_signed_zeros_is_negative(self):
+        assert bits(evaluate(op("MIN"), (-0.0, 0.0))) == 0x80000000
+        assert bits(evaluate(op("MIN"), (0.0, -0.0))) == 0x80000000
+
+    def test_infinities_order_normally(self):
+        assert evaluate(op("MAX"), (-math.inf, 1.0)) == 1.0
+        assert evaluate(op("MIN"), (math.inf, 1.0)) == 1.0
+
+
+class TestCommutativityBitwise:
+    """Every opcode declared commutative must be *value*-commutative
+    (bitwise) over the adversarial corpus, or COMMUTED memoization hits
+    would silently change result bits."""
+
+    @pytest.mark.parametrize(
+        "opcode",
+        [o for o in FP_OPCODES if o.commutative],
+        ids=lambda o: o.mnemonic,
+    )
+    def test_swapped_operands_bit_identical(self, opcode):
+        from repro.oracle.corpus import CorpusConfig, operand_corpus
+
+        i, j = opcode.commutative_operands
+        for operands in operand_corpus(opcode, CorpusConfig(fuzz_cases=64)):
+            swapped = list(operands)
+            swapped[i], swapped[j] = swapped[j], swapped[i]
+            direct = evaluate(opcode, operands)
+            commuted = evaluate(opcode, tuple(swapped))
+            if math.isnan(direct) and math.isnan(commuted):
+                continue
+            assert bits(direct) == bits(commuted), (
+                f"{opcode.mnemonic}{operands} is not value-commutative"
+            )
 
 
 class TestTernaryOps:
@@ -123,6 +180,57 @@ class TestUnaryOps:
     def test_flt_to_int_truncates(self):
         assert evaluate(op("FLT_TO_INT"), (3.9,)) == 3.0
         assert evaluate(op("FLT_TO_INT"), (-3.9,)) == -3.0
+
+    def test_flt_to_int_saturates_large_finite_values(self):
+        # Finite values beyond int32 range clamp to the saturation
+        # bounds, exactly like infinities (this was truncate-only once).
+        assert evaluate(op("FLT_TO_INT"), (1e10,)) == 2147483648.0
+        assert evaluate(op("FLT_TO_INT"), (-1e10,)) == -2147483648.0
+        largest = bits_to_float32(0x7F7FFFFF)
+        assert evaluate(op("FLT_TO_INT"), (largest,)) == 2147483648.0
+
+    def test_flt_to_int_boundary_values(self):
+        # 2147483520.0 is the largest single below 2^31: in range, passes.
+        below = bits_to_float32(0x4EFFFFFF)
+        assert evaluate(op("FLT_TO_INT"), (below,)) == below
+        # INT32_MIN is exactly representable and in range.
+        assert evaluate(op("FLT_TO_INT"), (-2147483648.0,)) == -2147483648.0
+        # One ULP past the positive bound saturates.
+        above = bits_to_float32(0x4F000001)
+        assert evaluate(op("FLT_TO_INT"), (above,)) == 2147483648.0
+
+    def test_recip_clamped_subnormal_input_clamps(self):
+        # 1/2^-149 is finite in double but overflows single precision;
+        # the clamp must catch the post-rounding infinity.
+        tiny = bits_to_float32(0x00000001)
+        assert evaluate(op("RECIP_CLAMPED"), (tiny,)) == float32(FLOAT32_MAX)
+        assert evaluate(op("RECIP_CLAMPED"), (-tiny,)) == -float32(FLOAT32_MAX)
+
+    @pytest.mark.parametrize(
+        "mnemonic,value,expected_bits",
+        [
+            ("FLOOR", -0.0, 0x80000000),
+            ("TRUNC", -0.0, 0x80000000),
+            ("TRUNC", -0.7, 0x80000000),
+            ("RNDNE", -0.0, 0x80000000),
+            ("RNDNE", -0.3, 0x80000000),
+            ("FLOOR", 0.0, 0x00000000),
+            ("TRUNC", 0.7, 0x00000000),
+        ],
+    )
+    def test_rounding_ops_preserve_zero_sign(self, mnemonic, value, expected_bits):
+        # IEEE roundToIntegral keeps the sign of zero results.
+        assert bits(evaluate(op(mnemonic), (value,))) == expected_bits
+
+    def test_flt_to_int_zero_is_unsigned(self):
+        # The conversion produces an *integer* zero, which has no sign.
+        assert bits(evaluate(op("FLT_TO_INT"), (-0.7,))) == 0x00000000
+        assert bits(evaluate(op("FLT_TO_INT"), (-0.0,))) == 0x00000000
+
+    def test_fract_of_zero_is_positive_zero(self):
+        # a - floor(a) is +0.0 for either zero under IEEE floor.
+        assert bits(evaluate(op("FRACT"), (0.0,))) == 0x00000000
+        assert bits(evaluate(op("FRACT"), (-0.0,))) == 0x00000000
 
     def test_exp_log_inverse(self):
         x = float32(1.25)

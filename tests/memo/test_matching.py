@@ -138,6 +138,94 @@ class TestCommutativity:
         assert outcome is MatchOutcome.EXACT
 
 
+class TestNanAndSignedZeroPinning:
+    """Pins the documented comparator semantics for NaN and signed
+    zeros across all three modes (cross-checked by ``repro verify``)."""
+
+    def test_threshold_mode_never_matches_nan_context(self, add_op):
+        # -t <= a-b <= t is false for NaN: a NaN context can neither hit
+        # nor be hit under any numeric threshold.
+        constraint = MatchingConstraint(threshold=100.0)
+        assert (
+            constraint.match(add_op, (math.nan, 1.0), (math.nan, 1.0))
+            is MatchOutcome.MISS
+        )
+        assert (
+            constraint.match(add_op, (1.0, 1.0), (math.nan, 1.0))
+            is MatchOutcome.MISS
+        )
+
+    def test_exact_mode_matches_identical_nan_patterns(self, add_op):
+        # The bit comparator has no NaN special case: identical patterns
+        # match, like the hardware comparator bank.
+        constraint = MatchingConstraint(threshold=0.0)
+        assert (
+            constraint.match(add_op, (math.nan, 1.0), (math.nan, 1.0))
+            is MatchOutcome.EXACT
+        )
+
+    def test_exact_mode_distinguishes_nan_payloads(self, add_op):
+        constraint = MatchingConstraint(threshold=0.0)
+        payload = bits_to_float32(0x7FC00001)
+        assert (
+            constraint.match(add_op, (payload, 1.0), (math.nan, 1.0))
+            is MatchOutcome.MISS
+        )
+
+    def test_mask_mode_matches_identical_nan_patterns(self, add_op):
+        constraint = MatchingConstraint(mask_vector=fraction_mask_vector(10))
+        assert (
+            constraint.match(add_op, (math.nan, 1.0), (math.nan, 1.0))
+            is MatchOutcome.APPROXIMATE
+        )
+
+    def test_threshold_mode_treats_signed_zeros_equal(self, add_op):
+        # 0.0 - -0.0 is 0.0, inside any threshold.
+        constraint = MatchingConstraint(threshold=0.25, allow_commutative=False)
+        assert (
+            constraint.match(add_op, (-0.0, 1.0), (0.0, 1.0))
+            is MatchOutcome.APPROXIMATE
+        )
+
+    def test_mask_mode_distinguishes_signed_zeros(self, add_op):
+        # The sign bit is never masked out.
+        constraint = MatchingConstraint(
+            mask_vector=fraction_mask_vector(10), allow_commutative=False
+        )
+        assert (
+            constraint.match(add_op, (-0.0, 1.0), (0.0, 1.0))
+            is MatchOutcome.MISS
+        )
+
+
+class TestDirectMatchPriority:
+    """A direct match always wins over a commuted one: COMMUTED is only
+    reported when the in-place order missed."""
+
+    def test_equal_operands_report_exact_not_commuted(self, add_op):
+        constraint = MatchingConstraint(threshold=0.0)
+        assert (
+            constraint.match(add_op, (2.0, 2.0), (2.0, 2.0))
+            is MatchOutcome.EXACT
+        )
+
+    def test_direct_approximate_wins_over_commuted(self, add_op):
+        # Both orders are within the threshold here; the direct order is
+        # tried first, so the outcome is APPROXIMATE, never COMMUTED.
+        constraint = MatchingConstraint(threshold=1.0)
+        assert (
+            constraint.match(add_op, (1.4, 1.6), (1.5, 1.5))
+            is MatchOutcome.APPROXIMATE
+        )
+
+    def test_commuted_only_after_direct_miss(self, add_op):
+        constraint = MatchingConstraint(threshold=0.25)
+        assert (
+            constraint.match(add_op, (2.0, 1.0), (1.0, 2.0))
+            is MatchOutcome.COMMUTED
+        )
+
+
 class TestFromConfig:
     def test_threshold_config(self):
         constraint = MatchingConstraint.from_config(MemoConfig(threshold=0.25))

@@ -1,0 +1,108 @@
+"""Tests for the deterministic adversarial operand corpus."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.opcodes import opcode_by_mnemonic
+from repro.oracle.corpus import (
+    CorpusConfig,
+    corpus_case_count,
+    describe_bits,
+    fuzz_operands,
+    operand_corpus,
+    special_values,
+    ulp_adjacent_pairs,
+)
+from repro.utils.bitops import float32_to_bits, ulp_distance
+
+
+def op(mnemonic):
+    return opcode_by_mnemonic(mnemonic)
+
+
+class TestSpecialValues:
+    def test_covers_every_value_class(self):
+        values = special_values()
+        bits = {float32_to_bits(v) for v in values}
+        assert 0x00000000 in bits and 0x80000000 in bits  # signed zeros
+        assert 0x7F800000 in bits and 0xFF800000 in bits  # infinities
+        assert any(math.isnan(v) for v in values)
+        assert 0x00000001 in bits  # subnormal
+        assert 0x4F000000 in bits  # int32 saturation bound
+
+    def test_all_values_are_exact_singles(self):
+        # float32_to_bits round-trips only exact singles without change.
+        for value in special_values():
+            assert isinstance(value, float)
+
+    def test_deterministic_order(self):
+        # Compare bit patterns: NaN breaks tuple equality.
+        first = [float32_to_bits(v) for v in special_values()]
+        second = [float32_to_bits(v) for v in special_values()]
+        assert first == second
+
+
+class TestUlpPairs:
+    def test_pairs_are_one_ulp_apart(self):
+        for a, b in ulp_adjacent_pairs():
+            assert ulp_distance(a, b) == 1
+
+
+class TestFuzzer:
+    def test_same_seed_same_stream(self):
+        config = CorpusConfig(seed=7, fuzz_cases=32)
+        first = list(fuzz_operands(op("ADD"), config))
+        second = list(fuzz_operands(op("ADD"), config))
+        assert [tuple(map(float32_to_bits, t)) for t in first] == [
+            tuple(map(float32_to_bits, t)) for t in second
+        ]
+
+    def test_different_seeds_differ(self):
+        a = list(fuzz_operands(op("ADD"), CorpusConfig(seed=0, fuzz_cases=32)))
+        b = list(fuzz_operands(op("ADD"), CorpusConfig(seed=1, fuzz_cases=32)))
+        assert a != b
+
+    def test_streams_are_per_opcode(self):
+        config = CorpusConfig(seed=0, fuzz_cases=32)
+        add = list(fuzz_operands(op("ADD"), config))
+        mul = list(fuzz_operands(op("MUL"), config))
+        assert add != mul
+
+    def test_tuple_arity_matches_opcode(self):
+        config = CorpusConfig(fuzz_cases=8)
+        for mnemonic in ("FLOOR", "ADD", "MULADD"):
+            for operands in fuzz_operands(op(mnemonic), config):
+                assert len(operands) == op(mnemonic).arity
+
+    def test_negative_fuzz_cases_rejected(self):
+        with pytest.raises(ConfigError):
+            CorpusConfig(fuzz_cases=-1)
+
+
+class TestOperandCorpus:
+    @pytest.mark.parametrize("mnemonic", ["FLOOR", "ADD", "MULADD"])
+    def test_case_count_matches_enumeration(self, mnemonic):
+        config = CorpusConfig(fuzz_cases=16)
+        cases = list(operand_corpus(op(mnemonic), config))
+        assert len(cases) == corpus_case_count(op(mnemonic), config)
+
+    def test_binary_corpus_contains_nan_inf_pairs(self):
+        config = CorpusConfig(fuzz_cases=0)
+        cases = list(operand_corpus(op("ADD"), config))
+        assert any(math.isnan(a) and math.isinf(b) for a, b in cases)
+
+    def test_corpus_is_deterministic(self):
+        config = CorpusConfig(seed=3, fuzz_cases=16)
+        first = list(operand_corpus(op("MUL"), config))
+        second = list(operand_corpus(op("MUL"), config))
+        assert [tuple(map(float32_to_bits, t)) for t in first] == [
+            tuple(map(float32_to_bits, t)) for t in second
+        ]
+
+
+class TestDescribeBits:
+    def test_canonical_hex_spelling(self):
+        assert describe_bits(1.0) == "0x3F800000"
+        assert describe_bits(-0.0) == "0x80000000"

@@ -1,0 +1,146 @@
+"""Tests for the metamorphic invariant suite.
+
+The positive direction (everything green on the real simulator) is
+covered by ``repro verify`` itself; the load-bearing tests here are the
+*negative* ones, which reintroduce the historical arithmetic bugs and
+assert the invariants actually catch them.
+"""
+
+import math
+
+import pytest
+
+from repro.fpu import arithmetic
+from repro.oracle.corpus import CorpusConfig
+from repro.oracle.invariants import (
+    Divergence,
+    check_commutativity,
+    check_isa_consistency,
+    check_memo_transparency,
+    check_reference_agreement,
+    check_threshold_bound,
+)
+
+FAST = CorpusConfig(seed=0, fuzz_cases=16)
+
+
+class TestReferenceAgreement:
+    def test_clean_simulator_has_no_divergences(self):
+        result = check_reference_agreement(FAST)
+        assert result.ok
+        assert result.cases > 15000
+
+    def test_catches_unsaturated_flt_to_int(self, monkeypatch):
+        # The pre-fix conversion: truncate without clamping to int32.
+        monkeypatch.setitem(
+            arithmetic._UNARY,
+            "FLT_TO_INT",
+            lambda a: 0.0 if math.isnan(a) else float(math.trunc(a))
+            if math.isfinite(a)
+            else a,
+        )
+        result = check_reference_agreement(FAST)
+        assert any(d.opcode == "FLT_TO_INT" for d in result.divergences)
+
+    def test_catches_signed_zero_floor_bug(self, monkeypatch):
+        # The pre-fix FLOOR: Python's int-returning floor loses -0.0.
+        monkeypatch.setitem(
+            arithmetic._UNARY,
+            "FLOOR",
+            lambda a: float(math.floor(a)) if math.isfinite(a) else a,
+        )
+        result = check_reference_agreement(FAST)
+        assert any(d.opcode == "FLOOR" for d in result.divergences)
+
+
+class TestCommutativity:
+    def test_clean_simulator_is_commutative(self):
+        result = check_commutativity(FAST)
+        assert result.ok
+
+    def test_catches_reintroduced_python_max(self, monkeypatch):
+        # The original bug this PR fixes: Python's max() returns its
+        # first argument for NaN and is order dependent for +/-0.0, so a
+        # COMMUTED memo hit would change the result bits.
+        monkeypatch.setitem(arithmetic._BINARY, "MAX", lambda a, b: max(a, b))
+        result = check_commutativity(FAST)
+        assert not result.ok
+        assert any(d.opcode == "MAX" for d in result.divergences)
+
+    def test_catches_order_dependent_min(self, monkeypatch):
+        monkeypatch.setitem(arithmetic._BINARY, "MIN", lambda a, b: min(a, b))
+        result = check_commutativity(FAST)
+        assert any(d.opcode == "MIN" for d in result.divergences)
+
+    def test_only_declared_commutative_opcodes_swept(self):
+        result = check_commutativity(FAST)
+        # SUB/SETGT etc. are not commutative and must not contribute.
+        mnemonics = {d.opcode for d in result.divergences}
+        assert "SUB" not in mnemonics
+
+
+class TestIsaConsistency:
+    def test_interpreter_matches_direct_evaluate(self):
+        result = check_isa_consistency(FAST, samples_per_opcode=8)
+        assert result.ok
+        assert result.cases == 27 * 8
+
+
+class TestMemoTransparency:
+    def test_exact_memo_is_bit_transparent(self):
+        result = check_memo_transparency(["Sobel"], error_rates=(0.0,))
+        assert result.ok
+        assert result.cases == 1
+
+    def test_sweeps_kernel_by_error_rate_grid(self):
+        result = check_memo_transparency(
+            ["FWT", "Haar"], error_rates=(0.0, 0.02)
+        )
+        assert result.cases == 4
+
+
+class TestThresholdBound:
+    def test_approximate_hits_stay_in_envelope(self):
+        result = check_threshold_bound(thresholds=(0.25,))
+        assert result.ok
+        assert result.cases > 0
+
+    def test_nan_rule_is_checked(self):
+        # The NaN sub-check contributes one case per opcode/threshold on
+        # top of the perturbation grid.
+        grid = check_threshold_bound(thresholds=(0.25, 0.5))
+        assert grid.cases > check_threshold_bound(thresholds=(0.25,)).cases
+
+
+class TestDivergenceRecord:
+    def test_to_dict_carries_bit_patterns(self):
+        d = Divergence(
+            invariant="reference",
+            opcode="ADD",
+            detail="example",
+            operands=(1.0, -0.0),
+            ours=math.inf,
+            expected=math.nan,
+        )
+        doc = d.to_dict()
+        assert doc["operand_bits"] == ["0x3F800000", "0x80000000"]
+        assert doc["ours"] == "inf"  # JSON-safe spelling
+        assert doc["expected"] == "nan"
+
+    def test_str_is_replayable(self):
+        d = Divergence(
+            invariant="commutativity",
+            opcode="MAX",
+            detail="swap changed result",
+            operands=(math.nan, 1.0),
+        )
+        text = str(d)
+        assert "[commutativity]" in text and "MAX" in text
+        assert "0x" in text  # operand bit patterns present
+
+
+@pytest.fixture(autouse=True)
+def _no_lingering_patch():
+    """Monkeypatched tables must be restored (sanity for other tests)."""
+    yield
+    assert arithmetic._BINARY["MAX"] is arithmetic._max_ieee

@@ -1,0 +1,119 @@
+"""Tests for the independent NumPy-float32 reference semantics."""
+
+import math
+
+import pytest
+
+from repro.errors import IsaError
+from repro.fpu.arithmetic import evaluate, float32
+from repro.isa.opcodes import FP_OPCODES, opcode_by_mnemonic
+from repro.oracle.reference import (
+    ULP_TOLERANCE,
+    reference_evaluate,
+    results_equivalent,
+    ulp_tolerance,
+)
+from repro.utils.bitops import bits_to_float32, float32_to_bits
+
+
+def op(mnemonic):
+    return opcode_by_mnemonic(mnemonic)
+
+
+class TestCoverage:
+    def test_every_opcode_has_reference_semantics(self):
+        for opcode in FP_OPCODES:
+            operands = tuple([1.5] * opcode.arity)
+            result = reference_evaluate(opcode, operands)
+            assert isinstance(result, float)
+
+    def test_results_are_single_precision(self):
+        for opcode in FP_OPCODES:
+            operands = tuple([float32(1.1)] * opcode.arity)
+            result = reference_evaluate(opcode, operands)
+            if not math.isnan(result):
+                assert result == float32(result)
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(IsaError):
+            reference_evaluate(op("ADD"), (1.0,))
+
+
+class TestUlpTolerance:
+    def test_transcendentals_get_one_ulp(self):
+        for mnemonic in ("SIN", "COS", "EXP", "LOG", "RSQRT"):
+            assert ulp_tolerance(op(mnemonic)) == 1
+
+    def test_everything_else_is_bit_exact(self):
+        for opcode in FP_OPCODES:
+            if opcode.mnemonic not in ULP_TOLERANCE:
+                assert ulp_tolerance(opcode) == 0
+
+    def test_division_and_sqrt_are_bit_exact(self):
+        # Double-then-round is provably correctly rounded for these (the
+        # 53-bit intermediate exceeds the 2p+2 bits double rounding needs),
+        # so the oracle holds them to zero ULPs.
+        for mnemonic in ("RECIP", "RECIP_CLAMPED", "SQRT"):
+            assert ulp_tolerance(op(mnemonic)) == 0
+
+
+class TestReferenceSemantics:
+    def test_max_ieee_nan_loses(self):
+        assert reference_evaluate(op("MAX"), (math.nan, 3.0)) == 3.0
+        assert reference_evaluate(op("MAX"), (3.0, math.nan)) == 3.0
+
+    def test_max_prefers_positive_zero(self):
+        result = reference_evaluate(op("MAX"), (-0.0, 0.0))
+        assert float32_to_bits(result) == 0x00000000
+
+    def test_min_prefers_negative_zero(self):
+        result = reference_evaluate(op("MIN"), (0.0, -0.0))
+        assert float32_to_bits(result) == 0x80000000
+
+    def test_flt_to_int_saturates(self):
+        assert reference_evaluate(op("FLT_TO_INT"), (1e10,)) == 2147483648.0
+        assert reference_evaluate(op("FLT_TO_INT"), (-1e10,)) == -2147483648.0
+
+    def test_flt_to_int_zero_has_no_sign(self):
+        # The conversion produces an *integer* zero; -0.7 truncates to it.
+        result = reference_evaluate(op("FLT_TO_INT"), (-0.7,))
+        assert float32_to_bits(result) == 0x00000000
+
+    def test_fma_rounds_once(self):
+        a = float32(1.0000001)
+        fused = reference_evaluate(op("MULADD"), (a, a, -1.0))
+        assert fused == evaluate(op("MULADD"), (a, a, -1.0))
+
+    def test_recip_clamped_subnormal_clamps(self):
+        tiny = bits_to_float32(0x00000001)
+        result = reference_evaluate(op("RECIP_CLAMPED"), (tiny,))
+        assert math.isfinite(result)
+
+
+class TestResultsEquivalent:
+    def test_bitwise_equal_passes(self):
+        assert results_equivalent(op("ADD"), 1.5, 1.5)
+
+    def test_signed_zeros_differ(self):
+        assert not results_equivalent(op("ADD"), 0.0, -0.0)
+
+    def test_any_nan_equals_any_nan(self):
+        payload = bits_to_float32(0x7FC00001)
+        assert results_equivalent(op("ADD"), math.nan, payload)
+
+    def test_one_ulp_fails_bit_exact_opcodes(self):
+        nudged = bits_to_float32(float32_to_bits(1.0) + 1)
+        assert not results_equivalent(op("ADD"), 1.0, nudged)
+
+    def test_one_ulp_passes_transcendentals(self):
+        nudged = bits_to_float32(float32_to_bits(1.0) + 1)
+        assert results_equivalent(op("SIN"), 1.0, nudged)
+
+    def test_two_ulps_fail_transcendentals(self):
+        nudged = bits_to_float32(float32_to_bits(1.0) + 2)
+        assert not results_equivalent(op("SIN"), 1.0, nudged)
+
+    def test_infinity_vs_finite_fails_with_tolerance(self):
+        # ULP distance is undefined for infinities; the tolerance branch
+        # must not be taken, and the pair must simply fail.
+        assert not results_equivalent(op("SIN"), math.inf, 1.0)

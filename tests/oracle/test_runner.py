@@ -1,0 +1,110 @@
+"""Tests for the verification runner and its report artifact."""
+
+import json
+
+from repro.fpu import arithmetic
+from repro.oracle.runner import (
+    MAX_REPORTED_DIVERGENCES,
+    VerificationConfig,
+    VerificationReport,
+    run_and_report,
+    run_verification,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+QUICK = VerificationConfig(fuzz_cases=16, include_kernels=False)
+
+
+class TestRunVerification:
+    def test_clean_tree_verifies(self):
+        report = run_verification(QUICK)
+        assert report.ok
+        assert report.total_divergences == 0
+        assert report.opcode_count == 27
+        assert {r.name for r in report.results} == {
+            "reference",
+            "commutativity",
+            "isa_consistency",
+            "threshold_bound",
+        }
+
+    def test_kernel_sweep_included_by_default_config(self):
+        config = VerificationConfig(
+            fuzz_cases=0, kernels=("FWT",), error_rates=(0.0,)
+        )
+        report = run_verification(config)
+        assert report.kernels == ("FWT",)
+        assert any(r.name == "memo_transparency" for r in report.results)
+
+    def test_counters_flow_into_registry(self):
+        registry = MetricsRegistry()
+        report = run_verification(QUICK, registry=registry)
+        snapshot = registry.snapshot().to_dict()
+        assert snapshot["counters"]["oracle.cases"] == report.total_cases
+        assert snapshot["counters"]["oracle.divergences"] == 0
+        assert (
+            snapshot["counters"]["oracle.invariant.reference.cases"]
+            == report.results[0].cases
+        )
+
+    def test_divergences_fail_the_report(self, monkeypatch):
+        monkeypatch.setitem(arithmetic._BINARY, "MAX", lambda a, b: max(a, b))
+        report = run_verification(QUICK)
+        assert not report.ok
+        assert report.total_divergences > 0
+
+
+class TestReportArtifact:
+    def test_json_artifact_round_trips(self, tmp_path):
+        path = tmp_path / "divergences.json"
+        report = run_and_report(QUICK, json_path=str(path))
+        doc = json.loads(path.read_text())
+        assert doc["ok"] is True
+        assert doc["seed"] == 0
+        assert doc["total_cases"] == report.total_cases
+        assert [i["name"] for i in doc["invariants"]] == [
+            r.name for r in report.results
+        ]
+
+    def test_artifact_caps_embedded_divergences(self, monkeypatch, tmp_path):
+        monkeypatch.setitem(arithmetic._BINARY, "MAX", lambda a, b: max(a, b))
+        path = tmp_path / "divergences.json"
+        report = run_and_report(QUICK, json_path=str(path))
+        doc = json.loads(path.read_text())
+        assert doc["ok"] is False
+        for entry in doc["invariants"]:
+            assert len(entry["divergences"]) <= MAX_REPORTED_DIVERGENCES
+            # The true total is never silently truncated.
+            assert entry["divergence_count"] >= len(entry["divergences"])
+        assert doc["total_divergences"] == report.total_divergences
+
+    def test_divergence_records_are_replayable(self, monkeypatch):
+        monkeypatch.setitem(arithmetic._BINARY, "MAX", lambda a, b: max(a, b))
+        report = run_verification(QUICK)
+        record = report.divergences()[0].to_dict()
+        assert record["opcode"] == "MAX"
+        assert all(bits.startswith("0x") for bits in record["operand_bits"])
+
+
+class TestReportText:
+    def test_green_table_lists_every_invariant(self):
+        report = run_verification(QUICK)
+        text = report.to_text()
+        assert "reference" in text and "threshold_bound" in text
+        assert "FAIL" not in text
+
+    def test_failing_table_prints_divergences(self, monkeypatch):
+        monkeypatch.setitem(arithmetic._BINARY, "MAX", lambda a, b: max(a, b))
+        report = run_verification(QUICK)
+        text = report.to_text(max_divergences=3)
+        assert "FAIL" in text
+        assert "[commutativity]" in text or "[reference]" in text
+        if report.total_divergences > 3:
+            assert "more" in text
+
+
+class TestVerificationReportShape:
+    def test_empty_report_is_ok(self):
+        report = VerificationReport(seed=0)
+        assert report.ok
+        assert report.total_cases == 0

@@ -335,6 +335,57 @@ class TestCalibrate:
         assert "infeasible" in text
 
 
+class TestVerify:
+    def test_quick_verification_passes(self):
+        code, text = run_cli("verify", "--quick", "--fuzz", "16")
+        assert code == 0
+        assert "differential FP-correctness oracle" in text
+        assert "reference" in text and "commutativity" in text
+        assert "FAIL" not in text
+
+    def test_kernel_restriction_runs_memo_transparency(self):
+        code, text = run_cli("verify", "--fuzz", "0", "--kernel", "FWT")
+        assert code == 0
+        assert "memo_transparency" in text
+
+    def test_json_artifact(self, tmp_path):
+        path = tmp_path / "divergences.json"
+        code, text = run_cli(
+            "verify", "--quick", "--fuzz", "0", "--json", str(path)
+        )
+        assert code == 0
+        assert f"divergence report written to {path}" in text
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["ok"] is True and doc["total_divergences"] == 0
+        assert doc["seed"] == 0
+
+    def test_custom_seed_recorded(self, tmp_path):
+        path = tmp_path / "divergences.json"
+        code, _ = run_cli(
+            "verify", "--quick", "--fuzz", "8", "--seed", "7",
+            "--json", str(path),
+        )
+        assert code == 0
+        with open(path) as f:
+            assert json.load(f)["seed"] == 7
+
+    def test_divergence_exits_nonzero(self, monkeypatch):
+        from repro.fpu import arithmetic
+
+        monkeypatch.setitem(
+            arithmetic._BINARY, "MAX", lambda a, b: max(a, b)
+        )
+        code, text = run_cli("verify", "--quick", "--fuzz", "0")
+        assert code == 1
+        assert "FAIL" in text
+        assert "MAX" in text
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("verify", "--kernel", "Mandelbrot")
+
+
 class TestUsage:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -116,3 +116,13 @@ class TestUlpDistance:
     def test_nan_rejected(self):
         with pytest.raises(ValueError):
             ulp_distance(math.nan, 1.0)
+
+    def test_infinity_rejected(self):
+        # There is no meaningful ULP count to or between infinities;
+        # like NaN, they are a usage error, not a huge distance.
+        with pytest.raises(ValueError):
+            ulp_distance(math.inf, 1.0)
+        with pytest.raises(ValueError):
+            ulp_distance(1.0, -math.inf)
+        with pytest.raises(ValueError):
+            ulp_distance(math.inf, math.inf)
