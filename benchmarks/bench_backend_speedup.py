@@ -1,0 +1,121 @@
+"""Vector-backend speedup over the scalar reference, per kernel.
+
+The vector backend exists purely for wall-clock: it batches a whole
+wavefront through NumPy per opcode dispatch while promising bit-identical
+results (``repro verify --backend-diff`` enforces the promise; this bench
+measures the payoff).  Each kernel is timed as interleaved scalar/vector
+pairs — alternating the backends inside one loop so OS scheduling drift
+hits both sides equally, with the GC parked.  The reported speedup is
+the median of the per-pair ratios: each ratio compares two runs taken
+back to back under the same machine conditions, so a single lucky (or
+unlucky) run on either side cannot skew the estimate the way a ratio
+of independent minima can.
+
+The image kernels run on benchmark-scale frames (192x192 Sobel,
+128x128 Gaussian) instead of the registry's 64x64 default: at that
+size the launch machinery (work-item construction, buffer staging —
+identical for both backends) stops diluting the ratio, so the number
+reflects the engines themselves.
+"""
+
+import gc
+import time
+
+from conftest import run_once
+
+from repro.config import MemoConfig, SimConfig
+from repro.gpu.executor import GpuExecutor
+from repro.kernels.gaussian import GaussianWorkload
+from repro.kernels.registry import KERNEL_REGISTRY, synth_face
+from repro.kernels.sobel import SobelWorkload
+from repro.utils.tables import format_table
+
+#: Interleaved timing pairs per kernel; best-of wins.
+PAIRS = 7
+
+_SCALED_FACTORIES = {
+    "Sobel": lambda: SobelWorkload(synth_face(192)),
+    "Gaussian": lambda: GaussianWorkload(synth_face(128)),
+}
+
+
+def _factory(kernel: str):
+    return _SCALED_FACTORIES.get(
+        kernel, KERNEL_REGISTRY[kernel].default_factory
+    )
+
+
+def _timed_run(kernel: str, backend: str) -> tuple:
+    spec = KERNEL_REGISTRY[kernel]
+    config = SimConfig(
+        memo=MemoConfig(threshold=spec.threshold), backend=backend
+    )
+    executor = GpuExecutor(config)
+    workload = _factory(kernel)()
+    gc.collect()
+    started = time.perf_counter()
+    workload.run(executor)
+    wall = time.perf_counter() - started
+    return wall, executor.device.executed_ops
+
+
+def run_speedup_study():
+    rows = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for kernel in KERNEL_REGISTRY:
+            scalar_walls, vector_walls = [], []
+            ops = set()
+            for _ in range(PAIRS):
+                wall, executed = _timed_run(kernel, "scalar")
+                scalar_walls.append(wall)
+                ops.add(executed)
+                wall, executed = _timed_run(kernel, "vector")
+                vector_walls.append(wall)
+                ops.add(executed)
+            # Both backends executed the same op stream (full
+            # bit-identity is the oracle's job; see docs/backends.md).
+            assert len(ops) == 1, f"{kernel}: op counts diverged: {ops}"
+            ratios = sorted(
+                s / v for s, v in zip(scalar_walls, vector_walls)
+            )
+            rows[kernel] = (
+                min(scalar_walls),
+                min(vector_walls),
+                ratios[len(ratios) // 2],
+            )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return rows
+
+
+def test_backend_speedup(benchmark, bench_report, bench_metrics):
+    rows = run_once(benchmark, run_speedup_study)
+
+    table = []
+    scalar_total = vector_total = 0.0
+    for kernel, (scalar_wall, vector_wall, speedup) in rows.items():
+        scalar_total += scalar_wall
+        vector_total += vector_wall
+        table.append([kernel, scalar_wall, vector_wall, speedup])
+        bench_metrics(f"speedup_{kernel}", round(speedup, 2))
+    total_speedup = scalar_total / vector_total
+    table.append(["TOTAL", scalar_total, vector_total, total_speedup])
+    bench_report(
+        format_table(
+            ["kernel", "best scalar s", "best vector s", "median speedup"],
+            table,
+            title=f"vector backend speedup ({PAIRS} interleaved pairs, "
+            "error-free; speedup = median per-pair ratio)",
+        )
+    )
+    bench_metrics("scalar_total_s", round(scalar_total, 4))
+    bench_metrics("vector_total_s", round(vector_total, 4))
+    bench_metrics("speedup_total", round(total_speedup, 2))
+
+    # Regression guard, deliberately loose against CI-runner noise; the
+    # recorded metrics carry the real numbers.
+    assert rows["Sobel"][2] > 2.0
+    assert total_speedup > 1.5

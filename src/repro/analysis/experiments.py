@@ -163,6 +163,7 @@ def run_fifo_depth_study(
     kernels: Optional[Sequence[str]] = None,
     jobs: int = 1,
     store=None,
+    backend: str = "scalar",
 ) -> ExperimentResult:
     """Average hit-rate gain of deeper FIFOs over the 2-entry default.
 
@@ -181,6 +182,7 @@ def run_fifo_depth_study(
                 spec.threshold,
                 jobs=jobs,
                 store=store,
+                backend=backend,
             )
             rates.append(points[0].hit_rate)
         per_depth_avg.append(sum(rates) / len(rates))
@@ -271,6 +273,7 @@ def run_fig10_energy_vs_error_rate(
     kernels: Optional[Sequence[str]] = None,
     jobs: int = 1,
     store=None,
+    backend: str = "scalar",
 ) -> ExperimentResult:
     """Average energy saving vs injected timing-error rate.
 
@@ -284,7 +287,12 @@ def run_fig10_energy_vs_error_rate(
     for name in names:
         spec = KERNEL_REGISTRY[name]
         points = error_rate_sweep(
-            spec.default_factory, rates, spec.threshold, jobs=jobs, store=store
+            spec.default_factory,
+            rates,
+            spec.threshold,
+            jobs=jobs,
+            store=store,
+            backend=backend,
         )
         per_kernel[name] = [point.saving for point in points]
     averages = [
@@ -320,6 +328,7 @@ def run_fig11_voltage_overscaling(
     kernels: Sequence[str] = FIG11_KERNELS,
     jobs: int = 1,
     store=None,
+    backend: str = "scalar",
 ) -> ExperimentResult:
     """Total energy of baseline vs memoized architecture under overscaling.
 
@@ -334,7 +343,12 @@ def run_fig11_voltage_overscaling(
     for name in kernels:
         spec = KERNEL_REGISTRY[name]
         points = voltage_sweep(
-            spec.default_factory, voltages, spec.threshold, jobs=jobs, store=store
+            spec.default_factory,
+            voltages,
+            spec.threshold,
+            jobs=jobs,
+            store=store,
+            backend=backend,
         )
         nominal = points[0].baseline_energy_pj
         for i, point in enumerate(points):

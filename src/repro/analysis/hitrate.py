@@ -38,8 +38,13 @@ def collect_hit_rates(
     threshold: float,
     fifo_depth: int = 2,
     config: Optional[SimConfig] = None,
+    backend: str = "scalar",
 ) -> HitRateSample:
-    """Run a workload on the memoized device and collect its hit rates."""
+    """Run a workload on the memoized device and collect its hit rates.
+
+    ``backend`` picks the execution backend when no explicit ``config``
+    is passed (an explicit config carries its own backend choice).
+    """
     from ..gpu.executor import GpuExecutor
 
     if config is None:
@@ -47,6 +52,7 @@ def collect_hit_rates(
             arch=small_arch(),
             memo=MemoConfig(threshold=threshold, fifo_depth=fifo_depth),
             timing=TimingConfig(),
+            backend=backend,
         )
     executor = GpuExecutor(config)
     workload.run(executor)

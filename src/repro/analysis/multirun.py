@@ -75,6 +75,10 @@ class SeedShardTask:
     error_rate: float
     seed: int
     collect_telemetry: bool = False
+    #: Execution backend.  Provenance only: backends are bit-identical by
+    #: contract, so :func:`~repro.campaign.keys.seed_shard_key` does not
+    #: hash this field and cached shards are shared across backends.
+    backend: str = "scalar"
 
 
 @dataclass
@@ -104,6 +108,7 @@ def run_seed_shard(task: SeedShardTask) -> SeedShardResult:
         memo=MemoConfig(threshold=task.threshold),
         timing=timing,
         telemetry=TelemetryConfig(enabled=task.collect_telemetry),
+        backend=task.backend,
     )
     memo_ex = GpuExecutor(config)
     task.factory().run(memo_ex)
@@ -212,6 +217,7 @@ def measure_with_seeds(
     timeout: Optional[float] = None,
     start_method: Optional[str] = None,
     store=None,
+    backend: str = "scalar",
 ) -> MultiSeedMeasurement:
     """Memoized-vs-baseline saving across independent error streams.
 
@@ -222,7 +228,10 @@ def measure_with_seeds(
     ``"spawn"``) for the pool path.  ``store`` (a
     :class:`repro.campaign.ResultStore`) short-circuits shards whose
     results are already durable and persists newly computed ones —
-    the measurement is bit-identical with or without it.
+    the measurement is bit-identical with or without it.  ``backend``
+    selects the execution backend (:data:`repro.config.BACKENDS`);
+    backends are bit-identical by contract, so cached shards are shared
+    between them.
     """
     if not seeds:
         raise ConfigError("need at least one seed")
@@ -233,6 +242,7 @@ def measure_with_seeds(
             error_rate=error_rate,
             seed=seed,
             collect_telemetry=collect_telemetry,
+            backend=backend,
         )
         for seed in seeds
     ]

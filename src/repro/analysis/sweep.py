@@ -59,13 +59,22 @@ class SweepTask:
     memo: MemoConfig
     timing: TimingConfig
     energy_params: Optional[EnergyParams] = None
+    #: Execution backend.  Provenance only: backends are bit-identical by
+    #: contract, so :func:`~repro.campaign.keys.sweep_point_key` does not
+    #: hash this field and cached points are shared across backends.
+    backend: str = "scalar"
 
 
 def run_sweep_point(task: SweepTask) -> SweepPoint:
     """Measure one (memo config, timing config) point — pool worker."""
     from ..gpu.executor import GpuExecutor
 
-    config = SimConfig(arch=small_arch(), memo=task.memo, timing=task.timing)
+    config = SimConfig(
+        arch=small_arch(),
+        memo=task.memo,
+        timing=task.timing,
+        backend=task.backend,
+    )
     model = EnergyModel(
         params=task.energy_params, fpu_voltage=task.timing.voltage
     )
@@ -135,6 +144,7 @@ def threshold_sweep(
     fifo_depth: int = 2,
     jobs: int = 1,
     store=None,
+    backend: str = "scalar",
 ) -> list:
     """Hit rate / energy across matching thresholds (error-free)."""
     tasks = [
@@ -143,6 +153,7 @@ def threshold_sweep(
             factory=factory,
             memo=MemoConfig(threshold=threshold, fifo_depth=fifo_depth),
             timing=TimingConfig(),
+            backend=backend,
         )
         for threshold in thresholds
     ]
@@ -155,6 +166,7 @@ def fifo_depth_sweep(
     threshold: float,
     jobs: int = 1,
     store=None,
+    backend: str = "scalar",
 ) -> list:
     """Hit rate across FIFO depths at a fixed threshold (Section 4.1)."""
     tasks = [
@@ -163,6 +175,7 @@ def fifo_depth_sweep(
             factory=factory,
             memo=MemoConfig(threshold=threshold, fifo_depth=depth),
             timing=TimingConfig(),
+            backend=backend,
         )
         for depth in depths
     ]
@@ -175,6 +188,7 @@ def error_rate_sweep(
     threshold: float,
     jobs: int = 1,
     store=None,
+    backend: str = "scalar",
 ) -> list:
     """Energy saving across injected timing-error rates (Figure 10)."""
     tasks = [
@@ -183,6 +197,7 @@ def error_rate_sweep(
             factory=factory,
             memo=MemoConfig(threshold=threshold),
             timing=TimingConfig(error_rate=rate),
+            backend=backend,
         )
         for rate in rates
     ]
@@ -197,6 +212,7 @@ def voltage_sweep(
     params: Optional[EnergyParams] = None,
     jobs: int = 1,
     store=None,
+    backend: str = "scalar",
 ) -> list:
     """Energy across overscaled voltages (Figure 11).
 
@@ -214,6 +230,7 @@ def voltage_sweep(
                 error_rate=voltage_model.error_rate(voltage), voltage=voltage
             ),
             energy_params=params,
+            backend=backend,
         )
         for voltage in voltages
     ]

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.multirun import SeedShardTask
+from ..config import BACKENDS
 from ..errors import CampaignError
 from ..kernels.registry import KERNEL_REGISTRY
 from .keys import content_hash, seed_shard_key
@@ -74,6 +75,11 @@ class CampaignSpec:
     seeds: Tuple[int, ...] = (1, 2, 3, 4, 5)
     thresholds: Optional[Dict[str, float]] = None
     collect_telemetry: bool = False
+    #: Execution backend for every shard.  Provenance only: backends are
+    #: bit-identical by contract, so neither the spec fingerprint nor the
+    #: shard cache keys include it — switching backend resumes the same
+    #: campaign from the same store blobs.
+    backend: str = "scalar"
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.replace("-", "").replace("_", "").isalnum():
@@ -100,6 +106,10 @@ class CampaignSpec:
                     f"threshold override for {kernel!r} which is not in the "
                     "campaign's kernel list"
                 )
+        if self.backend not in BACKENDS:
+            raise CampaignError(
+                f"unknown backend {self.backend!r}; known: {list(BACKENDS)}"
+            )
 
     # ------------------------------------------------------------- identity
     def threshold_for(self, kernel: str) -> float:
@@ -147,6 +157,7 @@ class CampaignSpec:
                         error_rate=error_rate,
                         seed=seed,
                         collect_telemetry=self.collect_telemetry,
+                        backend=self.backend,
                     )
                     key = seed_shard_key(shard)
                     assert key is not None  # registry factories are stable
@@ -175,6 +186,8 @@ class CampaignSpec:
             document["thresholds"] = dict(self.thresholds)
         if self.collect_telemetry:
             document["collect_telemetry"] = True
+        if self.backend != "scalar":
+            document["backend"] = self.backend
         return document
 
     @classmethod
@@ -195,6 +208,7 @@ class CampaignSpec:
             "seeds",
             "thresholds",
             "collect_telemetry",
+            "backend",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -216,6 +230,7 @@ class CampaignSpec:
                     else None
                 ),
                 collect_telemetry=bool(data.get("collect_telemetry", False)),
+                backend=str(data.get("backend", "scalar")),
             )
         except KeyError as exc:
             raise CampaignError(f"campaign spec is missing field {exc}") from None

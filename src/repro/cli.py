@@ -25,6 +25,7 @@ from .analysis import experiments as exp
 from .analysis.locality import analyze_trace
 from .analysis.replay import capture_trace
 from .config import (
+    BACKENDS,
     MemoConfig,
     SimConfig,
     TelemetryConfig,
@@ -41,40 +42,63 @@ from .telemetry import build_manifest, render_dashboard, write_run_jsonl
 from .utils.tables import format_table
 
 #: Experiment ids accepted by ``repro experiment``.  Every entry takes
-#: the worker count and an optional result store; drivers without a
-#: parallel or cacheable axis ignore them.
+#: the worker count, an optional result store and the execution backend;
+#: drivers without a parallel or cacheable axis ignore what they don't
+#: use (the backend only reaches the sweep-based drivers).
 EXPERIMENTS = {
-    "fig2": lambda jobs=1, store=None: exp.run_fig2_to_5_psnr(
+    "fig2": lambda jobs=1, store=None, backend="scalar": exp.run_fig2_to_5_psnr(
         "Sobel", "face"
     ).to_text(),
-    "fig3": lambda jobs=1, store=None: exp.run_fig2_to_5_psnr(
+    "fig3": lambda jobs=1, store=None, backend="scalar": exp.run_fig2_to_5_psnr(
         "Gaussian", "face"
     ).to_text(),
-    "fig4": lambda jobs=1, store=None: exp.run_fig2_to_5_psnr(
+    "fig4": lambda jobs=1, store=None, backend="scalar": exp.run_fig2_to_5_psnr(
         "Sobel", "book"
     ).to_text(),
-    "fig5": lambda jobs=1, store=None: exp.run_fig2_to_5_psnr(
+    "fig5": lambda jobs=1, store=None, backend="scalar": exp.run_fig2_to_5_psnr(
         "Gaussian", "book"
     ).to_text(),
-    "fig6": lambda jobs=1, store=None: "\n\n".join(
+    "fig6": lambda jobs=1, store=None, backend="scalar": "\n\n".join(
         r.to_text() for r in exp.run_fig6_7_hit_rates("Sobel").values()
     ),
-    "fig7": lambda jobs=1, store=None: "\n\n".join(
+    "fig7": lambda jobs=1, store=None, backend="scalar": "\n\n".join(
         r.to_text() for r in exp.run_fig6_7_hit_rates("Gaussian").values()
     ),
-    "fig8": lambda jobs=1, store=None: exp.run_fig8_kernel_hit_rates().to_text(),
-    "fig10": lambda jobs=1, store=None: exp.run_fig10_energy_vs_error_rate(
-        jobs=jobs, store=store
-    ).to_text(),
-    "fig11": lambda jobs=1, store=None: exp.run_fig11_voltage_overscaling(
-        jobs=jobs, store=store
-    ).to_text(),
-    "table1": lambda jobs=1, store=None: exp.run_table1(),
-    "table2": lambda jobs=1, store=None: exp.run_table2_state_machine(),
-    "fifo-depth": lambda jobs=1, store=None: exp.run_fifo_depth_study(
-        jobs=jobs, store=store
-    ).to_text(),
+    "fig8": lambda jobs=1, store=None, backend="scalar": (
+        exp.run_fig8_kernel_hit_rates().to_text()
+    ),
+    "fig10": lambda jobs=1, store=None, backend="scalar": (
+        exp.run_fig10_energy_vs_error_rate(
+            jobs=jobs, store=store, backend=backend
+        ).to_text()
+    ),
+    "fig11": lambda jobs=1, store=None, backend="scalar": (
+        exp.run_fig11_voltage_overscaling(
+            jobs=jobs, store=store, backend=backend
+        ).to_text()
+    ),
+    "table1": lambda jobs=1, store=None, backend="scalar": exp.run_table1(),
+    "table2": lambda jobs=1, store=None, backend="scalar": (
+        exp.run_table2_state_machine()
+    ),
+    "fifo-depth": lambda jobs=1, store=None, backend="scalar": (
+        exp.run_fifo_depth_study(
+            jobs=jobs, store=store, backend=backend
+        ).to_text()
+    ),
 }
+
+
+def _add_backend_argument(parser) -> None:
+    """The shared ``--backend`` execution-backend option."""
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="scalar",
+        help="execution backend: 'scalar' steps one lane at a time, "
+        "'vector' executes a whole wavefront per opcode dispatch; "
+        "results are bit-identical (see docs/backends.md)",
+    )
 
 
 def _add_cache_arguments(parser) -> None:
@@ -181,6 +205,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="attribute host wall time to simulator phases and print the "
         "phase report",
     )
+    _add_backend_argument(run)
     _add_cache_arguments(run)
 
     trace = sub.add_parser(
@@ -234,6 +259,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=10,
         help="rows in the top-stalls / hit-burst summary tables",
     )
+    _add_backend_argument(trace)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
@@ -261,6 +287,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="capture host-phase wall-time attribution across the "
         "experiment's runs and print the phase report",
     )
+    _add_backend_argument(experiment)
     _add_cache_arguments(experiment)
 
     campaign = sub.add_parser(
@@ -355,6 +382,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "dashboard section)",
     )
     metrics.add_argument("--emit-json", metavar="PATH", default=None)
+    _add_backend_argument(metrics)
 
     locality = sub.add_parser(
         "locality", help="value-locality report for one kernel"
@@ -406,6 +434,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the structured divergence report here (CI artifact)",
+    )
+    verify.add_argument(
+        "--backend-diff",
+        action="store_true",
+        help="run only the backend-equivalence invariant (scalar vs "
+        "vector, bit-identical outputs/stats/telemetry)",
     )
 
     report = sub.add_parser(
@@ -530,6 +564,7 @@ def _run_config(args) -> SimConfig:
         timing=TimingConfig(error_rate=args.error_rate, voltage=args.voltage),
         telemetry=telemetry,
         tracing=tracing,
+        backend=getattr(args, "backend", "scalar"),
     )
 
 
@@ -550,6 +585,7 @@ def _cmd_run_multiseed(args, out) -> int:
         collect_telemetry=args.emit_json is not None,
         jobs=args.jobs,
         store=store,
+        backend=args.backend,
     )
     engine = measurement.engine
     mode = "serial" if engine.serial else f"{engine.workers} workers"
@@ -588,6 +624,7 @@ def _cmd_run_multiseed(args, out) -> int:
                     "threshold": threshold,
                     "error_rate": args.error_rate,
                     "jobs": args.jobs,
+                    "backend": args.backend,
                 },
             ),
             "saving": dataclasses.asdict(measurement.saving),
@@ -698,6 +735,7 @@ def _cmd_trace(args, out) -> int:
             record_rounds=args.record_rounds,
             profile_host=args.profile,
         ),
+        backend=args.backend,
     )
     started = time.perf_counter()
     executor = GpuExecutor(config)
@@ -745,6 +783,7 @@ def _cmd_metrics(args, out) -> int:
         telemetry=TelemetryConfig(
             enabled=True, events_capacity=args.events_capacity
         ),
+        backend=args.backend,
     )
     started = time.perf_counter()
     executor = GpuExecutor(config)
@@ -790,7 +829,9 @@ def _cmd_experiment(args, out) -> int:
 
     with profile.capture() as profiler:
         for exp_id in selected:
-            text = EXPERIMENTS[exp_id](jobs=args.jobs, store=store)
+            text = EXPERIMENTS[exp_id](
+                jobs=args.jobs, store=store, backend=args.backend
+            )
             outputs[exp_id] = text
             if len(selected) > 1:
                 print(f"=== {exp_id} ===", file=out)
@@ -816,7 +857,11 @@ def _cmd_experiment(args, out) -> int:
         )
         print(file=out)
     if args.emit_json:
-        extra = {"experiments": selected, "jobs": args.jobs}
+        extra = {
+            "experiments": selected,
+            "jobs": args.jobs,
+            "backend": args.backend,
+        }
         if store is not None:
             extra["cache"] = store.counter_values()
         manifest = build_manifest(
@@ -957,6 +1002,7 @@ def _cmd_verify(args, out) -> int:
         fuzz_cases=args.fuzz,
         kernels=tuple(args.kernel) if args.kernel else None,
         include_kernels=not args.quick,
+        only_backends=args.backend_diff,
     )
     report = run_and_report(config, json_path=args.json)
     print(report.to_text(), file=out)

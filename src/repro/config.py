@@ -8,6 +8,7 @@ four-stage FPU pipelines with a 12-cycle baseline recovery, and the
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
@@ -97,7 +98,10 @@ class MemoConfig:
 
     def __post_init__(self) -> None:
         _require(self.fifo_depth >= 1, "FIFO needs at least one entry")
-        _require(self.threshold >= 0.0, "threshold is an absolute difference")
+        _require(
+            math.isfinite(self.threshold) and self.threshold >= 0.0,
+            "threshold is an absolute difference and must be finite",
+        )
         if self.masked_fraction_bits is not None:
             _require(
                 0 <= self.masked_fraction_bits <= 23,
@@ -202,6 +206,9 @@ class TracingConfig:
 #: Execute-stage schedules the compute unit supports.
 SCHEDULES = ("subwavefront", "item-serial")
 
+#: Registered execution backends (:mod:`repro.gpu.backends`).
+BACKENDS = ("scalar", "vector")
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -211,6 +218,11 @@ class SimConfig:
     ``"subwavefront"`` time multiplexing, or the ``"item-serial"``
     ablation mode that runs each work-item to completion (used to show
     the multiplexing itself creates the FIFOs' temporal locality).
+
+    ``backend`` selects the execution engine (:mod:`repro.gpu.backends`):
+    the reference ``"scalar"`` interpreter or the bit-identical
+    ``"vector"`` NumPy engine.  Backends are execution provenance, not
+    measurement identity — results must not depend on the choice.
     """
 
     arch: ArchConfig = field(default_factory=ArchConfig)
@@ -220,11 +232,16 @@ class SimConfig:
     tracing: TracingConfig = field(default_factory=TracingConfig)
     collect_traces: bool = False
     schedule: str = "subwavefront"
+    backend: str = "scalar"
 
     def __post_init__(self) -> None:
         _require(
             self.schedule in SCHEDULES,
             f"unknown schedule {self.schedule!r}; expected one of {SCHEDULES}",
+        )
+        _require(
+            self.backend in BACKENDS,
+            f"unknown backend {self.backend!r}; expected one of {BACKENDS}",
         )
 
     def with_memo(self, memo: MemoConfig) -> "SimConfig":
@@ -238,6 +255,9 @@ class SimConfig:
 
     def with_tracing(self, tracing: TracingConfig) -> "SimConfig":
         return replace(self, tracing=tracing)
+
+    def with_backend(self, backend: str) -> "SimConfig":
+        return replace(self, backend=backend)
 
 
 def small_arch(num_compute_units: int = 1) -> ArchConfig:

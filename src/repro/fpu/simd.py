@@ -1,0 +1,293 @@
+"""Vectorized (NumPy) mirror of :mod:`repro.fpu.arithmetic`.
+
+Each kernel here computes whole operand *columns* at once — one float64
+array element per lane — with exactly the semantics of the scalar
+``evaluate``: compute in double precision, round once to single.  The
+returned array holds the rounded single-precision values widened back to
+float64, so ``result[i]`` is bit-for-bit the Python float the scalar
+path would have returned for row ``i``'s operands.
+
+Bit-exactness notes, mirroring the scalar helpers case by case:
+
+* ``np.floor`` / ``np.trunc`` / ``np.rint`` implement IEEE
+  roundToIntegral directly, including the signed-zero preservation the
+  scalar helpers reconstruct with ``copysign`` (``math.floor`` returns
+  an ``int`` and loses the sign).
+* ``FLT_TO_INT`` deliberately post-zeroes ``-0.0``: the scalar path
+  goes through ``float(math.trunc(a))`` whose integer zero has no sign,
+  and the backends must agree bit for bit.
+* ``SIN``/``COS``/``EXP``/``LOG`` fall back to the scalar helpers
+  element-wise.  NumPy's SIMD transcendental kernels may differ from
+  libm in the last ULP, and a one-ULP drift here would show up as a
+  backend divergence in ``repro verify``.
+* NaN-producing branches select ``math.nan`` explicitly so the stored
+  pattern matches the scalar canonical NaN; NaNs produced *by* the
+  float64 arithmetic itself (``inf - inf``) come from the same CPU
+  instructions in both backends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import IsaError
+from .. import isa
+from ..isa.opcodes import Opcode
+from .arithmetic import FLOAT32_MAX, _cos, _exp, _log, _sin
+
+#: Largest single strictly below 1.0 (FRACT's supremum).
+_ONE_MINUS_ULP = 1.0 - 2.0**-24
+
+#: Saturation bounds of the float->int32 conversion (see arithmetic.py).
+_INT32_SAT_POS = 2147483648.0
+_INT32_SAT_NEG = -2147483648.0
+
+_NAN = float("nan")
+_INF = float("inf")
+
+Array = np.ndarray
+
+
+def round_to_single(values: Array) -> Array:
+    """Round a float64 array to single precision, widened back to float64.
+
+    Overflow rounds to infinity exactly like the scalar ``float32``
+    (``struct`` raises ``OverflowError`` there; ``astype`` saturates to
+    ``inf`` here — same value).
+    """
+    with np.errstate(over="ignore", invalid="ignore"):
+        return values.astype(np.float32).astype(np.float64)
+
+
+def single_bits(values: Array) -> Array:
+    """IEEE-754 single bit patterns (uint32) of a float64 array.
+
+    Matches ``repro.utils.bitops.float32_to_bits`` element-wise: both
+    round to nearest single with the CPU conversion instruction.
+    """
+    with np.errstate(over="ignore", invalid="ignore"):
+        return values.astype(np.float32).view(np.uint32)
+
+
+def _set(condition: Array) -> Array:
+    return condition.astype(np.float64)
+
+
+def _map_elementwise(func: Callable[[float], float], a: Array) -> Array:
+    # Scalar-helper fallback: bit-identical to the interpreter by
+    # construction, at per-element cost (transcendental units only).
+    return np.fromiter(
+        (func(x) for x in a.tolist()), dtype=np.float64, count=a.shape[0]
+    )
+
+
+# ------------------------------------------------------------------ unary
+def _floor(a: Array) -> Array:
+    return np.floor(a)
+
+
+def _trunc(a: Array) -> Array:
+    return np.trunc(a)
+
+
+def _rndne(a: Array) -> Array:
+    # np.rint is roundTiesToEven on the double value — exactly the
+    # scalar ``_rndne`` including signed-zero results for a in (-1, 0].
+    return np.rint(a)
+
+
+def _flt_to_int(a: Array) -> Array:
+    truncated = np.trunc(a)
+    with np.errstate(invalid="ignore"):
+        out = np.where(np.isnan(a), 0.0, truncated)
+        out = np.where(np.isinf(a), np.copysign(_INT32_SAT_POS, a), out)
+        out = np.clip(out, _INT32_SAT_NEG, _INT32_SAT_POS)
+        # float(math.trunc(-0.5)) is the unsigned integer zero; keep the
+        # backends bitwise identical by dropping the sign here too.
+        return np.where(out == 0.0, 0.0, out)
+
+
+def _recip(a: Array) -> Array:
+    # IEEE division: 1/±0 = ±inf, matching the scalar copysign branch.
+    with np.errstate(divide="ignore"):
+        return 1.0 / a
+
+
+def _recip_clamped(a: Array) -> Array:
+    with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+        result = 1.0 / a
+        # Clamp after the single rounding: the reciprocal of a subnormal
+        # is a finite double that still overflows single precision.  The
+        # a == 0 case lands here too (1/±0 = ±inf -> ±FLOAT32_MAX).
+        overflowed = np.isinf(result.astype(np.float32).astype(np.float64))
+        return np.where(overflowed, np.copysign(FLOAT32_MAX, result), result)
+
+
+def _safe_sqrt(a: Array) -> Array:
+    nonneg = a >= 0.0
+    with np.errstate(invalid="ignore"):
+        root = np.sqrt(np.where(nonneg, a, 0.0))
+    return np.where(nonneg, root, _NAN)
+
+
+def _rsqrt(a: Array) -> Array:
+    positive = a > 0.0
+    with np.errstate(invalid="ignore", divide="ignore"):
+        root = 1.0 / np.sqrt(np.where(positive, a, 1.0))
+    out = np.where(positive, root, _NAN)
+    return np.where(a == 0.0, _INF, out)
+
+
+def _log_v(a: Array) -> Array:
+    return _map_elementwise(_log, a)
+
+
+def _exp_v(a: Array) -> Array:
+    return _map_elementwise(_exp, a)
+
+
+def _sin_v(a: Array) -> Array:
+    return _map_elementwise(_sin, a)
+
+
+def _cos_v(a: Array) -> Array:
+    return _map_elementwise(_cos, a)
+
+
+def _fract(a: Array) -> Array:
+    finite = np.isfinite(a)
+    with np.errstate(invalid="ignore"):
+        fract = a - np.floor(np.where(finite, a, 0.0))
+    clamp = (fract >= 1.0) | (
+        fract.astype(np.float32).astype(np.float64) >= 1.0
+    )
+    out = np.where(clamp, _ONE_MINUS_ULP, fract)
+    out = np.where(a == 0.0, 0.0, out)  # either zero gives +0.0
+    out = np.where(finite, out, 0.0)  # infinities have no fraction
+    return np.where(np.isnan(a), _NAN, out)
+
+
+# ----------------------------------------------------------------- binary
+def _max_ieee(a: Array, b: Array) -> Array:
+    # IEEE maxNum, vectorized mirror of the scalar helper: the non-NaN
+    # operand wins; equal zeros order by sign (+0.0 is the larger).
+    a_nan = np.isnan(a)
+    b_nan = np.isnan(b)
+    with np.errstate(invalid="ignore"):
+        sign_break = np.copysign(1.0, a) >= np.copysign(1.0, b)
+        prefer_a = np.where(a == b, sign_break, a > b)
+    out = np.where(prefer_a, a, b)
+    out = np.where(b_nan, a, out)
+    return np.where(a_nan, b, out)
+
+
+def _min_ieee(a: Array, b: Array) -> Array:
+    a_nan = np.isnan(a)
+    b_nan = np.isnan(b)
+    with np.errstate(invalid="ignore"):
+        sign_break = np.copysign(1.0, a) <= np.copysign(1.0, b)
+        prefer_a = np.where(a == b, sign_break, a < b)
+    out = np.where(prefer_a, a, b)
+    out = np.where(b_nan, a, out)
+    return np.where(a_nan, b, out)
+
+
+def _cmp(op: Callable[[Array, Array], Array]) -> Callable[[Array, Array], Array]:
+    def compare(a: Array, b: Array) -> Array:
+        with np.errstate(invalid="ignore"):
+            return _set(op(a, b))
+
+    return compare
+
+
+_UNARY: Dict[str, Callable[[Array], Array]] = {
+    "FLOOR": _floor,
+    "FRACT": _fract,
+    "SQRT": _safe_sqrt,
+    "RSQRT": _rsqrt,
+    "SIN": _sin_v,
+    "COS": _cos_v,
+    "EXP": _exp_v,
+    "LOG": _log_v,
+    "RECIP": _recip,
+    "RECIP_CLAMPED": _recip_clamped,
+    "FLT_TO_INT": _flt_to_int,
+    "INT_TO_FLT": _trunc,
+    "TRUNC": _trunc,
+    "RNDNE": _rndne,
+}
+
+_BINARY: Dict[str, Callable[[Array, Array], Array]] = {
+    "ADD": lambda a, b: a + b,
+    "SUB": lambda a, b: a - b,
+    "MUL": lambda a, b: a * b,
+    "MUL_IEEE": lambda a, b: a * b,
+    "MAX": _max_ieee,
+    "MIN": _min_ieee,
+    "SETE": _cmp(np.equal),
+    "SETNE": _cmp(np.not_equal),
+    "SETGT": _cmp(np.greater),
+    "SETGE": _cmp(np.greater_equal),
+}
+
+_TERNARY: Dict[str, Callable[[Array, Array, Array], Array]] = {
+    "MULADD": lambda a, b, c: a * b + c,
+    "MULADD_IEEE": lambda a, b, c: a * b + c,
+    "MULSUB": lambda a, b, c: a * b - c,
+}
+
+_TABLES = (_UNARY, _BINARY, _TERNARY)
+
+
+def evaluate_columns(opcode: Opcode, columns: Sequence[Array]) -> Array:
+    """Execute one FP opcode on whole operand columns.
+
+    ``columns`` holds ``opcode.arity`` float64 arrays of equal length
+    (raw double operand values, i.e. exact singles).  Returns the
+    rounded single-precision results as a float64 array — element ``i``
+    is bitwise what ``arithmetic.evaluate`` returns for row ``i``.
+    """
+    if len(columns) != opcode.arity:
+        raise IsaError(
+            f"{opcode.mnemonic} expects {opcode.arity} operand columns, "
+            f"got {len(columns)}"
+        )
+    table = _TABLES[opcode.arity - 1]
+    try:
+        func = table[opcode.mnemonic]
+    except KeyError:  # pragma: no cover - guarded by the coverage check
+        raise IsaError(f"no vector semantics for opcode {opcode.mnemonic}") from None
+    with np.errstate(over="ignore", invalid="ignore"):
+        raw = func(*columns)
+    return round_to_single(raw)
+
+
+def kernel_for(opcode: Opcode) -> Callable[..., Array]:
+    """The raw (pre-rounding) column kernel of one opcode.
+
+    For hot loops that manage their own ``np.errstate`` scope and final
+    single rounding: ``kernel_for(op)(*cols)`` is the double-precision
+    intermediate ``evaluate_columns`` would round.  Raises
+    :class:`~repro.errors.IsaError` for unknown mnemonics.
+    """
+    table = _TABLES[opcode.arity - 1]
+    try:
+        return table[opcode.mnemonic]
+    except KeyError:  # pragma: no cover - guarded by the coverage check
+        raise IsaError(
+            f"no vector semantics for opcode {opcode.mnemonic}"
+        ) from None
+
+
+def _check_coverage() -> None:
+    """Every declared opcode must have vector semantics (import-time)."""
+    implemented = set(_UNARY) | set(_BINARY) | set(_TERNARY)
+    declared = {op.mnemonic for op in isa.FP_OPCODES}
+    missing = declared - implemented
+    if missing:
+        raise IsaError(f"opcodes without vector semantics: {sorted(missing)}")
+
+
+_check_coverage()

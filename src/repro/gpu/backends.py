@@ -1,0 +1,105 @@
+"""Execution backends behind one protocol.
+
+A backend owns the *how* of driving wavefronts through a device; the
+*what* — per-lane FPU/LUT/ECU state, statistics, telemetry — lives in
+the device and must come out bit-identical regardless of the backend.
+Two implementations register here:
+
+* ``scalar`` — the reference coroutine interpreter: each compute unit
+  runs its assigned wavefronts to completion, one op at a time.
+* ``vector`` — the lockstep NumPy engine (:mod:`repro.gpu.vector`):
+  all compute units advance one instruction round per step and each
+  opcode dispatch executes as whole-array arithmetic and LUT search.
+
+Backends are execution provenance, not measurement identity: results,
+``LutStats``/``EcuStats`` and telemetry totals are bit-identical by
+contract (``repro verify --backend-diff`` gates this in CI), so cache
+keys and campaign fingerprints deliberately ignore the choice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Protocol, Sequence, Tuple
+
+from ..config import BACKENDS
+from ..errors import ConfigError
+
+
+class Backend(Protocol):
+    """One way of executing wavefronts on a device."""
+
+    #: Registry name, also the ``SimConfig.backend`` / CLI spelling.
+    name: str
+
+    def run_wavefronts(self, device, wavefronts: Sequence) -> None:
+        """Execute ``wavefronts`` on ``device``, updating its state."""
+        ...
+
+
+class ScalarBackend:
+    """The reference interpreter: per-CU, per-op coroutine stepping."""
+
+    name = "scalar"
+
+    def run_wavefronts(self, device, wavefronts: Sequence) -> None:
+        assignment = device.dispatcher.assign(wavefronts)
+        for cu_index, assigned in assignment.items():
+            unit = device.compute_units[cu_index]
+            for wavefront in assigned:
+                unit.execute_wavefront(
+                    wavefront, schedule=device.config.schedule
+                )
+
+
+class VectorBackend:
+    """The lockstep NumPy engine, bit-identical to :class:`ScalarBackend`.
+
+    Configurations the engine does not cover (the item-serial ablation
+    schedule, heterogeneous per-lane LUT programming) silently fall back
+    to the scalar path — the semantics are identical either way.
+    """
+
+    name = "vector"
+
+    def run_wavefronts(self, device, wavefronts: Sequence) -> None:
+        from .vector import VectorEngine, VectorFallback
+
+        try:
+            engine = VectorEngine(device)
+        except VectorFallback:
+            ScalarBackend().run_wavefronts(device, wavefronts)
+            return
+        engine.run(wavefronts)
+
+
+_REGISTRY: Dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a backend factory under ``name`` (last writer wins)."""
+    _REGISTRY[name] = factory
+
+
+def create_backend(name: str) -> Backend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(
+            f"unknown backend {name!r}; registered backends: {known}"
+        ) from None
+    return factory()
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every registered backend."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_backend("scalar", ScalarBackend)
+register_backend("vector", VectorBackend)
+
+# The registry and the config-level tuple must agree: SimConfig validates
+# against BACKENDS before create_backend ever sees the name.
+assert set(BACKENDS) <= set(_REGISTRY), "BACKENDS out of sync with registry"

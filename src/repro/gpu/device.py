@@ -17,6 +17,7 @@ from ..telemetry.probes import TelemetryHub
 from ..tracing import profile
 from ..tracing.profile import HostPhaseProfiler
 from ..tracing.timeline import TimelineTracer, compose_op_sinks
+from .backends import create_backend
 from .compute_unit import ComputeUnit
 from .dispatcher import UltraThreadDispatcher
 from .trace import FpTraceCollector
@@ -68,14 +69,11 @@ class Device:
                     for fpu in core.fpus.values():
                         fpu.profiler = self.profiler
         self.dispatcher = UltraThreadDispatcher(config.arch.num_compute_units)
+        self.backend = create_backend(config.backend)
 
     # -------------------------------------------------------------- execution
     def run_wavefronts(self, wavefronts) -> None:
-        assignment = self.dispatcher.assign(wavefronts)
-        for cu_index, assigned in assignment.items():
-            unit = self.compute_units[cu_index]
-            for wavefront in assigned:
-                unit.execute_wavefront(wavefront, schedule=self.config.schedule)
+        self.backend.run_wavefronts(self, wavefronts)
 
     # ------------------------------------------------------------- statistics
     def counters(self) -> Dict[UnitKind, FpuEventCounters]:

@@ -97,24 +97,29 @@ def _build_work_items(
     if global_size < 1:
         raise KernelError("global size must be at least 1")
     items = []
+    append = items.append
     for gid in range(global_size):
-        ctx = WorkItemCtx(
-            global_id=gid,
-            local_id=gid % wavefront_size,
-            group_id=gid // wavefront_size,
-            global_size=global_size,
+        local_id = gid % wavefront_size
+        group_id = gid // wavefront_size
+        coroutine = kernel(
+            WorkItemCtx(
+                global_id=gid,
+                local_id=local_id,
+                group_id=group_id,
+                global_size=global_size,
+            ),
+            *args,
         )
-        coroutine = kernel(ctx, *args)
         if not hasattr(coroutine, "send"):
             raise KernelError(
                 f"kernel {getattr(kernel, '__name__', kernel)!r} must be a "
                 "generator function (use 'yield ctx.<op>(...)' for FP work)"
             )
-        items.append(
+        append(
             WorkItem(
                 global_id=gid,
-                local_id=gid % wavefront_size,
-                group_id=gid // wavefront_size,
+                local_id=local_id,
+                group_id=group_id,
                 coroutine=coroutine,
             )
         )

@@ -1,0 +1,866 @@
+"""The vectorized (NumPy) wavefront execution engine.
+
+Executes the same simulation as the scalar interpreter — coroutine
+work-items, subwavefront time multiplexing, per-FPU memo FIFOs, EDS/ECU
+recovery — but batches every opcode dispatch across all compute units:
+per global round, each active CU advances one instruction round of its
+current wavefront, and within each subwavefront slot all pending
+requests with the same opcode become one NumPy evaluation plus one
+array-wise LUT search over the per-lane FIFO state.
+
+Equivalence argument (enforced bit-for-bit by ``repro verify``):
+
+* Lanes are architecturally independent: each (cu, lane, kind) FPU owns
+  its private FIFO, ECU and error stream.  Batching across lanes cannot
+  mix their state.
+* Per lane, the op order is untouched: a CU's wavefront queue stays
+  strictly sequential, rounds and slots issue in scalar order, and a
+  lane executes at most one op per slot.  Error-stream draws therefore
+  happen in exactly the scalar order per ``(cu, lane, kind)`` stream.
+* Interleaving *across* CUs differs from the scalar schedule (which
+  runs each CU's whole assignment to completion before the next CU).
+  That is semantically invisible: kernels are race-free by the GPU
+  programming model (no cross-item buffer dependencies within a
+  launch), all statistics are per-lane, and ``StreamCore.execute``
+  never touches kernel buffers.  Only the order of *globally* shared
+  event streams (the telemetry ring, the trace event list) differs —
+  their counts and totals stay identical.
+
+State lives in the canonical scalar objects between runs: the engine
+imports FIFO contents and programming into arrays at the start of
+``run`` and flushes array deltas back at the end, so every reader
+(energy model, sentinel, reports) sees exactly what the scalar backend
+would have left behind.  Most per-lane counters are not even tracked
+per op: with the subwavefront schedule, ops == issue cycles == lookups
+per lane, and the stage-traversal and outcome tallies are linear in
+(ops, hits, commuted hits), so the flush derives them from three
+compact arrays.
+
+The drive loop keeps *persistent* per-slot opcode groups: when a
+work-item's coroutine yields its next request, the advance loop files
+the row straight into the group the next issue of that slot will
+consume.  There is no per-op gather pass and no per-op ``Opcode``
+hashing — group dictionaries are keyed by object identity and looked
+up only when the opcode changes between consecutive rows.  Each item's
+``executed_ops`` is settled when its coroutine finishes: under the
+subwavefront schedule a live item executes exactly one op per round,
+so ops == rounds alive (on the error path — a kernel protocol
+violation aborting the run — still-live items keep their pre-run
+value, unlike the scalar interpreter's per-op increments).
+
+When telemetry, tracing or an op sink is attached, arithmetic and LUT
+matching stay vectorized but per-row side effects are emitted through
+the real probe/tracer objects in scalar per-lane order, keeping every
+counter and per-lane event sequence identical.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import WorkItemProtocolError
+from ..fpu.simd import kernel_for
+from ..isa.opcodes import FP_OPCODES, Opcode, UnitKind
+from ..memo.fifo import FifoEntry
+from ..memo.matching import MatchOutcome
+from ..timing.errors import NoErrorInjector
+from ..tracing.profile import (
+    PHASE_ECU_REPLAY,
+    PHASE_FPU_EXECUTE,
+    PHASE_LUT_LOOKUP,
+)
+
+#: Stable opcode ids for the FIFO arrays (FP_OPCODES declaration order).
+OPCODE_INDEX: Dict[Opcode, int] = {op: i for i, op in enumerate(FP_OPCODES)}
+
+#: MatchOutcome by the integer code the arrays use (enum order).
+_OUTCOME_BY_CODE: Tuple[MatchOutcome, ...] = tuple(MatchOutcome)
+
+_MAX_ARITY = 3
+
+#: Matching modes of the comparator bank.
+_MODE_EXACT = 0
+_MODE_THRESHOLD = 1
+_MODE_MASK = 2
+
+_F32 = np.float32
+_F64 = np.float64
+_U32 = np.uint32
+
+
+class VectorFallback(Exception):
+    """The device cannot be run vectorized; use the scalar backend.
+
+    Raised for the item-serial ablation schedule and for heterogeneous
+    per-lane LUT programming (only reachable by poking individual LUTs
+    between runs — a device built from one ``SimConfig`` is uniform).
+    """
+
+
+class _KindState:
+    """Array-resident state of every lane's FPU of one unit kind."""
+
+    __slots__ = (
+        "kind",
+        "depth",
+        "fifo_depth",
+        "memo_active",
+        "mode",
+        "threshold",
+        "mask",
+        "allow_commutative",
+        "update_on_error",
+        "exact_code",
+        "no_error",
+        "fpus",
+        "injectors",
+        "opid",
+        "raw",
+        "res",
+        "count",
+        "hits",
+        "commuted",
+        "updates",
+        "last_outcome",
+    )
+
+    def __init__(self, kind: UnitKind, fpus: List) -> None:
+        self.kind = kind
+        self.fpus = fpus
+        reference = fpus[0]
+        self.depth = reference.depth
+        self.injectors = [fpu.injector for fpu in fpus]
+        self.no_error = all(
+            isinstance(injector, NoErrorInjector) or injector.rate == 0.0
+            for injector in self.injectors
+        )
+        memo = reference.memo
+        self.memo_active = memo is not None and not memo.lut.power_gated
+        self.fifo_depth = memo.lut.fifo.depth if memo is not None else 0
+        constraint = memo.lut.constraint if memo is not None else None
+        if constraint is not None and constraint.mask_vector is not None:
+            self.mode = _MODE_MASK
+        elif constraint is not None and constraint.threshold > 0.0:
+            self.mode = _MODE_THRESHOLD
+        else:
+            self.mode = _MODE_EXACT
+        self.threshold = constraint.threshold if constraint is not None else 0.0
+        self.mask = np.uint32(
+            constraint.mask_vector
+            if constraint is not None and constraint.mask_vector is not None
+            else 0
+        )
+        self.allow_commutative = (
+            constraint.allow_commutative if constraint is not None else False
+        )
+        self.update_on_error = (
+            memo.lut.mmio.update_on_error if memo is not None else False
+        )
+        # Outcome code of a direct match: EXACT under the bitwise
+        # constraint, APPROXIMATE under threshold or mask relaxations.
+        self.exact_code = (
+            1 if constraint is not None and constraint.is_exact else 2
+        )
+        for fpu in fpus:
+            if fpu.depth != self.depth:
+                raise VectorFallback("heterogeneous pipeline depths")
+            if (fpu.memo is None) != (memo is None):
+                raise VectorFallback("heterogeneous memo presence")
+            if memo is not None:
+                lut = fpu.memo.lut
+                if (
+                    lut.constraint != memo.lut.constraint
+                    or lut.power_gated != memo.lut.power_gated
+                    or lut.mmio.update_on_error != self.update_on_error
+                    or lut.fifo.depth != self.fifo_depth
+                ):
+                    raise VectorFallback("heterogeneous LUT programming")
+        lanes = len(fpus)
+        # ops == issue cycles (== lookups when the memo is live), so one
+        # per-lane op count plus the hit/commuted tallies reconstructs
+        # every derived counter at flush time.
+        self.count = np.zeros(lanes, dtype=np.int64)
+        self.last_outcome = np.full(lanes, -1, dtype=np.int8)
+        if self.memo_active:
+            depth = self.fifo_depth
+            self.opid = np.full((lanes, depth), -1, dtype=np.int32)
+            self.raw = np.zeros((lanes, depth, _MAX_ARITY), dtype=_F64)
+            self.res = np.zeros((lanes, depth), dtype=_F64)
+            self.hits = np.zeros(lanes, dtype=np.int64)
+            self.commuted = np.zeros(lanes, dtype=np.int64)
+            self.updates = np.zeros(lanes, dtype=np.int64)
+            for g, fpu in enumerate(fpus):
+                # entries is oldest-first; array index 0 holds the newest.
+                for d, entry in enumerate(reversed(fpu.memo.lut.fifo.entries)):
+                    operands = np.zeros(_MAX_ARITY, dtype=_F64)
+                    operands[: len(entry.operands)] = entry.operands
+                    self.opid[g, d] = OPCODE_INDEX[entry.opcode]
+                    self.raw[g, d] = operands
+                    self.res[g, d] = entry.result
+
+    # ----------------------------------------------------------------- flush
+    def flush(self) -> None:
+        """Write accumulated deltas back into the scalar objects."""
+        touched = np.nonzero(self.count)[0].tolist()
+        if not touched:
+            return
+        count = self.count.tolist()
+        outcome = self.last_outcome.tolist()
+        depth = self.depth
+        fpus = self.fpus
+        if not self.memo_active:
+            # Every op traverses all pipeline stages live; nothing gates.
+            for g in touched:
+                fpu = fpus[g]
+                counters = fpu.counters
+                delta = count[g]
+                counters.ops += delta
+                counters.issue_cycles += delta
+                counters.active_stage_traversals += delta * depth
+                code = outcome[g]
+                fpu.last_match_outcome = (
+                    _OUTCOME_BY_CODE[code] if code >= 0 else MatchOutcome.MISS
+                )
+            return
+        exact_outcome = _OUTCOME_BY_CODE[self.exact_code]
+        hits_list = self.hits.tolist()
+        commuted_list = self.commuted.tolist()
+        updates_list = self.updates.tolist()
+        opid_list = self.opid.tolist()
+        raw_list = self.raw.tolist()
+        res_list = self.res.tolist()
+        fifo_depth = self.fifo_depth
+        for g in touched:
+            fpu = fpus[g]
+            counters = fpu.counters
+            ops = count[g]
+            hits = hits_list[g]
+            commuted = commuted_list[g]
+            counters.ops += ops
+            counters.issue_cycles += ops
+            # A hit traverses one stage live and gates the rest; a miss
+            # keeps the whole pipeline active.
+            counters.active_stage_traversals += hits + (ops - hits) * depth
+            counters.gated_stage_traversals += hits * (depth - 1)
+            lut = fpu.memo.lut
+            stats = lut.stats
+            stats.lookups += ops
+            stats.hits += hits
+            stats.updates += updates_list[g]
+            stats.outcome_counts[MatchOutcome.MISS] += ops - hits
+            stats.outcome_counts[exact_outcome] += hits - commuted
+            stats.outcome_counts[MatchOutcome.COMMUTED] += commuted
+            if hits:
+                lut.mmio.record_hit()
+            code = outcome[g]
+            if code >= 0:
+                fpu.last_match_outcome = _OUTCOME_BY_CODE[code]
+            if not updates_list[g]:
+                continue  # no insert ever happened: the FIFO is untouched
+            # Rebuild the FIFO oldest-first from the newest-first arrays.
+            row_opid = opid_list[g]
+            row_raw = raw_list[g]
+            row_res = res_list[g]
+            entries = 0
+            while entries < fifo_depth and row_opid[entries] != -1:
+                entries += 1
+            rebuilt = []
+            for d in range(entries - 1, -1, -1):
+                opcode = FP_OPCODES[row_opid[d]]
+                rebuilt.append(
+                    FifoEntry(
+                        opcode, tuple(row_raw[d][: opcode.arity]), row_res[d]
+                    )
+                )
+            lut.fifo.restore(rebuilt)
+
+
+class _CuState:
+    """One compute unit's position in the lockstep schedule."""
+
+    __slots__ = (
+        "unit",
+        "queue",
+        "cursor",
+        "wavefront",
+        "live",
+        "started",
+        "rounds_at_entry",
+        "g_base",
+    )
+
+    def __init__(self, unit, queue, lanes: int) -> None:
+        self.unit = unit
+        self.queue = queue
+        self.cursor = 0
+        self.wavefront = None
+        self.live = 0
+        self.started = 0
+        self.rounds_at_entry = 0
+        self.g_base = unit.index * lanes
+
+
+class VectorEngine:
+    """Run a device's wavefronts through the lockstep NumPy engine."""
+
+    def __init__(self, device) -> None:
+        if device.config.schedule != "subwavefront":
+            raise VectorFallback(
+                "vector engine implements the subwavefront schedule only"
+            )
+        self.device = device
+        self.arch = device.config.arch
+        self.lanes = self.arch.stream_cores_per_cu
+        fpus_by_kind: Dict[UnitKind, List] = {kind: [] for kind in UnitKind}
+        self._cores = []
+        for unit in device.compute_units:
+            for core in unit.stream_cores:
+                self._cores.append(core)
+                for kind in UnitKind:
+                    fpus_by_kind[kind].append(core.fpus[kind])
+        self._states = {
+            kind: _KindState(kind, fpus) for kind, fpus in fpus_by_kind.items()
+        }
+        self._arange = np.arange(len(self._cores))
+        self._kernels: Dict[int, object] = {}
+        self._profiler = device.profiler
+        sink = device.trace
+        self._sink = sink if getattr(sink, "enabled", True) else None
+        self._instrumented = (
+            device.telemetry is not None
+            or device.tracer is not None
+            or self._sink is not None
+        )
+        # Per-slot request classification: id(opcode) -> [opcode, g_list,
+        # item_list, flat_operands, cached_index_array].  Rows are filed
+        # the moment an item's next request is known (at priming or in
+        # the advance loop) and consumed wholesale when the slot next
+        # issues; a group whose membership survives a round unchanged is
+        # reused as-is, index array included.
+        self._pending: List[dict] = [
+            {} for _ in range(self.arch.subwavefronts_per_wavefront)
+        ]
+        self._cu_states: List = [None] * len(device.compute_units)
+
+    # -------------------------------------------------------------- schedule
+    def run(self, wavefronts) -> None:
+        assignment = self.device.dispatcher.assign(wavefronts)
+        states = []
+        for cu, assigned in assignment.items():
+            if not assigned:
+                continue
+            st = _CuState(self.device.compute_units[cu], assigned, self.lanes)
+            states.append(st)
+            self._cu_states[cu] = st
+        try:
+            # One run-wide FP-exception scope: the engine's conversions
+            # and raw column kernels all share the scalar semantics of
+            # compute-then-round with IEEE specials flowing through.
+            with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+                self._drive(states)
+        finally:
+            # Flush even on a protocol error so partial statistics match
+            # what the scalar backend would have recorded up to the raise.
+            for state in self._states.values():
+                state.flush()
+
+    def _drive(self, states: List[_CuState]) -> None:
+        slots = self.arch.subwavefronts_per_wavefront
+        lanes = self.lanes
+        pending = self._pending
+        cu_states = self._cu_states
+        process_group = self._process_group
+        while True:
+            for st in states:
+                while st.wavefront is None and st.cursor < len(st.queue):
+                    self._start_wavefront(st, st.queue[st.cursor])
+                    st.cursor += 1
+            running = [st for st in states if st.wavefront is not None]
+            if not running:
+                return
+            for st in running:
+                unit = st.unit
+                unit.instruction_rounds += 1
+                if unit.probe is not None:
+                    unit.probe.on_instruction_round()
+            for slot in range(slots):
+                groups = pending[slot]
+                if not groups:
+                    continue
+                nxt: dict = {}
+                pending[slot] = nxt
+                for group in groups.values():
+                    g_list = group[1]
+                    item_list = group[2]
+                    results = process_group(group)
+                    n = len(g_list)
+                    sends = group[5]
+                    if sends is None:
+                        sends = [it.coroutine.send for it in item_list]
+                        group[5] = sends
+                    # Optimistic scan: while every coroutine survives
+                    # and yields one common opcode, the whole group
+                    # advances intact — its lane lists, cached index
+                    # array and bound resume methods carry over to the
+                    # next round untouched.
+                    fast_op = None
+                    flat2: list = []
+                    extend2 = flat2.extend
+                    request = None
+                    i = 0
+                    while i < n:
+                        try:
+                            request = sends[i](results[i])
+                        except StopIteration:
+                            item = item_list[i]
+                            item.done = True
+                            item.pending_request = None
+                            st = cu_states[g_list[i] // lanes]
+                            st.live -= 1
+                            item.executed_ops += (
+                                st.unit.instruction_rounds
+                                - st.rounds_at_entry
+                            )
+                            request = None
+                            break
+                        if request is None:
+                            raise WorkItemProtocolError(
+                                f"work-item {item_list[i].global_id} "
+                                "yielded an empty FP-op request"
+                            )
+                        next_opcode = request[0]
+                        if next_opcode is not fast_op:
+                            if fast_op is None:
+                                fast_op = next_opcode
+                            else:
+                                break
+                        extend2(request[1])
+                        i += 1
+                    else:
+                        # Every row advanced under one opcode: reuse the
+                        # group (merge if another group got there first).
+                        cur = nxt.get(id(fast_op))
+                        if cur is None:
+                            group[0] = fast_op
+                            group[3] = flat2
+                            nxt[id(fast_op)] = group
+                        else:
+                            cur[1].extend(g_list)
+                            cur[2].extend(item_list)
+                            cur[3].extend(flat2)
+                            cur[4] = None
+                            cur[5] = None
+                        continue
+                    # Membership changed (a row finished or the opcode
+                    # diverged mid-group).  Seed the follow-up groups
+                    # with the uniform prefix already scanned, then
+                    # advance the remaining rows one by one.
+                    if i:
+                        cur_key = fast_op
+                        cur = nxt.get(id(fast_op))
+                        if cur is None:
+                            # No cache seeding: the slow loop below may
+                            # still grow this group's membership.
+                            cur = [
+                                fast_op, g_list[:i], item_list[:i], flat2,
+                                None, None,
+                            ]
+                            nxt[id(fast_op)] = cur
+                        else:
+                            cur[1].extend(g_list[:i])
+                            cur[2].extend(item_list[:i])
+                            cur[3].extend(flat2)
+                            cur[4] = None
+                            cur[5] = None
+                    else:
+                        cur_key = None
+                        cur = None
+                    # Row i is already consumed when the scan broke on
+                    # StopIteration (request is None); on an opcode
+                    # divergence its request is still in hand.
+                    pos = i if request is not None else i + 1
+                    while pos < n:
+                        item = item_list[pos]
+                        if request is None:
+                            try:
+                                request = sends[pos](results[pos])
+                            except StopIteration:
+                                item.done = True
+                                item.pending_request = None
+                                st = cu_states[g_list[pos] // lanes]
+                                st.live -= 1
+                                item.executed_ops += (
+                                    st.unit.instruction_rounds
+                                    - st.rounds_at_entry
+                                )
+                                pos += 1
+                                continue
+                            if request is None:
+                                raise WorkItemProtocolError(
+                                    f"work-item {item.global_id} yielded "
+                                    "an empty FP-op request"
+                                )
+                        next_opcode = request[0]
+                        if next_opcode is not cur_key:
+                            cur_key = next_opcode
+                            cur = nxt.get(id(next_opcode))
+                            if cur is None:
+                                cur = [next_opcode, [], [], [], None, None]
+                                nxt[id(next_opcode)] = cur
+                            else:
+                                cur[4] = None  # membership grows
+                                cur[5] = None
+                        cur[1].append(g_list[pos])
+                        cur[2].append(item)
+                        cur[3].extend(request[1])
+                        request = None
+                        pos += 1
+            for st in running:
+                if st.unit.tracer is not None:
+                    st.unit.tracer.on_round(
+                        st.unit.instruction_rounds - st.rounds_at_entry
+                    )
+                if st.live == 0:
+                    self._retire(st)
+
+    def _start_wavefront(self, st: _CuState, wavefront) -> None:
+        unit = st.unit
+        for item in wavefront.work_items:
+            unit._prime(item)
+        st.wavefront = wavefront
+        st.live = wavefront.live_items
+        st.started = (
+            unit.tracer.on_wavefront_start() if unit.tracer is not None else 0
+        )
+        st.rounds_at_entry = unit.instruction_rounds
+        if st.live == 0:
+            self._retire(st)
+            return
+        # File every primed request into its slot's pending groups.
+        lanes = self.lanes
+        pending = self._pending
+        g_base = st.g_base
+        for position, item in enumerate(wavefront.work_items):
+            if item.done:
+                continue
+            request = item.pending_request
+            if request is None:
+                raise WorkItemProtocolError(
+                    f"work-item {item.global_id} is live without a "
+                    "pending FP-op request"
+                )
+            opcode = request[0]
+            groups = pending[position // lanes]
+            cur = groups.get(id(opcode))
+            if cur is None:
+                cur = [opcode, [], [], [], None, None]
+                groups[id(opcode)] = cur
+            else:
+                # Membership grows: cached index and resume methods are
+                # stale.
+                cur[4] = None
+                cur[5] = None
+            cur[1].append(g_base + position % lanes)
+            cur[2].append(item)
+            cur[3].extend(request[1])
+
+    def _retire(self, st: _CuState) -> None:
+        unit = st.unit
+        unit.wavefronts_executed += 1
+        rounds = unit.instruction_rounds - st.rounds_at_entry
+        if unit.probe is not None:
+            unit.probe.on_wavefront_retired(rounds)
+        if unit.tracer is not None:
+            unit.tracer.on_wavefront_retired(st.started, rounds)
+        st.wavefront = None
+
+    # ------------------------------------------------------------ group step
+    def _process_group(self, group: list) -> List[float]:
+        """One vectorized op dispatch; returns per-row results (floats).
+
+        ``group`` is the mutable ``[opcode, g_list, item_list, flat,
+        idx, sends]`` record from the pending dictionaries; the lane
+        index array (slot 4) and the bound coroutine resume methods
+        (slot 5) are built once and cached for as long as the group's
+        membership survives the advance loop unchanged.
+        """
+        opcode = group[0]
+        g_list = group[1]
+        flat = group[3]
+        st = self._states[opcode.unit]
+        rows = len(g_list)
+        arity = opcode.arity
+        idx = group[4]
+        if idx is None:
+            idx = np.array(g_list, dtype=np.intp)
+            group[4] = idx
+        mat = np.array(flat, dtype=_F64).reshape(rows, arity)
+        profiler = self._profiler
+
+        if st.no_error:
+            err = None
+        else:
+            injectors = st.injectors
+            err = np.fromiter(
+                (injectors[g].sample() for g in g_list),
+                dtype=bool,
+                count=rows,
+            )
+
+        cached = self._kernels.get(id(opcode))
+        if cached is None:
+            cached = (kernel_for(opcode), OPCODE_INDEX[opcode])
+            self._kernels[id(opcode)] = cached
+        kern, opcode_id = cached
+
+        hit = None
+        first = None
+        direct_at_first = None
+        outcome = None
+        memo_active = st.memo_active
+        if memo_active:
+            began = time.perf_counter() if profiler is not None else 0.0
+            matched = self._match(st, opcode, opcode_id, idx, mat, arity)
+            if matched is not None:
+                hit, first, direct_at_first = matched
+            if profiler is not None:
+                profiler.add(PHASE_LUT_LOOKUP, time.perf_counter() - began)
+        began = time.perf_counter() if profiler is not None else 0.0
+        if hit is None:
+            # Raw double-precision compute, then one rounding to single —
+            # exactly ``evaluate_columns`` under the run-wide errstate.
+            raw = kern(*(mat[:, k] for k in range(arity)))
+            results = raw.astype(_F32).astype(_F64)
+        else:
+            results = np.empty(rows, dtype=_F64)
+            results[hit] = st.res[idx[hit], first[hit]]
+            miss = ~hit
+            if miss.any():
+                sub = mat[miss]
+                raw = kern(*(sub[:, k] for k in range(arity)))
+                results[miss] = raw.astype(_F32).astype(_F64)
+        if profiler is not None:
+            profiler.add(PHASE_FPU_EXECUTE, time.perf_counter() - began)
+
+        # Bulk per-lane accounting (rows within a slot step are distinct
+        # lanes, so plain fancy-index increments are exact).  Everything
+        # else — stage traversals, lookup and outcome tallies — is
+        # derived from these arrays at flush time.
+        st.count[idx] += 1
+        updated = None
+        if memo_active:
+            if hit is None:
+                st.last_outcome[idx] = 0
+            else:
+                st.hits[idx] += hit
+                st.commuted[idx] += hit & ~direct_at_first
+                outcome = np.where(
+                    hit, np.where(direct_at_first, st.exact_code, 3), 0
+                )
+                st.last_outcome[idx] = outcome
+            updated = self._update_fifos(
+                st, opcode_id, idx, mat, results, hit, err, arity,
+                want_mask=self._instrumented,
+            )
+        else:
+            st.last_outcome[idx] = 0  # the scalar path reports MISS
+
+        if self._instrumented:
+            self._emit_rows(
+                st, opcode, g_list, flat, arity, results, hit, outcome,
+                updated, err,
+            )
+        elif err is not None and err.any():
+            self._handle_errors(st, g_list, hit, err)
+        return results.tolist()
+
+    def _match(self, st: _KindState, opcode, opcode_id, idx, mat, arity):
+        """Array-wise FIFO search: (hit, entry idx, direct?) or ``None``.
+
+        ``None`` means no FIFO entry anywhere holds this opcode — every
+        row misses trivially (the empty-FIFO fast path).
+        """
+        candidates = st.opid[idx] == opcode_id  # [rows, depth]
+        if not candidates.any():
+            return None
+        mode = st.mode
+        stored_raw = st.raw[idx]
+        if mode == _MODE_THRESHOLD:
+            threshold = st.threshold
+            delta = mat[:, None, :] - stored_raw[:, :, :arity]
+            # |delta| <= t is one pass fewer than the two-sided compare
+            # and identical on every input (NaN deltas stay False).
+            np.abs(delta, out=delta)
+            direct = candidates & (delta <= threshold).all(axis=2)
+            incoming = mat
+            stored = stored_raw
+        else:
+            # Bit patterns are derived on the fly: the stored doubles are
+            # exact singles, so the conversion is lossless and cheaper
+            # than maintaining a parallel bits array through inserts.
+            stored = stored_raw.astype(_F32).view(_U32)
+            incoming = mat.astype(_F32).view(_U32)
+            if mode == _MODE_MASK:
+                diff = incoming[:, None, :] ^ stored[:, :, :arity]
+                direct = candidates & ((diff & st.mask) == 0).all(axis=2)
+            else:
+                eq = incoming[:, None, :] == stored[:, :, :arity]
+                direct = candidates & eq.all(axis=2)
+        entry_match = direct
+        if st.allow_commutative and opcode.commutative and arity >= 2:
+            i, j = opcode.commutative_operands
+            order = list(range(arity))
+            order[i], order[j] = order[j], order[i]
+            swapped = incoming[:, order]
+            if mode == _MODE_THRESHOLD:
+                delta = swapped[:, None, :] - stored[:, :, :arity]
+                np.abs(delta, out=delta)
+                commuted = candidates & (delta <= st.threshold).all(axis=2)
+            elif mode == _MODE_MASK:
+                diff = swapped[:, None, :] ^ stored[:, :, :arity]
+                commuted = candidates & ((diff & st.mask) == 0).all(axis=2)
+            else:
+                eq = swapped[:, None, :] == stored[:, :, :arity]
+                commuted = candidates & eq.all(axis=2)
+            entry_match = direct | commuted
+        hit = entry_match.any(axis=1)
+        if not hit.any():
+            return None  # candidates existed but none matched
+        first = np.argmax(entry_match, axis=1)  # newest-first order
+        direct_at_first = direct[self._arange[: idx.shape[0]], first]
+        return hit, first, direct_at_first
+
+    def _update_fifos(
+        self, st: _KindState, opcode_id, idx, mat, results, hit, err, arity,
+        want_mask: bool = False,
+    ):
+        """FIFO insert for the rows the scalar path would update.
+
+        The scalar miss path updates the LUT unless a timing error fired
+        and ``update_on_error`` is off.  Returns the per-row update mask
+        (``want_mask`` forces materializing it for instrumented mode;
+        otherwise ``None`` may stand in for "every row updated").
+        """
+        rows = idx.shape[0]
+        if hit is None:
+            update = None  # every row missed
+        else:
+            update = ~hit
+        if err is not None and not st.update_on_error:
+            blocked = ~err
+            update = blocked if update is None else update & blocked
+        if update is None:
+            gset = idx
+            sub = mat
+            subres = results
+        else:
+            if not update.any():
+                return update
+            gset = idx[update]
+            sub = mat[update]
+            subres = results[update]
+        if arity == _MAX_ARITY:
+            pad = sub
+        else:
+            pad = np.zeros((gset.shape[0], _MAX_ARITY), dtype=_F64)
+            pad[:, :arity] = sub
+        # Fancy-indexed reads copy, so the shift-then-insert never aliases.
+        st.opid[gset, 1:] = st.opid[gset, :-1]
+        st.opid[gset, 0] = opcode_id
+        st.raw[gset, 1:] = st.raw[gset, :-1]
+        st.raw[gset, 0] = pad
+        st.res[gset, 1:] = st.res[gset, :-1]
+        st.res[gset, 0] = subres
+        st.updates[gset] += 1
+        if want_mask and update is None:
+            update = np.ones(rows, dtype=bool)
+        return update
+
+    # --------------------------------------------------------- side effects
+    def _handle_errors(self, st: _KindState, g_list, hit, err) -> None:
+        """Rare-path ECU accounting (uninstrumented mode)."""
+        profiler = self._profiler
+        began = time.perf_counter() if profiler is not None else 0.0
+        fpus = st.fpus
+        depth = st.depth
+        for pos in np.nonzero(err)[0].tolist():
+            fpu = fpus[g_list[pos]]
+            counters = fpu.counters
+            counters.errors_injected += 1
+            if hit is not None and hit[pos]:
+                counters.errors_masked += 1
+                fpu.ecu.on_masked_error()
+            else:
+                record = fpu.ecu.on_error_signal(in_flight=depth)
+                counters.errors_recovered += 1
+                counters.recovery_stall_cycles += record.cycles
+        if profiler is not None:
+            profiler.add(PHASE_ECU_REPLAY, time.perf_counter() - began)
+
+    def _emit_rows(
+        self, st, opcode, g_list, flat, arity, results, hit, outcome,
+        updated, err,
+    ) -> None:
+        """Replay per-row side effects through the real probes/tracers.
+
+        Call order per row mirrors ``ResilientFpu.execute`` exactly; the
+        per-lane event sequences (and cycle cursors) come out identical
+        to the scalar backend.  Only the global interleaving across
+        lanes differs, which no counter or per-lane track observes.
+        """
+        fpus = st.fpus
+        cores = self._cores
+        sink = self._sink
+        depth = st.depth
+        memo_active = st.memo_active
+        result_list = results.tolist()
+        for pos, g in enumerate(g_list):
+            fpu = fpus[g]
+            counters = fpu.counters
+            has_error = bool(err[pos]) if err is not None else False
+            if has_error:
+                counters.errors_injected += 1
+            probe = fpu.probe
+            if probe is not None:
+                probe.on_op()
+                if has_error:
+                    probe.on_timing_error()
+            tracer = fpu.tracer
+            if tracer is not None:
+                tracer.on_op(opcode)
+            row_hit = bool(hit[pos]) if hit is not None else False
+            if memo_active:
+                if probe is not None:
+                    probe.on_lookup(row_hit, opcode)
+                if tracer is not None:
+                    code = int(outcome[pos]) if outcome is not None else 0
+                    tracer.on_memo_lookup(row_hit, _OUTCOME_BY_CODE[code])
+            if row_hit:
+                if has_error:
+                    counters.errors_masked += 1
+                    fpu.ecu.on_masked_error()
+            else:
+                if has_error:
+                    record = fpu.ecu.on_error_signal(in_flight=depth)
+                    counters.errors_recovered += 1
+                    counters.recovery_stall_cycles += record.cycles
+                if updated is not None and updated[pos]:
+                    if probe is not None:
+                        probe.on_update()
+            if sink is not None:
+                core = cores[g]
+                sink.record(
+                    core.cu_index,
+                    core.lane_index,
+                    opcode,
+                    tuple(flat[pos * arity : (pos + 1) * arity]),
+                    result_list[pos],
+                )
+
+
+def run_wavefronts_vectorized(device, wavefronts) -> None:
+    """Entry point used by :class:`repro.gpu.backends.VectorBackend`."""
+    VectorEngine(device).run(wavefronts)

@@ -15,7 +15,7 @@ from ..config import ArchConfig
 from ..errors import ArchitectureError
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkItem:
     """One OpenCL work-item: ids plus its kernel coroutine."""
 

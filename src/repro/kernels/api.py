@@ -58,7 +58,7 @@ OpRequest = Tuple[object, Tuple[float, ...]]
 class Buffer:
     """A float32 device buffer backed by a numpy array."""
 
-    __slots__ = ("_data",)
+    __slots__ = ("_data", "_reads")
 
     def __init__(self, data: Union[int, Iterable[float], np.ndarray]) -> None:
         if isinstance(data, int):
@@ -67,6 +67,10 @@ class Buffer:
             self._data = np.zeros(data, dtype=np.float32)
         else:
             self._data = np.asarray(data, dtype=np.float32).ravel().copy()
+        # Lazy Python-float view of the array for cheap repeated loads;
+        # any store drops it (kernels read inputs and write outputs to
+        # separate buffers, so rebuilds are rare in practice).
+        self._reads = None
 
     @classmethod
     def zeros(cls, size: int) -> "Buffer":
@@ -81,10 +85,14 @@ class Buffer:
 
     def load(self, index: int) -> float:
         """Read one element (already exact single precision)."""
-        return float(self._data[index])
+        reads = self._reads
+        if reads is None:
+            reads = self._reads = self._data.tolist()
+        return reads[index]
 
     def store(self, index: int, value: float) -> None:
         self._data[index] = value
+        self._reads = None
 
     def to_array(self) -> np.ndarray:
         return self._data.copy()

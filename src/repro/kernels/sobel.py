@@ -24,31 +24,39 @@ def sobel_kernel(ctx: WorkItemCtx, src: Buffer, dst: Buffer, width: int, height:
     gid = ctx.global_id
     x = gid % width
     y = gid // width
-
-    def load(dx: int, dy: int) -> float:
-        cx = min(max(x + dx, 0), width - 1)
-        cy = min(max(y + dy, 0), height - 1)
-        return src.load(cy * width + cx)
+    # Clamped border addressing, hoisted out of the loads: edge pixels
+    # replicate so all work-items run the same instruction sequence.
+    xl = x - 1 if x > 0 else 0
+    xr = x + 1 if x < width - 1 else x
+    row = y * width
+    rowu = row - width if y > 0 else row
+    rowd = row + width if y < height - 1 else row
+    load = src.load
 
     # The SDK kernel reads uchar pixels and converts them to float on the
     # FP2INT conversion unit; the eight neighbours feed both gradients.
-    p = {}
-    for dx, dy in ((-1, -1), (0, -1), (1, -1), (-1, 0), (1, 0), (-1, 1), (0, 1), (1, 1)):
-        p[(dx, dy)] = yield ctx.int2flt(load(dx, dy))
+    a00 = yield ctx.int2flt(load(rowu + xl))
+    a01 = yield ctx.int2flt(load(rowu + x))
+    a02 = yield ctx.int2flt(load(rowu + xr))
+    a10 = yield ctx.int2flt(load(row + xl))
+    a12 = yield ctx.int2flt(load(row + xr))
+    a20 = yield ctx.int2flt(load(rowd + xl))
+    a21 = yield ctx.int2flt(load(rowd + x))
+    a22 = yield ctx.int2flt(load(rowd + xr))
 
     # Horizontal gradient: -1*a00 + 1*a02 - 2*a10 + 2*a12 - 1*a20 + 1*a22
-    gx = yield ctx.fsub(p[(1, -1)], p[(-1, -1)])
-    gx = yield ctx.fmuladd(2.0, p[(1, 0)], gx)
-    gx = yield ctx.fmuladd(-2.0, p[(-1, 0)], gx)
-    gx = yield ctx.fadd(gx, p[(1, 1)])
-    gx = yield ctx.fsub(gx, p[(-1, 1)])
+    gx = yield ctx.fsub(a02, a00)
+    gx = yield ctx.fmuladd(2.0, a12, gx)
+    gx = yield ctx.fmuladd(-2.0, a10, gx)
+    gx = yield ctx.fadd(gx, a22)
+    gx = yield ctx.fsub(gx, a20)
 
     # Vertical gradient.
-    gy = yield ctx.fsub(p[(-1, 1)], p[(-1, -1)])
-    gy = yield ctx.fmuladd(2.0, p[(0, 1)], gy)
-    gy = yield ctx.fmuladd(-2.0, p[(0, -1)], gy)
-    gy = yield ctx.fadd(gy, p[(1, 1)])
-    gy = yield ctx.fsub(gy, p[(1, -1)])
+    gy = yield ctx.fsub(a20, a00)
+    gy = yield ctx.fmuladd(2.0, a21, gy)
+    gy = yield ctx.fmuladd(-2.0, a01, gy)
+    gy = yield ctx.fadd(gy, a22)
+    gy = yield ctx.fsub(gy, a02)
 
     gx2 = yield ctx.fmul(gx, gx)
     mag2 = yield ctx.fmuladd(gy, gy, gx2)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, Optional, Tuple
+from typing import Deque, Iterator, Optional, Sequence, Tuple
 
 from ..errors import MemoizationError
 from ..isa.opcodes import Opcode
@@ -84,6 +84,16 @@ class MemoFifo:
     ) -> None:
         """Insert a fresh error-free context, evicting the oldest if full."""
         self._entries.append(FifoEntry(opcode, operands, result))
+
+    def restore(self, entries: Sequence[FifoEntry]) -> None:
+        """Replace the whole FIFO with pre-built entries, oldest first.
+
+        Bulk state import for engines that reconstruct FIFO contents
+        (e.g. the vector backend's flush); ``entries`` beyond ``depth``
+        evict oldest-first exactly as repeated :meth:`insert` would.
+        """
+        self._entries.clear()
+        self._entries.extend(entries)
 
     def preload(self, entries) -> None:
         """Store pre-computed values (compiler-directed / domain expert).

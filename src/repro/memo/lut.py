@@ -9,6 +9,7 @@ signoff clock and is assumed error-free.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -18,7 +19,7 @@ from ..isa.opcodes import Opcode
 from ..utils.bitops import FRACTION_BITS, fraction_mask_vector
 from .fifo import MemoFifo
 from .matching import MatchOutcome, MatchingConstraint
-from .mmio import MemoMmio
+from .mmio import REG_STATUS, MemoMmio
 
 
 @dataclass
@@ -88,8 +89,8 @@ class MemoLUT:
     # ----------------------------------------------------------- programming
     def program_threshold(self, threshold: float) -> None:
         """Reprogram the approximate-matching threshold at run time."""
-        if threshold < 0.0:
-            raise MemoizationError("threshold must be non-negative")
+        if not math.isfinite(threshold) or threshold < 0.0:
+            raise MemoizationError("threshold must be finite and non-negative")
         self.mmio.set_threshold(threshold)
         # Restore the full-compare mask vector so a previously programmed
         # mask doesn't linger in MASK_VECTOR (program_mask zeroes the
@@ -164,3 +165,6 @@ class MemoLUT:
         """Clear stored contexts and statistics (e.g. between kernels)."""
         self.fifo.clear()
         self.stats = LutStats()
+        # The STATUS any-hit flag is sticky until written; a kernel started
+        # after reset() must not read the previous kernel's hits.
+        self.mmio.write(REG_STATUS, 0)

@@ -27,6 +27,7 @@ by the ``repro.oracle`` invariant suite):
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -59,8 +60,12 @@ class MatchingConstraint:
     allow_commutative: bool = True
 
     def __post_init__(self) -> None:
-        if self.threshold < 0.0:
-            raise MemoizationError("threshold is an absolute difference, must be >= 0")
+        # ``< 0.0`` alone is False for NaN, which would silently build a
+        # comparator bank that can never match; reject non-finite too.
+        if not math.isfinite(self.threshold) or self.threshold < 0.0:
+            raise MemoizationError(
+                "threshold is an absolute difference, must be finite and >= 0"
+            )
         if self.mask_vector is not None and self.threshold > 0.0:
             raise MemoizationError(
                 "program either a numeric threshold or a masking vector, not both"

@@ -19,6 +19,7 @@ LOOKUP_COUNT   0x14    read-only saturating lookup counter
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Optional
 
 from ..errors import MmioError
@@ -94,8 +95,10 @@ class MemoMmio:
         return bits_to_float32(self._regs[REG_THRESHOLD])
 
     def set_threshold(self, threshold: float) -> None:
-        if threshold < 0.0:
-            raise MmioError("threshold must be non-negative")
+        # NaN sails past a bare ``< 0.0`` check; the register must hold a
+        # usable comparator threshold, so demand a finite non-negative one.
+        if not math.isfinite(threshold) or threshold < 0.0:
+            raise MmioError("threshold must be finite and non-negative")
         self.write(REG_THRESHOLD, float32_to_bits(threshold))
 
     @property

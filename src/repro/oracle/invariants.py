@@ -304,6 +304,98 @@ def check_memo_transparency(
     return result
 
 
+# ------------------------------------------------------ backend equivalence
+def check_backend_equivalence(
+    kernels: Optional[Sequence[str]] = None,
+    error_rates: Sequence[float] = (0.0, 0.02),
+) -> InvariantResult:
+    """The vector backend must be bit-identical to the scalar reference.
+
+    Backends are execution provenance, not measurement identity
+    (:mod:`repro.gpu.backends`): for every Table-1 kernel, with and
+    without timing errors, the vectorized engine must reproduce the
+    scalar interpreter's result buffer bit for bit *and* leave behind
+    the same per-kind ``LutStats``, ``EcuStats``, event counters,
+    executed-op total and telemetry counter values.  Any divergence is
+    a bug in the vector engine's lockstep schedule, LUT arithmetic or
+    accounting — the scalar path is the specification.
+    """
+    from ..config import TelemetryConfig
+    from ..gpu.executor import GpuExecutor
+    from ..kernels.registry import KERNEL_REGISTRY
+
+    names = tuple(kernels) if kernels else tuple(KERNEL_REGISTRY)
+    result = InvariantResult("backend_equivalence")
+    for name in names:
+        spec = KERNEL_REGISTRY[name]
+        for error_rate in error_rates:
+            result.cases += 1
+            outputs = {}
+            state = {}
+            for backend in ("scalar", "vector"):
+                config = SimConfig(
+                    arch=small_arch(2),
+                    memo=MemoConfig(),
+                    timing=TimingConfig(error_rate=error_rate),
+                    telemetry=TelemetryConfig(enabled=True),
+                    backend=backend,
+                )
+                executor = GpuExecutor(config, memoized=True)
+                outputs[backend] = np.asarray(
+                    spec.default_factory().run(executor), dtype=np.float32
+                )
+                device = executor.device
+                state[backend] = {
+                    "lut_stats": device.lut_stats(),
+                    "ecu_stats": device.ecu_stats(),
+                    "counters": device.counters(),
+                    "executed_ops": device.executed_ops,
+                    "telemetry": device.telemetry.registry.snapshot()
+                    if device.telemetry is not None
+                    else None,
+                }
+            label = f"{name} at error rate {error_rate:g}"
+            if outputs["scalar"].tobytes() != outputs["vector"].tobytes():
+                differing = int(
+                    np.count_nonzero(
+                        outputs["scalar"].view(np.uint32)
+                        != outputs["vector"].view(np.uint32)
+                    )
+                )
+                result.divergences.append(
+                    Divergence(
+                        invariant="backend_equivalence",
+                        opcode="",
+                        detail=(
+                            f"{label}: {differing} of "
+                            f"{outputs['scalar'].size} outputs differ "
+                            "bitwise between the scalar and vector backends"
+                        ),
+                    )
+                )
+            for aspect in (
+                "lut_stats",
+                "ecu_stats",
+                "counters",
+                "executed_ops",
+                "telemetry",
+            ):
+                if state["scalar"][aspect] != state["vector"][aspect]:
+                    result.divergences.append(
+                        Divergence(
+                            invariant="backend_equivalence",
+                            opcode="",
+                            detail=(
+                                f"{label}: {aspect} differ between the "
+                                f"scalar and vector backends "
+                                f"(scalar={state['scalar'][aspect]!r}, "
+                                f"vector={state['vector'][aspect]!r})"
+                            ),
+                        )
+                    )
+    return result
+
+
 # ---------------------------------------------------------- threshold bound
 #: Lipschitz bound of |f(a', b') - f(a, b)| when every |x' - x| <= t.
 _THRESHOLD_BOUND_FACTOR: Dict[str, float] = {

@@ -23,6 +23,7 @@ from .corpus import CorpusConfig
 from .invariants import (
     Divergence,
     InvariantResult,
+    check_backend_equivalence,
     check_commutativity,
     check_isa_consistency,
     check_memo_transparency,
@@ -41,8 +42,10 @@ class VerificationConfig:
 
     ``seed`` and ``fuzz_cases`` parameterize the corpus fuzzer;
     ``kernels=None`` means every Table-1 kernel.  ``include_kernels``
-    gates the (comparatively slow) full-simulator memo-transparency
-    sweep, for quick iteration on the arithmetic layers.
+    gates the (comparatively slow) full-simulator memo-transparency and
+    backend-equivalence sweeps, for quick iteration on the arithmetic
+    layers; ``include_backends`` gates just the backend sweep, and
+    ``only_backends`` runs it alone (``repro verify --backend-diff``).
     """
 
     seed: int = 0
@@ -52,6 +55,8 @@ class VerificationConfig:
     thresholds: Tuple[float, ...] = (0.25,)
     isa_samples: int = 48
     include_kernels: bool = True
+    include_backends: bool = True
+    only_backends: bool = False
 
     def corpus(self) -> CorpusConfig:
         return CorpusConfig(seed=self.seed, fuzz_cases=self.fuzz_cases)
@@ -163,20 +168,33 @@ def run_verification(
     corpus = config.corpus()
     started = time.perf_counter()
 
-    results = [
-        check_reference_agreement(corpus),
-        check_commutativity(corpus),
-        check_isa_consistency(corpus, samples_per_opcode=config.isa_samples),
-        check_threshold_bound(config.thresholds),
-    ]
+    results: List[InvariantResult] = []
+    if not config.only_backends:
+        results += [
+            check_reference_agreement(corpus),
+            check_commutativity(corpus),
+            check_isa_consistency(
+                corpus, samples_per_opcode=config.isa_samples
+            ),
+            check_threshold_bound(config.thresholds),
+        ]
     kernels: Tuple[str, ...] = ()
-    if config.include_kernels:
+    if config.include_kernels or config.only_backends:
         from ..kernels.registry import KERNEL_REGISTRY
 
         kernels = config.kernels or tuple(KERNEL_REGISTRY)
-        results.append(
-            check_memo_transparency(kernels, error_rates=config.error_rates)
-        )
+        if not config.only_backends:
+            results.append(
+                check_memo_transparency(
+                    kernels, error_rates=config.error_rates
+                )
+            )
+        if config.include_backends or config.only_backends:
+            results.append(
+                check_backend_equivalence(
+                    kernels, error_rates=config.error_rates
+                )
+            )
 
     report = VerificationReport(
         seed=config.seed,

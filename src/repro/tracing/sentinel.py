@@ -295,6 +295,61 @@ def _audit_trace(report: SentinelReport, device, tracer: TimelineTracer) -> None
     )
 
 
+def _audit_trace_vs_telemetry(
+    report: SentinelReport, device, tracer: TimelineTracer
+) -> None:
+    """Direct timeline-vs-registry agreement (no canonical middleman).
+
+    The trace and the telemetry registry are populated by different
+    probes on different call paths; comparing them to each other — not
+    just each to the canonical statistics — closes the cross-check
+    triangle, so a matched pair of errors (e.g. one probe double-firing
+    on both canonical paths) still cannot pass silently.
+    """
+    hub = device.telemetry
+    if hub is None:
+        report.notes.append(
+            "telemetry disabled; trace-vs-telemetry checks skipped"
+        )
+        return
+    if tracer.dropped > 0:
+        report.notes.append(
+            "tracer dropped events; trace-vs-telemetry checks skipped"
+        )
+        return
+    registry = hub.registry
+    report.check(
+        "trace.hits==telemetry.memo.hits",
+        registry.sum("*.*.fpu.*.memo.hits"),
+        tracer.count(INSTANT_HIT) + tracer.count(INSTANT_COMMUTE),
+    )
+    report.check(
+        "trace.misses==telemetry.memo.misses",
+        registry.sum("*.*.fpu.*.memo.misses"),
+        tracer.count(INSTANT_MISS),
+    )
+    report.check(
+        "trace.recovery_spans==telemetry.ecu.recoveries",
+        registry.sum("*.*.fpu.*.ecu.recoveries"),
+        tracer.count(SPAN_RECOVERY),
+    )
+    report.check(
+        "trace.recovery_cycles==telemetry.ecu.recovery_cycles",
+        registry.sum("*.*.fpu.*.ecu.recovery_cycles"),
+        tracer.total_duration(SPAN_RECOVERY),
+    )
+    report.check(
+        "trace.masked==telemetry.ecu.masked",
+        registry.sum("*.*.fpu.*.ecu.masked"),
+        tracer.count(INSTANT_MASKED),
+    )
+    report.check(
+        "trace.wavefronts==telemetry.wavefronts",
+        registry.sum("cu*.wavefronts"),
+        tracer.count(SPAN_WAVEFRONT),
+    )
+
+
 def audit_device(
     device,
     tracer: Optional[TimelineTracer] = None,
@@ -319,6 +374,7 @@ def audit_device(
         _audit_energy(report, device)
     if tracer is not None:
         _audit_trace(report, device, tracer)
+        _audit_trace_vs_telemetry(report, device, tracer)
     else:
         report.notes.append("no tracer attached; timeline checks skipped")
     return report

@@ -166,3 +166,39 @@ class TestPlanner:
         path.write_text("{")  # torn write
         plan = plan_campaign(spec, store)
         assert first.key in [t.key for t in plan.pending]
+
+
+class TestBackendField:
+    """Backends are execution provenance, not measurement identity."""
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CampaignError):
+            tiny_spec(backend="cuda")
+
+    def test_fingerprint_ignores_backend(self):
+        # Bit-identical backends share the campaign fingerprint, so a
+        # campaign can be resumed under either backend from the same
+        # store blobs.
+        assert (
+            tiny_spec().fingerprint() == tiny_spec(backend="vector").fingerprint()
+        )
+
+    def test_shard_keys_shared_across_backends(self):
+        scalar_keys = [t.key for t in tiny_spec().tasks()]
+        vector_keys = [t.key for t in tiny_spec(backend="vector").tasks()]
+        assert scalar_keys == vector_keys
+
+    def test_tasks_carry_the_backend(self):
+        for task in tiny_spec(backend="vector").tasks():
+            assert task.shard.backend == "vector"
+
+    def test_round_trip(self):
+        spec = tiny_spec(backend="vector")
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert clone.backend == "vector"
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_scalar_default_omitted_from_document(self):
+        document = tiny_spec().to_dict()
+        assert "backend" not in document
+        assert CampaignSpec.from_dict(document).backend == "scalar"

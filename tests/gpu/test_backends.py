@@ -1,0 +1,147 @@
+"""Tests for the execution-backend protocol and the vector engine.
+
+The load-bearing contract is bit-identical equivalence: the same
+``SimConfig`` run through the ``scalar`` and ``vector`` backends must
+produce the same outputs, statistics and telemetry.  ``repro verify
+--backend-diff`` sweeps the full kernel matrix; these tests pin the
+contract on fast small cases plus every fallback edge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    BACKENDS,
+    MemoConfig,
+    SimConfig,
+    TelemetryConfig,
+    TimingConfig,
+    small_arch,
+)
+from repro.errors import ConfigError
+from repro.gpu.backends import (
+    ScalarBackend,
+    VectorBackend,
+    available_backends,
+    create_backend,
+)
+from repro.gpu.executor import GpuExecutor
+from repro.kernels.registry import KERNEL_REGISTRY
+
+
+def _run(kernel: str, config: SimConfig, memoized: bool = True):
+    executor = GpuExecutor(config, memoized=memoized)
+    output = KERNEL_REGISTRY[kernel].default_factory().run(executor)
+    return executor, output
+
+
+def _assert_equivalent(kernel: str, scalar_cfg: SimConfig, memoized=True):
+    vector_cfg = scalar_cfg.with_backend("vector")
+    s_ex, s_out = _run(kernel, scalar_cfg, memoized)
+    v_ex, v_out = _run(kernel, vector_cfg, memoized)
+    assert np.asarray(s_out, dtype=np.float32).tobytes() == np.asarray(
+        v_out, dtype=np.float32
+    ).tobytes()
+    assert s_ex.device.lut_stats() == v_ex.device.lut_stats()
+    assert s_ex.device.ecu_stats() == v_ex.device.ecu_stats()
+    assert s_ex.device.counters() == v_ex.device.counters()
+    assert s_ex.device.executed_ops == v_ex.device.executed_ops
+    if scalar_cfg.telemetry.enabled:
+        assert (
+            s_ex.telemetry.registry.snapshot()
+            == v_ex.telemetry.registry.snapshot()
+        )
+
+
+class TestRegistry:
+    def test_config_backends_all_registered(self):
+        assert set(BACKENDS) <= set(available_backends())
+
+    def test_create_backend_by_name(self):
+        assert isinstance(create_backend("scalar"), ScalarBackend)
+        assert isinstance(create_backend("vector"), VectorBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            create_backend("cuda")
+
+    def test_simconfig_validates_backend(self):
+        with pytest.raises(ConfigError):
+            SimConfig(backend="cuda")
+
+    def test_with_backend(self):
+        config = SimConfig()
+        assert config.backend == "scalar"
+        assert config.with_backend("vector").backend == "vector"
+
+
+class TestEquivalence:
+    def test_sobel_error_free(self):
+        _assert_equivalent(
+            "Sobel", SimConfig(arch=small_arch(), memo=MemoConfig())
+        )
+
+    def test_sobel_with_errors_and_telemetry(self):
+        _assert_equivalent(
+            "Sobel",
+            SimConfig(
+                arch=small_arch(2),
+                memo=MemoConfig(),
+                timing=TimingConfig(error_rate=0.02, seed=7),
+                telemetry=TelemetryConfig(enabled=True),
+            ),
+        )
+
+    def test_blackscholes_threshold_matching(self):
+        _assert_equivalent(
+            "BlackScholes",
+            SimConfig(
+                arch=small_arch(),
+                memo=MemoConfig(threshold=0.5, update_on_timing_error=True),
+                timing=TimingConfig(error_rate=0.02, seed=3),
+            ),
+        )
+
+    def test_fwt_masked_matching(self):
+        _assert_equivalent(
+            "FWT",
+            SimConfig(
+                arch=small_arch(),
+                memo=MemoConfig(masked_fraction_bits=12),
+            ),
+        )
+
+    def test_baseline_unmemoized(self):
+        _assert_equivalent(
+            "Sobel",
+            SimConfig(
+                arch=small_arch(),
+                memo=MemoConfig(),
+                timing=TimingConfig(error_rate=0.02, seed=5),
+            ),
+            memoized=False,
+        )
+
+    def test_deeper_fifo(self):
+        _assert_equivalent(
+            "Haar",
+            SimConfig(arch=small_arch(), memo=MemoConfig(fifo_depth=4)),
+        )
+
+
+class TestFallback:
+    def test_item_serial_schedule_falls_back_to_scalar(self):
+        scalar = SimConfig(
+            arch=small_arch(), memo=MemoConfig(), schedule="item-serial"
+        )
+        _assert_equivalent("Sobel", scalar)
+
+    def test_fallback_is_silent_and_complete(self):
+        config = SimConfig(
+            arch=small_arch(),
+            memo=MemoConfig(),
+            schedule="item-serial",
+            backend="vector",
+        )
+        executor, _ = _run("Sobel", config)
+        assert executor.device.executed_ops > 0

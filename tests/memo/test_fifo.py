@@ -119,3 +119,30 @@ class TestPreload:
             [(add_op, (float(i), float(i)), 2.0 * i) for i in range(5)]
         )
         assert len(fifo) == 2
+
+
+class TestRestore:
+    def test_restore_replaces_contents_oldest_first(self, add_op, mul_op):
+        from repro.memo.fifo import FifoEntry
+
+        fifo = MemoFifo(depth=2)
+        fifo.insert(add_op, (9.0, 9.0), 18.0)
+        fifo.restore(
+            [
+                FifoEntry(add_op, (1.0, 1.0), 2.0),
+                FifoEntry(mul_op, (2.0, 2.0), 4.0),
+            ]
+        )
+        assert len(fifo) == 2
+        # restore() receives oldest-first: the next insert evicts (1,1).
+        fifo.insert(add_op, (3.0, 3.0), 6.0)
+        entry, _ = fifo.search(EXACT, add_op, (1.0, 1.0))
+        assert entry is None
+        entry, _ = fifo.search(EXACT, mul_op, (2.0, 2.0))
+        assert entry is not None
+
+    def test_restore_empty_clears(self, add_op):
+        fifo = MemoFifo(depth=2)
+        fifo.insert(add_op, (1.0, 1.0), 2.0)
+        fifo.restore([])
+        assert len(fifo) == 0

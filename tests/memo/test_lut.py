@@ -138,3 +138,36 @@ class TestLutStatsMerge:
         assert a.stats.lookups == 2
         assert a.stats.hits == 1
         assert a.stats.updates == 1
+
+
+class TestResetClearsStatus:
+    """Regression: reset() used to leave the sticky STATUS any-hit flag."""
+
+    def test_reset_clears_sticky_status_flag(self, add_op):
+        from repro.memo.mmio import REG_STATUS
+
+        lut = MemoLUT()
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        hit, _, _ = lut.lookup(add_op, (1.0, 2.0))
+        assert hit
+        assert lut.mmio.read(REG_STATUS) & 1
+        lut.reset()
+        assert lut.mmio.read(REG_STATUS) == 0
+
+
+class TestNonFiniteThreshold:
+    """Regression: NaN passed the bare ``threshold < 0.0`` validation."""
+
+    @pytest.mark.parametrize(
+        "threshold", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_program_threshold_rejects_non_finite(self, threshold):
+        lut = MemoLUT()
+        with pytest.raises(MemoizationError):
+            lut.program_threshold(threshold)
+
+    def test_memo_config_rejects_nan_threshold(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            MemoConfig(threshold=float("nan"))

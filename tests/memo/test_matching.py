@@ -243,3 +243,19 @@ class TestFromConfig:
             MemoConfig(commutative_matching=False)
         )
         assert not constraint.allow_commutative
+
+
+class TestNonFiniteThresholdRejected:
+    """Regression: NaN passed the bare ``threshold < 0.0`` validation and
+    silently built a comparator bank that can never match."""
+
+    @pytest.mark.parametrize(
+        "threshold", [math.nan, math.inf, -math.inf]
+    )
+    def test_constraint_rejects_non_finite(self, threshold):
+        with pytest.raises(MemoizationError):
+            MatchingConstraint(threshold=threshold)
+
+    def test_negative_still_rejected(self):
+        with pytest.raises(MemoizationError):
+            MatchingConstraint(threshold=-0.5)

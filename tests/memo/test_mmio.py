@@ -118,3 +118,14 @@ class TestStatusRegister:
         mmio.record_hit()
         mmio.write(REG_STATUS, 0xDEAD)
         assert mmio.read(REG_STATUS) == 0
+
+
+class TestNonFiniteThresholdRejected:
+    """Regression: NaN passed ``set_threshold``'s bare ``< 0.0`` check."""
+
+    @pytest.mark.parametrize(
+        "threshold", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_set_threshold_rejects_non_finite(self, threshold):
+        with pytest.raises(MmioError):
+            MemoMmio().set_threshold(threshold)

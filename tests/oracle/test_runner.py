@@ -108,3 +108,36 @@ class TestVerificationReportShape:
         report = VerificationReport(seed=0)
         assert report.ok
         assert report.total_cases == 0
+
+
+class TestBackendEquivalence:
+    def test_only_backends_runs_just_the_backend_sweep(self):
+        config = VerificationConfig(
+            fuzz_cases=0,
+            kernels=("FWT",),
+            error_rates=(0.0,),
+            only_backends=True,
+        )
+        report = run_verification(config)
+        assert report.ok, report.to_text()
+        assert [r.name for r in report.results] == ["backend_equivalence"]
+        assert report.results[0].cases > 0
+
+    def test_backend_sweep_included_in_full_run(self):
+        config = VerificationConfig(
+            fuzz_cases=0, kernels=("FWT",), error_rates=(0.0,)
+        )
+        report = run_verification(config)
+        names = {r.name for r in report.results}
+        assert "backend_equivalence" in names
+        assert "memo_transparency" in names
+
+    def test_include_backends_false_skips_the_sweep(self):
+        config = VerificationConfig(
+            fuzz_cases=0,
+            kernels=("FWT",),
+            error_rates=(0.0,),
+            include_backends=False,
+        )
+        report = run_verification(config)
+        assert all(r.name != "backend_equivalence" for r in report.results)

@@ -1,0 +1,154 @@
+"""Property-based scalar-vs-vector backend equivalence (hypothesis).
+
+The vector engine batches LUT lookup/update across a whole wavefront;
+these properties pin the contract that the batched path is element-wise
+identical to per-lane scalar ``MemoLUT`` behavior — including commuted
+hits, NaN operands (which must never match bit-comparators or threshold
+comparators) and signed zeros (distinct bit patterns that compare equal
+numerically).  Random op programs run through both backends on the same
+config; outputs, per-lane FIFO contents and per-lane statistics must
+agree bit for bit.
+"""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ArchConfig, MemoConfig, SimConfig, TimingConfig
+from repro.fpu.arithmetic import float32
+from repro.gpu.executor import GpuExecutor
+from repro.isa.opcodes import UnitKind
+from repro.kernels.api import Buffer
+
+#: 1 CU x 4 lanes x 8-item wavefronts: two subwavefront slots share each
+#: lane's FIFO, so programs create real cross-item temporal reuse.
+ARCH = ArchConfig(num_compute_units=1, stream_cores_per_cu=4, wavefront_size=8)
+
+GLOBAL_SIZE = 16
+
+#: Operand pool stressing the matching edge cases: signed zeros (equal
+#: numerically, distinct bit patterns), NaN (never matches anything) and
+#: near-miss value pairs around typical thresholds.
+special_values = st.sampled_from(
+    [0.0, -0.0, float("nan"), 1.0, 1.25, 1.5, -1.5, 2.0, 100.0]
+)
+operand = special_values | st.floats(
+    min_value=-8.0, max_value=8.0, allow_nan=False, width=32
+)
+
+#: One op: mnemonic, operands, and whether to replay the previous binary
+#: op's operands swapped (guaranteeing COMMUTED-hit candidates).
+op_strategy = st.tuples(
+    st.sampled_from(["ADD", "MUL", "SUB", "MULADD"]),
+    st.tuples(operand, operand, operand),
+    st.booleans(),
+)
+
+program_strategy = st.lists(op_strategy, min_size=1, max_size=6)
+programs_strategy = st.lists(program_strategy, min_size=1, max_size=4)
+
+
+def _make_kernel(programs):
+    def kernel(ctx, out):
+        ops = programs[ctx.global_id % len(programs)]
+        previous = None
+        result = 0.0
+        for mnemonic, raw, swap in ops:
+            a, b, c = (float32(v) for v in raw)
+            if swap and previous is not None:
+                a, b = previous[1], previous[0]
+            if mnemonic == "ADD":
+                request = ctx.fadd(a, b)
+            elif mnemonic == "MUL":
+                request = ctx.fmul(a, b)
+            elif mnemonic == "SUB":
+                request = ctx.fsub(a, b)
+            else:
+                request = ctx.fmuladd(a, b, c)
+            if mnemonic in ("ADD", "MUL"):
+                previous = (a, b)
+            result = yield request
+        out.store(ctx.global_id, result if result == result else -999.0)
+
+    return kernel
+
+
+def _bits(value: float) -> bytes:
+    return struct.pack("<d", value)
+
+
+def _lane_snapshots(executor):
+    """Per-lane FIFO contents and counters, bit-exact and NaN-safe."""
+    lanes = []
+    for unit in executor.device.compute_units:
+        for core in unit.stream_cores:
+            for kind in UnitKind:
+                fpu = core.fpus[kind]
+                entries = tuple(
+                    (
+                        entry.opcode.mnemonic,
+                        tuple(_bits(v) for v in entry.operands),
+                        _bits(entry.result),
+                    )
+                    for entry in fpu.memo.lut.fifo.entries
+                )
+                lanes.append(
+                    (entries, fpu.memo.lut.stats, fpu.counters, fpu.ecu.stats)
+                )
+    return lanes
+
+
+def _run_both(programs, memo: MemoConfig, timing: TimingConfig):
+    kernel = _make_kernel(programs)
+    snapshots = []
+    outputs = []
+    for backend in ("scalar", "vector"):
+        config = SimConfig(arch=ARCH, memo=memo, timing=timing, backend=backend)
+        executor = GpuExecutor(config)
+        out = Buffer.zeros(GLOBAL_SIZE)
+        executor.run(kernel, GLOBAL_SIZE, (out,))
+        outputs.append(out.to_array().tobytes())
+        snapshots.append(_lane_snapshots(executor))
+    assert outputs[0] == outputs[1]
+    assert snapshots[0] == snapshots[1]
+
+
+class TestLutBatchingMatchesScalar:
+    @settings(max_examples=20, deadline=None)
+    @given(programs=programs_strategy)
+    def test_exact_matching(self, programs):
+        _run_both(programs, MemoConfig(threshold=0.0), TimingConfig())
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        programs=programs_strategy,
+        threshold=st.sampled_from([0.25, 0.5, 1.0]),
+    )
+    def test_threshold_matching(self, programs, threshold):
+        _run_both(programs, MemoConfig(threshold=threshold), TimingConfig())
+
+    @settings(max_examples=10, deadline=None)
+    @given(programs=programs_strategy)
+    def test_masked_matching(self, programs):
+        _run_both(
+            programs, MemoConfig(masked_fraction_bits=12), TimingConfig()
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(programs=programs_strategy)
+    def test_commutative_matching_disabled(self, programs):
+        _run_both(
+            programs,
+            MemoConfig(threshold=0.0, commutative_matching=False),
+            TimingConfig(),
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(programs=programs_strategy, seed=st.integers(0, 2**16))
+    def test_with_error_injection(self, programs, seed):
+        _run_both(
+            programs,
+            MemoConfig(threshold=0.25),
+            TimingConfig(error_rate=0.05, seed=seed),
+        )

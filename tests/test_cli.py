@@ -98,10 +98,10 @@ class TestExperiment:
             cli_mod,
             "EXPERIMENTS",
             {
-                "alpha": lambda jobs=1, store=None: (
+                "alpha": lambda jobs=1, store=None, backend="scalar": (
                     calls.append("alpha") or "alpha output"
                 ),
-                "beta": lambda jobs=1, store=None: (
+                "beta": lambda jobs=1, store=None, backend="scalar": (
                     calls.append("beta") or "beta output"
                 ),
             },
@@ -233,7 +233,7 @@ class TestTelemetryCli:
         monkeypatch.setattr(
             cli_mod,
             "EXPERIMENTS",
-            {"tiny": lambda jobs=1, store=None: "tiny output"},
+            {"tiny": lambda jobs=1, store=None, backend="scalar": "tiny output"},
         )
         path = tmp_path / "exp.json"
         code, _ = run_cli("experiment", "tiny", "--emit-json", str(path))
@@ -390,3 +390,33 @@ class TestUsage:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             run_cli()
+
+
+class TestBackendOption:
+    def test_vector_run_output_identical_to_scalar(self):
+        code_s, text_s = run_cli("run", "FWT")
+        code_v, text_v = run_cli("run", "FWT", "--backend", "vector")
+        assert code_s == 0 and code_v == 0
+        # Bit-identical contract: every reported number agrees.
+        assert text_v == text_s
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "FWT", "--backend", "cuda")
+
+    def test_verify_backend_diff_runs_only_the_sweep(self):
+        code, text = run_cli(
+            "verify", "--backend-diff", "--kernel", "FWT", "--fuzz", "0"
+        )
+        assert code == 0
+        assert "backend_equivalence" in text
+        assert "memo_transparency" not in text
+        assert "FAIL" not in text
+
+    def test_vector_multiseed_run(self):
+        code, text = run_cli(
+            "run", "FWT", "--backend", "vector", "--seeds", "2",
+            "--error-rate", "0.02",
+        )
+        assert code == 0
+        assert "saving" in text

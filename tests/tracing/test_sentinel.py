@@ -121,3 +121,49 @@ class TestReportSurface:
         report = SentinelReport()
         report.check("fine", 0, 0)
         report.raise_if_violated()
+
+
+class TestTraceVsTelemetry:
+    """The direct timeline-vs-registry edge of the cross-check triangle."""
+
+    def test_clean_run_includes_direct_cross_checks(self, traced_executor):
+        report = audit_device(traced_executor.device, traced_executor.tracer)
+        names = {check.name for check in report.checks}
+        assert "trace.hits==telemetry.memo.hits" in names
+        assert "trace.misses==telemetry.memo.misses" in names
+        assert "trace.recovery_cycles==telemetry.ecu.recovery_cycles" in names
+        assert "trace.wavefronts==telemetry.wavefronts" in names
+
+    def test_corrupted_registry_fails_both_triangle_edges(
+        self, traced_executor
+    ):
+        hub = traced_executor.telemetry
+        kind = UnitKind.ADD.value
+        hub.registry.counter(f"cu0.sc0.fpu.{kind}.memo.hits").inc(3)
+        report = audit_device(traced_executor.device, traced_executor.tracer)
+        violated = {check.name for check in report.violations}
+        assert "telemetry.memo.hits==canonical" in violated
+        assert "trace.hits==telemetry.memo.hits" in violated
+
+    def test_telemetry_off_skips_with_note(self):
+        executor, _ = traced_run(telemetry=False)
+        report = audit_device(executor.device, executor.tracer)
+        assert report.ok, report.to_text()
+        assert any(
+            "trace-vs-telemetry checks skipped" in note
+            for note in report.notes
+        )
+        assert not any(
+            "==telemetry." in check.name for check in report.checks
+        )
+
+    def test_saturated_tracer_skips_with_note(self):
+        executor, _ = traced_run(
+            tracing=TracingConfig(enabled=True, max_events=10)
+        )
+        report = audit_device(executor.device, executor.tracer)
+        assert report.ok, report.to_text()
+        assert any(
+            "trace-vs-telemetry checks skipped" in note
+            for note in report.notes
+        )
