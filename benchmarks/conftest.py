@@ -9,6 +9,7 @@ trajectory a data point per run (see ``docs/observability.md``).
 """
 
 import json
+import os
 import platform
 import sys
 import time
@@ -105,3 +106,22 @@ def pytest_sessionfinish(session, exitstatus):
         "benches": sorted(_bench_records, key=lambda r: r["bench"]),
     }
     BENCH_TELEMETRY_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    if os.environ.get("REPRO_BENCH_HISTORY"):
+        _archive_to_history()
+
+
+def _archive_to_history():
+    """Opt-in (`REPRO_BENCH_HISTORY=1`): archive the summary into the
+    bench-trend history so `repro bench compare` can diff this session
+    against previous ones without a separate `repro bench record`."""
+    try:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.monitor.trend import record_bench
+
+        path = record_bench(
+            str(BENCH_TELEMETRY_PATH),
+            str(REPO_ROOT / "benchmarks" / "results" / "history"),
+        )
+        print(f"\nbench summary archived to {path}")
+    except Exception as exc:  # archival must never fail the bench run
+        print(f"\nbench history archival skipped: {exc}")

@@ -99,8 +99,16 @@ def run_seed_shard(task: SeedShardTask) -> SeedShardResult:
 
     Module-level (not a closure) so it pickles by reference and executes
     under any multiprocessing start method, including spawn.
+
+    Under a monitored run the memoized executor's telemetry hub is
+    *published* (see :mod:`repro.monitor.runtime`) for the duration of
+    its workload so the heartbeat thread can stream live snapshot
+    deltas; it is withdrawn before the baseline run so baseline-side
+    metrics never leak into the live view (the shard's result snapshot
+    is memo-side only, and the live fold must match it exactly).
     """
     from ..gpu.executor import GpuExecutor
+    from ..monitor.runtime import publish_hub
 
     timing = TimingConfig(error_rate=task.error_rate, seed=task.seed)
     config = SimConfig(
@@ -111,7 +119,11 @@ def run_seed_shard(task: SeedShardTask) -> SeedShardResult:
         backend=task.backend,
     )
     memo_ex = GpuExecutor(config)
-    task.factory().run(memo_ex)
+    publish_hub(memo_ex.telemetry if task.collect_telemetry else None)
+    try:
+        task.factory().run(memo_ex)
+    finally:
+        publish_hub(None)
     base_ex = GpuExecutor(config, memoized=False)
     task.factory().run(base_ex)
     saving = memo_ex.device.energy_report().saving_vs(

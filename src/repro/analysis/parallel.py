@@ -71,18 +71,27 @@ class ShardRecord:
 
     ``phases`` is the shard's host-phase attribution (see
     :mod:`repro.tracing.profile`) when the shard's device recorded any;
-    ``None`` otherwise.  Like the wall time it is nondeterministic
+    ``None`` otherwise.  ``cpu_time_s`` / ``max_rss_kb`` are the shard
+    worker's resource accounting (user+system CPU seconds over the
+    shard, peak resident set of the process) when the platform exposes
+    ``getrusage``.  Like the wall time all of this is nondeterministic
     provenance, so it stays out of the merged measurement telemetry.
     """
 
     label: str
     wall_time_s: float
     phases: Optional[dict] = None
+    cpu_time_s: Optional[float] = None
+    max_rss_kb: Optional[int] = None
 
     def to_dict(self) -> dict:
         record = {"label": self.label, "wall_time_s": self.wall_time_s}
         if self.phases:
             record["phases"] = self.phases
+        if self.cpu_time_s is not None:
+            record["cpu_time_s"] = self.cpu_time_s
+        if self.max_rss_kb is not None:
+            record["max_rss_kb"] = self.max_rss_kb
         return record
 
 
@@ -153,11 +162,18 @@ def _timed_call(worker, task):
     The shard runs inside an ambient host-phase capture: any device the
     worker builds with ``profile_host`` enabled adopts the capture's
     profiler, so the shard's phase attribution travels back to the
-    parent in plain-dict form alongside the result."""
+    parent in plain-dict form alongside the result.  Returns
+    ``(result, wall_s, phases, resources)`` where ``resources`` is the
+    shard's CPU-time / peak-RSS accounting (``None`` where the platform
+    has no ``getrusage``)."""
+    from ..monitor.resources import ResourceProbe
+
+    probe = ResourceProbe()
     started = time.perf_counter()
     with profile.capture() as profiler:
         result = worker(task)
-    return result, time.perf_counter() - started, profiler.snapshot()
+    wall = time.perf_counter() - started
+    return result, wall, profiler.snapshot(), probe.sample()
 
 
 def _require_picklable(worker, tasks: Sequence[object], labels: List[str]) -> None:
@@ -179,6 +195,12 @@ def _require_picklable(worker, tasks: Sequence[object], labels: List[str]) -> No
             ) from exc
 
 
+def _terminate_pool(pool) -> None:
+    """Kill the pool's workers so shutdown cannot block on a hung shard."""
+    for process in getattr(pool, "_processes", {}).values():
+        process.terminate()
+
+
 def run_sharded(
     tasks: Sequence[object],
     worker: Callable,
@@ -187,6 +209,7 @@ def run_sharded(
     timeout: Optional[float] = None,
     start_method: Optional[str] = None,
     label: Optional[Callable[[object], str]] = None,
+    monitor=None,
 ) -> Tuple[list, EngineReport]:
     """Run ``worker(task)`` for every task, possibly across processes.
 
@@ -199,54 +222,157 @@ def run_sharded(
     that exceeds it (or whose worker dies) raises
     :class:`~repro.errors.ParallelExecutionError` naming the shard via
     ``label`` (defaults to the task's ``repr``).
+
+    ``monitor`` attaches a :class:`~repro.monitor.run.RunMonitor`:
+    shards then run through the monitored worker wrapper (heartbeats +
+    telemetry deltas over a queue) and the host pumps the aggregator
+    while collecting.  When omitted, the ambient monitor installed by
+    :func:`~repro.monitor.run.capture_monitor` is used, so experiment
+    drivers pick up ``--live`` without threading a parameter through
+    every layer.  Monitoring never changes shard results — a monitored
+    run is byte-identical to an unmonitored one.
     """
+    from ..monitor.run import current_monitor
+
     tasks = list(tasks)
     label = label or repr
     labels = [label(task) for task in tasks]
     workers = resolve_jobs(jobs)
     workers = max(1, min(workers, len(tasks))) if tasks else 1
+    if monitor is None:
+        monitor = current_monitor()
 
     if workers == 1:
-        results = []
-        records = []
-        for task, shard_label in zip(tasks, labels):
-            try:
-                result, wall, phases = _timed_call(worker, task)
-            except ReproError:
-                raise
-            except Exception as exc:
-                raise ParallelExecutionError(
-                    f"shard {shard_label} failed: {exc!r}"
-                ) from exc
-            results.append(result)
-            records.append(
-                ShardRecord(
-                    label=shard_label, wall_time_s=wall, phases=phases or None
-                )
-            )
-        return results, EngineReport(
-            requested_jobs=jobs,
-            workers=1,
-            serial=True,
-            start_method="in-process",
-            shards=records,
-        )
+        return _run_serial(tasks, worker, jobs, labels, monitor)
+    return _run_pool(
+        tasks, worker, jobs, workers, labels, timeout, start_method, monitor
+    )
 
+
+def _record_shard(records, shard_label, wall, phases, resources) -> None:
+    records.append(
+        ShardRecord(
+            label=shard_label,
+            wall_time_s=wall,
+            phases=phases or None,
+            cpu_time_s=resources["cpu_time_s"] if resources else None,
+            max_rss_kb=resources["max_rss_kb"] if resources else None,
+        )
+    )
+
+
+def _run_serial(tasks, worker, jobs, labels, monitor) -> Tuple[list, EngineReport]:
+    channel = None
+    if monitor is not None:
+        from ..monitor.worker import monitored_call
+
+        monitor.attach(labels, workers=1, serial=True)
+        channel = monitor.channel(None)
+    results = []
+    records = []
+    for task, shard_label in zip(tasks, labels):
+        try:
+            if monitor is not None:
+                result, wall, phases, resources = monitored_call(
+                    worker,
+                    task,
+                    shard_label,
+                    channel,
+                    monitor.config.heartbeat_interval_s,
+                )
+                monitor.pump()
+            else:
+                result, wall, phases, resources = _timed_call(worker, task)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise ParallelExecutionError(
+                f"shard {shard_label} failed: {exc!r}"
+            ) from exc
+        results.append(result)
+        _record_shard(records, shard_label, wall, phases, resources)
+    return results, EngineReport(
+        requested_jobs=jobs,
+        workers=1,
+        serial=True,
+        start_method="in-process",
+        shards=records,
+    )
+
+
+def _collect_monitored(future, shard_label, timeout, monitor, pool):
+    """Wait on one shard's future while pumping the monitor.
+
+    Enforces the per-shard ``timeout`` manually (the poll loop replaces
+    the blocking ``future.result(timeout=...)``) and honors a watchdog
+    cancel escalation by terminating the pool, exactly like a timeout.
+    """
+    waited_since = time.monotonic()
+    while True:
+        monitor.pump()
+        if monitor.cancel_requested is not None:
+            _terminate_pool(pool)
+            raise ParallelExecutionError(
+                f"shard {monitor.cancel_requested} cancelled by the "
+                "monitor watchdog (stall escalation policy 'cancel')"
+            )
+        try:
+            return future.result(timeout=monitor.config.poll_interval_s)
+        except FuturesTimeoutError:
+            if (
+                timeout is not None
+                and time.monotonic() - waited_since > timeout
+            ):
+                _terminate_pool(pool)
+                raise ParallelExecutionError(
+                    f"shard {shard_label} exceeded the {timeout:g}s "
+                    "per-shard timeout"
+                ) from None
+
+
+def _run_pool(
+    tasks, worker, jobs, workers, labels, timeout, start_method, monitor
+) -> Tuple[list, EngineReport]:
     _require_picklable(worker, tasks, labels)
     context = multiprocessing.get_context(start_method)
+    channel = None
+    if monitor is not None:
+        from ..monitor.worker import monitored_call
+
+        monitor.attach(labels, workers=workers, serial=False)
+        channel = monitor.channel(context)
     results = []
     records = []
     with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-        futures = [pool.submit(_timed_call, worker, task) for task in tasks]
+        if monitor is not None:
+            futures = [
+                pool.submit(
+                    monitored_call,
+                    worker,
+                    task,
+                    shard_label,
+                    channel,
+                    monitor.config.heartbeat_interval_s,
+                )
+                for task, shard_label in zip(tasks, labels)
+            ]
+        else:
+            futures = [pool.submit(_timed_call, worker, task) for task in tasks]
         try:
             for shard_label, future in zip(labels, futures):
                 try:
-                    result, wall, phases = future.result(timeout=timeout)
+                    if monitor is not None:
+                        result, wall, phases, resources = _collect_monitored(
+                            future, shard_label, timeout, monitor, pool
+                        )
+                    else:
+                        result, wall, phases, resources = future.result(
+                            timeout=timeout
+                        )
                 except FuturesTimeoutError:
                     # Kill the stuck workers so the pool shutdown below
                     # cannot block on the hung shard.
-                    for process in getattr(pool, "_processes", {}).values():
-                        process.terminate()
+                    _terminate_pool(pool)
                     raise ParallelExecutionError(
                         f"shard {shard_label} exceeded the {timeout:g}s "
                         "per-shard timeout"
@@ -263,16 +389,12 @@ def run_sharded(
                         f"shard {shard_label} failed: {exc!r}"
                     ) from exc
                 results.append(result)
-                records.append(
-                    ShardRecord(
-                        label=shard_label,
-                        wall_time_s=wall,
-                        phases=phases or None,
-                    )
-                )
+                _record_shard(records, shard_label, wall, phases, resources)
         finally:
             for future in futures:
                 future.cancel()
+    if monitor is not None:
+        monitor.pump()
     return results, EngineReport(
         requested_jobs=jobs,
         workers=workers,

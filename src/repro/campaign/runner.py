@@ -209,6 +209,7 @@ def _checkpoint_manifest(
     status: str,
     jobs: int,
     started_utc: str,
+    progress: Optional[dict] = None,
 ) -> None:
     """Atomically rewrite the campaign manifest (crash-safe checkpoint)."""
     completed = len(plan.cached) + computed
@@ -228,7 +229,40 @@ def _checkpoint_manifest(
         "completed": completed,
         "pending": plan.total - completed,
     }
+    if progress is not None:
+        manifest["progress"] = progress
     atomic_write_json(str(manifest_path(store, spec)), manifest)
+
+
+def _progress_payload(monitor, engines: List[EngineReport]) -> Optional[dict]:
+    """Per-shard progress for the manifest: the monitor's live view when
+    one is attached, else the engine reports' completed-shard records."""
+    if monitor is not None:
+        return monitor.progress()
+    shards = []
+    for engine in engines:
+        for record in engine.shards:
+            entry = {
+                "label": record.label,
+                "status": "done",
+                "wall_s": round(record.wall_time_s, 6),
+            }
+            if record.cpu_time_s is not None:
+                entry["cpu_time_s"] = round(record.cpu_time_s, 6)
+            if record.max_rss_kb is not None:
+                entry["max_rss_kb"] = record.max_rss_kb
+            shards.append(entry)
+    if not shards:
+        return None
+    return {"counts": {"done": len(shards)}, "shards": shards}
+
+
+def _batch_labeler(batch):
+    """Unique shard labels for the engine/monitor: the campaign task's
+    full ``kernel rate seed`` label, not just ``seed N`` (seeds repeat
+    across grid cells, and the monitor keys its live view by label)."""
+    mapping = {id(task.shard): task.label for task in batch}
+    return lambda shard: mapping.get(id(shard), f"seed {shard.seed}")
 
 
 def run_campaign(
@@ -238,6 +272,7 @@ def run_campaign(
     max_shards: Optional[int] = None,
     timeout: Optional[float] = None,
     start_method: Optional[str] = None,
+    monitor=None,
 ) -> CampaignReport:
     """Run (or resume) ``spec`` against ``store``; returns the report.
 
@@ -248,19 +283,32 @@ def run_campaign(
     after that many computed shards (the report is then partial) —
     useful for budgeted night runs and for testing resume.
 
+    ``monitor`` (a :class:`~repro.monitor.run.RunMonitor`, or the
+    ambient one from :func:`~repro.monitor.run.capture_monitor`)
+    live-streams every batch and lands per-shard progress in the
+    checkpointed manifest — it never affects the computed shards, the
+    store contents, or the merged result.
+
     Running a spec whose grid is already fully durable performs no
     simulation and just re-merges — which is also exactly what
     "resume" means.
     """
+    from ..monitor.run import current_monitor
+
     started = time.perf_counter()
     started_utc = datetime.now(timezone.utc).isoformat()
     plan = plan_campaign(spec, store)
     report = CampaignReport(spec=spec, plan=plan)
     workers = max(1, resolve_jobs(jobs))
     batch_size = workers
+    if monitor is None:
+        monitor = current_monitor()
+    if monitor is not None:
+        monitor.note_cached(len(plan.cached))
 
     _checkpoint_manifest(
-        store, spec, plan, 0, "running", jobs, started_utc
+        store, spec, plan, 0, "running", jobs, started_utc,
+        progress=_progress_payload(monitor, report.engines),
     )
     pending = plan.pending
     if max_shards is not None:
@@ -273,7 +321,8 @@ def run_campaign(
             jobs=jobs,
             timeout=timeout,
             start_method=start_method,
-            label=lambda shard: f"seed {shard.seed}",
+            label=_batch_labeler(batch),
+            monitor=monitor,
         )
         report.engines.append(engine)
         for task, shard in zip(batch, shards):
@@ -284,7 +333,8 @@ def run_campaign(
             )
             report.computed += 1
         _checkpoint_manifest(
-            store, spec, plan, report.computed, "running", jobs, started_utc
+            store, spec, plan, report.computed, "running", jobs, started_utc,
+            progress=_progress_payload(monitor, report.engines),
         )
     report.complete = report.computed == len(plan.pending)
     if report.complete:
@@ -297,6 +347,7 @@ def run_campaign(
         "complete" if report.complete else "partial",
         jobs,
         started_utc,
+        progress=_progress_payload(monitor, report.engines),
     )
     report.wall_time_s = time.perf_counter() - started
     return report
@@ -316,4 +367,7 @@ def campaign_status(spec: CampaignSpec, store: ResultStore) -> dict:
                 manifest.get("fingerprint") == status["fingerprint"]
             ),
         }
+        progress = manifest.get("progress")
+        if isinstance(progress, dict):
+            status["progress"] = progress
     return status

@@ -117,6 +117,80 @@ def _add_cache_arguments(parser) -> None:
     )
 
 
+def _add_monitor_arguments(parser) -> None:
+    """The shared live-monitoring options (see docs/observability.md)."""
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="render a live ASCII progress board while shards run "
+        "(per-shard state, hit rate, throughput, ETA)",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="append the monitor's JSONL event stream here (heartbeats, "
+        "telemetry deltas, watchdog alerts); tail-able mid-run",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.2,
+        metavar="S",
+        help="worker heartbeat / telemetry-delta period in seconds",
+    )
+    parser.add_argument(
+        "--stall-after",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="heartbeat gap after which a shard counts as stalled",
+    )
+    parser.add_argument(
+        "--watchdog-policy",
+        choices=("warn", "cancel"),
+        default="warn",
+        help="stall escalation: 'warn' records the event, 'cancel' "
+        "aborts the run naming the stalled shard",
+    )
+
+
+def _build_monitor(args, label: str, out):
+    """A :class:`RunMonitor` when the flags ask for one, else ``None``.
+
+    Monitoring is opt-in (``--live`` and/or ``--events``); without either
+    flag the run takes the exact unmonitored code path.
+    """
+    if not getattr(args, "live", False) and getattr(args, "events", None) is None:
+        return None
+    from .monitor import MonitorConfig, RunMonitor
+
+    config = MonitorConfig(
+        heartbeat_interval_s=getattr(args, "heartbeat_interval", 0.2),
+        stall_after_s=getattr(args, "stall_after", 10.0),
+        policy=getattr(args, "watchdog_policy", "warn"),
+        events_path=getattr(args, "events", None),
+        live=getattr(args, "live", False),
+    )
+    return RunMonitor(config, label=label, out=out)
+
+
+def _finish_monitor(monitor, out) -> None:
+    """Final pump + closing summary line for a CLI-owned monitor."""
+    if monitor is None:
+        return
+    monitor.finish()
+    registry = monitor.registry
+    beats = int(registry.value("monitor.heartbeats")) if "monitor.heartbeats" in registry else 0
+    stalls = int(registry.value("monitor.stalls")) if "monitor.stalls" in registry else 0
+    summary = f"monitor: {len(monitor.events)} events, {beats} heartbeats"
+    if stalls:
+        summary += f", {stalls} stalls"
+    print(summary, file=out)
+    if monitor.config.events_path:
+        print(f"event stream written to {monitor.config.events_path}", file=out)
+
+
 def _build_store(args):
     """The result store the flags ask for, or ``None`` (the default)."""
     cache_dir = getattr(args, "cache_dir", None)
@@ -207,6 +281,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_argument(run)
     _add_cache_arguments(run)
+    _add_monitor_arguments(run)
 
     trace = sub.add_parser(
         "trace",
@@ -289,6 +364,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_argument(experiment)
     _add_cache_arguments(experiment)
+    _add_monitor_arguments(experiment)
 
     campaign = sub.add_parser(
         "campaign",
@@ -333,6 +409,7 @@ def _build_parser() -> argparse.ArgumentParser:
             default=None,
             help="write the merged campaign result JSON here when complete",
         )
+        _add_monitor_arguments(sub_parser)
 
     campaign_status = campaign_sub.add_parser(
         "status", help="show cached/pending counts for a campaign spec"
@@ -340,6 +417,26 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_status.add_argument("spec", help="campaign spec JSON file")
     campaign_status.add_argument(
         "--cache-dir", metavar="DIR", default=None
+    )
+
+    campaign_watch = campaign_sub.add_parser(
+        "watch",
+        help="render a live progress board for a running campaign from "
+        "its checkpointed manifest (any process can watch)",
+    )
+    campaign_watch.add_argument("spec", help="campaign spec JSON file")
+    campaign_watch.add_argument("--cache-dir", metavar="DIR", default=None)
+    campaign_watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between manifest re-reads",
+    )
+    campaign_watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current board once and exit",
     )
 
     campaign_gc = campaign_sub.add_parser(
@@ -357,6 +454,60 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="evict oldest blobs until the store fits this byte budget",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="bench trend tracking: archive BENCH_telemetry.json summaries "
+        "and gate on regressions (see docs/observability.md)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_record = bench_sub.add_parser(
+        "record", help="archive one bench summary into the history directory"
+    )
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="diff a bench summary against the history; exit 1 on any "
+        "regression unless --report-only",
+    )
+    for sub_parser in (bench_record, bench_compare):
+        sub_parser.add_argument(
+            "--telemetry",
+            metavar="PATH",
+            default="BENCH_telemetry.json",
+            help="bench telemetry summary to read "
+            "(default: BENCH_telemetry.json)",
+        )
+        sub_parser.add_argument(
+            "--history",
+            metavar="DIR",
+            default="benchmarks/results/history",
+            help="history directory (default: benchmarks/results/history)",
+        )
+    bench_compare.add_argument(
+        "--last",
+        type=int,
+        default=5,
+        metavar="N",
+        help="history records in the baseline median",
+    )
+    bench_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        metavar="F",
+        help="relative change counted as a regression (default: 0.20)",
+    )
+    bench_compare.add_argument(
+        "--report-only",
+        action="store_true",
+        help="always exit 0 (report without gating)",
+    )
+    bench_compare.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the structured trend report here",
     )
 
     metrics = sub.add_parser(
@@ -576,17 +727,26 @@ def _cmd_run_multiseed(args, out) -> int:
     threshold = args.threshold if args.threshold is not None else spec.threshold
     seeds = _parse_seeds(args.seeds)
     store = _build_store(args)
+    monitor = _build_monitor(args, label=f"run:{args.kernel}", out=out)
     started = time.perf_counter()
-    measurement = measure_with_seeds(
-        spec.default_factory,
-        threshold,
-        args.error_rate,
-        seeds=seeds,
-        collect_telemetry=args.emit_json is not None,
-        jobs=args.jobs,
-        store=store,
-        backend=args.backend,
-    )
+    try:
+        from .monitor.run import capture_monitor
+        from contextlib import nullcontext
+
+        scope = capture_monitor(monitor) if monitor is not None else nullcontext()
+        with scope:
+            measurement = measure_with_seeds(
+                spec.default_factory,
+                threshold,
+                args.error_rate,
+                seeds=seeds,
+                collect_telemetry=args.emit_json is not None,
+                jobs=args.jobs,
+                store=store,
+                backend=args.backend,
+            )
+    finally:
+        _finish_monitor(monitor, out)
     engine = measurement.engine
     mode = "serial" if engine.serial else f"{engine.workers} workers"
     print(
@@ -786,6 +946,9 @@ def _cmd_metrics(args, out) -> int:
         backend=args.backend,
     )
     started = time.perf_counter()
+    from .monitor.resources import ResourceProbe
+
+    probe = ResourceProbe()
     executor = GpuExecutor(config)
     spec.default_factory().run(executor)
     # Publish the energy gauges into the registry before snapshotting.
@@ -797,6 +960,14 @@ def _cmd_metrics(args, out) -> int:
         ),
         file=out,
     )
+    resources = probe.sample()
+    if resources is not None:
+        print(
+            f"host resources: wall {resources['wall_s']:.2f}s | "
+            f"cpu {resources['cpu_time_s']:.2f}s | "
+            f"peak rss {resources['max_rss_kb']} KiB",
+            file=out,
+        )
     if args.emit_json:
         _write_run_artifact(
             args.emit_json,
@@ -825,19 +996,31 @@ def _cmd_experiment(args, out) -> int:
     started = time.perf_counter()
     outputs = {}
     store = _build_store(args)
+    monitor = _build_monitor(args, label=f"experiment:{args.id}", out=out)
+    from contextlib import nullcontext
+
     from .tracing import profile
 
-    with profile.capture() as profiler:
-        for exp_id in selected:
-            text = EXPERIMENTS[exp_id](
-                jobs=args.jobs, store=store, backend=args.backend
-            )
-            outputs[exp_id] = text
-            if len(selected) > 1:
-                print(f"=== {exp_id} ===", file=out)
-            print(text, file=out)
-            if len(selected) > 1:
-                print(file=out)
+    if monitor is not None:
+        from .monitor.run import capture_monitor
+
+        scope = capture_monitor(monitor)
+    else:
+        scope = nullcontext()
+    try:
+        with profile.capture() as profiler, scope:
+            for exp_id in selected:
+                text = EXPERIMENTS[exp_id](
+                    jobs=args.jobs, store=store, backend=args.backend
+                )
+                outputs[exp_id] = text
+                if len(selected) > 1:
+                    print(f"=== {exp_id} ===", file=out)
+                print(text, file=out)
+                if len(selected) > 1:
+                    print(file=out)
+    finally:
+        _finish_monitor(monitor, out)
     if store is not None:
         counts = store.counter_values()
         print(
@@ -876,6 +1059,76 @@ def _cmd_experiment(args, out) -> int:
     return 0
 
 
+def _cmd_bench(args, out) -> int:
+    from .monitor.trend import compare_bench, record_bench
+
+    if args.bench_command == "record":
+        path = record_bench(args.telemetry, args.history)
+        print(f"bench summary archived to {path}", file=out)
+        return 0
+    report = compare_bench(
+        args.telemetry, args.history, last=args.last, threshold=args.threshold
+    )
+    print(report.to_text(), file=out)
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report.to_dict(), f, indent=2)
+            f.write("\n")
+        print(f"trend report written to {args.json}", file=out)
+    if report.ok or args.report_only:
+        return 0
+    return 1
+
+
+def _cmd_campaign_watch(args, spec, store, out) -> int:
+    from .campaign import read_campaign_manifest
+    from .monitor.board import render_manifest_board
+
+    while True:
+        manifest = read_campaign_manifest(store, spec)
+        if manifest is None:
+            print(
+                f"no checkpoint manifest for campaign {spec.name!r} under "
+                f"{store.root} yet",
+                file=out,
+            )
+            if args.once:
+                return 1
+        else:
+            print(render_manifest_board(manifest), file=out)
+            print(file=out)
+            if args.once or manifest.get("status") != "running":
+                return 0
+        time.sleep(args.interval)
+
+
+def _print_shard_progress(progress: dict, out) -> None:
+    """The per-shard columns of ``repro campaign status``."""
+    shards = progress.get("shards") or []
+    if not shards:
+        return
+    rows = [
+        [
+            shard.get("label", "?"),
+            shard.get("status", "?"),
+            shard.get("wall_s"),
+            shard.get("cpu_time_s"),
+            shard.get("max_rss_kb"),
+            shard.get("throughput_ops_s"),
+        ]
+        for shard in shards
+    ]
+    print(file=out)
+    print(
+        format_table(
+            ["shard", "state", "wall s", "cpu s", "rss KiB", "ops/s"],
+            rows,
+            title="last checkpoint's shard progress",
+        ),
+        file=out,
+    )
+
+
 def _cmd_campaign(args, out) -> int:
     from .campaign import (
         DEFAULT_STORE_DIR,
@@ -904,6 +1157,9 @@ def _cmd_campaign(args, out) -> int:
 
     spec = CampaignSpec.from_file(args.spec)
 
+    if args.campaign_command == "watch":
+        return _cmd_campaign_watch(args, spec, store, out)
+
     if args.campaign_command == "status":
         status = campaign_status(spec, store)
         print(
@@ -919,6 +1175,9 @@ def _cmd_campaign(args, out) -> int:
                 f"{manifest['updated_utc']}",
                 file=out,
             )
+        progress = status.get("progress")
+        if isinstance(progress, dict):
+            _print_shard_progress(progress, out)
         return 0
 
     if args.campaign_command == "resume":
@@ -932,9 +1191,17 @@ def _cmd_campaign(args, out) -> int:
             )
             return 1
 
-    report = run_campaign(
-        spec, store, jobs=args.jobs, max_shards=args.max_shards
-    )
+    monitor = _build_monitor(args, label=f"campaign:{spec.name}", out=out)
+    try:
+        report = run_campaign(
+            spec,
+            store,
+            jobs=args.jobs,
+            max_shards=args.max_shards,
+            monitor=monitor,
+        )
+    finally:
+        _finish_monitor(monitor, out)
     state = "complete" if report.complete else "partial"
     print(
         f"campaign {spec.name}: {state} — {report.cached} shards cached, "
@@ -1085,6 +1352,8 @@ def _dispatch(args, out) -> int:
         return _cmd_experiment(args, out)
     if args.command == "campaign":
         return _cmd_campaign(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     if args.command == "metrics":
         return _cmd_metrics(args, out)
     if args.command == "locality":

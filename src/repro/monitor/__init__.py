@@ -1,0 +1,73 @@
+"""repro.monitor — live observability for long-running measurement runs.
+
+The streaming layer above the engine and the campaign runner:
+
+* :mod:`~repro.monitor.events` / :mod:`~repro.monitor.stream` — the
+  schema-versioned monitor event protocol and its append-only JSONL
+  stream on disk (whole-line appends; readers can tail mid-run);
+* :mod:`~repro.monitor.delta` — mergeable telemetry snapshot deltas:
+  workers publish progress increments, the host folds them with the
+  PR-1 merge algebra into a live registry view that reconstructs the
+  final merged telemetry bit-identically;
+* :mod:`~repro.monitor.watchdog` — heartbeat-gap stall detection and
+  slow-shard outlier flagging with a configurable escalation policy
+  (warn, or cancel through the engine's timeout plumbing);
+* :mod:`~repro.monitor.run` — :class:`RunMonitor`, the host-side
+  aggregator the engine pumps while shards execute;
+* :mod:`~repro.monitor.worker` — the worker-side wrapper emitting
+  heartbeats and deltas from inside pool processes;
+* :mod:`~repro.monitor.board` — the live ASCII progress board
+  (``--live`` / ``repro campaign watch``);
+* :mod:`~repro.monitor.trend` — the bench trend tracker behind
+  ``repro bench record|compare``;
+* :mod:`~repro.monitor.resources` — per-shard wall/CPU/``ru_maxrss``
+  accounting.
+
+Monitoring is a **pure observer**: it never touches shard results,
+cache keys, or campaign fingerprints, so a monitored run's outputs are
+byte-identical to an unmonitored one.
+"""
+
+from .board import render_board, render_manifest_board
+from .delta import DELTA_SCHEMA, ShardDeltaFold, diff_snapshots, fold_shard_views
+from .events import MONITOR_STREAM_SCHEMA, MonitorEvent, MonitorEventKind
+from .resources import ResourceProbe, rusage_now
+from .run import MonitorConfig, RunMonitor, capture_monitor, current_monitor
+from .stream import EventStreamWriter, read_event_stream
+from .trend import (
+    BENCH_HISTORY_SCHEMA,
+    DEFAULT_HISTORY_DIR,
+    TrendReport,
+    compare_bench,
+    load_history,
+    record_bench,
+)
+from .watchdog import Watchdog, WatchdogAlert
+
+__all__ = [
+    "MONITOR_STREAM_SCHEMA",
+    "DELTA_SCHEMA",
+    "BENCH_HISTORY_SCHEMA",
+    "DEFAULT_HISTORY_DIR",
+    "MonitorEvent",
+    "MonitorEventKind",
+    "MonitorConfig",
+    "RunMonitor",
+    "capture_monitor",
+    "current_monitor",
+    "ShardDeltaFold",
+    "diff_snapshots",
+    "fold_shard_views",
+    "EventStreamWriter",
+    "read_event_stream",
+    "Watchdog",
+    "WatchdogAlert",
+    "TrendReport",
+    "record_bench",
+    "compare_bench",
+    "load_history",
+    "ResourceProbe",
+    "rusage_now",
+    "render_board",
+    "render_manifest_board",
+]

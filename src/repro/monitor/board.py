@@ -1,0 +1,162 @@
+"""The live ASCII progress board.
+
+Renders one :class:`~repro.monitor.run.RunMonitor` (or the equivalent
+manifest-progress document for ``repro campaign watch``) in the same
+aligned-table style as the PR-3 timeline summary: a headline of shard
+counts / cache split / ETA, the live hit-rate from the folded registry
+view, and a per-shard table with state, beats, wall, and throughput.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..utils.tables import format_table
+
+
+def _format_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{secs:02.0f}s"
+
+
+def _live_hit_rate(snapshot) -> Optional[float]:
+    if snapshot is None:
+        return None
+    lookups = snapshot.sum("*.*.fpu.*.memo.lookups")
+    hits = snapshot.sum("*.*.fpu.*.memo.hits")
+    if not lookups:
+        return None
+    return hits / lookups
+
+
+def _per_kernel_rows(shards) -> List[list]:
+    """Aggregate done-shard throughput by kernel (first label token)."""
+    by_kernel = {}
+    for view in shards:
+        if view.status != "done" or view.ops is None or not view.wall_s:
+            continue
+        kernel = view.label.split()[0]
+        ops, wall = by_kernel.get(kernel, (0, 0.0))
+        by_kernel[kernel] = (ops + view.ops, wall + view.wall_s)
+    return [
+        [kernel, ops, round(wall, 2), ops / wall if wall else None]
+        for kernel, (ops, wall) in sorted(by_kernel.items())
+    ]
+
+
+def render_board(monitor) -> str:
+    """The full board for one live monitor."""
+    counts = monitor.counts()
+    total = len(monitor.shards)
+    headline = (
+        f"shards {counts['done']}/{total} done | {counts['running']} running"
+        f" | {counts['stalled']} stalled | {counts['slow']} slow"
+        f" | {counts['pending']} pending"
+    )
+    lines = [f"== live board: {monitor.label} ==", headline]
+    cache_line = []
+    if monitor.cached:
+        cache_line.append(f"cache {monitor.cached} hits / {total} computed-or-pending")
+    cache_line.append(f"elapsed {_format_duration(monitor.elapsed_s())}")
+    eta = monitor.eta_s()
+    if eta is not None:
+        cache_line.append(f"eta {_format_duration(eta)}")
+    hit_rate = _live_hit_rate(monitor.live_view())
+    if hit_rate is not None:
+        cache_line.append(f"live hit rate {hit_rate:.1%}")
+    lines.append(" | ".join(cache_line))
+    rows = []
+    for view in monitor.shards.values():
+        rows.append(
+            [
+                view.label,
+                view.status,
+                view.beats,
+                _format_duration(view.wall_s),
+                view.ops if view.ops is not None else None,
+                view.throughput_ops_s,
+            ]
+        )
+    if rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["shard", "state", "beats", "wall", "ops", "ops/s"],
+                rows,
+                title="per shard",
+            )
+        )
+    kernel_rows = _per_kernel_rows(monitor.shards.values())
+    if len(kernel_rows) > 1:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["kernel", "ops", "wall s", "ops/s"],
+                kernel_rows,
+                title="per kernel throughput (completed shards)",
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_manifest_board(manifest: dict) -> str:
+    """The board for ``repro campaign watch``: rendered from a campaign's
+    checkpointed manifest (its ``progress`` payload), not a live monitor,
+    so any process can watch a run it did not start."""
+    name = manifest.get("name", "?")
+    status = manifest.get("status", "?")
+    completed = manifest.get("completed", 0)
+    total = manifest.get("total", 0)
+    lines = [
+        f"== campaign board: {name} ==",
+        f"status {status} | {completed}/{total} shards durable"
+        f" | {manifest.get('cached_at_start', 0)} cached at start"
+        f" | {manifest.get('computed', 0)} computed"
+        f" | updated {manifest.get('updated_utc', '?')}",
+    ]
+    progress = manifest.get("progress")
+    if not isinstance(progress, dict):
+        lines.append("(no per-shard progress in this manifest yet)")
+        return "\n".join(lines)
+    counts = progress.get("counts") or {}
+    if counts:
+        lines.append(
+            " | ".join(f"{state} {count}" for state, count in sorted(counts.items()))
+        )
+    extras = []
+    if progress.get("median_wall_s") is not None:
+        extras.append(f"median shard wall {progress['median_wall_s']:g}s")
+    if progress.get("eta_s") is not None:
+        extras.append(f"eta {_format_duration(progress['eta_s'])}")
+    if progress.get("heartbeats"):
+        extras.append(f"{progress['heartbeats']} heartbeats")
+    if progress.get("stalls"):
+        extras.append(f"{progress['stalls']} stalls")
+    if extras:
+        lines.append(" | ".join(extras))
+    rows = [
+        [
+            shard.get("label", "?"),
+            shard.get("status", "?"),
+            shard.get("beats"),
+            _format_duration(shard.get("wall_s")),
+            shard.get("cpu_time_s"),
+            shard.get("max_rss_kb"),
+            shard.get("throughput_ops_s"),
+        ]
+        for shard in progress.get("shards", [])
+    ]
+    if rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["shard", "state", "beats", "wall", "cpu s", "rss KiB", "ops/s"],
+                rows,
+                title="per shard",
+            )
+        )
+    return "\n".join(lines)

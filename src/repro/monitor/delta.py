@@ -1,0 +1,176 @@
+"""Mergeable telemetry snapshot deltas and their fold.
+
+A running shard periodically publishes progress as a **delta** against
+its previous publication, so the host can maintain a live device-wide
+registry view mid-run with the same merge algebra that folds final
+shard snapshots (:meth:`repro.telemetry.registry.MetricsSnapshot.merge`).
+
+Exactness rules (chosen so the folded live view reconstructs the final
+registry **bit-identically** even under duplicated and re-ordered
+delivery):
+
+* **counters** and **histogram bucket counts / counts** travel as
+  integer *increments* since the previous delta — integers add exactly,
+  in any order, so the fold is a plain sum over deduplicated deltas;
+* **gauges** and **histogram float totals** travel as *cumulative*
+  current values — float increments would not re-sum bit-exactly
+  (``a + (b - a) != b`` in general), so the fold keeps the value from
+  the highest delta sequence number seen instead;
+* every delta carries a per-shard monotonically increasing ``seq``;
+  the fold ignores a ``seq`` it has already applied (at-least-once
+  delivery is therefore safe) and tolerates arrival in any order.
+
+The invariant tested by the property suite: feeding a shard's deltas to
+:class:`ShardDeltaFold` in **any order, with any duplication**, yields a
+snapshot equal to the registry snapshot the final delta was taken from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import TelemetryError
+from ..telemetry.registry import MetricsSnapshot
+from ..telemetry.sinks import merge_snapshots
+
+#: Snapshot-delta payload layout version (rides inside monitor events).
+DELTA_SCHEMA = 1
+
+
+def diff_snapshots(
+    previous: Optional[MetricsSnapshot], current: MetricsSnapshot, seq: int
+) -> dict:
+    """The delta payload advancing ``previous`` to ``current``.
+
+    ``previous=None`` means "first publication" (everything is an
+    increment from zero).  Counter and histogram-count fields are
+    increments; gauges and histogram totals are cumulative (see the
+    module docstring for why).
+    """
+    prev_counters = previous.counters if previous is not None else {}
+    prev_hists = previous.histograms if previous is not None else {}
+    counters = {}
+    for path, value in current.counters.items():
+        inc = value - prev_counters.get(path, 0)
+        if inc:
+            counters[path] = inc
+    histograms = {}
+    for path, hist in current.histograms.items():
+        prev = prev_hists.get(path)
+        prev_counts = prev["counts"] if prev else [0] * len(hist["counts"])
+        counts = [c - p for c, p in zip(hist["counts"], prev_counts)]
+        if any(counts) or prev is None:
+            histograms[path] = {
+                "buckets": list(hist["buckets"]),
+                "counts": counts,
+                "count": hist["count"] - (prev["count"] if prev else 0),
+                "total": hist["total"],  # cumulative, not an increment
+            }
+    return {
+        "schema": DELTA_SCHEMA,
+        "seq": seq,
+        "counters": counters,
+        "gauges": dict(current.gauges),  # cumulative
+        "histograms": histograms,
+    }
+
+
+class ShardDeltaFold:
+    """Reconstruct one shard's registry view from its delta stream.
+
+    Duplicate deltas (same ``seq``) are ignored; order of arrival never
+    matters.  ``seal`` installs an authoritative final snapshot (from
+    the shard's result), after which the view is exact by construction
+    even if some mid-run deltas never arrived.
+    """
+
+    def __init__(self) -> None:
+        self._seen: Set[int] = set()
+        self._counters: Dict[str, int] = {}
+        self._hist_counts: Dict[str, List[int]] = {}
+        self._hist_count: Dict[str, int] = {}
+        self._hist_buckets: Dict[str, List[float]] = {}
+        # Cumulative fields: value from the highest seq seen so far.
+        self._gauges: Dict[str, Tuple[int, float]] = {}
+        self._hist_totals: Dict[str, Tuple[int, float]] = {}
+        self._final: Optional[MetricsSnapshot] = None
+
+    @property
+    def applied(self) -> int:
+        return len(self._seen)
+
+    def apply(self, delta: dict) -> bool:
+        """Fold one delta payload; returns ``False`` for duplicates."""
+        schema = delta.get("schema", DELTA_SCHEMA)
+        if schema != DELTA_SCHEMA:
+            raise TelemetryError(
+                f"snapshot delta schema {schema!r} is not supported "
+                f"(this build reads schema {DELTA_SCHEMA})"
+            )
+        seq = int(delta["seq"])
+        if seq in self._seen:
+            return False
+        self._seen.add(seq)
+        for path, inc in delta.get("counters", {}).items():
+            self._counters[path] = self._counters.get(path, 0) + int(inc)
+        for path, value in delta.get("gauges", {}).items():
+            current = self._gauges.get(path)
+            if current is None or seq > current[0]:
+                self._gauges[path] = (seq, float(value))
+        for path, hist in delta.get("histograms", {}).items():
+            counts = self._hist_counts.get(path)
+            if counts is None:
+                self._hist_buckets[path] = list(hist["buckets"])
+                self._hist_counts[path] = [int(c) for c in hist["counts"]]
+                self._hist_count[path] = int(hist["count"])
+            else:
+                if self._hist_buckets[path] != list(hist["buckets"]):
+                    raise TelemetryError(
+                        f"histogram {path!r} changed buckets mid-stream"
+                    )
+                self._hist_counts[path] = [
+                    a + int(b) for a, b in zip(counts, hist["counts"])
+                ]
+                self._hist_count[path] += int(hist["count"])
+            current = self._hist_totals.get(path)
+            if current is None or seq > current[0]:
+                self._hist_totals[path] = (seq, float(hist["total"]))
+        return True
+
+    def seal(self, final: MetricsSnapshot) -> None:
+        """Install the shard's authoritative final snapshot."""
+        self._final = final
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The shard's current reconstructed view."""
+        if self._final is not None:
+            return self._final
+        return MetricsSnapshot(
+            counters=dict(self._counters),
+            gauges={path: value for path, (_, value) in self._gauges.items()},
+            histograms={
+                path: {
+                    "buckets": list(self._hist_buckets[path]),
+                    "counts": list(counts),
+                    "count": self._hist_count[path],
+                    "total": self._hist_totals[path][1],
+                }
+                for path, counts in self._hist_counts.items()
+            },
+        )
+
+
+def fold_shard_views(folds: Iterable[ShardDeltaFold]) -> Optional[MetricsSnapshot]:
+    """Merge every shard's reconstructed view with the PR-1 algebra."""
+    snapshots = [
+        fold.snapshot()
+        for fold in folds
+    ]
+    snapshots = [
+        snap
+        for snap in snapshots
+        if snap.counters or snap.gauges or snap.histograms
+    ]
+    if not snapshots:
+        return None
+    return merge_snapshots(snapshots)

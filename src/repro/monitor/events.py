@@ -1,0 +1,90 @@
+"""Typed monitor events: the wire protocol of live shard telemetry.
+
+A monitored run produces one append-only stream of these records — a
+header describing the run, then shard lifecycle events (started /
+heartbeat / snapshot-delta / finished) interleaved with watchdog
+verdicts (stalled / slow / cancelled).  Workers put plain-dict payloads
+on a multiprocessing queue; the host-side :class:`~repro.monitor.run.RunMonitor`
+stamps each with a global sequence number and arrival timestamp and
+appends it to the JSONL stream (see :mod:`repro.monitor.stream`).
+
+The stream is schema-versioned (:data:`MONITOR_STREAM_SCHEMA`) so the
+future campaign service can speak it as a wire protocol, and so the
+bench/trend tooling can refuse politely on incompatible layouts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import TelemetryError
+
+#: Monitor event-stream layout version.  Bump on incompatible changes to
+#: the record fields below or to the snapshot-delta payload layout
+#: (see ``docs/observability.md`` for the compatibility note).
+MONITOR_STREAM_SCHEMA = 1
+
+
+class MonitorEventKind(enum.Enum):
+    """What one monitor stream record describes."""
+
+    #: A shard began executing in a worker (payload: pid).
+    SHARD_STARTED = "shard_started"
+    #: Periodic liveness beat from a running shard (payload: elapsed_s).
+    HEARTBEAT = "heartbeat"
+    #: Mergeable telemetry progress (payload: delta, see
+    #: :mod:`repro.monitor.delta`).
+    SNAPSHOT_DELTA = "snapshot_delta"
+    #: A shard completed (payload: wall_s, cpu_time_s, max_rss_kb, and
+    #: the authoritative final snapshot when the shard produced one).
+    SHARD_FINISHED = "shard_finished"
+    #: Watchdog: heartbeat gap exceeded the stall threshold.
+    SHARD_STALLED = "shard_stalled"
+    #: Watchdog: in-flight wall time is an outlier vs the median
+    #: completed shard.
+    SHARD_SLOW = "shard_slow"
+    #: Watchdog escalation cancelled a stalled shard.
+    SHARD_CANCELLED = "shard_cancelled"
+    #: The monitored run finished (payload: summary counters).
+    RUN_FINISHED = "run_finished"
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """One host-stamped monitor stream record."""
+
+    seq: int
+    ts_s: float
+    kind: MonitorEventKind
+    shard: Optional[str] = None
+    payload: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        record = {
+            "type": "event",
+            "seq": self.seq,
+            "ts_s": round(self.ts_s, 6),
+            "kind": self.kind.value,
+        }
+        if self.shard is not None:
+            record["shard"] = self.shard
+        if self.payload:
+            record["payload"] = self.payload
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "MonitorEvent":
+        try:
+            return cls(
+                seq=int(record["seq"]),
+                ts_s=float(record["ts_s"]),
+                kind=MonitorEventKind(record["kind"]),
+                shard=record.get("shard"),
+                payload=dict(record.get("payload") or {}),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise TelemetryError(
+                f"malformed monitor event record: {exc!r}"
+            ) from None

@@ -1,0 +1,53 @@
+"""Per-process resource accounting (wall / CPU / peak RSS).
+
+A thin, platform-gated wrapper over :mod:`resource` so shard workers and
+the CLI can report CPU seconds and ``ru_maxrss`` uniformly.  On platforms
+without ``getrusage`` (Windows) every probe returns ``None`` and the
+callers simply omit the fields — resource accounting is provenance, not
+measurement, so it is always optional.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, Tuple
+
+
+def rusage_now() -> Optional[Tuple[float, int]]:
+    """``(cpu_time_s, max_rss_kb)`` of the calling process, or ``None``.
+
+    ``cpu_time_s`` is user+system seconds; ``max_rss_kb`` is the peak
+    resident set in KiB (Linux reports KiB natively; macOS reports
+    bytes and is normalized here).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - Windows
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    rss = int(usage.ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        rss //= 1024
+    return usage.ru_utime + usage.ru_stime, rss
+
+
+class ResourceProbe:
+    """Deltas against a starting rusage reading (peak RSS is absolute)."""
+
+    def __init__(self) -> None:
+        self._wall_started = time.perf_counter()
+        start = rusage_now()
+        self._cpu_started = start[0] if start is not None else None
+
+    def sample(self) -> Optional[dict]:
+        """Resource accounting since construction, JSON-safe."""
+        now = rusage_now()
+        if now is None or self._cpu_started is None:
+            return None
+        cpu_s, rss_kb = now
+        return {
+            "wall_s": time.perf_counter() - self._wall_started,
+            "cpu_time_s": max(0.0, cpu_s - self._cpu_started),
+            "max_rss_kb": rss_kb,
+        }

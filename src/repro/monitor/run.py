@@ -1,0 +1,425 @@
+"""Host-side run monitor: aggregate, watch, stream, render.
+
+:class:`RunMonitor` is the pure-observer companion of one monitored
+engine run (or one campaign spanning several engine batches).  Workers
+put plain-dict events on a queue; :meth:`RunMonitor.pump` drains it,
+stamps each event with a global sequence number and a host timestamp,
+folds snapshot deltas into a live registry view (the PR-1 merge
+algebra, see :mod:`repro.monitor.delta`), feeds the watchdog, appends
+everything to the JSONL event stream, and — in live mode — re-renders
+the ASCII board.
+
+The monitor never touches shard results, cache keys, or the campaign
+fingerprint: a monitored run's outputs are byte-identical to an
+unmonitored one (asserted by the test suite).  Its own bookkeeping
+lives in ``monitor.*`` metrics, kept out of the merged measurement
+telemetry exactly like the engine's ``parallel.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+from ..telemetry.registry import MetricsRegistry, MetricsSnapshot
+from .delta import ShardDeltaFold, fold_shard_views
+from .events import MonitorEvent, MonitorEventKind
+from .stream import EventStreamWriter
+from .watchdog import POLICIES, Watchdog, WatchdogAlert
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """How a monitored run streams, watches, and renders."""
+
+    #: Worker heartbeat period (also the snapshot-delta period).
+    heartbeat_interval_s: float = 0.2
+    #: Heartbeat gap after which a shard counts as stalled.
+    stall_after_s: float = 10.0
+    #: In-flight wall time beyond ``slow_factor`` x median completed
+    #: shard wall flags a slow outlier.
+    slow_factor: float = 4.0
+    #: Completed shards required before outlier detection arms.
+    min_samples: int = 3
+    #: Stall escalation: ``"warn"`` (event only) or ``"cancel"``.
+    policy: str = "warn"
+    #: JSONL event-stream path (``None`` = no stream on disk).
+    events_path: Optional[str] = None
+    #: Render the live ASCII board while running.
+    live: bool = False
+    #: Minimum seconds between live board renders.
+    render_interval_s: float = 1.0
+    #: Host poll period while waiting on shard futures.
+    poll_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigError("heartbeat_interval_s must be positive")
+        if self.policy not in POLICIES:
+            raise ConfigError(
+                f"unknown monitor policy {self.policy!r}; known: {list(POLICIES)}"
+            )
+
+
+@dataclass
+class ShardView:
+    """Live state of one shard as seen from the host."""
+
+    label: str
+    status: str = "pending"  # pending|running|stalled|slow|done|cancelled
+    beats: int = 0
+    started_ts_s: Optional[float] = None
+    last_seen_ts_s: Optional[float] = None
+    wall_s: Optional[float] = None
+    cpu_time_s: Optional[float] = None
+    max_rss_kb: Optional[int] = None
+    ops: Optional[int] = None
+
+    @property
+    def throughput_ops_s(self) -> Optional[float]:
+        if self.ops is None or not self.wall_s:
+            return None
+        return self.ops / self.wall_s
+
+    def to_dict(self) -> dict:
+        record = {"label": self.label, "status": self.status, "beats": self.beats}
+        for key in ("wall_s", "cpu_time_s", "max_rss_kb", "ops"):
+            value = getattr(self, key)
+            if value is not None:
+                record[key] = value
+        throughput = self.throughput_ops_s
+        if throughput is not None:
+            record["throughput_ops_s"] = round(throughput, 2)
+        return record
+
+
+def _snapshot_ops(snapshot: MetricsSnapshot) -> Optional[int]:
+    """Executed FP ops in a shard snapshot (``*.ops`` counters)."""
+    total = 0
+    found = False
+    for path, value in snapshot.counters.items():
+        if path.endswith(".ops"):
+            total += value
+            found = True
+    return total if found else None
+
+
+class RunMonitor:
+    """Aggregates one monitored run's live event stream."""
+
+    def __init__(
+        self,
+        config: MonitorConfig,
+        label: str = "run",
+        out=None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config
+        self.label = label
+        self.out = out
+        self.clock = clock
+        self.registry = MetricsRegistry()
+        self.watchdog = Watchdog(
+            stall_after_s=config.stall_after_s,
+            slow_factor=config.slow_factor,
+            min_samples=config.min_samples,
+            policy=config.policy,
+            clock=clock,
+        )
+        self.shards: Dict[str, ShardView] = {}
+        self.folds: Dict[str, ShardDeltaFold] = {}
+        self.events: List[MonitorEvent] = []
+        self.writer: Optional[EventStreamWriter] = (
+            EventStreamWriter(config.events_path) if config.events_path else None
+        )
+        self.workers: Optional[int] = None
+        self.cached: int = 0
+        self.cancel_requested: Optional[str] = None
+        self._started_ts = clock()
+        self._seq = 0
+        self._queue = None
+        self._manager = None
+        self._header_written = False
+        self._last_render_ts: Optional[float] = None
+        self._finished = False
+
+    # ---------------------------------------------------------- attachment
+    def attach(self, labels, workers: int, serial: bool) -> None:
+        """Register one engine batch's shards (idempotent per label)."""
+        self.workers = workers
+        for label in labels:
+            if label not in self.shards:
+                self.shards[label] = ShardView(label=label)
+        if self.writer is not None and not self._header_written:
+            self.writer.write_header(
+                self.label,
+                extra={
+                    "shards": len(self.shards),
+                    "workers": workers,
+                    "serial": serial,
+                    "heartbeat_interval_s": self.config.heartbeat_interval_s,
+                    "policy": self.config.policy,
+                },
+            )
+            self._header_written = True
+
+    def note_cached(self, count: int) -> None:
+        """Record shards satisfied from the result store (campaigns)."""
+        self.cached = count
+
+    def channel(self, context=None):
+        """The queue workers should emit into.
+
+        In-process (serial) runs use a plain :class:`queue.Queue`; pool
+        runs get a picklable manager-proxy queue from ``context``.
+        """
+        if self._queue is None:
+            if context is None:
+                self._queue = queue_module.Queue()
+            else:
+                self._manager = context.Manager()
+                self._queue = self._manager.Queue()
+        return self._queue
+
+    # ------------------------------------------------------------ ingestion
+    def _emit(
+        self,
+        kind: MonitorEventKind,
+        shard: Optional[str] = None,
+        payload: Optional[dict] = None,
+    ) -> MonitorEvent:
+        event = MonitorEvent(
+            seq=self._seq,
+            ts_s=self.clock() - self._started_ts,
+            kind=kind,
+            shard=shard,
+            payload=payload or {},
+        )
+        self._seq += 1
+        self.events.append(event)
+        self.registry.counter("monitor.events").inc()
+        if self.writer is not None:
+            self.writer.write_event(event)
+        return event
+
+    def _handle_worker_record(self, record: dict) -> None:
+        kind = record.get("kind")
+        shard = record.get("shard")
+        view = self.shards.get(shard)
+        if view is None:
+            view = self.shards.setdefault(shard, ShardView(label=shard or "?"))
+        now = self.clock() - self._started_ts
+        view.last_seen_ts_s = now
+        if kind == "shard_started":
+            view.status = "running"
+            view.started_ts_s = now
+            self.watchdog.shard_started(shard)
+            self.registry.counter("monitor.shards.started").inc()
+            self._emit(
+                MonitorEventKind.SHARD_STARTED,
+                shard,
+                {"pid": record.get("pid")},
+            )
+        elif kind == "heartbeat":
+            view.beats += 1
+            if view.status == "stalled":
+                view.status = "running"
+            self.watchdog.shard_beat(shard)
+            self.registry.counter("monitor.heartbeats").inc()
+            self._emit(
+                MonitorEventKind.HEARTBEAT,
+                shard,
+                {"elapsed_s": record.get("elapsed_s")},
+            )
+        elif kind == "snapshot_delta":
+            delta = record.get("delta") or {}
+            fold = self.folds.setdefault(shard, ShardDeltaFold())
+            fresh = fold.apply(delta)
+            self.watchdog.shard_beat(shard)
+            self.registry.counter("monitor.deltas").inc()
+            if not fresh:
+                self.registry.counter("monitor.duplicates").inc()
+            self._emit(MonitorEventKind.SNAPSHOT_DELTA, shard, {"delta": delta})
+        elif kind == "shard_finished":
+            view.status = "done"
+            view.wall_s = record.get("wall_s")
+            view.cpu_time_s = record.get("cpu_time_s")
+            view.max_rss_kb = record.get("max_rss_kb")
+            final = record.get("final_snapshot")
+            payload = {
+                key: record.get(key)
+                for key in ("wall_s", "cpu_time_s", "max_rss_kb")
+                if record.get(key) is not None
+            }
+            if final is not None:
+                snapshot = MetricsSnapshot.from_dict(final)
+                self.folds.setdefault(shard, ShardDeltaFold()).seal(snapshot)
+                view.ops = _snapshot_ops(snapshot)
+                if view.ops is not None:
+                    payload["ops"] = view.ops
+            self.watchdog.shard_finished(shard, wall_s=view.wall_s)
+            self.registry.counter("monitor.shards.finished").inc()
+            self._emit(MonitorEventKind.SHARD_FINISHED, shard, payload)
+
+    def _handle_alert(self, alert: WatchdogAlert) -> None:
+        view = self.shards.get(alert.shard)
+        payload = {
+            "elapsed_s": round(alert.elapsed_s, 3),
+            "threshold_s": round(alert.threshold_s, 3),
+            "policy": self.config.policy,
+        }
+        if alert.kind == "stalled":
+            if view is not None and view.status == "running":
+                view.status = "stalled"
+            self.registry.counter("monitor.stalls").inc()
+            self._emit(MonitorEventKind.SHARD_STALLED, alert.shard, payload)
+            if alert.cancel and self.cancel_requested is None:
+                self.cancel_requested = alert.shard
+                self.registry.counter("monitor.cancellations").inc()
+                self._emit(MonitorEventKind.SHARD_CANCELLED, alert.shard, payload)
+        else:
+            if view is not None and view.status == "running":
+                view.status = "slow"
+            self.registry.counter("monitor.slow_shards").inc()
+            self._emit(MonitorEventKind.SHARD_SLOW, alert.shard, payload)
+
+    def pump(self) -> None:
+        """Drain pending worker events, run the watchdog, maybe render."""
+        from ..tracing import profile
+        from ..tracing.profile import PHASE_MONITOR
+
+        profiler = profile.current()
+        started = time.perf_counter()
+        q = self._queue
+        if q is not None:
+            while True:
+                try:
+                    record = q.get_nowait()
+                except queue_module.Empty:
+                    break
+                except (EOFError, OSError, ConnectionError):
+                    break
+                if isinstance(record, dict):
+                    self._handle_worker_record(record)
+        for alert in self.watchdog.check():
+            self._handle_alert(alert)
+        self.registry.gauge("monitor.in_flight").set(self.watchdog.in_flight)
+        self._maybe_render()
+        if profiler is not None:
+            profiler.add(PHASE_MONITOR, time.perf_counter() - started)
+
+    # -------------------------------------------------------------- queries
+    def live_view(self) -> Optional[MetricsSnapshot]:
+        """The merged live registry view across all shards seen so far."""
+        return fold_shard_views(self.folds.values())
+
+    def counts(self) -> Dict[str, int]:
+        tally = {"done": 0, "running": 0, "stalled": 0, "slow": 0,
+                 "pending": 0, "cancelled": 0}
+        for view in self.shards.values():
+            tally[view.status] = tally.get(view.status, 0) + 1
+        return tally
+
+    def eta_s(self) -> Optional[float]:
+        """Naive remaining-wall estimate from the completed-shard median."""
+        median = self.watchdog.median_wall_s()
+        if median is None:
+            return None
+        counts = self.counts()
+        remaining = counts["pending"] + counts["running"] + counts["stalled"]
+        remaining += counts["slow"]
+        workers = max(1, self.workers or 1)
+        return remaining * median / workers
+
+    def elapsed_s(self) -> float:
+        return self.clock() - self._started_ts
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The monitor's own ``monitor.*`` metrics."""
+        return self.registry.snapshot()
+
+    def progress(self) -> dict:
+        """JSON-safe per-shard progress (campaign manifest payload)."""
+        median = self.watchdog.median_wall_s()
+        document = {
+            "counts": self.counts(),
+            "heartbeats": int(self.registry.value("monitor.heartbeats"))
+            if "monitor.heartbeats" in self.registry
+            else 0,
+            "stalls": int(self.registry.value("monitor.stalls"))
+            if "monitor.stalls" in self.registry
+            else 0,
+            "shards": [view.to_dict() for view in self.shards.values()],
+        }
+        if median is not None:
+            document["median_wall_s"] = round(median, 4)
+        eta = self.eta_s()
+        if eta is not None:
+            document["eta_s"] = round(eta, 2)
+        return document
+
+    # ------------------------------------------------------------ rendering
+    def _maybe_render(self, force: bool = False) -> None:
+        if not self.config.live or self.out is None:
+            return
+        now = self.clock()
+        if (
+            not force
+            and self._last_render_ts is not None
+            and now - self._last_render_ts < self.config.render_interval_s
+        ):
+            return
+        self._last_render_ts = now
+        from .board import render_board
+
+        print(render_board(self), file=self.out)
+        print(file=self.out)
+
+    # ------------------------------------------------------------- shutdown
+    def finish(self) -> None:
+        """Final pump + summary event; closes the stream."""
+        if self._finished:
+            return
+        self._finished = True
+        self.pump()
+        self._maybe_render(force=True)
+        summary = {
+            "shards": len(self.shards),
+            "counts": self.counts(),
+            "events": len(self.events),
+        }
+        self._emit(MonitorEventKind.RUN_FINISHED, None, summary)
+        if self.writer is not None:
+            self.writer.close()
+        if self._manager is not None:
+            try:
+                self._manager.shutdown()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            self._manager = None
+        self._queue = None
+
+
+# ----------------------------------------------------- ambient run monitor
+_ACTIVE: List[RunMonitor] = []
+
+
+def current_monitor() -> Optional[RunMonitor]:
+    """The innermost ambient monitor, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def capture_monitor(monitor: RunMonitor):
+    """Make ``monitor`` ambient: any :func:`~repro.analysis.parallel.run_sharded`
+    call in the block (e.g. deep inside an experiment driver) attaches to
+    it without every intermediate layer threading a parameter."""
+    _ACTIVE.append(monitor)
+    try:
+        yield monitor
+    finally:
+        _ACTIVE.pop()

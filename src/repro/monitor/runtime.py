@@ -1,0 +1,47 @@
+"""Worker-process ambient state for live telemetry publication.
+
+A monitored worker's heartbeat thread needs a way to find the telemetry
+registry the shard is currently filling — without the engine knowing
+anything about the worker's internals.  The contract is a single
+published hub per process: measurement code that wants its mid-run
+telemetry streamed calls :func:`publish_hub` on the registry-owning hub
+(and publishes ``None`` around phases whose metrics must stay out of
+the live view, e.g. a baseline run whose counters are not part of the
+shard's reported snapshot).
+
+Reading a registry from another thread while the shard mutates it is
+safe in CPython for our access pattern (counter loads), but a dict
+resize can still race the snapshot iteration — :func:`snapshot_published`
+therefore swallows the rare mid-resize error and reports ``None`` for
+that beat; the next beat (or the authoritative final snapshot) trues
+the stream up.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..telemetry.registry import MetricsSnapshot
+
+_published = None
+
+
+def publish_hub(hub) -> None:
+    """Make ``hub`` (or ``None``) this process's live-telemetry source."""
+    global _published
+    _published = hub
+
+
+def current_hub():
+    return _published
+
+
+def snapshot_published() -> Optional[MetricsSnapshot]:
+    """A best-effort snapshot of the published hub's registry."""
+    hub = _published
+    if hub is None:
+        return None
+    try:
+        return hub.snapshot()
+    except RuntimeError:  # dict resized mid-iteration; skip this beat
+        return None

@@ -1,0 +1,65 @@
+"""The JSONL monitor event stream on disk.
+
+One monitored run appends to one ``events.jsonl``: a ``monitor-manifest``
+header record first (schema version, run label, shard count), then one
+``event`` record per monitor event in host-arrival order.  Records are
+whole-line appends (:class:`repro.utils.io.JsonlAppender`), so a reader
+tailing the file mid-run — ``repro campaign watch``, the future campaign
+service, plain ``jq`` — sees only complete records, and a crash never
+leaves a torn document.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from typing import List, Optional, Tuple
+
+from ..utils.io import JsonlAppender, read_jsonl_records
+from .events import MONITOR_STREAM_SCHEMA, MonitorEvent
+
+
+class EventStreamWriter:
+    """Append monitor events (plus one header) to a JSONL file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._appender = JsonlAppender(path)
+        self.lines = 0
+
+    def write_header(self, label: str, extra: Optional[dict] = None) -> None:
+        record = {
+            "type": "monitor-manifest",
+            "schema": MONITOR_STREAM_SCHEMA,
+            "kind": "monitor.stream",
+            "label": label,
+            "created_utc": datetime.now(timezone.utc).isoformat(),
+        }
+        if extra:
+            record.update(extra)
+        self._appender.append(record)
+        self.lines += 1
+
+    def write_event(self, event: MonitorEvent) -> None:
+        self._appender.append({"schema": MONITOR_STREAM_SCHEMA, **event.to_dict()})
+        self.lines += 1
+
+    def close(self) -> None:
+        self._appender.close()
+
+
+def read_event_stream(path: str) -> Tuple[List[dict], List[MonitorEvent]]:
+    """Load a stream: ``(header records, events)`` in file order.
+
+    Unknown record types are ignored (forward compatibility); events
+    with a newer stream schema raise via :meth:`MonitorEvent.from_dict`
+    only when structurally unreadable.
+    """
+    headers: List[dict] = []
+    events: List[MonitorEvent] = []
+    for record in read_jsonl_records(path):
+        kind = record.get("type")
+        if kind == "monitor-manifest":
+            headers.append(record)
+        elif kind == "event":
+            events.append(MonitorEvent.from_dict(record))
+    return headers, events

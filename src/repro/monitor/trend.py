@@ -1,0 +1,288 @@
+"""Bench trend tracking: archive, diff, and gate on regressions.
+
+``BENCH_telemetry.json`` is a single overwritten snapshot — good for
+"what happened last run", useless for "did this PR slow Haar down 7x".
+This module gives the bench summary a durable history and a gate:
+
+* :func:`record_bench` archives one summary under
+  ``benchmarks/results/history/`` keyed by creation timestamp and
+  ``git_describe`` (filenames sort chronologically);
+* :func:`compare_bench` diffs the current summary metric-by-metric
+  against the median of the last *N* archived records and classifies
+  each change with direction-aware thresholds — a drop in a
+  higher-is-better metric (``speedup_*``, throughput, hit rate) or a
+  rise in a lower-is-better one (durations, wall times) beyond the
+  threshold is a regression.
+
+``repro bench compare`` exits nonzero on any regression (unless
+``--report-only``), which is the CI gate that would have flagged the
+0.14x Haar / 0.49x FWT vector-backend slowdowns at PR time instead of
+by eyeballing one JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..utils.io import atomic_write_json
+from ..utils.tables import format_table
+
+#: Bench history record layout version (the archived payload is the
+#: bench summary itself; this wraps provenance around it).
+BENCH_HISTORY_SCHEMA = 1
+
+#: Default history directory, relative to the repo root.
+DEFAULT_HISTORY_DIR = "benchmarks/results/history"
+
+#: Metric-name fragments whose values are better when *higher*.
+_HIGHER_BETTER = ("speedup", "throughput", "hit_rate", "ops_per_s")
+#: Metric-name fragments whose values are better when *lower*.
+_LOWER_BETTER = ("duration", "wall", "time_s", "latency")
+
+
+def metric_direction(name: str) -> int:
+    """``+1`` if higher is better, ``-1`` if lower is better, ``0`` if
+    the direction is unknown (reported, never gated)."""
+    lowered = name.lower()
+    if any(fragment in lowered for fragment in _HIGHER_BETTER):
+        return 1
+    if any(fragment in lowered for fragment in _LOWER_BETTER):
+        return -1
+    return 0
+
+
+def _load_summary(path: str) -> dict:
+    try:
+        with open(path) as handle:
+            summary = json.load(handle)
+    except FileNotFoundError:
+        raise ReproError(f"bench telemetry {path!r} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(
+            f"bench telemetry {path!r} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(summary, dict) or summary.get("kind") != "bench-telemetry":
+        raise ReproError(
+            f"{path!r} is not a bench telemetry summary "
+            "(expected kind == 'bench-telemetry')"
+        )
+    return summary
+
+
+def _flatten_metrics(summary: dict) -> Dict[str, float]:
+    """Every numeric metric of a summary keyed ``<bench>::<metric>``,
+    plus each bench's wall time as ``<bench>::duration_s``."""
+    flat: Dict[str, float] = {}
+    for bench in summary.get("benches", []):
+        name = bench.get("bench", "?")
+        duration = bench.get("duration_s")
+        if isinstance(duration, (int, float)):
+            flat[f"{name}::duration_s"] = float(duration)
+        for metric, value in (bench.get("metrics") or {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                flat[f"{name}::{metric}"] = float(value)
+    return flat
+
+
+def record_bench(
+    telemetry_path: str,
+    history_dir: str = DEFAULT_HISTORY_DIR,
+) -> Path:
+    """Archive one bench summary into the history directory.
+
+    The filename is ``<created_utc compact>_<git_describe>.json`` so a
+    plain listing is the performance trajectory in order.
+    """
+    summary = _load_summary(telemetry_path)
+    created = summary.get("created_utc", "unknown")
+    stamp = re.sub(r"[^0-9TZ]", "", created)[:15] or "unknown"
+    describe = re.sub(r"[^A-Za-z0-9._-]", "-", summary.get("git_describe", "unknown"))
+    directory = Path(history_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{stamp}_{describe}.json"
+    atomic_write_json(
+        str(path),
+        {
+            "schema": BENCH_HISTORY_SCHEMA,
+            "kind": "bench-history-record",
+            "summary": summary,
+        },
+    )
+    return path
+
+
+def load_history(
+    history_dir: str = DEFAULT_HISTORY_DIR, last: Optional[int] = None
+) -> List[Tuple[str, dict]]:
+    """``(filename, summary)`` pairs, oldest first, optionally last N."""
+    directory = Path(history_dir)
+    if not directory.is_dir():
+        return []
+    records = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            with open(path) as handle:
+                wrapper = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        summary = wrapper.get("summary") if isinstance(wrapper, dict) else None
+        if isinstance(summary, dict):
+            records.append((path.name, summary))
+    if last is not None:
+        records = records[-last:]
+    return records
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One metric compared against its history baseline."""
+
+    name: str
+    baseline: float
+    current: float
+    change: float  # signed relative change vs baseline
+    direction: int
+    verdict: str  # "ok" | "improved" | "regressed" | "info"
+
+
+@dataclass
+class TrendReport:
+    """The full comparison of one summary against history."""
+
+    baseline_records: int
+    threshold: float
+    diffs: List[MetricDiff] = field(default_factory=list)
+    new_metrics: List[str] = field(default_factory=list)
+    missing_metrics: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDiff]:
+        return [diff for diff in self.diffs if diff.verdict == "regressed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": BENCH_HISTORY_SCHEMA,
+            "baseline_records": self.baseline_records,
+            "threshold": self.threshold,
+            "ok": self.ok,
+            "regressions": [diff.name for diff in self.regressions],
+            "diffs": [
+                {
+                    "name": diff.name,
+                    "baseline": diff.baseline,
+                    "current": diff.current,
+                    "change": diff.change,
+                    "verdict": diff.verdict,
+                }
+                for diff in self.diffs
+            ],
+            "new_metrics": list(self.new_metrics),
+            "missing_metrics": list(self.missing_metrics),
+        }
+
+    def to_text(self) -> str:
+        if not self.baseline_records:
+            return (
+                "bench trend: no history to compare against "
+                "(run 'repro bench record' first)"
+            )
+        rows = [
+            [
+                diff.name,
+                diff.baseline,
+                diff.current,
+                f"{diff.change:+.1%}",
+                diff.verdict,
+            ]
+            for diff in self.diffs
+        ]
+        lines = [
+            format_table(
+                ["metric", "baseline (median)", "current", "change", "verdict"],
+                rows,
+                title=(
+                    f"bench trend vs last {self.baseline_records} record(s), "
+                    f"threshold {self.threshold:.0%}"
+                ),
+            )
+        ]
+        if self.new_metrics:
+            lines.append(f"new metrics (no baseline): {', '.join(self.new_metrics)}")
+        if self.missing_metrics:
+            lines.append(
+                f"metrics gone from current run: {', '.join(self.missing_metrics)}"
+            )
+        verdictline = (
+            "PASS: no regressions"
+            if self.ok
+            else f"FAIL: {len(self.regressions)} regressed metric(s)"
+        )
+        lines.append(verdictline)
+        return "\n\n".join(lines)
+
+
+def compare_bench(
+    telemetry_path: str,
+    history_dir: str = DEFAULT_HISTORY_DIR,
+    last: int = 5,
+    threshold: float = 0.20,
+) -> TrendReport:
+    """Diff ``telemetry_path`` against the median of the last N records."""
+    if threshold <= 0:
+        raise ReproError("regression threshold must be positive")
+    current = _flatten_metrics(_load_summary(telemetry_path))
+    history = load_history(history_dir, last=last)
+    report = TrendReport(baseline_records=len(history), threshold=threshold)
+    if not history:
+        return report
+    baselines: Dict[str, List[float]] = {}
+    for _, summary in history:
+        for name, value in _flatten_metrics(summary).items():
+            baselines.setdefault(name, []).append(value)
+    for name in sorted(set(current) | set(baselines)):
+        if name not in baselines:
+            report.new_metrics.append(name)
+            continue
+        if name not in current:
+            report.missing_metrics.append(name)
+            continue
+        baseline = _median(baselines[name])
+        value = current[name]
+        change = (value - baseline) / abs(baseline) if baseline else 0.0
+        direction = metric_direction(name)
+        if direction == 0:
+            verdict = "info"
+        elif direction * change < -threshold:
+            verdict = "regressed"
+        elif direction * change > threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        report.diffs.append(
+            MetricDiff(
+                name=name,
+                baseline=baseline,
+                current=value,
+                change=change,
+                direction=direction,
+                verdict=verdict,
+            )
+        )
+    return report

@@ -1,0 +1,146 @@
+"""Stall and outlier detection over the live shard event stream.
+
+The watchdog consumes the same events the aggregator does and answers
+one question per check: *is any in-flight shard misbehaving?*  Two
+conditions are tracked:
+
+* **stalled** — the gap since a shard's last heartbeat (or start)
+  exceeds ``stall_after_s``.  A worker that deadlocked, got SIGSTOPped
+  or lost its process stops beating; the host notices within one check
+  interval instead of at the per-shard timeout.
+* **slow** — a shard's in-flight wall time exceeds ``slow_factor``
+  times the median *completed* shard wall time (outlier detection
+  needs a population: it arms only after ``min_samples`` completions).
+
+Each condition fires **once** per shard (no alert spam); a stalled
+shard that resumes beating re-arms.  What happens on a stall is the
+escalation policy: ``"warn"`` emits a structured event and counts it,
+``"cancel"`` additionally tells the engine to cancel the shard through
+the same plumbing the per-shard timeout uses.
+
+The clock is injected (``clock=time.monotonic`` by default) so the unit
+tests drive detection deterministically with a fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from ..errors import ConfigError
+
+#: Escalation policies for stalled shards.
+POLICIES = ("warn", "cancel")
+
+
+@dataclass(frozen=True)
+class WatchdogAlert:
+    """One verdict: a shard is stalled or a slow outlier."""
+
+    kind: str  # "stalled" | "slow"
+    shard: str
+    elapsed_s: float
+    threshold_s: float
+    cancel: bool = False
+
+
+class Watchdog:
+    """Heartbeat-gap and slow-outlier detection with an injectable clock."""
+
+    def __init__(
+        self,
+        stall_after_s: float = 5.0,
+        slow_factor: float = 4.0,
+        min_samples: int = 3,
+        policy: str = "warn",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if stall_after_s <= 0:
+            raise ConfigError("stall_after_s must be positive")
+        if slow_factor <= 1.0:
+            raise ConfigError("slow_factor must exceed 1.0")
+        if policy not in POLICIES:
+            raise ConfigError(
+                f"unknown watchdog policy {policy!r}; known: {list(POLICIES)}"
+            )
+        self.stall_after_s = stall_after_s
+        self.slow_factor = slow_factor
+        self.min_samples = min_samples
+        self.policy = policy
+        self.clock = clock
+        self._started: Dict[str, float] = {}
+        self._last_beat: Dict[str, float] = {}
+        self._completed_walls: List[float] = []
+        self._stalled: Set[str] = set()
+        self._slow_flagged: Set[str] = set()
+
+    # ------------------------------------------------------------ ingestion
+    def shard_started(self, shard: str) -> None:
+        now = self.clock()
+        self._started[shard] = now
+        self._last_beat[shard] = now
+
+    def shard_beat(self, shard: str) -> None:
+        self._last_beat[shard] = self.clock()
+        # A beat after a stall verdict means the shard recovered; re-arm
+        # so a later, second stall is reported again.
+        self._stalled.discard(shard)
+
+    def shard_finished(self, shard: str, wall_s: Optional[float] = None) -> None:
+        started = self._started.pop(shard, None)
+        self._last_beat.pop(shard, None)
+        self._stalled.discard(shard)
+        self._slow_flagged.discard(shard)
+        if wall_s is None and started is not None:
+            wall_s = self.clock() - started
+        if wall_s is not None:
+            self._completed_walls.append(wall_s)
+
+    # ------------------------------------------------------------- verdicts
+    @property
+    def in_flight(self) -> int:
+        return len(self._started)
+
+    def median_wall_s(self) -> Optional[float]:
+        if len(self._completed_walls) < self.min_samples:
+            return None
+        ordered = sorted(self._completed_walls)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    def check(self) -> List[WatchdogAlert]:
+        """All newly firing alerts at the current clock reading."""
+        now = self.clock()
+        alerts: List[WatchdogAlert] = []
+        for shard, last in self._last_beat.items():
+            gap = now - last
+            if gap > self.stall_after_s and shard not in self._stalled:
+                self._stalled.add(shard)
+                alerts.append(
+                    WatchdogAlert(
+                        kind="stalled",
+                        shard=shard,
+                        elapsed_s=gap,
+                        threshold_s=self.stall_after_s,
+                        cancel=self.policy == "cancel",
+                    )
+                )
+        median = self.median_wall_s()
+        if median is not None and median > 0:
+            threshold = self.slow_factor * median
+            for shard, started in self._started.items():
+                elapsed = now - started
+                if elapsed > threshold and shard not in self._slow_flagged:
+                    self._slow_flagged.add(shard)
+                    alerts.append(
+                        WatchdogAlert(
+                            kind="slow",
+                            shard=shard,
+                            elapsed_s=elapsed,
+                            threshold_s=threshold,
+                        )
+                    )
+        return alerts

@@ -1,0 +1,149 @@
+"""Worker-side shard instrumentation for monitored runs.
+
+:func:`monitored_call` is what a monitored engine submits to the pool
+instead of calling the shard worker directly: it emits the shard's
+lifecycle events into the monitor queue (a picklable manager proxy, so
+this works under every multiprocessing start method including spawn),
+runs a daemon heartbeat thread for the duration of the shard, and
+true-ups the telemetry stream when the shard completes.
+
+The heartbeat thread only *reads*: each beat snapshots the process's
+published telemetry hub (see :mod:`repro.monitor.runtime`), diffs it
+against the previous publication, and emits the delta.  The shard's
+simulation never observes the monitor — monitored and unmonitored runs
+produce bit-identical results by construction.
+
+Every queue ``put`` is best-effort: if the host died (or the manager
+is gone) the shard still completes and returns its result through the
+normal future; monitoring loss is never allowed to become measurement
+loss.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional
+
+from ..telemetry.registry import MetricsSnapshot
+from ..tracing import profile
+from .delta import diff_snapshots
+from .resources import ResourceProbe
+from .runtime import snapshot_published
+
+
+class ShardEmitter:
+    """Serializes one shard's monitor events onto the queue."""
+
+    def __init__(self, channel, label: str) -> None:
+        self.channel = channel
+        self.label = label
+        self._delta_seq = 0
+        self._last_snapshot: Optional[MetricsSnapshot] = None
+        self._lock = threading.Lock()
+
+    def _put(self, record: dict) -> None:
+        try:
+            self.channel.put(record)
+        except Exception:
+            # Host-side monitor gone; the shard result still returns
+            # through the future, so just stop reporting.
+            pass
+
+    def started(self) -> None:
+        self._put(
+            {"kind": "shard_started", "shard": self.label, "pid": os.getpid()}
+        )
+
+    def heartbeat(self, elapsed_s: float) -> None:
+        self._put(
+            {
+                "kind": "heartbeat",
+                "shard": self.label,
+                "elapsed_s": round(elapsed_s, 4),
+            }
+        )
+
+    def snapshot_delta(self, current: Optional[MetricsSnapshot]) -> None:
+        """Diff ``current`` against the last publication and emit it."""
+        if current is None:
+            return
+        with self._lock:
+            delta = diff_snapshots(self._last_snapshot, current, self._delta_seq)
+            self._delta_seq += 1
+            self._last_snapshot = current
+        if delta["counters"] or delta["gauges"] or delta["histograms"]:
+            self._put(
+                {"kind": "snapshot_delta", "shard": self.label, "delta": delta}
+            )
+
+    def finished(
+        self,
+        wall_s: float,
+        resources: Optional[dict],
+        final_snapshot: Optional[MetricsSnapshot],
+    ) -> None:
+        record = {
+            "kind": "shard_finished",
+            "shard": self.label,
+            "wall_s": round(wall_s, 6),
+        }
+        if resources is not None:
+            record["cpu_time_s"] = round(resources["cpu_time_s"], 6)
+            record["max_rss_kb"] = resources["max_rss_kb"]
+        if final_snapshot is not None:
+            record["final_snapshot"] = final_snapshot.to_dict()
+        self._put(record)
+
+
+def _beat_loop(
+    emitter: ShardEmitter,
+    stop: threading.Event,
+    interval_s: float,
+    started: float,
+) -> None:
+    while not stop.wait(interval_s):
+        emitter.heartbeat(time.perf_counter() - started)
+        emitter.snapshot_delta(snapshot_published())
+
+
+def monitored_call(worker, task, label: str, channel, heartbeat_interval_s: float):
+    """Run one shard with live event emission; same contract as the
+    engine's ``_timed_call`` (module-level, so it pickles by reference).
+
+    Returns ``(result, wall_s, phases, resources)``.
+    """
+    from .runtime import publish_hub
+
+    emitter = ShardEmitter(channel, label)
+    emitter.started()
+    probe = ResourceProbe()
+    started = time.perf_counter()
+    stop = threading.Event()
+    beater = threading.Thread(
+        target=_beat_loop,
+        args=(emitter, stop, heartbeat_interval_s, started),
+        daemon=True,
+    )
+    beater.start()
+    try:
+        with profile.capture() as profiler:
+            result = worker(task)
+    finally:
+        stop.set()
+        beater.join(timeout=max(1.0, 2 * heartbeat_interval_s))
+        publish_hub(None)
+    wall = time.perf_counter() - started
+    resources = probe.sample()
+    # True the stream up on the main thread (no publication race): one
+    # final delta for delta-consumers, plus the authoritative snapshot
+    # when the result carries one (the aggregator seals with it, making
+    # the folded live view bit-identical to the merged final registry).
+    final_snapshot = getattr(result, "snapshot", None)
+    if isinstance(final_snapshot, MetricsSnapshot):
+        emitter.snapshot_delta(final_snapshot)
+    else:
+        final_snapshot = None
+    emitter.finished(wall, resources, final_snapshot)
+    return result, wall, profiler.snapshot(), resources

@@ -54,6 +54,27 @@ class TelemetryEvent:
             **self.payload,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetryEvent":
+        """Rehydrate one flattened event record (``to_dict`` inverse:
+        every key that is not ``seq``/``kind``/``source`` is payload)."""
+        if not isinstance(data, dict):
+            raise TelemetryError("telemetry event record must be an object")
+        try:
+            kind = EventKind(data["kind"])
+            seq = int(data["seq"])
+            source = str(data["source"])
+        except (KeyError, ValueError) as exc:
+            raise TelemetryError(
+                f"malformed telemetry event record: {exc}"
+            ) from None
+        payload = {
+            key: value
+            for key, value in data.items()
+            if key not in ("seq", "kind", "source")
+        }
+        return cls(seq=seq, kind=kind, source=source, payload=payload)
+
 
 class EventRing:
     """Fixed-capacity ring buffer of :class:`TelemetryEvent`.

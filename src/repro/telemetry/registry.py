@@ -25,6 +25,11 @@ from ..errors import TelemetryError
 #: Default cycle-count-flavoured histogram bucket upper bounds.
 DEFAULT_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
+#: Snapshot transport layout version.  Bumped only on incompatible
+#: changes to the counters/gauges/histograms layout; readers accept
+#: payloads without the field (pre-versioning writers) unchanged.
+SNAPSHOT_SCHEMA = 1
+
 
 class Counter:
     """A monotonically increasing integer metric."""
@@ -278,6 +283,7 @@ class MetricsSnapshot:
     # ------------------------------------------------------------- transport
     def to_dict(self) -> dict:
         return {
+            "schema": SNAPSHOT_SCHEMA,
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "histograms": {
@@ -293,6 +299,12 @@ class MetricsSnapshot:
 
     @classmethod
     def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        schema = data.get("schema", SNAPSHOT_SCHEMA)
+        if schema != SNAPSHOT_SCHEMA:
+            raise TelemetryError(
+                f"snapshot schema {schema!r} is not supported "
+                f"(this build reads schema {SNAPSHOT_SCHEMA})"
+            )
         return cls(
             counters=data.get("counters"),
             gauges=data.get("gauges"),

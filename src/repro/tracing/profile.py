@@ -42,6 +42,9 @@ PHASE_TELEMETRY = "host.telemetry"
 PHASE_FPU_EXECUTE = "fpu.execute"
 PHASE_LUT_LOOKUP = "fpu.lut_lookup"
 PHASE_ECU_REPLAY = "fpu.ecu_replay"
+#: Host-side overhead of the live run monitor (queue drain + watchdog +
+#: board renders), so monitoring cost is attributable like any phase.
+PHASE_MONITOR = "host.monitor"
 
 #: Phases nested inside ``host.dispatch`` (shown indented in reports).
 DISPATCH_CHILDREN = (PHASE_FPU_EXECUTE, PHASE_LUT_LOOKUP, PHASE_ECU_REPLAY)

@@ -60,3 +60,61 @@ def atomic_write_json(path: str, document, indent=2, sort_keys: bool = False) ->
     with atomic_writer(path) as handle:
         json.dump(document, handle, indent=indent, sort_keys=sort_keys)
         handle.write("\n")
+
+
+class JsonlAppender:
+    """Append-only JSONL writer with whole-line durability.
+
+    The atomic-rename recipe above replaces a *document*; an event
+    stream instead grows line by line while readers tail it.  The POSIX
+    guarantee used here is different: the file is opened with
+    ``O_APPEND`` and every record is written as **one** ``write`` call
+    (serialized line + newline), so concurrent readers see only whole
+    lines — never an interleaved or torn record.  ``append`` flushes
+    after every line; readers polling the file (``repro campaign
+    watch``) therefore observe records promptly.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.path.abspath(path)
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        self._handle = open(self.path, "a")
+
+    def append(self, record: dict) -> None:
+        """Serialize ``record`` and append it as one line."""
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except OSError:
+                pass
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlAppender":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_jsonl_records(path: str) -> list:
+    """Load every complete JSON line of ``path`` (a trailing torn line,
+    possible only if a writer died mid-``write``, is skipped)."""
+    records = []
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    except OSError:
+        return []
+    return records

@@ -1,0 +1,100 @@
+"""Monitored `run_sharded`: pure-observer contract and escalation.
+
+A monitor attached to the engine must never change results, and the
+watchdog's ``cancel`` policy must tear the pool down through the
+existing failure path.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.parallel import run_sharded
+from repro.errors import ParallelExecutionError
+from repro.monitor.events import MonitorEventKind
+from repro.monitor.run import MonitorConfig, RunMonitor, capture_monitor
+
+
+# Pool workers must be module-level so they pickle by reference.
+def double(task):
+    return task * 2
+
+
+def sleep_forever(task):
+    time.sleep(3600)
+
+
+def make_monitor(**overrides):
+    defaults = dict(
+        heartbeat_interval_s=0.05, stall_after_s=30.0, poll_interval_s=0.05
+    )
+    defaults.update(overrides)
+    return RunMonitor(MonitorConfig(**defaults), label="test")
+
+
+class TestPureObserver:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_results_identical_with_and_without_monitor(self, jobs):
+        tasks = [3, 1, 2]
+        plain_results, plain_report = run_sharded(tasks, double, jobs=jobs)
+        monitor = make_monitor()
+        monitored_results, monitored_report = run_sharded(
+            tasks, double, jobs=jobs, monitor=monitor
+        )
+        assert monitored_results == plain_results
+        assert [s.label for s in monitored_report.shards] == [
+            s.label for s in plain_report.shards
+        ]
+        assert monitored_report.serial == plain_report.serial
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_monitor_observes_all_shards(self, jobs):
+        monitor = make_monitor()
+        run_sharded([1, 2, 3], double, jobs=jobs, monitor=monitor)
+        assert monitor.counts()["done"] == 3
+        assert monitor.registry.value("monitor.shards.started") == 3
+        assert monitor.registry.value("monitor.shards.finished") == 3
+        kinds = [event.kind for event in monitor.events]
+        assert kinds.count(MonitorEventKind.SHARD_FINISHED) == 3
+
+    def test_ambient_monitor_picked_up(self):
+        monitor = make_monitor()
+        with capture_monitor(monitor):
+            run_sharded([1, 2], double, jobs=1)
+        assert monitor.counts()["done"] == 2
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_shard_records_carry_resources(self, jobs):
+        _, report = run_sharded([1], double, jobs=jobs)
+        record = report.shards[0]
+        assert record.cpu_time_s is not None
+        assert record.cpu_time_s >= 0.0
+        assert record.max_rss_kb is not None and record.max_rss_kb > 0
+        payload = record.to_dict()
+        assert "cpu_time_s" in payload and "max_rss_kb" in payload
+
+
+class TestCancelEscalation:
+    def test_stalled_shard_cancelled_by_watchdog(self):
+        # Heartbeat interval far beyond the stall threshold: the sleeping
+        # worker never re-arms the watchdog, which escalates to cancel.
+        monitor = make_monitor(
+            heartbeat_interval_s=60.0,
+            stall_after_s=0.2,
+            poll_interval_s=0.05,
+            policy="cancel",
+        )
+        with pytest.raises(ParallelExecutionError, match="watchdog"):
+            run_sharded([1, 2], sleep_forever, jobs=2, monitor=monitor)
+        kinds = [event.kind for event in monitor.events]
+        assert MonitorEventKind.SHARD_CANCELLED in kinds
+
+    def test_warn_policy_does_not_cancel(self):
+        monitor = make_monitor(
+            heartbeat_interval_s=60.0,
+            stall_after_s=0.05,
+            poll_interval_s=0.02,
+            policy="warn",
+        )
+        results, _ = run_sharded([1], double, jobs=1, monitor=monitor)
+        assert results == [2]

@@ -1,0 +1,121 @@
+"""Monitoring is a pure observer of campaigns.
+
+The ISSUE-level guarantee: a monitored campaign — including one that is
+interrupted and resumed under monitoring — produces a final merged
+result (and telemetry) byte-identical to an unmonitored run, and the
+monitor's live registry view equals the final merged telemetry.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    campaign_status,
+    read_campaign_manifest,
+    run_campaign,
+)
+from repro.monitor.run import MonitorConfig, RunMonitor
+
+
+def tele_spec(**overrides):
+    defaults = dict(
+        name="mon",
+        kernels=("Haar",),
+        error_rates=(0.0, 0.1),
+        seeds=(1, 2),
+        collect_telemetry=True,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def make_monitor():
+    return RunMonitor(
+        MonitorConfig(heartbeat_interval_s=0.05, stall_after_s=60.0),
+        label="campaign:mon",
+    )
+
+
+class TestPureObserver:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_monitored_result_byte_identical(self, tmp_path, jobs):
+        spec = tele_spec()
+        plain = run_campaign(
+            spec, ResultStore(str(tmp_path / "plain")), jobs=jobs
+        )
+        monitor = make_monitor()
+        monitored = run_campaign(
+            spec, ResultStore(str(tmp_path / "mon")), jobs=jobs,
+            monitor=monitor,
+        )
+        assert monitored.result.to_json() == plain.result.to_json()
+
+    def test_live_view_equals_final_merged_telemetry(self, tmp_path):
+        spec = tele_spec()
+        monitor = make_monitor()
+        report = run_campaign(
+            spec, ResultStore(str(tmp_path / "cache")), monitor=monitor
+        )
+        live = monitor.live_view()
+        assert live is not None
+        assert live.to_dict() == report.result.telemetry
+
+    def test_interrupt_then_monitored_resume_byte_identical(self, tmp_path):
+        spec = tele_spec(seeds=(1, 2, 3))
+        store = ResultStore(str(tmp_path / "interrupted"))
+        partial = run_campaign(
+            spec, store, max_shards=2, monitor=make_monitor()
+        )
+        assert not partial.complete
+        resumed = run_campaign(spec, store, monitor=make_monitor())
+        assert resumed.complete
+        fresh = run_campaign(spec, ResultStore(str(tmp_path / "fresh")))
+        assert resumed.result.to_json() == fresh.result.to_json()
+
+    def test_monitor_does_not_change_cache_keys(self, tmp_path):
+        spec = tele_spec()
+        store = ResultStore(str(tmp_path / "cache"))
+        run_campaign(spec, store, monitor=make_monitor())
+        warm = run_campaign(spec, store)
+        assert warm.computed == 0 and warm.cached == len(spec.tasks())
+
+
+class TestManifestProgress:
+    def test_manifest_carries_shard_progress(self, tmp_path):
+        spec = tele_spec()
+        store = ResultStore(str(tmp_path / "cache"))
+        monitor = make_monitor()
+        run_campaign(spec, store, monitor=monitor)
+        manifest = read_campaign_manifest(store, spec)
+        progress = manifest.get("progress")
+        assert isinstance(progress, dict)
+        assert progress["counts"]["done"] == len(spec.tasks())
+        labels = {shard["label"] for shard in progress["shards"]}
+        # Campaign shard labels are grid-cell qualified, not bare seeds.
+        assert "Haar rate=0 seed=1" in labels or any(
+            "rate=" in label for label in labels
+        )
+        done = [s for s in progress["shards"] if s["status"] == "done"]
+        assert done and all(s.get("wall_s") is not None for s in done)
+        json.dumps(progress)  # checkpointable
+
+    def test_unmonitored_runs_still_record_progress(self, tmp_path):
+        spec = tele_spec()
+        store = ResultStore(str(tmp_path / "cache"))
+        run_campaign(spec, store)
+        manifest = read_campaign_manifest(store, spec)
+        progress = manifest.get("progress")
+        assert isinstance(progress, dict)
+        shards = progress["shards"]
+        assert shards and all(s["status"] == "done" for s in shards)
+        assert all("cpu_time_s" in s for s in shards)
+
+    def test_status_exposes_progress(self, tmp_path):
+        spec = tele_spec()
+        store = ResultStore(str(tmp_path / "cache"))
+        run_campaign(spec, store, monitor=make_monitor())
+        status = campaign_status(spec, store)
+        assert isinstance(status.get("progress"), dict)

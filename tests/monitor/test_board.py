@@ -1,0 +1,116 @@
+"""Board rendering: live monitor and checkpointed-manifest views."""
+
+from repro.monitor.board import render_board, render_manifest_board
+from repro.monitor.run import MonitorConfig, RunMonitor
+from repro.telemetry.registry import MetricsSnapshot
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def driven_monitor():
+    clock = FakeClock()
+    monitor = RunMonitor(
+        MonitorConfig(heartbeat_interval_s=0.1, stall_after_s=100.0),
+        label="run:sobel",
+        clock=clock,
+    )
+    monitor.attach(["Sobel seed 1", "Sobel seed 2"], workers=2, serial=False)
+    channel = monitor.channel(None)
+    channel.put({"kind": "shard_started", "shard": "Sobel seed 1"})
+    channel.put({"kind": "heartbeat", "shard": "Sobel seed 1"})
+    snap = MetricsSnapshot(
+        counters={
+            "cu0.sc0.fpu.ADD.memo.lookups": 100,
+            "cu0.sc0.fpu.ADD.memo.hits": 25,
+            "cu0.sc0.fpu.ADD.ops": 100,
+        }
+    )
+    channel.put(
+        {
+            "kind": "shard_finished",
+            "shard": "Sobel seed 1",
+            "wall_s": 2.0,
+            "final_snapshot": snap.to_dict(),
+        }
+    )
+    clock.advance(2.0)
+    monitor.pump()
+    return monitor
+
+
+class TestRenderBoard:
+    def test_headline_counts_and_hit_rate(self):
+        board = render_board(driven_monitor())
+        assert "== live board: run:sobel ==" in board
+        assert "shards 1/2 done" in board
+        assert "1 pending" in board
+        assert "live hit rate 25.0%" in board
+        assert "Sobel seed 1" in board
+        assert "done" in board
+
+    def test_empty_monitor_renders(self):
+        monitor = RunMonitor(
+            MonitorConfig(heartbeat_interval_s=0.1), label="empty",
+            clock=FakeClock(),
+        )
+        board = render_board(monitor)
+        assert "shards 0/0 done" in board
+
+
+class TestRenderManifestBoard:
+    def test_without_progress_payload(self):
+        board = render_manifest_board(
+            {"name": "demo", "status": "running", "completed": 1, "total": 4}
+        )
+        assert "== campaign board: demo ==" in board
+        assert "1/4 shards durable" in board
+        assert "no per-shard progress" in board
+
+    def test_with_progress_payload(self):
+        board = render_manifest_board(
+            {
+                "name": "demo",
+                "status": "running",
+                "completed": 1,
+                "total": 4,
+                "cached_at_start": 1,
+                "computed": 1,
+                "updated_utc": "2026-08-09T01:00:00Z",
+                "progress": {
+                    "counts": {"done": 1, "running": 1, "pending": 2},
+                    "median_wall_s": 2.0,
+                    "eta_s": 90.0,
+                    "heartbeats": 7,
+                    "stalls": 1,
+                    "shards": [
+                        {
+                            "label": "Sobel rate=0.01 seed=1",
+                            "status": "done",
+                            "beats": 3,
+                            "wall_s": 2.0,
+                            "cpu_time_s": 1.8,
+                            "max_rss_kb": 40960,
+                            "throughput_ops_s": 50.0,
+                        },
+                        {"label": "Sobel rate=0.01 seed=2",
+                         "status": "running"},
+                    ],
+                },
+            }
+        )
+        assert "done 1 | pending 2 | running 1" in board
+        assert "median shard wall 2s" in board
+        assert "eta 1m30s" in board
+        assert "7 heartbeats" in board
+        assert "1 stalls" in board
+        assert "Sobel rate=0.01 seed=1" in board
+        assert "40960" in board

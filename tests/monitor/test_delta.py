@@ -1,0 +1,203 @@
+"""Snapshot-delta algebra: exact live-view reconstruction.
+
+The load-bearing property: feeding a shard's deltas to
+:class:`ShardDeltaFold` in any order, with any duplication, reconstructs
+the snapshot the final delta was taken from bit-identically — and the
+merged multi-shard live view equals the final merged registry.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TelemetryError
+from repro.monitor.delta import (
+    DELTA_SCHEMA,
+    ShardDeltaFold,
+    diff_snapshots,
+    fold_shard_views,
+)
+from repro.telemetry.registry import MetricsSnapshot
+from repro.telemetry.sinks import merge_snapshots
+
+BUCKETS = [1.0, 4.0, 16.0]
+
+paths = st.sampled_from(
+    ["cu0.sc0.fpu.ADD.memo.hits", "cu0.sc0.fpu.ADD.ops", "cu1.sc3.fpu.MUL.ops"]
+)
+gauge_paths = st.sampled_from(["host.depth", "host.load"])
+hist_paths = st.sampled_from(["cu0.lat", "cu1.lat"])
+
+
+@st.composite
+def snapshot_sequences(draw):
+    """A monotone sequence of cumulative snapshots, as one shard's
+    registry would evolve: counters only grow, histogram counts only
+    grow, gauges move freely."""
+    steps = draw(st.integers(min_value=1, max_value=6))
+    counters = {}
+    gauges = {}
+    hists = {}
+    states = []
+    for _ in range(steps):
+        for path in draw(st.lists(paths, max_size=3)):
+            # Strictly positive increments: a counter stuck at zero is
+            # (by design) indistinguishable from an absent one on the wire.
+            counters[path] = counters.get(path, 0) + draw(
+                st.integers(min_value=1, max_value=100)
+            )
+        for path in draw(st.lists(gauge_paths, max_size=2)):
+            gauges[path] = draw(
+                st.floats(
+                    min_value=-1e6, max_value=1e6, allow_nan=False, width=32
+                )
+            )
+        for path in draw(st.lists(hist_paths, max_size=2)):
+            hist = hists.setdefault(
+                path,
+                {
+                    "buckets": list(BUCKETS),
+                    "counts": [0] * (len(BUCKETS) + 1),
+                    "count": 0,
+                    "total": 0.0,
+                },
+            )
+            bucket = draw(st.integers(min_value=0, max_value=len(BUCKETS)))
+            hist["counts"][bucket] += 1
+            hist["count"] += 1
+            hist["total"] += draw(
+                st.floats(min_value=0, max_value=50, allow_nan=False, width=32)
+            )
+        states.append(
+            MetricsSnapshot(
+                counters=dict(counters),
+                gauges=dict(gauges),
+                histograms={
+                    path: {
+                        "buckets": list(h["buckets"]),
+                        "counts": list(h["counts"]),
+                        "count": h["count"],
+                        "total": h["total"],
+                    }
+                    for path, h in hists.items()
+                },
+            )
+        )
+    return states
+
+
+def shard_deltas(states):
+    previous = None
+    deltas = []
+    for seq, state in enumerate(states):
+        deltas.append(diff_snapshots(previous, state, seq))
+        previous = state
+    return deltas
+
+
+class TestDiffAndFold:
+    def test_first_delta_is_everything(self):
+        snap = MetricsSnapshot(counters={"a.ops": 3}, gauges={"g": 2.0})
+        delta = diff_snapshots(None, snap, 0)
+        assert delta["schema"] == DELTA_SCHEMA
+        assert delta["counters"] == {"a.ops": 3}
+        assert delta["gauges"] == {"g": 2.0}
+
+    def test_counter_increments_not_cumulative(self):
+        first = MetricsSnapshot(counters={"a.ops": 3})
+        second = MetricsSnapshot(counters={"a.ops": 10})
+        delta = diff_snapshots(first, second, 1)
+        assert delta["counters"] == {"a.ops": 7}
+
+    def test_duplicate_seq_ignored(self):
+        snap = MetricsSnapshot(counters={"a.ops": 5})
+        delta = diff_snapshots(None, snap, 0)
+        fold = ShardDeltaFold()
+        assert fold.apply(delta) is True
+        assert fold.apply(delta) is False
+        assert fold.snapshot().counters == {"a.ops": 5}
+
+    def test_unknown_schema_rejected(self):
+        fold = ShardDeltaFold()
+        with pytest.raises(TelemetryError):
+            fold.apply({"schema": 99, "seq": 0})
+
+    def test_bucket_change_rejected(self):
+        fold = ShardDeltaFold()
+        hist = {"buckets": [1.0], "counts": [1, 0], "count": 1, "total": 0.5}
+        fold.apply({"schema": 1, "seq": 0, "histograms": {"h": dict(hist)}})
+        hist["buckets"] = [2.0]
+        with pytest.raises(TelemetryError):
+            fold.apply({"schema": 1, "seq": 1, "histograms": {"h": hist}})
+
+    def test_seal_wins_over_partial_stream(self):
+        final = MetricsSnapshot(counters={"a.ops": 42})
+        fold = ShardDeltaFold()
+        fold.apply({"schema": 1, "seq": 0, "counters": {"a.ops": 1}})
+        fold.seal(final)
+        assert fold.snapshot() == final
+
+
+class TestLiveViewProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        shards=st.lists(snapshot_sequences(), min_size=1, max_size=3),
+        seed=st.integers(min_value=0, max_value=2**31),
+        duplicate=st.booleans(),
+    )
+    def test_any_order_any_duplication_reconstructs_final(
+        self, shards, seed, duplicate
+    ):
+        """Folded live view == merged final snapshots, bit-identically,
+        under shuffled and duplicated delta delivery."""
+        import random
+
+        rng = random.Random(seed)
+        folds = []
+        for states in shards:
+            deltas = shard_deltas(states)
+            if duplicate:
+                deltas = deltas + [rng.choice(deltas)]
+            rng.shuffle(deltas)
+            fold = ShardDeltaFold()
+            for delta in deltas:
+                fold.apply(delta)
+            assert fold.snapshot() == states[-1]
+            folds.append(fold)
+        live = fold_shard_views(folds)
+        finals = [
+            states[-1]
+            for states in shards
+            if states[-1].counters
+            or states[-1].gauges
+            or states[-1].histograms
+        ]
+        if not finals:
+            assert live is None
+        else:
+            merged = merge_snapshots(finals)
+            assert live == merged
+            assert live.to_dict() == merged.to_dict()
+
+    @settings(max_examples=30, deadline=None)
+    @given(shards=st.lists(snapshot_sequences(), min_size=1, max_size=3))
+    def test_sealed_view_always_exact(self, shards):
+        """With the authoritative seal, even a lossy delta stream (only
+        the first delta arrives) reconstructs the final exactly."""
+        folds = []
+        for states in shards:
+            deltas = shard_deltas(states)
+            fold = ShardDeltaFold()
+            fold.apply(deltas[0])
+            fold.seal(states[-1])
+            folds.append(fold)
+        finals = [
+            states[-1]
+            for states in shards
+            if states[-1].counters
+            or states[-1].gauges
+            or states[-1].histograms
+        ]
+        live = fold_shard_views(folds)
+        if finals:
+            assert live == merge_snapshots(finals)

@@ -1,0 +1,170 @@
+"""Host-side aggregator: ingestion, watchdog escalation, progress."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.monitor.events import MonitorEventKind
+from repro.monitor.run import (
+    MonitorConfig,
+    RunMonitor,
+    capture_monitor,
+    current_monitor,
+)
+from repro.telemetry.registry import MetricsSnapshot
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_monitor(clock=None, **overrides) -> RunMonitor:
+    defaults = dict(heartbeat_interval_s=0.1, stall_after_s=5.0)
+    defaults.update(overrides)
+    return RunMonitor(
+        MonitorConfig(**defaults), label="test", clock=clock or FakeClock()
+    )
+
+
+class TestConfig:
+    def test_heartbeat_interval_positive(self):
+        with pytest.raises(ConfigError):
+            MonitorConfig(heartbeat_interval_s=0)
+
+    def test_policy_validated(self):
+        with pytest.raises(ConfigError):
+            MonitorConfig(policy="explode")
+
+
+class TestIngestion:
+    def _drive(self, monitor, records):
+        channel = monitor.channel(None)
+        for record in records:
+            channel.put(record)
+        monitor.pump()
+
+    def test_lifecycle_updates_views_and_metrics(self):
+        monitor = make_monitor()
+        monitor.attach(["s1", "s2"], workers=1, serial=True)
+        snap = MetricsSnapshot(counters={"cu0.sc0.fpu.ADD.ops": 7})
+        self._drive(
+            monitor,
+            [
+                {"kind": "shard_started", "shard": "s1", "pid": 123},
+                {"kind": "heartbeat", "shard": "s1", "elapsed_s": 0.1},
+                {
+                    "kind": "shard_finished",
+                    "shard": "s1",
+                    "wall_s": 1.5,
+                    "cpu_time_s": 1.2,
+                    "max_rss_kb": 4096,
+                    "final_snapshot": snap.to_dict(),
+                },
+            ],
+        )
+        view = monitor.shards["s1"]
+        assert view.status == "done"
+        assert view.beats == 1
+        assert view.wall_s == 1.5
+        assert view.cpu_time_s == 1.2
+        assert view.max_rss_kb == 4096
+        assert view.ops == 7
+        assert view.throughput_ops_s == pytest.approx(7 / 1.5)
+        assert monitor.counts()["done"] == 1
+        assert monitor.counts()["pending"] == 1
+        assert monitor.live_view() == snap
+        registry = monitor.registry
+        assert registry.value("monitor.shards.started") == 1
+        assert registry.value("monitor.shards.finished") == 1
+        assert registry.value("monitor.heartbeats") == 1
+
+    def test_duplicate_deltas_counted_not_applied(self):
+        monitor = make_monitor()
+        monitor.attach(["s1"], workers=1, serial=True)
+        delta = {
+            "schema": 1,
+            "seq": 0,
+            "counters": {"a.ops": 5},
+            "gauges": {},
+            "histograms": {},
+        }
+        self._drive(
+            monitor,
+            [
+                {"kind": "shard_started", "shard": "s1"},
+                {"kind": "snapshot_delta", "shard": "s1", "delta": delta},
+                {"kind": "snapshot_delta", "shard": "s1", "delta": delta},
+            ],
+        )
+        assert monitor.live_view().counters == {"a.ops": 5}
+        assert monitor.registry.value("monitor.duplicates") == 1
+
+    def test_stall_event_and_recovery(self):
+        clock = FakeClock()
+        monitor = make_monitor(clock=clock, stall_after_s=1.0)
+        monitor.attach(["s1"], workers=1, serial=True)
+        self._drive(monitor, [{"kind": "shard_started", "shard": "s1"}])
+        clock.advance(2.0)
+        monitor.pump()
+        assert monitor.shards["s1"].status == "stalled"
+        kinds = [event.kind for event in monitor.events]
+        assert MonitorEventKind.SHARD_STALLED in kinds
+        assert monitor.cancel_requested is None
+        # A late heartbeat recovers the shard.
+        self._drive(monitor, [{"kind": "heartbeat", "shard": "s1"}])
+        assert monitor.shards["s1"].status == "running"
+
+    def test_cancel_policy_requests_cancellation(self):
+        clock = FakeClock()
+        monitor = make_monitor(clock=clock, stall_after_s=1.0, policy="cancel")
+        monitor.attach(["s1"], workers=1, serial=True)
+        self._drive(monitor, [{"kind": "shard_started", "shard": "s1"}])
+        clock.advance(2.0)
+        monitor.pump()
+        assert monitor.cancel_requested == "s1"
+        kinds = [event.kind for event in monitor.events]
+        assert MonitorEventKind.SHARD_CANCELLED in kinds
+        assert monitor.registry.value("monitor.cancellations") == 1
+
+    def test_progress_payload_is_json_safe(self):
+        import json
+
+        clock = FakeClock()
+        monitor = make_monitor(clock=clock, min_samples=1)
+        monitor.attach(["s1", "s2"], workers=2, serial=False)
+        self._drive(
+            monitor,
+            [
+                {"kind": "shard_started", "shard": "s1"},
+                {"kind": "shard_finished", "shard": "s1", "wall_s": 2.0},
+            ],
+        )
+        progress = monitor.progress()
+        json.dumps(progress)  # must not raise
+        assert progress["counts"]["done"] == 1
+        assert progress["median_wall_s"] == 2.0
+        assert {shard["label"] for shard in progress["shards"]} == {"s1", "s2"}
+
+    def test_finish_emits_summary_and_is_idempotent(self):
+        monitor = make_monitor()
+        monitor.attach(["s1"], workers=1, serial=True)
+        monitor.finish()
+        monitor.finish()
+        kinds = [event.kind for event in monitor.events]
+        assert kinds.count(MonitorEventKind.RUN_FINISHED) == 1
+
+
+class TestAmbientMonitor:
+    def test_capture_and_restore(self):
+        assert current_monitor() is None
+        monitor = make_monitor()
+        with capture_monitor(monitor) as active:
+            assert active is monitor
+            assert current_monitor() is monitor
+        assert current_monitor() is None

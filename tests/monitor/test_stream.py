@@ -1,0 +1,107 @@
+"""The JSONL event stream: append, tail, tolerate torn lines."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.monitor.events import (
+    MONITOR_STREAM_SCHEMA,
+    MonitorEvent,
+    MonitorEventKind,
+)
+from repro.monitor.stream import EventStreamWriter, read_event_stream
+from repro.utils.io import JsonlAppender, read_jsonl_records
+
+
+def _event(seq, kind=MonitorEventKind.HEARTBEAT, shard="s1", payload=None):
+    return MonitorEvent(
+        seq=seq, ts_s=0.5 * seq, kind=kind, shard=shard, payload=payload or {}
+    )
+
+
+class TestEventStream:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        writer = EventStreamWriter(path)
+        writer.write_header("run:test", extra={"shards": 2})
+        writer.write_event(_event(0, MonitorEventKind.SHARD_STARTED))
+        writer.write_event(_event(1, payload={"elapsed_s": 0.5}))
+        writer.close()
+        headers, events = read_event_stream(path)
+        assert len(headers) == 1
+        assert headers[0]["schema"] == MONITOR_STREAM_SCHEMA
+        assert headers[0]["label"] == "run:test"
+        assert headers[0]["shards"] == 2
+        assert [e.kind for e in events] == [
+            MonitorEventKind.SHARD_STARTED,
+            MonitorEventKind.HEARTBEAT,
+        ]
+        assert events[1].payload == {"elapsed_s": 0.5}
+
+    def test_readable_mid_stream(self, tmp_path):
+        """A reader sees whole records while the writer is still open."""
+        path = str(tmp_path / "events.jsonl")
+        writer = EventStreamWriter(path)
+        writer.write_header("run:test")
+        writer.write_event(_event(0))
+        headers, events = read_event_stream(path)
+        assert len(headers) == 1 and len(events) == 1
+        writer.close()
+
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        writer = EventStreamWriter(path)
+        writer.write_header("run:test")
+        writer.write_event(_event(0))
+        writer.close()
+        with open(path, "a") as handle:
+            handle.write('{"type": "event", "seq": 1, "ts')  # torn record
+        headers, events = read_event_stream(path)
+        assert len(events) == 1
+
+    def test_unknown_record_types_ignored(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"type": "future-extension", "x": 1}) + "\n")
+        headers, events = read_event_stream(path)
+        assert headers == [] and events == []
+
+    def test_missing_file_is_empty(self, tmp_path):
+        headers, events = read_event_stream(str(tmp_path / "absent.jsonl"))
+        assert headers == [] and events == []
+
+
+class TestMonitorEventCodec:
+    def test_to_dict_from_dict_inverse(self):
+        event = _event(3, MonitorEventKind.SHARD_SLOW, payload={"a": 1})
+        assert MonitorEvent.from_dict(event.to_dict()) == event
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(TelemetryError):
+            MonitorEvent.from_dict({"seq": "x"})
+        with pytest.raises(TelemetryError):
+            MonitorEvent.from_dict({"seq": 0, "ts_s": 0.0, "kind": "no-such"})
+
+
+class TestJsonlAppender:
+    def test_append_and_read(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        with JsonlAppender(path) as appender:
+            appender.append({"a": 1})
+            appender.append({"b": 2})
+        assert read_jsonl_records(path) == [{"a": 1}, {"b": 2}]
+
+    def test_append_mode_preserves_existing(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        with JsonlAppender(path) as appender:
+            appender.append({"a": 1})
+        with JsonlAppender(path) as appender:
+            appender.append({"b": 2})
+        assert len(read_jsonl_records(path)) == 2
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"a": 1}\n\n{"b": 2}\n')
+        assert read_jsonl_records(path) == [{"a": 1}, {"b": 2}]

@@ -1,0 +1,186 @@
+"""Bench trend tracking: history archive, direction-aware gating."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.monitor.trend import (
+    compare_bench,
+    load_history,
+    metric_direction,
+    record_bench,
+)
+
+
+def make_summary(metrics, bench="Sobel", created="2026-08-09T01:00:00Z",
+                 describe="abc1234"):
+    return {
+        "kind": "bench-telemetry",
+        "created_utc": created,
+        "git_describe": describe,
+        "benches": [
+            {"bench": bench, "duration_s": 1.0, "metrics": dict(metrics)}
+        ],
+    }
+
+
+def write_summary(path, metrics, **kwargs):
+    path.write_text(json.dumps(make_summary(metrics, **kwargs)))
+    return str(path)
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "name", ["speedup_Haar", "memo.hit_rate", "throughput", "ops_per_s"]
+    )
+    def test_higher_better(self, name):
+        assert metric_direction(name) == 1
+
+    @pytest.mark.parametrize(
+        "name", ["duration_s", "wall_s", "replay_time_s", "p99_latency"]
+    )
+    def test_lower_better(self, name):
+        assert metric_direction(name) == -1
+
+    def test_unknown_direction_is_info(self):
+        assert metric_direction("num_shards") == 0
+
+
+class TestRecordAndHistory:
+    def test_record_archives_sorted_by_timestamp(self, tmp_path):
+        history = str(tmp_path / "history")
+        old = write_summary(
+            tmp_path / "old.json", {"speedup": 1.0},
+            created="2026-08-08T01:00:00Z", describe="aaa",
+        )
+        new = write_summary(
+            tmp_path / "new.json", {"speedup": 2.0},
+            created="2026-08-09T01:00:00Z", describe="bbb",
+        )
+        record_bench(new, history)
+        record_bench(old, history)
+        records = load_history(history)
+        assert [s["git_describe"] for _, s in records] == ["aaa", "bbb"]
+        assert load_history(history, last=1)[0][1]["git_describe"] == "bbb"
+
+    def test_record_rejects_non_bench_payload(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"kind": "other"}))
+        with pytest.raises(ReproError):
+            record_bench(str(bogus), str(tmp_path / "history"))
+
+    def test_missing_history_dir_is_empty(self, tmp_path):
+        assert load_history(str(tmp_path / "absent")) == []
+
+
+class TestCompare:
+    def _seed_history(self, tmp_path, metrics_list):
+        history = str(tmp_path / "history")
+        for i, metrics in enumerate(metrics_list):
+            path = write_summary(
+                tmp_path / f"seed{i}.json", metrics,
+                created=f"2026-08-0{i + 1}T01:00:00Z", describe=f"rev{i}",
+            )
+            record_bench(path, history)
+        return history
+
+    def test_no_history_reports_nothing(self, tmp_path):
+        current = write_summary(tmp_path / "cur.json", {"speedup": 1.0})
+        report = compare_bench(current, str(tmp_path / "history"))
+        assert report.baseline_records == 0
+        assert report.ok
+        assert "no history" in report.to_text()
+
+    def test_drop_in_higher_better_metric_regresses(self, tmp_path):
+        history = self._seed_history(
+            tmp_path, [{"speedup": 1.0}, {"speedup": 1.1}, {"speedup": 0.9}]
+        )
+        current = write_summary(tmp_path / "cur.json", {"speedup": 0.14})
+        report = compare_bench(current, history, threshold=0.20)
+        assert not report.ok
+        assert [d.name for d in report.regressions] == ["Sobel::speedup"]
+        # Baseline is the median of history, 1.0.
+        assert report.regressions[0].baseline == 1.0
+        assert report.regressions[0].change == pytest.approx(-0.86)
+        assert "FAIL" in report.to_text()
+
+    def test_rise_in_lower_better_metric_regresses(self, tmp_path):
+        history = self._seed_history(tmp_path, [{"replay_time_s": 1.0}])
+        current = write_summary(tmp_path / "cur.json", {"replay_time_s": 1.5})
+        report = compare_bench(current, history, threshold=0.20)
+        assert [d.name for d in report.regressions] == ["Sobel::replay_time_s"]
+
+    def test_improvement_and_within_threshold(self, tmp_path):
+        history = self._seed_history(tmp_path, [{"speedup": 1.0}])
+        current = write_summary(tmp_path / "cur.json", {"speedup": 1.5})
+        report = compare_bench(current, history, threshold=0.20)
+        speedups = {d.name: d.verdict for d in report.diffs}
+        assert speedups["Sobel::speedup"] == "improved"
+        current = write_summary(tmp_path / "cur2.json", {"speedup": 1.1})
+        report = compare_bench(current, history, threshold=0.20)
+        speedups = {d.name: d.verdict for d in report.diffs}
+        assert speedups["Sobel::speedup"] == "ok"
+        assert report.ok
+
+    def test_unknown_direction_never_gates(self, tmp_path):
+        history = self._seed_history(tmp_path, [{"num_shards": 8}])
+        current = write_summary(tmp_path / "cur.json", {"num_shards": 1})
+        report = compare_bench(current, history)
+        assert report.ok
+        verdicts = {d.name: d.verdict for d in report.diffs}
+        assert verdicts["Sobel::num_shards"] == "info"
+
+    def test_new_and_missing_metrics_reported(self, tmp_path):
+        history = self._seed_history(tmp_path, [{"speedup": 1.0, "old": 1}])
+        current = write_summary(tmp_path / "cur.json", {"speedup": 1.0, "fresh": 2})
+        report = compare_bench(current, history)
+        assert report.new_metrics == ["Sobel::fresh"]
+        assert report.missing_metrics == ["Sobel::old"]
+        assert report.ok
+
+    def test_threshold_must_be_positive(self, tmp_path):
+        current = write_summary(tmp_path / "cur.json", {"speedup": 1.0})
+        with pytest.raises(ReproError):
+            compare_bench(current, str(tmp_path / "history"), threshold=0)
+
+
+class TestBenchCli:
+    """`repro bench compare` must exit nonzero on an injected regression."""
+
+    def test_compare_gates_on_injected_regression(self, tmp_path, capsys):
+        history = str(tmp_path / "history")
+        good = write_summary(
+            tmp_path / "good.json", {"speedup_Haar": 1.0},
+            created="2026-08-08T01:00:00Z",
+        )
+        assert main(["bench", "record", "--telemetry", good,
+                     "--history", history]) == 0
+        bad = write_summary(tmp_path / "bad.json", {"speedup_Haar": 0.14})
+        rc = main(["bench", "compare", "--telemetry", bad,
+                   "--history", history])
+        assert rc == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_report_only_never_gates(self, tmp_path, capsys):
+        history = str(tmp_path / "history")
+        good = write_summary(tmp_path / "good.json", {"speedup_Haar": 1.0})
+        main(["bench", "record", "--telemetry", good, "--history", history])
+        bad = write_summary(tmp_path / "bad.json", {"speedup_Haar": 0.14})
+        rc = main(["bench", "compare", "--telemetry", bad,
+                   "--history", history, "--report-only"])
+        assert rc == 0
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_writes_json_report(self, tmp_path):
+        history = str(tmp_path / "history")
+        good = write_summary(tmp_path / "good.json", {"speedup_Haar": 1.0})
+        main(["bench", "record", "--telemetry", good, "--history", history])
+        out = tmp_path / "report.json"
+        rc = main(["bench", "compare", "--telemetry", good,
+                   "--history", history, "--json", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert payload["baseline_records"] == 1

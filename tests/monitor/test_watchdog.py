@@ -1,0 +1,123 @@
+"""Watchdog detection driven by a deterministic fake clock."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.monitor.watchdog import Watchdog, WatchdogAlert
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestValidation:
+    def test_stall_after_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            Watchdog(stall_after_s=0)
+
+    def test_slow_factor_must_exceed_one(self):
+        with pytest.raises(ConfigError):
+            Watchdog(slow_factor=1.0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            Watchdog(policy="panic")
+
+
+class TestStallDetection:
+    def test_quiet_shard_fires_once(self):
+        clock = FakeClock()
+        dog = Watchdog(stall_after_s=5.0, clock=clock)
+        dog.shard_started("s1")
+        clock.advance(4.0)
+        assert dog.check() == []
+        clock.advance(2.0)
+        alerts = dog.check()
+        assert [a.kind for a in alerts] == ["stalled"]
+        assert alerts[0].shard == "s1"
+        assert alerts[0].elapsed_s == pytest.approx(6.0)
+        # No alert spam: a second check does not re-fire.
+        assert dog.check() == []
+
+    def test_beat_rearms_stall(self):
+        clock = FakeClock()
+        dog = Watchdog(stall_after_s=5.0, clock=clock)
+        dog.shard_started("s1")
+        clock.advance(6.0)
+        assert len(dog.check()) == 1
+        dog.shard_beat("s1")
+        assert dog.check() == []
+        clock.advance(6.0)
+        assert [a.kind for a in dog.check()] == ["stalled"]
+
+    def test_finished_shard_never_stalls(self):
+        clock = FakeClock()
+        dog = Watchdog(stall_after_s=5.0, clock=clock)
+        dog.shard_started("s1")
+        dog.shard_finished("s1", wall_s=1.0)
+        clock.advance(60.0)
+        assert dog.check() == []
+        assert dog.in_flight == 0
+
+    def test_cancel_policy_marks_alert(self):
+        clock = FakeClock()
+        dog = Watchdog(stall_after_s=1.0, policy="cancel", clock=clock)
+        dog.shard_started("s1")
+        clock.advance(2.0)
+        alerts = dog.check()
+        assert alerts[0].cancel is True
+
+    def test_warn_policy_does_not_cancel(self):
+        clock = FakeClock()
+        dog = Watchdog(stall_after_s=1.0, policy="warn", clock=clock)
+        dog.shard_started("s1")
+        clock.advance(2.0)
+        assert dog.check()[0].cancel is False
+
+
+class TestSlowOutliers:
+    def _seed_population(self, dog, walls=(1.0, 1.0, 1.0)):
+        for i, wall in enumerate(walls):
+            dog.shard_started(f"done{i}")
+            dog.shard_finished(f"done{i}", wall_s=wall)
+
+    def test_not_armed_below_min_samples(self):
+        clock = FakeClock()
+        dog = Watchdog(
+            stall_after_s=1e9, slow_factor=2.0, min_samples=3, clock=clock
+        )
+        self._seed_population(dog, walls=(1.0, 1.0))
+        dog.shard_started("s1")
+        clock.advance(100.0)
+        assert dog.check() == []
+        assert dog.median_wall_s() is None
+
+    def test_outlier_flagged_once_vs_median(self):
+        clock = FakeClock()
+        dog = Watchdog(
+            stall_after_s=1e9, slow_factor=4.0, min_samples=3, clock=clock
+        )
+        self._seed_population(dog)
+        assert dog.median_wall_s() == 1.0
+        dog.shard_started("slowpoke")
+        clock.advance(3.9)
+        assert dog.check() == []
+        clock.advance(0.2)
+        alerts = dog.check()
+        assert [a.kind for a in alerts] == ["slow"]
+        assert alerts[0].shard == "slowpoke"
+        assert alerts[0].threshold_s == pytest.approx(4.0)
+        assert dog.check() == []
+
+    def test_alert_is_plain_data(self):
+        alert = WatchdogAlert(
+            kind="slow", shard="s", elapsed_s=9.0, threshold_s=4.0
+        )
+        assert alert.cancel is False
