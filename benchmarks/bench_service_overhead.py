@@ -1,0 +1,87 @@
+"""Submit→complete overhead of the campaign service vs the direct runner.
+
+Runs the same small campaign twice against fresh stores: once through
+``run_campaign`` in-process, once through a real HTTP round trip —
+:class:`~repro.service.server.ServiceThread` serving on an ephemeral
+loopback port, submit + poll-to-complete + result fetch via
+:class:`~repro.service.client.ServiceClient`.  The bench asserts the
+two produce byte-identical merged results and records the absolute
+service overhead in ``BENCH_telemetry.json`` — the price of the HTTP
+hop, the event-loop scheduling, and the per-shard event bookkeeping,
+which should stay a small fraction of the simulation itself.
+"""
+
+import tempfile
+import time
+
+from conftest import run_once
+
+from repro.campaign.runner import merge_campaign, run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.service import JobManager, ServiceClient, ServiceThread
+from repro.utils.tables import format_table
+
+SPEC = {
+    "name": "bench-service",
+    "kernels": ["Haar"],
+    "error_rates": [0.0, 0.05],
+    "seeds": [1, 2],
+}
+
+
+def run_direct_vs_service():
+    spec = CampaignSpec.from_dict(SPEC)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-direct-") as root:
+        store = ResultStore(root)
+        started = time.perf_counter()
+        run_campaign(spec, store)
+        direct_text = merge_campaign(spec, store).to_json()
+        direct_wall = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as root:
+        manager = JobManager(ResultStore(root))
+        started = time.perf_counter()
+        with ServiceThread(manager) as service:
+            client = ServiceClient(service.url)
+            job = client.submit(dict(SPEC))
+            final = client.wait(job["job_id"], poll_s=0.005)
+            service_text = client.result_bytes(job["job_id"]).decode("utf-8")
+        service_wall = time.perf_counter() - started
+        assert final["status"] == "complete"
+
+    return direct_text, direct_wall, service_text, service_wall
+
+
+def test_service_overhead_vs_direct_runner(
+    benchmark, bench_report, bench_metrics
+):
+    direct_text, direct_wall, service_text, service_wall = run_once(
+        benchmark, run_direct_vs_service
+    )
+    overhead_s = service_wall - direct_wall
+    relative = service_wall / direct_wall if direct_wall > 0 else 0.0
+
+    table = format_table(
+        ["path", "wall s"],
+        [
+            ["direct run_campaign", direct_wall],
+            ["serve + submit + poll + fetch", service_wall],
+            ["service overhead", overhead_s],
+        ],
+        title=f"campaign service overhead on a 4-shard Haar campaign "
+        f"({relative:.2f}x direct)",
+    )
+    bench_report(table)
+
+    bench_metrics("direct_wall_s", round(direct_wall, 4))
+    bench_metrics("service_wall_s", round(service_wall, 4))
+    bench_metrics("overhead_s", round(overhead_s, 4))
+    bench_metrics("relative_wall", round(relative, 3))
+
+    # The service is a scheduler, not a different execution path.
+    assert service_text == direct_text
+    # Orchestration stays a bounded multiple of the work itself; the
+    # loose bound only catches pathological regressions (an accidental
+    # sleep, a busy poll) without flaking on slow CI runners.
+    assert relative < 5.0

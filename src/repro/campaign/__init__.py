@@ -44,6 +44,7 @@ from .runner import (
     CampaignResult,
     PointSummary,
     campaign_status,
+    checkpoint_manifest,
     manifest_path,
     merge_campaign,
     read_campaign_manifest,
@@ -90,6 +91,7 @@ __all__ = [
     "run_campaign",
     "merge_campaign",
     "campaign_status",
+    "checkpoint_manifest",
     "read_campaign_manifest",
     "manifest_path",
 ]

@@ -201,7 +201,7 @@ def merge_campaign(spec: CampaignSpec, store: ResultStore) -> CampaignResult:
     return result
 
 
-def _checkpoint_manifest(
+def checkpoint_manifest(
     store: ResultStore,
     spec: CampaignSpec,
     plan: CampaignPlan,
@@ -211,7 +211,13 @@ def _checkpoint_manifest(
     started_utc: str,
     progress: Optional[dict] = None,
 ) -> None:
-    """Atomically rewrite the campaign manifest (crash-safe checkpoint)."""
+    """Atomically rewrite the campaign manifest (crash-safe checkpoint).
+
+    Shared by the in-process runner and the campaign service
+    (:mod:`repro.service`): both write the same manifest layout, so
+    ``repro campaign status|watch|resume`` work identically on a
+    campaign regardless of which of the two drove it.
+    """
     completed = len(plan.cached) + computed
     manifest = {
         "schema": CAMPAIGN_SCHEMA,
@@ -306,7 +312,7 @@ def run_campaign(
     if monitor is not None:
         monitor.note_cached(len(plan.cached))
 
-    _checkpoint_manifest(
+    checkpoint_manifest(
         store, spec, plan, 0, "running", jobs, started_utc,
         progress=_progress_payload(monitor, report.engines),
     )
@@ -332,14 +338,14 @@ def run_campaign(
                 meta={"campaign": spec.name, "label": task.label},
             )
             report.computed += 1
-        _checkpoint_manifest(
+        checkpoint_manifest(
             store, spec, plan, report.computed, "running", jobs, started_utc,
             progress=_progress_payload(monitor, report.engines),
         )
     report.complete = report.computed == len(plan.pending)
     if report.complete:
         report.result = merge_campaign(spec, store)
-    _checkpoint_manifest(
+    checkpoint_manifest(
         store,
         spec,
         plan,

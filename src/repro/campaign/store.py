@@ -80,21 +80,33 @@ class StoreStats:
 
 @dataclass
 class GcReport:
-    """What one :meth:`ResultStore.gc` pass removed and kept."""
+    """What one :meth:`ResultStore.gc` pass removed (or would remove).
+
+    ``dry_run`` reports list the same candidates without touching disk;
+    ``removed_entries`` carries per-blob detail (key, bytes, age) so
+    ``repro campaign gc --dry-run`` and the service capacity endpoint
+    can show exactly what a real pass would evict.
+    """
 
     removed: int = 0
     removed_bytes: int = 0
     kept: int = 0
     kept_bytes: int = 0
+    dry_run: bool = False
     removed_keys: List[str] = field(default_factory=list)
+    removed_entries: List[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        return {
+        document = {
             "removed": self.removed,
             "removed_bytes": self.removed_bytes,
             "kept": self.kept,
             "kept_bytes": self.kept_bytes,
         }
+        if self.dry_run:
+            document["dry_run"] = True
+            document["removed_entries"] = list(self.removed_entries)
+        return document
 
 
 class ResultStore:
@@ -274,6 +286,7 @@ class ResultStore:
         self,
         max_age_s: Optional[float] = None,
         max_bytes: Optional[int] = None,
+        dry_run: bool = False,
     ) -> GcReport:
         """Expire old blobs and/or shrink the store under a byte budget.
 
@@ -282,13 +295,18 @@ class ResultStore:
         With neither bound this only removes corrupt blobs.  The LRU
         front is cleared so reads re-verify against the surviving disk
         state.
+
+        ``dry_run`` computes the same eviction set — each candidate's
+        key, bytes and age lands in ``removed_entries`` — but touches
+        nothing: no unlink, no corrupt-blob quarantine (integrity is not
+        re-verified), no counter movement, and the LRU front survives.
         """
-        report = GcReport()
+        report = GcReport(dry_run=dry_run)
         now = time.time()
         survivors = []  # (mtime, size, path)
         for path in self._blob_paths():
             key = path.stem
-            if self._read_verified(key, path) is None:
+            if not dry_run and self._read_verified(key, path) is None:
                 # _read_verified already unlinked the corrupt blob.
                 continue
             try:
@@ -296,30 +314,41 @@ class ResultStore:
             except OSError:
                 continue
             if max_age_s is not None and now - stat.st_mtime > max_age_s:
-                self._remove(path, stat.st_size, report)
+                self._remove(path, stat.st_size, stat.st_mtime, now, report)
             else:
                 survivors.append((stat.st_mtime, stat.st_size, path))
         if max_bytes is not None:
             survivors.sort()  # oldest first
             total = sum(size for _, size, _ in survivors)
             while survivors and total > max_bytes:
-                _, size, path = survivors.pop(0)
-                self._remove(path, size, report)
+                mtime, size, path = survivors.pop(0)
+                self._remove(path, size, mtime, now, report)
                 total -= size
         report.kept = len(survivors)
         report.kept_bytes = sum(size for _, size, _ in survivors)
-        self._lru.clear()
+        if not dry_run:
+            self._lru.clear()
         return report
 
-    def _remove(self, path: Path, size: int, report: GcReport) -> None:
-        try:
-            os.unlink(path)
-        except OSError:
-            return
-        self._evictions.inc()
+    def _remove(
+        self, path: Path, size: int, mtime: float, now: float, report: GcReport
+    ) -> None:
+        if not report.dry_run:
+            try:
+                os.unlink(path)
+            except OSError:
+                return
+            self._evictions.inc()
         report.removed += 1
         report.removed_bytes += size
         report.removed_keys.append(path.stem)
+        report.removed_entries.append(
+            {
+                "key": path.stem,
+                "bytes": size,
+                "age_s": round(max(0.0, now - mtime), 3),
+            }
+        )
 
     # ------------------------------------------------------------ telemetry
     def metrics_snapshot(self) -> MetricsSnapshot:

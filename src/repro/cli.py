@@ -38,6 +38,7 @@ from .energy.report import format_energy_report
 from .errors import ReproError
 from .kernels.registry import KERNEL_REGISTRY
 from .kernels.validation import validate_workload
+from .service.wire import DEFAULT_PORT as SERVICE_DEFAULT_PORT
 from .telemetry import build_manifest, render_dashboard, write_run_jsonl
 from .utils.tables import format_table
 
@@ -438,6 +439,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the current board once and exit",
     )
+    campaign_watch.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable board JSON object per refresh "
+        "instead of the ASCII board",
+    )
 
     campaign_gc = campaign_sub.add_parser(
         "gc", help="verify, expire and shrink the result store"
@@ -454,6 +461,128 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="evict oldest blobs until the store fits this byte budget",
+    )
+    campaign_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print what would be evicted (keys, bytes, age) without "
+        "deleting anything",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service: accept campaign submissions over "
+        "HTTP against a shared result store (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=f"TCP port (default: {SERVICE_DEFAULT_PORT}; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result-store directory served (default: .repro-cache)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard workers (1 = thread executor, >1 = process pool, "
+        "0 = one per CPU)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default=None,
+        help="force the shard executor kind (default: thread for --jobs 1, "
+        "process otherwise)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant in-flight shard quota (submits beyond it get "
+        "HTTP 429 + Retry-After)",
+    )
+    serve.add_argument(
+        "--max-store-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="per-tenant store byte budget (freed by gc)",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="Retry-After seconds sent with quota rejections",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign spec to a running service and optionally "
+        "stream it to completion",
+    )
+    submit.add_argument("spec", help="campaign spec JSON file")
+    submit.add_argument(
+        "--url",
+        default=f"http://127.0.0.1:{SERVICE_DEFAULT_PORT}",
+        help="service base URL",
+    )
+    submit.add_argument(
+        "--tenant", default=None, help="tenant name for quota accounting"
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="stream events until the job is terminal (implied by "
+        "--events/--result)",
+    )
+    submit.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="append the job's monitor-event JSONL stream here",
+    )
+    submit.add_argument(
+        "--result",
+        metavar="PATH",
+        default=None,
+        help="write the merged campaign result JSON here when complete",
+    )
+    submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the final job document as JSON instead of prose",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="give up waiting after this many seconds",
+    )
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list the jobs of a running campaign service"
+    )
+    jobs_cmd.add_argument(
+        "--url",
+        default=f"http://127.0.0.1:{SERVICE_DEFAULT_PORT}",
+        help="service base URL",
+    )
+    jobs_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object (the jobs document) instead of a table",
     )
 
     bench = sub.add_parser(
@@ -1082,21 +1211,37 @@ def _cmd_bench(args, out) -> int:
 
 def _cmd_campaign_watch(args, spec, store, out) -> int:
     from .campaign import read_campaign_manifest
-    from .monitor.board import render_manifest_board
+    from .monitor.board import manifest_board_document, render_manifest_board
 
     while True:
         manifest = read_campaign_manifest(store, spec)
         if manifest is None:
-            print(
-                f"no checkpoint manifest for campaign {spec.name!r} under "
-                f"{store.root} yet",
-                file=out,
-            )
+            if args.json:
+                print(
+                    json.dumps(
+                        {"kind": "campaign.board", "name": spec.name,
+                         "status": "absent"},
+                        sort_keys=True,
+                    ),
+                    file=out,
+                )
+            else:
+                print(
+                    f"no checkpoint manifest for campaign {spec.name!r} under "
+                    f"{store.root} yet",
+                    file=out,
+                )
             if args.once:
                 return 1
         else:
-            print(render_manifest_board(manifest), file=out)
-            print(file=out)
+            if args.json:
+                print(
+                    json.dumps(manifest_board_document(manifest), sort_keys=True),
+                    file=out,
+                )
+            else:
+                print(render_manifest_board(manifest), file=out)
+                print(file=out)
             if args.once or manifest.get("status") != "running":
                 return 0
         time.sleep(args.interval)
@@ -1146,13 +1291,32 @@ def _cmd_campaign(args, out) -> int:
         max_age_s = (
             args.max_age_days * 86400.0 if args.max_age_days is not None else None
         )
-        report = store.gc(max_age_s=max_age_s, max_bytes=args.max_bytes)
+        report = store.gc(
+            max_age_s=max_age_s,
+            max_bytes=args.max_bytes,
+            dry_run=args.dry_run,
+        )
+        verb = "would remove" if args.dry_run else "removed"
         print(
-            f"gc({store.root}): removed {report.removed} blobs "
+            f"gc({store.root}): {verb} {report.removed} blobs "
             f"({report.removed_bytes} bytes), kept {report.kept} "
             f"({report.kept_bytes} bytes)",
             file=out,
         )
+        if args.dry_run and report.removed_entries:
+            rows = [
+                [entry["key"][:16], entry["bytes"], round(entry["age_s"], 1)]
+                for entry in report.removed_entries
+            ]
+            print(file=out)
+            print(
+                format_table(
+                    ["key", "bytes", "age s"],
+                    rows,
+                    title="eviction candidates (dry run — nothing deleted)",
+                ),
+                file=out,
+            )
         return 0
 
     spec = CampaignSpec.from_file(args.spec)
@@ -1327,6 +1491,111 @@ def _cmd_calibrate(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from .campaign import DEFAULT_STORE_DIR
+    from .service import build_manager, run_service
+
+    manager = build_manager(
+        args.cache_dir or DEFAULT_STORE_DIR,
+        jobs=args.jobs,
+        executor=args.executor,
+        max_inflight=args.max_inflight,
+        max_store_bytes=args.max_store_bytes,
+        retry_after_s=args.retry_after,
+    )
+    port = SERVICE_DEFAULT_PORT if args.port is None else args.port
+    return run_service(manager, host=args.host, port=port, out=out)
+
+
+def _cmd_submit(args, out) -> int:
+    from .service import ServiceClient
+
+    with open(args.spec) as handle:
+        spec_data = json.load(handle)
+    client = ServiceClient(args.url, tenant=args.tenant, timeout=args.timeout)
+    job = client.submit(spec_data)
+    job_id = job["job_id"]
+    wait = args.wait or args.events is not None or args.result is not None
+    if not wait:
+        if args.json:
+            print(json.dumps(job, sort_keys=True), file=out)
+        else:
+            print(
+                f"submitted {job_id}: campaign {job.get('name', '?')!r}, "
+                f"{job['total']} shards ({job.get('cached', 0)} already "
+                f"cached) at {args.url}",
+                file=out,
+            )
+        return 0
+    if args.events is not None:
+        from .utils.io import JsonlAppender
+
+        with JsonlAppender(args.events) as appender:
+            for _record_type, record in client.stream_events(job_id):
+                appender.append(record)
+    else:
+        for _ in client.stream_events(job_id):
+            pass  # drain to completion; the stream ends on a terminal status
+    final = client.wait(job_id, timeout=args.timeout)
+    if args.result is not None and final["status"] == "complete":
+        payload = client.result_bytes(job_id)
+        with open(args.result, "wb") as handle:
+            handle.write(payload)
+    if args.json:
+        print(json.dumps(final, sort_keys=True), file=out)
+    else:
+        print(
+            f"{job_id} {final['status']}: {final['completed_shards']}"
+            f"/{final['total']} shards ({final.get('cached', 0)} cached, "
+            f"{final.get('deduped', 0)} deduped)",
+            file=out,
+        )
+        if args.events is not None:
+            print(f"event stream appended to {args.events}", file=out)
+        if args.result is not None and final["status"] == "complete":
+            print(f"merged result written to {args.result}", file=out)
+    return 0 if final["status"] == "complete" else 1
+
+
+def _cmd_jobs(args, out) -> int:
+    from .service import SERVICE_SCHEMA, ServiceClient
+
+    jobs = ServiceClient(args.url).jobs()
+    if args.json:
+        print(
+            json.dumps(
+                {"schema": SERVICE_SCHEMA, "kind": "service.jobs", "jobs": jobs},
+                sort_keys=True,
+            ),
+            file=out,
+        )
+        return 0
+    if not jobs:
+        print(f"no jobs at {args.url}", file=out)
+        return 0
+    rows = [
+        [
+            job.get("job_id", "?"),
+            job.get("tenant", "?"),
+            job.get("name", "?"),
+            job.get("status", "?"),
+            f"{job.get('completed_shards', 0)}/{job.get('total', 0)}",
+            job.get("cached", 0),
+            job.get("deduped", 0),
+        ]
+        for job in jobs
+    ]
+    print(
+        format_table(
+            ["job", "tenant", "campaign", "status", "shards", "cached", "deduped"],
+            rows,
+            title=f"jobs at {args.url}",
+        ),
+        file=out,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -1352,6 +1621,12 @@ def _dispatch(args, out) -> int:
         return _cmd_experiment(args, out)
     if args.command == "campaign":
         return _cmd_campaign(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "submit":
+        return _cmd_submit(args, out)
+    if args.command == "jobs":
+        return _cmd_jobs(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
     if args.command == "metrics":

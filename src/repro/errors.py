@@ -92,5 +92,22 @@ class StoreError(CampaignError):
     """Misuse of the content-addressed result store."""
 
 
+class ServiceError(ReproError):
+    """Campaign-service failure: bad request, unknown job, wire misuse."""
+
+
+class QuotaExceeded(ServiceError):
+    """A tenant submit was rejected by quota enforcement (HTTP 429).
+
+    ``retry_after_s`` is the server's suggested back-off before the
+    client re-submits (capacity frees as in-flight shards complete or
+    the store is garbage-collected).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class ImageError(ReproError):
     """Image synthesis or I/O failure."""

@@ -28,7 +28,7 @@ cache keys, or campaign fingerprints, so a monitored run's outputs are
 byte-identical to an unmonitored one.
 """
 
-from .board import render_board, render_manifest_board
+from .board import manifest_board_document, render_board, render_manifest_board
 from .delta import DELTA_SCHEMA, ShardDeltaFold, diff_snapshots, fold_shard_views
 from .events import MONITOR_STREAM_SCHEMA, MonitorEvent, MonitorEventKind
 from .resources import ResourceProbe, rusage_now
@@ -70,4 +70,5 @@ __all__ = [
     "rusage_now",
     "render_board",
     "render_manifest_board",
+    "manifest_board_document",
 ]

@@ -103,6 +103,34 @@ def render_board(monitor) -> str:
     return "\n".join(lines)
 
 
+def manifest_board_document(manifest: dict) -> dict:
+    """The machine-readable board: one JSON-safe object per refresh.
+
+    ``repro campaign watch --json`` emits one of these per manifest
+    re-read (and ``repro jobs --json`` mirrors the shape for service
+    jobs), so external dashboards consume structured records instead of
+    scraping the ASCII board.  Fields come straight from the
+    checkpointed manifest; ``progress`` is passed through verbatim when
+    present.
+    """
+    document = {
+        "kind": "campaign.board",
+        "name": manifest.get("name", "?"),
+        "status": manifest.get("status", "?"),
+        "total": manifest.get("total", 0),
+        "completed": manifest.get("completed", 0),
+        "pending": manifest.get("pending", 0),
+        "cached_at_start": manifest.get("cached_at_start", 0),
+        "computed": manifest.get("computed", 0),
+        "updated_utc": manifest.get("updated_utc"),
+        "fingerprint": manifest.get("fingerprint"),
+    }
+    progress = manifest.get("progress")
+    if isinstance(progress, dict):
+        document["progress"] = progress
+    return document
+
+
 def render_manifest_board(manifest: dict) -> str:
     """The board for ``repro campaign watch``: rendered from a campaign's
     checkpointed manifest (its ``progress`` payload), not a live monitor,

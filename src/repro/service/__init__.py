@@ -1,0 +1,44 @@
+"""repro.service — the async campaign service.
+
+Simulation-as-a-service over the content-addressed result store:
+clients POST :class:`~repro.campaign.spec.CampaignSpec` documents, the
+service plans them against the shared store (diff-then-run), dedupes
+identical in-flight shards across concurrent clients, streams per-shard
+progress and telemetry deltas as monitor-event JSONL, and enforces
+per-tenant quotas with backpressure.  See ``docs/service.md``.
+"""
+
+from .client import ServiceClient
+from .jobs import Job, JobManager, TenantQuota
+from .server import ServiceServer, ServiceThread, build_manager, run_service
+from .wire import (
+    DEFAULT_PORT,
+    DEFAULT_TENANT,
+    SERVICE_SCHEMA,
+    TENANT_HEADER,
+    decode_event_line,
+    encode_event_line,
+    error_document,
+    stream_header_record,
+    validate_job_document,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "DEFAULT_TENANT",
+    "SERVICE_SCHEMA",
+    "TENANT_HEADER",
+    "Job",
+    "JobManager",
+    "ServiceClient",
+    "ServiceServer",
+    "ServiceThread",
+    "TenantQuota",
+    "build_manager",
+    "decode_event_line",
+    "encode_event_line",
+    "error_document",
+    "run_service",
+    "stream_header_record",
+    "validate_job_document",
+]

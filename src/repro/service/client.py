@@ -1,0 +1,178 @@
+"""Blocking stdlib client of the campaign service.
+
+Wraps :mod:`http.client` (one connection per call — the server is
+``Connection: close``) and speaks the :mod:`repro.service.wire`
+documents: submit a spec, list or poll jobs, stream the JSONL event
+tail, fetch the canonical result bytes, and drive capacity / gc.
+
+Error mapping mirrors the server: HTTP 429 raises
+:class:`~repro.errors.QuotaExceeded` (carrying ``retry_after_s``),
+every other non-2xx raises :class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Iterator, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..errors import ServiceError
+from .wire import (
+    TENANT_HEADER,
+    decode_event_line,
+    parse_json_body,
+    raise_for_error,
+    validate_job_document,
+)
+
+#: Terminal job statuses (``wait`` returns when one is reached).
+TERMINAL_STATUSES = ("complete", "failed", "cancelled")
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` instance at ``url``."""
+
+    def __init__(
+        self,
+        url: str,
+        tenant: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ServiceError(
+                f"unsupported service URL scheme {parts.scheme!r} (http only)"
+            )
+        if not parts.hostname:
+            raise ServiceError(f"service URL {url!r} has no host")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- plumbing
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _headers(self) -> dict:
+        headers = {"Accept": "application/json"}
+        if self.tenant:
+            headers[TENANT_HEADER] = self.tenant
+        return headers
+
+    def _request_bytes(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> bytes:
+        connection = self._connect()
+        try:
+            headers = self._headers()
+            encoded = None
+            if body is not None:
+                encoded = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+            if response.status >= 400:
+                raise_for_error(response.status, payload)
+            return payload
+        finally:
+            connection.close()
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        payload = self._request_bytes(method, path, body)
+        return parse_json_body(payload, f"{method} {path} response")
+
+    # ---------------------------------------------------------------- calls
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def submit(self, spec_data: dict) -> dict:
+        """POST a campaign spec; returns the accepted job document.
+
+        Raises :class:`~repro.errors.QuotaExceeded` when the service
+        rejects the submit for capacity (retry after
+        ``exc.retry_after_s``).
+        """
+        return validate_job_document(
+            self._request("POST", "/v1/campaigns", body=spec_data)
+        )
+
+    def jobs(self) -> List[dict]:
+        document = self._request("GET", "/v1/jobs")
+        jobs = document.get("jobs")
+        if not isinstance(jobs, list):
+            raise ServiceError("jobs response has no 'jobs' list")
+        return jobs
+
+    def job(self, job_id: str) -> dict:
+        return validate_job_document(self._request("GET", f"/v1/jobs/{job_id}"))
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The merged campaign result — canonical ``CampaignResult``
+        bytes, identical to what ``repro campaign run --result`` writes."""
+        return self._request_bytes("GET", f"/v1/jobs/{job_id}/result")
+
+    def capacity(self) -> dict:
+        return self._request("GET", "/v1/capacity")
+
+    def gc(
+        self,
+        max_age_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        dry_run: bool = False,
+    ) -> dict:
+        body: dict = {"dry_run": dry_run}
+        if max_age_s is not None:
+            body["max_age_s"] = max_age_s
+        if max_bytes is not None:
+            body["max_bytes"] = max_bytes
+        return self._request("POST", "/v1/gc", body=body)
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    # ------------------------------------------------------------- streaming
+    def stream_events(self, job_id: str) -> Iterator[Tuple[str, dict]]:
+        """Yield ``(record_type, record)`` for each stream line, live.
+
+        The first record is the ``service-manifest`` header; the rest
+        are monitor ``event`` records.  The iterator ends when the job
+        reaches a terminal status and the server closes the connection.
+        """
+        connection = self._connect()
+        try:
+            connection.request(
+                "GET", f"/v1/jobs/{job_id}/events", headers=self._headers()
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                raise_for_error(response.status, response.read())
+            for raw in response:
+                decoded = decode_event_line(raw.decode("utf-8"))
+                if decoded is not None:
+                    yield decoded
+        finally:
+            connection.close()
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll_s: float = 0.1
+    ) -> dict:
+        """Poll until the job is terminal; returns its final document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.job(job_id)
+            if document.get("status") in TERMINAL_STATUSES:
+                return document
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {document.get('status')!r} "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(poll_s)

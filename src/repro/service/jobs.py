@@ -1,0 +1,606 @@
+"""The service's job manager: plan, dedupe, execute, stream, enforce.
+
+One :class:`JobManager` lives on the server's event loop and multiplexes
+every client over one shared :class:`~repro.campaign.store.ResultStore`:
+
+* **submit** parses a :class:`~repro.campaign.spec.CampaignSpec`, plans
+  it with the PR-4 store-diff planner, and enforces the tenant's quota;
+* **dedup** — each pending shard is keyed by its canonical
+  content-addressed cache key.  If another job already has that key in
+  flight, the new job *attaches* to the same execution instead of
+  scheduling a second one: one computation, N subscribers
+  (``service.deduped`` counts the attachments);
+* **execute** — shard computations run in a worker pool
+  (:func:`~repro.analysis.multirun.run_seed_shard`, the exact function
+  the direct campaign runner uses) and are persisted through the same
+  ``store.put`` path, so a service-run campaign's durable state — and
+  therefore its merged result — is byte-identical to
+  ``repro campaign run`` on the same spec;
+* **stream** — every job carries an ordered monitor-event list
+  (shard started / finished, per-shard telemetry snapshot deltas,
+  run finished) that the server replays and tails to any number of
+  subscribers;
+* **checkpoint** — after every completed shard the job rewrites the
+  standard campaign manifest (:func:`~repro.campaign.runner.checkpoint_manifest`),
+  so ``repro campaign status|watch|resume`` work on a service-driven
+  campaign exactly as on a CLI-driven one, and a shutdown mid-campaign
+  resumes byte-identically.
+
+Everything the manager does is observable through its ``service.*``
+telemetry counters (submitted / rejected / deduped / completed /
+failed / cancelled, plus ``service.shards.*``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Dict, List, Optional
+
+from ..analysis.multirun import run_seed_shard
+from ..analysis.parallel import resolve_jobs
+from ..campaign.codec import decode_seed_shard, encode_seed_shard
+from ..campaign.runner import checkpoint_manifest, merge_campaign
+from ..campaign.spec import CampaignPlan, CampaignSpec, CampaignTask, plan_campaign
+from ..campaign.store import GcReport, ResultStore
+from ..errors import QuotaExceeded, ServiceError
+from ..monitor.delta import diff_snapshots
+from ..monitor.events import MonitorEvent, MonitorEventKind
+from ..telemetry.registry import MetricsRegistry
+from .wire import DEFAULT_TENANT, SERVICE_SCHEMA
+
+#: Pending-shard byte estimate before the service has observed any blob
+#: write (admission is optimistic until sizes are known).
+DEFAULT_BLOB_ESTIMATE = 0
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant capacity limits (``None`` disables a limit).
+
+    ``max_inflight_shards`` bounds how many not-yet-durable shards a
+    tenant may have queued or running across all its jobs — a submit
+    that would exceed it is rejected with HTTP 429 and ``Retry-After``.
+    ``max_store_bytes`` bounds the store bytes attributed to the tenant
+    (blobs its jobs caused to be written, while they remain in the
+    store); a service-side ``gc`` that evicts those blobs frees the
+    budget again.
+    """
+
+    max_inflight_shards: Optional[int] = None
+    max_store_bytes: Optional[int] = None
+    retry_after_s: float = 1.0
+
+
+class ShardExecution:
+    """One in-flight shard computation, shared by every attached job."""
+
+    __slots__ = ("task", "owner_tenant", "jobs", "future", "state")
+
+    def __init__(self, task: CampaignTask, owner_tenant: str) -> None:
+        self.task = task
+        self.owner_tenant = owner_tenant
+        self.jobs: List["Job"] = []
+        self.future: Optional[asyncio.Task] = None
+        self.state = "queued"  # queued|running|done|failed|cancelled
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+
+@dataclass
+class Job:
+    """One submitted campaign and its observable lifecycle."""
+
+    job_id: str
+    tenant: str
+    spec: CampaignSpec
+    plan: CampaignPlan
+    submitted_utc: str
+    started_utc: str
+    status: str = "running"  # running|complete|failed|cancelled
+    deduped: int = 0
+    completed_shards: int = 0
+    error: Optional[str] = None
+    result_text: Optional[str] = None
+    events: List[MonitorEvent] = field(default_factory=list)
+    shard_progress: Dict[str, dict] = field(default_factory=dict)
+    event_signal: asyncio.Event = field(default_factory=asyncio.Event)
+    task: Optional[asyncio.Task] = None
+    _started_ts: float = field(default_factory=time.monotonic)
+
+    @property
+    def is_done(self) -> bool:
+        return self.status in ("complete", "failed", "cancelled")
+
+    @property
+    def total(self) -> int:
+        return self.plan.total
+
+    @property
+    def cached(self) -> int:
+        return len(self.plan.cached)
+
+    def to_dict(self) -> dict:
+        """The job document served by ``GET /v1/jobs[/<id>]``."""
+        document = {
+            "schema": SERVICE_SCHEMA,
+            "kind": "service.job",
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "name": self.spec.name,
+            "fingerprint": self.spec.fingerprint(),
+            "status": self.status,
+            "total": self.total,
+            "cached": self.cached,
+            "deduped": self.deduped,
+            "completed_shards": self.completed_shards,
+            "pending": self.total - self.completed_shards,
+            "submitted_utc": self.submitted_utc,
+            "events": len(self.events),
+        }
+        if self.error is not None:
+            document["error"] = self.error
+        return document
+
+    def progress(self) -> dict:
+        """The campaign-manifest progress payload (board-compatible)."""
+        counts: Dict[str, int] = {}
+        for shard in self.shard_progress.values():
+            state = shard.get("status", "?")
+            counts[state] = counts.get(state, 0) + 1
+        return {
+            "counts": counts,
+            "shards": list(self.shard_progress.values()),
+        }
+
+    def emit(
+        self,
+        kind: MonitorEventKind,
+        shard: Optional[str] = None,
+        payload: Optional[dict] = None,
+    ) -> None:
+        self.events.append(
+            MonitorEvent(
+                seq=len(self.events),
+                ts_s=time.monotonic() - self._started_ts,
+                kind=kind,
+                shard=shard,
+                payload=payload or {},
+            )
+        )
+        self.event_signal.set()
+
+
+class JobManager:
+    """Multiplexes concurrent campaign jobs over one shared store.
+
+    Must be driven from a single asyncio event loop (the server's);
+    shard computations fan out to a worker pool — threads for
+    ``jobs == 1`` (cheap, adequate for serving cached campaigns),
+    processes for ``jobs > 1`` (real parallel compute), overridable via
+    ``executor``.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        jobs: int = 1,
+        quota: Optional[TenantQuota] = None,
+        executor: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.store = store
+        self.workers = max(1, resolve_jobs(jobs))
+        self.quota = quota or TenantQuota()
+        if executor is not None and executor not in ("thread", "process"):
+            raise ServiceError(
+                f"unknown executor {executor!r}; known: ['thread', 'process']"
+            )
+        self.executor_kind = executor or (
+            "thread" if self.workers == 1 else "process"
+        )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, ShardExecution] = {}
+        self._tenant_keys: Dict[str, Dict[str, int]] = {}
+        self._blob_sizes: List[int] = []
+        self._pool = None
+        self._semaphore = asyncio.Semaphore(self.workers)
+        self._closed = False
+
+    # ------------------------------------------------------------- telemetry
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.registry.counter(name).inc(amount)
+
+    def counter_values(self) -> dict:
+        """Plain values of every ``service.*`` counter (tests, metrics)."""
+        return {
+            path: int(value)
+            for path, value in self.registry.snapshot().counters.items()
+        }
+
+    # ---------------------------------------------------------------- submit
+    def submit(self, data: dict, tenant: str = DEFAULT_TENANT) -> Job:
+        """Admit one campaign: parse, plan, enforce quota, start the job.
+
+        Raises :class:`~repro.errors.CampaignError` on a malformed spec
+        (HTTP 400) and :class:`~repro.errors.QuotaExceeded` on quota
+        rejection (HTTP 429).  Admission itself is synchronous; the
+        returned :class:`Job` executes on the event loop.
+        """
+        if self._closed:
+            raise ServiceError("service is shutting down")
+        spec = CampaignSpec.from_dict(data)
+        plan = plan_campaign(spec, self.store)
+        self._enforce_quota(tenant, plan)
+        now_utc = datetime.now(timezone.utc).isoformat()
+        job = Job(
+            job_id=f"job-{len(self.jobs) + 1:04d}",
+            tenant=tenant,
+            spec=spec,
+            plan=plan,
+            submitted_utc=now_utc,
+            started_utc=now_utc,
+        )
+        self.jobs[job.job_id] = job
+        self._count("service.submitted")
+        job.task = asyncio.get_running_loop().create_task(self._run_job(job))
+        return job
+
+    def _tenant_inflight(self, tenant: str) -> int:
+        return sum(
+            1
+            for execution in self._inflight.values()
+            if not execution.done
+            and any(job.tenant == tenant for job in execution.jobs)
+        )
+
+    def _blob_estimate(self) -> int:
+        if not self._blob_sizes:
+            return DEFAULT_BLOB_ESTIMATE
+        return sum(self._blob_sizes) // len(self._blob_sizes)
+
+    def tenant_bytes(self, tenant: str) -> int:
+        """Store bytes currently attributed to ``tenant``."""
+        return sum(self._tenant_keys.get(tenant, {}).values())
+
+    def _enforce_quota(self, tenant: str, plan: CampaignPlan) -> None:
+        quota = self.quota
+        if quota.max_inflight_shards is not None:
+            current = self._tenant_inflight(tenant)
+            if current + len(plan.pending) > quota.max_inflight_shards:
+                self._count("service.rejected")
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} would have "
+                    f"{current + len(plan.pending)} in-flight shards "
+                    f"(limit {quota.max_inflight_shards}); retry after "
+                    "capacity frees",
+                    retry_after_s=quota.retry_after_s,
+                )
+        if quota.max_store_bytes is not None:
+            used = self.tenant_bytes(tenant)
+            estimate = len(plan.pending) * self._blob_estimate()
+            if used + estimate > quota.max_store_bytes:
+                self._count("service.rejected")
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} store budget exhausted: {used} bytes "
+                    f"attributed + {estimate} estimated > "
+                    f"{quota.max_store_bytes} byte budget; gc the store or "
+                    "retry later",
+                    retry_after_s=quota.retry_after_s,
+                )
+
+    # --------------------------------------------------------------- running
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.executor_kind == "process":
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-shard"
+                )
+        return self._pool
+
+    def _attach(self, job: Job, execution: ShardExecution) -> None:
+        execution.jobs.append(job)
+        label = execution.task.label
+        if execution.state == "running":
+            job.shard_progress[label] = {"label": label, "status": "running"}
+            job.emit(MonitorEventKind.SHARD_STARTED, label, {})
+        else:
+            job.shard_progress[label] = {"label": label, "status": "pending"}
+
+    def _schedule(self, task: CampaignTask, tenant: str) -> ShardExecution:
+        execution = ShardExecution(task, owner_tenant=tenant)
+        self._inflight[task.key] = execution
+        execution.future = asyncio.get_running_loop().create_task(
+            self._execute(execution)
+        )
+        return execution
+
+    async def _execute(self, execution: ShardExecution) -> dict:
+        """Compute (or fetch) one shard exactly once; fan out the result."""
+        task = execution.task
+        try:
+            async with self._semaphore:
+                execution.state = "running"
+                for job in list(execution.jobs):
+                    job.shard_progress[task.label] = {
+                        "label": task.label,
+                        "status": "running",
+                    }
+                    job.emit(MonitorEventKind.SHARD_STARTED, task.label, {})
+                # Another process (or an earlier eviction race) may have
+                # made the shard durable since planning; read-through.
+                payload = self.store.get(task.key)
+                computed = False
+                wall_s = 0.0
+                if payload is None:
+                    loop = asyncio.get_running_loop()
+                    started = time.perf_counter()
+                    shard = await loop.run_in_executor(
+                        self._ensure_pool(), run_seed_shard, task.shard
+                    )
+                    wall_s = time.perf_counter() - started
+                    payload = encode_seed_shard(shard)
+                    path = self.store.put(
+                        task.key,
+                        payload,
+                        meta={
+                            "service": True,
+                            "tenant": execution.owner_tenant,
+                            "label": task.label,
+                        },
+                    )
+                    computed = True
+                    self._count("service.shards.executed")
+                    try:
+                        size = path.stat().st_size
+                    except OSError:
+                        size = len(str(payload))
+                    self._blob_sizes.append(size)
+                    self._tenant_keys.setdefault(execution.owner_tenant, {})[
+                        task.key
+                    ] = size
+                else:
+                    self._count("service.shards.cached")
+                execution.state = "done"
+                return {
+                    "payload": payload,
+                    "computed": computed,
+                    "wall_s": wall_s,
+                }
+        except asyncio.CancelledError:
+            execution.state = "cancelled"
+            raise
+        except Exception:
+            execution.state = "failed"
+            raise
+        finally:
+            self._inflight.pop(task.key, None)
+
+    async def _run_job(self, job: Job) -> None:
+        try:
+            self._checkpoint(job, "running")
+            for task in job.plan.cached:
+                job.shard_progress[task.label] = {
+                    "label": task.label,
+                    "status": "done",
+                }
+                job.completed_shards += 1
+                job.emit(
+                    MonitorEventKind.SHARD_FINISHED,
+                    task.label,
+                    {"cached": True},
+                )
+            executions = []
+            for task in job.plan.pending:
+                execution = self._inflight.get(task.key)
+                if execution is None or execution.done:
+                    execution = self._schedule(task, job.tenant)
+                    job.shard_progress[task.label] = {
+                        "label": task.label,
+                        "status": "pending",
+                    }
+                    execution.jobs.append(job)
+                else:
+                    job.deduped += 1
+                    self._count("service.deduped")
+                    self._attach(job, execution)
+                executions.append(execution)
+            by_future = {
+                execution.future: execution for execution in executions
+            }
+            remaining = set(by_future)
+            while remaining:
+                done, remaining = await asyncio.wait(
+                    remaining, return_when=asyncio.FIRST_COMPLETED
+                )
+                for future in done:
+                    execution = by_future[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        raise ServiceError(
+                            f"shard {execution.task.label} failed: {exc}"
+                        ) from exc
+                    self._finish_shard(job, execution, future.result())
+                    self._checkpoint(job, "running")
+            result = merge_campaign(job.spec, self.store)
+            job.result_text = result.to_json()
+            job.status = "complete"
+            self._count("service.completed")
+            self._checkpoint(job, "complete")
+            job.emit(
+                MonitorEventKind.RUN_FINISHED,
+                None,
+                {
+                    "status": "complete",
+                    "shards": job.total,
+                    "cached": job.cached,
+                    "deduped": job.deduped,
+                },
+            )
+        except asyncio.CancelledError:
+            job.status = "cancelled"
+            self._count("service.cancelled")
+            self._checkpoint(job, "partial")
+            job.emit(
+                MonitorEventKind.RUN_FINISHED,
+                None,
+                {"status": "cancelled", "completed": job.completed_shards},
+            )
+        except Exception as exc:
+            job.status = "failed"
+            job.error = str(exc)
+            self._count("service.failed")
+            self._checkpoint(job, "partial")
+            job.emit(
+                MonitorEventKind.RUN_FINISHED,
+                None,
+                {"status": "failed", "error": job.error},
+            )
+        finally:
+            job.event_signal.set()
+
+    def _finish_shard(
+        self, job: Job, execution: ShardExecution, outcome: dict
+    ) -> None:
+        label = execution.task.label
+        job.completed_shards += 1
+        progress = {"label": label, "status": "done"}
+        payload: dict = {}
+        if outcome["computed"]:
+            progress["wall_s"] = round(outcome["wall_s"], 6)
+            payload["wall_s"] = progress["wall_s"]
+        else:
+            payload["cached"] = True
+        job.shard_progress[label] = progress
+        job.emit(MonitorEventKind.SHARD_FINISHED, label, payload)
+        shard = decode_seed_shard(outcome["payload"])
+        if shard.snapshot is not None:
+            # One sealed full-increment delta per shard: ShardDeltaFold
+            # (or any PR-8 stream reader) reconstructs the merged
+            # telemetry view exactly.
+            job.emit(
+                MonitorEventKind.SNAPSHOT_DELTA,
+                label,
+                {"delta": diff_snapshots(None, shard.snapshot, seq=0)},
+            )
+
+    def _checkpoint(self, job: Job, status: str) -> None:
+        computed = job.completed_shards - job.cached
+        checkpoint_manifest(
+            self.store,
+            job.spec,
+            job.plan,
+            max(0, computed),
+            status,
+            jobs=self.workers,
+            started_utc=job.started_utc,
+            progress=job.progress(),
+        )
+
+    # --------------------------------------------------------------- queries
+    def job(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return job
+
+    def job_documents(self) -> List[dict]:
+        return [job.to_dict() for job in self.jobs.values()]
+
+    async def job_events(self, job_id: str):
+        """Async-iterate a job's events: full replay, then live tail.
+
+        Terminates when the job reaches a terminal status and every
+        event has been yielded — multiple concurrent subscribers each
+        get the complete ordered stream.
+        """
+        job = self.job(job_id)
+        sent = 0
+        while True:
+            job.event_signal.clear()
+            while sent < len(job.events):
+                yield job.events[sent]
+                sent += 1
+            if job.is_done and sent == len(job.events):
+                return
+            await job.event_signal.wait()
+
+    # ---------------------------------------------------------- maintenance
+    def gc(
+        self,
+        max_age_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        dry_run: bool = False,
+    ) -> GcReport:
+        """Run (or preview) store gc and release freed tenant budget."""
+        report = self.store.gc(
+            max_age_s=max_age_s, max_bytes=max_bytes, dry_run=dry_run
+        )
+        if not dry_run and report.removed_keys:
+            removed = set(report.removed_keys)
+            for keys in self._tenant_keys.values():
+                for key in removed.intersection(keys):
+                    del keys[key]
+        return report
+
+    def capacity(self) -> dict:
+        """The capacity document: census, quotas, per-tenant usage, and
+        a gc *dry run* showing what a real pass would evict."""
+        tenants = {}
+        names = set(self._tenant_keys) | {
+            job.tenant for job in self.jobs.values()
+        }
+        for tenant in sorted(names):
+            tenants[tenant] = {
+                "bytes": self.tenant_bytes(tenant),
+                "inflight_shards": self._tenant_inflight(tenant),
+            }
+        dry_run = self.store.gc(
+            max_bytes=self.quota.max_store_bytes, dry_run=True
+        )
+        return {
+            "schema": SERVICE_SCHEMA,
+            "kind": "service.capacity",
+            "stats": self.store.stats().to_dict(),
+            "quota": {
+                "max_inflight_shards": self.quota.max_inflight_shards,
+                "max_store_bytes": self.quota.max_store_bytes,
+                "retry_after_s": self.quota.retry_after_s,
+            },
+            "tenants": tenants,
+            "gc_dry_run": dry_run.to_dict(),
+        }
+
+    # ------------------------------------------------------------- shutdown
+    async def shutdown(self) -> None:
+        """Graceful stop: cancel in-flight work, checkpoint every
+        incomplete job's manifest as ``partial`` so ``repro campaign
+        resume`` completes it byte-identically."""
+        if self._closed:
+            return
+        self._closed = True
+        tasks = []
+        for execution in list(self._inflight.values()):
+            if execution.future is not None and not execution.future.done():
+                execution.future.cancel()
+                tasks.append(execution.future)
+        for job in self.jobs.values():
+            if job.task is not None and not job.task.done():
+                job.task.cancel()
+                tasks.append(job.task)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None

@@ -1,0 +1,456 @@
+"""The asyncio HTTP front of the campaign service.
+
+A deliberately small, dependency-free HTTP/1.1 server over
+:func:`asyncio.start_server`: every connection carries exactly one
+request (``Connection: close``), bodies are JSON documents from
+:mod:`repro.service.wire`, and the one streaming endpoint writes
+monitor-event JSONL lines as they happen (no ``Content-Length``; the
+stream ends when the connection closes).
+
+Routes::
+
+    POST /v1/campaigns          submit a CampaignSpec  -> 202 job doc
+                                (429 + Retry-After on quota rejection)
+    GET  /v1/jobs               every job document
+    GET  /v1/jobs/<id>          one job document
+    GET  /v1/jobs/<id>/events   streamed JSONL: header record, then
+                                monitor events (replay + live tail)
+    GET  /v1/jobs/<id>/result   the merged campaign result — the exact
+                                canonical bytes ``repro campaign run``
+                                writes (409 until the job completes)
+    GET  /v1/capacity           store census, quotas, gc dry-run preview
+    POST /v1/gc                 run store gc (body: max_age_s/max_bytes)
+    GET  /v1/metrics            service.* and cache.* counter values
+    GET  /v1/healthz            liveness probe
+
+Tenancy rides the ``x-repro-tenant`` request header; absent means the
+shared ``default`` tenant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from typing import Optional, TextIO, Tuple
+
+from ..campaign.store import ResultStore
+from ..errors import CampaignError, QuotaExceeded, ServiceError
+from ..telemetry.registry import MetricsRegistry
+from .jobs import JobManager, TenantQuota
+from .wire import (
+    DEFAULT_PORT,
+    DEFAULT_TENANT,
+    SERVICE_SCHEMA,
+    TENANT_HEADER,
+    encode_event_line,
+    error_document,
+    parse_json_body,
+    stream_header_record,
+)
+
+#: Largest accepted request body (campaign specs are small).
+MAX_BODY_BYTES = 1 << 20
+
+#: Largest accepted request-head size (request line + headers).
+MAX_HEAD_BYTES = 1 << 16
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _response_head(status: int, content_type: str, extra: dict) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    for name, value in extra.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+class ServiceServer:
+    """One listening socket serving one :class:`JobManager`."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ---------------------------------------------------------------- server
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.manager.shutdown()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------ connection
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                method, path, headers, body = request
+                await self._route(method, path, headers, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # never let a handler kill the server
+            try:
+                await self._send_json(
+                    writer, 500, error_document(500, f"internal error: {exc}")
+                )
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, dict, bytes]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            return None
+        except asyncio.IncompleteReadError:
+            return None
+        if len(head) > MAX_HEAD_BYTES:
+            return None
+        text = head.decode("latin-1")
+        request_line, _, header_block = text.partition("\r\n")
+        parts = request_line.split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers = {}
+        for line in header_block.split("\r\n"):
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(f"request body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method, path, headers, body
+
+    # ----------------------------------------------------------------- routes
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        headers: dict,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        tenant = headers.get(TENANT_HEADER, DEFAULT_TENANT) or DEFAULT_TENANT
+        try:
+            if path == "/v1/campaigns" and method == "POST":
+                await self._submit(writer, body, tenant)
+            elif path == "/v1/jobs" and method == "GET":
+                await self._send_json(
+                    writer,
+                    200,
+                    {
+                        "schema": SERVICE_SCHEMA,
+                        "kind": "service.jobs",
+                        "jobs": self.manager.job_documents(),
+                    },
+                )
+            elif path.startswith("/v1/jobs/") and method == "GET":
+                await self._job_route(writer, path[len("/v1/jobs/") :])
+            elif path == "/v1/capacity" and method == "GET":
+                await self._send_json(writer, 200, self.manager.capacity())
+            elif path == "/v1/gc" and method == "POST":
+                await self._gc(writer, body)
+            elif path == "/v1/metrics" and method == "GET":
+                await self._send_json(
+                    writer,
+                    200,
+                    {
+                        "schema": SERVICE_SCHEMA,
+                        "kind": "service.metrics",
+                        "counters": self.manager.counter_values(),
+                        "store": self.manager.store.counter_values(),
+                    },
+                )
+            elif path == "/v1/healthz" and method == "GET":
+                await self._send_json(
+                    writer, 200, {"status": "ok", "schema": SERVICE_SCHEMA}
+                )
+            elif path in ("/v1/campaigns", "/v1/gc") or path.startswith("/v1/"):
+                status = 405 if self._known_path(path) else 404
+                await self._send_json(
+                    writer,
+                    status,
+                    error_document(status, f"{method} {path} not supported"),
+                )
+            else:
+                await self._send_json(
+                    writer, 404, error_document(404, f"no route for {path}")
+                )
+        except QuotaExceeded as exc:
+            await self._send_json(
+                writer,
+                429,
+                error_document(429, str(exc), retry_after_s=exc.retry_after_s),
+                extra={"Retry-After": str(max(1, int(exc.retry_after_s)))},
+            )
+        except CampaignError as exc:
+            await self._send_json(writer, 400, error_document(400, str(exc)))
+        except ServiceError as exc:
+            status = 404 if "unknown job" in str(exc) else 400
+            await self._send_json(
+                writer, status, error_document(status, str(exc))
+            )
+
+    @staticmethod
+    def _known_path(path: str) -> bool:
+        return path in (
+            "/v1/campaigns",
+            "/v1/jobs",
+            "/v1/capacity",
+            "/v1/gc",
+            "/v1/metrics",
+            "/v1/healthz",
+        ) or path.startswith("/v1/jobs/")
+
+    async def _submit(
+        self, writer: asyncio.StreamWriter, body: bytes, tenant: str
+    ) -> None:
+        data = parse_json_body(body, "campaign spec")
+        job = self.manager.submit(data, tenant=tenant)
+        await self._send_json(writer, 202, job.to_dict())
+
+    async def _gc(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        options = parse_json_body(body, "gc request") if body else {}
+        report = self.manager.gc(
+            max_age_s=options.get("max_age_s"),
+            max_bytes=options.get("max_bytes"),
+            dry_run=bool(options.get("dry_run", False)),
+        )
+        await self._send_json(
+            writer,
+            200,
+            {
+                "schema": SERVICE_SCHEMA,
+                "kind": "service.gc",
+                "report": report.to_dict(),
+            },
+        )
+
+    async def _job_route(
+        self, writer: asyncio.StreamWriter, rest: str
+    ) -> None:
+        job_id, _, sub = rest.partition("/")
+        job = self.manager.job(job_id)
+        if not sub:
+            await self._send_json(writer, 200, job.to_dict())
+        elif sub == "events":
+            await self._stream_events(writer, job)
+        elif sub == "result":
+            if job.status != "complete" or job.result_text is None:
+                await self._send_json(
+                    writer,
+                    409,
+                    error_document(
+                        409,
+                        f"job {job.job_id} is {job.status}; "
+                        "result exists only once complete",
+                    ),
+                )
+            else:
+                payload = job.result_text.encode("utf-8")
+                writer.write(
+                    _response_head(
+                        200,
+                        "application/json",
+                        {"Content-Length": str(len(payload))},
+                    )
+                )
+                writer.write(payload)
+                await writer.drain()
+        else:
+            await self._send_json(
+                writer, 404, error_document(404, f"no job sub-resource {sub!r}")
+            )
+
+    async def _stream_events(self, writer: asyncio.StreamWriter, job) -> None:
+        writer.write(_response_head(200, "application/x-ndjson", {}))
+        writer.write(
+            encode_event_line(stream_header_record(job.to_dict())).encode(
+                "utf-8"
+            )
+        )
+        await writer.drain()
+        async for event in self.manager.job_events(job.job_id):
+            writer.write(encode_event_line(event).encode("utf-8"))
+            await writer.drain()
+
+    # --------------------------------------------------------------- sending
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        document: dict,
+        extra: Optional[dict] = None,
+    ) -> None:
+        payload = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        head_extra = {"Content-Length": str(len(payload))}
+        if extra:
+            head_extra.update(extra)
+        writer.write(_response_head(status, "application/json", head_extra))
+        writer.write(payload)
+        await writer.drain()
+
+
+# --------------------------------------------------------------- entrypoints
+def build_manager(
+    cache_dir: str,
+    jobs: int = 1,
+    executor: Optional[str] = None,
+    max_inflight: Optional[int] = None,
+    max_store_bytes: Optional[int] = None,
+    retry_after_s: float = 1.0,
+    registry: Optional[MetricsRegistry] = None,
+) -> JobManager:
+    """Wire a :class:`JobManager` from CLI-shaped options."""
+    store = ResultStore(cache_dir)
+    quota = TenantQuota(
+        max_inflight_shards=max_inflight,
+        max_store_bytes=max_store_bytes,
+        retry_after_s=retry_after_s,
+    )
+    return JobManager(
+        store, jobs=jobs, quota=quota, executor=executor, registry=registry
+    )
+
+
+def run_service(
+    manager: JobManager,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    out: Optional[TextIO] = None,
+    ready: Optional[threading.Event] = None,
+) -> int:
+    """Serve until SIGINT/SIGTERM; blocks the calling thread.
+
+    Prints (and flushes) one ``listening on <url>`` line once the
+    socket is bound, so wrappers can wait for readiness by reading
+    stdout.  Shutdown is graceful: in-flight jobs are cancelled and
+    their manifests checkpointed as ``partial`` for ``repro campaign
+    resume``.
+    """
+
+    async def _serve() -> None:
+        server = ServiceServer(manager, host=host, port=port)
+        await server.start()
+        if out is not None:
+            out.write(f"listening on {server.url}\n")
+            out.flush()
+        if ready is not None:
+            ready.set()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without signal support
+        try:
+            await stop.wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+class ServiceThread:
+    """In-process service harness (tests, benchmarks).
+
+    Runs a :class:`ServiceServer` on a private event loop in a daemon
+    thread; entering the context manager yields once the socket is
+    bound. ``url`` is the base URL to point a
+    :class:`~repro.service.client.ServiceClient` at.
+    """
+
+    def __init__(
+        self, manager: JobManager, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.manager = manager
+        self.server = ServiceServer(manager, host=host, port=port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def __enter__(self) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ServiceError("service thread failed to start in 30s")
+        return self
+
+    def _run(self) -> None:
+        async def _serve() -> None:
+            self._stop = asyncio.Event()
+            await self.server.start()
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.stop()
+
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(_serve())
+        finally:
+            self._loop.close()
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)

@@ -1,0 +1,137 @@
+"""Wire documents of the campaign service.
+
+Everything the service puts on (or reads off) the wire is schema-
+versioned JSON, built here so the server, the client, and the tests
+agree on one layout:
+
+* **job documents** — the machine-readable state of one submitted
+  campaign (mirrors the shape of ``repro campaign watch --json``
+  boards: counts first, detail nested);
+* **error documents** — ``{"error": {...}}`` envelopes carrying the
+  HTTP status, a human-readable message, and ``retry_after_s`` on
+  quota rejections;
+* **event lines** — the streaming endpoint re-uses the PR-8 monitor
+  event protocol verbatim: each line is exactly what
+  :class:`~repro.monitor.stream.EventStreamWriter` would have appended
+  to an ``events.jsonl`` (one ``service-manifest`` header record, then
+  ``event`` records), so existing stream readers parse a service event
+  stream unchanged.
+
+No I/O here: pure builders and parsers over plain dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Tuple, Union
+
+from ..errors import ServiceError
+from ..monitor.events import MONITOR_STREAM_SCHEMA, MonitorEvent
+
+#: Service wire-document layout version (job and error documents; event
+#: records ride the monitor stream schema instead).
+SERVICE_SCHEMA = 1
+
+#: Default TCP port of ``repro serve``.
+DEFAULT_PORT = 8735
+
+#: HTTP header naming the submitting tenant (quota accounting).
+TENANT_HEADER = "x-repro-tenant"
+
+#: Tenant used when a client does not identify itself.
+DEFAULT_TENANT = "default"
+
+
+# ------------------------------------------------------------------ errors
+def error_document(
+    status: int, message: str, retry_after_s: Optional[float] = None
+) -> dict:
+    """The JSON body of a non-2xx response."""
+    error = {"schema": SERVICE_SCHEMA, "status": status, "message": message}
+    if retry_after_s is not None:
+        error["retry_after_s"] = retry_after_s
+    return {"error": error}
+
+
+def raise_for_error(status: int, body: bytes) -> None:
+    """Raise the typed exception matching an error response body."""
+    from ..errors import QuotaExceeded
+
+    try:
+        document = json.loads(body.decode("utf-8"))
+        error = document["error"]
+        message = str(error["message"])
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+        message = f"service returned HTTP {status}"
+        error = {}
+    if status == 429:
+        raise QuotaExceeded(
+            message, retry_after_s=float(error.get("retry_after_s", 1.0))
+        )
+    raise ServiceError(f"HTTP {status}: {message}")
+
+
+# ---------------------------------------------------------------- requests
+def parse_json_body(body: bytes, what: str) -> dict:
+    """Decode a request/response body that must be one JSON object."""
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServiceError(f"{what} is not valid JSON: {exc}") from None
+    if not isinstance(document, dict):
+        raise ServiceError(f"{what} must be a JSON object")
+    return document
+
+
+# -------------------------------------------------------------- event lines
+def stream_header_record(job_document: dict) -> dict:
+    """The first line of a job's event stream (the stream manifest)."""
+    return {
+        "type": "service-manifest",
+        "schema": MONITOR_STREAM_SCHEMA,
+        "kind": "service.stream",
+        "job": job_document,
+    }
+
+
+def encode_event_line(record: Union[MonitorEvent, dict]) -> str:
+    """One complete JSONL line for the streaming endpoint."""
+    if isinstance(record, MonitorEvent):
+        record = {"schema": MONITOR_STREAM_SCHEMA, **record.to_dict()}
+    return json.dumps(record) + "\n"
+
+
+def decode_event_line(line: str) -> Optional[Tuple[str, dict]]:
+    """Parse one stream line into ``(record_type, record)``.
+
+    Blank lines yield ``None``; a structurally unreadable line raises
+    :class:`~repro.errors.ServiceError` (the stream is same-process
+    framed — torn lines cannot happen over a healthy connection).
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except ValueError as exc:
+        raise ServiceError(f"malformed event stream line: {exc}") from None
+    if not isinstance(record, dict):
+        raise ServiceError("event stream line is not a JSON object")
+    return str(record.get("type", "?")), record
+
+
+# ------------------------------------------------------------ job documents
+def validate_job_document(document: dict) -> dict:
+    """Client-side check of a job document's invariant fields."""
+    if not isinstance(document, dict):
+        raise ServiceError("job document must be a JSON object")
+    schema = document.get("schema", SERVICE_SCHEMA)
+    if schema != SERVICE_SCHEMA:
+        raise ServiceError(
+            f"job document schema {schema!r} is not supported "
+            f"(this build reads schema {SERVICE_SCHEMA})"
+        )
+    for field in ("job_id", "status", "total"):
+        if field not in document:
+            raise ServiceError(f"job document is missing field {field!r}")
+    return document

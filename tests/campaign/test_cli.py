@@ -98,6 +98,58 @@ class TestCampaignRun:
         assert "removed 4 blobs" in text
         assert ResultStore(cache).keys() == []
 
+    def test_gc_dry_run_reports_without_deleting(self, tmp_path, spec_file):
+        cache = str(tmp_path / "cache")
+        run_cli("campaign", "run", str(spec_file), "--cache-dir", cache)
+        keys_before = ResultStore(cache).keys()
+        code, text = run_cli(
+            "campaign", "gc", "--cache-dir", cache,
+            "--max-bytes", "0", "--dry-run",
+        )
+        assert code == 0
+        assert "would remove 4 blobs" in text
+        assert "nothing deleted" in text
+        # every candidate row names its key prefix, bytes and age
+        for key in keys_before:
+            assert key[:16] in text
+        # and the store is untouched
+        assert ResultStore(cache).keys() == keys_before
+
+    def test_gc_dry_run_on_empty_store(self, tmp_path):
+        code, text = run_cli(
+            "campaign", "gc", "--cache-dir", str(tmp_path / "cache"),
+            "--dry-run",
+        )
+        assert code == 0
+        assert "would remove 0 blobs" in text
+
+
+class TestCampaignWatchJson:
+    def test_watch_json_emits_one_board_document(self, tmp_path, spec_file):
+        cache = str(tmp_path / "cache")
+        run_cli("campaign", "run", str(spec_file), "--cache-dir", cache)
+        code, text = run_cli(
+            "campaign", "watch", str(spec_file), "--cache-dir", cache,
+            "--once", "--json",
+        )
+        assert code == 0
+        document = json.loads(text)
+        assert document["kind"] == "campaign.board"
+        assert document["name"] == "cli-camp"
+        assert document["status"] == "complete"
+        assert document["completed"] == 4
+        assert document["progress"]["counts"] == {"done": 4}
+
+    def test_watch_json_reports_absent_manifest(self, tmp_path, spec_file):
+        code, text = run_cli(
+            "campaign", "watch", str(spec_file),
+            "--cache-dir", str(tmp_path / "cache"), "--once", "--json",
+        )
+        assert code == 1
+        document = json.loads(text)
+        assert document["status"] == "absent"
+        assert document["name"] == "cli-camp"
+
 
 class TestCacheFlags:
     def test_multiseed_run_reports_cache_traffic(self, tmp_path):

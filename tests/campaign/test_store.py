@@ -235,6 +235,42 @@ class TestMaintenance:
         # gc cleared the LRU front, so survivors re-verify from disk
         assert store.get(paths[2].stem) == {"i": 2}
 
+    def test_gc_dry_run_previews_without_touching_anything(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        paths = [store.put(key_of(f"d{i}"), {"i": i}) for i in range(3)]
+        for offset, path in enumerate(paths):
+            stamp = os.stat(path).st_mtime - 100 + offset
+            os.utime(path, (stamp, stamp))
+        before = store.counter_values()
+
+        report = store.gc(max_bytes=0, dry_run=True)
+        assert report.dry_run
+        assert report.removed == 3
+        assert report.removed_keys == [path.stem for path in paths]
+        # per-candidate detail: key, bytes, oldest-first age ordering
+        assert [entry["key"] for entry in report.removed_entries] == [
+            path.stem for path in paths
+        ]
+        assert all(entry["bytes"] > 0 for entry in report.removed_entries)
+        ages = [entry["age_s"] for entry in report.removed_entries]
+        assert ages == sorted(ages, reverse=True)
+        assert report.to_dict()["dry_run"] is True
+
+        # nothing moved: blobs, counters and the LRU front all survive
+        assert store.keys() == sorted(path.stem for path in paths)
+        assert store.counter_values() == before
+        assert store._lru  # the puts above are still cached in memory
+
+    def test_gc_dry_run_skips_corrupt_quarantine(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        bad_path = store.put(key_of("dbad"), {"x": 2})
+        bad_path.write_text("{")
+        report = store.gc(dry_run=True)
+        # the damaged blob is left in place for a real pass to handle
+        assert report.removed == 0
+        assert store.counter_values()["corrupt"] == 0
+        assert bad_path.exists()
+
     def test_shared_registry_aggregates_counters(self, tmp_path):
         registry = MetricsRegistry()
         store = ResultStore(str(tmp_path / "cache"), registry=registry)

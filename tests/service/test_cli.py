@@ -1,0 +1,160 @@
+"""Tests for the service CLI: ``repro submit``, ``repro jobs``, serve.
+
+``submit`` and ``jobs`` run in-process against a
+:class:`~repro.service.server.ServiceThread`; the full ``repro serve``
+process lifecycle (SIGTERM shutdown included) runs once as a subprocess
+round trip.
+"""
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.cli import main
+from repro.service import JobManager, ServiceThread
+from repro.utils.io import read_jsonl_records
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    spec = CampaignSpec(
+        name="svc-cli", kernels=("Haar",), error_rates=(0.0,), seeds=(1, 2)
+    )
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    return path
+
+
+@pytest.fixture
+def service(tmp_path):
+    manager = JobManager(ResultStore(str(tmp_path / "svc-store")))
+    with ServiceThread(manager) as thread:
+        yield thread
+
+
+class TestSubmitCommand:
+    def test_submit_wait_writes_events_and_result(
+        self, tmp_path, spec_file, service
+    ):
+        events = str(tmp_path / "events.jsonl")
+        result = str(tmp_path / "result.json")
+        code, text = run_cli(
+            "submit", str(spec_file), "--url", service.url,
+            "--events", events, "--result", result,
+        )
+        assert code == 0
+        assert "complete" in text
+        assert "merged result written" in text
+
+        records = read_jsonl_records(events)
+        assert records[0]["type"] == "service-manifest"
+        kinds = [r.get("kind") for r in records if r.get("type") == "event"]
+        assert kinds[-1] == "run_finished"
+
+        document = json.loads(open(result).read())
+        assert document["name"] == "svc-cli"
+
+        # the streamed result equals a direct CLI run on a fresh store
+        direct = str(tmp_path / "direct.json")
+        code, _ = run_cli(
+            "campaign", "run", str(spec_file),
+            "--cache-dir", str(tmp_path / "direct-store"),
+            "--result", direct,
+        )
+        assert code == 0
+        assert open(result, "rb").read() == open(direct, "rb").read()
+
+    def test_fire_and_forget_submit_prints_job_id(self, spec_file, service):
+        code, text = run_cli("submit", str(spec_file), "--url", service.url)
+        assert code == 0
+        assert "submitted job-0001" in text
+
+    def test_submit_json_emits_final_job_document(self, spec_file, service):
+        code, text = run_cli(
+            "submit", str(spec_file), "--url", service.url, "--wait", "--json"
+        )
+        assert code == 0
+        document = json.loads(text)
+        assert document["status"] == "complete"
+        assert document["completed_shards"] == 2
+
+    def test_submit_against_dead_service_reports_error(self, spec_file):
+        code, text = run_cli(
+            "submit", str(spec_file), "--url", "http://127.0.0.1:9"
+        )
+        assert code == 1
+        assert "error:" in text
+
+
+class TestJobsCommand:
+    def test_jobs_table_and_json(self, spec_file, service):
+        code, text = run_cli("jobs", "--url", service.url)
+        assert code == 0
+        assert "no jobs" in text
+
+        code, _ = run_cli(
+            "submit", str(spec_file), "--url", service.url, "--wait"
+        )
+        assert code == 0
+
+        code, text = run_cli("jobs", "--url", service.url)
+        assert code == 0
+        assert "job-0001" in text and "complete" in text
+
+        code, text = run_cli("jobs", "--url", service.url, "--json")
+        assert code == 0
+        document = json.loads(text)
+        assert document["kind"] == "service.jobs"
+        assert document["jobs"][0]["job_id"] == "job-0001"
+
+
+class TestServeProcess:
+    def test_serve_submit_sigterm_round_trip(self, tmp_path, spec_file):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        log = open(tmp_path / "serve.log", "w")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--cache-dir", str(tmp_path / "store"),
+            ],
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        try:
+            url = None
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                text = (tmp_path / "serve.log").read_text()
+                if "listening on " in text:
+                    url = text.split("listening on ", 1)[1].splitlines()[0]
+                    break
+                time.sleep(0.1)
+            assert url, "serve never reported its URL"
+
+            code, text = run_cli(
+                "submit", str(spec_file), "--url", url, "--wait"
+            )
+            assert code == 0
+            assert "complete" in text
+        finally:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+            log.close()

@@ -1,0 +1,244 @@
+"""HTTP-level tests: real sockets, concurrent clients, wire behavior.
+
+Each test runs a :class:`~repro.service.server.ServiceThread` (private
+event loop in a daemon thread, ephemeral port) and talks to it with the
+stdlib :class:`~repro.service.client.ServiceClient` — the same harness
+the overhead benchmark uses.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.campaign.runner import merge_campaign, run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.errors import QuotaExceeded, ServiceError
+from repro.service import (
+    JobManager,
+    ServiceClient,
+    ServiceThread,
+    TenantQuota,
+)
+
+SPEC = {
+    "name": "http-camp",
+    "kernels": ["Haar"],
+    "error_rates": [0.0],
+    "seeds": [1, 2, 3],
+}
+
+OVERLAPPING = {
+    "name": "http-camp-b",
+    "kernels": ["Haar"],
+    "error_rates": [0.0],
+    "seeds": [2, 3, 4],  # seeds 2 and 3 shared with SPEC
+}
+
+
+@pytest.fixture
+def manager(tmp_path):
+    return JobManager(ResultStore(str(tmp_path / "store")))
+
+
+class TestEndToEnd:
+    def test_submit_wait_result_byte_identical_to_direct_run(
+        self, tmp_path, manager
+    ):
+        with ServiceThread(manager) as service:
+            client = ServiceClient(service.url)
+            assert client.healthz()["status"] == "ok"
+            job = client.submit(dict(SPEC))
+            assert job["status"] in ("running", "complete")
+            final = client.wait(job["job_id"])
+            assert final["status"] == "complete"
+            assert final["completed_shards"] == 3
+            service_bytes = client.result_bytes(job["job_id"])
+
+        direct_store = ResultStore(str(tmp_path / "direct"))
+        spec = CampaignSpec.from_dict(SPEC)
+        run_campaign(spec, direct_store)
+        direct_bytes = merge_campaign(spec, direct_store).to_json().encode()
+        assert service_bytes == direct_bytes
+
+    def test_event_stream_has_header_then_events(self, manager):
+        with ServiceThread(manager) as service:
+            client = ServiceClient(service.url)
+            job = client.submit(dict(SPEC))
+            records = list(client.stream_events(job["job_id"]))
+        assert records[0][0] == "service-manifest"
+        assert records[0][1]["job"]["job_id"] == job["job_id"]
+        events = [record for kind, record in records if kind == "event"]
+        assert [event["seq"] for event in events] == list(range(len(events)))
+        assert events[-1]["kind"] == "run_finished"
+
+    def test_result_before_completion_conflicts(self, manager):
+        with ServiceThread(manager) as service:
+            client = ServiceClient(service.url)
+            job = client.submit(dict(SPEC))
+            try:
+                client.result_bytes(job["job_id"])
+            except ServiceError as exc:
+                assert "409" in str(exc)
+            else:  # the tiny campaign may legitimately finish first
+                assert client.job(job["job_id"])["status"] == "complete"
+
+    def test_jobs_listing_and_metrics(self, manager):
+        with ServiceThread(manager) as service:
+            client = ServiceClient(service.url, tenant="tester")
+            job = client.submit(dict(SPEC))
+            client.wait(job["job_id"])
+            jobs = client.jobs()
+            assert len(jobs) == 1
+            assert jobs[0]["tenant"] == "tester"
+            metrics = client.metrics()
+            assert metrics["counters"]["service.submitted"] == 1
+            assert metrics["counters"]["service.completed"] == 1
+            assert metrics["store"]["write"] == 3
+
+    def test_capacity_and_gc_endpoints(self, manager):
+        with ServiceThread(manager) as service:
+            client = ServiceClient(service.url)
+            job = client.submit(dict(SPEC))
+            client.wait(job["job_id"])
+            capacity = client.capacity()
+            assert capacity["stats"]["entries"] == 3
+            assert capacity["tenants"]["default"]["bytes"] > 0
+            # dry run: reports candidates, removes nothing
+            preview = client.gc(max_bytes=0, dry_run=True)["report"]
+            assert preview["dry_run"] is True
+            assert preview["removed"] == 3
+            assert len(preview["removed_entries"]) == 3
+            assert client.capacity()["stats"]["entries"] == 3
+            # real pass: store drained, tenant budget credited back
+            report = client.gc(max_bytes=0)["report"]
+            assert report["removed"] == 3
+            capacity = client.capacity()
+            assert capacity["stats"]["entries"] == 0
+            assert capacity["tenants"]["default"]["bytes"] == 0
+
+    def test_unknown_routes_and_jobs(self, manager):
+        with ServiceThread(manager) as service:
+            client = ServiceClient(service.url)
+            with pytest.raises(ServiceError, match="404"):
+                client.job("job-9999")
+            with pytest.raises(ServiceError, match="404"):
+                client._request("GET", "/v2/nope")
+            with pytest.raises(ServiceError, match="405"):
+                client._request("POST", "/v1/jobs", body={})
+
+    def test_malformed_spec_is_a_400(self, manager):
+        with ServiceThread(manager) as service:
+            client = ServiceClient(service.url)
+            with pytest.raises(ServiceError, match="400"):
+                client.submit({"name": "x", "kernels": ["NoSuchKernel"]})
+
+
+class TestConcurrentClients:
+    def test_overlapping_clients_compute_each_shared_shard_once(
+        self, manager
+    ):
+        """Two clients, overlapping specs: shared shards run once."""
+        results = {}
+
+        def submit(name, spec, tenant, url):
+            client = ServiceClient(url, tenant=tenant)
+            job = client.submit(dict(spec))
+            results[name] = client.wait(job["job_id"])
+
+        with ServiceThread(manager) as service:
+            threads = [
+                threading.Thread(
+                    target=submit, args=("a", SPEC, "alice", service.url)
+                ),
+                threading.Thread(
+                    target=submit,
+                    args=("b", OVERLAPPING, "bob", service.url),
+                ),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            metrics = ServiceClient(service.url).metrics()
+
+        assert results["a"]["status"] == "complete"
+        assert results["b"]["status"] == "complete"
+        counters = metrics["counters"]
+        # 4 unique shards across both specs: every one computed exactly
+        # once no matter how the two submissions interleaved.
+        assert counters["service.shards.executed"] == 4
+        assert metrics["store"]["write"] == 4
+        # and any overlap that was in flight at plan time was attached,
+        # not re-executed
+        executed_plus_cached = counters["service.shards.executed"] + counters.get(
+            "service.shards.cached", 0
+        )
+        deduped = counters.get("service.deduped", 0)
+        assert executed_plus_cached + deduped == 6  # 3 shards per job
+
+    def test_back_to_back_submits_dedupe_inflight_shards(self, manager):
+        """Sequential submits while shards are in flight: dedup > 0."""
+        with ServiceThread(manager) as service:
+            client_a = ServiceClient(service.url, tenant="alice")
+            client_b = ServiceClient(service.url, tenant="bob")
+            job_a = client_a.submit(dict(SPEC))
+            job_b = client_b.submit(dict(OVERLAPPING))
+            client_a.wait(job_a["job_id"])
+            final_b = client_b.wait(job_b["job_id"])
+            metrics = ServiceClient(service.url).metrics()
+        assert final_b["deduped"] == 2  # seeds 2 and 3 attached to job A
+        assert metrics["counters"]["service.deduped"] == 2
+        assert metrics["counters"]["service.shards.executed"] == 4
+        assert metrics["store"]["write"] == 4
+
+
+class TestQuotaBackpressure:
+    def test_quota_rejection_is_429_and_retry_succeeds(self, tmp_path):
+        manager = JobManager(
+            ResultStore(str(tmp_path / "store")),
+            quota=TenantQuota(max_inflight_shards=3, retry_after_s=2.0),
+        )
+        with ServiceThread(manager) as service:
+            client = ServiceClient(service.url, tenant="alice")
+            job_a = client.submit(dict(SPEC))  # occupies all 3 slots
+            with pytest.raises(QuotaExceeded) as excinfo:
+                client.submit(dict(OVERLAPPING))
+            assert excinfo.value.retry_after_s == 2.0
+            # capacity frees once the first job drains; the retry lands
+            client.wait(job_a["job_id"])
+            job_b = client.submit(dict(OVERLAPPING))
+            final = client.wait(job_b["job_id"])
+            metrics = ServiceClient(service.url).metrics()
+        assert final["status"] == "complete"
+        assert metrics["counters"]["service.rejected"] == 1
+        assert metrics["counters"]["service.submitted"] == 2
+
+    def test_429_carries_retry_after_header(self, tmp_path):
+        import http.client
+
+        manager = JobManager(
+            ResultStore(str(tmp_path / "store")),
+            quota=TenantQuota(max_inflight_shards=1, retry_after_s=7.0),
+        )
+        with ServiceThread(manager) as service:
+            client = ServiceClient(service.url)
+            client.submit(dict(SPEC, seeds=[1]))  # fills the only slot
+            connection = http.client.HTTPConnection(
+                client.host, client.port, timeout=30
+            )
+            try:
+                connection.request(
+                    "POST",
+                    "/v1/campaigns",
+                    body=json.dumps(OVERLAPPING).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                assert response.status == 429
+                assert response.getheader("Retry-After") == "7"
+                body = json.loads(response.read())
+                assert body["error"]["retry_after_s"] == 7.0
+            finally:
+                connection.close()

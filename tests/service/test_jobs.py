@@ -1,0 +1,340 @@
+"""Tests for the service job manager: dedup, quotas, byte identity.
+
+These drive :class:`~repro.service.jobs.JobManager` directly on a
+private event loop — the HTTP layer is exercised separately in
+``test_http.py``.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.campaign.runner import (
+    merge_campaign,
+    read_campaign_manifest,
+    run_campaign,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.errors import CampaignError, QuotaExceeded, ServiceError
+from repro.monitor.delta import ShardDeltaFold, fold_shard_views
+from repro.monitor.events import MonitorEventKind
+from repro.service import JobManager, TenantQuota
+
+SPEC = {
+    "name": "svc-camp",
+    "kernels": ["Haar"],
+    "error_rates": [0.0],
+    "seeds": [1, 2],
+}
+
+OVERLAPPING = {
+    "name": "svc-camp-b",
+    "kernels": ["Haar"],
+    "error_rates": [0.0],
+    "seeds": [2, 3],  # seed 2 shared with SPEC
+}
+
+
+def make_manager(tmp_path, **kwargs):
+    return JobManager(ResultStore(str(tmp_path / "store")), **kwargs)
+
+
+async def wait_job(job, timeout=120.0):
+    await asyncio.wait_for(asyncio.shield(job.task), timeout)
+    return job
+
+
+class TestLifecycle:
+    def test_submit_runs_to_completion(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            job = manager.submit(dict(SPEC))
+            assert job.status == "running"
+            assert job.total == 2
+            await wait_job(job)
+            return manager, job
+
+        manager, job = asyncio.run(scenario())
+        assert job.status == "complete"
+        assert job.completed_shards == 2
+        assert job.result_text is not None
+        counters = manager.counter_values()
+        assert counters["service.submitted"] == 1
+        assert counters["service.completed"] == 1
+        assert counters["service.shards.executed"] == 2
+
+    def test_result_bytes_match_direct_campaign_run(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            job = manager.submit(dict(SPEC))
+            await wait_job(job)
+            return job.result_text
+
+        service_text = asyncio.run(scenario())
+
+        direct_store = ResultStore(str(tmp_path / "direct"))
+        spec = CampaignSpec.from_dict(SPEC)
+        run_campaign(spec, direct_store)
+        direct_text = merge_campaign(spec, direct_store).to_json()
+        assert service_text == direct_text
+
+    def test_second_submit_is_fully_cached(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            await wait_job(manager.submit(dict(SPEC)))
+            job = manager.submit(dict(SPEC))
+            assert job.cached == 2  # planned entirely from the store
+            await wait_job(job)
+            return manager, job
+
+        manager, job = asyncio.run(scenario())
+        assert job.status == "complete"
+        assert manager.counter_values()["service.shards.executed"] == 2
+
+    def test_malformed_spec_raises_campaign_error(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            with pytest.raises(CampaignError):
+                manager.submit({"name": "x", "kernels": ["NoSuchKernel"]})
+
+        asyncio.run(scenario())
+
+    def test_unknown_job_raises(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            with pytest.raises(ServiceError, match="unknown job"):
+                manager.job("job-9999")
+
+        asyncio.run(scenario())
+
+
+class TestDedup:
+    def test_overlapping_jobs_share_inflight_shards(self, tmp_path):
+        """Two jobs overlapping on one shard: it is computed exactly once."""
+
+        async def scenario():
+            manager = make_manager(tmp_path)
+            # Submitted in the same loop tick: job A's executions are
+            # scheduled before job B plans, so B attaches to A's shard.
+            job_a = manager.submit(dict(SPEC))
+            job_b = manager.submit(dict(OVERLAPPING))
+            await wait_job(job_a)
+            await wait_job(job_b)
+            return manager, job_a, job_b
+
+        manager, job_a, job_b = asyncio.run(scenario())
+        assert job_a.status == "complete"
+        assert job_b.status == "complete"
+        assert job_a.deduped == 0
+        assert job_b.deduped == 1  # seed 2 attached to job A's execution
+        counters = manager.counter_values()
+        assert counters["service.deduped"] == 1
+        # three unique shards overall -> exactly three store writes
+        assert counters["service.shards.executed"] == 3
+        assert manager.store.counter_values()["write"] == 3
+
+    def test_deduped_job_still_merges_byte_identically(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            manager.submit(dict(SPEC))
+            job_b = manager.submit(dict(OVERLAPPING))
+            await wait_job(job_b)
+            return job_b.result_text
+
+        service_text = asyncio.run(scenario())
+        direct_store = ResultStore(str(tmp_path / "direct"))
+        spec = CampaignSpec.from_dict(OVERLAPPING)
+        run_campaign(spec, direct_store)
+        assert service_text == merge_campaign(spec, direct_store).to_json()
+
+
+class TestQuotas:
+    def test_inflight_quota_rejects_then_admits_after_drain(self, tmp_path):
+        async def scenario():
+            manager = make_manager(
+                tmp_path,
+                quota=TenantQuota(max_inflight_shards=2, retry_after_s=2.0),
+            )
+            job_a = manager.submit(dict(SPEC))  # 2 pending shards
+            await asyncio.sleep(0)  # let the job schedule its executions
+            with pytest.raises(QuotaExceeded) as excinfo:
+                manager.submit(dict(OVERLAPPING))  # would add 2 more
+            assert excinfo.value.retry_after_s == 2.0
+            await wait_job(job_a)
+            # capacity freed: the retry is admitted
+            job_b = manager.submit(dict(OVERLAPPING))
+            await wait_job(job_b)
+            return manager, job_b
+
+        manager, job_b = asyncio.run(scenario())
+        assert job_b.status == "complete"
+        counters = manager.counter_values()
+        assert counters["service.rejected"] == 1
+        assert counters["service.submitted"] == 2
+
+    def test_byte_quota_rejects_then_admits_after_gc(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            job_a = manager.submit(dict(SPEC))
+            await wait_job(job_a)
+            used = manager.tenant_bytes("default")
+            assert used > 0
+            # Budget below used + the estimated cost of one more shard.
+            manager.quota = TenantQuota(max_store_bytes=int(used * 1.2))
+            with pytest.raises(QuotaExceeded, match="budget"):
+                manager.submit(dict(OVERLAPPING))
+            # gc everything: attributed bytes drop to zero.
+            report = manager.gc(max_bytes=0)
+            assert report.removed == 2
+            assert manager.tenant_bytes("default") == 0
+            job_b = manager.submit(dict(OVERLAPPING))
+            await wait_job(job_b)
+            return manager, job_b
+
+        manager, job_b = asyncio.run(scenario())
+        assert job_b.status == "complete"
+        assert manager.counter_values()["service.rejected"] == 1
+
+    def test_tenants_are_accounted_separately(self, tmp_path):
+        async def scenario():
+            manager = make_manager(
+                tmp_path, quota=TenantQuota(max_inflight_shards=2)
+            )
+            job_a = manager.submit(dict(SPEC), tenant="alice")
+            await asyncio.sleep(0)
+            # bob's quota is untouched by alice's in-flight shards
+            job_b = manager.submit(dict(OVERLAPPING), tenant="bob")
+            await wait_job(job_a)
+            await wait_job(job_b)
+            return manager
+
+        manager = asyncio.run(scenario())
+        assert manager.tenant_bytes("alice") > 0
+        # bob only paid for his non-overlapping shard (seed 3); the
+        # shared seed-2 blob is attributed to alice, who scheduled it.
+        assert manager.tenant_bytes("bob") > 0
+        capacity = manager.capacity()
+        assert set(capacity["tenants"]) == {"alice", "bob"}
+
+
+class TestEvents:
+    def test_event_stream_replays_in_order_for_finished_job(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            job = manager.submit(dict(SPEC))
+            await wait_job(job)
+            events = []
+            async for event in manager.job_events(job.job_id):
+                events.append(event)
+            return events
+
+        events = asyncio.run(scenario())
+        kinds = [event.kind for event in events]
+        assert kinds.count(MonitorEventKind.SHARD_STARTED) == 2
+        assert kinds.count(MonitorEventKind.SHARD_FINISHED) == 2
+        assert kinds[-1] == MonitorEventKind.RUN_FINISHED
+        assert [event.seq for event in events] == list(range(len(events)))
+
+    def test_live_subscriber_sees_the_same_stream_as_replay(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            job = manager.submit(dict(SPEC))
+
+            async def collect():
+                return [e async for e in manager.job_events(job.job_id)]
+
+            live_task = asyncio.ensure_future(collect())
+            await wait_job(job)
+            live = await asyncio.wait_for(live_task, 30)
+            replay = [e async for e in manager.job_events(job.job_id)]
+            return live, replay
+
+        live, replay = asyncio.run(scenario())
+        assert [e.to_dict() for e in live] == [e.to_dict() for e in replay]
+
+    def test_snapshot_deltas_fold_to_the_merged_telemetry(self, tmp_path):
+        spec_data = dict(SPEC, collect_telemetry=True)
+
+        async def scenario():
+            manager = make_manager(tmp_path)
+            job = manager.submit(spec_data)
+            await wait_job(job)
+            return job
+
+        job = asyncio.run(scenario())
+        deltas = [
+            event
+            for event in job.events
+            if event.kind == MonitorEventKind.SNAPSHOT_DELTA
+        ]
+        assert len(deltas) == 2  # one sealed delta per telemetry shard
+        folds = []
+        for event in deltas:
+            fold = ShardDeltaFold()
+            assert fold.apply(event.payload["delta"])
+            folds.append(fold)
+        merged = fold_shard_views(folds)
+        assert merged is not None
+        # The folded stream view equals the merged result's telemetry
+        # (deltas elide zero increments, so compare the moving counters).
+        result = json.loads(job.result_text)
+        nonzero = {
+            path: value
+            for path, value in result["telemetry"]["counters"].items()
+            if value
+        }
+        assert nonzero == merged.counters
+
+
+class TestShutdownResume:
+    def test_shutdown_mid_campaign_then_cli_resume_is_byte_identical(
+        self, tmp_path
+    ):
+        spec_data = {
+            "name": "svc-interrupted",
+            "kernels": ["Haar"],
+            "error_rates": [0.0, 0.02, 0.04],
+            "seeds": [1, 2, 3, 4],
+        }
+        store_dir = str(tmp_path / "store")
+
+        async def scenario():
+            manager = JobManager(ResultStore(store_dir))
+            job = manager.submit(dict(spec_data))
+            while job.completed_shards < 1 and not job.is_done:
+                await asyncio.sleep(0.001)
+            await manager.shutdown()
+            return job
+
+        job = asyncio.run(scenario())
+        assert job.status == "cancelled"
+        assert job.completed_shards < job.total
+
+        spec = CampaignSpec.from_dict(spec_data)
+        store = ResultStore(store_dir)
+        manifest = read_campaign_manifest(store, spec)
+        assert manifest is not None
+        assert manifest["status"] == "partial"
+        assert manifest["completed"] == job.completed_shards
+
+        # The standard CLI resume path completes the campaign...
+        report = run_campaign(spec, store)
+        assert report.complete
+        assert report.cached == job.completed_shards
+        resumed_text = merge_campaign(spec, store).to_json()
+
+        # ...byte-identically to a never-interrupted run.
+        fresh_store = ResultStore(str(tmp_path / "fresh"))
+        run_campaign(spec, fresh_store)
+        assert resumed_text == merge_campaign(spec, fresh_store).to_json()
+
+    def test_submit_after_shutdown_is_refused(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            await manager.shutdown()
+            with pytest.raises(ServiceError, match="shutting down"):
+                manager.submit(dict(SPEC))
+
+        asyncio.run(scenario())

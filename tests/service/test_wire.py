@@ -1,0 +1,135 @@
+"""Tests for the service wire documents and stream codecs."""
+
+import json
+
+import pytest
+
+from repro.errors import QuotaExceeded, ServiceError
+from repro.monitor.events import (
+    MONITOR_STREAM_SCHEMA,
+    MonitorEvent,
+    MonitorEventKind,
+)
+from repro.service.wire import (
+    SERVICE_SCHEMA,
+    decode_event_line,
+    encode_event_line,
+    error_document,
+    parse_json_body,
+    raise_for_error,
+    stream_header_record,
+    validate_job_document,
+)
+
+
+class TestErrorDocuments:
+    def test_error_document_shape(self):
+        document = error_document(400, "bad spec")
+        assert document == {
+            "error": {
+                "schema": SERVICE_SCHEMA,
+                "status": 400,
+                "message": "bad spec",
+            }
+        }
+
+    def test_retry_after_included_when_given(self):
+        document = error_document(429, "busy", retry_after_s=2.5)
+        assert document["error"]["retry_after_s"] == 2.5
+
+    def test_raise_for_error_429_maps_to_quota_exceeded(self):
+        body = json.dumps(error_document(429, "busy", retry_after_s=3.0))
+        with pytest.raises(QuotaExceeded) as excinfo:
+            raise_for_error(429, body.encode())
+        assert excinfo.value.retry_after_s == 3.0
+        assert "busy" in str(excinfo.value)
+
+    def test_raise_for_error_other_statuses_map_to_service_error(self):
+        body = json.dumps(error_document(404, "no such job"))
+        with pytest.raises(ServiceError, match="no such job"):
+            raise_for_error(404, body.encode())
+
+    def test_raise_for_error_survives_garbage_bodies(self):
+        with pytest.raises(ServiceError, match="HTTP 500"):
+            raise_for_error(500, b"<html>oops</html>")
+        with pytest.raises(QuotaExceeded) as excinfo:
+            raise_for_error(429, b"not json")
+        assert excinfo.value.retry_after_s == 1.0
+
+
+class TestBodyParsing:
+    def test_parse_json_body_roundtrip(self):
+        assert parse_json_body(b'{"a": 1}', "spec") == {"a": 1}
+
+    def test_parse_json_body_rejects_non_objects(self):
+        with pytest.raises(ServiceError, match="must be a JSON object"):
+            parse_json_body(b"[1, 2]", "spec")
+
+    def test_parse_json_body_rejects_garbage(self):
+        with pytest.raises(ServiceError, match="not valid JSON"):
+            parse_json_body(b"{truncated", "spec")
+
+
+class TestEventLines:
+    def test_monitor_event_line_matches_stream_writer_format(self):
+        event = MonitorEvent(
+            seq=3,
+            ts_s=1.25,
+            kind=MonitorEventKind.SHARD_FINISHED,
+            shard="Haar rate=0 seed=1",
+            payload={"wall_s": 0.5},
+        )
+        line = encode_event_line(event)
+        assert line.endswith("\n")
+        record = json.loads(line)
+        assert record["schema"] == MONITOR_STREAM_SCHEMA
+        assert record["type"] == "event"
+        assert record["kind"] == "shard_finished"
+        assert record["seq"] == 3
+
+    def test_decode_event_line_roundtrip(self):
+        event = MonitorEvent(
+            seq=0, ts_s=0.0, kind=MonitorEventKind.RUN_FINISHED
+        )
+        record_type, record = decode_event_line(encode_event_line(event))
+        assert record_type == "event"
+        assert record["kind"] == "run_finished"
+
+    def test_decode_blank_line_is_none(self):
+        assert decode_event_line("") is None
+        assert decode_event_line("   \n") is None
+
+    def test_decode_malformed_line_raises(self):
+        with pytest.raises(ServiceError, match="malformed"):
+            decode_event_line("{torn")
+        with pytest.raises(ServiceError, match="not a JSON object"):
+            decode_event_line("[1]")
+
+    def test_stream_header_record(self):
+        header = stream_header_record({"job_id": "job-0001"})
+        assert header["type"] == "service-manifest"
+        assert header["schema"] == MONITOR_STREAM_SCHEMA
+        assert header["job"]["job_id"] == "job-0001"
+
+
+class TestJobDocuments:
+    def test_validate_accepts_complete_document(self):
+        document = {
+            "schema": SERVICE_SCHEMA,
+            "job_id": "job-0001",
+            "status": "running",
+            "total": 4,
+        }
+        assert validate_job_document(document) is document
+
+    def test_validate_rejects_missing_fields(self):
+        with pytest.raises(ServiceError, match="missing field 'status'"):
+            validate_job_document(
+                {"schema": SERVICE_SCHEMA, "job_id": "x", "total": 1}
+            )
+
+    def test_validate_rejects_foreign_schema(self):
+        with pytest.raises(ServiceError, match="schema 99"):
+            validate_job_document(
+                {"schema": 99, "job_id": "x", "status": "running", "total": 1}
+            )
