@@ -274,13 +274,16 @@ def run_fig10_energy_vs_error_rate(
     jobs: int = 1,
     store=None,
     backend: str = "scalar",
+    fault_model=None,
 ) -> ExperimentResult:
     """Average energy saving vs injected timing-error rate.
 
     ``jobs`` shards each kernel's error-rate grid across worker
     processes; the merged series are identical to the serial path.
     ``store`` short-circuits already-durable points (same series either
-    way).
+    way).  ``fault_model`` swaps the error regime
+    (:mod:`repro.timing.faults`) so the figure compares memo
+    effectiveness across fault models rather than just rates.
     """
     names = list(kernels or KERNEL_REGISTRY)
     per_kernel: Dict[str, List[object]] = {name: [] for name in names}
@@ -293,6 +296,7 @@ def run_fig10_energy_vs_error_rate(
             jobs=jobs,
             store=store,
             backend=backend,
+            fault_model=fault_model,
         )
         per_kernel[name] = [point.saving for point in points]
     averages = [
@@ -329,6 +333,7 @@ def run_fig11_voltage_overscaling(
     jobs: int = 1,
     store=None,
     backend: str = "scalar",
+    fault_model=None,
 ) -> ExperimentResult:
     """Total energy of baseline vs memoized architecture under overscaling.
 
@@ -349,6 +354,7 @@ def run_fig11_voltage_overscaling(
             jobs=jobs,
             store=store,
             backend=backend,
+            fault_model=fault_model,
         )
         nominal = points[0].baseline_energy_pj
         for i, point in enumerate(points):

@@ -31,6 +31,7 @@ from ..memo.resilient import FpuEventCounters
 from ..telemetry.registry import MetricsSnapshot
 from ..telemetry.sinks import merge_snapshots
 from ..timing.ecu import EcuStats
+from ..timing.faults import FaultModelSpec
 from .hitrate import weighted_hit_rate
 from .parallel import EngineReport, run_sharded
 
@@ -79,6 +80,10 @@ class SeedShardTask:
     #: contract, so :func:`~repro.campaign.keys.seed_shard_key` does not
     #: hash this field and cached shards are shared across backends.
     backend: str = "scalar"
+    #: Fault model (:class:`~repro.timing.faults.FaultModelSpec`).
+    #: ``None`` (and an explicit ``bernoulli`` spec) is the legacy
+    #: default and contributes nothing to the shard's cache key.
+    fault_model: Optional["FaultModelSpec"] = None
 
 
 @dataclass
@@ -110,7 +115,11 @@ def run_seed_shard(task: SeedShardTask) -> SeedShardResult:
     from ..gpu.executor import GpuExecutor
     from ..monitor.runtime import publish_hub
 
-    timing = TimingConfig(error_rate=task.error_rate, seed=task.seed)
+    timing = TimingConfig(
+        error_rate=task.error_rate,
+        seed=task.seed,
+        fault_model=task.fault_model,
+    )
     config = SimConfig(
         arch=small_arch(),
         memo=MemoConfig(threshold=task.threshold),
@@ -230,6 +239,7 @@ def measure_with_seeds(
     start_method: Optional[str] = None,
     store=None,
     backend: str = "scalar",
+    fault_model: Optional[FaultModelSpec] = None,
 ) -> MultiSeedMeasurement:
     """Memoized-vs-baseline saving across independent error streams.
 
@@ -243,7 +253,9 @@ def measure_with_seeds(
     the measurement is bit-identical with or without it.  ``backend``
     selects the execution backend (:data:`repro.config.BACKENDS`);
     backends are bit-identical by contract, so cached shards are shared
-    between them.
+    between them.  ``fault_model`` selects the error regime
+    (:mod:`repro.timing.faults`); non-default models join each shard's
+    cache key.
     """
     if not seeds:
         raise ConfigError("need at least one seed")
@@ -255,6 +267,7 @@ def measure_with_seeds(
             seed=seed,
             collect_telemetry=collect_telemetry,
             backend=backend,
+            fault_model=fault_model,
         )
         for seed in seeds
     ]

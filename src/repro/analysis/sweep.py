@@ -22,6 +22,7 @@ from ..config import MemoConfig, SimConfig, TimingConfig, small_arch
 from ..energy.model import EnergyModel
 from ..energy.params import EnergyParams
 from ..kernels.base import Workload
+from ..timing.faults import FaultModelSpec
 from ..timing.voltage import VoltageModel
 from .hitrate import weighted_hit_rate
 from .parallel import run_sharded
@@ -189,14 +190,20 @@ def error_rate_sweep(
     jobs: int = 1,
     store=None,
     backend: str = "scalar",
+    fault_model: Optional[FaultModelSpec] = None,
 ) -> list:
-    """Energy saving across injected timing-error rates (Figure 10)."""
+    """Energy saving across injected timing-error rates (Figure 10).
+
+    ``fault_model`` selects the error regime at every point
+    (:mod:`repro.timing.faults`); non-default models join each point's
+    cache key, so fault regimes never share cached results.
+    """
     tasks = [
         SweepTask(
             x=rate,
             factory=factory,
             memo=MemoConfig(threshold=threshold),
-            timing=TimingConfig(error_rate=rate),
+            timing=TimingConfig(error_rate=rate, fault_model=fault_model),
             backend=backend,
         )
         for rate in rates
@@ -213,12 +220,15 @@ def voltage_sweep(
     jobs: int = 1,
     store=None,
     backend: str = "scalar",
+    fault_model: Optional[FaultModelSpec] = None,
 ) -> list:
     """Energy across overscaled voltages (Figure 11).
 
     The error rate at each point comes from the voltage model; the energy
     model scales the FPU supply while the memoization module stays at its
-    fixed nominal voltage.
+    fixed nominal voltage.  ``fault_model`` layers a non-default error
+    regime over the voltage-derived base rate (e.g. ``burst`` clusters
+    the overscaling errors in time).
     """
     voltage_model = voltage_model or VoltageModel()
     tasks = [
@@ -227,7 +237,9 @@ def voltage_sweep(
             factory=factory,
             memo=MemoConfig(threshold=threshold),
             timing=TimingConfig(
-                error_rate=voltage_model.error_rate(voltage), voltage=voltage
+                error_rate=voltage_model.error_rate(voltage),
+                voltage=voltage,
+                fault_model=fault_model,
             ),
             energy_params=params,
             backend=backend,

@@ -54,7 +54,7 @@ def _counters_from_dict(data: dict) -> FpuEventCounters:
 
 
 def _lut_stats_to_dict(stats: LutStats) -> dict:
-    return {
+    document = {
         "lookups": stats.lookups,
         "hits": stats.hits,
         "updates": stats.updates,
@@ -63,6 +63,14 @@ def _lut_stats_to_dict(stats: LutStats) -> dict:
             for outcome, count in stats.outcome_counts.items()
         },
     }
+    # Bit-flip fields only appear when nonzero so payloads of runs
+    # without the lut-bitflip fault model stay byte-identical to blobs
+    # written before the field existed.
+    if stats.bitflips:
+        document["bitflips"] = stats.bitflips
+    if stats.bitflips_detected:
+        document["bitflips_detected"] = stats.bitflips_detected
+    return document
 
 
 def _lut_stats_from_dict(data: dict) -> LutStats:
@@ -70,6 +78,8 @@ def _lut_stats_from_dict(data: dict) -> LutStats:
         lookups=int(data["lookups"]),
         hits=int(data["hits"]),
         updates=int(data["updates"]),
+        bitflips=int(data.get("bitflips", 0)),
+        bitflips_detected=int(data.get("bitflips_detected", 0)),
     )
     for name, count in data.get("outcomes", {}).items():
         stats.outcome_counts[MatchOutcome(name)] = int(count)

@@ -108,23 +108,41 @@ def factory_identity(factory) -> Optional[dict]:
     return None
 
 
+def fault_model_entry(owner) -> Optional[dict]:
+    """The fault model's canonical cache identity, or ``None``.
+
+    ``None`` — for an absent attribute, ``fault_model=None`` and an
+    explicit ``bernoulli`` spec alike — means the model contributes
+    *nothing* to the hashed document, keeping every pre-zoo key
+    byte-identical (the invariance tests in ``tests/campaign`` pin
+    this).  Non-default models hash only the parameters relevant to
+    their kind (:meth:`~repro.timing.faults.FaultModelSpec.identity`).
+    """
+    spec = getattr(owner, "fault_model", None)
+    if spec is None:
+        return None
+    return spec.identity()
+
+
 def seed_shard_key(task, schema: int = SCHEMA_VERSION) -> Optional[str]:
     """Cache key of one multi-seed shard (``SeedShardTask``), or ``None``
     when the task's workload factory has no stable identity."""
     identity = factory_identity(task.factory)
     if identity is None:
         return None
-    return content_hash(
-        {
-            "kind": "multirun.seed_shard",
-            "schema": schema,
-            "factory": identity,
-            "threshold": task.threshold,
-            "error_rate": task.error_rate,
-            "seed": task.seed,
-            "collect_telemetry": task.collect_telemetry,
-        }
-    )
+    document = {
+        "kind": "multirun.seed_shard",
+        "schema": schema,
+        "factory": identity,
+        "threshold": task.threshold,
+        "error_rate": task.error_rate,
+        "seed": task.seed,
+        "collect_telemetry": task.collect_telemetry,
+    }
+    fault_model = fault_model_entry(task)
+    if fault_model is not None:
+        document["fault_model"] = fault_model
+    return content_hash(document)
 
 
 def sweep_point_key(task, schema: int = SCHEMA_VERSION) -> Optional[str]:
@@ -139,6 +157,16 @@ def sweep_point_key(task, schema: int = SCHEMA_VERSION) -> Optional[str]:
     identity = factory_identity(task.factory)
     if identity is None:
         return None
+    # The timing config is hashed whole, except that a default
+    # (bernoulli / absent) fault model is dropped so pre-zoo sweep keys
+    # stay byte-identical; a non-default model replaces the raw field
+    # dict with its kind-relevant identity.
+    timing = canonicalize(task.timing)
+    fault_model = fault_model_entry(task.timing)
+    if fault_model is None:
+        timing.pop("fault_model", None)
+    else:
+        timing["fault_model"] = canonicalize(fault_model)
     return content_hash(
         {
             "kind": "sweep.point",
@@ -146,7 +174,7 @@ def sweep_point_key(task, schema: int = SCHEMA_VERSION) -> Optional[str]:
             "factory": identity,
             "x": task.x,
             "memo": task.memo,
-            "timing": task.timing,
+            "timing": timing,
             "energy_params": task.energy_params,
         }
     )

@@ -33,8 +33,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis.multirun import SeedShardTask
 from ..config import BACKENDS
-from ..errors import CampaignError
+from ..errors import CampaignError, TimingModelError
 from ..kernels.registry import KERNEL_REGISTRY
+from ..timing.faults import FaultModelSpec
 from .keys import content_hash, seed_shard_key
 from .store import ResultStore
 
@@ -80,6 +81,11 @@ class CampaignSpec:
     #: shard cache keys include it — switching backend resumes the same
     #: campaign from the same store blobs.
     backend: str = "scalar"
+    #: Fault model for every shard (:mod:`repro.timing.faults`).
+    #: ``None`` and an explicit ``bernoulli`` spec are the legacy
+    #: default: they contribute nothing to the fingerprint or the shard
+    #: keys, so pre-zoo campaign manifests and store blobs stay valid.
+    fault_model: Optional[FaultModelSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.replace("-", "").replace("_", "").isalnum():
@@ -110,6 +116,13 @@ class CampaignSpec:
             raise CampaignError(
                 f"unknown backend {self.backend!r}; known: {list(BACKENDS)}"
             )
+        if self.fault_model is not None and not isinstance(
+            self.fault_model, FaultModelSpec
+        ):
+            raise CampaignError(
+                "fault_model must be a FaultModelSpec (or None); use "
+                "FaultModelSpec.coerce for strings and JSON objects"
+            )
 
     # ------------------------------------------------------------- identity
     def threshold_for(self, kernel: str) -> float:
@@ -119,22 +132,30 @@ class CampaignSpec:
         return KERNEL_REGISTRY[kernel].threshold
 
     def fingerprint(self) -> str:
-        """Content hash of the grid's *set* semantics (order-free)."""
-        return content_hash(
-            {
-                "kind": "campaign.spec",
-                "schema": CAMPAIGN_SCHEMA,
-                "name": self.name,
-                "kernels": sorted(self.kernels),
-                "error_rates": sorted(self.error_rates),
-                "seeds": sorted(self.seeds),
-                "thresholds": {
-                    kernel: self.threshold_for(kernel)
-                    for kernel in sorted(self.kernels)
-                },
-                "collect_telemetry": self.collect_telemetry,
-            }
+        """Content hash of the grid's *set* semantics (order-free).
+
+        A default fault model (``None`` / ``bernoulli``) is omitted so
+        legacy specs fingerprint byte-identically to pre-zoo builds.
+        """
+        document = {
+            "kind": "campaign.spec",
+            "schema": CAMPAIGN_SCHEMA,
+            "name": self.name,
+            "kernels": sorted(self.kernels),
+            "error_rates": sorted(self.error_rates),
+            "seeds": sorted(self.seeds),
+            "thresholds": {
+                kernel: self.threshold_for(kernel)
+                for kernel in sorted(self.kernels)
+            },
+            "collect_telemetry": self.collect_telemetry,
+        }
+        identity = (
+            self.fault_model.identity() if self.fault_model is not None else None
         )
+        if identity is not None:
+            document["fault_model"] = identity
+        return content_hash(document)
 
     # ------------------------------------------------------------ expansion
     def tasks(self) -> List[CampaignTask]:
@@ -158,6 +179,7 @@ class CampaignSpec:
                         seed=seed,
                         collect_telemetry=self.collect_telemetry,
                         backend=self.backend,
+                        fault_model=self.fault_model,
                     )
                     key = seed_shard_key(shard)
                     assert key is not None  # registry factories are stable
@@ -188,6 +210,8 @@ class CampaignSpec:
             document["collect_telemetry"] = True
         if self.backend != "scalar":
             document["backend"] = self.backend
+        if self.fault_model is not None and self.fault_model.kind != "bernoulli":
+            document["fault_model"] = self.fault_model.to_dict()
         return document
 
     @classmethod
@@ -209,6 +233,7 @@ class CampaignSpec:
             "thresholds",
             "collect_telemetry",
             "backend",
+            "fault_model",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -231,9 +256,12 @@ class CampaignSpec:
                 ),
                 collect_telemetry=bool(data.get("collect_telemetry", False)),
                 backend=str(data.get("backend", "scalar")),
+                fault_model=FaultModelSpec.coerce(data.get("fault_model")),
             )
         except KeyError as exc:
             raise CampaignError(f"campaign spec is missing field {exc}") from None
+        except TimingModelError as exc:
+            raise CampaignError(f"malformed campaign spec: {exc}") from None
         except (TypeError, ValueError) as exc:
             raise CampaignError(f"malformed campaign spec: {exc}") from None
 

@@ -43,46 +43,53 @@ from .telemetry import build_manifest, render_dashboard, write_run_jsonl
 from .utils.tables import format_table
 
 #: Experiment ids accepted by ``repro experiment``.  Every entry takes
-#: the worker count, an optional result store and the execution backend;
-#: drivers without a parallel or cacheable axis ignore what they don't
-#: use (the backend only reaches the sweep-based drivers).
+#: the worker count, an optional result store, the execution backend and
+#: an optional fault model; drivers without a parallel or cacheable axis
+#: ignore what they don't use (the backend and fault model only reach
+#: the sweep-based drivers).
 EXPERIMENTS = {
-    "fig2": lambda jobs=1, store=None, backend="scalar": exp.run_fig2_to_5_psnr(
-        "Sobel", "face"
-    ).to_text(),
-    "fig3": lambda jobs=1, store=None, backend="scalar": exp.run_fig2_to_5_psnr(
-        "Gaussian", "face"
-    ).to_text(),
-    "fig4": lambda jobs=1, store=None, backend="scalar": exp.run_fig2_to_5_psnr(
-        "Sobel", "book"
-    ).to_text(),
-    "fig5": lambda jobs=1, store=None, backend="scalar": exp.run_fig2_to_5_psnr(
-        "Gaussian", "book"
-    ).to_text(),
-    "fig6": lambda jobs=1, store=None, backend="scalar": "\n\n".join(
-        r.to_text() for r in exp.run_fig6_7_hit_rates("Sobel").values()
+    "fig2": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
+        exp.run_fig2_to_5_psnr("Sobel", "face").to_text()
     ),
-    "fig7": lambda jobs=1, store=None, backend="scalar": "\n\n".join(
-        r.to_text() for r in exp.run_fig6_7_hit_rates("Gaussian").values()
+    "fig3": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
+        exp.run_fig2_to_5_psnr("Gaussian", "face").to_text()
     ),
-    "fig8": lambda jobs=1, store=None, backend="scalar": (
+    "fig4": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
+        exp.run_fig2_to_5_psnr("Sobel", "book").to_text()
+    ),
+    "fig5": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
+        exp.run_fig2_to_5_psnr("Gaussian", "book").to_text()
+    ),
+    "fig6": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
+        "\n\n".join(
+            r.to_text() for r in exp.run_fig6_7_hit_rates("Sobel").values()
+        )
+    ),
+    "fig7": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
+        "\n\n".join(
+            r.to_text() for r in exp.run_fig6_7_hit_rates("Gaussian").values()
+        )
+    ),
+    "fig8": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
         exp.run_fig8_kernel_hit_rates().to_text()
     ),
-    "fig10": lambda jobs=1, store=None, backend="scalar": (
+    "fig10": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
         exp.run_fig10_energy_vs_error_rate(
-            jobs=jobs, store=store, backend=backend
+            jobs=jobs, store=store, backend=backend, fault_model=fault_model
         ).to_text()
     ),
-    "fig11": lambda jobs=1, store=None, backend="scalar": (
+    "fig11": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
         exp.run_fig11_voltage_overscaling(
-            jobs=jobs, store=store, backend=backend
+            jobs=jobs, store=store, backend=backend, fault_model=fault_model
         ).to_text()
     ),
-    "table1": lambda jobs=1, store=None, backend="scalar": exp.run_table1(),
-    "table2": lambda jobs=1, store=None, backend="scalar": (
+    "table1": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
+        exp.run_table1()
+    ),
+    "table2": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
         exp.run_table2_state_machine()
     ),
-    "fifo-depth": lambda jobs=1, store=None, backend="scalar": (
+    "fifo-depth": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
         exp.run_fifo_depth_study(
             jobs=jobs, store=store, backend=backend
         ).to_text()
@@ -100,6 +107,28 @@ def _add_backend_argument(parser) -> None:
         "'vector' executes a whole wavefront per opcode dispatch; "
         "results are bit-identical (see docs/backends.md)",
     )
+
+
+def _add_fault_model_argument(parser) -> None:
+    """The shared ``--fault-model`` error-regime option."""
+    parser.add_argument(
+        "--fault-model",
+        metavar="KIND[:k=v,...]",
+        default=None,
+        help="timing-error regime: bernoulli (default), "
+        "burst:rate=,enter=,exit=, spatial:sigma=, stuck-at:fraction=, "
+        "lut-bitflip:rate= (see docs/fault-models.md)",
+    )
+
+
+def _parse_fault_model(args):
+    """The :class:`FaultModelSpec` the flags ask for, or ``None``."""
+    text = getattr(args, "fault_model", None)
+    if text is None:
+        return None
+    from .timing.faults import FaultModelSpec
+
+    return FaultModelSpec.parse(text)
 
 
 def _add_cache_arguments(parser) -> None:
@@ -281,6 +310,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "phase report",
     )
     _add_backend_argument(run)
+    _add_fault_model_argument(run)
     _add_cache_arguments(run)
     _add_monitor_arguments(run)
 
@@ -364,6 +394,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment's runs and print the phase report",
     )
     _add_backend_argument(experiment)
+    _add_fault_model_argument(experiment)
     _add_cache_arguments(experiment)
     _add_monitor_arguments(experiment)
 
@@ -410,6 +441,7 @@ def _build_parser() -> argparse.ArgumentParser:
             default=None,
             help="write the merged campaign result JSON here when complete",
         )
+        _add_fault_model_argument(sub_parser)
         _add_monitor_arguments(sub_parser)
 
     campaign_status = campaign_sub.add_parser(
@@ -419,6 +451,7 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_status.add_argument(
         "--cache-dir", metavar="DIR", default=None
     )
+    _add_fault_model_argument(campaign_status)
 
     campaign_watch = campaign_sub.add_parser(
         "watch",
@@ -721,6 +754,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run only the backend-equivalence invariant (scalar vs "
         "vector, bit-identical outputs/stats/telemetry)",
     )
+    _add_fault_model_argument(verify)
 
     report = sub.add_parser(
         "report", help="run the whole evaluation and print one report"
@@ -841,7 +875,11 @@ def _run_config(args) -> SimConfig:
     return SimConfig(
         arch=small_arch(),
         memo=MemoConfig(threshold=threshold, fifo_depth=args.fifo_depth),
-        timing=TimingConfig(error_rate=args.error_rate, voltage=args.voltage),
+        timing=TimingConfig(
+            error_rate=args.error_rate,
+            voltage=args.voltage,
+            fault_model=_parse_fault_model(args),
+        ),
         telemetry=telemetry,
         tracing=tracing,
         backend=getattr(args, "backend", "scalar"),
@@ -873,6 +911,7 @@ def _cmd_run_multiseed(args, out) -> int:
                 jobs=args.jobs,
                 store=store,
                 backend=args.backend,
+                fault_model=_parse_fault_model(args),
             )
     finally:
         _finish_monitor(monitor, out)
@@ -1125,6 +1164,7 @@ def _cmd_experiment(args, out) -> int:
     started = time.perf_counter()
     outputs = {}
     store = _build_store(args)
+    fault_model = _parse_fault_model(args)
     monitor = _build_monitor(args, label=f"experiment:{args.id}", out=out)
     from contextlib import nullcontext
 
@@ -1140,7 +1180,10 @@ def _cmd_experiment(args, out) -> int:
         with profile.capture() as profiler, scope:
             for exp_id in selected:
                 text = EXPERIMENTS[exp_id](
-                    jobs=args.jobs, store=store, backend=args.backend
+                    jobs=args.jobs,
+                    store=store,
+                    backend=args.backend,
+                    fault_model=fault_model,
                 )
                 outputs[exp_id] = text
                 if len(selected) > 1:
@@ -1174,6 +1217,8 @@ def _cmd_experiment(args, out) -> int:
             "jobs": args.jobs,
             "backend": args.backend,
         }
+        if fault_model is not None:
+            extra["fault_model"] = fault_model.to_dict()
         if store is not None:
             extra["cache"] = store.counter_values()
         manifest = build_manifest(
@@ -1320,6 +1365,11 @@ def _cmd_campaign(args, out) -> int:
         return 0
 
     spec = CampaignSpec.from_file(args.spec)
+    # --fault-model overrides the spec's regime; the override joins the
+    # fingerprint and shard keys exactly as if the spec itself carried it.
+    fault_model = _parse_fault_model(args)
+    if fault_model is not None:
+        spec = dataclasses.replace(spec, fault_model=fault_model)
 
     if args.campaign_command == "watch":
         return _cmd_campaign_watch(args, spec, store, out)
@@ -1434,6 +1484,7 @@ def _cmd_verify(args, out) -> int:
         kernels=tuple(args.kernel) if args.kernel else None,
         include_kernels=not args.quick,
         only_backends=args.backend_diff,
+        fault_model=_parse_fault_model(args),
     )
     report = run_and_report(config, json_path=args.json)
     print(report.to_text(), file=out)

@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from .errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle (faults -> config)
+    from .timing.faults import FaultModelSpec
 
 #: Nominal supply voltage of the TSMC 45 nm flow used in the paper (volts).
 NOMINAL_VOLTAGE = 0.9
@@ -128,23 +131,41 @@ class TimingConfig:
     sensor fires during FPU execution.  The baseline ECU recovery of the
     multiple-issue instruction replay costs ``recovery_cycles`` per error
     (12 in the synthesized design; up to 28 in the scalar core of [9]).
+
+    ``fault_model`` selects the error regime
+    (:class:`repro.timing.faults.FaultModelSpec`); ``None`` means the
+    default i.i.d. Bernoulli model and is indistinguishable — in
+    behaviour and in cache keys — from an explicit ``bernoulli`` spec.
     """
 
     error_rate: float = 0.0
     recovery_cycles: int = 12
     voltage: float = NOMINAL_VOLTAGE
     seed: int = 0xE5C4_0DE
+    fault_model: Optional["FaultModelSpec"] = None
 
     def __post_init__(self) -> None:
         _require(0.0 <= self.error_rate <= 1.0, "error rate is a probability")
         _require(self.recovery_cycles >= 1, "recovery must cost cycles")
         _require(0.3 <= self.voltage <= 1.2, "voltage outside modelled range")
+        if self.fault_model is not None:
+            from .timing.faults import FaultModelSpec
+
+            _require(
+                isinstance(self.fault_model, FaultModelSpec),
+                "fault_model must be a FaultModelSpec (or None)",
+            )
 
     def with_error_rate(self, error_rate: float) -> "TimingConfig":
         return replace(self, error_rate=error_rate)
 
     def with_voltage(self, voltage: float) -> "TimingConfig":
         return replace(self, voltage=voltage)
+
+    def with_fault_model(
+        self, fault_model: Optional["FaultModelSpec"]
+    ) -> "TimingConfig":
+        return replace(self, fault_model=fault_model)
 
 
 @dataclass(frozen=True)

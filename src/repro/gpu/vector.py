@@ -133,8 +133,20 @@ class _KindState:
         reference = fpus[0]
         self.depth = reference.depth
         self.injectors = [fpu.injector for fpu in fpus]
+        # The error-free fast path skips per-row sampling entirely, so it
+        # may only be taken when every lane's scalar ``sample()`` would
+        # consume no draws and return False for the whole run: structurally
+        # error-free injectors, or *static* zero-rate ones.  Injectors
+        # whose effective rate can change after construction declare
+        # ``dynamic = True`` and are always sampled — snapshotting their
+        # construction-time rate here would silently diverge from the
+        # scalar backend the moment the rate moved.
         self.no_error = all(
-            isinstance(injector, NoErrorInjector) or injector.rate == 0.0
+            isinstance(injector, NoErrorInjector)
+            or (
+                injector.rate == 0.0
+                and not getattr(injector, "dynamic", False)
+            )
             for injector in self.injectors
         )
         memo = reference.memo
@@ -178,6 +190,11 @@ class _KindState:
                     or lut.fifo.depth != self.fifo_depth
                 ):
                     raise VectorFallback("heterogeneous LUT programming")
+                if lut.corruptor is not None:
+                    # Bit-flip corruption mutates FIFO contents between
+                    # individual lookups; the vectorized LUT match is
+                    # batch-resident, so corrupted runs stay lane-serial.
+                    raise VectorFallback("LUT bit-flip corruption")
         lanes = len(fpus)
         # ops == issue cycles (== lookups when the memo is live), so one
         # per-lane op count plus the hit/commuted tallies reconstructs

@@ -85,6 +85,23 @@ class MemoFifo:
         """Insert a fresh error-free context, evicting the oldest if full."""
         self._entries.append(FifoEntry(opcode, operands, result))
 
+    def invalidate(self, newest_first_index: int) -> None:
+        """Drop the entry at ``newest_first_index`` (0 = newest).
+
+        Models parity-triggered scrubbing of a corrupted entry: the slot
+        is freed and the remaining entries keep their relative order.
+        """
+        entries = list(self._entries)
+        position = len(entries) - 1 - newest_first_index
+        if not 0 <= position < len(entries):
+            raise MemoizationError(
+                f"invalidate index {newest_first_index} out of range for "
+                f"{len(entries)} entries"
+            )
+        del entries[position]
+        self._entries.clear()
+        self._entries.extend(entries)
+
     def restore(self, entries: Sequence[FifoEntry]) -> None:
         """Replace the whole FIFO with pre-built entries, oldest first.
 

@@ -32,6 +32,12 @@ class LutStats:
     outcome_counts: Dict[MatchOutcome, int] = field(
         default_factory=lambda: {outcome: 0 for outcome in MatchOutcome}
     )
+    #: Single-bit upsets injected into stored entries (``lut-bitflip``
+    #: fault model); zero everywhere else.
+    bitflips: int = 0
+    #: Upsets the parity check caught (the entry was scrubbed instead of
+    #: served).  Equal to ``bitflips`` under the single-bit model.
+    bitflips_detected: int = 0
 
     @property
     def misses(self) -> int:
@@ -49,6 +55,8 @@ class LutStats:
         self.updates += other.updates
         for outcome, count in other.outcome_counts.items():
             self.outcome_counts[outcome] += count
+        self.bitflips += other.bitflips
+        self.bitflips_detected += other.bitflips_detected
 
 
 class MemoLUT:
@@ -66,6 +74,11 @@ class MemoLUT:
         #: emitting a hit/commute/miss instant per lookup; same ``None``
         #: fast path as the probe.
         self.tracer = None
+        #: Optional storage corruptor
+        #: (:class:`repro.timing.faults.LutBitflipCorruptor`).  ``None``
+        #: keeps the lookup path corruption-free; when attached, the
+        #: vector backend falls back to the scalar engine.
+        self.corruptor = None
         self.mmio = MemoMmio(
             hit_count=lambda: self.stats.hits,
             lookup_count=lambda: self.stats.lookups,
@@ -123,6 +136,10 @@ class MemoLUT:
         """Disable the whole module for locality-free applications."""
         self.mmio.set_control(power_gate=gate, enable=not gate)
 
+    def attach_corruptor(self, corruptor) -> None:
+        """Expose stored entries to single-event upsets (lut-bitflip)."""
+        self.corruptor = corruptor
+
     # ------------------------------------------------------------- data path
     def lookup(
         self, opcode: Opcode, operands: Tuple[float, ...]
@@ -130,6 +147,23 @@ class MemoLUT:
         """Single-cycle parallel search; returns (hit, stored result, kind)."""
         if self.power_gated:
             return False, None, MatchOutcome.MISS
+        corruptor = self.corruptor
+        if corruptor is not None and len(self.fifo):
+            # One exposure interval per lookup: the corruptor may flip a
+            # single bit in one stored entry.  Parity always catches a
+            # single-bit upset, so the entry is invalidated (scrubbed)
+            # rather than risking a wrong stored value being served —
+            # corruption costs capacity, never correctness.
+            flip = corruptor.step(len(self.fifo))
+            if flip is not None:
+                index, _bit = flip
+                self.fifo.invalidate(index)
+                self.stats.bitflips += 1
+                self.stats.bitflips_detected += 1
+                if self.probe is not None:
+                    self.probe.on_lut_bitflip()
+                if self.tracer is not None:
+                    self.tracer.on_lut_bitflip()
         self.stats.lookups += 1
         entry, outcome = self.fifo.search(self.constraint, opcode, operands)
         self.stats.outcome_counts[outcome] += 1

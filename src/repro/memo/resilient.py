@@ -28,6 +28,7 @@ from ..fpu.units import UnitSpec, pipeline_stages_for, spec_for
 from ..isa.opcodes import Opcode, UnitKind
 from ..timing.ecu import ErrorControlUnit, MultipleIssueReplay, RecoveryPolicy
 from ..timing.errors import ErrorInjector, NoErrorInjector, injector_for
+from ..timing.faults import corruptor_for
 from .module import TemporalMemoizationModule
 from .matching import MatchOutcome
 
@@ -117,11 +118,16 @@ class ResilientFpu:
 
     def attach_probe(self, probe) -> None:
         """Install one pre-bound telemetry probe across the unit's layers
-        (FPU fast path, memoization LUT, ECU)."""
+        (FPU fast path, memoization LUT, ECU, fault-model hooks)."""
         self.probe = probe
         self.ecu.probe = probe
         if self.memo is not None:
             self.memo.attach_probe(probe)
+        # Fault-model injectors surface their own events (burst entries,
+        # pinned stuck faults) through the same per-unit probe.
+        attach = getattr(self.injector, "attach_probe", None)
+        if attach is not None:
+            attach(probe)
 
     def attach_tracer(self, tracer) -> None:
         """Install one pre-bound lane tracer across the unit's layers
@@ -141,10 +147,20 @@ class ResilientFpu:
         arch: Optional[ArchConfig] = None,
         *stream_labels: object,
     ) -> "ResilientFpu":
-        """Convenience constructor wiring an independent error stream."""
+        """Convenience constructor wiring an independent error stream.
+
+        Under the ``lut-bitflip`` fault model the unit's LUT also gets a
+        storage corruptor on its own ``"lut-bitflip"``-labelled stream,
+        so corruption draws never shift the error-injection draw order.
+        """
         injector = injector_for(timing, kind.value, *stream_labels)
         policy = MultipleIssueReplay(recovery_cycles=timing.recovery_cycles)
-        return cls(kind, memo_config, injector, policy, arch)
+        fpu = cls(kind, memo_config, injector, policy, arch)
+        if fpu.memo is not None:
+            corruptor = corruptor_for(timing, kind.value, *stream_labels)
+            if corruptor is not None:
+                fpu.memo.lut.attach_corruptor(corruptor)
+        return fpu
 
     # -------------------------------------------------------------- execution
     def execute(self, opcode: Opcode, operands: Tuple[float, ...]) -> float:

@@ -308,6 +308,7 @@ def check_memo_transparency(
 def check_backend_equivalence(
     kernels: Optional[Sequence[str]] = None,
     error_rates: Sequence[float] = (0.0, 0.02),
+    fault_model=None,
 ) -> InvariantResult:
     """The vector backend must be bit-identical to the scalar reference.
 
@@ -319,6 +320,12 @@ def check_backend_equivalence(
     executed-op total and telemetry counter values.  Any divergence is
     a bug in the vector engine's lockstep schedule, LUT arithmetic or
     accounting — the scalar path is the specification.
+
+    ``fault_model`` (:class:`~repro.timing.faults.FaultModelSpec`)
+    reruns the sweep under a non-default error regime; the contract is
+    identical because both backends sample the same injector objects in
+    the same per-lane order (``repro verify --backend-diff
+    --fault-model ...``).
     """
     from ..config import TelemetryConfig
     from ..gpu.executor import GpuExecutor
@@ -336,7 +343,9 @@ def check_backend_equivalence(
                 config = SimConfig(
                     arch=small_arch(2),
                     memo=MemoConfig(),
-                    timing=TimingConfig(error_rate=error_rate),
+                    timing=TimingConfig(
+                        error_rate=error_rate, fault_model=fault_model
+                    ),
                     telemetry=TelemetryConfig(enabled=True),
                     backend=backend,
                 )

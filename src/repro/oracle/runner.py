@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..isa.opcodes import FP_OPCODES
 from ..telemetry.registry import MetricsRegistry, MetricsSnapshot
+from ..timing.faults import FaultModelSpec
 from ..utils.io import atomic_write_json
 from ..utils.tables import format_table
 from .corpus import CorpusConfig
@@ -46,6 +47,9 @@ class VerificationConfig:
     backend-equivalence sweeps, for quick iteration on the arithmetic
     layers; ``include_backends`` gates just the backend sweep, and
     ``only_backends`` runs it alone (``repro verify --backend-diff``).
+    ``fault_model`` reruns the backend-equivalence sweep under a
+    non-default error regime (:mod:`repro.timing.faults`); the other
+    invariants are regime-independent and ignore it.
     """
 
     seed: int = 0
@@ -57,6 +61,7 @@ class VerificationConfig:
     include_kernels: bool = True
     include_backends: bool = True
     only_backends: bool = False
+    fault_model: Optional["FaultModelSpec"] = None
 
     def corpus(self) -> CorpusConfig:
         return CorpusConfig(seed=self.seed, fuzz_cases=self.fuzz_cases)
@@ -192,7 +197,9 @@ def run_verification(
         if config.include_backends or config.only_backends:
             results.append(
                 check_backend_equivalence(
-                    kernels, error_rates=config.error_rates
+                    kernels,
+                    error_rates=config.error_rates,
+                    fault_model=config.fault_model,
                 )
             )
 

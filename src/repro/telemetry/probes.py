@@ -43,6 +43,7 @@ class FpuProbe:
     __slots__ = (
         "source",
         "events",
+        "registry",
         "ops",
         "errors_injected",
         "memo_lookups",
@@ -53,6 +54,9 @@ class FpuProbe:
         "ecu_recovery_cycles",
         "ecu_masked",
         "recovery_hist",
+        "fault_burst_entries",
+        "fault_lut_bitflips",
+        "fault_stuck",
     )
 
     def __init__(
@@ -60,6 +64,13 @@ class FpuProbe:
     ) -> None:
         self.source = source
         self.events = events
+        self.registry = registry
+        # ``faults.*`` counters are created lazily on first event so a
+        # run without fault models snapshots exactly the legacy metric
+        # set (no spurious always-zero series in artifacts).
+        self.fault_burst_entries = None
+        self.fault_lut_bitflips = None
+        self.fault_stuck = None
         self.ops = registry.counter(f"{source}.ops")
         self.errors_injected = registry.counter(f"{source}.errors.injected")
         self.memo_lookups = registry.counter(f"{source}.memo.lookups")
@@ -82,6 +93,35 @@ class FpuProbe:
     def on_timing_error(self) -> None:
         self.errors_injected.inc()
         self.events.emit(EventKind.TIMING_ERROR, self.source)
+
+    # --------------------------------------------------------- fault models
+    def on_burst_entry(self) -> None:
+        """The Gilbert–Elliott injector entered its burst (bad) state."""
+        counter = self.fault_burst_entries
+        if counter is None:
+            counter = self.registry.counter(
+                f"{self.source}.faults.burst_entries"
+            )
+            self.fault_burst_entries = counter
+        counter.inc()
+
+    def on_lut_bitflip(self) -> None:
+        """A stored LUT entry took a detected single-bit upset."""
+        counter = self.fault_lut_bitflips
+        if counter is None:
+            counter = self.registry.counter(
+                f"{self.source}.faults.lut_bitflips"
+            )
+            self.fault_lut_bitflips = counter
+        counter.inc()
+
+    def on_stuck_fault(self) -> None:
+        """This FPU is pinned permanently faulty by the stuck-at map."""
+        counter = self.fault_stuck
+        if counter is None:
+            counter = self.registry.counter(f"{self.source}.faults.stuck")
+            self.fault_stuck = counter
+        counter.inc()
 
     # ------------------------------------------------------------ memo LUT
     def on_lookup(self, hit: bool, opcode=None) -> None:

@@ -16,6 +16,16 @@ from .errors import (
     VoltageDrivenInjector,
     injector_for,
 )
+from .faults import (
+    FAULT_MODEL_KINDS,
+    FaultModelSpec,
+    GilbertElliottInjector,
+    LutBitflipCorruptor,
+    SpatialInjector,
+    StuckAtInjector,
+    corruptor_for,
+    fault_model_identity,
+)
 from .eds import EdsBank, EdsObservation
 from .ecu import (
     ErrorControlUnit,
@@ -33,6 +43,14 @@ __all__ = [
     "NoErrorInjector",
     "VoltageDrivenInjector",
     "injector_for",
+    "FAULT_MODEL_KINDS",
+    "FaultModelSpec",
+    "GilbertElliottInjector",
+    "LutBitflipCorruptor",
+    "SpatialInjector",
+    "StuckAtInjector",
+    "corruptor_for",
+    "fault_model_identity",
     "EdsBank",
     "EdsObservation",
     "ErrorControlUnit",

@@ -17,9 +17,22 @@ from .voltage import VoltageModel
 
 
 class ErrorInjector(Protocol):
-    """Anything that can answer "did this instruction see a timing error?"."""
+    """Anything that can answer "did this instruction see a timing error?".
+
+    Implementations must document a fixed RNG-draw contract for
+    :meth:`sample` (how many draws each call consumes from the
+    injector's stream), because the scalar and vector backends call the
+    same injector objects and must stay in lockstep on that stream.
+    ``dynamic`` declares whether the effective rate can change after
+    construction: the vector backend snapshots an error-free fast path
+    for static ``rate == 0.0`` injectors at engine construction, and a
+    ``dynamic = True`` injector opts out of that snapshot.  Mutating
+    ``rate`` on an injector that declares ``dynamic = False`` silently
+    diverges the backends — declare ``dynamic = True`` instead.
+    """
 
     rate: float
+    dynamic: bool
 
     def sample(self) -> bool:
         """Draw one per-instruction error event."""
@@ -27,16 +40,29 @@ class ErrorInjector(Protocol):
 
 
 class NoErrorInjector:
-    """The error-free environment (0% timing error)."""
+    """The error-free environment (0% timing error); consumes no draws."""
 
     rate = 0.0
+    dynamic = False
 
     def sample(self) -> bool:
         return False
 
 
 class BernoulliInjector:
-    """Independent per-instruction errors at a fixed rate."""
+    """Independent per-instruction errors at a fixed rate.
+
+    Draw contract (load-bearing for backend bit-identity, pinned by
+    tests): with ``rate == 0.0`` :meth:`sample` consumes **no** draws —
+    the stream is never touched, so a zero-rate lane cannot shift any
+    other consumer of the same seed; with ``rate > 0`` every call
+    consumes exactly **one** uniform, taken in order from an 8192-draw
+    bulk buffer (the buffering is invisible: the consumed sequence
+    equals ``rng.array_uniform(n)``).  The rate is fixed for the life of
+    the injector (``dynamic = False``).
+    """
+
+    dynamic = False
 
     def __init__(self, rate: float, rng: RngStream) -> None:
         if not 0.0 <= rate <= 1.0:
@@ -81,7 +107,16 @@ def injector_for(config: TimingConfig, *stream_labels: object) -> ErrorInjector:
 
     Each call site passes distinguishing labels (compute unit, stream core,
     unit kind) so every FPU gets an independent error stream.
+
+    ``config.fault_model`` selects the model (:mod:`repro.timing.faults`);
+    ``None`` and an explicit ``bernoulli`` spec take the identical legacy
+    path below — same injector types, same RNG streams.
     """
+    spec = getattr(config, "fault_model", None)
+    if spec is not None and spec.kind != "bernoulli":
+        from .faults import build_injector
+
+        return build_injector(spec, config, stream_labels)
     if config.error_rate == 0.0:
         return NoErrorInjector()
     rng = RngStream(config.seed, "timing-errors", *stream_labels)

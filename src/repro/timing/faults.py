@@ -1,0 +1,479 @@
+"""The fault-model zoo: error regimes beyond i.i.d. Bernoulli.
+
+The paper evaluates memoization only under independent per-instruction
+Bernoulli timing errors, but real failures are not like that: error
+rates vary wildly across boards and dies (spatial PVT variation),
+voltage-noise events cluster errors in time (bursts), aging pins
+permanent faults to individual units, and radiation flips bits in
+storage.  This module provides those regimes behind the existing
+:class:`~repro.timing.errors.ErrorInjector` protocol so every consumer
+(both execution backends, the campaign grid, the verification oracle)
+gets them for free.
+
+Models
+======
+
+``bernoulli``
+    Today's default — handled entirely by
+    :func:`~repro.timing.errors.injector_for`; a spec with this kind is
+    byte-identical to no spec at all (same injectors, same RNG streams,
+    same cache keys).
+``burst``
+    Gilbert–Elliott two-state Markov chain: a *good* state erring at the
+    config's base ``error_rate`` and a *bad* (burst) state erring at
+    ``burst_rate``, with per-instruction transition probabilities
+    ``burst_enter`` / ``burst_exit``.
+``spatial``
+    Per-FPU rate multipliers from a seeded PVT-variation map keyed by the
+    existing stream labels (compute unit, stream core, unit kind), so the
+    same die position always gets the same multiplier for a given seed.
+``stuck-at``
+    Permanent faults pinned to individual FPUs: a seeded map marks a
+    ``stuck_fraction`` of units permanently faulty (every instruction
+    errs); healthy units follow the plain Bernoulli path on the *same*
+    streams a bernoulli run would use.
+``lut-bitflip``
+    Radiation-style single-event upsets in stored LUT entries: per
+    lookup, a stored entry may take a single-bit flip; parity detects it
+    and the entry is invalidated (scrubbed) rather than served.
+``voltage``
+    Routes :class:`~repro.timing.errors.VoltageDrivenInjector` through
+    the factory: the rate comes from the voltage model evaluated at the
+    config's operating voltage, with independent per-FPU streams.
+
+RNG-stream contract
+===================
+
+Backend bit-identity rests on every injector consuming a *fixed, documented
+number of draws per call* from its own labelled stream (see
+``docs/fault-models.md``): Bernoulli-family injectors consume one uniform
+per ``sample()`` when ``rate > 0`` and none when ``rate == 0``;
+:class:`GilbertElliottInjector` always consumes exactly two;
+:class:`StuckAtInjector` consumes none.  Map draws (PVT multiplier,
+stuck-at verdict) come from separate construction-time streams and cost
+nothing per instruction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import TimingModelError
+from ..utils.rng import RngStream
+from .errors import BernoulliInjector, NoErrorInjector, VoltageDrivenInjector
+
+#: Every fault-model kind the zoo knows.
+FAULT_MODEL_KINDS = (
+    "bernoulli",
+    "burst",
+    "spatial",
+    "stuck-at",
+    "lut-bitflip",
+    "voltage",
+)
+
+#: Per-kind parameter spelling: short name (CLI / JSON / cache identity)
+#: -> FaultModelSpec field.  Kinds absent here take no parameters.
+_PARAM_FIELDS = {
+    "burst": {
+        "rate": "burst_rate",
+        "enter": "burst_enter",
+        "exit": "burst_exit",
+    },
+    "spatial": {"sigma": "spatial_sigma"},
+    "stuck-at": {"fraction": "stuck_fraction"},
+    "lut-bitflip": {"rate": "bitflip_rate"},
+}
+
+
+@dataclass(frozen=True)
+class FaultModelSpec:
+    """Declarative selection of one fault model plus its parameters.
+
+    Lives on :class:`~repro.config.TimingConfig` and threads unchanged
+    through campaign specs, cache keys and the CLI.  Only the parameters
+    relevant to ``kind`` take part in the spec's cache identity
+    (:meth:`identity`), so e.g. ``burst_rate`` cannot perturb a
+    ``spatial`` campaign's keys.
+    """
+
+    kind: str = "bernoulli"
+    #: Error probability inside a burst (the Gilbert–Elliott bad state).
+    burst_rate: float = 0.5
+    #: Per-instruction probability of entering a burst from the good state.
+    burst_enter: float = 0.002
+    #: Per-instruction probability of leaving a burst.
+    burst_exit: float = 0.05
+    #: Log-normal sigma of the per-FPU PVT rate multipliers.
+    spatial_sigma: float = 1.0
+    #: Fraction of FPUs pinned permanently faulty by the seeded map.
+    stuck_fraction: float = 0.02
+    #: Per-lookup probability of a single-bit upset in a stored entry.
+    bitflip_rate: float = 5e-4
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_MODEL_KINDS:
+            raise TimingModelError(
+                f"unknown fault model {self.kind!r}; known: "
+                f"{', '.join(FAULT_MODEL_KINDS)}"
+            )
+        # Coerce numerics to float so cache identities cannot depend on
+        # int-vs-float spelling (canonicalize hex-encodes floats only).
+        for name in ("burst_rate", "burst_enter", "burst_exit",
+                     "stuck_fraction", "bitflip_rate", "spatial_sigma"):
+            value = getattr(self, name)
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                raise TimingModelError(
+                    f"{name} must be a number, got {value!r}"
+                ) from None
+            object.__setattr__(self, name, value)
+        for name in ("burst_rate", "burst_enter", "burst_exit",
+                     "stuck_fraction", "bitflip_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise TimingModelError(
+                    f"{name} must be a probability in [0, 1], got {value!r}"
+                )
+        if not (math.isfinite(self.spatial_sigma) and self.spatial_sigma >= 0.0):
+            raise TimingModelError(
+                f"spatial_sigma must be finite and non-negative, got "
+                f"{self.spatial_sigma!r}"
+            )
+
+    # -------------------------------------------------------------- identity
+    def identity(self) -> Optional[dict]:
+        """Canonical cache-key identity, or ``None`` for bernoulli.
+
+        ``None`` is the load-bearing case: a bernoulli spec (and an
+        absent spec) must produce byte-identical campaign fingerprints
+        and shard keys to the pre-zoo behaviour, so the default model
+        contributes *nothing* to the hashed document.
+        """
+        if self.kind == "bernoulli":
+            return None
+        document = {"kind": self.kind}
+        for short, field_name in sorted(
+            _PARAM_FIELDS.get(self.kind, {}).items()
+        ):
+            document[short] = getattr(self, field_name)
+        return document
+
+    # ------------------------------------------------------------- transport
+    def to_dict(self) -> dict:
+        """JSON form: kind plus the parameters relevant to it."""
+        document = {"kind": self.kind}
+        for short, field_name in sorted(
+            _PARAM_FIELDS.get(self.kind, {}).items()
+        ):
+            document[short] = getattr(self, field_name)
+        return document
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultModelSpec":
+        if not isinstance(data, dict):
+            raise TimingModelError(
+                f"fault model must be a JSON object or spec string, got "
+                f"{type(data).__name__}"
+            )
+        kind = str(data.get("kind", "bernoulli"))
+        if kind not in FAULT_MODEL_KINDS:
+            raise TimingModelError(
+                f"unknown fault model {kind!r}; known: "
+                f"{', '.join(FAULT_MODEL_KINDS)}"
+            )
+        params = _PARAM_FIELDS.get(kind, {})
+        unknown = sorted(set(data) - {"kind"} - set(params))
+        if unknown:
+            raise TimingModelError(
+                f"unknown parameter(s) {unknown} for fault model {kind!r}; "
+                f"known: {sorted(params)}"
+            )
+        kwargs = {"kind": kind}
+        for short, field_name in params.items():
+            if short in data:
+                try:
+                    kwargs[field_name] = float(data[short])
+                except (TypeError, ValueError):
+                    raise TimingModelError(
+                        f"fault model parameter {short!r} must be a number, "
+                        f"got {data[short]!r}"
+                    ) from None
+        return cls(**kwargs)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultModelSpec":
+        """Parse the CLI spelling ``KIND`` or ``KIND:k=v,k=v,...``.
+
+        Examples: ``burst``, ``burst:rate=0.4,enter=0.01,exit=0.1``,
+        ``stuck-at:fraction=0.05``, ``lut-bitflip:rate=1e-3``.
+        """
+        if not isinstance(text, str) or not text.strip():
+            raise TimingModelError("empty fault-model spec")
+        kind, _, params_text = text.strip().partition(":")
+        document = {"kind": kind.strip()}
+        if params_text:
+            for part in params_text.split(","):
+                key, sep, value = part.partition("=")
+                if not sep or not key.strip():
+                    raise TimingModelError(
+                        f"malformed fault-model parameter {part!r}; expected "
+                        "k=v (e.g. 'burst:rate=0.4,enter=0.01')"
+                    )
+                document[key.strip()] = value.strip()
+        return cls.from_dict(document)
+
+    @classmethod
+    def coerce(cls, value) -> Optional["FaultModelSpec"]:
+        """Accept ``None``, a spec, a JSON dict, or a CLI string."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        raise TimingModelError(
+            f"cannot interpret {value!r} as a fault model"
+        )
+
+
+def fault_model_identity(spec: Optional[FaultModelSpec]) -> Optional[dict]:
+    """Cache identity of a possibly-absent spec (``None`` == bernoulli)."""
+    if spec is None:
+        return None
+    return spec.identity()
+
+
+# --------------------------------------------------------------- injectors
+class GilbertElliottInjector:
+    """Two-state Markov error process (temporally correlated bursts).
+
+    The chain has a *good* state erring at ``good_rate`` and a *bad*
+    state erring at ``burst_rate``; after every instruction it may flip
+    state with probability ``enter_prob`` (good->bad) or ``exit_prob``
+    (bad->good).  ``rate`` reports the stationary average error rate.
+
+    Draw contract: every :meth:`sample` consumes exactly **two** uniforms
+    from the stream — one error draw, one transition draw — regardless
+    of state or rates, so the scalar and vector backends stay in
+    lockstep on the shared stream.  ``dynamic = True`` tells the vector
+    backend never to cache an error-free fast path for this injector.
+    """
+
+    dynamic = True
+
+    def __init__(
+        self,
+        good_rate: float,
+        burst_rate: float,
+        enter_prob: float,
+        exit_prob: float,
+        rng: RngStream,
+    ) -> None:
+        for name, value in (
+            ("good_rate", good_rate),
+            ("burst_rate", burst_rate),
+            ("enter_prob", enter_prob),
+            ("exit_prob", exit_prob),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise TimingModelError(
+                    f"{name} {value} is not a probability"
+                )
+        self.good_rate = good_rate
+        self.burst_rate = burst_rate
+        self.enter_prob = enter_prob
+        self.exit_prob = exit_prob
+        total = enter_prob + exit_prob
+        bad_share = enter_prob / total if total > 0.0 else 0.0
+        self.rate = good_rate * (1.0 - bad_share) + burst_rate * bad_share
+        self._rng = rng
+        self._buffer = None
+        self._cursor = 0
+        self._bad = False
+        #: Number of good->bad transitions seen so far.
+        self.bursts = 0
+        self._probe = None
+
+    def attach_probe(self, probe) -> None:
+        self._probe = probe
+
+    @property
+    def in_burst(self) -> bool:
+        return self._bad
+
+    def _refill(self) -> None:
+        self._buffer = self._rng.array_uniform(8192)
+        self._cursor = 0
+
+    def sample(self) -> bool:
+        if self._buffer is None or self._cursor + 2 > len(self._buffer):
+            self._refill()
+        buffer = self._buffer
+        cursor = self._cursor
+        error_draw = buffer[cursor]
+        flip_draw = buffer[cursor + 1]
+        self._cursor = cursor + 2
+        if self._bad:
+            error = error_draw < self.burst_rate
+            if flip_draw < self.exit_prob:
+                self._bad = False
+        else:
+            error = error_draw < self.good_rate
+            if flip_draw < self.enter_prob:
+                self._bad = True
+                self.bursts += 1
+                probe = self._probe
+                if probe is not None:
+                    probe.on_burst_entry()
+        return bool(error)
+
+
+class SpatialInjector(BernoulliInjector):
+    """Bernoulli injector at a PVT-scaled per-FPU rate.
+
+    The multiplier comes from the seeded variation map
+    (:func:`pvt_multiplier`) keyed by the FPU's stream labels; the
+    effective rate is clamped into [0, 1].  Draw contract is inherited
+    from :class:`BernoulliInjector` (one uniform per sample when the
+    scaled rate is positive, none when it is zero).
+    """
+
+    def __init__(
+        self, base_rate: float, multiplier: float, rng: RngStream
+    ) -> None:
+        if multiplier < 0.0:
+            raise TimingModelError(
+                f"PVT multiplier {multiplier} must be non-negative"
+            )
+        self.base_rate = base_rate
+        self.multiplier = multiplier
+        super().__init__(min(1.0, base_rate * multiplier), rng)
+
+
+class StuckAtInjector:
+    """A permanently faulty FPU: every instruction errs.
+
+    Consumes no RNG draws (the fault is not stochastic once pinned), so
+    stuck lanes cannot desync the shared draw order of healthy lanes.
+    With ``update_on_timing_error`` disabled the unit's LUT never fills
+    and every op pays full recovery; enabling it memorizes the replayed
+    (corrected) results, making the memo LUT the unit's only useful
+    recovery path — see ``docs/fault-models.md``.
+    """
+
+    rate = 1.0
+    dynamic = False
+
+    def attach_probe(self, probe) -> None:
+        probe.on_stuck_fault()
+
+    def sample(self) -> bool:
+        return True
+
+
+class LutBitflipCorruptor:
+    """Single-event upsets in stored LUT entries, with parity scrubbing.
+
+    :meth:`step` is called once per LUT lookup while the FIFO holds at
+    least one entry.  Draw contract: one uniform per call when
+    ``rate > 0`` (none when ``rate == 0``); on a flip, two further
+    integer draws select the victim entry (newest-first index) and the
+    flipped bit.  Lane-serial by construction — the vector backend
+    falls back to the scalar engine when a corruptor is attached.
+    """
+
+    def __init__(self, rate: float, rng: RngStream) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise TimingModelError(f"bit-flip rate {rate} is not a probability")
+        self.rate = rate
+        self._rng = rng
+        #: Total upsets produced so far.
+        self.flips = 0
+
+    def step(self, occupancy: int) -> Optional[Tuple[int, int]]:
+        """One lookup's worth of exposure; returns (entry, bit) or None."""
+        if self.rate == 0.0 or occupancy <= 0:
+            return None
+        if self._rng.uniform() >= self.rate:
+            return None
+        entry = self._rng.integers(0, occupancy)
+        bit = self._rng.integers(0, 32)
+        self.flips += 1
+        return entry, bit
+
+
+# ------------------------------------------------------------ seeded maps
+def pvt_multiplier(seed: int, sigma: float, *stream_labels: object) -> float:
+    """The PVT-variation map: a deterministic per-FPU rate multiplier.
+
+    Log-normal with median ``exp(-sigma^2/2)`` so the *mean* multiplier
+    is 1 — the device-average error rate matches the config's base rate
+    and spatial runs stay comparable to bernoulli runs.  One normal draw
+    from a dedicated ``"pvt-map"`` stream per FPU, at construction time.
+    """
+    stream = RngStream(seed, "pvt-map", *stream_labels)
+    return math.exp(stream.normal(0.0, sigma) - 0.5 * sigma * sigma)
+
+
+def is_stuck(seed: int, fraction: float, *stream_labels: object) -> bool:
+    """The stuck-at map: is the FPU at these labels permanently faulty?"""
+    return RngStream(seed, "stuck-map", *stream_labels).uniform() < fraction
+
+
+# ------------------------------------------------------------- factories
+def build_injector(spec: FaultModelSpec, config, stream_labels: tuple):
+    """Build the injector for a non-bernoulli spec (factory back half).
+
+    Called by :func:`~repro.timing.errors.injector_for`; the bernoulli
+    kind never reaches here (it takes the legacy path so streams and
+    cache keys stay byte-identical).
+    """
+    kind = spec.kind
+    if kind == "voltage":
+        rng = RngStream(config.seed, "timing-errors", *stream_labels)
+        return VoltageDrivenInjector(config.voltage, rng)
+    if kind == "burst":
+        rng = RngStream(config.seed, "faults", "burst", *stream_labels)
+        return GilbertElliottInjector(
+            config.error_rate,
+            spec.burst_rate,
+            spec.burst_enter,
+            spec.burst_exit,
+            rng,
+        )
+    if kind == "spatial":
+        multiplier = pvt_multiplier(
+            config.seed, spec.spatial_sigma, *stream_labels
+        )
+        rng = RngStream(config.seed, "timing-errors", *stream_labels)
+        return SpatialInjector(config.error_rate, multiplier, rng)
+    if kind in ("stuck-at", "lut-bitflip"):
+        if kind == "stuck-at" and is_stuck(
+            config.seed, spec.stuck_fraction, *stream_labels
+        ):
+            return StuckAtInjector()
+        # Healthy units (and the lut-bitflip injector side) follow the
+        # plain bernoulli path on the same streams a bernoulli run uses.
+        if config.error_rate == 0.0:
+            return NoErrorInjector()
+        rng = RngStream(config.seed, "timing-errors", *stream_labels)
+        return BernoulliInjector(config.error_rate, rng)
+    raise TimingModelError(f"unknown fault model {kind!r}")
+
+
+def corruptor_for(timing, *stream_labels: object):
+    """The LUT corruptor for a timing config, or ``None``.
+
+    Only the ``lut-bitflip`` model corrupts storage; its stream is
+    separate from the injector streams so attaching corruption cannot
+    shift the error-draw order.
+    """
+    spec = getattr(timing, "fault_model", None)
+    if spec is None or spec.kind != "lut-bitflip":
+        return None
+    rng = RngStream(timing.seed, "lut-bitflip", *stream_labels)
+    return LutBitflipCorruptor(spec.bitflip_rate, rng)

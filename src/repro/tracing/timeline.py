@@ -45,6 +45,7 @@ INSTANT_HIT = "memo.hit"
 INSTANT_COMMUTE = "memo.commute"
 INSTANT_MISS = "memo.miss"
 INSTANT_MASKED = "ecu.masked"
+INSTANT_BITFLIP = "memo.bitflip"
 INSTANT_ROUND = "round"
 INSTANT_CLAUSE = "clause"
 
@@ -189,6 +190,12 @@ class LaneTracer:
         else:
             name = INSTANT_MISS
         self.tracer.instant(name, "memo", self.pid, self.tid, self.cycle)
+
+    def on_lut_bitflip(self) -> None:
+        """A stored entry took a detected upset and was scrubbed."""
+        self.tracer.instant(
+            INSTANT_BITFLIP, "memo", self.pid, self.tid, self.cycle
+        )
 
     # ------------------------------------------------------------------ ECU
     def on_recovery(self, cycles: int) -> None:

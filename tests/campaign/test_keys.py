@@ -158,3 +158,128 @@ class TestTaskKeys:
         assert (
             sweep_point_key(point(timing=TimingConfig(error_rate=0.1))) != base
         )
+
+
+class TestFaultModelKeyInvariance:
+    """Legacy keys must stay byte-identical under the fault-model field.
+
+    The load-bearing contract: an absent fault model and an explicit
+    ``bernoulli`` spec contribute *nothing* to the hashed documents, so
+    every blob written before the zoo existed keeps its key.
+    """
+
+    def _shard(self, **overrides):
+        defaults = dict(
+            factory=KERNEL_REGISTRY["Haar"].default_factory,
+            threshold=0.046,
+            error_rate=0.1,
+            seed=1,
+        )
+        defaults.update(overrides)
+        return SeedShardTask(**defaults)
+
+    def _legacy_seed_shard_key(self, task):
+        """The pre-zoo document, hand-built field by field."""
+        from repro.campaign.keys import SCHEMA_VERSION
+
+        return content_hash(
+            {
+                "kind": "multirun.seed_shard",
+                "schema": SCHEMA_VERSION,
+                "factory": factory_identity(task.factory),
+                "threshold": task.threshold,
+                "error_rate": task.error_rate,
+                "seed": task.seed,
+                "collect_telemetry": task.collect_telemetry,
+            }
+        )
+
+    def test_seed_shard_key_matches_legacy_document(self):
+        task = self._shard()
+        assert seed_shard_key(task) == self._legacy_seed_shard_key(task)
+
+    def test_bernoulli_fault_spec_keeps_legacy_key(self):
+        from repro.timing.faults import FaultModelSpec
+
+        task = self._shard(fault_model=FaultModelSpec())
+        assert seed_shard_key(task) == self._legacy_seed_shard_key(task)
+
+    def test_non_default_fault_model_moves_seed_shard_key(self):
+        from repro.timing.faults import FaultModelSpec
+
+        base = seed_shard_key(self._shard())
+        burst = seed_shard_key(
+            self._shard(fault_model=FaultModelSpec(kind="burst"))
+        )
+        assert burst != base
+        assert burst != seed_shard_key(
+            self._shard(
+                fault_model=FaultModelSpec(kind="burst", burst_rate=0.9)
+            )
+        )
+
+    def test_kind_irrelevant_params_do_not_move_the_key(self):
+        from repro.timing.faults import FaultModelSpec
+
+        a = self._shard(
+            fault_model=FaultModelSpec(kind="spatial", burst_rate=0.9)
+        )
+        b = self._shard(
+            fault_model=FaultModelSpec(kind="spatial", burst_rate=0.1)
+        )
+        assert seed_shard_key(a) == seed_shard_key(b)
+
+    def _sweep(self, **overrides):
+        defaults = dict(
+            x=1.0,
+            factory=KERNEL_REGISTRY["Haar"].default_factory,
+            memo=MemoConfig(threshold=1.0),
+            timing=TimingConfig(error_rate=0.1),
+        )
+        defaults.update(overrides)
+        return SweepTask(**defaults)
+
+    def _legacy_sweep_point_key(self, task):
+        from repro.campaign.keys import SCHEMA_VERSION
+
+        timing = canonicalize(task.timing)
+        timing.pop("fault_model", None)
+        return content_hash(
+            {
+                "kind": "sweep.point",
+                "schema": SCHEMA_VERSION,
+                "factory": factory_identity(task.factory),
+                "x": task.x,
+                "memo": task.memo,
+                "timing": timing,
+                "energy_params": task.energy_params,
+            }
+        )
+
+    def test_sweep_point_key_matches_legacy_document(self):
+        task = self._sweep()
+        assert sweep_point_key(task) == self._legacy_sweep_point_key(task)
+
+    def test_bernoulli_sweep_timing_keeps_legacy_key(self):
+        from repro.timing.faults import FaultModelSpec
+
+        task = self._sweep(
+            timing=TimingConfig(error_rate=0.1, fault_model=FaultModelSpec())
+        )
+        assert sweep_point_key(task) == self._legacy_sweep_point_key(
+            self._sweep()
+        )
+
+    def test_non_default_fault_model_moves_sweep_key(self):
+        from repro.timing.faults import FaultModelSpec
+
+        base = sweep_point_key(self._sweep())
+        moved = sweep_point_key(
+            self._sweep(
+                timing=TimingConfig(
+                    error_rate=0.1,
+                    fault_model=FaultModelSpec(kind="stuck-at"),
+                )
+            )
+        )
+        assert moved != base

@@ -202,3 +202,74 @@ class TestBackendField:
         document = tiny_spec().to_dict()
         assert "backend" not in document
         assert CampaignSpec.from_dict(document).backend == "scalar"
+
+
+class TestFaultModelSpecField:
+    def test_fingerprint_invariant_under_default_fault_model(self):
+        from repro.timing.faults import FaultModelSpec
+
+        assert (
+            tiny_spec().fingerprint()
+            == tiny_spec(fault_model=FaultModelSpec()).fingerprint()
+        )
+
+    def test_non_default_fault_model_moves_fingerprint_and_keys(self):
+        from repro.timing.faults import FaultModelSpec
+
+        base = tiny_spec()
+        burst = tiny_spec(
+            fault_model=FaultModelSpec(kind="burst", burst_rate=0.4)
+        )
+        assert base.fingerprint() != burst.fingerprint()
+        assert [t.key for t in base.tasks()] != [t.key for t in burst.tasks()]
+
+    def test_tasks_carry_the_fault_model(self):
+        from repro.timing.faults import FaultModelSpec
+
+        spec = tiny_spec(fault_model=FaultModelSpec(kind="spatial"))
+        for task in spec.tasks():
+            assert task.shard.fault_model is spec.fault_model
+
+    def test_default_fault_model_omitted_from_document(self):
+        from repro.timing.faults import FaultModelSpec
+
+        assert "fault_model" not in tiny_spec().to_dict()
+        assert (
+            "fault_model"
+            not in tiny_spec(fault_model=FaultModelSpec()).to_dict()
+        )
+
+    def test_fault_model_round_trip(self):
+        from repro.timing.faults import FaultModelSpec
+
+        spec = tiny_spec(
+            fault_model=FaultModelSpec(
+                kind="burst", burst_rate=0.4, burst_enter=0.01, burst_exit=0.1
+            )
+        )
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert clone.fault_model == spec.fault_model
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_from_dict_accepts_string_spelling(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "tiny",
+                "kernels": ["Haar"],
+                "fault_model": "stuck-at:fraction=0.05",
+            }
+        )
+        assert spec.fault_model.kind == "stuck-at"
+        assert spec.fault_model.stuck_fraction == 0.05
+
+    def test_unknown_fault_model_is_a_campaign_error(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_dict(
+                {
+                    "name": "tiny",
+                    "kernels": ["Haar"],
+                    "fault_model": {"kind": "gremlins"},
+                }
+            )
+        with pytest.raises(CampaignError):
+            tiny_spec(fault_model="burst")  # strings must be coerced first

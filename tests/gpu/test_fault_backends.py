@@ -1,0 +1,189 @@
+"""Backend equivalence and fast-path pinning under the fault-model zoo.
+
+Two contracts are pinned here.  First, the vector backend's error-free
+fast path may only be taken for injectors whose rate is *statically*
+zero — injectors that declare ``dynamic = True`` must be sampled every
+instruction even when their construction-time rate reads 0.0 (the
+original static snapshot silently dropped every error such an injector
+would later produce).  Second, every fault model in the zoo must run
+bit-identically on the scalar and vector backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    MemoConfig,
+    SimConfig,
+    TelemetryConfig,
+    TimingConfig,
+    small_arch,
+)
+from repro.gpu.executor import GpuExecutor
+from repro.kernels.registry import KERNEL_REGISTRY
+from repro.timing.faults import FaultModelSpec
+
+
+def _run(kernel: str, config: SimConfig, patch_injector=None):
+    executor = GpuExecutor(config)
+    if patch_injector is not None:
+        for unit in executor.device.compute_units:
+            for core in unit.stream_cores:
+                for fpu in core.fpus.values():
+                    fpu.injector = patch_injector()
+    output = KERNEL_REGISTRY[kernel].default_factory().run(executor)
+    return executor, output
+
+
+def _assert_equivalent(kernel: str, scalar_cfg: SimConfig, patch=None):
+    s_ex, s_out = _run(kernel, scalar_cfg, patch)
+    v_ex, v_out = _run(kernel, scalar_cfg.with_backend("vector"), patch)
+    assert np.asarray(s_out, dtype=np.float32).tobytes() == np.asarray(
+        v_out, dtype=np.float32
+    ).tobytes()
+    assert s_ex.device.lut_stats() == v_ex.device.lut_stats()
+    assert s_ex.device.ecu_stats() == v_ex.device.ecu_stats()
+    assert s_ex.device.counters() == v_ex.device.counters()
+    assert s_ex.device.executed_ops == v_ex.device.executed_ops
+    if scalar_cfg.telemetry.enabled:
+        assert (
+            s_ex.telemetry.registry.snapshot()
+            == v_ex.telemetry.registry.snapshot()
+        )
+    return s_ex
+
+
+class DelayedOnsetInjector:
+    """Rate reads 0.0 at construction, then every op errs after ``after``.
+
+    Deterministic (no RNG), so both backends see identical error
+    positions as long as they actually call :meth:`sample` — which is
+    exactly what ``dynamic = True`` must guarantee.
+    """
+
+    dynamic = True
+
+    def __init__(self, after: int) -> None:
+        self.rate = 0.0
+        self.after = after
+        self.calls = 0
+
+    def sample(self) -> bool:
+        self.calls += 1
+        if self.calls > self.after:
+            self.rate = 1.0
+            return True
+        return False
+
+
+class TestDynamicRatePinning:
+    """Regression for the static no_error/rate snapshot in _KindState."""
+
+    def _config(self, backend="scalar"):
+        return SimConfig(
+            arch=small_arch(),
+            memo=MemoConfig(),
+            timing=TimingConfig(error_rate=0.0),
+            backend=backend,
+        )
+
+    def test_vector_backend_samples_dynamic_zero_rate_injectors(self):
+        executor = _assert_equivalent(
+            "Haar", self._config(), patch=lambda: DelayedOnsetInjector(10)
+        )
+        injected = sum(
+            c.errors_injected for c in executor.device.counters().values()
+        )
+        # The onset fired: with the old construction-time snapshot the
+        # vector backend would have reported zero injections here.
+        assert injected > 0
+
+    def test_static_zero_rate_fast_path_still_error_free(self):
+        executor = _assert_equivalent("Haar", self._config())
+        assert all(
+            c.errors_injected == 0
+            for c in executor.device.counters().values()
+        )
+
+
+class TestFaultModelBackendEquivalence:
+    """Every zoo model is bit-identical across backends (two kernels)."""
+
+    def _config(self, spec, error_rate=0.02):
+        return SimConfig(
+            arch=small_arch(),
+            memo=MemoConfig(update_on_timing_error=True),
+            timing=TimingConfig(
+                error_rate=error_rate, seed=11, fault_model=spec
+            ),
+            telemetry=TelemetryConfig(enabled=True),
+        )
+
+    @pytest.mark.parametrize("kernel", ["Haar", "FWT"])
+    def test_bernoulli(self, kernel):
+        _assert_equivalent(kernel, self._config(FaultModelSpec()))
+
+    @pytest.mark.parametrize("kernel", ["Haar", "FWT"])
+    def test_burst(self, kernel):
+        spec = FaultModelSpec(
+            kind="burst", burst_rate=0.5, burst_enter=0.02, burst_exit=0.1
+        )
+        executor = _assert_equivalent(kernel, self._config(spec))
+        injected = sum(
+            c.errors_injected for c in executor.device.counters().values()
+        )
+        assert injected > 0
+
+    @pytest.mark.parametrize("kernel", ["Haar", "FWT"])
+    def test_spatial(self, kernel):
+        spec = FaultModelSpec(kind="spatial", spatial_sigma=1.5)
+        _assert_equivalent(kernel, self._config(spec, error_rate=0.05))
+
+    @pytest.mark.parametrize("kernel", ["Haar", "FWT"])
+    def test_stuck_at(self, kernel):
+        spec = FaultModelSpec(kind="stuck-at", stuck_fraction=0.25)
+        _assert_equivalent(kernel, self._config(spec))
+
+    @pytest.mark.parametrize("kernel", ["Haar", "FWT"])
+    def test_lut_bitflip(self, kernel):
+        spec = FaultModelSpec(kind="lut-bitflip", bitflip_rate=0.02)
+        executor = _assert_equivalent(kernel, self._config(spec))
+        flips = sum(
+            s.bitflips for s in executor.device.lut_stats().values()
+        )
+        assert flips > 0
+
+    @pytest.mark.parametrize("kernel", ["Haar", "FWT"])
+    def test_voltage(self, kernel):
+        spec = FaultModelSpec(kind="voltage")
+        config = SimConfig(
+            arch=small_arch(),
+            memo=MemoConfig(),
+            timing=TimingConfig(voltage=0.82, seed=11, fault_model=spec),
+        )
+        executor = _assert_equivalent(kernel, config)
+        injected = sum(
+            c.errors_injected for c in executor.device.counters().values()
+        )
+        assert injected > 0
+
+
+class TestLutBitflipFallback:
+    def test_vector_request_falls_back_silently_and_completely(self):
+        config = SimConfig(
+            arch=small_arch(),
+            memo=MemoConfig(),
+            timing=TimingConfig(
+                error_rate=0.02,
+                seed=1,
+                fault_model=FaultModelSpec(
+                    kind="lut-bitflip", bitflip_rate=0.05
+                ),
+            ),
+            backend="vector",
+        )
+        executor, _ = _run("Haar", config)
+        assert executor.device.executed_ops > 0
+        assert sum(
+            s.bitflips for s in executor.device.lut_stats().values()
+        ) > 0

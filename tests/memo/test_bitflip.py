@@ -1,0 +1,142 @@
+"""LUT storage corruption under the lut-bitflip fault model.
+
+Parity-triggered scrubbing: an upset in a stored entry is detected at
+the next lookup and the entry is invalidated instead of served, so
+corruption costs capacity, never correctness.
+"""
+
+import pytest
+
+from repro.config import MemoConfig
+from repro.errors import MemoizationError
+from repro.memo.fifo import MemoFifo
+from repro.memo.lut import LutStats, MemoLUT
+from repro.timing.faults import LutBitflipCorruptor
+from repro.utils.rng import RngStream
+
+
+class AlwaysFlipNewest:
+    """A deterministic corruptor: every exposure flips the newest entry."""
+
+    rate = 1.0
+
+    def __init__(self):
+        self.flips = 0
+
+    def step(self, occupancy):
+        if occupancy <= 0:
+            return None
+        self.flips += 1
+        return 0, 7
+
+
+class NeverFlips:
+    rate = 0.0
+
+    def step(self, occupancy):
+        return None
+
+
+class TestFifoInvalidate:
+    def test_invalidate_newest(self, add_op):
+        fifo = MemoFifo(2)
+        fifo.insert(add_op, (1.0, 2.0), 3.0)
+        fifo.insert(add_op, (4.0, 5.0), 9.0)
+        fifo.invalidate(0)
+        assert len(fifo) == 1
+        assert fifo.entries[0].result == 3.0
+
+    def test_invalidate_oldest(self, add_op):
+        fifo = MemoFifo(2)
+        fifo.insert(add_op, (1.0, 2.0), 3.0)
+        fifo.insert(add_op, (4.0, 5.0), 9.0)
+        fifo.invalidate(1)
+        assert len(fifo) == 1
+        assert fifo.entries[0].result == 9.0
+
+    def test_out_of_range_rejected(self, add_op):
+        fifo = MemoFifo(2)
+        fifo.insert(add_op, (1.0, 2.0), 3.0)
+        with pytest.raises(MemoizationError):
+            fifo.invalidate(1)
+        with pytest.raises(MemoizationError):
+            fifo.invalidate(-1)
+
+
+class TestLutCorruption:
+    def test_detected_flip_scrubs_instead_of_serving(self, add_op):
+        lut = MemoLUT(MemoConfig(threshold=0.0))
+        lut.attach_corruptor(AlwaysFlipNewest())
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        # The stored entry takes an upset at lookup time; parity catches
+        # it, the entry is scrubbed and the lookup misses.
+        hit, result, _ = lut.lookup(add_op, (1.0, 2.0))
+        assert not hit and result is None
+        assert len(lut.fifo) == 0
+        assert lut.stats.bitflips == 1
+        assert lut.stats.bitflips_detected == 1
+
+    def test_empty_fifo_never_exposed(self, add_op):
+        lut = MemoLUT()
+        corruptor = AlwaysFlipNewest()
+        lut.attach_corruptor(corruptor)
+        lut.lookup(add_op, (1.0, 2.0))
+        assert corruptor.flips == 0
+        assert lut.stats.bitflips == 0
+
+    def test_zero_rate_corruptor_changes_nothing(self, add_op):
+        lut = MemoLUT()
+        lut.attach_corruptor(NeverFlips())
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        hit, result, _ = lut.lookup(add_op, (1.0, 2.0))
+        assert hit and result == 3.0
+        assert lut.stats.bitflips == 0
+
+    def test_real_corruptor_end_to_end(self, add_op):
+        lut = MemoLUT(MemoConfig(fifo_depth=2))
+        lut.attach_corruptor(
+            LutBitflipCorruptor(1.0, RngStream(3, "lut-bitflip"))
+        )
+        lut.update(add_op, (1.0, 2.0), 3.0)
+        lut.update(add_op, (4.0, 5.0), 9.0)
+        lut.lookup(add_op, (1.0, 2.0))
+        assert lut.stats.bitflips == 1
+        assert len(lut.fifo) == 1
+
+    def test_stats_merge_carries_bitflips(self):
+        a = LutStats(bitflips=2, bitflips_detected=2)
+        b = LutStats(bitflips=3, bitflips_detected=3)
+        a.merge(b)
+        assert a.bitflips == 5
+        assert a.bitflips_detected == 5
+
+
+class TestCodecByteIdentity:
+    def test_zero_bitflips_payload_is_legacy_shaped(self):
+        from repro.campaign.codec import _lut_stats_to_dict
+
+        document = _lut_stats_to_dict(LutStats(lookups=4, hits=2, updates=2))
+        assert "bitflips" not in document
+        assert "bitflips_detected" not in document
+
+    def test_nonzero_bitflips_round_trip(self):
+        from repro.campaign.codec import (
+            _lut_stats_from_dict,
+            _lut_stats_to_dict,
+        )
+
+        stats = LutStats(
+            lookups=4, hits=1, updates=3, bitflips=2, bitflips_detected=2
+        )
+        decoded = _lut_stats_from_dict(_lut_stats_to_dict(stats))
+        assert decoded.bitflips == 2
+        assert decoded.bitflips_detected == 2
+
+    def test_legacy_payload_decodes_to_zero(self):
+        from repro.campaign.codec import _lut_stats_from_dict
+
+        decoded = _lut_stats_from_dict(
+            {"lookups": 4, "hits": 2, "updates": 2, "outcomes": {}}
+        )
+        assert decoded.bitflips == 0
+        assert decoded.bitflips_detected == 0

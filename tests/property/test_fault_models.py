@@ -1,0 +1,147 @@
+"""Property tests for the fault-model zoo.
+
+Three families of invariants: every injector is a pure function of
+(seed, stream labels) — the determinism backend bit-identity rests on;
+the spec transport (dict / CLI string) round-trips losslessly; and the
+default model's cache identity is indistinguishable from no model at
+all, whatever the parameter spelling.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TimingConfig
+from repro.timing.errors import injector_for
+from repro.timing.faults import (
+    FaultModelSpec,
+    GilbertElliottInjector,
+    LutBitflipCorruptor,
+    is_stuck,
+    pvt_multiplier,
+)
+from repro.utils.rng import RngStream
+
+PROBABILITIES = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+SIGMAS = st.floats(
+    min_value=0.0, max_value=4.0, allow_nan=False, allow_infinity=False
+)
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+LABELS = st.lists(
+    st.one_of(st.text(max_size=8), st.integers(min_value=0, max_value=999)),
+    max_size=3,
+)
+
+NON_DEFAULT_SPECS = st.one_of(
+    st.builds(
+        FaultModelSpec,
+        kind=st.just("burst"),
+        burst_rate=PROBABILITIES,
+        burst_enter=PROBABILITIES,
+        burst_exit=PROBABILITIES,
+    ),
+    st.builds(
+        FaultModelSpec, kind=st.just("spatial"), spatial_sigma=SIGMAS
+    ),
+    st.builds(
+        FaultModelSpec, kind=st.just("stuck-at"), stuck_fraction=PROBABILITIES
+    ),
+    st.builds(
+        FaultModelSpec, kind=st.just("lut-bitflip"), bitflip_rate=PROBABILITIES
+    ),
+)
+
+
+class TestInjectorDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS, labels=LABELS, spec=NON_DEFAULT_SPECS)
+    def test_same_seed_and_labels_reproduce(self, seed, labels, spec):
+        config = TimingConfig(error_rate=0.1, seed=seed, fault_model=spec)
+        a = injector_for(config, *labels)
+        b = injector_for(config, *labels)
+        assert type(a) is type(b)
+        assert a.rate == b.rate
+        assert [a.sample() for _ in range(64)] == [
+            b.sample() for _ in range(64)
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=SEEDS,
+        labels=LABELS,
+        good=PROBABILITIES,
+        bad=PROBABILITIES,
+        enter=PROBABILITIES,
+        exit_=PROBABILITIES,
+    )
+    def test_gilbert_elliott_two_draw_contract(
+        self, seed, labels, good, bad, enter, exit_
+    ):
+        injector = GilbertElliottInjector(
+            good, bad, enter, exit_, RngStream(seed, "faults", *labels)
+        )
+        shadow = RngStream(seed, "faults", *labels).array_uniform(256)
+        for step in range(128):
+            threshold = bad if injector.in_burst else good
+            assert injector.sample() == (shadow[2 * step] < threshold)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=SEEDS, sigma=SIGMAS, labels=LABELS)
+    def test_pvt_map_is_a_pure_positive_function(self, seed, sigma, labels):
+        value = pvt_multiplier(seed, sigma, *labels)
+        assert value == pvt_multiplier(seed, sigma, *labels)
+        assert value > 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=SEEDS, fraction=PROBABILITIES, labels=LABELS)
+    def test_stuck_map_is_a_pure_function(self, seed, fraction, labels):
+        assert is_stuck(seed, fraction, *labels) == is_stuck(
+            seed, fraction, *labels
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS, rate=PROBABILITIES)
+    def test_corruptor_flips_stay_in_bounds(self, seed, rate):
+        corruptor = LutBitflipCorruptor(rate, RngStream(seed, "lut-bitflip"))
+        for occupancy in (1, 2, 3):
+            for _ in range(16):
+                flip = corruptor.step(occupancy)
+                if flip is not None:
+                    entry, bit = flip
+                    assert 0 <= entry < occupancy
+                    assert 0 <= bit < 32
+
+
+class TestSpecTransport:
+    @settings(max_examples=100, deadline=None)
+    @given(spec=NON_DEFAULT_SPECS)
+    def test_dict_round_trip_is_lossless(self, spec):
+        clone = FaultModelSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.identity() == spec.identity()
+
+    @settings(max_examples=100, deadline=None)
+    @given(spec=NON_DEFAULT_SPECS)
+    def test_cli_string_round_trip_preserves_identity(self, spec):
+        text = spec.kind + ":" + ",".join(
+            f"{key}={value!r}" for key, value in spec.to_dict().items()
+            if key != "kind"
+        )
+        assert FaultModelSpec.parse(text).identity() == spec.identity()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        burst_rate=PROBABILITIES,
+        burst_enter=PROBABILITIES,
+        spatial_sigma=SIGMAS,
+    )
+    def test_bernoulli_identity_ignores_every_parameter(
+        self, burst_rate, burst_enter, spatial_sigma
+    ):
+        spec = FaultModelSpec(
+            burst_rate=burst_rate,
+            burst_enter=burst_enter,
+            spatial_sigma=spatial_sigma,
+        )
+        assert spec.identity() is None

@@ -98,10 +98,10 @@ class TestExperiment:
             cli_mod,
             "EXPERIMENTS",
             {
-                "alpha": lambda jobs=1, store=None, backend="scalar": (
+                "alpha": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
                     calls.append("alpha") or "alpha output"
                 ),
-                "beta": lambda jobs=1, store=None, backend="scalar": (
+                "beta": lambda jobs=1, store=None, backend="scalar", fault_model=None: (
                     calls.append("beta") or "beta output"
                 ),
             },
@@ -233,7 +233,7 @@ class TestTelemetryCli:
         monkeypatch.setattr(
             cli_mod,
             "EXPERIMENTS",
-            {"tiny": lambda jobs=1, store=None, backend="scalar": "tiny output"},
+            {"tiny": lambda jobs=1, store=None, backend="scalar", fault_model=None: "tiny output"},
         )
         path = tmp_path / "exp.json"
         code, _ = run_cli("experiment", "tiny", "--emit-json", str(path))

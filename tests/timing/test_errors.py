@@ -51,6 +51,25 @@ class TestBernoulliInjector:
         with pytest.raises(TimingModelError):
             BernoulliInjector(-0.1, RngStream(1))
 
+    # The draw-consumption contract below is load-bearing: both execution
+    # backends call the same injector objects in the same per-lane order,
+    # so backend bit-identity rests on every sample() consuming a fixed,
+    # rate-determined number of stream draws (docs/fault-models.md).
+
+    def test_rate_zero_consumes_no_draws(self):
+        rng = RngStream(6, "timing-errors")
+        injector = BernoulliInjector(0.0, rng)
+        for _ in range(100):
+            injector.sample()
+        # The stream is untouched: a fresh stream yields the same next draw.
+        assert rng.uniform() == RngStream(6, "timing-errors").uniform()
+
+    def test_positive_rate_consumes_one_uniform_per_sample(self):
+        injector = BernoulliInjector(0.5, RngStream(7, "timing-errors"))
+        shadow = RngStream(7, "timing-errors").array_uniform(8192)
+        samples = [injector.sample() for _ in range(300)]
+        assert samples == [bool(draw < 0.5) for draw in shadow[:300]]
+
 
 class TestVoltageDrivenInjector:
     def test_nominal_voltage_is_error_free(self):

@@ -1,0 +1,390 @@
+"""Tests for the fault-model zoo (:mod:`repro.timing.faults`)."""
+
+import pytest
+
+from repro.config import TimingConfig
+from repro.errors import TimingModelError
+from repro.timing.errors import (
+    BernoulliInjector,
+    NoErrorInjector,
+    VoltageDrivenInjector,
+    injector_for,
+)
+from repro.timing.faults import (
+    FAULT_MODEL_KINDS,
+    FaultModelSpec,
+    GilbertElliottInjector,
+    LutBitflipCorruptor,
+    SpatialInjector,
+    StuckAtInjector,
+    corruptor_for,
+    fault_model_identity,
+    is_stuck,
+    pvt_multiplier,
+)
+from repro.utils.rng import RngStream
+
+
+class TestFaultModelSpec:
+    def test_default_is_bernoulli(self):
+        assert FaultModelSpec().kind == "bernoulli"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TimingModelError):
+            FaultModelSpec(kind="cosmic-rays")
+
+    def test_probability_params_validated(self):
+        with pytest.raises(TimingModelError):
+            FaultModelSpec(kind="burst", burst_rate=1.5)
+        with pytest.raises(TimingModelError):
+            FaultModelSpec(kind="stuck-at", stuck_fraction=-0.1)
+        with pytest.raises(TimingModelError):
+            FaultModelSpec(kind="spatial", spatial_sigma=-1.0)
+        with pytest.raises(TimingModelError):
+            FaultModelSpec(kind="spatial", spatial_sigma=float("inf"))
+
+    def test_int_params_coerced_to_float(self):
+        spec = FaultModelSpec(kind="burst", burst_rate=1)
+        assert isinstance(spec.burst_rate, float)
+        assert spec == FaultModelSpec(kind="burst", burst_rate=1.0)
+        assert spec.identity() == FaultModelSpec(
+            kind="burst", burst_rate=1.0
+        ).identity()
+
+    def test_bernoulli_identity_is_none(self):
+        assert FaultModelSpec().identity() is None
+        assert fault_model_identity(None) is None
+        assert fault_model_identity(FaultModelSpec()) is None
+
+    def test_identity_only_carries_kind_relevant_params(self):
+        a = FaultModelSpec(kind="spatial", spatial_sigma=0.5, burst_rate=0.9)
+        b = FaultModelSpec(kind="spatial", spatial_sigma=0.5, burst_rate=0.1)
+        assert a.identity() == b.identity()
+        assert a.identity() == {"kind": "spatial", "sigma": 0.5}
+
+    def test_dict_round_trip(self):
+        for kind in FAULT_MODEL_KINDS:
+            spec = FaultModelSpec(kind=kind)
+            assert FaultModelSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_params(self):
+        with pytest.raises(TimingModelError):
+            FaultModelSpec.from_dict({"kind": "burst", "sigma": 1.0})
+        with pytest.raises(TimingModelError):
+            FaultModelSpec.from_dict({"kind": "nope"})
+        with pytest.raises(TimingModelError):
+            FaultModelSpec.from_dict({"kind": "burst", "rate": "abc"})
+
+    def test_parse_cli_spelling(self):
+        spec = FaultModelSpec.parse("burst:rate=0.4,enter=0.01,exit=0.1")
+        assert spec.kind == "burst"
+        assert spec.burst_rate == 0.4
+        assert spec.burst_enter == 0.01
+        assert spec.burst_exit == 0.1
+        assert FaultModelSpec.parse("stuck-at").kind == "stuck-at"
+        assert FaultModelSpec.parse("lut-bitflip:rate=1e-3").bitflip_rate == 1e-3
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(TimingModelError):
+            FaultModelSpec.parse("")
+        with pytest.raises(TimingModelError):
+            FaultModelSpec.parse("burst:rate")
+        with pytest.raises(TimingModelError):
+            FaultModelSpec.parse("burst:=0.4")
+
+    def test_coerce_accepts_all_spellings(self):
+        spec = FaultModelSpec(kind="spatial", spatial_sigma=0.5)
+        assert FaultModelSpec.coerce(None) is None
+        assert FaultModelSpec.coerce(spec) is spec
+        assert FaultModelSpec.coerce("spatial:sigma=0.5") == spec
+        assert FaultModelSpec.coerce({"kind": "spatial", "sigma": 0.5}) == spec
+        with pytest.raises(TimingModelError):
+            FaultModelSpec.coerce(42)
+
+
+class TestGilbertElliott:
+    def _injector(self, seed=1, **kwargs):
+        params = dict(
+            good_rate=0.01, burst_rate=0.6, enter_prob=0.05, exit_prob=0.2
+        )
+        params.update(kwargs)
+        return GilbertElliottInjector(
+            rng=RngStream(seed, "faults", "burst"), **params
+        )
+
+    def test_dynamic_flag(self):
+        assert self._injector().dynamic is True
+
+    def test_deterministic_given_seed(self):
+        a = [self._injector(seed=3).sample() for _ in range(500)]
+        b = [self._injector(seed=3).sample() for _ in range(500)]
+        assert a == b
+
+    def test_two_draw_contract(self):
+        injector = self._injector(seed=7)
+        shadow = RngStream(7, "faults", "burst").array_uniform(8192)
+        for step in range(200):
+            error_draw = shadow[2 * step]
+            expected = error_draw < (
+                injector.burst_rate if injector.in_burst else injector.good_rate
+            )
+            assert injector.sample() == expected
+
+    def test_stationary_rate(self):
+        injector = self._injector(enter_prob=0.1, exit_prob=0.3)
+        expected = 0.01 * 0.75 + 0.6 * 0.25
+        assert injector.rate == pytest.approx(expected)
+        fires = sum(injector.sample() for _ in range(40000))
+        assert abs(fires / 40000 - expected) < 0.02
+
+    def test_errors_cluster_in_bursts(self):
+        injector = self._injector(
+            seed=11, good_rate=0.0, burst_rate=1.0, enter_prob=0.01,
+            exit_prob=0.2,
+        )
+        samples = [injector.sample() for _ in range(20000)]
+        assert injector.bursts > 0
+        # Every error happens inside a burst, so errors must be adjacent
+        # far more often than an i.i.d. stream at the same rate would be.
+        errors = sum(samples)
+        adjacent = sum(
+            1 for a, b in zip(samples, samples[1:]) if a and b
+        )
+        assert errors > 0
+        assert adjacent / errors > 0.3
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(TimingModelError):
+            self._injector(enter_prob=1.5)
+
+    def test_buffer_refill_beyond_8192(self):
+        injector = self._injector(seed=5)
+        samples = [injector.sample() for _ in range(10000)]
+        assert any(samples)
+
+
+class TestSpatialInjector:
+    def test_multiplier_scales_rate(self):
+        injector = SpatialInjector(0.1, 2.0, RngStream(1))
+        assert injector.rate == pytest.approx(0.2)
+        assert injector.base_rate == 0.1
+        assert injector.multiplier == 2.0
+
+    def test_rate_clamped_to_one(self):
+        assert SpatialInjector(0.8, 5.0, RngStream(1)).rate == 1.0
+
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(TimingModelError):
+            SpatialInjector(0.1, -0.5, RngStream(1))
+
+    def test_pvt_map_deterministic_per_labels(self):
+        a = pvt_multiplier(3, 1.0, "cu0", "sc1", "ADD")
+        assert a == pvt_multiplier(3, 1.0, "cu0", "sc1", "ADD")
+        assert a != pvt_multiplier(3, 1.0, "cu0", "sc1", "MUL")
+        assert a != pvt_multiplier(4, 1.0, "cu0", "sc1", "ADD")
+        assert a > 0.0
+
+    def test_pvt_map_mean_is_one(self):
+        sigma = 1.0
+        values = [
+            pvt_multiplier(0, sigma, "fpu", index) for index in range(4000)
+        ]
+        mean = sum(values) / len(values)
+        assert abs(mean - 1.0) < 0.15
+
+    def test_zero_sigma_is_exactly_one(self):
+        assert pvt_multiplier(9, 0.0, "x") == pytest.approx(1.0)
+
+
+class TestStuckAt:
+    def test_always_fires_without_draws(self):
+        injector = StuckAtInjector()
+        assert injector.rate == 1.0
+        assert injector.dynamic is False
+        assert all(injector.sample() for _ in range(100))
+
+    def test_stuck_map_deterministic(self):
+        verdicts = [is_stuck(5, 0.5, "fpu", index) for index in range(100)]
+        assert verdicts == [is_stuck(5, 0.5, "fpu", index) for index in range(100)]
+        assert any(verdicts) and not all(verdicts)
+
+    def test_stuck_map_fraction(self):
+        hits = sum(is_stuck(1, 0.1, "fpu", index) for index in range(5000))
+        assert 350 < hits < 650
+
+    def test_fraction_extremes(self):
+        assert not any(is_stuck(1, 0.0, "fpu", index) for index in range(50))
+        assert all(is_stuck(1, 1.0, "fpu", index) for index in range(50))
+
+
+class TestLutBitflipCorruptor:
+    def test_zero_rate_consumes_nothing(self):
+        rng = RngStream(1, "lut-bitflip")
+        corruptor = LutBitflipCorruptor(0.0, rng)
+        assert all(corruptor.step(2) is None for _ in range(100))
+        # The stream was never touched.
+        assert rng.uniform() == RngStream(1, "lut-bitflip").uniform()
+
+    def test_empty_fifo_is_not_exposed(self):
+        rng = RngStream(1, "lut-bitflip")
+        corruptor = LutBitflipCorruptor(1.0, rng)
+        assert corruptor.step(0) is None
+        assert corruptor.flips == 0
+
+    def test_flip_bounds_and_counter(self):
+        corruptor = LutBitflipCorruptor(1.0, RngStream(2, "lut-bitflip"))
+        for _ in range(200):
+            entry, bit = corruptor.step(3)
+            assert 0 <= entry < 3
+            assert 0 <= bit < 32
+        assert corruptor.flips == 200
+
+    def test_statistical_rate(self):
+        corruptor = LutBitflipCorruptor(0.1, RngStream(3, "lut-bitflip"))
+        flips = sum(
+            corruptor.step(2) is not None for _ in range(20000)
+        )
+        assert 1700 < flips < 2300
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(TimingModelError):
+            LutBitflipCorruptor(1.5, RngStream(1))
+
+
+class TestInjectorForDispatch:
+    def test_bernoulli_spec_matches_no_spec(self):
+        plain = TimingConfig(error_rate=0.3, seed=9)
+        spelled = TimingConfig(
+            error_rate=0.3, seed=9, fault_model=FaultModelSpec()
+        )
+        a = injector_for(plain, "cu0", 1)
+        b = injector_for(spelled, "cu0", 1)
+        assert type(a) is type(b) is BernoulliInjector
+        assert [a.sample() for _ in range(128)] == [
+            b.sample() for _ in range(128)
+        ]
+
+    def test_burst_dispatch(self):
+        config = TimingConfig(
+            error_rate=0.01,
+            seed=2,
+            fault_model=FaultModelSpec(
+                kind="burst", burst_rate=0.5, burst_enter=0.01, burst_exit=0.1
+            ),
+        )
+        injector = injector_for(config, "cu0", 0)
+        assert isinstance(injector, GilbertElliottInjector)
+        assert injector.good_rate == 0.01
+        assert injector.burst_rate == 0.5
+
+    def test_spatial_dispatch_varies_per_fpu(self):
+        config = TimingConfig(
+            error_rate=0.1,
+            seed=4,
+            fault_model=FaultModelSpec(kind="spatial", spatial_sigma=1.0),
+        )
+        rates = {
+            injector_for(config, "cu0", index).rate for index in range(8)
+        }
+        assert len(rates) > 1
+        expected = min(1.0, 0.1 * pvt_multiplier(4, 1.0, "cu0", 3))
+        assert injector_for(config, "cu0", 3).rate == pytest.approx(expected)
+
+    def test_stuck_at_dispatch_splits_by_map(self):
+        config = TimingConfig(
+            error_rate=0.1,
+            seed=6,
+            fault_model=FaultModelSpec(kind="stuck-at", stuck_fraction=0.5),
+        )
+        kinds = {
+            type(injector_for(config, "fpu", index)).__name__
+            for index in range(32)
+        }
+        assert kinds == {"StuckAtInjector", "BernoulliInjector"}
+
+    def test_stuck_at_healthy_units_share_bernoulli_streams(self):
+        stuck = TimingConfig(
+            error_rate=0.4,
+            seed=8,
+            fault_model=FaultModelSpec(kind="stuck-at", stuck_fraction=0.0),
+        )
+        plain = TimingConfig(error_rate=0.4, seed=8)
+        a = injector_for(stuck, "cu0", 2)
+        b = injector_for(plain, "cu0", 2)
+        assert [a.sample() for _ in range(128)] == [
+            b.sample() for _ in range(128)
+        ]
+
+    def test_stuck_at_zero_base_rate_gives_no_error_for_healthy(self):
+        config = TimingConfig(
+            error_rate=0.0,
+            seed=8,
+            fault_model=FaultModelSpec(kind="stuck-at", stuck_fraction=0.0),
+        )
+        assert isinstance(injector_for(config, "x"), NoErrorInjector)
+
+    def test_lut_bitflip_injector_side_is_bernoulli(self):
+        config = TimingConfig(
+            error_rate=0.02,
+            seed=1,
+            fault_model=FaultModelSpec(kind="lut-bitflip"),
+        )
+        assert isinstance(injector_for(config, "x"), BernoulliInjector)
+
+    def test_voltage_dispatch_reaches_factory(self):
+        # Regression: VoltageDrivenInjector used to be unreachable
+        # through injector_for; the 'voltage' kind now routes it.
+        config = TimingConfig(
+            voltage=0.80, seed=3, fault_model=FaultModelSpec(kind="voltage")
+        )
+        injector = injector_for(config, "cu0", 0)
+        assert isinstance(injector, VoltageDrivenInjector)
+        assert injector.rate > 0.0
+
+    def test_voltage_streams_independent_per_fpu(self):
+        config = TimingConfig(
+            voltage=0.80, seed=3, fault_model=FaultModelSpec(kind="voltage")
+        )
+        a = injector_for(config, "cu0", 0)
+        b = injector_for(config, "cu0", 1)
+        seq_a = [a.sample() for _ in range(256)]
+        seq_b = [b.sample() for _ in range(256)]
+        assert seq_a != seq_b
+        again = injector_for(config, "cu0", 0)
+        assert seq_a == [again.sample() for _ in range(256)]
+
+
+class TestCorruptorFor:
+    def test_none_without_lut_bitflip(self):
+        assert corruptor_for(TimingConfig(error_rate=0.1), "x") is None
+        assert (
+            corruptor_for(
+                TimingConfig(fault_model=FaultModelSpec(kind="burst")), "x"
+            )
+            is None
+        )
+
+    def test_built_for_lut_bitflip(self):
+        timing = TimingConfig(
+            seed=5,
+            fault_model=FaultModelSpec(kind="lut-bitflip", bitflip_rate=0.25),
+        )
+        corruptor = corruptor_for(timing, "cu0", 1)
+        assert isinstance(corruptor, LutBitflipCorruptor)
+        assert corruptor.rate == 0.25
+
+    def test_stream_separate_from_injector_streams(self):
+        timing = TimingConfig(
+            error_rate=0.1,
+            seed=5,
+            fault_model=FaultModelSpec(kind="lut-bitflip", bitflip_rate=1.0),
+        )
+        corruptor = corruptor_for(timing, "cu0", 1)
+        injector = injector_for(timing, "cu0", 1)
+        flips = [corruptor.step(2) for _ in range(64)]
+        # Draining the corruptor's stream must not shift the injector's.
+        fresh = injector_for(timing, "cu0", 1)
+        assert [injector.sample() for _ in range(64)] == [
+            fresh.sample() for _ in range(64)
+        ]
+        assert all(flip is not None for flip in flips)
